@@ -1,0 +1,82 @@
+// Ablation (Section 4, "Coalescing"): lazy versus eager coalescing across
+// an operator sequence. aZoom^T neither needs a coalesced input nor
+// produces one, so in a chain aZoom -> aZoom -> wZoom the system only has
+// to coalesce once (before wZoom); a policy that coalesces after every
+// operator pays for two extra passes over intermediate results. Expected
+// shape: lazy < eager on every dataset and representation.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tgraph;        // NOLINT
+using namespace tgraph::bench; // NOLINT
+
+// Second-level zoom: collapses the 1000 random groups into 10 super-groups
+// by the numeric group key.
+AZoomSpec SuperGroupAZoom() {
+  AZoomSpec spec;
+  spec.group_of = [](VertexId, const Properties& props)
+      -> std::optional<GroupKey> {
+    const PropertyValue* group = props.Find("group");
+    if (group == nullptr) return std::nullopt;
+    return PropertyValue(group->AsInt() % 10);
+  };
+  spec.aggregator = MakeAggregator(
+      "supercluster", "group", {{"members", AggKind::kSum, "members"}});
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct DatasetCase {
+    const char* name;
+    VeGraph (*base)();
+    int64_t window;
+  };
+  DatasetCase cases[] = {
+      {"WikiTalk", &WikiTalkBase, 6},
+      {"SNB", &SnbBase, 6},
+      {"NGrams", &NGramsBase, 10},
+  };
+  for (DatasetCase& c : cases) {
+    PrintDataset(c.name, c.base());
+    for (Representation rep : {Representation::kVe, Representation::kOg}) {
+      for (bool lazy : {true, false}) {
+        std::string bench_name = std::string("chain2/") + c.name + "/" +
+                                 RepresentationName(rep) + "/" +
+                                 (lazy ? "lazy" : "eager");
+        std::string key = std::string(c.name) + "/groups:1000";
+        VeGraph projected = gen::WithRandomGroups(c.base(), 1000);
+        WZoomSpec wspec{WindowSpec::TimePoints(c.window), Quantifier::All(),
+                        Quantifier::All(), {}, {}};
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [key, projected, rep, wspec, lazy](benchmark::State& state) {
+              TGraph graph = Prepared(key, projected, rep);
+              AZoomSpec fine = RandomGroupAZoom();
+              AZoomSpec coarse = SuperGroupAZoom();
+              for (auto _ : state) {
+                Result<TGraph> step1 = graph.AZoom(fine);
+                TG_CHECK(step1.ok());
+                TGraph mid1 = lazy ? *step1 : step1->Coalesce();
+                if (!lazy) mid1.Materialize();
+                Result<TGraph> step2 = mid1.AZoom(coarse);
+                TG_CHECK(step2.ok());
+                TGraph mid2 = lazy ? *step2 : step2->Coalesce();
+                if (!lazy) mid2.Materialize();
+                Result<TGraph> windowed = mid2.WZoom(wspec);
+                TG_CHECK(windowed.ok());
+                benchmark::DoNotOptimize(windowed->Materialize());
+              }
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

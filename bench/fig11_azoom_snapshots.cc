@@ -1,0 +1,66 @@
+// Figure 11: aZoom^T with fixed dataset size and group-by cardinality,
+// varying only the number of snapshots (coarsening the temporal
+// resolution). Expected shape (paper): near-flat for OG/VE on growth-only
+// data whose attributes never change (WikiTalk, SNB — one tuple per
+// vertex regardless of resolution), increasing for NGrams (multi-state
+// vertices), and steeply linear for RG.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tgraph;        // NOLINT
+using namespace tgraph::bench; // NOLINT
+
+struct DatasetCase {
+  const char* name;
+  VeGraph (*base)();
+  AZoomSpec (*spec)();
+  std::vector<int64_t> factors;  // resolution coarsening factors
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DatasetCase cases[] = {
+      {"WikiTalk", &WikiTalkBase, &WikiTalkAZoom, {8, 4, 2, 1}},
+      {"SNB", &SnbBase, &SnbAZoom, {6, 3, 2, 1}},
+      {"NGrams", &NGramsBase, &NGramsAZoom, {8, 4, 2, 1}},
+  };
+  for (DatasetCase& c : cases) {
+    PrintDataset(c.name, c.base());
+    for (Representation rep :
+         {Representation::kOg, Representation::kVe, Representation::kRg}) {
+      for (int64_t factor : c.factors) {
+        VeGraph coarse = gen::CoarsenResolution(c.base(), factor);
+        int64_t snapshots =
+            static_cast<int64_t>(coarse.ChangePoints().size()) - 1;
+        // RG's per-snapshot replay is the point of this figure, but at
+        // full resolution it dwarfs the rest; cap it (the paper caps RG
+        // with a timeout).
+        if (rep == Representation::kRg && factor < c.factors[1]) continue;
+        std::string key = std::string(c.name) + "/factor:" +
+                          std::to_string(factor);
+        std::string bench_name = std::string("aZoom/") + c.name + "/" +
+                                 RepresentationName(rep) +
+                                 "/snapshots:" + std::to_string(snapshots);
+        AZoomSpec spec = c.spec();
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [key, coarse, rep, spec](benchmark::State& state) {
+              TGraph graph = Prepared(key, coarse, rep);
+              for (auto _ : state) {
+                Result<TGraph> zoomed = graph.AZoom(spec);
+                TG_CHECK(zoomed.ok());
+                benchmark::DoNotOptimize(zoomed->Materialize());
+              }
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 12: aZoom^T with fixed dataset size and snapshot count, varying
+// the group-by cardinality (random group ids projected onto vertices).
+// Expected shape (paper): flat — the runtime of aZoom^T does not depend on
+// how many output nodes are created, on any representation.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tgraph;        // NOLINT
+using namespace tgraph::bench; // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct DatasetCase {
+    const char* name;
+    VeGraph (*base)();
+  };
+  DatasetCase cases[] = {
+      {"WikiTalk", &WikiTalkBase},
+      {"SNB", &SnbBase},
+      {"NGrams", &NGramsBase},
+  };
+  const int64_t cardinalities[] = {10, 100, 1000, 10000, 100000};
+  for (DatasetCase& c : cases) {
+    PrintDataset(c.name, c.base());
+    for (Representation rep :
+         {Representation::kOg, Representation::kVe, Representation::kRg}) {
+      // The paper omits RG from Figure 12 for visibility (~29 min flat);
+      // we include one RG point per dataset as the reference.
+      for (int64_t cardinality : cardinalities) {
+        if (rep == Representation::kRg && cardinality != 1000) continue;
+        VeGraph projected = gen::WithRandomGroups(c.base(), cardinality);
+        std::string key = std::string(c.name) + "/groups:" +
+                          std::to_string(cardinality);
+        std::string bench_name = std::string("aZoom/") + c.name + "/" +
+                                 RepresentationName(rep) +
+                                 "/cardinality:" + std::to_string(cardinality);
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [key, projected, rep](benchmark::State& state) {
+              TGraph graph = Prepared(key, projected, rep);
+              AZoomSpec spec = RandomGroupAZoom();
+              for (auto _ : state) {
+                Result<TGraph> zoomed = graph.AZoom(spec);
+                TG_CHECK(zoomed.ok());
+                benchmark::DoNotOptimize(zoomed->Materialize());
+              }
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 13: aZoom^T with fixed dataset size and snapshot count, varying
+// the frequency of vertex-attribute change (synthetic churn on a global
+// grid). Expected shape (paper): RG flat (it stores each vertex once per
+// snapshot regardless), OG and VE degrading as churn increases (longer
+// history arrays / more tuples).
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tgraph;        // NOLINT
+using namespace tgraph::bench; // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct DatasetCase {
+    const char* name;
+    VeGraph (*base)();
+    std::vector<int64_t> periods;  // change every N time points; 0 = never
+  };
+  DatasetCase cases[] = {
+      {"WikiTalk", &WikiTalkBase, {0, 20, 10, 5, 2}},
+      {"SNB", &SnbBase, {0, 18, 9, 4, 2}},
+  };
+  for (DatasetCase& c : cases) {
+    PrintDataset(c.name, c.base());
+    for (Representation rep :
+         {Representation::kOg, Representation::kVe, Representation::kRg}) {
+      for (int64_t period : c.periods) {
+        if (rep == Representation::kRg && period != 0 && period != c.periods[2]) {
+          continue;  // two RG points suffice to show flatness
+        }
+        VeGraph churned =
+            period == 0
+                ? c.base()
+                : gen::WithAttributeChurn(c.base(), "volatile", period,
+                                          /*cardinality=*/1000, /*seed=*/5);
+        // Group by the churned attribute (cardinality stays the same order
+        // of magnitude as the original experiments).
+        AZoomSpec spec;
+        spec.group_of = GroupByProperty(period == 0 ? "editCount" : "volatile");
+        if (c.base().lifetime() == SnbBase().lifetime() && period == 0) {
+          spec.group_of = GroupByProperty("firstName");
+        }
+        spec.aggregator = MakeAggregator("cluster", "key",
+                                         {{"members", AggKind::kCount, ""}});
+        std::string key = std::string(c.name) + "/period:" +
+                          std::to_string(period);
+        std::string bench_name =
+            std::string("aZoom/") + c.name + "/" + RepresentationName(rep) +
+            "/changes_per_entity:" +
+            std::to_string(period == 0 ? 0
+                                       : c.base().lifetime().duration() / period);
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [key, churned, rep, spec](benchmark::State& state) {
+              TGraph graph = Prepared(key, churned, rep);
+              for (auto _ : state) {
+                Result<TGraph> zoomed = graph.AZoom(spec);
+                TG_CHECK(zoomed.ok());
+                benchmark::DoNotOptimize(zoomed->Materialize());
+              }
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

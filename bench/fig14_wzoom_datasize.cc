@@ -1,0 +1,62 @@
+// Figure 14: wZoom^T with a fixed window size over growing temporal slices
+// of each dataset, nodes=exists / edges=exists, on all four
+// representations. Expected shape (paper): OGC clearly fastest, then OG,
+// then VE, with RG slowest.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tgraph;        // NOLINT
+using namespace tgraph::bench; // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct DatasetCase {
+    const char* name;
+    VeGraph (*base)();
+    int64_t window;
+    std::vector<int64_t> slices;
+  };
+  DatasetCase cases[] = {
+      {"WikiTalk", &WikiTalkBase, 3, {15, 30, 45, 60}},
+      {"SNB", &SnbBase, 3, {9, 18, 27, 36}},
+      {"NGrams", &NGramsBase, 25, {25, 50, 75, 100}},
+  };
+  for (DatasetCase& c : cases) {
+    PrintDataset(c.name, c.base());
+    for (Representation rep :
+         {Representation::kOgc, Representation::kOg, Representation::kVe,
+          Representation::kRg}) {
+      for (int64_t points : c.slices) {
+        if (rep == Representation::kRg && points > c.slices[1]) continue;
+        VeGraph slice = gen::SliceTime(
+            c.base(), Interval(c.base().lifetime().start,
+                               c.base().lifetime().start + points));
+        WZoomSpec spec{WindowSpec::TimePoints(c.window), Quantifier::Exists(),
+                       Quantifier::Exists(), {}, {}};
+        std::string key = std::string(c.name) + "/points:" +
+                          std::to_string(points);
+        std::string bench_name = std::string("wZoom/") + c.name + "/" +
+                                 RepresentationName(rep) +
+                                 "/history:" + std::to_string(points);
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [key, slice, rep, spec](benchmark::State& state) {
+              TGraph graph = Prepared(key, slice, rep);
+              for (auto _ : state) {
+                Result<TGraph> zoomed = graph.WZoom(spec);
+                TG_CHECK(zoomed.ok());
+                benchmark::DoNotOptimize(zoomed->Materialize());
+              }
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

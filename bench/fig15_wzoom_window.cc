@@ -1,0 +1,63 @@
+// Figure 15: wZoom^T with fixed data size, varying the temporal window
+// size, nodes=all / edges=all. Expected shape (paper): OG and OGC flat in
+// the window size; VE slower for small windows (it copies each tuple once
+// per overlapped window); RG slowest (reported only on WikiTalk in the
+// paper).
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tgraph;        // NOLINT
+using namespace tgraph::bench; // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct DatasetCase {
+    const char* name;
+    VeGraph (*base)();
+    std::vector<int64_t> windows;
+  };
+  DatasetCase cases[] = {
+      {"WikiTalk", &WikiTalkBase, {2, 3, 6, 12, 24}},
+      {"SNB", &SnbBase, {2, 3, 6, 12, 18}},
+      {"NGrams", &NGramsBase, {5, 10, 25, 50}},
+  };
+  for (DatasetCase& c : cases) {
+    PrintDataset(c.name, c.base());
+    for (Representation rep :
+         {Representation::kOgc, Representation::kOg, Representation::kVe,
+          Representation::kRg}) {
+      // Like the paper, report RG only for WikiTalk.
+      if (rep == Representation::kRg &&
+          std::string(c.name) != "WikiTalk") {
+        continue;
+      }
+      for (int64_t window : c.windows) {
+        WZoomSpec spec{WindowSpec::TimePoints(window), Quantifier::All(),
+                       Quantifier::All(), {}, {}};
+        std::string key = std::string(c.name) + "/full";
+        std::string bench_name = std::string("wZoom/") + c.name + "/" +
+                                 RepresentationName(rep) +
+                                 "/window:" + std::to_string(window);
+        VeGraph base = c.base();
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [key, base, rep, spec](benchmark::State& state) {
+              TGraph graph = Prepared(key, base, rep);
+              for (auto _ : state) {
+                Result<TGraph> zoomed = graph.WZoom(spec);
+                TG_CHECK(zoomed.ok());
+                benchmark::DoNotOptimize(zoomed->Materialize());
+              }
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

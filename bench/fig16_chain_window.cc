@@ -1,0 +1,76 @@
+// Figure 16: chaining aZoom^T then wZoom^T, with and without switching the
+// physical representation in between (VE, OG, VE->OG, OG->VE), varying the
+// wZoom window size. Expected shape (paper): OG best overall; switching
+// does not change the picture much; VE and OG->VE trail.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tgraph;        // NOLINT
+using namespace tgraph::bench; // NOLINT
+
+struct Plan {
+  const char* label;
+  Representation azoom_rep;
+  Representation wzoom_rep;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct DatasetCase {
+    const char* name;
+    VeGraph (*base)();
+    AZoomSpec (*spec)();
+    std::vector<int64_t> windows;
+  };
+  DatasetCase cases[] = {
+      {"WikiTalk", &WikiTalkBase, &WikiTalkAZoom, {3, 6, 12, 24}},
+      {"SNB", &SnbBase, &SnbAZoom, {3, 6, 12, 18}},
+      {"NGrams", &NGramsBase, &NGramsAZoom, {10, 25, 50}},
+  };
+  const Plan plans[] = {
+      {"VE", Representation::kVe, Representation::kVe},
+      {"OG", Representation::kOg, Representation::kOg},
+      {"VE-OG", Representation::kVe, Representation::kOg},
+      {"OG-VE", Representation::kOg, Representation::kVe},
+  };
+  for (DatasetCase& c : cases) {
+    PrintDataset(c.name, c.base());
+    for (const Plan& plan : plans) {
+      for (int64_t window : c.windows) {
+        WZoomSpec wspec{WindowSpec::TimePoints(window), Quantifier::All(),
+                        Quantifier::All(), {}, {}};
+        std::string key = std::string(c.name) + "/full";
+        std::string bench_name = std::string("chain/") + c.name + "/" +
+                                 plan.label +
+                                 "/window:" + std::to_string(window);
+        VeGraph base = c.base();
+        AZoomSpec aspec = c.spec();
+        Plan p = plan;
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [key, base, p, aspec, wspec](benchmark::State& state) {
+              TGraph graph = Prepared(key, base, p.azoom_rep);
+              for (auto _ : state) {
+                Result<TGraph> zoomed = graph.AZoom(aspec);
+                TG_CHECK(zoomed.ok());
+                // Representation switch mid-chain (identity when the two
+                // representations coincide).
+                Result<TGraph> switched = zoomed->As(p.wzoom_rep);
+                TG_CHECK(switched.ok());
+                Result<TGraph> windowed = switched->WZoom(wspec);
+                TG_CHECK(windowed.ok());
+                benchmark::DoNotOptimize(windowed->Materialize());
+              }
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

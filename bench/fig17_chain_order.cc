@@ -1,0 +1,65 @@
+// Figure 17: aZoom^T·wZoom^T versus wZoom^T·aZoom^T for different group-by
+// cardinalities (random group projection, exists quantifier — the setting
+// in which reordering is safe for growth-only data). Expected shape
+// (paper): aZoom-first grows with cardinality (larger intermediate graph);
+// wZoom-first stays flat and wins on NGrams-like data, whose vertices are
+// not growth-only.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tgraph;        // NOLINT
+using namespace tgraph::bench; // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct DatasetCase {
+    const char* name;
+    VeGraph (*base)();
+    int64_t window;
+  };
+  DatasetCase cases[] = {
+      {"WikiTalk", &WikiTalkBase, 6},
+      {"SNB", &SnbBase, 6},
+      {"NGrams", &NGramsBase, 10},
+  };
+  const int64_t cardinalities[] = {10, 1000, 100000};
+  for (DatasetCase& c : cases) {
+    PrintDataset(c.name, c.base());
+    for (Representation rep : {Representation::kOg, Representation::kVe}) {
+      for (bool azoom_first : {true, false}) {
+        for (int64_t cardinality : cardinalities) {
+          VeGraph projected = gen::WithRandomGroups(c.base(), cardinality);
+          WZoomSpec wspec{WindowSpec::TimePoints(c.window),
+                          Quantifier::Exists(), Quantifier::Exists(), {}, {}};
+          std::string key = std::string(c.name) + "/groups:" +
+                            std::to_string(cardinality);
+          std::string bench_name =
+              std::string("chain/") + c.name + "/" + RepresentationName(rep) +
+              (azoom_first ? "/aZoom-wZoom" : "/wZoom-aZoom") +
+              "/cardinality:" + std::to_string(cardinality);
+          benchmark::RegisterBenchmark(
+              bench_name.c_str(),
+              [key, projected, rep, wspec, azoom_first](benchmark::State& state) {
+                TGraph graph = Prepared(key, projected, rep);
+                AZoomSpec aspec = RandomGroupAZoom();
+                for (auto _ : state) {
+                  Result<TGraph> result =
+                      azoom_first ? graph.AZoom(aspec)->WZoom(wspec)
+                                  : graph.WZoom(wspec)->AZoom(aspec);
+                  TG_CHECK(result.ok());
+                  benchmark::DoNotOptimize(result->Coalesce().Materialize());
+                }
+              })
+              ->Unit(benchmark::kMillisecond)
+              ->Iterations(1);
+        }
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

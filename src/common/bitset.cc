@@ -1,0 +1,116 @@
+#include "common/bitset.h"
+
+#include <bit>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tgraph {
+
+void Bitset::Set(size_t i) {
+  TG_CHECK_LT(i, size_);
+  words_[i / 64] |= (uint64_t{1} << (i % 64));
+}
+
+void Bitset::Clear(size_t i) {
+  TG_CHECK_LT(i, size_);
+  words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+}
+
+bool Bitset::Test(size_t i) const {
+  TG_CHECK_LT(i, size_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+size_t Bitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+size_t Bitset::CountRange(size_t begin, size_t end) const {
+  if (begin >= end) return 0;
+  TG_CHECK_LE(end, size_);
+  size_t total = 0;
+  size_t first_word = begin / 64;
+  size_t last_word = (end - 1) / 64;
+  for (size_t w = first_word; w <= last_word; ++w) {
+    uint64_t word = words_[w];
+    if (w == first_word) {
+      word &= ~uint64_t{0} << (begin % 64);
+    }
+    if (w == last_word && end % 64 != 0) {
+      word &= ~uint64_t{0} >> (64 - end % 64);
+    }
+    total += std::popcount(word);
+  }
+  return total;
+}
+
+bool Bitset::AllRange(size_t begin, size_t end) const {
+  if (begin >= end) return true;
+  return CountRange(begin, end) == end - begin;
+}
+
+bool Bitset::AnyRange(size_t begin, size_t end) const {
+  if (begin >= end) return false;
+  return CountRange(begin, end) > 0;
+}
+
+void Bitset::SetRange(size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) Set(i);
+}
+
+int64_t Bitset::FirstSetBit() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int64_t>(w * 64 + std::countr_zero(words_[w]));
+    }
+  }
+  return -1;
+}
+
+int64_t Bitset::LastSetBit() const {
+  for (size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != 0) {
+      return static_cast<int64_t>(w * 64 + 63 - std::countl_zero(words_[w]));
+    }
+  }
+  return -1;
+}
+
+void Bitset::AndWith(const Bitset& other) {
+  TG_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitset::OrWith(const Bitset& other) {
+  TG_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+uint64_t Bitset::Hash() const {
+  uint64_t h = Mix64(size_);
+  for (uint64_t w : words_) h = HashCombine(h, Mix64(w));
+  return h;
+}
+
+std::string Bitset::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < size_; ++i) {
+    if (i > 0) out += ", ";
+    out += Test(i) ? '1' : '0';
+  }
+  out += "]";
+  return out;
+}
+
+Bitset Bitset::FromWords(size_t size, std::vector<uint64_t> words) {
+  TG_CHECK_EQ(words.size(), (size + 63) / 64);
+  Bitset b;
+  b.size_ = size;
+  b.words_ = std::move(words);
+  return b;
+}
+
+}  // namespace tgraph

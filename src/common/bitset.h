@@ -1,0 +1,73 @@
+#ifndef TGRAPH_COMMON_BITSET_H_
+#define TGRAPH_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tgraph {
+
+/// \brief A dynamically sized bitset.
+///
+/// Backs the OGC ("One Graph Columnar") representation, where each vertex or
+/// edge stores one presence bit per global interval (Section 3, Figure 7).
+class Bitset {
+ public:
+  Bitset() = default;
+  /// Creates `size` bits, all clear.
+  explicit Bitset(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Number of set bits.
+  size_t Count() const;
+  /// Number of set bits with index in [begin, end).
+  size_t CountRange(size_t begin, size_t end) const;
+  /// True iff no bit is set.
+  bool None() const { return Count() == 0; }
+  /// True iff all bits in [begin, end) are set.
+  bool AllRange(size_t begin, size_t end) const;
+  /// True iff any bit in [begin, end) is set.
+  bool AnyRange(size_t begin, size_t end) const;
+
+  /// Sets all bits in [begin, end).
+  void SetRange(size_t begin, size_t end);
+
+  /// Index of the lowest set bit, or -1 if none.
+  int64_t FirstSetBit() const;
+  /// Index of the highest set bit, or -1 if none.
+  int64_t LastSetBit() const;
+
+  /// In-place intersection; sizes must match. This is the dangling-edge
+  /// removal primitive for wZoom^T over OGC ("logical and between the edge
+  /// bitset and the corresponding vertex bitsets", Section 3.2).
+  void AndWith(const Bitset& other);
+  /// In-place union; sizes must match.
+  void OrWith(const Bitset& other);
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  uint64_t Hash() const;
+
+  /// Renders as e.g. "[1, 0, 1]".
+  std::string ToString() const;
+
+  /// Raw 64-bit words (for serialization).
+  const std::vector<uint64_t>& words() const { return words_; }
+  /// Rebuilds from raw words; bits beyond `size` must be zero.
+  static Bitset FromWords(size_t size, std::vector<uint64_t> words);
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_COMMON_BITSET_H_

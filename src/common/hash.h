@@ -1,0 +1,37 @@
+#ifndef TGRAPH_COMMON_HASH_H_
+#define TGRAPH_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tgraph {
+
+/// \brief Mixes a 64-bit value (splitmix64 finalizer). Used to decorrelate
+/// sequential ids before hash partitioning.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// \brief FNV-1a over a byte string.
+constexpr uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// \brief Combines an accumulated hash with another hash value
+/// (boost::hash_combine, 64-bit variant).
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_COMMON_HASH_H_

@@ -1,0 +1,109 @@
+#ifndef TGRAPH_COMMON_INTERVAL_H_
+#define TGRAPH_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tgraph {
+
+/// Discrete time point drawn from the linearly ordered domain Omega^T
+/// (Definition 2.1 of the paper). Typically a month or year index, or a UNIX
+/// timestamp — the library never interprets units.
+using TimePoint = int64_t;
+
+/// \brief A closed-open interval [start, end) of discrete time points,
+/// following the SQL:2011 convention used throughout the paper.
+///
+/// An interval is empty iff start >= end. Empty intervals compare equal to
+/// each other regardless of their endpoints.
+struct Interval {
+  TimePoint start = 0;
+  TimePoint end = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(TimePoint s, TimePoint e) : start(s), end(e) {}
+
+  constexpr bool empty() const { return start >= end; }
+
+  /// Number of time points covered; 0 for empty intervals.
+  constexpr int64_t duration() const { return empty() ? 0 : end - start; }
+
+  /// True iff the time point t lies within [start, end).
+  constexpr bool Contains(TimePoint t) const { return t >= start && t < end; }
+
+  /// True iff `other` is fully contained in this interval.
+  constexpr bool Contains(const Interval& other) const {
+    return other.empty() || (other.start >= start && other.end <= end);
+  }
+
+  /// True iff the two intervals share at least one time point.
+  constexpr bool Overlaps(const Interval& other) const {
+    return start < other.end && other.start < end;
+  }
+
+  /// True iff this interval ends exactly where `other` begins.
+  constexpr bool Meets(const Interval& other) const {
+    return !empty() && !other.empty() && end == other.start;
+  }
+
+  /// True iff the union of the two intervals is itself an interval
+  /// (they overlap or are adjacent in either order).
+  constexpr bool Mergeable(const Interval& other) const {
+    if (empty() || other.empty()) return true;
+    return start <= other.end && other.start <= end;
+  }
+
+  /// The shared time points of the two intervals (possibly empty).
+  constexpr Interval Intersect(const Interval& other) const {
+    return Interval(std::max(start, other.start), std::min(end, other.end));
+  }
+
+  /// The smallest interval covering both. Only meaningful if Mergeable().
+  constexpr Interval Merge(const Interval& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return Interval(std::min(start, other.start), std::max(end, other.end));
+  }
+
+  friend constexpr bool operator==(const Interval& a, const Interval& b) {
+    if (a.empty() && b.empty()) return true;
+    return a.start == b.start && a.end == b.end;
+  }
+
+  /// Orders by start, then end. Empty intervals order by raw endpoints; sort
+  /// callers normally filter them out first.
+  friend constexpr auto operator<=>(const Interval& a, const Interval& b) {
+    if (auto c = a.start <=> b.start; c != 0) return c;
+    return a.end <=> b.end;
+  }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& i);
+
+/// \brief Subtracts `b` from `a`, appending the (0, 1, or 2) remaining pieces.
+void IntervalDifference(const Interval& a, const Interval& b,
+                        std::vector<Interval>* out);
+
+/// \brief Computes the minimal set of non-overlapping intervals whose
+/// endpoints cover all endpoints of the inputs ("temporal splitters",
+/// Dignös et al.; used by aZoom^T over VE, Algorithm 2).
+///
+/// Example: {[1,7), [2,5)} -> {[1,2), [2,5), [5,7)}.
+std::vector<Interval> SplitIntervals(std::vector<Interval> intervals);
+
+/// \brief Coalesces a set of intervals: sorts and merges all overlapping or
+/// adjacent intervals into maximal disjoint intervals.
+std::vector<Interval> CoalesceIntervals(std::vector<Interval> intervals);
+
+/// \brief Total duration covered by the union of the given intervals.
+int64_t CoveredDuration(const std::vector<Interval>& intervals);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_COMMON_INTERVAL_H_

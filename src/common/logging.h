@@ -1,0 +1,55 @@
+#ifndef TGRAPH_COMMON_LOGGING_H_
+#define TGRAPH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tgraph {
+namespace internal_logging {
+
+/// \brief Collects a message and aborts the process on destruction.
+///
+/// Used by the TG_CHECK family; mirrors the glog-style fatal logger but
+/// without any global state.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tgraph
+
+/// Aborts with a message if `condition` is false. Active in all build modes:
+/// these guard internal invariants whose violation would corrupt results.
+#define TG_CHECK(condition)                                                  \
+  if (!(condition))                                                          \
+  ::tgraph::internal_logging::FatalLogMessage(__FILE__, __LINE__, #condition) \
+      .stream()
+
+#define TG_CHECK_EQ(a, b) TG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TG_CHECK_NE(a, b) TG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TG_CHECK_LT(a, b) TG_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TG_CHECK_LE(a, b) TG_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TG_CHECK_GT(a, b) TG_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TG_CHECK_GE(a, b) TG_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Aborts if a Status-returning expression fails.
+#define TG_CHECK_OK(expr)                        \
+  do {                                           \
+    ::tgraph::Status _tg_check_status = (expr);  \
+    TG_CHECK(_tg_check_status.ok()) << _tg_check_status.ToString(); \
+  } while (false)
+
+#endif  // TGRAPH_COMMON_LOGGING_H_

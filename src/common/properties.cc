@@ -1,0 +1,91 @@
+#include "common/properties.h"
+
+#include <algorithm>
+
+namespace tgraph {
+
+namespace {
+
+// Lower bound over the sorted entry vector.
+auto FindEntry(std::vector<std::pair<std::string, PropertyValue>>& entries,
+               std::string_view key) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+}
+
+auto FindEntry(
+    const std::vector<std::pair<std::string, PropertyValue>>& entries,
+    std::string_view key) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+}
+
+}  // namespace
+
+Properties::Properties(
+    std::initializer_list<std::pair<std::string, PropertyValue>> init) {
+  for (const auto& [key, value] : init) {
+    Set(key, value);
+  }
+}
+
+void Properties::Set(std::string_view key, PropertyValue value) {
+  auto it = FindEntry(entries_, key);
+  if (it != entries_.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    entries_.insert(it, {std::string(key), std::move(value)});
+  }
+}
+
+std::optional<PropertyValue> Properties::Get(std::string_view key) const {
+  const PropertyValue* v = Find(key);
+  if (v == nullptr) return std::nullopt;
+  return *v;
+}
+
+const PropertyValue* Properties::Find(std::string_view key) const {
+  auto it = FindEntry(entries_, key);
+  if (it != entries_.end() && it->first == key) return &it->second;
+  return nullptr;
+}
+
+bool Properties::Erase(std::string_view key) {
+  auto it = FindEntry(entries_, key);
+  if (it != entries_.end() && it->first == key) {
+    entries_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+uint64_t Properties::Hash() const {
+  uint64_t h = Mix64(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    h = HashCombine(h, HashBytes(key));
+    h = HashCombine(h, value.Hash());
+  }
+  return h;
+}
+
+std::string Properties::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += key;
+    out += "=";
+    out += value.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Properties& p) {
+  return os << p.ToString();
+}
+
+}  // namespace tgraph

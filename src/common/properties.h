@@ -1,0 +1,71 @@
+#ifndef TGRAPH_COMMON_PROPERTIES_H_
+#define TGRAPH_COMMON_PROPERTIES_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/property_value.h"
+
+namespace tgraph {
+
+/// \brief An ordered set of key-value pairs attached to a TGraph vertex or
+/// edge (the attribute dictionary of the VE/OG schemas in Section 3).
+///
+/// Stored as a flat vector sorted by key: property sets are tiny (a handful
+/// of entries), so a sorted vector beats a map in both memory and speed, and
+/// it gives O(n) value-equivalence comparison — the hot operation during
+/// temporal coalescing.
+class Properties {
+ public:
+  Properties() = default;
+
+  /// Builds from unsorted pairs; later duplicates of a key win.
+  Properties(std::initializer_list<std::pair<std::string, PropertyValue>> init);
+
+  /// Sets (inserts or overwrites) a property.
+  void Set(std::string_view key, PropertyValue value);
+
+  /// Returns the value for `key`, or nullopt.
+  std::optional<PropertyValue> Get(std::string_view key) const;
+
+  /// Returns a pointer to the value for `key`, or nullptr. Avoids a copy.
+  const PropertyValue* Find(std::string_view key) const;
+
+  /// Removes `key` if present; returns whether it was present.
+  bool Erase(std::string_view key);
+
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Sorted (key, value) entries; stable iteration order.
+  const std::vector<std::pair<std::string, PropertyValue>>& entries() const {
+    return entries_;
+  }
+
+  /// Value-equivalence (same keys, same values) — the coalescing predicate.
+  friend bool operator==(const Properties& a, const Properties& b) {
+    return a.entries_ == b.entries_;
+  }
+
+  /// Order-consistent hash (entries are kept sorted by key).
+  uint64_t Hash() const;
+
+  /// Renders as {k1=v1, k2=v2}.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, PropertyValue>> entries_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Properties& p);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_COMMON_PROPERTIES_H_

@@ -1,0 +1,76 @@
+#include "common/property_value.h"
+
+#include <bit>
+
+namespace tgraph {
+
+double PropertyValue::AsNumber() const {
+  switch (type()) {
+    case Type::kInt:
+      return static_cast<double>(AsInt());
+    case Type::kDouble:
+      return AsDouble();
+    case Type::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    case Type::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+uint64_t PropertyValue::Hash() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(value_.index()));
+  switch (type()) {
+    case Type::kInt:
+      return HashCombine(h, Mix64(static_cast<uint64_t>(AsInt())));
+    case Type::kDouble:
+      return HashCombine(h, Mix64(std::bit_cast<uint64_t>(AsDouble())));
+    case Type::kBool:
+      return HashCombine(h, Mix64(AsBool() ? 1 : 0));
+    case Type::kString:
+      return HashCombine(h, HashBytes(AsString()));
+  }
+  return h;
+}
+
+std::string PropertyValue::ToString() const {
+  switch (type()) {
+    case Type::kInt:
+      return std::to_string(AsInt());
+    case Type::kDouble:
+      return std::to_string(AsDouble());
+    case Type::kBool:
+      return AsBool() ? "true" : "false";
+    case Type::kString:
+      return AsString();
+  }
+  return "";
+}
+
+std::strong_ordering operator<=>(const PropertyValue& a,
+                                 const PropertyValue& b) {
+  if (a.value_.index() != b.value_.index()) {
+    return a.value_.index() <=> b.value_.index();
+  }
+  switch (a.type()) {
+    case PropertyValue::Type::kInt:
+      return a.AsInt() <=> b.AsInt();
+    case PropertyValue::Type::kDouble: {
+      double x = a.AsDouble(), y = b.AsDouble();
+      if (x < y) return std::strong_ordering::less;
+      if (x > y) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    case PropertyValue::Type::kBool:
+      return a.AsBool() <=> b.AsBool();
+    case PropertyValue::Type::kString:
+      return a.AsString().compare(b.AsString()) <=> 0;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const PropertyValue& v) {
+  return os << v.ToString();
+}
+
+}  // namespace tgraph

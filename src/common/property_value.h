@@ -1,0 +1,69 @@
+#ifndef TGRAPH_COMMON_PROPERTY_VALUE_H_
+#define TGRAPH_COMMON_PROPERTY_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace tgraph {
+
+/// \brief A property value in a TGraph: one of int64, double, bool, string.
+///
+/// Property graphs (Angles et al.) are schemaless at the value level; this
+/// variant covers the types the paper's datasets use (counts, names, words).
+class PropertyValue {
+ public:
+  enum class Type { kInt, kDouble, kBool, kString };
+
+  PropertyValue() : value_(int64_t{0}) {}
+  PropertyValue(int64_t v) : value_(v) {}        // NOLINT
+  PropertyValue(int v) : value_(int64_t{v}) {}   // NOLINT
+  PropertyValue(double v) : value_(v) {}         // NOLINT
+  PropertyValue(bool v) : value_(v) {}           // NOLINT
+  PropertyValue(std::string v) : value_(std::move(v)) {}  // NOLINT
+  PropertyValue(const char* v) : value_(std::string(v)) {}  // NOLINT
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_string() const { return type() == Type::kString; }
+
+  /// Typed accessors; calling the wrong one is a programming error (checked
+  /// by std::get, which aborts under -fno-exceptions semantics we rely on
+  /// never triggering).
+  int64_t AsInt() const { return std::get<int64_t>(value_); }
+  double AsDouble() const { return std::get<double>(value_); }
+  bool AsBool() const { return std::get<bool>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+
+  /// Numeric view: int and double convert, others yield 0. Used by numeric
+  /// aggregation functions (sum/min/max/avg).
+  double AsNumber() const;
+
+  /// Hash suitable for Skolem functions and shuffle partitioning.
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const PropertyValue& a, const PropertyValue& b) {
+    return a.value_ == b.value_;
+  }
+  /// Total order: values order by type index first, then by value. Gives a
+  /// deterministic sort for mixed-type columns.
+  friend std::strong_ordering operator<=>(const PropertyValue& a,
+                                          const PropertyValue& b);
+
+ private:
+  std::variant<int64_t, double, bool, std::string> value_;
+};
+
+std::ostream& operator<<(std::ostream& os, const PropertyValue& v);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_COMMON_PROPERTY_VALUE_H_

@@ -1,0 +1,81 @@
+#ifndef TGRAPH_COMMON_RESULT_H_
+#define TGRAPH_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tgraph {
+
+/// \brief Either a value of type T or an error Status (never both).
+///
+/// Analogous to arrow::Result / absl::StatusOr. Constructing a Result from an
+/// OK status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      // An OK status carries no value; this is a caller bug.
+      std::abort();
+    }
+  }
+
+  /// Constructs from a value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `alternative` on error.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_COMMON_RESULT_H_

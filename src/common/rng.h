@@ -1,0 +1,61 @@
+#ifndef TGRAPH_COMMON_RNG_H_
+#define TGRAPH_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tgraph {
+
+/// \brief Deterministic 64-bit PRNG (splitmix64).
+///
+/// All dataset generators use this so that every experiment is exactly
+/// reproducible from a seed; std::mt19937 is avoided because its stream is
+/// not guaranteed identical across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return Mix64(state_ - 0x9e3779b97f4a7c15ULL + 1);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound) {
+    TG_CHECK_GT(bound, 0u);
+    // Multiply-shift mapping; bias is negligible for bound << 2^64.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    TG_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// A new generator whose stream is independent of this one; deterministic
+  /// in (seed, stream_id). Used to give each worker/partition its own stream.
+  Rng Fork(uint64_t stream_id) const {
+    return Rng(HashCombine(state_, Mix64(stream_id)));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_COMMON_RNG_H_

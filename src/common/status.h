@@ -1,0 +1,126 @@
+#ifndef TGRAPH_COMMON_STATUS_H_
+#define TGRAPH_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace tgraph {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIoError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kCancelled = 8,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Exception-free error signalling, modelled after arrow::Status /
+/// rocksdb::Status.
+///
+/// Functions that can fail return a Status (or a Result<T>, see result.h).
+/// The OK state carries no allocation; error states carry a code and message.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Returns "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared (not unique) so Status stays cheaply copyable; error states are
+  // immutable once created.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace tgraph
+
+/// Evaluates `expr`; returns its Status from the enclosing function if not OK.
+#define TG_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::tgraph::Status _tg_status = (expr);         \
+    if (!_tg_status.ok()) return _tg_status;      \
+  } while (false)
+
+#define TG_CONCAT_IMPL(x, y) x##y
+#define TG_CONCAT(x, y) TG_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define TG_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  TG_ASSIGN_OR_RETURN_IMPL(TG_CONCAT(_tg_result_, __LINE__), lhs, rexpr)
+
+#define TG_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                             \
+  if (!result_name.ok()) return result_name.status();     \
+  lhs = std::move(result_name).ValueOrDie();
+
+#endif  // TGRAPH_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+#include "dataflow/context.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace tgraph::dataflow {
+
+std::string Metrics::ToString() const {
+  return "stages=" + std::to_string(stages_executed.load()) +
+         " tasks=" + std::to_string(tasks_executed.load()) +
+         " shuffled_records=" + std::to_string(records_shuffled.load());
+}
+
+ExecutionContext::ExecutionContext(ContextOptions options) {
+  int workers = options.num_workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  pool_ = std::make_unique<ThreadPool>(workers);
+  default_parallelism_ = options.default_parallelism > 0
+                             ? options.default_parallelism
+                             : 2 * workers;
+}
+
+void ExecutionContext::ParallelFor(size_t n,
+                                   const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  metrics_.stages_executed.fetch_add(1, std::memory_order_relaxed);
+  metrics_.tasks_executed.fetch_add(static_cast<int64_t>(n),
+                                    std::memory_order_relaxed);
+  if (n == 1 || pool_->InWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    pool_->Submit([&, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace tgraph::dataflow

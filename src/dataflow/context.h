@@ -1,0 +1,68 @@
+#ifndef TGRAPH_DATAFLOW_CONTEXT_H_
+#define TGRAPH_DATAFLOW_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dataflow/thread_pool.h"
+
+namespace tgraph::dataflow {
+
+/// \brief Counters accumulated while executing a dataflow plan. Mirrors the
+/// stage/shuffle metrics a Spark UI would report; the benchmark harness
+/// prints them alongside wall-clock times.
+struct Metrics {
+  std::atomic<int64_t> stages_executed{0};
+  std::atomic<int64_t> tasks_executed{0};
+  std::atomic<int64_t> records_shuffled{0};
+
+  void Reset() {
+    stages_executed = 0;
+    tasks_executed = 0;
+    records_shuffled = 0;
+  }
+  std::string ToString() const;
+};
+
+/// \brief Configuration for an ExecutionContext.
+struct ContextOptions {
+  /// Worker threads; 0 means use the hardware concurrency.
+  int num_workers = 0;
+  /// Partitions created by sources and shuffles when not specified
+  /// explicitly; 0 means 2x the worker count.
+  int default_parallelism = 0;
+};
+
+/// \brief The driver for dataflow execution: owns the worker pool, the
+/// default parallelism, and run metrics. The substitute for a SparkContext.
+///
+/// One context is shared by every Dataset derived from it; contexts must
+/// outlive their datasets.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(ContextOptions options = {});
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  int default_parallelism() const { return default_parallelism_; }
+  int num_workers() const { return pool_->num_threads(); }
+  Metrics& metrics() { return metrics_; }
+
+  /// Runs fn(0) ... fn(n-1) on the worker pool and blocks until all have
+  /// completed. Degrades to a sequential loop when invoked from a worker
+  /// thread (nested parallelism), avoiding pool starvation.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  int default_parallelism_;
+  Metrics metrics_;
+};
+
+}  // namespace tgraph::dataflow
+
+#endif  // TGRAPH_DATAFLOW_CONTEXT_H_

@@ -1,0 +1,49 @@
+#ifndef TGRAPH_DATAFLOW_THREAD_POOL_H_
+#define TGRAPH_DATAFLOW_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tgraph::dataflow {
+
+/// \brief A fixed-size worker pool executing submitted closures FIFO.
+///
+/// The dataflow engine's substitute for a Spark executor fleet: one pool per
+/// ExecutionContext, with per-partition tasks as the unit of scheduling.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// True when called from one of this pool's worker threads. Lets nested
+  /// parallel sections degrade to inline execution instead of deadlocking.
+  bool InWorkerThread() const;
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tgraph::dataflow
+
+#endif  // TGRAPH_DATAFLOW_THREAD_POOL_H_

@@ -1,0 +1,74 @@
+#ifndef TGRAPH_GEN_GENERATORS_H_
+#define TGRAPH_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "tgraph/ve.h"
+
+namespace tgraph::gen {
+
+/// Synthetic stand-ins for the paper's evaluation datasets (Section 5).
+/// Each generator reproduces the *evolution signature* the experiments
+/// depend on — growth patterns, edge lifetimes, attribute structure, and
+/// evolution rate — at laptop scale. All generators are deterministic in
+/// their seed.
+
+/// \brief WikiTalk-like: growth-only vertices whose attributes never
+/// change (name, editCount), short-lived messaging edges, low edit
+/// similarity (paper: 2.9M vertices / 10.7M edges / 179 snapshots /
+/// evolution rate 14.4).
+struct WikiTalkConfig {
+  int64_t num_users = 5000;
+  int64_t num_months = 60;
+  /// Expected messaging edges per joined user per month.
+  double events_per_user_month = 0.5;
+  /// Probability a message thread continues into the next month (gives
+  /// consecutive snapshots some edge overlap; the default lands near the
+  /// real dataset's evolution rate of 14.4).
+  double continuation = 0.15;
+  int64_t num_edit_counts = 1000;
+  uint64_t seed = 42;
+};
+VeGraph GenerateWikiTalk(dataflow::ExecutionContext* ctx,
+                         const WikiTalkConfig& config);
+
+/// \brief LDBC SNB-like: a growth-only friendship network — every vertex
+/// and edge, once added, persists to the end — with a firstName attribute
+/// (paper: scale factors 10..1000, 36 monthly snapshots, evolution rate
+/// ~90).
+struct SnbConfig {
+  int64_t num_persons = 5000;
+  int64_t num_months = 36;
+  /// Expected friendships created per person over the lifetime.
+  double avg_friendships = 10.0;
+  int64_t num_first_names = 500;
+  uint64_t seed = 42;
+};
+VeGraph GenerateSnb(dataflow::ExecutionContext* ctx, const SnbConfig& config);
+
+/// \brief NGrams-like: persistent word vertices and churning co-occurrence
+/// edges that appear and disappear, with one yearly snapshot (paper: 48M
+/// vertices / 1.32B edges / 328 snapshots / evolution rate 18.2). An edge's
+/// identity is the word pair, so a pair recurring in several periods yields
+/// one edge with several states.
+struct NGramsConfig {
+  int64_t num_words = 10000;
+  int64_t num_years = 100;
+  /// Expected new co-occurrence appearances per year.
+  double appearances_per_year = 5000;
+  /// Expected duration (years) of one appearance (geometric). The default
+  /// lands near the real dataset's evolution rate of 16.6-18.2.
+  double mean_duration = 1.3;
+  /// Mean years between changes of each word's `freq` attribute; the real
+  /// NGrams data has multiple states per word vertex ("an increase in the
+  /// number of intervals ... is not the case for NGrams", Section 5.1).
+  /// 0 disables attribute churn (single-state vertices).
+  int64_t attribute_change_every = 25;
+  uint64_t seed = 42;
+};
+VeGraph GenerateNGrams(dataflow::ExecutionContext* ctx,
+                       const NGramsConfig& config);
+
+}  // namespace tgraph::gen
+
+#endif  // TGRAPH_GEN_GENERATORS_H_

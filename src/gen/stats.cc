@@ -1,0 +1,67 @@
+#include "gen/stats.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tgraph::gen {
+
+std::string DatasetStats::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "vertices=%lld edges=%lld vertex_records=%lld "
+                "edge_records=%lld snapshots=%lld ev.rate=%.1f",
+                static_cast<long long>(num_vertices),
+                static_cast<long long>(num_edges),
+                static_cast<long long>(num_vertex_records),
+                static_cast<long long>(num_edge_records),
+                static_cast<long long>(num_snapshots), evolution_rate);
+  return buffer;
+}
+
+DatasetStats ComputeStats(const VeGraph& graph) {
+  DatasetStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  stats.num_vertex_records = graph.NumVertexRecords();
+  stats.num_edge_records = graph.NumEdgeRecords();
+
+  std::vector<TimePoint> points = graph.ChangePoints();
+  stats.num_snapshots =
+      points.size() < 2 ? 0 : static_cast<int64_t>(points.size()) - 1;
+  if (stats.num_snapshots < 2) return stats;
+
+  // Sweep edge intervals over the elementary snapshots: at each boundary,
+  // track how many edges persist vs. are added/removed. The edit
+  // similarity between consecutive snapshots i and i+1 is
+  // 2|Ei ∩ Ei+1| / (|Ei| + |Ei+1|), and |Ei ∩ Ei+1| = |Ei| - removed_at_i.
+  std::map<TimePoint, std::pair<int64_t, int64_t>> events;  // adds, removes
+  for (const VeEdge& e : graph.edges().Collect()) {
+    events[e.interval.start].first += 1;
+    events[e.interval.end].second += 1;
+  }
+  double similarity_sum = 0.0;
+  int64_t transitions = 0;
+  int64_t current = 0;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    auto it = events.find(points[i]);
+    int64_t adds = it == events.end() ? 0 : it->second.first;
+    int64_t removes = it == events.end() ? 0 : it->second.second;
+    int64_t previous = current;
+    current += adds - removes;
+    if (i == 0) continue;  // first snapshot has no predecessor
+    int64_t shared = previous - removes;
+    int64_t denominator = previous + current;
+    similarity_sum +=
+        denominator == 0 ? 0.0
+                         : 2.0 * static_cast<double>(shared) /
+                               static_cast<double>(denominator);
+    ++transitions;
+  }
+  if (transitions > 0) {
+    stats.evolution_rate = 100.0 * similarity_sum /
+                           static_cast<double>(transitions);
+  }
+  return stats;
+}
+
+}  // namespace tgraph::gen

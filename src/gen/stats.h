@@ -1,0 +1,29 @@
+#ifndef TGRAPH_GEN_STATS_H_
+#define TGRAPH_GEN_STATS_H_
+
+#include <string>
+
+#include "tgraph/ve.h"
+
+namespace tgraph::gen {
+
+/// \brief The dataset summary of the paper's Table 1: distinct entity
+/// counts, record counts, snapshot count, and the evolution rate — the
+/// average graph edit similarity between consecutive snapshots,
+/// 2|Ei ∩ Ej| / (|Ei| + |Ej|), as a percentage (Ren et al.).
+struct DatasetStats {
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  int64_t num_vertex_records = 0;
+  int64_t num_edge_records = 0;
+  int64_t num_snapshots = 0;
+  double evolution_rate = 0.0;
+
+  std::string ToString() const;
+};
+
+DatasetStats ComputeStats(const VeGraph& graph);
+
+}  // namespace tgraph::gen
+
+#endif  // TGRAPH_GEN_STATS_H_

@@ -1,0 +1,73 @@
+#include "gen/transform.h"
+
+#include "common/hash.h"
+#include "tgraph/slice.h"
+
+namespace tgraph::gen {
+
+using dataflow::Dataset;
+
+VeGraph WithAttributeChurn(const VeGraph& graph, const std::string& property,
+                           int64_t period, int64_t cardinality, uint64_t seed) {
+  TG_CHECK_GT(period, 0);
+  TG_CHECK_GT(cardinality, 0);
+  auto vertices = graph.vertices().FlatMap<VeVertex>(
+      [property, period, cardinality, seed](const VeVertex& v,
+                                            std::vector<VeVertex>* out) {
+        // Split [start, end) at global multiples of `period`.
+        TimePoint t = v.interval.start;
+        while (t < v.interval.end) {
+          TimePoint cell_end =
+              std::min(v.interval.end, (t / period + 1) * period);
+          int64_t cell = t / period;
+          Properties props = v.properties;
+          uint64_t h = HashCombine(
+              HashCombine(Mix64(static_cast<uint64_t>(v.vid)), Mix64(seed)),
+              Mix64(static_cast<uint64_t>(cell)));
+          props.Set(property, static_cast<int64_t>(
+                                  h % static_cast<uint64_t>(cardinality)));
+          out->push_back(VeVertex{v.vid, Interval(t, cell_end), std::move(props)});
+          t = cell_end;
+        }
+      });
+  return VeGraph(vertices, graph.edges(), graph.lifetime());
+}
+
+VeGraph WithRandomGroups(const VeGraph& graph, int64_t cardinality,
+                         const std::string& property, uint64_t seed) {
+  TG_CHECK_GT(cardinality, 0);
+  auto vertices = graph.vertices().Map(
+      [property, cardinality, seed](const VeVertex& v) {
+        Properties props = v.properties;
+        uint64_t h = HashCombine(Mix64(static_cast<uint64_t>(v.vid)), Mix64(seed));
+        props.Set(property,
+                  static_cast<int64_t>(h % static_cast<uint64_t>(cardinality)));
+        return VeVertex{v.vid, v.interval, std::move(props)};
+      });
+  return VeGraph(vertices, graph.edges(), graph.lifetime());
+}
+
+VeGraph CoarsenResolution(const VeGraph& graph, int64_t factor) {
+  TG_CHECK_GT(factor, 0);
+  auto coarsen = [factor](const Interval& i) {
+    TimePoint start = i.start / factor;
+    TimePoint end = (i.end + factor - 1) / factor;
+    if (end <= start) end = start + 1;
+    return Interval(start, end);
+  };
+  auto vertices = graph.vertices().Map([coarsen](const VeVertex& v) {
+    return VeVertex{v.vid, coarsen(v.interval), v.properties};
+  });
+  auto edges = graph.edges().Map([coarsen](const VeEdge& e) {
+    return VeEdge{e.eid, e.src, e.dst, coarsen(e.interval), e.properties};
+  });
+  // Coarsening can make a multi-state entity's states overlap or become
+  // adjacent with equal values; coalescing restores a valid TGraph.
+  return VeGraph(vertices, edges, coarsen(graph.lifetime())).Coalesce();
+}
+
+VeGraph SliceTime(const VeGraph& graph, Interval range) {
+  return SliceVe(graph, range);
+}
+
+}  // namespace tgraph::gen

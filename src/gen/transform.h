@@ -1,0 +1,44 @@
+#ifndef TGRAPH_GEN_TRANSFORM_H_
+#define TGRAPH_GEN_TRANSFORM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tgraph/ve.h"
+
+namespace tgraph::gen {
+
+/// Workload transformations used by the experiment harness to vary one
+/// dataset dimension at a time (Section 5).
+
+/// \brief Splits every vertex state on a global grid of `period` time
+/// points and gives `property` a different value in each cell (drawn from
+/// `cardinality` distinct values, deterministic in `seed`) — the synthetic
+/// attribute churn of the frequency-of-change experiment (Figure 13). The
+/// number of vertices and edges is unchanged; the number of vertex records
+/// grows with 1/period.
+VeGraph WithAttributeChurn(const VeGraph& graph, const std::string& property,
+                           int64_t period, int64_t cardinality, uint64_t seed);
+
+/// \brief Projects a synthetic group identifier in [0, cardinality) onto
+/// every vertex (stable per vid) — the group-by-cardinality experiments
+/// (Figures 12 and 17).
+VeGraph WithRandomGroups(const VeGraph& graph, int64_t cardinality,
+                         const std::string& property = "group",
+                         uint64_t seed = 7);
+
+/// \brief Coarsens the temporal resolution by an integer factor (merging
+/// every `factor` consecutive time points into one), then coalesces — the
+/// varying-number-of-snapshots experiments (Figure 11: "we gradually
+/// decrease the number of intervals, while we keep the size of the dataset
+/// fixed").
+VeGraph CoarsenResolution(const VeGraph& graph, int64_t factor);
+
+/// \brief Restricts the graph to the time range [lifetime.start, end) —
+/// the "load different temporal slices" dimension of the data-size
+/// experiments (Figures 10 and 14), without going through disk.
+VeGraph SliceTime(const VeGraph& graph, Interval range);
+
+}  // namespace tgraph::gen
+
+#endif  // TGRAPH_GEN_TRANSFORM_H_

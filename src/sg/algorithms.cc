@@ -1,0 +1,157 @@
+#include "sg/algorithms.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "sg/pregel.h"
+
+namespace tgraph::sg {
+
+using dataflow::Dataset;
+
+Dataset<std::pair<VertexId, VertexId>> ConnectedComponents(
+    const PropertyGraph& graph, int max_iterations) {
+  using KV = std::pair<VertexId, VertexId>;
+  auto initial = graph.vertices().Map(
+      [](const Vertex& v) { return KV(v.vid, v.vid); });
+
+  PregelOptions options;
+  options.max_iterations = max_iterations;
+  return RunPregel<VertexId, VertexId>(
+      initial, graph.edges(),
+      /*initial_message=*/std::numeric_limits<VertexId>::max(),
+      /*vprog=*/
+      [](VertexId, const VertexId& label, const VertexId& msg) {
+        return std::min(label, msg);
+      },
+      /*send=*/
+      [](const PregelTriplet<VertexId>& t, std::vector<KV>* out) {
+        if (t.src_state < t.dst_state) {
+          out->emplace_back(t.edge.dst, t.src_state);
+        } else if (t.dst_state < t.src_state) {
+          out->emplace_back(t.edge.src, t.dst_state);
+        }
+      },
+      /*merge=*/
+      [](const VertexId& a, const VertexId& b) { return std::min(a, b); },
+      options);
+}
+
+Dataset<std::pair<VertexId, double>> PageRank(const PropertyGraph& graph,
+                                              int num_iterations,
+                                              double reset_probability) {
+  using Rank = std::pair<VertexId, double>;
+  auto out_degrees = graph.OutDegrees().Cache();
+  auto edges_by_src =
+      graph.edges()
+          .Map([](const Edge& e) { return std::pair<VertexId, VertexId>(e.src, e.dst); })
+          .Cache();
+
+  Dataset<Rank> ranks =
+      graph.vertices().Map([](const Vertex& v) { return Rank(v.vid, 1.0); });
+
+  for (int iter = 0; iter < num_iterations; ++iter) {
+    // rank / out_degree per source, multicast along edges.
+    auto rank_per_out_edge =
+        ranks.Join<int64_t>(out_degrees)
+            .Map([](const std::pair<VertexId, std::pair<double, int64_t>>& kv) {
+              return Rank(kv.first,
+                          kv.second.first / static_cast<double>(kv.second.second));
+            });
+    auto contributions =
+        edges_by_src.Join<double>(rank_per_out_edge)
+            .Map([](const std::pair<VertexId, std::pair<VertexId, double>>& kv) {
+              return Rank(kv.second.first, kv.second.second);
+            })
+            .ReduceByKey([](const double& a, const double& b) { return a + b; });
+    // Vertices without in-edges still get the teleport mass.
+    ranks = ranks.CoGroup<double>(contributions)
+                .Map([reset_probability](
+                         const std::pair<VertexId,
+                                         std::pair<std::vector<double>,
+                                                   std::vector<double>>>& kv) {
+                  double incoming =
+                      kv.second.second.empty() ? 0.0 : kv.second.second[0];
+                  return Rank(kv.first, reset_probability +
+                                            (1.0 - reset_probability) * incoming);
+                })
+                .Cache();
+  }
+  return ranks;
+}
+
+Dataset<std::pair<VertexId, int64_t>> TriangleCount(const PropertyGraph& graph) {
+  using KV = std::pair<VertexId, int64_t>;
+  // Canonical undirected edge list without self-loops or duplicates.
+  auto canonical =
+      graph.edges()
+          .FlatMap<std::pair<VertexId, VertexId>>(
+              [](const Edge& e, std::vector<std::pair<VertexId, VertexId>>* out) {
+                if (e.src == e.dst) return;
+                out->emplace_back(std::min(e.src, e.dst), std::max(e.src, e.dst));
+              })
+          .Distinct()
+          .Cache();
+
+  // Neighbor sets (both directions), sorted for fast intersection.
+  auto neighbors =
+      canonical
+          .FlatMap<std::pair<VertexId, VertexId>>(
+              [](const std::pair<VertexId, VertexId>& e,
+                 std::vector<std::pair<VertexId, VertexId>>* out) {
+                out->emplace_back(e.first, e.second);
+                out->emplace_back(e.second, e.first);
+              })
+          .GroupByKey()
+          .Map([](const std::pair<VertexId, std::vector<VertexId>>& kv) {
+            std::vector<VertexId> sorted = kv.second;
+            std::sort(sorted.begin(), sorted.end());
+            return std::pair<VertexId, std::vector<VertexId>>(kv.first,
+                                                              std::move(sorted));
+          })
+          .Cache();
+
+  // Attach each endpoint's neighbor list to the edge, intersect, and credit
+  // each common neighbor incidence to both endpoints and the witness.
+  auto keyed_by_first = canonical.Map([](const std::pair<VertexId, VertexId>& e) {
+    return std::pair<VertexId, VertexId>(e.first, e.second);
+  });
+  auto with_first =
+      keyed_by_first.Join<std::vector<VertexId>>(neighbors)
+          .Map([](const std::pair<VertexId,
+                                  std::pair<VertexId, std::vector<VertexId>>>& kv) {
+            // Re-key by the second endpoint, carrying (first, first's nbrs).
+            return std::pair<VertexId,
+                             std::pair<VertexId, std::vector<VertexId>>>(
+                kv.second.first, {kv.first, kv.second.second});
+          });
+  auto incidences =
+      with_first.Join<std::vector<VertexId>>(neighbors)
+          .FlatMap<KV>(
+              [](const std::pair<
+                     VertexId,
+                     std::pair<std::pair<VertexId, std::vector<VertexId>>,
+                               std::vector<VertexId>>>& kv,
+                 std::vector<KV>* out) {
+                VertexId v = kv.first;
+                VertexId u = kv.second.first.first;
+                const std::vector<VertexId>& nu = kv.second.first.second;
+                const std::vector<VertexId>& nv = kv.second.second;
+                std::vector<VertexId> common;
+                std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                                      std::back_inserter(common));
+                for (VertexId w : common) {
+                  out->emplace_back(u, 1);
+                  out->emplace_back(v, 1);
+                  out->emplace_back(w, 1);
+                }
+              });
+  // Each triangle produces 3 incidences per member vertex (one per edge of
+  // the triangle); normalize.
+  return incidences
+      .ReduceByKey([](const int64_t& a, const int64_t& b) { return a + b; })
+      .Map([](const KV& kv) { return KV(kv.first, kv.second / 3); });
+}
+
+}  // namespace tgraph::sg

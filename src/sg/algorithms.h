@@ -1,0 +1,30 @@
+#ifndef TGRAPH_SG_ALGORITHMS_H_
+#define TGRAPH_SG_ALGORITHMS_H_
+
+#include <utility>
+
+#include "dataflow/dataset.h"
+#include "sg/property_graph.h"
+
+namespace tgraph::sg {
+
+/// \brief Connected components, treating edges as undirected. Returns
+/// (vid, component id), where a component's id is its smallest member vid.
+/// Implemented with Pregel label propagation.
+dataflow::Dataset<std::pair<VertexId, VertexId>> ConnectedComponents(
+    const PropertyGraph& graph, int max_iterations = 50);
+
+/// \brief PageRank with uniform teleport. Returns (vid, rank); ranks sum to
+/// ~numVertices, matching GraphX's unnormalized convention.
+dataflow::Dataset<std::pair<VertexId, double>> PageRank(
+    const PropertyGraph& graph, int num_iterations = 10,
+    double reset_probability = 0.15);
+
+/// \brief Counts triangles each vertex participates in (undirected view,
+/// ignoring multi-edges and self-loops). Returns (vid, triangle count).
+dataflow::Dataset<std::pair<VertexId, int64_t>> TriangleCount(
+    const PropertyGraph& graph);
+
+}  // namespace tgraph::sg
+
+#endif  // TGRAPH_SG_ALGORITHMS_H_

@@ -1,0 +1,66 @@
+#include "sg/partition.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tgraph::sg {
+
+namespace {
+
+// Smallest integer whose square is >= n (grid side for 2D partitioning).
+int CeilSqrt(int n) {
+  int side = static_cast<int>(std::sqrt(static_cast<double>(n)));
+  while (side * side < n) ++side;
+  return side;
+}
+
+}  // namespace
+
+int GetEdgePartition(PartitionStrategy strategy, VertexId src, VertexId dst,
+                     int num_partitions) {
+  TG_CHECK_GT(num_partitions, 0);
+  uint64_t parts = static_cast<uint64_t>(num_partitions);
+  switch (strategy) {
+    case PartitionStrategy::kEdgePartition1D:
+      return static_cast<int>(Mix64(static_cast<uint64_t>(src)) % parts);
+    case PartitionStrategy::kEdgePartition2D: {
+      // Map (src, dst) onto a ceil(sqrt(P)) x ceil(sqrt(P)) grid, then fold
+      // the grid cell back into [0, P). GraphX uses the same construction.
+      uint64_t side = static_cast<uint64_t>(CeilSqrt(num_partitions));
+      uint64_t row = Mix64(static_cast<uint64_t>(src)) % side;
+      uint64_t col = Mix64(static_cast<uint64_t>(dst)) % side;
+      return static_cast<int>((row * side + col) % parts);
+    }
+    case PartitionStrategy::kCanonicalRandomVertexCut: {
+      VertexId lo = src < dst ? src : dst;
+      VertexId hi = src < dst ? dst : src;
+      uint64_t h = HashCombine(Mix64(static_cast<uint64_t>(lo)),
+                               Mix64(static_cast<uint64_t>(hi)));
+      return static_cast<int>(h % parts);
+    }
+    case PartitionStrategy::kRandomVertexCut: {
+      uint64_t h = HashCombine(Mix64(static_cast<uint64_t>(src)),
+                               Mix64(static_cast<uint64_t>(dst)));
+      return static_cast<int>(h % parts);
+    }
+  }
+  return 0;
+}
+
+int MaxVertexReplication(PartitionStrategy strategy, int num_partitions) {
+  switch (strategy) {
+    case PartitionStrategy::kEdgePartition1D:
+      // A vertex's out-edges live in one partition; in-edges anywhere.
+      return num_partitions;
+    case PartitionStrategy::kEdgePartition2D:
+      return 2 * CeilSqrt(num_partitions);
+    case PartitionStrategy::kCanonicalRandomVertexCut:
+    case PartitionStrategy::kRandomVertexCut:
+      return num_partitions;
+  }
+  return num_partitions;
+}
+
+}  // namespace tgraph::sg

@@ -1,0 +1,37 @@
+#ifndef TGRAPH_SG_PARTITION_H_
+#define TGRAPH_SG_PARTITION_H_
+
+#include <cstdint>
+
+#include "sg/types.h"
+
+namespace tgraph::sg {
+
+/// \brief Edge-partitioning strategies, mirroring GraphX's vertex-cut
+/// partitioners ("GraphX implements vertex-cut-based partitioning that
+/// reduces communication overhead", Section 4).
+enum class PartitionStrategy {
+  /// Assigns by source vertex only: co-locates a vertex's out-edges.
+  kEdgePartition1D,
+  /// 2D grid over (src, dst): bounds each vertex's replication by
+  /// 2*sqrt(numParts).
+  kEdgePartition2D,
+  /// Hash of the unordered endpoint pair: both directions of an edge pair
+  /// land together.
+  kCanonicalRandomVertexCut,
+  /// Hash of the ordered endpoint pair.
+  kRandomVertexCut,
+};
+
+/// \brief Returns the partition (in [0, num_partitions)) an edge with the
+/// given endpoints belongs to under `strategy`.
+int GetEdgePartition(PartitionStrategy strategy, VertexId src, VertexId dst,
+                     int num_partitions);
+
+/// \brief Upper bound on the number of partitions a single vertex's edges
+/// may span under `strategy` (its replication factor in a vertex-cut).
+int MaxVertexReplication(PartitionStrategy strategy, int num_partitions);
+
+}  // namespace tgraph::sg
+
+#endif  // TGRAPH_SG_PARTITION_H_

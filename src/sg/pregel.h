@@ -1,0 +1,115 @@
+#ifndef TGRAPH_SG_PREGEL_H_
+#define TGRAPH_SG_PREGEL_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "sg/types.h"
+
+namespace tgraph::sg {
+
+/// \brief A vertex state paired with its endpoints as seen by send
+/// functions: the edge plus both endpoint states.
+template <typename VState>
+struct PregelTriplet {
+  Edge edge;
+  VState src_state;
+  VState dst_state;
+};
+
+/// \brief Options for a Pregel run.
+struct PregelOptions {
+  /// Maximum supersteps; the run also stops when no messages are produced.
+  int max_iterations = 20;
+};
+
+/// \brief Bulk-synchronous Pregel over the dataflow engine — the GraphX
+/// Pregel substitute, and the paper's named future-work extension
+/// ("we will extend our system to support ... Pregel-style analytics").
+///
+/// Semantics follow GraphX: every vertex receives `initial_message` in
+/// superstep 0; in later supersteps only vertices that received a message
+/// run `vprog`; `send` runs over triplets where at least one endpoint
+/// changed in the previous superstep; messages to a vertex are combined
+/// with `merge` (which must be commutative and associative).
+///
+/// \tparam VState per-vertex mutable state.
+/// \tparam M message type.
+template <typename VState, typename M>
+dataflow::Dataset<std::pair<VertexId, VState>> RunPregel(
+    dataflow::Dataset<std::pair<VertexId, VState>> vertices,
+    dataflow::Dataset<Edge> edges, M initial_message,
+    std::function<VState(VertexId, const VState&, const M&)> vprog,
+    std::function<void(const PregelTriplet<VState>&,
+                       std::vector<std::pair<VertexId, M>>*)>
+        send,
+    std::function<M(const M&, const M&)> merge,
+    const PregelOptions& options = {}) {
+  using dataflow::Dataset;
+  using KV = std::pair<VertexId, VState>;
+  using Msg = std::pair<VertexId, M>;
+
+  // Superstep 0: every vertex processes the initial message.
+  Dataset<KV> state =
+      vertices
+          .Map([vprog, initial_message](const KV& kv) {
+            return KV(kv.first, vprog(kv.first, kv.second, initial_message));
+          })
+          .Cache();
+
+  auto edges_by_src =
+      edges.Map([](const Edge& e) { return std::pair<VertexId, Edge>(e.src, e); })
+          .Cache();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Build triplets against the current state and generate messages.
+    auto with_src = edges_by_src.template Join<VState>(state).Map(
+        [](const std::pair<VertexId, std::pair<Edge, VState>>& kv) {
+          return std::pair<VertexId, std::pair<Edge, VState>>(
+              kv.second.first.dst, kv.second);
+        });
+    auto triplets = with_src.template Join<VState>(state).Map(
+        [](const std::pair<VertexId,
+                           std::pair<std::pair<Edge, VState>, VState>>& kv) {
+          PregelTriplet<VState> t;
+          t.edge = kv.second.first.first;
+          t.src_state = kv.second.first.second;
+          t.dst_state = kv.second.second;
+          return t;
+        });
+    auto messages =
+        triplets
+            .template FlatMap<Msg>([send](const PregelTriplet<VState>& t,
+                                          std::vector<Msg>* out) { send(t, out); })
+            .ReduceByKey([merge](const M& a, const M& b) { return merge(a, b); })
+            .Cache();
+    if (messages.Count() == 0) break;
+
+    // Vertices with messages advance; others keep their state.
+    auto keyed_state = state;  // already (vid, state)
+    using Grouped =
+        std::pair<VertexId, std::pair<std::vector<VState>, std::vector<M>>>;
+    state = keyed_state.template CoGroup<M>(messages)
+                .template FlatMap<KV>([vprog](const Grouped& kv,
+                                              std::vector<KV>* out) {
+                  const auto& [states, msgs] = kv.second;
+                  // Messages addressed to nonexistent vertices are dropped
+                  // (GraphX semantics); they surface here as empty `states`.
+                  if (states.empty()) return;
+                  if (msgs.empty()) {
+                    out->emplace_back(kv.first, states[0]);
+                  } else {
+                    out->emplace_back(kv.first,
+                                      vprog(kv.first, states[0], msgs[0]));
+                  }
+                })
+                .Cache();
+  }
+  return state;
+}
+
+}  // namespace tgraph::sg
+
+#endif  // TGRAPH_SG_PREGEL_H_

@@ -1,0 +1,113 @@
+#include "sg/property_graph.h"
+
+namespace tgraph::sg {
+
+using dataflow::Dataset;
+
+PropertyGraph::PropertyGraph(Dataset<Vertex> vertices, Dataset<Edge> edges,
+                             PartitionStrategy strategy, int num_partitions)
+    : vertices_(std::move(vertices)), strategy_(strategy) {
+  int parts = num_partitions > 0
+                  ? num_partitions
+                  : vertices_.context()->default_parallelism();
+  // Vertex-cut placement: an edge's partition is a pure function of its
+  // endpoints, so all co-partitionable work (triplets, Pregel message
+  // exchange) sees a stable placement.
+  edges_ = edges.PartitionBy(
+      [strategy, parts](const Edge& e) {
+        return static_cast<int64_t>(
+            GetEdgePartition(strategy, e.src, e.dst, parts));
+      },
+      parts);
+}
+
+Dataset<Triplet> PropertyGraph::Triplets() const {
+  auto by_vid = vertices_.Map([](const Vertex& v) {
+    return std::pair<VertexId, Properties>(v.vid, v.properties);
+  });
+  auto keyed_by_src = edges_.Map([](const Edge& e) {
+    return std::pair<VertexId, Edge>(e.src, e);
+  });
+  // (src, (edge, src_props)) -> keyed by dst -> (dst, ((edge, src_props), dst_props))
+  auto with_src = keyed_by_src.Join<Properties>(by_vid).Map(
+      [](const std::pair<VertexId, std::pair<Edge, Properties>>& kv) {
+        return std::pair<VertexId, std::pair<Edge, Properties>>(
+            kv.second.first.dst, kv.second);
+      });
+  return with_src.Join<Properties>(by_vid).Map(
+      [](const std::pair<VertexId,
+                         std::pair<std::pair<Edge, Properties>, Properties>>&
+             kv) {
+        Triplet t;
+        t.edge = kv.second.first.first;
+        t.src_properties = kv.second.first.second;
+        t.dst_properties = kv.second.second;
+        return t;
+      });
+}
+
+PropertyGraph PropertyGraph::MapVertices(
+    const std::function<Properties(const Vertex&)>& fn) const {
+  PropertyGraph g = *this;
+  g.vertices_ = vertices_.Map([fn](const Vertex& v) {
+    return Vertex{v.vid, fn(v)};
+  });
+  return g;
+}
+
+PropertyGraph PropertyGraph::MapEdges(
+    const std::function<Properties(const Edge&)>& fn) const {
+  PropertyGraph g = *this;
+  g.edges_ = edges_.Map([fn](const Edge& e) {
+    return Edge{e.eid, e.src, e.dst, fn(e)};
+  });
+  return g;
+}
+
+PropertyGraph PropertyGraph::Subgraph(
+    const std::function<bool(const Vertex&)>& vpred,
+    const std::function<bool(const Edge&)>& epred) const {
+  auto surviving_vertices = vertices_.Filter(vpred);
+  auto vertex_keys = surviving_vertices.Map([](const Vertex& v) {
+    return std::pair<VertexId, bool>(v.vid, true);
+  });
+  // Two semijoins strip edges whose source or destination was filtered out.
+  auto surviving_edges =
+      edges_.Filter(epred)
+          .Map([](const Edge& e) { return std::pair<VertexId, Edge>(e.src, e); })
+          .SemiJoin<bool>(vertex_keys)
+          .Map([](const std::pair<VertexId, Edge>& kv) {
+            return std::pair<VertexId, Edge>(kv.second.dst, kv.second);
+          })
+          .SemiJoin<bool>(vertex_keys)
+          .Map([](const std::pair<VertexId, Edge>& kv) { return kv.second; });
+  PropertyGraph g;
+  g.vertices_ = surviving_vertices;
+  g.strategy_ = strategy_;
+  g.edges_ = surviving_edges;
+  return g;
+}
+
+Dataset<std::pair<VertexId, int64_t>> PropertyGraph::OutDegrees() const {
+  return edges_
+      .Map([](const Edge& e) { return std::pair<VertexId, int64_t>(e.src, 1); })
+      .ReduceByKey([](const int64_t& a, const int64_t& b) { return a + b; });
+}
+
+Dataset<std::pair<VertexId, int64_t>> PropertyGraph::InDegrees() const {
+  return edges_
+      .Map([](const Edge& e) { return std::pair<VertexId, int64_t>(e.dst, 1); })
+      .ReduceByKey([](const int64_t& a, const int64_t& b) { return a + b; });
+}
+
+Dataset<std::pair<VertexId, int64_t>> PropertyGraph::Degrees() const {
+  return edges_
+      .FlatMap<std::pair<VertexId, int64_t>>(
+          [](const Edge& e, std::vector<std::pair<VertexId, int64_t>>* out) {
+            out->emplace_back(e.src, 1);
+            out->emplace_back(e.dst, 1);
+          })
+      .ReduceByKey([](const int64_t& a, const int64_t& b) { return a + b; });
+}
+
+}  // namespace tgraph::sg

@@ -1,0 +1,72 @@
+#ifndef TGRAPH_SG_PROPERTY_GRAPH_H_
+#define TGRAPH_SG_PROPERTY_GRAPH_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "sg/partition.h"
+#include "sg/types.h"
+
+namespace tgraph::sg {
+
+/// \brief A static directed property multi-graph over the dataflow engine —
+/// the GraphX substitute.
+///
+/// Vertices and edges live in Datasets; edges are placed with a vertex-cut
+/// partition strategy, and Triplets() materializes the GraphX-style triplet
+/// view by joining edge endpoints with vertex properties.
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  /// Builds a graph; edges are shuffled according to `strategy`.
+  PropertyGraph(dataflow::Dataset<Vertex> vertices,
+                dataflow::Dataset<Edge> edges,
+                PartitionStrategy strategy =
+                    PartitionStrategy::kCanonicalRandomVertexCut,
+                int num_partitions = 0);
+
+  const dataflow::Dataset<Vertex>& vertices() const { return vertices_; }
+  const dataflow::Dataset<Edge>& edges() const { return edges_; }
+  PartitionStrategy partition_strategy() const { return strategy_; }
+
+  int64_t NumVertices() const { return vertices_.Count(); }
+  int64_t NumEdges() const { return edges_.Count(); }
+
+  /// The triplet view: each edge paired with the properties of its source
+  /// and destination vertex (two hash joins, mirroring GraphX's multicast
+  /// join into the edge partitions).
+  dataflow::Dataset<Triplet> Triplets() const;
+
+  /// Rewrites vertex properties in place (topology unchanged).
+  PropertyGraph MapVertices(
+      const std::function<Properties(const Vertex&)>& fn) const;
+
+  /// Rewrites edge properties in place (topology unchanged).
+  PropertyGraph MapEdges(
+      const std::function<Properties(const Edge&)>& fn) const;
+
+  /// Restricts to vertices passing `vpred` and edges passing `epred` whose
+  /// endpoints both survive (no dangling edges in the result).
+  PropertyGraph Subgraph(
+      const std::function<bool(const Vertex&)>& vpred,
+      const std::function<bool(const Edge&)>& epred) const;
+
+  /// (vid, out-degree) for every vertex with at least one out-edge.
+  dataflow::Dataset<std::pair<VertexId, int64_t>> OutDegrees() const;
+  /// (vid, in-degree) for every vertex with at least one in-edge.
+  dataflow::Dataset<std::pair<VertexId, int64_t>> InDegrees() const;
+  /// (vid, degree) counting both directions.
+  dataflow::Dataset<std::pair<VertexId, int64_t>> Degrees() const;
+
+ private:
+  dataflow::Dataset<Vertex> vertices_;
+  dataflow::Dataset<Edge> edges_;
+  PartitionStrategy strategy_ = PartitionStrategy::kCanonicalRandomVertexCut;
+};
+
+}  // namespace tgraph::sg
+
+#endif  // TGRAPH_SG_PROPERTY_GRAPH_H_

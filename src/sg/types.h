@@ -1,0 +1,62 @@
+#ifndef TGRAPH_SG_TYPES_H_
+#define TGRAPH_SG_TYPES_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/properties.h"
+
+namespace tgraph::sg {
+
+/// 64-bit identifiers, matching the paper's choice ("we use the long
+/// datatype to represent node and edge identifiers to maintain
+/// interoperability with GraphX", Section 4).
+using VertexId = int64_t;
+using EdgeId = int64_t;
+
+/// \brief A vertex of a static (non-temporal) property graph.
+struct Vertex {
+  VertexId vid = 0;
+  Properties properties;
+
+  friend bool operator==(const Vertex& a, const Vertex& b) {
+    return a.vid == b.vid && a.properties == b.properties;
+  }
+  uint64_t Hash() const {
+    return HashCombine(Mix64(static_cast<uint64_t>(vid)), properties.Hash());
+  }
+};
+
+/// \brief A directed edge of a static property graph. Multi-graph: `eid`
+/// gives edges identity independent of their endpoints.
+struct Edge {
+  EdgeId eid = 0;
+  VertexId src = 0;
+  VertexId dst = 0;
+  Properties properties;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.eid == b.eid && a.src == b.src && a.dst == b.dst &&
+           a.properties == b.properties;
+  }
+  uint64_t Hash() const {
+    uint64_t h = Mix64(static_cast<uint64_t>(eid));
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(src)));
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(dst)));
+    return HashCombine(h, properties.Hash());
+  }
+};
+
+/// \brief An edge together with the properties of both endpoints — GraphX's
+/// triplet view ("fast access to each edge and its corresponding source and
+/// destination vertex properties", Section 4).
+struct Triplet {
+  Edge edge;
+  Properties src_properties;
+  Properties dst_properties;
+};
+
+}  // namespace tgraph::sg
+
+#endif  // TGRAPH_SG_TYPES_H_

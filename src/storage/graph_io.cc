@@ -1,0 +1,623 @@
+#include "storage/graph_io.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "storage/predicate.h"
+#include "storage/serde.h"
+#include "storage/table.h"
+#include "tgraph/coalesce.h"
+#include "tgraph/convert.h"
+
+namespace tgraph::storage {
+
+using dataflow::Dataset;
+
+const char* SortOrderName(SortOrder order) {
+  return order == SortOrder::kTemporalLocality ? "temporal" : "structural";
+}
+
+namespace {
+
+constexpr char kLifetimeStartKey[] = "lifetime_start";
+constexpr char kLifetimeEndKey[] = "lifetime_end";
+constexpr char kSortOrderKey[] = "sort_order";
+
+std::vector<std::pair<std::string, std::string>> FileMetadata(
+    Interval lifetime, SortOrder order) {
+  return {{kLifetimeStartKey, std::to_string(lifetime.start)},
+          {kLifetimeEndKey, std::to_string(lifetime.end)},
+          {kSortOrderKey, SortOrderName(order)}};
+}
+
+Result<Interval> LifetimeFromMetadata(const TableReader& reader) {
+  TimePoint start = 0, end = 0;
+  bool have_start = false, have_end = false;
+  for (const auto& [key, value] : reader.metadata()) {
+    if (key == kLifetimeStartKey) {
+      start = std::stoll(value);
+      have_start = true;
+    } else if (key == kLifetimeEndKey) {
+      end = std::stoll(value);
+      have_end = true;
+    }
+  }
+  if (!have_start || !have_end) {
+    return Status::IoError("file lacks lifetime metadata");
+  }
+  return Interval(start, end);
+}
+
+Status EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory " + dir);
+  return Status::OK();
+}
+
+// --- VE flat format --------------------------------------------------------
+
+Schema VeVertexSchema() {
+  return Schema{{{"vid", ColumnType::kInt64},
+                 {"start", ColumnType::kInt64},
+                 {"end", ColumnType::kInt64},
+                 {"props", ColumnType::kBinary}}};
+}
+
+Schema VeEdgeSchema() {
+  return Schema{{{"eid", ColumnType::kInt64},
+                 {"src", ColumnType::kInt64},
+                 {"dst", ColumnType::kInt64},
+                 {"start", ColumnType::kInt64},
+                 {"end", ColumnType::kInt64},
+                 {"props", ColumnType::kBinary}}};
+}
+
+}  // namespace
+
+Status WriteVeGraph(const VeGraph& graph, const std::string& dir,
+                    const GraphWriteOptions& options) {
+  TG_RETURN_IF_ERROR(EnsureDir(dir));
+  std::vector<VeVertex> vertices = graph.vertices().Collect();
+  std::vector<VeEdge> edges = graph.edges().Collect();
+  // Sort order decides the locality the file preserves (Section 4).
+  if (options.sort_order == SortOrder::kTemporalLocality) {
+    std::sort(vertices.begin(), vertices.end(),
+              [](const VeVertex& a, const VeVertex& b) {
+                return std::tie(a.vid, a.interval.start) <
+                       std::tie(b.vid, b.interval.start);
+              });
+    std::sort(edges.begin(), edges.end(), [](const VeEdge& a, const VeEdge& b) {
+      return std::tie(a.eid, a.interval.start) <
+             std::tie(b.eid, b.interval.start);
+    });
+  } else {
+    std::sort(vertices.begin(), vertices.end(),
+              [](const VeVertex& a, const VeVertex& b) {
+                return std::tie(a.interval.start, a.vid) <
+                       std::tie(b.interval.start, b.vid);
+              });
+    std::sort(edges.begin(), edges.end(), [](const VeEdge& a, const VeEdge& b) {
+      return std::tie(a.interval.start, a.eid) <
+             std::tie(b.interval.start, b.eid);
+    });
+  }
+
+  WriterOptions writer_options;
+  writer_options.row_group_size = options.row_group_size;
+  writer_options.metadata = FileMetadata(graph.lifetime(), options.sort_order);
+
+  {
+    TG_ASSIGN_OR_RETURN(
+        std::unique_ptr<TableWriter> writer,
+        TableWriter::Open(dir + "/vertices.tcol", VeVertexSchema(),
+                          writer_options));
+    RecordBatch batch;
+    batch.schema = VeVertexSchema();
+    batch.columns.resize(4);
+    for (const VeVertex& v : vertices) {
+      batch.columns[0].ints.push_back(v.vid);
+      batch.columns[1].ints.push_back(v.interval.start);
+      batch.columns[2].ints.push_back(v.interval.end);
+      std::string blob;
+      SerializeProperties(v.properties, &blob);
+      batch.columns[3].binaries.push_back(std::move(blob));
+    }
+    batch.num_rows = static_cast<int64_t>(vertices.size());
+    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Close());
+  }
+  {
+    TG_ASSIGN_OR_RETURN(
+        std::unique_ptr<TableWriter> writer,
+        TableWriter::Open(dir + "/edges.tcol", VeEdgeSchema(), writer_options));
+    RecordBatch batch;
+    batch.schema = VeEdgeSchema();
+    batch.columns.resize(6);
+    for (const VeEdge& e : edges) {
+      batch.columns[0].ints.push_back(e.eid);
+      batch.columns[1].ints.push_back(e.src);
+      batch.columns[2].ints.push_back(e.dst);
+      batch.columns[3].ints.push_back(e.interval.start);
+      batch.columns[4].ints.push_back(e.interval.end);
+      std::string blob;
+      SerializeProperties(e.properties, &blob);
+      batch.columns[5].binaries.push_back(std::move(blob));
+    }
+    batch.num_rows = static_cast<int64_t>(edges.size());
+    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Close());
+  }
+  return Status::OK();
+}
+
+Result<VeGraph> LoadVeGraph(dataflow::ExecutionContext* ctx,
+                            const std::string& dir, const LoadOptions& options,
+                            LoadMetrics* metrics) {
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> vertex_reader,
+                      TableReader::Open(dir + "/vertices.tcol"));
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> edge_reader,
+                      TableReader::Open(dir + "/edges.tcol"));
+  TG_ASSIGN_OR_RETURN(Interval lifetime, LifetimeFromMetadata(*vertex_reader));
+
+  Predicate predicate;
+  const Predicate* predicate_ptr = nullptr;
+  Interval clip = lifetime;
+  if (options.time_range.has_value()) {
+    clip = options.time_range->Intersect(lifetime);
+    predicate = Predicate::IntervalOverlaps("start", "end", clip);
+    predicate_ptr = &predicate;
+  }
+
+  size_t scanned = 0;
+  TG_ASSIGN_OR_RETURN(RecordBatch vbatch,
+                      vertex_reader->Read(predicate_ptr, &scanned));
+  if (metrics != nullptr) {
+    metrics->vertex_groups_total = vertex_reader->num_row_groups();
+    metrics->vertex_groups_scanned = scanned;
+  }
+  std::vector<VeVertex> vertices;
+  vertices.reserve(static_cast<size_t>(vbatch.num_rows));
+  for (int64_t row = 0; row < vbatch.num_rows; ++row) {
+    size_t pos = 0;
+    TG_ASSIGN_OR_RETURN(
+        Properties props,
+        DeserializeProperties(vbatch.columns[3].binaries[row], &pos));
+    Interval interval(vbatch.columns[1].ints[row], vbatch.columns[2].ints[row]);
+    interval = interval.Intersect(clip);
+    if (interval.empty()) continue;
+    vertices.push_back(
+        VeVertex{vbatch.columns[0].ints[row], interval, std::move(props)});
+  }
+
+  TG_ASSIGN_OR_RETURN(RecordBatch ebatch,
+                      edge_reader->Read(predicate_ptr, &scanned));
+  if (metrics != nullptr) {
+    metrics->edge_groups_total = edge_reader->num_row_groups();
+    metrics->edge_groups_scanned = scanned;
+  }
+  std::vector<VeEdge> edges;
+  edges.reserve(static_cast<size_t>(ebatch.num_rows));
+  for (int64_t row = 0; row < ebatch.num_rows; ++row) {
+    size_t pos = 0;
+    TG_ASSIGN_OR_RETURN(
+        Properties props,
+        DeserializeProperties(ebatch.columns[5].binaries[row], &pos));
+    Interval interval(ebatch.columns[3].ints[row], ebatch.columns[4].ints[row]);
+    interval = interval.Intersect(clip);
+    if (interval.empty()) continue;
+    edges.push_back(VeEdge{ebatch.columns[0].ints[row],
+                           ebatch.columns[1].ints[row],
+                           ebatch.columns[2].ints[row], interval,
+                           std::move(props)});
+  }
+  return VeGraph::Create(ctx, std::move(vertices), std::move(edges), clip);
+}
+
+Result<RgGraph> LoadRgGraph(dataflow::ExecutionContext* ctx,
+                            const std::string& dir, const LoadOptions& options,
+                            LoadMetrics* metrics) {
+  TG_ASSIGN_OR_RETURN(VeGraph ve, LoadVeGraph(ctx, dir, options, metrics));
+  return VeToRg(ve);
+}
+
+// --- Nested OG format ------------------------------------------------------
+
+namespace {
+
+Schema OgVertexSchema() {
+  return Schema{{{"vid", ColumnType::kInt64},
+                 {"first", ColumnType::kInt64},
+                 {"last", ColumnType::kInt64},
+                 {"history", ColumnType::kBinary}}};
+}
+
+Schema OgEdgeSchema() {
+  return Schema{{{"eid", ColumnType::kInt64},
+                 {"first", ColumnType::kInt64},
+                 {"last", ColumnType::kInt64},
+                 {"v1", ColumnType::kBinary},
+                 {"v2", ColumnType::kBinary},
+                 {"history", ColumnType::kBinary}}};
+}
+
+void SerializeOgVertex(const OgVertex& v, std::string* out) {
+  PutFixed64(out, static_cast<uint64_t>(v.vid));
+  SerializeHistory(v.history, out);
+}
+
+Result<OgVertex> DeserializeOgVertex(std::string_view data, size_t* pos) {
+  TG_ASSIGN_OR_RETURN(uint64_t vid, GetFixed64(data, pos));
+  TG_ASSIGN_OR_RETURN(History history, DeserializeHistory(data, pos));
+  return OgVertex{static_cast<VertexId>(vid), std::move(history)};
+}
+
+}  // namespace
+
+Status WriteOgGraph(const OgGraph& graph, const std::string& dir,
+                    const GraphWriteOptions& options) {
+  TG_RETURN_IF_ERROR(EnsureDir(dir));
+  std::vector<OgVertex> vertices = graph.vertices().Collect();
+  std::vector<OgEdge> edges = graph.edges().Collect();
+  // The nested format sorts on (first, id) or (id, first) like the flat
+  // one; pushdown works on the first/last columns (Section 4).
+  auto first_of = [](const History& h) {
+    return h.empty() ? int64_t{0} : h.front().interval.start;
+  };
+  if (options.sort_order == SortOrder::kTemporalLocality) {
+    std::sort(vertices.begin(), vertices.end(),
+              [&](const OgVertex& a, const OgVertex& b) { return a.vid < b.vid; });
+    std::sort(edges.begin(), edges.end(),
+              [&](const OgEdge& a, const OgEdge& b) { return a.eid < b.eid; });
+  } else {
+    std::sort(vertices.begin(), vertices.end(),
+              [&](const OgVertex& a, const OgVertex& b) {
+                return std::pair(first_of(a.history), a.vid) <
+                       std::pair(first_of(b.history), b.vid);
+              });
+    std::sort(edges.begin(), edges.end(),
+              [&](const OgEdge& a, const OgEdge& b) {
+                return std::pair(first_of(a.history), a.eid) <
+                       std::pair(first_of(b.history), b.eid);
+              });
+  }
+
+  WriterOptions writer_options;
+  writer_options.row_group_size = options.row_group_size;
+  writer_options.metadata = FileMetadata(graph.lifetime(), options.sort_order);
+
+  {
+    TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
+                        TableWriter::Open(dir + "/og_vertices.tcol",
+                                          OgVertexSchema(), writer_options));
+    RecordBatch batch;
+    batch.schema = OgVertexSchema();
+    batch.columns.resize(4);
+    for (const OgVertex& v : vertices) {
+      Interval span = HistorySpan(v.history);
+      batch.columns[0].ints.push_back(v.vid);
+      batch.columns[1].ints.push_back(span.start);
+      batch.columns[2].ints.push_back(span.end);
+      std::string blob;
+      SerializeHistory(v.history, &blob);
+      batch.columns[3].binaries.push_back(std::move(blob));
+    }
+    batch.num_rows = static_cast<int64_t>(vertices.size());
+    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Close());
+  }
+  {
+    TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
+                        TableWriter::Open(dir + "/og_edges.tcol",
+                                          OgEdgeSchema(), writer_options));
+    RecordBatch batch;
+    batch.schema = OgEdgeSchema();
+    batch.columns.resize(6);
+    for (const OgEdge& e : edges) {
+      Interval span = HistorySpan(e.history);
+      batch.columns[0].ints.push_back(e.eid);
+      batch.columns[1].ints.push_back(span.start);
+      batch.columns[2].ints.push_back(span.end);
+      std::string v1_blob, v2_blob, history_blob;
+      SerializeOgVertex(e.v1, &v1_blob);
+      SerializeOgVertex(e.v2, &v2_blob);
+      SerializeHistory(e.history, &history_blob);
+      batch.columns[3].binaries.push_back(std::move(v1_blob));
+      batch.columns[4].binaries.push_back(std::move(v2_blob));
+      batch.columns[5].binaries.push_back(std::move(history_blob));
+    }
+    batch.num_rows = static_cast<int64_t>(edges.size());
+    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Close());
+  }
+  return Status::OK();
+}
+
+Result<OgGraph> LoadOgGraph(dataflow::ExecutionContext* ctx,
+                            const std::string& dir, const LoadOptions& options,
+                            LoadMetrics* metrics) {
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> vertex_reader,
+                      TableReader::Open(dir + "/og_vertices.tcol"));
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> edge_reader,
+                      TableReader::Open(dir + "/og_edges.tcol"));
+  TG_ASSIGN_OR_RETURN(Interval lifetime, LifetimeFromMetadata(*vertex_reader));
+
+  Predicate predicate;
+  const Predicate* predicate_ptr = nullptr;
+  Interval clip = lifetime;
+  if (options.time_range.has_value()) {
+    clip = options.time_range->Intersect(lifetime);
+    // Pushdown on the flattened first/last columns (the nested history
+    // column cannot be filtered, Section 4).
+    predicate = Predicate::IntervalOverlaps("first", "last", clip);
+    predicate_ptr = &predicate;
+  }
+
+  size_t scanned = 0;
+  TG_ASSIGN_OR_RETURN(RecordBatch vbatch,
+                      vertex_reader->Read(predicate_ptr, &scanned));
+  if (metrics != nullptr) {
+    metrics->vertex_groups_total = vertex_reader->num_row_groups();
+    metrics->vertex_groups_scanned = scanned;
+  }
+  std::vector<OgVertex> vertices;
+  vertices.reserve(static_cast<size_t>(vbatch.num_rows));
+  for (int64_t row = 0; row < vbatch.num_rows; ++row) {
+    size_t pos = 0;
+    TG_ASSIGN_OR_RETURN(History history,
+                        DeserializeHistory(vbatch.columns[3].binaries[row], &pos));
+    history = ClipHistory(history, clip);
+    if (history.empty()) continue;
+    vertices.push_back(OgVertex{vbatch.columns[0].ints[row], std::move(history)});
+  }
+
+  TG_ASSIGN_OR_RETURN(RecordBatch ebatch,
+                      edge_reader->Read(predicate_ptr, &scanned));
+  if (metrics != nullptr) {
+    metrics->edge_groups_total = edge_reader->num_row_groups();
+    metrics->edge_groups_scanned = scanned;
+  }
+  std::vector<OgEdge> edges;
+  edges.reserve(static_cast<size_t>(ebatch.num_rows));
+  for (int64_t row = 0; row < ebatch.num_rows; ++row) {
+    size_t pos = 0;
+    TG_ASSIGN_OR_RETURN(OgVertex v1,
+                        DeserializeOgVertex(ebatch.columns[3].binaries[row], &pos));
+    pos = 0;
+    TG_ASSIGN_OR_RETURN(OgVertex v2,
+                        DeserializeOgVertex(ebatch.columns[4].binaries[row], &pos));
+    pos = 0;
+    TG_ASSIGN_OR_RETURN(History history,
+                        DeserializeHistory(ebatch.columns[5].binaries[row], &pos));
+    history = ClipHistory(history, clip);
+    if (history.empty()) continue;
+    v1.history = ClipHistory(v1.history, clip);
+    v2.history = ClipHistory(v2.history, clip);
+    edges.push_back(OgEdge{ebatch.columns[0].ints[row], std::move(v1),
+                           std::move(v2), std::move(history)});
+  }
+  return OgGraph(Dataset<OgVertex>::FromVector(ctx, std::move(vertices)),
+                 Dataset<OgEdge>::FromVector(ctx, std::move(edges)), clip);
+}
+
+// --- Nested OGC format -----------------------------------------------------
+
+namespace {
+
+Schema OgcIndexSchema() {
+  return Schema{{{"start", ColumnType::kInt64}, {"end", ColumnType::kInt64}}};
+}
+
+Schema OgcVertexSchema() {
+  return Schema{{{"vid", ColumnType::kInt64},
+                 {"first", ColumnType::kInt64},
+                 {"last", ColumnType::kInt64},
+                 {"type", ColumnType::kBinary},
+                 {"bits", ColumnType::kBinary}}};
+}
+
+Schema OgcEdgeSchema() {
+  return Schema{{{"eid", ColumnType::kInt64},
+                 {"first", ColumnType::kInt64},
+                 {"last", ColumnType::kInt64},
+                 {"type", ColumnType::kBinary},
+                 {"v1", ColumnType::kBinary},
+                 {"v2", ColumnType::kBinary},
+                 {"bits", ColumnType::kBinary}}};
+}
+
+Interval PresenceSpan(const Bitset& presence,
+                      const std::vector<Interval>& index) {
+  Interval span;
+  for (size_t i = 0; i < index.size(); ++i) {
+    if (presence.Test(i)) span = span.Merge(index[i]);
+  }
+  return span;
+}
+
+void SerializeOgcVertex(const OgcVertex& v, std::string* out) {
+  PutFixed64(out, static_cast<uint64_t>(v.vid));
+  PutBytes(out, v.type);
+  SerializeBitset(v.presence, out);
+}
+
+Result<OgcVertex> DeserializeOgcVertex(std::string_view data, size_t* pos) {
+  TG_ASSIGN_OR_RETURN(uint64_t vid, GetFixed64(data, pos));
+  TG_ASSIGN_OR_RETURN(std::string_view type, GetBytes(data, pos));
+  TG_ASSIGN_OR_RETURN(Bitset bits, DeserializeBitset(data, pos));
+  return OgcVertex{static_cast<VertexId>(vid), std::string(type),
+                   std::move(bits)};
+}
+
+}  // namespace
+
+Status WriteOgcGraph(const OgcGraph& graph, const std::string& dir,
+                     const GraphWriteOptions& options) {
+  TG_RETURN_IF_ERROR(EnsureDir(dir));
+  WriterOptions writer_options;
+  writer_options.row_group_size = options.row_group_size;
+  writer_options.metadata = FileMetadata(graph.lifetime(), options.sort_order);
+
+  {
+    TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
+                        TableWriter::Open(dir + "/ogc_index.tcol",
+                                          OgcIndexSchema(), writer_options));
+    RecordBatch batch;
+    batch.schema = OgcIndexSchema();
+    batch.columns.resize(2);
+    for (const Interval& i : graph.intervals()) {
+      batch.columns[0].ints.push_back(i.start);
+      batch.columns[1].ints.push_back(i.end);
+    }
+    batch.num_rows = static_cast<int64_t>(graph.intervals().size());
+    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Close());
+  }
+
+  const std::vector<Interval>& index = graph.intervals();
+  {
+    TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
+                        TableWriter::Open(dir + "/ogc_vertices.tcol",
+                                          OgcVertexSchema(), writer_options));
+    RecordBatch batch;
+    batch.schema = OgcVertexSchema();
+    batch.columns.resize(5);
+    for (const OgcVertex& v : graph.vertices().Collect()) {
+      Interval span = PresenceSpan(v.presence, index);
+      batch.columns[0].ints.push_back(v.vid);
+      batch.columns[1].ints.push_back(span.start);
+      batch.columns[2].ints.push_back(span.end);
+      batch.columns[3].binaries.push_back(v.type);
+      std::string bits;
+      SerializeBitset(v.presence, &bits);
+      batch.columns[4].binaries.push_back(std::move(bits));
+      ++batch.num_rows;
+    }
+    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Close());
+  }
+  {
+    TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
+                        TableWriter::Open(dir + "/ogc_edges.tcol",
+                                          OgcEdgeSchema(), writer_options));
+    RecordBatch batch;
+    batch.schema = OgcEdgeSchema();
+    batch.columns.resize(7);
+    for (const OgcEdge& e : graph.edges().Collect()) {
+      Interval span = PresenceSpan(e.presence, index);
+      batch.columns[0].ints.push_back(e.eid);
+      batch.columns[1].ints.push_back(span.start);
+      batch.columns[2].ints.push_back(span.end);
+      batch.columns[3].binaries.push_back(e.type);
+      std::string v1_blob, v2_blob, bits;
+      SerializeOgcVertex(e.v1, &v1_blob);
+      SerializeOgcVertex(e.v2, &v2_blob);
+      SerializeBitset(e.presence, &bits);
+      batch.columns[4].binaries.push_back(std::move(v1_blob));
+      batch.columns[5].binaries.push_back(std::move(v2_blob));
+      batch.columns[6].binaries.push_back(std::move(bits));
+      ++batch.num_rows;
+    }
+    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Close());
+  }
+  return Status::OK();
+}
+
+Result<OgcGraph> LoadOgcGraph(dataflow::ExecutionContext* ctx,
+                              const std::string& dir,
+                              const LoadOptions& options,
+                              LoadMetrics* metrics) {
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> index_reader,
+                      TableReader::Open(dir + "/ogc_index.tcol"));
+  TG_ASSIGN_OR_RETURN(RecordBatch index_batch, index_reader->Read());
+  std::vector<Interval> full_index;
+  for (int64_t row = 0; row < index_batch.num_rows; ++row) {
+    full_index.push_back(Interval(index_batch.columns[0].ints[row],
+                                  index_batch.columns[1].ints[row]));
+  }
+  TG_ASSIGN_OR_RETURN(Interval lifetime, LifetimeFromMetadata(*index_reader));
+
+  Interval clip = lifetime;
+  Predicate predicate;
+  const Predicate* predicate_ptr = nullptr;
+  // Index entries kept after the range filter, with their original slots.
+  std::vector<size_t> kept;
+  std::vector<Interval> index;
+  for (size_t i = 0; i < full_index.size(); ++i) {
+    if (!options.time_range.has_value() ||
+        full_index[i].Overlaps(*options.time_range)) {
+      kept.push_back(i);
+      index.push_back(options.time_range.has_value()
+                          ? full_index[i].Intersect(*options.time_range)
+                          : full_index[i]);
+    }
+  }
+  if (options.time_range.has_value()) {
+    clip = options.time_range->Intersect(lifetime);
+    predicate = Predicate::IntervalOverlaps("first", "last", clip);
+    predicate_ptr = &predicate;
+  }
+
+  auto slice_bits = [&kept](const Bitset& bits) {
+    Bitset sliced(kept.size());
+    for (size_t i = 0; i < kept.size(); ++i) {
+      if (kept[i] < bits.size() && bits.Test(kept[i])) sliced.Set(i);
+    }
+    return sliced;
+  };
+
+  size_t scanned = 0;
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> vertex_reader,
+                      TableReader::Open(dir + "/ogc_vertices.tcol"));
+  TG_ASSIGN_OR_RETURN(RecordBatch vbatch,
+                      vertex_reader->Read(predicate_ptr, &scanned));
+  if (metrics != nullptr) {
+    metrics->vertex_groups_total = vertex_reader->num_row_groups();
+    metrics->vertex_groups_scanned = scanned;
+  }
+  std::vector<OgcVertex> vertices;
+  for (int64_t row = 0; row < vbatch.num_rows; ++row) {
+    size_t pos = 0;
+    TG_ASSIGN_OR_RETURN(Bitset bits,
+                        DeserializeBitset(vbatch.columns[4].binaries[row], &pos));
+    Bitset sliced = slice_bits(bits);
+    if (sliced.None()) continue;
+    vertices.push_back(OgcVertex{vbatch.columns[0].ints[row],
+                                 vbatch.columns[3].binaries[row],
+                                 std::move(sliced)});
+  }
+
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> edge_reader,
+                      TableReader::Open(dir + "/ogc_edges.tcol"));
+  TG_ASSIGN_OR_RETURN(RecordBatch ebatch,
+                      edge_reader->Read(predicate_ptr, &scanned));
+  if (metrics != nullptr) {
+    metrics->edge_groups_total = edge_reader->num_row_groups();
+    metrics->edge_groups_scanned = scanned;
+  }
+  std::vector<OgcEdge> edges;
+  for (int64_t row = 0; row < ebatch.num_rows; ++row) {
+    size_t pos = 0;
+    TG_ASSIGN_OR_RETURN(OgcVertex v1,
+                        DeserializeOgcVertex(ebatch.columns[4].binaries[row], &pos));
+    pos = 0;
+    TG_ASSIGN_OR_RETURN(OgcVertex v2,
+                        DeserializeOgcVertex(ebatch.columns[5].binaries[row], &pos));
+    pos = 0;
+    TG_ASSIGN_OR_RETURN(Bitset bits,
+                        DeserializeBitset(ebatch.columns[6].binaries[row], &pos));
+    Bitset sliced = slice_bits(bits);
+    if (sliced.None()) continue;
+    v1.presence = slice_bits(v1.presence);
+    v2.presence = slice_bits(v2.presence);
+    edges.push_back(OgcEdge{ebatch.columns[0].ints[row],
+                            ebatch.columns[3].binaries[row], std::move(v1),
+                            std::move(v2), std::move(sliced)});
+  }
+  return OgcGraph(std::move(index),
+                  Dataset<OgcVertex>::FromVector(ctx, std::move(vertices)),
+                  Dataset<OgcEdge>::FromVector(ctx, std::move(edges)), clip);
+}
+
+}  // namespace tgraph::storage

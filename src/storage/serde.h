@@ -1,0 +1,44 @@
+#ifndef TGRAPH_STORAGE_SERDE_H_
+#define TGRAPH_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bitset.h"
+#include "common/properties.h"
+#include "common/result.h"
+#include "tgraph/types.h"
+
+namespace tgraph::storage {
+
+/// Binary encoding helpers for the columnar format and for the opaque
+/// property/history payload columns (Parquet stores these nested; we store
+/// the same information as a length-prefixed binary blob column).
+
+/// Appends a LEB128 varint.
+void PutVarint(std::string* out, uint64_t value);
+/// Reads a varint at *pos, advancing it. Fails on truncation.
+Result<uint64_t> GetVarint(std::string_view data, size_t* pos);
+
+void PutBytes(std::string* out, std::string_view bytes);
+Result<std::string_view> GetBytes(std::string_view data, size_t* pos);
+
+void PutFixed64(std::string* out, uint64_t value);
+Result<uint64_t> GetFixed64(std::string_view data, size_t* pos);
+
+/// Property set <-> bytes.
+void SerializeProperties(const Properties& props, std::string* out);
+Result<Properties> DeserializeProperties(std::string_view data, size_t* pos);
+
+/// History array <-> bytes.
+void SerializeHistory(const History& history, std::string* out);
+Result<History> DeserializeHistory(std::string_view data, size_t* pos);
+
+/// Bitset <-> bytes.
+void SerializeBitset(const Bitset& bitset, std::string* out);
+Result<Bitset> DeserializeBitset(std::string_view data, size_t* pos);
+
+}  // namespace tgraph::storage
+
+#endif  // TGRAPH_STORAGE_SERDE_H_

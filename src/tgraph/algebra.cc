@@ -1,0 +1,238 @@
+#include "tgraph/algebra.h"
+
+namespace tgraph {
+
+using dataflow::Dataset;
+
+namespace {
+
+// Presence relation of a vertex relation: (vid, coalesced intervals as a
+// property-less history). The mask side of clip/subtract operations.
+Dataset<std::pair<VertexId, History>> VertexPresence(
+    const Dataset<VeVertex>& vertices) {
+  return vertices
+      .Map([](const VeVertex& v) {
+        return std::pair<VertexId, HistoryItem>(
+            v.vid, HistoryItem{v.interval, Properties()});
+      })
+      .AggregateByKey<History>(
+          {},
+          [](History* acc, const HistoryItem& item) { acc->push_back(item); },
+          [](History* acc, History&& other) {
+            acc->insert(acc->end(), std::make_move_iterator(other.begin()),
+                        std::make_move_iterator(other.end()));
+          })
+      .Map([](const std::pair<VertexId, History>& kv) {
+        return std::pair<VertexId, History>(kv.first,
+                                            CoalesceHistory(kv.second));
+      });
+}
+
+// Clips every edge state to the presence of both endpoints (two temporal
+// joins). Used wherever vertex removal could orphan edge periods.
+Dataset<VeEdge> ClipEdgesToEndpoints(
+    const Dataset<VeEdge>& edges,
+    const Dataset<std::pair<VertexId, History>>& presence) {
+  auto by_src = edges.Map(
+      [](const VeEdge& e) { return std::pair<VertexId, VeEdge>(e.src, e); });
+  auto clipped_src =
+      by_src.Join<History>(presence)
+          .FlatMap<std::pair<VertexId, VeEdge>>(
+              [](const std::pair<VertexId, std::pair<VeEdge, History>>& kv,
+                 std::vector<std::pair<VertexId, VeEdge>>* out) {
+                const VeEdge& e = kv.second.first;
+                History piece = IntersectHistoryPresence(
+                    {HistoryItem{e.interval, e.properties}}, kv.second.second);
+                for (HistoryItem& item : piece) {
+                  out->emplace_back(
+                      e.dst, VeEdge{e.eid, e.src, e.dst, item.interval,
+                                    std::move(item.properties)});
+                }
+              });
+  return clipped_src.Join<History>(presence)
+      .FlatMap<VeEdge>(
+          [](const std::pair<VertexId, std::pair<VeEdge, History>>& kv,
+             std::vector<VeEdge>* out) {
+            const VeEdge& e = kv.second.first;
+            History piece = IntersectHistoryPresence(
+                {HistoryItem{e.interval, e.properties}}, kv.second.second);
+            for (HistoryItem& item : piece) {
+              out->push_back(VeEdge{e.eid, e.src, e.dst, item.interval,
+                                    std::move(item.properties)});
+            }
+          });
+}
+
+// One entity's states from the two inputs of a binary operator.
+struct SidedHistories {
+  History from_a;
+  History from_b;
+  VertexId src = 0;  // edge endpoints (edges only)
+  VertexId dst = 0;
+};
+
+struct SidedItem {
+  bool from_b = false;
+  HistoryItem item;
+  VertexId src = 0;
+  VertexId dst = 0;
+};
+
+void FoldSided(SidedHistories* acc, const SidedItem& s) {
+  (s.from_b ? acc->from_b : acc->from_a).push_back(s.item);
+  acc->src = s.src;
+  acc->dst = s.dst;
+}
+
+void CombineSided(SidedHistories* acc, SidedHistories&& other) {
+  acc->from_a.insert(acc->from_a.end(),
+                     std::make_move_iterator(other.from_a.begin()),
+                     std::make_move_iterator(other.from_a.end()));
+  acc->from_b.insert(acc->from_b.end(),
+                     std::make_move_iterator(other.from_b.begin()),
+                     std::make_move_iterator(other.from_b.end()));
+  if (acc->src == 0 && acc->dst == 0) {
+    acc->src = other.src;
+    acc->dst = other.dst;
+  }
+}
+
+// Pairs up per-entity histories of the two vertex relations.
+Dataset<std::pair<VertexId, SidedHistories>> SidedVertices(const VeGraph& a,
+                                                           const VeGraph& b) {
+  auto tag = [](const Dataset<VeVertex>& vertices, bool from_b) {
+    return vertices.Map([from_b](const VeVertex& v) {
+      return std::pair<VertexId, SidedItem>(
+          v.vid, SidedItem{from_b, HistoryItem{v.interval, v.properties}, 0, 0});
+    });
+  };
+  return tag(a.vertices(), false)
+      .Union(tag(b.vertices(), true))
+      .AggregateByKey<SidedHistories>(SidedHistories{}, FoldSided, CombineSided);
+}
+
+Dataset<std::pair<EdgeId, SidedHistories>> SidedEdges(const VeGraph& a,
+                                                      const VeGraph& b) {
+  auto tag = [](const Dataset<VeEdge>& edges, bool from_b) {
+    return edges.Map([from_b](const VeEdge& e) {
+      return std::pair<EdgeId, SidedItem>(
+          e.eid, SidedItem{from_b, HistoryItem{e.interval, e.properties},
+                           e.src, e.dst});
+    });
+  };
+  return tag(a.edges(), false)
+      .Union(tag(b.edges(), true))
+      .AggregateByKey<SidedHistories>(SidedHistories{}, FoldSided, CombineSided);
+}
+
+}  // namespace
+
+VeGraph SubgraphVe(const VeGraph& graph,
+                   const VertexPredicate& vertex_predicate,
+                   const EdgePredicate& edge_predicate) {
+  auto vertices = graph.vertices().Filter([vertex_predicate](const VeVertex& v) {
+    return vertex_predicate(v.vid, v.properties);
+  });
+  auto selected_edges =
+      graph.edges().Filter([edge_predicate](const VeEdge& e) {
+        return edge_predicate(e.eid, e.src, e.dst, e.properties);
+      });
+  auto edges = ClipEdgesToEndpoints(selected_edges, VertexPresence(vertices));
+  return VeGraph(vertices, edges, graph.lifetime()).Coalesce();
+}
+
+VeGraph MapVe(
+    const VeGraph& graph,
+    const std::function<Properties(VertexId, const Properties&)>& vertex_map,
+    const std::function<Properties(EdgeId, const Properties&)>& edge_map) {
+  auto vertices = graph.vertices().Map([vertex_map](const VeVertex& v) {
+    return VeVertex{v.vid, v.interval, vertex_map(v.vid, v.properties)};
+  });
+  auto edges = graph.edges().Map([edge_map](const VeEdge& e) {
+    return VeEdge{e.eid, e.src, e.dst, e.interval,
+                  edge_map(e.eid, e.properties)};
+  });
+  return VeGraph(vertices, edges, graph.lifetime()).Coalesce();
+}
+
+VeGraph TemporalUnion(const VeGraph& a, const VeGraph& b,
+                      const PropertiesMerge& merge) {
+  auto vertices =
+      SidedVertices(a, b).FlatMap<VeVertex>(
+          [merge](const std::pair<VertexId, SidedHistories>& kv,
+                  std::vector<VeVertex>* out) {
+            for (HistoryItem& item :
+                 MergeHistories(CoalesceHistory(kv.second.from_a),
+                                CoalesceHistory(kv.second.from_b), merge)) {
+              out->push_back(VeVertex{kv.first, item.interval,
+                                      std::move(item.properties)});
+            }
+          });
+  auto edges = SidedEdges(a, b).FlatMap<VeEdge>(
+      [merge](const std::pair<EdgeId, SidedHistories>& kv,
+              std::vector<VeEdge>* out) {
+        for (HistoryItem& item :
+             MergeHistories(CoalesceHistory(kv.second.from_a),
+                            CoalesceHistory(kv.second.from_b), merge)) {
+          out->push_back(VeEdge{kv.first, kv.second.src, kv.second.dst,
+                                item.interval, std::move(item.properties)});
+        }
+      });
+  // An edge present in either input has its endpoints present in that
+  // input at the same time, so the union never dangles.
+  return VeGraph(vertices, edges, a.lifetime().Merge(b.lifetime()));
+}
+
+VeGraph TemporalIntersection(const VeGraph& a, const VeGraph& b,
+                             const PropertiesMerge& merge) {
+  auto vertices = SidedVertices(a, b).FlatMap<VeVertex>(
+      [merge](const std::pair<VertexId, SidedHistories>& kv,
+              std::vector<VeVertex>* out) {
+        for (HistoryItem& item :
+             IntersectHistories(CoalesceHistory(kv.second.from_a),
+                                CoalesceHistory(kv.second.from_b), merge)) {
+          out->push_back(
+              VeVertex{kv.first, item.interval, std::move(item.properties)});
+        }
+      });
+  auto edges = SidedEdges(a, b).FlatMap<VeEdge>(
+      [merge](const std::pair<EdgeId, SidedHistories>& kv,
+              std::vector<VeEdge>* out) {
+        for (HistoryItem& item :
+             IntersectHistories(CoalesceHistory(kv.second.from_a),
+                                CoalesceHistory(kv.second.from_b), merge)) {
+          out->push_back(VeEdge{kv.first, kv.second.src, kv.second.dst,
+                                item.interval, std::move(item.properties)});
+        }
+      });
+  // An edge in both inputs implies endpoints in both: no dangling.
+  return VeGraph(vertices, edges, a.lifetime().Intersect(b.lifetime()));
+}
+
+VeGraph TemporalDifference(const VeGraph& a, const VeGraph& b) {
+  auto vertices = SidedVertices(a, b).FlatMap<VeVertex>(
+      [](const std::pair<VertexId, SidedHistories>& kv,
+         std::vector<VeVertex>* out) {
+        for (HistoryItem& item :
+             SubtractHistoryPresence(CoalesceHistory(kv.second.from_a),
+                                     CoalesceHistory(kv.second.from_b))) {
+          out->push_back(
+              VeVertex{kv.first, item.interval, std::move(item.properties)});
+        }
+      });
+  auto surviving_edges = SidedEdges(a, b).FlatMap<VeEdge>(
+      [](const std::pair<EdgeId, SidedHistories>& kv,
+         std::vector<VeEdge>* out) {
+        for (HistoryItem& item :
+             SubtractHistoryPresence(CoalesceHistory(kv.second.from_a),
+                                     CoalesceHistory(kv.second.from_b))) {
+          out->push_back(VeEdge{kv.first, kv.second.src, kv.second.dst,
+                                item.interval, std::move(item.properties)});
+        }
+      });
+  // Vertices removed by the difference may orphan surviving edge periods.
+  auto edges = ClipEdgesToEndpoints(surviving_edges, VertexPresence(vertices));
+  return VeGraph(vertices, edges, a.lifetime()).Coalesce();
+}
+
+}  // namespace tgraph

@@ -1,0 +1,60 @@
+#ifndef TGRAPH_TGRAPH_ALGEBRA_H_
+#define TGRAPH_TGRAPH_ALGEBRA_H_
+
+#include <functional>
+
+#include "tgraph/coalesce.h"
+#include "tgraph/ve.h"
+
+namespace tgraph {
+
+/// The remaining unary/binary operators of the compositional evolving
+/// graph algebra (TGA) the zoom operators belong to. All operate under
+/// point semantics: conceptually per snapshot, with coalesced output.
+
+/// Predicate over one vertex state.
+using VertexPredicate = std::function<bool(VertexId, const Properties&)>;
+/// Predicate over one edge state.
+using EdgePredicate = std::function<bool(EdgeId, VertexId, VertexId,
+                                         const Properties&)>;
+
+/// \brief Temporal subgraph (TGA's σ): keeps vertex states satisfying
+/// `vertex_predicate` and edge states satisfying `edge_predicate`, then
+/// clips every surviving edge state to the periods during which both of
+/// its endpoints survive (no dangling edges; condition on ξ^T of
+/// Definition 2.1). The result is coalesced.
+VeGraph SubgraphVe(const VeGraph& graph,
+                   const VertexPredicate& vertex_predicate,
+                   const EdgePredicate& edge_predicate);
+
+/// \brief Temporal map (TGA's attribute transformation): rewrites every
+/// vertex state's properties with `vertex_map` and every edge state's with
+/// `edge_map` (topology and validity unchanged). The result is coalesced
+/// (a map can make previously distinct adjacent states value-equivalent).
+VeGraph MapVe(
+    const VeGraph& graph,
+    const std::function<Properties(VertexId, const Properties&)>& vertex_map,
+    const std::function<Properties(EdgeId, const Properties&)>& edge_map);
+
+/// \brief Temporal union: an entity exists at time t iff it exists in
+/// either input; where both define it, properties are combined with
+/// `merge` (commutative, associative). Inputs must describe compatible
+/// entities (same id => same entity; edge endpoints must agree).
+VeGraph TemporalUnion(const VeGraph& a, const VeGraph& b,
+                      const PropertiesMerge& merge);
+
+/// \brief Temporal intersection: an entity exists at t iff it exists in
+/// both inputs; properties combined with `merge`. Edges of the result
+/// never dangle (an edge in both inputs implies its endpoints are in both).
+VeGraph TemporalIntersection(const VeGraph& a, const VeGraph& b,
+                             const PropertiesMerge& merge);
+
+/// \brief Temporal difference: an entity exists at t iff it exists in `a`
+/// and not in `b`, with `a`'s properties. Removing vertices can orphan
+/// edge periods, so surviving edges are clipped to their endpoints'
+/// surviving presence.
+VeGraph TemporalDifference(const VeGraph& a, const VeGraph& b);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_ALGEBRA_H_

@@ -1,0 +1,88 @@
+#include "tgraph/analytics.h"
+
+#include "sg/algorithms.h"
+
+namespace tgraph {
+
+using dataflow::Dataset;
+
+VeGraph TemporalVertexAnalytic(const VeGraph& graph,
+                               const SnapshotVertexAnalytic& analytic,
+                               const std::string& property) {
+  std::vector<TimePoint> points = graph.ChangePoints();
+  Dataset<VeVertex> results;
+  bool first = true;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    Interval interval(points[i], points[i + 1]);
+    sg::PropertyGraph snapshot = graph.SnapshotAt(interval.start);
+    auto snapshot_results =
+        analytic(snapshot).Map([interval, property](
+                                   const std::pair<VertexId, PropertyValue>& kv) {
+          Properties props;
+          props.Set(kTypeProperty, "metric");
+          props.Set(property, kv.second);
+          return VeVertex{kv.first, interval, std::move(props)};
+        });
+    if (first) {
+      results = snapshot_results;
+      first = false;
+    } else {
+      results = results.Union(snapshot_results);
+    }
+  }
+  if (first) {
+    return VeGraph::Create(graph.context(), {}, {}, graph.lifetime());
+  }
+  // Coalescing merges adjacent snapshots where the metric did not change,
+  // yielding maximal constant-value periods (point semantics).
+  return VeGraph(results,
+                 Dataset<VeEdge>::FromVector(graph.context(), {}, 1),
+                 graph.lifetime())
+      .Coalesce();
+}
+
+VeGraph TemporalDegree(const VeGraph& graph) {
+  return TemporalVertexAnalytic(
+      graph,
+      [](const sg::PropertyGraph& snapshot) {
+        // Vertices without edges get an explicit degree of 0.
+        auto zero = snapshot.vertices().Map([](const sg::Vertex& v) {
+          return std::pair<VertexId, int64_t>(v.vid, 0);
+        });
+        return zero.Union(snapshot.Degrees())
+            .ReduceByKey([](const int64_t& a, const int64_t& b) { return a + b; })
+            .Map([](const std::pair<VertexId, int64_t>& kv) {
+              return std::pair<VertexId, PropertyValue>(kv.first,
+                                                        PropertyValue(kv.second));
+            });
+      },
+      "degree");
+}
+
+VeGraph TemporalConnectedComponents(const VeGraph& graph) {
+  return TemporalVertexAnalytic(
+      graph,
+      [](const sg::PropertyGraph& snapshot) {
+        return sg::ConnectedComponents(snapshot)
+            .Map([](const std::pair<VertexId, VertexId>& kv) {
+              return std::pair<VertexId, PropertyValue>(kv.first,
+                                                        PropertyValue(kv.second));
+            });
+      },
+      "component");
+}
+
+VeGraph TemporalPageRank(const VeGraph& graph, int iterations) {
+  return TemporalVertexAnalytic(
+      graph,
+      [iterations](const sg::PropertyGraph& snapshot) {
+        return sg::PageRank(snapshot, iterations)
+            .Map([](const std::pair<VertexId, double>& kv) {
+              return std::pair<VertexId, PropertyValue>(kv.first,
+                                                        PropertyValue(kv.second));
+            });
+      },
+      "rank");
+}
+
+}  // namespace tgraph

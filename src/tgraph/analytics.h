@@ -1,0 +1,48 @@
+#ifndef TGRAPH_TGRAPH_ANALYTICS_H_
+#define TGRAPH_TGRAPH_ANALYTICS_H_
+
+#include <functional>
+#include <string>
+
+#include "sg/property_graph.h"
+#include "tgraph/ve.h"
+
+namespace tgraph {
+
+/// Temporal analytics over an evolving graph — the extension named in the
+/// paper's conclusion ("we will extend our system to support additional
+/// operations on evolving graphs, such as Pregel-style analytics").
+///
+/// An analytic maps one snapshot (a static property graph) to a per-vertex
+/// value; the temporal runner evaluates it over every elementary snapshot
+/// of the TGraph (point semantics) and assembles each vertex's value
+/// evolution as a coalesced temporal relation.
+
+/// \brief A per-snapshot vertex metric: snapshot in, (vid, value) out.
+using SnapshotVertexAnalytic =
+    std::function<dataflow::Dataset<std::pair<VertexId, PropertyValue>>(
+        const sg::PropertyGraph&)>;
+
+/// \brief Evaluates `analytic` over every elementary snapshot of `graph`
+/// and returns one VeVertex per maximal interval during which a vertex's
+/// metric value did not change, with properties {type="metric",
+/// <property>=value}.
+VeGraph TemporalVertexAnalytic(const VeGraph& graph,
+                               const SnapshotVertexAnalytic& analytic,
+                               const std::string& property);
+
+/// \brief Degree evolution: for every vertex, its (in+out) degree per
+/// maximal unchanged period.
+VeGraph TemporalDegree(const VeGraph& graph);
+
+/// \brief Connected-component evolution (undirected), via Pregel per
+/// snapshot: for every vertex, its component id per maximal unchanged
+/// period. Captures events like communities merging over time.
+VeGraph TemporalConnectedComponents(const VeGraph& graph);
+
+/// \brief PageRank evolution per snapshot (fixed iteration count).
+VeGraph TemporalPageRank(const VeGraph& graph, int iterations = 10);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_ANALYTICS_H_

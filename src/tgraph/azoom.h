@@ -1,0 +1,45 @@
+#ifndef TGRAPH_TGRAPH_AZOOM_H_
+#define TGRAPH_TGRAPH_AZOOM_H_
+
+#include "tgraph/og.h"
+#include "tgraph/rg.h"
+#include "tgraph/ve.h"
+#include "tgraph/zoom_spec.h"
+
+namespace tgraph {
+
+/// \brief Identity of a re-pointed edge in the aZoom^T output.
+///
+/// One input edge can map to different output endpoint pairs over time
+/// (its endpoints' groups change), so output edge identity is the Skolem
+/// combination of the input edge id and the new endpoints. All three
+/// implementations share this function so their outputs are comparable.
+EdgeId RedirectedEdgeId(EdgeId eid, VertexId new_src, VertexId new_dst);
+
+/// \brief aZoom^T over the VE representation (Algorithm 2): computes
+/// non-overlapping splitter intervals per output vertex, joins vertex
+/// states against them, aggregates per (output id, splitter), and
+/// redirects edges with two temporal joins against the vertex relation.
+///
+/// The result is NOT coalesced (callers coalesce lazily, Section 4).
+VeGraph AZoomVe(const VeGraph& graph, const AZoomSpec& spec);
+
+/// \brief aZoom^T over the OG representation (Algorithm 3): splits each
+/// vertex along its history, aggregates groups via flatMap + reduceByKey
+/// with temporal alignment, and redirects edges join-free using the
+/// vertex copies embedded in each edge.
+///
+/// Output edges embed presence-only copies of their new endpoints (the
+/// aggregated attribute values would require a join to obtain, which is
+/// exactly what OG's design avoids).
+OgGraph AZoomOg(const OgGraph& graph, const AZoomSpec& spec);
+
+/// \brief aZoom^T over the RG representation (Algorithm 1): applies
+/// non-temporal node creation independently to every snapshot —
+/// embarrassingly parallel but repeated once per snapshot, which is what
+/// makes RG scale worst in the paper's experiments.
+RgGraph AZoomRg(const RgGraph& graph, const AZoomSpec& spec);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_AZOOM_H_

@@ -1,0 +1,209 @@
+#include "tgraph/builder.h"
+
+#include <algorithm>
+
+#include "tgraph/coalesce.h"
+
+namespace tgraph {
+
+using dataflow::Dataset;
+
+TGraphBuilder& TGraphBuilder::AddVertex(VertexId vid, TimePoint at,
+                                        Properties props) {
+  Event event;
+  event.at = at;
+  event.op = Op::kAdd;
+  event.props = std::move(props);
+  vertex_events_[vid].push_back(std::move(event));
+  return *this;
+}
+
+TGraphBuilder& TGraphBuilder::RemoveVertex(VertexId vid, TimePoint at) {
+  Event event;
+  event.at = at;
+  event.op = Op::kRemove;
+  vertex_events_[vid].push_back(std::move(event));
+  return *this;
+}
+
+TGraphBuilder& TGraphBuilder::SetVertexProperty(VertexId vid, TimePoint at,
+                                                const std::string& key,
+                                                PropertyValue value) {
+  Event event;
+  event.at = at;
+  event.op = Op::kSet;
+  event.key = key;
+  event.value = std::move(value);
+  vertex_events_[vid].push_back(std::move(event));
+  return *this;
+}
+
+TGraphBuilder& TGraphBuilder::AddEdge(EdgeId eid, VertexId src, VertexId dst,
+                                      TimePoint at, Properties props) {
+  Event event;
+  event.at = at;
+  event.op = Op::kAdd;
+  event.props = std::move(props);
+  event.src = src;
+  event.dst = dst;
+  edge_events_[eid].push_back(std::move(event));
+  return *this;
+}
+
+TGraphBuilder& TGraphBuilder::RemoveEdge(EdgeId eid, TimePoint at) {
+  Event event;
+  event.at = at;
+  event.op = Op::kRemove;
+  edge_events_[eid].push_back(std::move(event));
+  return *this;
+}
+
+TGraphBuilder& TGraphBuilder::SetEdgeProperty(EdgeId eid, TimePoint at,
+                                              const std::string& key,
+                                              PropertyValue value) {
+  Event event;
+  event.at = at;
+  event.op = Op::kSet;
+  event.key = key;
+  event.value = std::move(value);
+  edge_events_[eid].push_back(std::move(event));
+  return *this;
+}
+
+Result<History> TGraphBuilder::Replay(std::vector<Event> events, TimePoint end,
+                                      const std::string& label) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return static_cast<int>(a.op) < static_cast<int>(b.op);
+                   });
+  History history;
+  bool alive = false;
+  TimePoint state_start = 0;
+  Properties current;
+  auto close_state = [&](TimePoint until) {
+    if (until > state_start) {
+      history.push_back(HistoryItem{Interval(state_start, until), current});
+    }
+  };
+  for (const Event& event : events) {
+    // Adds and property changes must happen strictly before the horizon
+    // (they start a state); a removal exactly at the horizon is fine — it
+    // says the entity exists right up to the end.
+    TimePoint limit = event.op == Op::kRemove ? end + 1 : end;
+    if (event.at >= limit) {
+      return Status::InvalidArgument(label + ": event at " +
+                                     std::to_string(event.at) +
+                                     " is not before end_of_time " +
+                                     std::to_string(end));
+    }
+    switch (event.op) {
+      case Op::kAdd:
+        if (alive) {
+          return Status::InvalidArgument(label + " added twice at " +
+                                         std::to_string(event.at));
+        }
+        alive = true;
+        state_start = event.at;
+        current = event.props;
+        break;
+      case Op::kSet: {
+        if (!alive) {
+          return Status::InvalidArgument(label + ": property set at " +
+                                         std::to_string(event.at) +
+                                         " while absent");
+        }
+        PropertyValue previous =
+            current.Get(event.key).value_or(PropertyValue());
+        if (current.Has(event.key) && previous == event.value) {
+          break;  // no-op change; keep the state maximal
+        }
+        close_state(event.at);
+        state_start = std::max(state_start, event.at);
+        current.Set(event.key, event.value);
+        break;
+      }
+      case Op::kRemove:
+        if (!alive) {
+          return Status::InvalidArgument(label + ": removed at " +
+                                         std::to_string(event.at) +
+                                         " while absent");
+        }
+        close_state(event.at);
+        alive = false;
+        break;
+    }
+  }
+  if (alive) close_state(end);
+  return CoalesceHistory(std::move(history));
+}
+
+Result<VeGraph> TGraphBuilder::Finish(TimePoint end_of_time) {
+  std::vector<VeVertex> vertices;
+  std::map<VertexId, History> presence;
+  for (auto& [vid, events] : vertex_events_) {
+    TG_ASSIGN_OR_RETURN(
+        History history,
+        Replay(events, end_of_time, "vertex " + std::to_string(vid)));
+    for (const HistoryItem& item : history) {
+      if (!item.properties.Has(kTypeProperty)) {
+        return Status::InvalidArgument("vertex " + std::to_string(vid) +
+                                       " lacks the required type property");
+      }
+      vertices.push_back(VeVertex{vid, item.interval, item.properties});
+    }
+    presence[vid] = std::move(history);
+  }
+
+  std::vector<VeEdge> edges;
+  for (auto& [eid, events] : edge_events_) {
+    VertexId src = 0, dst = 0;
+    bool endpoints_known = false;
+    for (const Event& event : events) {
+      if (event.op == Op::kAdd) {
+        if (endpoints_known && (src != event.src || dst != event.dst)) {
+          return Status::InvalidArgument("edge " + std::to_string(eid) +
+                                         " changes endpoints over time");
+        }
+        src = event.src;
+        dst = event.dst;
+        endpoints_known = true;
+      }
+    }
+    if (!endpoints_known) {
+      return Status::InvalidArgument("edge " + std::to_string(eid) +
+                                     " has events but was never added");
+    }
+    TG_ASSIGN_OR_RETURN(
+        History history,
+        Replay(events, end_of_time, "edge " + std::to_string(eid)));
+    if (history.empty()) continue;
+    auto src_it = presence.find(src);
+    auto dst_it = presence.find(dst);
+    if (src_it == presence.end() || dst_it == presence.end()) {
+      return Status::InvalidArgument("edge " + std::to_string(eid) +
+                                     " references an unknown vertex");
+    }
+    // A vertex removal implicitly ends incident edges; an edge that was
+    // *added* outside its endpoints' lifetime is a log error.
+    for (const HistoryItem& item : history) {
+      History clipped = IntersectHistoryPresence(
+          IntersectHistoryPresence({item}, src_it->second), dst_it->second);
+      if (clipped.empty() ||
+          clipped.front().interval.start != item.interval.start) {
+        return Status::InvalidArgument(
+            "edge " + std::to_string(eid) + " added at " +
+            std::to_string(item.interval.start) +
+            " while an endpoint is absent");
+      }
+      for (HistoryItem& piece : clipped) {
+        edges.push_back(VeEdge{eid, src, dst, piece.interval,
+                               std::move(piece.properties)});
+      }
+    }
+  }
+  return VeGraph::Create(ctx_, std::move(vertices), std::move(edges),
+                         std::nullopt);
+}
+
+}  // namespace tgraph

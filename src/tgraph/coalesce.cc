@@ -1,0 +1,165 @@
+#include "tgraph/coalesce.h"
+
+#include <algorithm>
+#include <set>
+
+namespace tgraph {
+
+History CoalesceHistory(History history) {
+  std::erase_if(history,
+                [](const HistoryItem& item) { return item.interval.empty(); });
+  std::sort(history.begin(), history.end(),
+            [](const HistoryItem& a, const HistoryItem& b) {
+              return a.interval < b.interval;
+            });
+  History result;
+  for (HistoryItem& item : history) {
+    if (!result.empty() && result.back().interval.Mergeable(item.interval) &&
+        result.back().properties == item.properties) {
+      result.back().interval = result.back().interval.Merge(item.interval);
+    } else {
+      result.push_back(std::move(item));
+    }
+  }
+  return result;
+}
+
+bool IsCoalescedHistory(const History& history) {
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (history[i].interval.empty()) return false;
+    if (i == 0) continue;
+    const Interval& prev = history[i - 1].interval;
+    const Interval& cur = history[i].interval;
+    if (!(prev < cur) || prev.Overlaps(cur)) return false;
+    if (prev.Meets(cur) && history[i - 1].properties == history[i].properties) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Finds the item of a sorted, disjoint history covering time point t, or
+// nullptr. Linear scan with a moving cursor would be faster in the sweeps
+// below, but histories are short (a handful of states per entity).
+const HistoryItem* FindCovering(const History& history, TimePoint t) {
+  auto it = std::upper_bound(
+      history.begin(), history.end(), t,
+      [](TimePoint tp, const HistoryItem& item) { return tp < item.interval.start; });
+  if (it == history.begin()) return nullptr;
+  --it;
+  return it->interval.Contains(t) ? &*it : nullptr;
+}
+
+}  // namespace
+
+History MergeHistories(const History& a, const History& b,
+                       const PropertiesMerge& merge) {
+  // Elementary segments: between consecutive boundary points of both inputs.
+  std::set<TimePoint> boundaries;
+  for (const HistoryItem& item : a) {
+    boundaries.insert(item.interval.start);
+    boundaries.insert(item.interval.end);
+  }
+  for (const HistoryItem& item : b) {
+    boundaries.insert(item.interval.start);
+    boundaries.insert(item.interval.end);
+  }
+  History result;
+  if (boundaries.size() < 2) return result;
+  auto it = boundaries.begin();
+  TimePoint prev = *it;
+  for (++it; it != boundaries.end(); ++it) {
+    Interval segment(prev, *it);
+    prev = *it;
+    const HistoryItem* in_a = FindCovering(a, segment.start);
+    const HistoryItem* in_b = FindCovering(b, segment.start);
+    if (in_a == nullptr && in_b == nullptr) continue;
+    Properties props;
+    if (in_a != nullptr && in_b != nullptr) {
+      props = merge(in_a->properties, in_b->properties);
+    } else if (in_a != nullptr) {
+      props = in_a->properties;
+    } else {
+      props = in_b->properties;
+    }
+    result.push_back(HistoryItem{segment, std::move(props)});
+  }
+  return CoalesceHistory(std::move(result));
+}
+
+History ClipHistory(const History& history, const Interval& window) {
+  History result;
+  for (const HistoryItem& item : history) {
+    Interval clipped = item.interval.Intersect(window);
+    if (!clipped.empty()) {
+      result.push_back(HistoryItem{clipped, item.properties});
+    }
+  }
+  return result;
+}
+
+History IntersectHistoryPresence(const History& history, const History& mask) {
+  History result;
+  for (const HistoryItem& item : history) {
+    for (const HistoryItem& m : mask) {
+      Interval overlap = item.interval.Intersect(m.interval);
+      if (!overlap.empty()) {
+        result.push_back(HistoryItem{overlap, item.properties});
+      }
+    }
+  }
+  return CoalesceHistory(std::move(result));
+}
+
+History SubtractHistoryPresence(const History& history, const History& mask) {
+  History result;
+  for (const HistoryItem& item : history) {
+    std::vector<Interval> remaining = {item.interval};
+    for (const HistoryItem& m : mask) {
+      std::vector<Interval> next;
+      for (const Interval& piece : remaining) {
+        IntervalDifference(piece, m.interval, &next);
+      }
+      remaining = std::move(next);
+      if (remaining.empty()) break;
+    }
+    for (const Interval& piece : remaining) {
+      result.push_back(HistoryItem{piece, item.properties});
+    }
+  }
+  return CoalesceHistory(std::move(result));
+}
+
+History IntersectHistories(const History& a, const History& b,
+                           const PropertiesMerge& merge) {
+  History result;
+  for (const HistoryItem& item_a : a) {
+    for (const HistoryItem& item_b : b) {
+      Interval overlap = item_a.interval.Intersect(item_b.interval);
+      if (!overlap.empty()) {
+        result.push_back(
+            HistoryItem{overlap, merge(item_a.properties, item_b.properties)});
+      }
+    }
+  }
+  return CoalesceHistory(std::move(result));
+}
+
+int64_t HistoryCoveredDuration(const History& history) {
+  std::vector<Interval> intervals;
+  intervals.reserve(history.size());
+  for (const HistoryItem& item : history) intervals.push_back(item.interval);
+  return CoveredDuration(intervals);
+}
+
+Interval HistorySpan(const History& history) {
+  Interval span;
+  for (const HistoryItem& item : history) {
+    span = span.Merge(item.interval);
+  }
+  return span;
+}
+
+}  // namespace tgraph

@@ -1,0 +1,237 @@
+#include "tgraph/convert.h"
+
+#include <algorithm>
+
+#include "tgraph/coalesce.h"
+
+namespace tgraph {
+
+using dataflow::Dataset;
+
+OgGraph VeToOg(const VeGraph& graph) {
+  // Group vertex states into per-entity histories.
+  auto og_vertices =
+      graph.vertices()
+          .Map([](const VeVertex& v) {
+            return std::pair<VertexId, HistoryItem>(
+                v.vid, HistoryItem{v.interval, v.properties});
+          })
+          .AggregateByKey<History>(
+              {},
+              [](History* acc, const HistoryItem& item) { acc->push_back(item); },
+              [](History* acc, History&& other) {
+                acc->insert(acc->end(), std::make_move_iterator(other.begin()),
+                            std::make_move_iterator(other.end()));
+              })
+          .Map([](const std::pair<VertexId, History>& kv) {
+            return OgVertex{kv.first, CoalesceHistory(kv.second)};
+          })
+          .Cache();
+
+  // Group edge states per eid, then embed endpoint vertex copies via two
+  // joins against the vertex relation.
+  struct EdgeAcc {
+    VertexId src = 0;
+    VertexId dst = 0;
+    History history;
+  };
+  auto grouped_edges =
+      graph.edges()
+          .Map([](const VeEdge& e) { return std::pair<EdgeId, VeEdge>(e.eid, e); })
+          .AggregateByKey<EdgeAcc>(
+              EdgeAcc{},
+              [](EdgeAcc* acc, const VeEdge& e) {
+                acc->src = e.src;
+                acc->dst = e.dst;
+                acc->history.push_back(HistoryItem{e.interval, e.properties});
+              },
+              [](EdgeAcc* acc, EdgeAcc&& other) {
+                if (acc->history.empty()) {
+                  acc->src = other.src;
+                  acc->dst = other.dst;
+                }
+                acc->history.insert(
+                    acc->history.end(),
+                    std::make_move_iterator(other.history.begin()),
+                    std::make_move_iterator(other.history.end()));
+              });
+  auto vertex_copies = og_vertices.Map(
+      [](const OgVertex& v) { return std::pair<VertexId, OgVertex>(v.vid, v); });
+  struct EdgeWithSrc {
+    EdgeId eid = 0;
+    VertexId dst = 0;
+    History history;
+    OgVertex v1;
+  };
+  auto with_src =
+      grouped_edges
+          .Map([](const std::pair<EdgeId, EdgeAcc>& kv) {
+            return std::pair<VertexId, std::pair<EdgeId, EdgeAcc>>(
+                kv.second.src, kv);
+          })
+          .Join<OgVertex>(vertex_copies)
+          .Map([](const std::pair<VertexId,
+                                  std::pair<std::pair<EdgeId, EdgeAcc>,
+                                            OgVertex>>& kv) {
+            const auto& [edge_kv, v1] = kv.second;
+            return std::pair<VertexId, EdgeWithSrc>(
+                edge_kv.second.dst,
+                EdgeWithSrc{edge_kv.first, edge_kv.second.dst,
+                            CoalesceHistory(edge_kv.second.history), v1});
+          });
+  auto og_edges =
+      with_src.Join<OgVertex>(vertex_copies)
+          .Map([](const std::pair<VertexId,
+                                  std::pair<EdgeWithSrc, OgVertex>>& kv) {
+            const auto& [partial, v2] = kv.second;
+            return OgEdge{partial.eid, partial.v1, v2, partial.history};
+          });
+  return OgGraph(og_vertices, og_edges, graph.lifetime());
+}
+
+VeGraph OgToVe(const OgGraph& graph) {
+  auto ve_vertices = graph.vertices().FlatMap<VeVertex>(
+      [](const OgVertex& v, std::vector<VeVertex>* out) {
+        for (const HistoryItem& item : v.history) {
+          out->push_back(VeVertex{v.vid, item.interval, item.properties});
+        }
+      });
+  auto ve_edges = graph.edges().FlatMap<VeEdge>(
+      [](const OgEdge& e, std::vector<VeEdge>* out) {
+        for (const HistoryItem& item : e.history) {
+          out->push_back(
+              VeEdge{e.eid, e.v1.vid, e.v2.vid, item.interval, item.properties});
+        }
+      });
+  return VeGraph(ve_vertices, ve_edges, graph.lifetime());
+}
+
+RgGraph VeToRg(const VeGraph& graph) {
+  std::vector<TimePoint> points = graph.ChangePoints();
+  std::vector<Interval> intervals;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    intervals.push_back(Interval(points[i], points[i + 1]));
+  }
+  std::vector<sg::PropertyGraph> snapshots;
+  snapshots.reserve(intervals.size());
+  for (const Interval& interval : intervals) {
+    snapshots.push_back(graph.SnapshotAt(interval.start));
+  }
+  return RgGraph(graph.context(), std::move(intervals), std::move(snapshots),
+                 graph.lifetime());
+}
+
+VeGraph RgToVe(const RgGraph& graph) {
+  Dataset<VeVertex> vertices;
+  Dataset<VeEdge> edges;
+  bool first = true;
+  for (size_t s = 0; s < graph.NumSnapshots(); ++s) {
+    Interval interval = graph.intervals()[s];
+    auto vs = graph.snapshots()[s].vertices().Map(
+        [interval](const sg::Vertex& v) {
+          return VeVertex{v.vid, interval, v.properties};
+        });
+    auto es = graph.snapshots()[s].edges().Map([interval](const sg::Edge& e) {
+      return VeEdge{e.eid, e.src, e.dst, interval, e.properties};
+    });
+    if (first) {
+      vertices = vs;
+      edges = es;
+      first = false;
+    } else {
+      vertices = vertices.Union(vs);
+      edges = edges.Union(es);
+    }
+  }
+  if (first) {
+    return VeGraph::Create(graph.context(), {}, {}, graph.lifetime());
+  }
+  return VeGraph(vertices, edges, graph.lifetime()).Coalesce();
+}
+
+namespace {
+
+// Presence bitset over the global interval index from a history.
+Bitset PresenceFromHistory(const History& history,
+                           const std::vector<Interval>& index) {
+  Bitset presence(index.size());
+  for (const HistoryItem& item : history) {
+    // First index interval overlapping the item (histories normally align
+    // with the index boundaries, but partial overlap still counts as
+    // presence in that interval).
+    auto it = std::upper_bound(
+        index.begin(), index.end(), item.interval.start,
+        [](TimePoint t, const Interval& i) { return t < i.end; });
+    for (; it != index.end() && it->start < item.interval.end; ++it) {
+      presence.Set(static_cast<size_t>(it - index.begin()));
+    }
+  }
+  return presence;
+}
+
+std::string TypeOfHistory(const History& history) {
+  for (const HistoryItem& item : history) {
+    if (const PropertyValue* type = item.properties.Find(kTypeProperty)) {
+      if (type->is_string()) return type->AsString();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+OgcGraph OgToOgc(const OgGraph& graph) {
+  std::vector<TimePoint> points = graph.ChangePoints();
+  std::vector<Interval> index;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    index.push_back(Interval(points[i], points[i + 1]));
+  }
+  auto ogc_vertices = graph.vertices().Map([index](const OgVertex& v) {
+    return OgcVertex{v.vid, TypeOfHistory(v.history),
+                     PresenceFromHistory(v.history, index)};
+  });
+  auto ogc_edges = graph.edges().Map([index](const OgEdge& e) {
+    return OgcEdge{e.eid,
+                   TypeOfHistory(e.history),
+                   OgcVertex{e.v1.vid, TypeOfHistory(e.v1.history),
+                             PresenceFromHistory(e.v1.history, index)},
+                   OgcVertex{e.v2.vid, TypeOfHistory(e.v2.history),
+                             PresenceFromHistory(e.v2.history, index)},
+                   PresenceFromHistory(e.history, index)};
+  });
+  return OgcGraph(index, ogc_vertices, ogc_edges, graph.lifetime());
+}
+
+OgcGraph VeToOgc(const VeGraph& graph) { return OgToOgc(VeToOg(graph)); }
+
+OgGraph RgToOg(const RgGraph& graph) { return VeToOg(RgToVe(graph)); }
+
+RgGraph OgToRg(const OgGraph& graph) { return VeToRg(OgToVe(graph)); }
+
+VeGraph OgcToVe(const OgcGraph& graph) {
+  std::vector<Interval> index = graph.intervals();
+  auto ve_vertices = graph.vertices().FlatMap<VeVertex>(
+      [index](const OgcVertex& v, std::vector<VeVertex>* out) {
+        for (size_t i = 0; i < index.size(); ++i) {
+          if (v.presence.Test(i)) {
+            Properties props;
+            props.Set(kTypeProperty, v.type);
+            out->push_back(VeVertex{v.vid, index[i], std::move(props)});
+          }
+        }
+      });
+  auto ve_edges = graph.edges().FlatMap<VeEdge>(
+      [index](const OgcEdge& e, std::vector<VeEdge>* out) {
+        for (size_t i = 0; i < index.size(); ++i) {
+          if (e.presence.Test(i)) {
+            Properties props;
+            props.Set(kTypeProperty, e.type);
+            out->push_back(VeEdge{e.eid, e.v1.vid, e.v2.vid, index[i],
+                                  std::move(props)});
+          }
+        }
+      });
+  return VeGraph(ve_vertices, ve_edges, graph.lifetime()).Coalesce();
+}
+
+}  // namespace tgraph

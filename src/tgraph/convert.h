@@ -1,0 +1,49 @@
+#ifndef TGRAPH_TGRAPH_CONVERT_H_
+#define TGRAPH_TGRAPH_CONVERT_H_
+
+#include "tgraph/og.h"
+#include "tgraph/ogc.h"
+#include "tgraph/rg.h"
+#include "tgraph/ve.h"
+
+namespace tgraph {
+
+/// Conversions between the four physical representations (Section 4: "Our
+/// API supports ... switching between graph representations during query
+/// execution"). All conversions preserve the logical TGraph; OGC is lossy
+/// (it keeps topology and type labels only).
+
+/// VE -> OG: groups states into history arrays and embeds endpoint vertex
+/// copies into every edge (two hash joins).
+OgGraph VeToOg(const VeGraph& graph);
+
+/// OG -> VE: flattens history arrays into state tuples.
+VeGraph OgToVe(const OgGraph& graph);
+
+/// VE -> RG: splits the lifetime at every change point and materializes one
+/// conventional snapshot per elementary interval.
+RgGraph VeToRg(const VeGraph& graph);
+
+/// RG -> VE: emits one state tuple per (entity, snapshot) and coalesces.
+VeGraph RgToVe(const RgGraph& graph);
+
+/// OG -> OGC: builds the global interval index from the graph's change
+/// points and encodes presence bits; attributes other than type are
+/// dropped.
+OgcGraph OgToOgc(const OgGraph& graph);
+
+/// VE -> OGC (via OG).
+OgcGraph VeToOgc(const VeGraph& graph);
+
+/// RG -> OG (via VE; the result is coalesced).
+OgGraph RgToOg(const RgGraph& graph);
+
+/// OG -> RG (via VE).
+RgGraph OgToRg(const OgGraph& graph);
+
+/// OGC -> VE: topology-only states whose single property is the type label.
+VeGraph OgcToVe(const OgcGraph& graph);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_CONVERT_H_

@@ -1,0 +1,63 @@
+#ifndef TGRAPH_TGRAPH_OG_H_
+#define TGRAPH_TGRAPH_OG_H_
+
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "sg/property_graph.h"
+#include "tgraph/types.h"
+
+namespace tgraph {
+
+/// \brief The One Graph (OG) physical representation: each vertex and edge
+/// appears exactly once, carrying its evolution as a history array
+/// (Figure 6). Edges embed copies of their endpoint vertices, so most
+/// operations are per-record maps with no joins.
+///
+/// OG balances temporal and structural locality — the representation the
+/// paper finds fastest overall.
+class OgGraph {
+ public:
+  OgGraph() = default;
+  OgGraph(dataflow::Dataset<OgVertex> vertices,
+          dataflow::Dataset<OgEdge> edges, Interval lifetime)
+      : vertices_(std::move(vertices)),
+        edges_(std::move(edges)),
+        lifetime_(lifetime) {}
+
+  /// Builds from record vectors. Edge endpoint copies must already be
+  /// embedded (use FromVe / convert.h to populate them from a VE graph).
+  static OgGraph Create(dataflow::ExecutionContext* ctx,
+                        std::vector<OgVertex> vertices,
+                        std::vector<OgEdge> edges,
+                        std::optional<Interval> lifetime = std::nullopt);
+
+  const dataflow::Dataset<OgVertex>& vertices() const { return vertices_; }
+  const dataflow::Dataset<OgEdge>& edges() const { return edges_; }
+  Interval lifetime() const { return lifetime_; }
+  dataflow::ExecutionContext* context() const { return vertices_.context(); }
+
+  int64_t NumVertices() const { return vertices_.Count(); }
+  int64_t NumEdges() const { return edges_.Count(); }
+  /// Total number of vertex states across all histories.
+  int64_t NumVertexRecords() const;
+  int64_t NumEdgeRecords() const;
+
+  /// Coalesces every history array in place. Unlike VE, this needs no
+  /// shuffle: an entity's full history is already local to its record.
+  OgGraph Coalesce() const;
+
+  std::vector<TimePoint> ChangePoints() const;
+
+  /// The state of the graph at time point `t` as a static property graph.
+  sg::PropertyGraph SnapshotAt(TimePoint t) const;
+
+ private:
+  dataflow::Dataset<OgVertex> vertices_;
+  dataflow::Dataset<OgEdge> edges_;
+  Interval lifetime_;
+};
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_OG_H_

@@ -1,0 +1,38 @@
+#include "tgraph/ogc.h"
+
+#include "common/logging.h"
+
+namespace tgraph {
+
+using dataflow::Dataset;
+
+OgcGraph OgcGraph::Create(dataflow::ExecutionContext* ctx,
+                          std::vector<Interval> intervals,
+                          std::vector<OgcVertex> vertices,
+                          std::vector<OgcEdge> edges) {
+  Interval life;
+  for (const Interval& i : intervals) life = life.Merge(i);
+  for (const OgcVertex& v : vertices) {
+    TG_CHECK_EQ(v.presence.size(), intervals.size());
+  }
+  for (const OgcEdge& e : edges) {
+    TG_CHECK_EQ(e.presence.size(), intervals.size());
+  }
+  return OgcGraph(std::move(intervals),
+                  Dataset<OgcVertex>::FromVector(ctx, std::move(vertices)),
+                  Dataset<OgcEdge>::FromVector(ctx, std::move(edges)), life);
+}
+
+int64_t OgcGraph::NumVertexRecords() const {
+  return vertices_
+      .Map([](const OgcVertex& v) { return static_cast<int64_t>(v.presence.Count()); })
+      .Reduce(0, [](int64_t a, int64_t b) { return a + b; });
+}
+
+int64_t OgcGraph::NumEdgeRecords() const {
+  return edges_
+      .Map([](const OgcEdge& e) { return static_cast<int64_t>(e.presence.Count()); })
+      .Reduce(0, [](int64_t a, int64_t b) { return a + b; });
+}
+
+}  // namespace tgraph

@@ -1,0 +1,55 @@
+#ifndef TGRAPH_TGRAPH_OGC_H_
+#define TGRAPH_TGRAPH_OGC_H_
+
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "tgraph/types.h"
+
+namespace tgraph {
+
+/// \brief The One Graph Columnar (OGC) physical representation: topology
+/// only, with presence encoded as one bit per entry of a global interval
+/// index (Figure 7). The most compact representation; supports wZoom^T but
+/// not aZoom^T (no attributes).
+class OgcGraph {
+ public:
+  OgcGraph() = default;
+  OgcGraph(std::vector<Interval> intervals,
+           dataflow::Dataset<OgcVertex> vertices,
+           dataflow::Dataset<OgcEdge> edges, Interval lifetime)
+      : intervals_(std::move(intervals)),
+        vertices_(std::move(vertices)),
+        edges_(std::move(edges)),
+        lifetime_(lifetime) {}
+
+  /// Builds from record vectors; each record's bitset size must equal
+  /// intervals.size().
+  static OgcGraph Create(dataflow::ExecutionContext* ctx,
+                         std::vector<Interval> intervals,
+                         std::vector<OgcVertex> vertices,
+                         std::vector<OgcEdge> edges);
+
+  /// The global, sorted, disjoint interval index shared by all bitsets.
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  const dataflow::Dataset<OgcVertex>& vertices() const { return vertices_; }
+  const dataflow::Dataset<OgcEdge>& edges() const { return edges_; }
+  Interval lifetime() const { return lifetime_; }
+  dataflow::ExecutionContext* context() const { return vertices_.context(); }
+
+  int64_t NumVertices() const { return vertices_.Count(); }
+  int64_t NumEdges() const { return edges_.Count(); }
+  /// Total set presence bits across vertices (the record-count analogue).
+  int64_t NumVertexRecords() const;
+  int64_t NumEdgeRecords() const;
+
+ private:
+  std::vector<Interval> intervals_;
+  dataflow::Dataset<OgcVertex> vertices_;
+  dataflow::Dataset<OgcEdge> edges_;
+  Interval lifetime_;
+};
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_OGC_H_

@@ -1,0 +1,136 @@
+#include "tgraph/pipeline.h"
+
+#include <algorithm>
+
+namespace tgraph {
+
+namespace {
+
+bool IsExistsLike(const Quantifier& quantifier) {
+  return quantifier.threshold() == 0.0 && quantifier.strict();
+}
+
+}  // namespace
+
+Pipeline Pipeline::Optimized(const Hints& hints) const {
+  std::vector<Step> steps = steps_;
+
+  // Rule 1 — lazy coalescing: an explicit Coalesce is redundant everywhere
+  // (aZoom^T tolerates uncoalesced input; wZoom^T and conversion to a
+  // compact representation coalesce internally via the facade), except as
+  // the very last step, where it fixes the final result's form.
+  for (size_t i = 0; i + 1 < steps.size();) {
+    if (std::holds_alternative<CoalesceStep>(steps[i])) {
+      steps.erase(steps.begin() + static_cast<int64_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // Rule 2 — slice pushdown: aZoom^T evaluates per snapshot, so slicing
+  // commutes with it; doing the slice first shrinks the zoom's input.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (size_t i = 0; i + 1 < steps.size(); ++i) {
+      if (std::holds_alternative<AZoomStep>(steps[i]) &&
+          std::holds_alternative<SliceStep>(steps[i + 1])) {
+        std::swap(steps[i], steps[i + 1]);
+        moved = true;
+      }
+    }
+  }
+
+  // Rule 3 — operator reordering (Section 5.3): with change-free vertex
+  // attributes and existential quantification on both sides, wZoom^T and
+  // aZoom^T commute, and aZoom-first is the faster order for growth-only
+  // data (Figure 17).
+  if (hints.attributes_stable) {
+    moved = true;
+    while (moved) {
+      moved = false;
+      for (size_t i = 0; i + 1 < steps.size(); ++i) {
+        const auto* wzoom = std::get_if<WZoomStep>(&steps[i]);
+        if (wzoom == nullptr ||
+            !std::holds_alternative<AZoomStep>(steps[i + 1])) {
+          continue;
+        }
+        if (!IsExistsLike(wzoom->spec.vertex_quantifier) ||
+            !IsExistsLike(wzoom->spec.edge_quantifier)) {
+          continue;
+        }
+        std::swap(steps[i], steps[i + 1]);
+        moved = true;
+      }
+    }
+  }
+
+  // Rule 4 — representation stability (Figure 16): bouncing between
+  // representations mid-chain never recovers the conversion cost (the
+  // paper's finding, confirmed by bench/ablation_optimizer), so mid-chain
+  // Convert steps are removed. A final, user-requested conversion shapes
+  // the result and is preserved. The optimizer deliberately does NOT
+  // insert an up-front conversion: when the input arrives in VE, paying a
+  // VE->OG conversion for a single zoom costs more than it saves.
+  if (hints.drop_mid_chain_conversions && !steps.empty()) {
+    std::optional<ConvertStep> final_convert;
+    if (const auto* convert = std::get_if<ConvertStep>(&steps.back())) {
+      final_convert = *convert;
+      steps.pop_back();
+    }
+    std::erase_if(steps, [](const Step& step) {
+      return std::holds_alternative<ConvertStep>(step);
+    });
+    if (final_convert.has_value()) steps.push_back(*final_convert);
+  }
+
+  Pipeline optimized;
+  optimized.steps_ = std::move(steps);
+  return optimized;
+}
+
+Result<TGraph> Pipeline::Run(const TGraph& input) const {
+  TGraph current = input;
+  for (const Step& step : steps_) {
+    if (const auto* azoom = std::get_if<AZoomStep>(&step)) {
+      TG_ASSIGN_OR_RETURN(current, current.AZoom(azoom->spec));
+    } else if (const auto* wzoom = std::get_if<WZoomStep>(&step)) {
+      TG_ASSIGN_OR_RETURN(current, current.WZoom(wzoom->spec));
+    } else if (const auto* slice = std::get_if<SliceStep>(&step)) {
+      current = current.Slice(slice->range);
+    } else if (std::holds_alternative<CoalesceStep>(step)) {
+      current = current.Coalesce();
+    } else if (const auto* convert = std::get_if<ConvertStep>(&step)) {
+      TG_ASSIGN_OR_RETURN(current, current.As(convert->target));
+    }
+  }
+  return current;
+}
+
+std::string Pipeline::Explain() const {
+  std::string out;
+  int index = 1;
+  for (const Step& step : steps_) {
+    out += std::to_string(index++) + ". ";
+    if (const auto* azoom = std::get_if<AZoomStep>(&step)) {
+      out += "aZoom";
+      if (!azoom->spec.edge_type.empty()) {
+        out += " edge_type=" + azoom->spec.edge_type;
+      }
+    } else if (const auto* wzoom = std::get_if<WZoomStep>(&step)) {
+      out += "wZoom window=" + wzoom->spec.window.ToString() +
+             " nodes=" + wzoom->spec.vertex_quantifier.ToString() +
+             " edges=" + wzoom->spec.edge_quantifier.ToString();
+    } else if (const auto* slice = std::get_if<SliceStep>(&step)) {
+      out += "slice " + slice->range.ToString();
+    } else if (std::holds_alternative<CoalesceStep>(step)) {
+      out += "coalesce";
+    } else if (const auto* convert = std::get_if<ConvertStep>(&step)) {
+      out += std::string("convert to ") + RepresentationName(convert->target);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tgraph

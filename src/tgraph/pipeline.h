@@ -1,0 +1,98 @@
+#ifndef TGRAPH_TGRAPH_PIPELINE_H_
+#define TGRAPH_TGRAPH_PIPELINE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "tgraph/tgraph.h"
+
+namespace tgraph {
+
+/// \brief A declarative chain of zoom operators with a rule-based
+/// optimizer — a first cut of the query optimization the paper's
+/// conclusion plans ("We will propose query optimization techniques for
+/// our workloads"), encoding the findings of Section 5:
+///
+///  - lazy coalescing (Section 4): explicit Coalesce steps that are not
+///    required for correctness are removed; wZoom^T coalesces internally.
+///  - representation stability (Figure 16): mid-chain representation
+///    switches are removed — the paper (and our ablation) find that
+///    bouncing between representations never recovers its own cost; only
+///    a final, user-requested conversion is kept.
+///  - slice pushdown: temporal selection moves ahead of aZoom^T (which is
+///    per-snapshot, so slicing commutes with it) to shrink every
+///    intermediate.
+///  - operator reordering (Figure 17): with the caller's attestation that
+///    vertex attributes are change-free (`attributes_stable`) and under
+///    exists/exists quantification, aZoom^T is moved ahead of wZoom^T —
+///    the ordering the paper found fastest for growth-only datasets.
+class Pipeline {
+ public:
+  struct AZoomStep {
+    AZoomSpec spec;
+  };
+  struct WZoomStep {
+    WZoomSpec spec;
+  };
+  struct SliceStep {
+    Interval range;
+  };
+  struct CoalesceStep {};
+  struct ConvertStep {
+    Representation target;
+  };
+  using Step =
+      std::variant<AZoomStep, WZoomStep, SliceStep, CoalesceStep, ConvertStep>;
+
+  /// Hints the optimizer cannot infer from the plan alone.
+  struct Hints {
+    /// Vertex attributes never change over an entity's lifetime (true for
+    /// growth-only datasets like WikiTalk and SNB). Enables the
+    /// aZoom-before-wZoom reordering of Section 5.3.
+    bool attributes_stable = false;
+    /// Remove mid-chain representation switches (keep a final one).
+    bool drop_mid_chain_conversions = true;
+  };
+
+  Pipeline& AZoom(AZoomSpec spec) {
+    steps_.push_back(AZoomStep{std::move(spec)});
+    return *this;
+  }
+  Pipeline& WZoom(WZoomSpec spec) {
+    steps_.push_back(WZoomStep{std::move(spec)});
+    return *this;
+  }
+  Pipeline& Slice(Interval range) {
+    steps_.push_back(SliceStep{range});
+    return *this;
+  }
+  Pipeline& Coalesce() {
+    steps_.push_back(CoalesceStep{});
+    return *this;
+  }
+  Pipeline& Convert(Representation target) {
+    steps_.push_back(ConvertStep{target});
+    return *this;
+  }
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+  /// Returns the rewritten pipeline (this one is unchanged).
+  Pipeline Optimized(const Hints& hints) const;
+  Pipeline Optimized() const { return Optimized(Hints()); }
+
+  /// Executes the steps in order against `input`.
+  Result<TGraph> Run(const TGraph& input) const;
+
+  /// One line per step, e.g. "1. wZoom window=3 nodes=all edges=all".
+  std::string Explain() const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_PIPELINE_H_

@@ -1,0 +1,92 @@
+#include "tgraph/reachability.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace tgraph {
+
+namespace {
+
+struct TemporalArc {
+  VertexId to = 0;
+  Interval alive;
+};
+
+using AdjacencyList =
+    std::unordered_map<VertexId, std::vector<TemporalArc>>;
+
+AdjacencyList BuildAdjacency(const VeGraph& graph,
+                             const ReachabilityOptions& options) {
+  AdjacencyList adjacency;
+  for (const VeEdge& e : graph.edges().Collect()) {
+    adjacency[e.src].push_back(TemporalArc{e.dst, e.interval});
+    if (options.undirected) {
+      adjacency[e.dst].push_back(TemporalArc{e.src, e.interval});
+    }
+  }
+  return adjacency;
+}
+
+// First alive time point of `vid` at or after `from`, if any.
+std::optional<TimePoint> FirstAliveAtOrAfter(const VeGraph& graph,
+                                             VertexId vid, TimePoint from) {
+  std::optional<TimePoint> best;
+  for (const VeVertex& v : graph.vertices().Collect()) {
+    if (v.vid != vid || v.interval.end <= from) continue;
+    TimePoint candidate = std::max(v.interval.start, from);
+    if (!best.has_value() || candidate < *best) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::map<VertexId, TimePoint> EarliestArrival(
+    const VeGraph& graph, VertexId source, TimePoint from,
+    const ReachabilityOptions& options) {
+  std::map<VertexId, TimePoint> arrival;
+  std::optional<TimePoint> start = FirstAliveAtOrAfter(graph, source, from);
+  if (!start.has_value()) return arrival;
+
+  AdjacencyList adjacency = BuildAdjacency(graph, options);
+
+  // Dijkstra on arrival time: settled vertices have their final earliest
+  // arrival because edge relaxation never decreases the time.
+  using Entry = std::pair<TimePoint, VertexId>;  // (arrival, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
+  arrival[source] = *start;
+  frontier.emplace(*start, source);
+  while (!frontier.empty()) {
+    auto [at, vertex] = frontier.top();
+    frontier.pop();
+    auto settled = arrival.find(vertex);
+    if (settled != arrival.end() && settled->second < at) continue;  // stale
+    auto it = adjacency.find(vertex);
+    if (it == adjacency.end()) continue;
+    for (const TemporalArc& arc : it->second) {
+      // Cross at the first moment both "we have arrived" and "the edge is
+      // alive" hold.
+      TimePoint crossing = std::max(at, arc.alive.start);
+      if (crossing >= arc.alive.end) continue;  // edge gone before we can use it
+      auto known = arrival.find(arc.to);
+      if (known == arrival.end() || crossing < known->second) {
+        arrival[arc.to] = crossing;
+        frontier.emplace(crossing, arc.to);
+      }
+    }
+  }
+  return arrival;
+}
+
+bool Reaches(const VeGraph& graph, VertexId source, VertexId target,
+             Interval range, const ReachabilityOptions& options) {
+  if (range.empty()) return false;
+  std::map<VertexId, TimePoint> arrival =
+      EarliestArrival(graph, source, range.start, options);
+  auto it = arrival.find(target);
+  return it != arrival.end() && it->second < range.end;
+}
+
+}  // namespace tgraph

@@ -1,0 +1,41 @@
+#ifndef TGRAPH_TGRAPH_REACHABILITY_H_
+#define TGRAPH_TGRAPH_REACHABILITY_H_
+
+#include <map>
+
+#include "tgraph/ve.h"
+
+namespace tgraph {
+
+/// Time-respecting reachability over an evolving graph — the historical
+/// reachability query class of TimeReach (Semertzidis et al., EDBT 2015;
+/// [40] in the paper's related work).
+///
+/// A time-respecting path traverses each edge at a time point when the
+/// edge exists, with traversal times non-decreasing along the path
+/// (waiting at a vertex is allowed). Traversal itself is instantaneous:
+/// reaching u at time t lets you cross an edge alive over [s, e) at
+/// max(t, s) provided max(t, s) < e.
+
+struct ReachabilityOptions {
+  /// Treat edges as traversable in both directions.
+  bool undirected = false;
+};
+
+/// \brief Earliest-arrival search: for every vertex reachable from
+/// `source` by a time-respecting path starting no earlier than `from`,
+/// the earliest time point at which it can be reached. The source itself
+/// maps to its first alive point >= `from`. Unreachable vertices are
+/// absent from the result.
+std::map<VertexId, TimePoint> EarliestArrival(
+    const VeGraph& graph, VertexId source, TimePoint from,
+    const ReachabilityOptions& options = {});
+
+/// \brief True iff `source` can reach `target` by a time-respecting path
+/// that starts and arrives within `range`.
+bool Reaches(const VeGraph& graph, VertexId source, VertexId target,
+             Interval range, const ReachabilityOptions& options = {});
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_REACHABILITY_H_

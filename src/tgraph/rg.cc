@@ -1,0 +1,74 @@
+#include "tgraph/rg.h"
+
+#include <algorithm>
+
+namespace tgraph {
+
+int64_t RgGraph::NumVertexRecords() const {
+  int64_t total = 0;
+  for (const sg::PropertyGraph& snapshot : snapshots_) {
+    total += snapshot.NumVertices();
+  }
+  return total;
+}
+
+int64_t RgGraph::NumEdgeRecords() const {
+  int64_t total = 0;
+  for (const sg::PropertyGraph& snapshot : snapshots_) {
+    total += snapshot.NumEdges();
+  }
+  return total;
+}
+
+namespace {
+
+// Content equality of two snapshots, independent of partitioning and order.
+bool SnapshotsEqual(const sg::PropertyGraph& a, const sg::PropertyGraph& b) {
+  std::vector<sg::Vertex> va = a.vertices().Collect();
+  std::vector<sg::Vertex> vb = b.vertices().Collect();
+  if (va.size() != vb.size()) return false;
+  std::vector<sg::Edge> ea = a.edges().Collect();
+  std::vector<sg::Edge> eb = b.edges().Collect();
+  if (ea.size() != eb.size()) return false;
+  auto vertex_less = [](const sg::Vertex& x, const sg::Vertex& y) {
+    if (x.vid != y.vid) return x.vid < y.vid;
+    return x.properties.ToString() < y.properties.ToString();
+  };
+  auto edge_less = [](const sg::Edge& x, const sg::Edge& y) {
+    if (x.eid != y.eid) return x.eid < y.eid;
+    return x.properties.ToString() < y.properties.ToString();
+  };
+  std::sort(va.begin(), va.end(), vertex_less);
+  std::sort(vb.begin(), vb.end(), vertex_less);
+  std::sort(ea.begin(), ea.end(), edge_less);
+  std::sort(eb.begin(), eb.end(), edge_less);
+  return va == vb && ea == eb;
+}
+
+}  // namespace
+
+RgGraph RgGraph::Coalesce() const {
+  std::vector<Interval> intervals;
+  std::vector<sg::PropertyGraph> snapshots;
+  for (size_t i = 0; i < snapshots_.size(); ++i) {
+    if (!intervals.empty() && intervals.back().Mergeable(intervals_[i]) &&
+        SnapshotsEqual(snapshots.back(), snapshots_[i])) {
+      intervals.back() = intervals.back().Merge(intervals_[i]);
+    } else {
+      intervals.push_back(intervals_[i]);
+      snapshots.push_back(snapshots_[i]);
+    }
+  }
+  return RgGraph(ctx_, std::move(intervals), std::move(snapshots), lifetime_);
+}
+
+sg::PropertyGraph RgGraph::SnapshotAt(TimePoint t) const {
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (intervals_[i].Contains(t)) return snapshots_[i];
+  }
+  return sg::PropertyGraph(
+      dataflow::Dataset<sg::Vertex>::FromVector(ctx_, {}, 1),
+      dataflow::Dataset<sg::Edge>::FromVector(ctx_, {}, 1));
+}
+
+}  // namespace tgraph

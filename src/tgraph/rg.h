@@ -1,0 +1,59 @@
+#ifndef TGRAPH_TGRAPH_RG_H_
+#define TGRAPH_TGRAPH_RG_H_
+
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "sg/property_graph.h"
+#include "tgraph/types.h"
+
+namespace tgraph {
+
+/// \brief The Representative Graphs (RG) physical representation: a
+/// sequence of conventional property graphs, one per interval during which
+/// no change occurred (Figure 4).
+///
+/// The classic "sequence of snapshots" model — structurally local and
+/// trivially parallel per snapshot, but highly redundant when consecutive
+/// snapshots overlap (the paper's experiments show it scaling worst).
+class RgGraph {
+ public:
+  RgGraph() = default;
+  RgGraph(dataflow::ExecutionContext* ctx, std::vector<Interval> intervals,
+          std::vector<sg::PropertyGraph> snapshots, Interval lifetime)
+      : ctx_(ctx),
+        intervals_(std::move(intervals)),
+        snapshots_(std::move(snapshots)),
+        lifetime_(lifetime) {
+    TG_CHECK_EQ(intervals_.size(), snapshots_.size());
+  }
+
+  /// Per-snapshot intervals, sorted and disjoint.
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  const std::vector<sg::PropertyGraph>& snapshots() const { return snapshots_; }
+  size_t NumSnapshots() const { return snapshots_.size(); }
+  Interval lifetime() const { return lifetime_; }
+  dataflow::ExecutionContext* context() const { return ctx_; }
+
+  /// Sum of per-snapshot vertex counts (RG's storage redundancy shows here:
+  /// a vertex present in k snapshots is counted k times).
+  int64_t NumVertexRecords() const;
+  int64_t NumEdgeRecords() const;
+
+  /// Merges maximal runs of adjacent snapshots whose vertex and edge sets
+  /// are identical — RG's form of temporal coalescing.
+  RgGraph Coalesce() const;
+
+  /// The snapshot covering time point `t` (empty graph if none).
+  sg::PropertyGraph SnapshotAt(TimePoint t) const;
+
+ private:
+  dataflow::ExecutionContext* ctx_ = nullptr;
+  std::vector<Interval> intervals_;
+  std::vector<sg::PropertyGraph> snapshots_;
+  Interval lifetime_;
+};
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_RG_H_

@@ -1,0 +1,30 @@
+#ifndef TGRAPH_TGRAPH_SLICE_H_
+#define TGRAPH_TGRAPH_SLICE_H_
+
+#include "tgraph/og.h"
+#include "tgraph/ogc.h"
+#include "tgraph/rg.h"
+#include "tgraph/ve.h"
+
+namespace tgraph {
+
+/// Temporal selection (the algebra's "slice"): restricts a TGraph to the
+/// time range `range`, clipping validity at the boundaries and dropping
+/// entities that never exist inside it. The in-memory counterpart of the
+/// GraphLoader's date-range filter (Section 4).
+
+VeGraph SliceVe(const VeGraph& graph, Interval range);
+
+/// Clips history arrays, including the endpoint copies embedded in edges.
+OgGraph SliceOg(const OgGraph& graph, Interval range);
+
+/// Keeps the index entries overlapping `range` (clipped) and re-slices
+/// every bitset to the surviving positions.
+OgcGraph SliceOgc(const OgcGraph& graph, Interval range);
+
+/// Keeps the snapshots overlapping `range`, clipping their intervals.
+RgGraph SliceRg(const RgGraph& graph, Interval range);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_SLICE_H_

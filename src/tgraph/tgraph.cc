@@ -1,0 +1,183 @@
+#include "tgraph/tgraph.h"
+
+namespace tgraph {
+
+const char* RepresentationName(Representation representation) {
+  switch (representation) {
+    case Representation::kRg:
+      return "RG";
+    case Representation::kVe:
+      return "VE";
+    case Representation::kOg:
+      return "OG";
+    case Representation::kOgc:
+      return "OGC";
+  }
+  return "?";
+}
+
+Representation TGraph::representation() const {
+  switch (graph_.index()) {
+    case 0:
+      return Representation::kRg;
+    case 1:
+      return Representation::kVe;
+    case 2:
+      return Representation::kOg;
+    default:
+      return Representation::kOgc;
+  }
+}
+
+Interval TGraph::lifetime() const {
+  return std::visit([](const auto& g) { return g.lifetime(); }, graph_);
+}
+
+dataflow::ExecutionContext* TGraph::context() const {
+  return std::visit([](const auto& g) { return g.context(); }, graph_);
+}
+
+Result<TGraph> TGraph::As(Representation target) const {
+  if (target == representation()) return *this;
+  switch (representation()) {
+    case Representation::kVe: {
+      const VeGraph& g = ve();
+      switch (target) {
+        case Representation::kOg:
+          return TGraph(VeToOg(g), coalesced_);
+        case Representation::kRg:
+          return TGraph(VeToRg(g), coalesced_);
+        case Representation::kOgc:
+          return TGraph(VeToOgc(g), true);
+        default:
+          break;
+      }
+      break;
+    }
+    case Representation::kOg: {
+      const OgGraph& g = og();
+      switch (target) {
+        case Representation::kVe:
+          return TGraph(OgToVe(g), coalesced_);
+        case Representation::kRg:
+          return TGraph(OgToRg(g), coalesced_);
+        case Representation::kOgc:
+          return TGraph(OgToOgc(g), true);
+        default:
+          break;
+      }
+      break;
+    }
+    case Representation::kRg: {
+      const RgGraph& g = rg();
+      switch (target) {
+        case Representation::kVe:
+          // RgToVe coalesces as part of the conversion.
+          return TGraph(RgToVe(g), true);
+        case Representation::kOg:
+          return TGraph(RgToOg(g), true);
+        case Representation::kOgc:
+          return TGraph(OgToOgc(RgToOg(g)), true);
+        default:
+          break;
+      }
+      break;
+    }
+    case Representation::kOgc: {
+      const OgcGraph& g = ogc();
+      switch (target) {
+        case Representation::kVe:
+          return TGraph(OgcToVe(g), true);
+        case Representation::kOg:
+          return TGraph(VeToOg(OgcToVe(g)), true);
+        case Representation::kRg:
+          return TGraph(VeToRg(OgcToVe(g)), true);
+        default:
+          break;
+      }
+      break;
+    }
+  }
+  return Status::Internal("unhandled representation conversion");
+}
+
+Result<TGraph> TGraph::AZoom(const AZoomSpec& spec) const {
+  if (!spec.group_of || !spec.aggregator.init || !spec.aggregator.merge) {
+    return Status::InvalidArgument(
+        "AZoomSpec requires group_of and an aggregator with init and merge");
+  }
+  switch (representation()) {
+    case Representation::kVe:
+      return TGraph(AZoomVe(ve(), spec), /*coalesced=*/false);
+    case Representation::kOg:
+      return TGraph(AZoomOg(og(), spec), /*coalesced=*/false);
+    case Representation::kRg:
+      return TGraph(AZoomRg(rg(), spec), /*coalesced=*/false);
+    case Representation::kOgc:
+      return Status::NotImplemented(
+          "OGC does not represent attributes and so does not support aZoom^T "
+          "(Section 3.1)");
+  }
+  return Status::Internal("unhandled representation");
+}
+
+Result<TGraph> TGraph::WZoom(const WZoomSpec& spec) const {
+  if (spec.window.size <= 0) {
+    return Status::InvalidArgument("window size must be positive");
+  }
+  // wZoom^T computes across snapshots and requires a coalesced input
+  // (Section 3.2); coalesce lazily here if the input is not.
+  TGraph input = coalesced_ ? *this : Coalesce();
+  switch (input.representation()) {
+    case Representation::kVe:
+      return TGraph(WZoomVe(input.ve(), spec), /*coalesced=*/true);
+    case Representation::kOg:
+      return TGraph(WZoomOg(input.og(), spec), /*coalesced=*/true);
+    case Representation::kRg:
+      // WZoomRg can leave adjacent identical window snapshots; RG-level
+      // coalescing merges them.
+      return TGraph(WZoomRg(input.rg(), spec).Coalesce(), /*coalesced=*/true);
+    case Representation::kOgc:
+      return TGraph(WZoomOgc(input.ogc(), spec), /*coalesced=*/true);
+  }
+  return Status::Internal("unhandled representation");
+}
+
+TGraph TGraph::Coalesce() const {
+  if (coalesced_) return *this;
+  switch (representation()) {
+    case Representation::kVe:
+      return TGraph(ve().Coalesce(), true);
+    case Representation::kOg:
+      return TGraph(og().Coalesce(), true);
+    case Representation::kRg:
+      return TGraph(rg().Coalesce(), true);
+    case Representation::kOgc:
+      return TGraph(ogc(), true);
+  }
+  return *this;
+}
+
+TGraph TGraph::Slice(Interval range) const {
+  switch (representation()) {
+    case Representation::kVe:
+      return TGraph(SliceVe(ve(), range), coalesced_);
+    case Representation::kOg:
+      return TGraph(SliceOg(og(), range), coalesced_);
+    case Representation::kRg:
+      return TGraph(SliceRg(rg(), range), coalesced_);
+    case Representation::kOgc:
+      return TGraph(SliceOgc(ogc(), range), true);
+  }
+  return *this;
+}
+
+int64_t TGraph::NumVertexRecords() const {
+  return std::visit([](const auto& g) { return g.NumVertexRecords(); }, graph_);
+}
+
+int64_t TGraph::NumEdgeRecords() const {
+  return std::visit([](const auto& g) { return g.NumEdgeRecords(); }, graph_);
+}
+
+}  // namespace tgraph

@@ -1,0 +1,105 @@
+#ifndef TGRAPH_TGRAPH_TGRAPH_H_
+#define TGRAPH_TGRAPH_TGRAPH_H_
+
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "tgraph/azoom.h"
+#include "tgraph/convert.h"
+#include "tgraph/og.h"
+#include "tgraph/ogc.h"
+#include "tgraph/rg.h"
+#include "tgraph/slice.h"
+#include "tgraph/ve.h"
+#include "tgraph/window.h"
+#include "tgraph/wzoom.h"
+#include "tgraph/zoom_spec.h"
+
+namespace tgraph {
+
+/// The four physical representations of Section 3.
+enum class Representation { kRg, kVe, kOg, kOgc };
+
+const char* RepresentationName(Representation representation);
+
+/// \brief The user-facing evolving property graph: a logical TGraph bound
+/// to one of the four physical representations, with zoom operators,
+/// representation switching, and lazy temporal coalescing (Section 4).
+///
+/// Coalescing discipline: aZoom^T computes per snapshot, so it neither
+/// requires a coalesced input nor produces a coalesced output; wZoom^T
+/// computes across snapshots and requires a coalesced input. The facade
+/// tracks a `coalesced` flag and inserts the coalesce step only when an
+/// operator (or the caller) demands it — the paper's lazy coalescing.
+class TGraph {
+ public:
+  static TGraph FromVe(VeGraph graph, bool coalesced = false) {
+    return TGraph(std::move(graph), coalesced);
+  }
+  static TGraph FromOg(OgGraph graph, bool coalesced = false) {
+    return TGraph(std::move(graph), coalesced);
+  }
+  /// OGC bitsets have no value-equivalence to merge; always coalesced.
+  static TGraph FromOgc(OgcGraph graph) { return TGraph(std::move(graph), true); }
+  static TGraph FromRg(RgGraph graph, bool coalesced = false) {
+    return TGraph(std::move(graph), coalesced);
+  }
+
+  Representation representation() const;
+  bool coalesced() const { return coalesced_; }
+  Interval lifetime() const;
+  dataflow::ExecutionContext* context() const;
+
+  /// Switches the physical representation (identity if already `target`).
+  /// Converting to OGC drops attributes other than type; converting OGC to
+  /// an attributed representation yields type-only properties.
+  Result<TGraph> As(Representation target) const;
+
+  /// Temporal attribute-based zoom (Section 2.2). Not supported on OGC
+  /// (no attributes). Output is uncoalesced (lazy coalescing).
+  Result<TGraph> AZoom(const AZoomSpec& spec) const;
+
+  /// Temporal window-based zoom (Section 2.3). Coalesces the input first
+  /// when needed; output is coalesced.
+  Result<TGraph> WZoom(const WZoomSpec& spec) const;
+
+  /// Eagerly coalesces (identity if already coalesced).
+  TGraph Coalesce() const;
+
+  /// Temporal selection: restricts to `range`, clipping validity at the
+  /// boundaries (the in-memory counterpart of the loader's date-range
+  /// filter). Preserves the representation and the coalescing state.
+  TGraph Slice(Interval range) const;
+
+  /// Typed accessors; calling the wrong one aborts. The graph classes are
+  /// cheap shared handles — when calling these on a temporary (e.g.
+  /// `g.As(kVe)->ve()`), take a copy; binding the returned reference to a
+  /// local outlives the temporary and dangles.
+  const VeGraph& ve() const { return std::get<VeGraph>(graph_); }
+  const OgGraph& og() const { return std::get<OgGraph>(graph_); }
+  const OgcGraph& ogc() const { return std::get<OgcGraph>(graph_); }
+  const RgGraph& rg() const { return std::get<RgGraph>(graph_); }
+
+  /// Total entity-state counts (representation-specific record counts).
+  int64_t NumVertexRecords() const;
+  int64_t NumEdgeRecords() const;
+
+  /// Forces full materialization of the underlying datasets and returns
+  /// the total record count. Benchmarks call this to include execution in
+  /// the timed region.
+  int64_t Materialize() const { return NumVertexRecords() + NumEdgeRecords(); }
+
+ private:
+  using AnyGraph = std::variant<RgGraph, VeGraph, OgGraph, OgcGraph>;
+
+  TGraph(AnyGraph graph, bool coalesced)
+      : graph_(std::move(graph)), coalesced_(coalesced) {}
+
+  AnyGraph graph_;
+  bool coalesced_ = false;
+};
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_TGRAPH_H_

@@ -1,0 +1,180 @@
+#ifndef TGRAPH_TGRAPH_TYPES_H_
+#define TGRAPH_TGRAPH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/hash.h"
+#include "common/interval.h"
+#include "common/properties.h"
+#include "sg/types.h"
+
+namespace tgraph {
+
+using sg::EdgeId;
+using sg::VertexId;
+
+/// Required property label: every vertex and edge of a valid TGraph assigns
+/// a value to "type" whenever it exists (Definition 2.1).
+inline constexpr char kTypeProperty[] = "type";
+
+// ---------------------------------------------------------------------------
+// VE — Vertex-Edge representation (Figure 5): one temporally coalesced tuple
+// per maximal unchanged state of a vertex or edge.
+// ---------------------------------------------------------------------------
+
+/// \brief One state of a vertex: its properties over a validity interval.
+struct VeVertex {
+  VertexId vid = 0;
+  Interval interval;
+  Properties properties;
+
+  friend bool operator==(const VeVertex& a, const VeVertex& b) {
+    return a.vid == b.vid && a.interval == b.interval &&
+           a.properties == b.properties;
+  }
+  uint64_t Hash() const {
+    uint64_t h = Mix64(static_cast<uint64_t>(vid));
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(interval.start)));
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(interval.end)));
+    return HashCombine(h, properties.Hash());
+  }
+  std::string ToString() const;
+};
+
+/// \brief One state of an edge. `src`/`dst` are foreign keys into the vertex
+/// relation (the defining difference from OG, which embeds vertex copies).
+struct VeEdge {
+  EdgeId eid = 0;
+  VertexId src = 0;
+  VertexId dst = 0;
+  Interval interval;
+  Properties properties;
+
+  friend bool operator==(const VeEdge& a, const VeEdge& b) {
+    return a.eid == b.eid && a.src == b.src && a.dst == b.dst &&
+           a.interval == b.interval && a.properties == b.properties;
+  }
+  uint64_t Hash() const {
+    uint64_t h = Mix64(static_cast<uint64_t>(eid));
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(src)));
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(dst)));
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(interval.start)));
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(interval.end)));
+    return HashCombine(h, properties.Hash());
+  }
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// OG — One Graph representation (Figure 6): each entity appears once and
+// carries its full evolution as a history array.
+// ---------------------------------------------------------------------------
+
+/// \brief One element of an entity's evolution: properties over an interval.
+struct HistoryItem {
+  Interval interval;
+  Properties properties;
+
+  friend bool operator==(const HistoryItem& a, const HistoryItem& b) {
+    return a.interval == b.interval && a.properties == b.properties;
+  }
+  uint64_t Hash() const {
+    uint64_t h = Mix64(static_cast<uint64_t>(interval.start));
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(interval.end)));
+    return HashCombine(h, properties.Hash());
+  }
+};
+
+/// A history: states sorted by interval start, pairwise disjoint.
+using History = std::vector<HistoryItem>;
+
+uint64_t HashHistory(const History& history);
+
+/// \brief A vertex with its full evolution.
+struct OgVertex {
+  VertexId vid = 0;
+  History history;
+
+  friend bool operator==(const OgVertex& a, const OgVertex& b) {
+    return a.vid == b.vid && a.history == b.history;
+  }
+  uint64_t Hash() const {
+    return HashCombine(Mix64(static_cast<uint64_t>(vid)), HashHistory(history));
+  }
+  std::string ToString() const;
+};
+
+/// \brief An edge with its full evolution. Per the paper's OG schema, the
+/// edge embeds a *copy* of its endpoint vertices (id + history) rather than
+/// a foreign key — this is what lets OG redirect edges without a join.
+struct OgEdge {
+  EdgeId eid = 0;
+  OgVertex v1;
+  OgVertex v2;
+  History history;
+
+  friend bool operator==(const OgEdge& a, const OgEdge& b) {
+    return a.eid == b.eid && a.v1 == b.v1 && a.v2 == b.v2 &&
+           a.history == b.history;
+  }
+  uint64_t Hash() const {
+    uint64_t h = Mix64(static_cast<uint64_t>(eid));
+    h = HashCombine(h, v1.Hash());
+    h = HashCombine(h, v2.Hash());
+    return HashCombine(h, HashHistory(history));
+  }
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// OGC — One Graph Columnar representation (Figure 7): topology only, with a
+// presence bit per global interval.
+// ---------------------------------------------------------------------------
+
+/// \brief A topology-only vertex: its required type label plus one presence
+/// bit per entry of the owning graph's global interval index.
+struct OgcVertex {
+  VertexId vid = 0;
+  std::string type;
+  Bitset presence;
+
+  friend bool operator==(const OgcVertex& a, const OgcVertex& b) {
+    return a.vid == b.vid && a.type == b.type && a.presence == b.presence;
+  }
+  uint64_t Hash() const {
+    uint64_t h = HashCombine(Mix64(static_cast<uint64_t>(vid)),
+                             HashBytes(type));
+    return HashCombine(h, presence.Hash());
+  }
+};
+
+/// \brief A topology-only edge. Per the paper's OGC schema the edge embeds
+/// copies of its endpoint vertices, which is what makes dangling-edge
+/// removal "as simple as computing the logical and between the edge bitset
+/// and the corresponding vertex bitsets" (Section 3.2).
+struct OgcEdge {
+  EdgeId eid = 0;
+  std::string type;
+  OgcVertex v1;
+  OgcVertex v2;
+  Bitset presence;
+
+  friend bool operator==(const OgcEdge& a, const OgcEdge& b) {
+    return a.eid == b.eid && a.type == b.type && a.v1 == b.v1 && a.v2 == b.v2 &&
+           a.presence == b.presence;
+  }
+  uint64_t Hash() const {
+    uint64_t h = HashCombine(Mix64(static_cast<uint64_t>(eid)),
+                             HashBytes(type));
+    h = HashCombine(h, v1.Hash());
+    h = HashCombine(h, v2.Hash());
+    return HashCombine(h, presence.Hash());
+  }
+};
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_TYPES_H_

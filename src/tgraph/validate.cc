@@ -1,0 +1,340 @@
+#include "tgraph/validate.h"
+
+#include <algorithm>
+
+#include "tgraph/coalesce.h"
+
+namespace tgraph {
+
+using dataflow::Dataset;
+
+namespace {
+
+// Collects up to one representative error message from a dataset of
+// optional messages.
+Status FirstError(const Dataset<std::string>& errors) {
+  std::vector<std::string> collected = errors.Collect();
+  if (collected.empty()) return Status::OK();
+  return Status::InvalidArgument(collected.front() +
+                                 (collected.size() > 1
+                                      ? " (+" +
+                                            std::to_string(collected.size() - 1) +
+                                            " more violations)"
+                                      : ""));
+}
+
+bool HasType(const Properties& props) {
+  return props.Find(kTypeProperty) != nullptr;
+}
+
+// Checks a set of intervals for pairwise disjointness (after sorting).
+bool Disjoint(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i - 1].Overlaps(intervals[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ValidateVe(const VeGraph& graph) {
+  // Record-local checks.
+  auto record_errors =
+      graph.vertices()
+          .FlatMap<std::string>([](const VeVertex& v,
+                                   std::vector<std::string>* out) {
+            if (v.interval.empty()) {
+              out->push_back("vertex " + std::to_string(v.vid) +
+                             " has an empty interval");
+            } else if (!HasType(v.properties)) {
+              out->push_back("vertex " + std::to_string(v.vid) +
+                             " lacks the required type property");
+            }
+          })
+          .Union(graph.edges().FlatMap<std::string>(
+              [](const VeEdge& e, std::vector<std::string>* out) {
+                if (e.interval.empty()) {
+                  out->push_back("edge " + std::to_string(e.eid) +
+                                 " has an empty interval");
+                } else if (!HasType(e.properties)) {
+                  out->push_back("edge " + std::to_string(e.eid) +
+                                 " lacks the required type property");
+                }
+              }));
+  TG_RETURN_IF_ERROR(FirstError(record_errors));
+
+  // Per-entity checks: disjoint states; constant endpoints per eid.
+  auto vertex_group_errors =
+      graph.vertices()
+          .Map([](const VeVertex& v) {
+            return std::pair<VertexId, Interval>(v.vid, v.interval);
+          })
+          .GroupByKey()
+          .FlatMap<std::string>(
+              [](const std::pair<VertexId, std::vector<Interval>>& kv,
+                 std::vector<std::string>* out) {
+                if (!Disjoint(kv.second)) {
+                  out->push_back("vertex " + std::to_string(kv.first) +
+                                 " exists more than once at some time point");
+                }
+              });
+  TG_RETURN_IF_ERROR(FirstError(vertex_group_errors));
+
+  auto edge_group_errors =
+      graph.edges()
+          .Map([](const VeEdge& e) { return std::pair<EdgeId, VeEdge>(e.eid, e); })
+          .GroupByKey()
+          .FlatMap<std::string>(
+              [](const std::pair<EdgeId, std::vector<VeEdge>>& kv,
+                 std::vector<std::string>* out) {
+                std::vector<Interval> intervals;
+                for (const VeEdge& e : kv.second) {
+                  intervals.push_back(e.interval);
+                  if (e.src != kv.second.front().src ||
+                      e.dst != kv.second.front().dst) {
+                    out->push_back("edge " + std::to_string(kv.first) +
+                                   " changes endpoints over time");
+                    return;
+                  }
+                }
+                if (!Disjoint(std::move(intervals))) {
+                  out->push_back("edge " + std::to_string(kv.first) +
+                                 " exists more than once at some time point");
+                }
+              });
+  TG_RETURN_IF_ERROR(FirstError(edge_group_errors));
+
+  // Referential/temporal integrity: an edge exists only while both its
+  // endpoints exist (condition on xi^T). CoGroup edges with each endpoint's
+  // presence intervals.
+  auto vertex_presence =
+      graph.vertices()
+          .Map([](const VeVertex& v) {
+            return std::pair<VertexId, Interval>(v.vid, v.interval);
+          })
+          .AggregateByKey<std::vector<Interval>>(
+              {},
+              [](std::vector<Interval>* acc, const Interval& i) {
+                acc->push_back(i);
+              },
+              [](std::vector<Interval>* acc, std::vector<Interval>&& other) {
+                acc->insert(acc->end(), other.begin(), other.end());
+              })
+          .Map([](const std::pair<VertexId, std::vector<Interval>>& kv) {
+            return std::pair<VertexId, std::vector<Interval>>(
+                kv.first, CoalesceIntervals(kv.second));
+          })
+          .Cache();
+
+  auto check_endpoint = [&](bool use_src) {
+    auto keyed = graph.edges().Map([use_src](const VeEdge& e) {
+      return std::pair<VertexId, VeEdge>(use_src ? e.src : e.dst, e);
+    });
+    return keyed.CoGroup<std::vector<Interval>>(vertex_presence)
+        .FlatMap<std::string>(
+            [use_src](
+                const std::pair<VertexId,
+                                std::pair<std::vector<VeEdge>,
+                                          std::vector<std::vector<Interval>>>>&
+                    kv,
+                std::vector<std::string>* out) {
+              const auto& [edges, presences] = kv.second;
+              if (edges.empty()) return;
+              std::vector<Interval> presence =
+                  presences.empty() ? std::vector<Interval>{} : presences[0];
+              for (const VeEdge& e : edges) {
+                int64_t covered = 0;
+                for (const Interval& p : presence) {
+                  covered += e.interval.Intersect(p).duration();
+                }
+                if (covered < e.interval.duration()) {
+                  out->push_back("edge " + std::to_string(e.eid) +
+                                 " dangles: its " +
+                                 (use_src ? "source" : "destination") +
+                                 " vertex does not exist throughout " +
+                                 e.interval.ToString());
+                }
+              }
+            });
+  };
+  TG_RETURN_IF_ERROR(FirstError(check_endpoint(true)));
+  TG_RETURN_IF_ERROR(FirstError(check_endpoint(false)));
+  return Status::OK();
+}
+
+Status CheckCoalescedVe(const VeGraph& graph) {
+  auto vertex_errors =
+      graph.vertices()
+          .Map([](const VeVertex& v) {
+            return std::pair<VertexId, HistoryItem>(
+                v.vid, HistoryItem{v.interval, v.properties});
+          })
+          .GroupByKey()
+          .FlatMap<std::string>(
+              [](const std::pair<VertexId, History>& kv,
+                 std::vector<std::string>* out) {
+                History sorted = kv.second;
+                std::sort(sorted.begin(), sorted.end(),
+                          [](const HistoryItem& a, const HistoryItem& b) {
+                            return a.interval < b.interval;
+                          });
+                if (!IsCoalescedHistory(sorted)) {
+                  out->push_back("vertex " + std::to_string(kv.first) +
+                                 " is not temporally coalesced");
+                }
+              });
+  TG_RETURN_IF_ERROR(FirstError(vertex_errors));
+  auto edge_errors =
+      graph.edges()
+          .Map([](const VeEdge& e) {
+            return std::pair<EdgeId, HistoryItem>(
+                e.eid, HistoryItem{e.interval, e.properties});
+          })
+          .GroupByKey()
+          .FlatMap<std::string>(
+              [](const std::pair<EdgeId, History>& kv,
+                 std::vector<std::string>* out) {
+                History sorted = kv.second;
+                std::sort(sorted.begin(), sorted.end(),
+                          [](const HistoryItem& a, const HistoryItem& b) {
+                            return a.interval < b.interval;
+                          });
+                if (!IsCoalescedHistory(sorted)) {
+                  out->push_back("edge " + std::to_string(kv.first) +
+                                 " is not temporally coalesced");
+                }
+              });
+  return FirstError(edge_errors);
+}
+
+Status ValidateOg(const OgGraph& graph) {
+  auto history_ok = [](const History& h) {
+    for (size_t i = 0; i < h.size(); ++i) {
+      if (h[i].interval.empty()) return false;
+      if (!HasType(h[i].properties)) return false;
+      if (i > 0 && h[i - 1].interval.Overlaps(h[i].interval)) return false;
+      if (i > 0 && !(h[i - 1].interval < h[i].interval)) return false;
+    }
+    return true;
+  };
+  auto vertex_errors = graph.vertices().FlatMap<std::string>(
+      [history_ok](const OgVertex& v, std::vector<std::string>* out) {
+        if (v.history.empty()) {
+          out->push_back("vertex " + std::to_string(v.vid) +
+                         " has an empty history");
+        } else if (!history_ok(v.history)) {
+          out->push_back("vertex " + std::to_string(v.vid) +
+                         " has an invalid history (overlap, order, empty "
+                         "interval, or missing type)");
+        }
+      });
+  TG_RETURN_IF_ERROR(FirstError(vertex_errors));
+
+  auto edge_errors = graph.edges().FlatMap<std::string>(
+      [history_ok](const OgEdge& e, std::vector<std::string>* out) {
+        if (e.history.empty()) {
+          out->push_back("edge " + std::to_string(e.eid) +
+                         " has an empty history");
+          return;
+        }
+        if (!history_ok(e.history)) {
+          out->push_back("edge " + std::to_string(e.eid) +
+                         " has an invalid history");
+          return;
+        }
+        // Edge presence must lie within the presence of both embedded
+        // endpoint copies.
+        int64_t duration = HistoryCoveredDuration(e.history);
+        if (HistoryCoveredDuration(
+                IntersectHistoryPresence(e.history, e.v1.history)) != duration ||
+            HistoryCoveredDuration(
+                IntersectHistoryPresence(e.history, e.v2.history)) != duration) {
+          out->push_back("edge " + std::to_string(e.eid) +
+                         " exists outside the lifetime of an endpoint");
+        }
+      });
+  return FirstError(edge_errors);
+}
+
+Status ValidateOgc(const OgcGraph& graph) {
+  size_t index_size = graph.intervals().size();
+  for (size_t i = 1; i < graph.intervals().size(); ++i) {
+    if (graph.intervals()[i - 1].Overlaps(graph.intervals()[i]) ||
+        !(graph.intervals()[i - 1] < graph.intervals()[i])) {
+      return Status::InvalidArgument(
+          "OGC interval index is not sorted and disjoint");
+    }
+  }
+  auto vertex_errors = graph.vertices().FlatMap<std::string>(
+      [index_size](const OgcVertex& v, std::vector<std::string>* out) {
+        if (v.presence.size() != index_size) {
+          out->push_back("vertex " + std::to_string(v.vid) +
+                         " has a bitset of the wrong size");
+        } else if (v.presence.None()) {
+          out->push_back("vertex " + std::to_string(v.vid) +
+                         " is never present");
+        }
+      });
+  TG_RETURN_IF_ERROR(FirstError(vertex_errors));
+  auto edge_errors = graph.edges().FlatMap<std::string>(
+      [index_size](const OgcEdge& e, std::vector<std::string>* out) {
+        if (e.presence.size() != index_size ||
+            e.v1.presence.size() != index_size ||
+            e.v2.presence.size() != index_size) {
+          out->push_back("edge " + std::to_string(e.eid) +
+                         " has a bitset of the wrong size");
+          return;
+        }
+        Bitset allowed = e.v1.presence;
+        allowed.AndWith(e.v2.presence);
+        Bitset check = e.presence;
+        check.AndWith(allowed);
+        if (!(check == e.presence)) {
+          out->push_back("edge " + std::to_string(e.eid) +
+                         " exists outside the presence of an endpoint");
+        }
+      });
+  return FirstError(edge_errors);
+}
+
+Status ValidateRg(const RgGraph& graph) {
+  for (size_t i = 1; i < graph.intervals().size(); ++i) {
+    if (graph.intervals()[i - 1].Overlaps(graph.intervals()[i]) ||
+        !(graph.intervals()[i - 1] < graph.intervals()[i])) {
+      return Status::InvalidArgument(
+          "RG snapshot intervals are not sorted and disjoint");
+    }
+  }
+  for (size_t s = 0; s < graph.NumSnapshots(); ++s) {
+    const sg::PropertyGraph& snapshot = graph.snapshots()[s];
+    auto vertex_ids = snapshot.vertices().Map(
+        [](const sg::Vertex& v) { return std::pair<VertexId, bool>(v.vid, true); });
+    auto dangling =
+        snapshot.edges()
+            .Map([](const sg::Edge& e) {
+              return std::pair<VertexId, VertexId>(e.src, e.dst);
+            })
+            .FlatMap<std::pair<VertexId, bool>>(
+                [](const std::pair<VertexId, VertexId>& e,
+                   std::vector<std::pair<VertexId, bool>>* out) {
+                  out->emplace_back(e.first, true);
+                  out->emplace_back(e.second, true);
+                })
+            .Distinct()
+            .CoGroup<bool>(vertex_ids)
+            .Filter([](const std::pair<VertexId,
+                                       std::pair<std::vector<bool>,
+                                                 std::vector<bool>>>& kv) {
+              return !kv.second.first.empty() && kv.second.second.empty();
+            });
+    if (dangling.Count() > 0) {
+      return Status::InvalidArgument(
+          "snapshot " + std::to_string(s) +
+          " has edges referencing vertices absent from the snapshot");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tgraph

@@ -1,0 +1,39 @@
+#ifndef TGRAPH_TGRAPH_VALIDATE_H_
+#define TGRAPH_TGRAPH_VALIDATE_H_
+
+#include "common/status.h"
+#include "tgraph/og.h"
+#include "tgraph/ogc.h"
+#include "tgraph/rg.h"
+#include "tgraph/ve.h"
+
+namespace tgraph {
+
+/// Validity checks for the conditions of Definition 2.1: entities exist at
+/// most once per time point, every existing entity has a non-empty property
+/// set including `type`, and an edge exists only while both its endpoints
+/// exist.
+
+/// \brief Checks a VE graph. Violations are reported with a representative
+/// message; the check runs as a dataflow job, so it scales with the data.
+Status ValidateVe(const VeGraph& graph);
+
+/// \brief Additionally checks that both VE relations are temporally
+/// coalesced (no two adjacent value-equivalent states per entity).
+Status CheckCoalescedVe(const VeGraph& graph);
+
+/// \brief Checks an OG graph (history arrays sorted/disjoint, type present,
+/// edge presence within the presence of both embedded endpoint copies).
+Status ValidateOg(const OgGraph& graph);
+
+/// \brief Checks an OGC graph (bitset sizes match the interval index, edge
+/// presence within embedded endpoint presence).
+Status ValidateOgc(const OgcGraph& graph);
+
+/// \brief Checks an RG graph (intervals sorted and disjoint, every
+/// snapshot's edges have both endpoints in that snapshot).
+Status ValidateRg(const RgGraph& graph);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_VALIDATE_H_

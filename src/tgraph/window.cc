@@ -1,0 +1,84 @@
+#include "tgraph/window.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tgraph {
+
+std::string WindowSpec::ToString() const {
+  return std::to_string(size) +
+         (kind == Kind::kTimePoints ? " time points" : " changes");
+}
+
+std::string Quantifier::ToString() const {
+  if (name_ == "at least") {
+    return name_ + " " + std::to_string(threshold_);
+  }
+  return name_;
+}
+
+std::vector<TemporalWindow> GenerateWindows(
+    Interval lifetime, const WindowSpec& spec,
+    const std::vector<TimePoint>& change_points) {
+  TG_CHECK_GT(spec.size, 0);
+  std::vector<TemporalWindow> windows;
+  if (lifetime.empty()) return windows;
+
+  if (spec.kind == WindowSpec::Kind::kTimePoints) {
+    int64_t number = 0;
+    for (TimePoint start = lifetime.start; start < lifetime.end;
+         start += spec.size) {
+      windows.push_back(
+          TemporalWindow{number++, Interval(start, start + spec.size)});
+    }
+    return windows;
+  }
+
+  // kChanges: boundaries every `size`-th change point within the lifetime.
+  std::vector<TimePoint> points;
+  points.reserve(change_points.size());
+  for (TimePoint p : change_points) {
+    if (p >= lifetime.start && p <= lifetime.end) points.push_back(p);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.empty() || points.front() != lifetime.start) {
+    points.insert(points.begin(), lifetime.start);
+  }
+  if (points.back() != lifetime.end) points.push_back(lifetime.end);
+
+  int64_t number = 0;
+  size_t i = 0;
+  while (i + 1 < points.size()) {
+    size_t j = std::min(i + static_cast<size_t>(spec.size), points.size() - 1);
+    windows.push_back(TemporalWindow{number++, Interval(points[i], points[j])});
+    i = j;
+  }
+  return windows;
+}
+
+Properties ResolveProperties(
+    std::vector<std::pair<TimePoint, Properties>> states,
+    const ResolveSpec& spec) {
+  std::sort(states.begin(), states.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Properties result;
+  // Collect the union of attribute keys over all states, then pick each
+  // attribute's value per its resolver.
+  for (const auto& [start, props] : states) {
+    for (const auto& [key, value] : props.entries()) {
+      Resolver resolver = spec.For(key);
+      if (resolver == Resolver::kLast) {
+        // States are sorted ascending; later states overwrite.
+        result.Set(key, value);
+      } else {
+        // kFirst / kAny: first state having the attribute wins.
+        if (!result.Has(key)) result.Set(key, value);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tgraph

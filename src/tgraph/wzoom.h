@@ -1,0 +1,43 @@
+#ifndef TGRAPH_TGRAPH_WZOOM_H_
+#define TGRAPH_TGRAPH_WZOOM_H_
+
+#include "tgraph/og.h"
+#include "tgraph/ogc.h"
+#include "tgraph/rg.h"
+#include "tgraph/ve.h"
+#include "tgraph/window.h"
+
+namespace tgraph {
+
+/// \brief wZoom^T over the VE representation (Algorithm 5): aligns each
+/// tuple with the temporal windows it overlaps (creating one copy per
+/// window — the cost that makes VE slow for small windows, Section 5.2),
+/// aggregates coverage per (entity, window), filters by quantifier,
+/// resolves attributes, and removes dangling edges with two semijoins when
+/// the vertex quantifier is more restrictive than the edge quantifier.
+///
+/// The input must be temporally coalesced (Section 3.2); the output is
+/// coalesced.
+VeGraph WZoomVe(const VeGraph& graph, const WZoomSpec& spec);
+
+/// \brief wZoom^T over the OG representation (Algorithm 6): recomputes each
+/// entity's history array in a single map — no shuffle except for the
+/// optional dangling-edge semijoins.
+OgGraph WZoomOg(const OgGraph& graph, const WZoomSpec& spec);
+
+/// \brief wZoom^T over the RG representation (Algorithm 4): groups
+/// snapshots by target window, aggregates vertex/edge existence across the
+/// snapshots of each window, filters, resolves, and rebuilds one snapshot
+/// per window.
+RgGraph WZoomRg(const RgGraph& graph, const WZoomSpec& spec);
+
+/// \brief wZoom^T over the OGC representation: the bitset variant of
+/// Algorithm 6. Coverage per window is a weighted popcount over the global
+/// interval index; dangling-edge removal is a bitwise AND with the
+/// embedded endpoint bitsets. Attribute resolvers are ignored (OGC stores
+/// no attributes).
+OgcGraph WZoomOgc(const OgcGraph& graph, const WZoomSpec& spec);
+
+}  // namespace tgraph
+
+#endif  // TGRAPH_TGRAPH_WZOOM_H_

@@ -1,0 +1,137 @@
+#ifndef TGRAPH_TQL_AST_H_
+#define TGRAPH_TQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/graph_io.h"
+#include "tgraph/tgraph.h"
+
+namespace tgraph::tql {
+
+/// Abstract syntax of TQL. Expressions reference their input graph by
+/// name (no nesting — compose with intermediate SETs), which keeps query
+/// plans inspectable and errors local.
+
+/// One aggregate of an AZOOM clause: COUNT() AS n | SUM(attr) AS total | ...
+struct AggregateClause {
+  std::string output;
+  AggKind kind = AggKind::kCount;
+  std::string input;  // empty for COUNT
+};
+
+/// RESOLVE attr FIRST|LAST|ANY of a WZOOM clause.
+struct ResolveClause {
+  std::string attribute;
+  Resolver resolver = Resolver::kAny;
+};
+
+/// One conjunct of a WHERE clause: key <op> literal, or HAS(key).
+struct Comparison {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kHas };
+  std::string key;
+  Op op = Op::kEq;
+  PropertyValue literal;
+};
+
+/// A conjunction of comparisons (empty = keep everything).
+using WherePredicate = std::vector<Comparison>;
+
+// --- expressions -----------------------------------------------------------
+
+struct RefExpr {
+  std::string source;
+};
+
+struct AZoomExpr {
+  std::string source;
+  std::string group_by;
+  std::vector<AggregateClause> aggregates;
+  std::string new_type;   // TYPE 'school'; defaults to the group attribute
+  std::string edge_type;  // EDGE TYPE 'collaborate'; empty keeps input types
+};
+
+struct WZoomExpr {
+  std::string source;
+  int64_t window = 1;
+  bool by_changes = false;  // WINDOW n CHANGES vs WINDOW n [POINTS]
+  Quantifier nodes = Quantifier::All();
+  Quantifier edges = Quantifier::All();
+  std::vector<ResolveClause> resolves;
+};
+
+struct SliceExpr {
+  std::string source;
+  TimePoint from = 0;
+  TimePoint to = 0;
+};
+
+struct SubgraphExpr {
+  std::string source;
+  WherePredicate vertex_predicate;
+  WherePredicate edge_predicate;
+};
+
+struct CoalesceExpr {
+  std::string source;
+};
+
+struct ConvertExpr {
+  std::string source;
+  Representation target = Representation::kVe;
+};
+
+using Expr = std::variant<RefExpr, AZoomExpr, WZoomExpr, SliceExpr,
+                          SubgraphExpr, CoalesceExpr, ConvertExpr>;
+
+// --- statements ------------------------------------------------------------
+
+struct LoadStatement {
+  std::string path;
+  std::optional<Interval> range;  // LOAD ... FROM a TO b
+  std::string name;
+};
+
+struct GenerateStatement {
+  std::string dataset;  // wikitalk | snb | ngrams
+  std::vector<std::pair<std::string, double>> params;  // scale=0.5, seed=7
+  std::string name;
+};
+
+struct SetStatement {
+  std::string name;
+  Expr expr;
+};
+
+struct StoreStatement {
+  std::string name;
+  std::string path;
+  storage::SortOrder sort = storage::SortOrder::kTemporalLocality;
+};
+
+struct InfoStatement {
+  std::string name;
+};
+
+struct SnapshotStatement {
+  std::string name;
+  TimePoint at = 0;
+  int64_t limit = 10;
+};
+
+struct DropStatement {
+  std::string name;
+};
+
+struct ListStatement {};
+
+using Statement =
+    std::variant<LoadStatement, GenerateStatement, SetStatement,
+                 StoreStatement, InfoStatement, SnapshotStatement,
+                 DropStatement, ListStatement>;
+
+}  // namespace tgraph::tql
+
+#endif  // TGRAPH_TQL_AST_H_

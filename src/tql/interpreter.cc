@@ -1,0 +1,241 @@
+#include "tql/interpreter.h"
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "gen/stats.h"
+#include "tgraph/algebra.h"
+#include "tql/parser.h"
+
+namespace tgraph::tql {
+
+namespace {
+
+double ParamOr(const GenerateStatement& statement, const char* key,
+               double fallback) {
+  for (const auto& [name, value] : statement.params) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+// Evaluates one comparison against a property set.
+bool Matches(const Comparison& comparison, const Properties& props) {
+  const PropertyValue* value = props.Find(comparison.key);
+  if (comparison.op == Comparison::Op::kHas) return value != nullptr;
+  if (value == nullptr) return false;
+  switch (comparison.op) {
+    case Comparison::Op::kEq:
+      return *value == comparison.literal;
+    case Comparison::Op::kNe:
+      return !(*value == comparison.literal);
+    case Comparison::Op::kLt:
+      return *value < comparison.literal;
+    case Comparison::Op::kLe:
+      return *value <= comparison.literal;
+    case Comparison::Op::kGt:
+      return *value > comparison.literal;
+    case Comparison::Op::kGe:
+      return *value >= comparison.literal;
+    case Comparison::Op::kHas:
+      break;
+  }
+  return false;
+}
+
+bool MatchesAll(const WherePredicate& predicate, const Properties& props) {
+  for (const Comparison& comparison : predicate) {
+    if (!Matches(comparison, props)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> Interpreter::ExecuteScript(const std::string& script) {
+  TG_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parse(script));
+  std::string output;
+  for (const Statement& statement : statements) {
+    TG_ASSIGN_OR_RETURN(std::string line, Execute(statement));
+    output += line;
+  }
+  return output;
+}
+
+Result<TGraph> Interpreter::Lookup(const std::string& name) const {
+  auto it = env_.find(name);
+  if (it == env_.end()) {
+    return Status::NotFound("no graph named '" + name +
+                            "' (LIST shows bound names)");
+  }
+  return it->second;
+}
+
+Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
+  if (const auto* ref = std::get_if<RefExpr>(&expr)) {
+    return Lookup(ref->source);
+  }
+  if (const auto* azoom = std::get_if<AZoomExpr>(&expr)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(azoom->source));
+    AZoomSpec spec;
+    spec.group_of = GroupByProperty(azoom->group_by);
+    std::vector<AggregateSpec> aggregates;
+    for (const AggregateClause& agg : azoom->aggregates) {
+      aggregates.push_back(AggregateSpec{agg.output, agg.kind, agg.input});
+    }
+    std::string new_type =
+        azoom->new_type.empty() ? azoom->group_by : azoom->new_type;
+    spec.aggregator =
+        MakeAggregator(new_type, azoom->group_by, std::move(aggregates));
+    spec.edge_type = azoom->edge_type;
+    return graph.AZoom(spec);
+  }
+  if (const auto* wzoom = std::get_if<WZoomExpr>(&expr)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(wzoom->source));
+    WZoomSpec spec{wzoom->by_changes ? WindowSpec::Changes(wzoom->window)
+                                     : WindowSpec::TimePoints(wzoom->window),
+                   wzoom->nodes, wzoom->edges, {}, {}};
+    for (const ResolveClause& resolve : wzoom->resolves) {
+      spec.vertex_resolve.overrides.emplace_back(resolve.attribute,
+                                                 resolve.resolver);
+      spec.edge_resolve.overrides.emplace_back(resolve.attribute,
+                                               resolve.resolver);
+    }
+    return graph.WZoom(spec);
+  }
+  if (const auto* slice = std::get_if<SliceExpr>(&expr)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(slice->source));
+    return graph.Slice(Interval(slice->from, slice->to));
+  }
+  if (const auto* subgraph = std::get_if<SubgraphExpr>(&expr)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(subgraph->source));
+    TG_ASSIGN_OR_RETURN(TGraph as_ve, graph.As(Representation::kVe));
+    WherePredicate vertex_predicate = subgraph->vertex_predicate;
+    WherePredicate edge_predicate = subgraph->edge_predicate;
+    VeGraph result = SubgraphVe(
+        as_ve.ve(),
+        [vertex_predicate](VertexId, const Properties& props) {
+          return MatchesAll(vertex_predicate, props);
+        },
+        [edge_predicate](EdgeId, VertexId, VertexId, const Properties& props) {
+          return MatchesAll(edge_predicate, props);
+        });
+    return TGraph::FromVe(std::move(result), /*coalesced=*/true);
+  }
+  if (const auto* coalesce = std::get_if<CoalesceExpr>(&expr)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(coalesce->source));
+    return graph.Coalesce();
+  }
+  if (const auto* convert = std::get_if<ConvertExpr>(&expr)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(convert->source));
+    return graph.As(convert->target);
+  }
+  return Status::Internal("unhandled expression");
+}
+
+Result<std::string> Interpreter::Execute(const Statement& statement) {
+  if (const auto* load = std::get_if<LoadStatement>(&statement)) {
+    storage::LoadOptions options;
+    options.time_range = load->range;
+    TG_ASSIGN_OR_RETURN(VeGraph graph,
+                        storage::LoadVeGraph(ctx_, load->path, options));
+    env_.insert_or_assign(load->name,
+                          TGraph::FromVe(std::move(graph), /*coalesced=*/true));
+    return "loaded " + load->name + " from '" + load->path + "'\n";
+  }
+  if (const auto* generate = std::get_if<GenerateStatement>(&statement)) {
+    double scale = ParamOr(*generate, "scale", 1.0);
+    uint64_t seed = static_cast<uint64_t>(ParamOr(*generate, "seed", 42));
+    VeGraph graph;
+    if (generate->dataset == "wikitalk") {
+      gen::WikiTalkConfig config;
+      config.num_users = static_cast<int64_t>(config.num_users * scale);
+      config.num_months =
+          static_cast<int64_t>(ParamOr(*generate, "months", 60));
+      config.seed = seed;
+      graph = gen::GenerateWikiTalk(ctx_, config);
+    } else if (generate->dataset == "snb") {
+      gen::SnbConfig config;
+      config.num_persons = static_cast<int64_t>(config.num_persons * scale);
+      config.num_months =
+          static_cast<int64_t>(ParamOr(*generate, "months", 36));
+      config.seed = seed;
+      graph = gen::GenerateSnb(ctx_, config);
+    } else if (generate->dataset == "ngrams") {
+      gen::NGramsConfig config;
+      config.num_words = static_cast<int64_t>(config.num_words * scale);
+      config.appearances_per_year *= scale;
+      config.num_years =
+          static_cast<int64_t>(ParamOr(*generate, "years", 100));
+      config.seed = seed;
+      graph = gen::GenerateNGrams(ctx_, config);
+    } else {
+      return Status::InvalidArgument("unknown dataset '" + generate->dataset +
+                                     "' (use wikitalk, snb, or ngrams)");
+    }
+    env_.insert_or_assign(generate->name,
+                          TGraph::FromVe(std::move(graph), /*coalesced=*/true));
+    return "generated " + generate->name + " (" + generate->dataset + ")\n";
+  }
+  if (const auto* set = std::get_if<SetStatement>(&statement)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Evaluate(set->expr));
+    env_.insert_or_assign(set->name, std::move(graph));
+    return "set " + set->name + "\n";
+  }
+  if (const auto* store = std::get_if<StoreStatement>(&statement)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(store->name));
+    TG_ASSIGN_OR_RETURN(TGraph as_ve, graph.As(Representation::kVe));
+    storage::GraphWriteOptions options;
+    options.sort_order = store->sort;
+    TG_RETURN_IF_ERROR(
+        storage::WriteVeGraph(as_ve.Coalesce().ve(), store->path, options));
+    return "stored " + store->name + " to '" + store->path + "'\n";
+  }
+  if (const auto* info = std::get_if<InfoStatement>(&statement)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(info->name));
+    TG_ASSIGN_OR_RETURN(TGraph as_ve, graph.As(Representation::kVe));
+    gen::DatasetStats stats = gen::ComputeStats(as_ve.ve());
+    return info->name + " [" +
+           std::string(RepresentationName(graph.representation())) +
+           (graph.coalesced() ? ", coalesced" : "") + "] lifetime " +
+           graph.lifetime().ToString() + ": " + stats.ToString() + "\n";
+  }
+  if (const auto* snapshot = std::get_if<SnapshotStatement>(&statement)) {
+    TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(snapshot->name));
+    TG_ASSIGN_OR_RETURN(TGraph as_ve, graph.As(Representation::kVe));
+    sg::PropertyGraph state = as_ve.ve().SnapshotAt(snapshot->at);
+    std::string out = snapshot->name + " at " + std::to_string(snapshot->at) +
+                      ": " + std::to_string(state.NumVertices()) +
+                      " vertices, " + std::to_string(state.NumEdges()) +
+                      " edges\n";
+    for (const sg::Vertex& v : state.vertices().Take(snapshot->limit)) {
+      out += "  v" + std::to_string(v.vid) + " " + v.properties.ToString() +
+             "\n";
+    }
+    for (const sg::Edge& e : state.edges().Take(snapshot->limit)) {
+      out += "  e" + std::to_string(e.eid) + " " + std::to_string(e.src) +
+             "->" + std::to_string(e.dst) + " " + e.properties.ToString() +
+             "\n";
+    }
+    return out;
+  }
+  if (const auto* drop = std::get_if<DropStatement>(&statement)) {
+    if (env_.erase(drop->name) == 0) {
+      return Status::NotFound("no graph named '" + drop->name + "'");
+    }
+    return "dropped " + drop->name + "\n";
+  }
+  if (std::get_if<ListStatement>(&statement) != nullptr) {
+    if (env_.empty()) return std::string("no graphs bound\n");
+    std::string out;
+    for (const auto& [name, graph] : env_) {
+      out += name + " [" +
+             std::string(RepresentationName(graph.representation())) +
+             "] lifetime " + graph.lifetime().ToString() + "\n";
+    }
+    return out;
+  }
+  return Status::Internal("unhandled statement");
+}
+
+}  // namespace tgraph::tql

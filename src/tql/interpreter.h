@@ -1,0 +1,45 @@
+#ifndef TGRAPH_TQL_INTERPRETER_H_
+#define TGRAPH_TQL_INTERPRETER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "tql/ast.h"
+
+namespace tgraph::tql {
+
+/// \brief Executes TQL statements against a named-graph environment — the
+/// query-language front end the paper's conclusion plans ("we will design
+/// a query language with support for the proposed temporal zoom
+/// operators").
+///
+/// The interpreter owns the environment; graphs persist across Execute
+/// calls, so a REPL session can build pipelines incrementally.
+class Interpreter {
+ public:
+  explicit Interpreter(dataflow::ExecutionContext* ctx) : ctx_(ctx) {}
+
+  /// Parses and executes a whole script; returns the concatenated output
+  /// of its statements. Execution stops at the first failing statement.
+  Result<std::string> ExecuteScript(const std::string& script);
+
+  /// Executes one parsed statement and returns its printable output.
+  Result<std::string> Execute(const Statement& statement);
+
+  /// Looks up a graph bound by LOAD/GENERATE/SET.
+  Result<TGraph> Lookup(const std::string& name) const;
+
+  /// Graphs currently bound.
+  const std::map<std::string, TGraph>& environment() const { return env_; }
+
+ private:
+  Result<TGraph> Evaluate(const Expr& expr);
+
+  dataflow::ExecutionContext* ctx_;
+  std::map<std::string, TGraph> env_;
+};
+
+}  // namespace tgraph::tql
+
+#endif  // TGRAPH_TQL_INTERPRETER_H_

@@ -1,0 +1,148 @@
+#include "tql/lexer.h"
+
+#include <cctype>
+
+namespace tgraph::tql {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kFloat:
+      return "number";
+    case TokenType::kSymbol:
+      return "symbol";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  if (type == TokenType::kEnd) return "<end>";
+  return std::string(TokenTypeName(type)) + " '" + text + "'";
+}
+
+namespace {
+
+bool IsIdentifierStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentifierChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+Status LexError(const std::string& message, size_t position) {
+  return Status::InvalidArgument(message + " at offset " +
+                                 std::to_string(position));
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comment: -- to end of line.
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (IsIdentifierStart(c)) {
+      size_t start = i;
+      while (i < input.size() && IsIdentifierChar(input[i])) ++i;
+      token.type = TokenType::kIdentifier;
+      token.text = input.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              input[i] == '.')) {
+        if (input[i] == '.') {
+          if (is_float) return LexError("malformed number", start);
+          is_float = true;
+        }
+        ++i;
+      }
+      token.text = input.substr(start, i - start);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.float_value = std::stod(token.text);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = std::stoll(token.text);
+        token.float_value = static_cast<double>(token.int_value);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == '\'') {
+          if (i + 1 < input.size() && input[i + 1] == '\'') {
+            value.push_back('\'');  // '' escapes a quote
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) return LexError("unterminated string", token.position);
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-char symbols first.
+    if ((c == '!' || c == '<' || c == '>') && i + 1 < input.size() &&
+        input[i + 1] == '=') {
+      token.type = TokenType::kSymbol;
+      token.text = input.substr(i, 2);
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == ';' || c == '(' || c == ')' || c == ',' || c == '=' || c == '<' ||
+        c == '>' || c == '*') {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    return LexError(std::string("unexpected character '") + c + "'", i);
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace tgraph::tql

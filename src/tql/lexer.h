@@ -1,0 +1,21 @@
+#ifndef TGRAPH_TQL_LEXER_H_
+#define TGRAPH_TQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tql/token.h"
+
+namespace tgraph::tql {
+
+/// \brief Tokenizes a TQL script.
+///
+/// Whitespace separates tokens; `--` starts a comment running to the end
+/// of the line; strings are single-quoted with `''` escaping a quote.
+/// Numbers may carry a leading minus and an optional fractional part.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace tgraph::tql
+
+#endif  // TGRAPH_TQL_LEXER_H_

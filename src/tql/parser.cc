@@ -1,0 +1,410 @@
+#include "tql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "tql/lexer.h"
+
+namespace tgraph::tql {
+
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t n = std::char_traits<char>::length(b);
+  if (a.size() != n) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Statement>> ParseScript() {
+    std::vector<Statement> statements;
+    while (!AtEnd()) {
+      if (MatchSymbol(";")) continue;  // empty statement
+      TG_ASSIGN_OR_RETURN(Statement statement, ParseStatement());
+      statements.push_back(std::move(statement));
+      if (!AtEnd()) {
+        TG_RETURN_IF_ERROR(ExpectSymbol(";"));
+      }
+    }
+    return statements;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const char* keyword) const {
+    return Peek().type == TokenType::kIdentifier &&
+           EqualsIgnoreCase(Peek().text, keyword);
+  }
+
+  bool MatchKeyword(const char* keyword) {
+    if (!PeekKeyword(keyword)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (MatchKeyword(keyword)) return Status::OK();
+    return Error(std::string("expected ") + keyword);
+  }
+
+  bool MatchSymbol(const char* symbol) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const char* symbol) {
+    if (MatchSymbol(symbol)) return Status::OK();
+    return Error(std::string("expected '") + symbol + "'");
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Result<std::string> ExpectString(const char* what) {
+    if (Peek().type != TokenType::kString) {
+      return Error(std::string("expected quoted ") + what);
+    }
+    return Advance().text;
+  }
+
+  Result<int64_t> ExpectInteger(const char* what) {
+    if (Peek().type != TokenType::kInteger) {
+      return Error(std::string("expected integer ") + what);
+    }
+    return Advance().int_value;
+  }
+
+  Result<double> ExpectNumber(const char* what) {
+    if (Peek().type != TokenType::kInteger &&
+        Peek().type != TokenType::kFloat) {
+      return Error(std::string("expected number ") + what);
+    }
+    return Advance().float_value;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("parse error: " + message + ", found " +
+                                   Peek().ToString() + " at offset " +
+                                   std::to_string(Peek().position));
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  Result<Statement> ParseStatement() {
+    if (MatchKeyword("LOAD")) return ParseLoad();
+    if (MatchKeyword("GENERATE")) return ParseGenerate();
+    if (MatchKeyword("SET")) return ParseSet();
+    if (MatchKeyword("STORE")) return ParseStore();
+    if (MatchKeyword("INFO")) {
+      TG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("graph name"));
+      return Statement(InfoStatement{name});
+    }
+    if (MatchKeyword("SNAPSHOT")) return ParseSnapshot();
+    if (MatchKeyword("DROP")) {
+      TG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("graph name"));
+      return Statement(DropStatement{name});
+    }
+    if (MatchKeyword("LIST")) return Statement(ListStatement{});
+    return Error(
+        "expected LOAD, GENERATE, SET, STORE, INFO, SNAPSHOT, DROP, or LIST");
+  }
+
+  Result<Statement> ParseLoad() {
+    LoadStatement load;
+    TG_ASSIGN_OR_RETURN(load.path, ExpectString("path"));
+    if (MatchKeyword("FROM")) {
+      TG_ASSIGN_OR_RETURN(int64_t from, ExpectInteger("after FROM"));
+      TG_RETURN_IF_ERROR(ExpectKeyword("TO"));
+      TG_ASSIGN_OR_RETURN(int64_t to, ExpectInteger("after TO"));
+      load.range = Interval(from, to);
+    }
+    TG_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    TG_ASSIGN_OR_RETURN(load.name, ExpectIdentifier("graph name"));
+    return Statement(std::move(load));
+  }
+
+  Result<Statement> ParseGenerate() {
+    GenerateStatement generate;
+    TG_ASSIGN_OR_RETURN(generate.dataset, ExpectIdentifier("dataset name"));
+    TG_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (!MatchSymbol(")")) {
+      do {
+        TG_ASSIGN_OR_RETURN(std::string key, ExpectIdentifier("parameter"));
+        TG_RETURN_IF_ERROR(ExpectSymbol("="));
+        TG_ASSIGN_OR_RETURN(double value, ExpectNumber("parameter value"));
+        generate.params.emplace_back(std::move(key), value);
+      } while (MatchSymbol(","));
+      TG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    TG_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    TG_ASSIGN_OR_RETURN(generate.name, ExpectIdentifier("graph name"));
+    return Statement(std::move(generate));
+  }
+
+  Result<Statement> ParseSet() {
+    SetStatement set;
+    TG_ASSIGN_OR_RETURN(set.name, ExpectIdentifier("graph name"));
+    TG_RETURN_IF_ERROR(ExpectSymbol("="));
+    TG_ASSIGN_OR_RETURN(set.expr, ParseExpr());
+    return Statement(std::move(set));
+  }
+
+  Result<Statement> ParseStore() {
+    StoreStatement store;
+    TG_ASSIGN_OR_RETURN(store.name, ExpectIdentifier("graph name"));
+    TG_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    TG_ASSIGN_OR_RETURN(store.path, ExpectString("path"));
+    if (MatchKeyword("SORT")) {
+      if (MatchKeyword("STRUCTURAL")) {
+        store.sort = storage::SortOrder::kStructuralLocality;
+      } else {
+        TG_RETURN_IF_ERROR(ExpectKeyword("TEMPORAL"));
+        store.sort = storage::SortOrder::kTemporalLocality;
+      }
+    }
+    return Statement(std::move(store));
+  }
+
+  Result<Statement> ParseSnapshot() {
+    SnapshotStatement snapshot;
+    TG_ASSIGN_OR_RETURN(snapshot.name, ExpectIdentifier("graph name"));
+    TG_RETURN_IF_ERROR(ExpectKeyword("AT"));
+    TG_ASSIGN_OR_RETURN(snapshot.at, ExpectInteger("time point"));
+    if (MatchKeyword("LIMIT")) {
+      TG_ASSIGN_OR_RETURN(snapshot.limit, ExpectInteger("after LIMIT"));
+    }
+    return Statement(std::move(snapshot));
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  Result<Expr> ParseExpr() {
+    if (MatchKeyword("AZOOM")) return ParseAZoom();
+    if (MatchKeyword("WZOOM")) return ParseWZoom();
+    if (MatchKeyword("SLICE")) return ParseSlice();
+    if (MatchKeyword("SUBGRAPH")) return ParseSubgraph();
+    if (MatchKeyword("COALESCE")) {
+      TG_ASSIGN_OR_RETURN(std::string source, ExpectIdentifier("graph name"));
+      return Expr(CoalesceExpr{source});
+    }
+    if (MatchKeyword("CONVERT")) {
+      ConvertExpr convert;
+      TG_ASSIGN_OR_RETURN(convert.source, ExpectIdentifier("graph name"));
+      TG_RETURN_IF_ERROR(ExpectKeyword("TO"));
+      TG_ASSIGN_OR_RETURN(convert.target, ParseRepresentation());
+      return Expr(std::move(convert));
+    }
+    TG_ASSIGN_OR_RETURN(std::string source, ExpectIdentifier("expression"));
+    return Expr(RefExpr{source});
+  }
+
+  Result<Representation> ParseRepresentation() {
+    if (MatchKeyword("VE")) return Representation::kVe;
+    if (MatchKeyword("OG")) return Representation::kOg;
+    if (MatchKeyword("OGC")) return Representation::kOgc;
+    if (MatchKeyword("RG")) return Representation::kRg;
+    return Error("expected VE, OG, OGC, or RG");
+  }
+
+  Result<Expr> ParseAZoom() {
+    AZoomExpr azoom;
+    TG_ASSIGN_OR_RETURN(azoom.source, ExpectIdentifier("graph name"));
+    TG_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    TG_ASSIGN_OR_RETURN(azoom.group_by, ExpectIdentifier("grouping attribute"));
+    if (MatchKeyword("AGGREGATE")) {
+      do {
+        TG_ASSIGN_OR_RETURN(AggregateClause agg, ParseAggregate());
+        azoom.aggregates.push_back(std::move(agg));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("TYPE")) {
+      TG_ASSIGN_OR_RETURN(azoom.new_type, ExpectString("type label"));
+    }
+    if (MatchKeyword("EDGE")) {
+      TG_RETURN_IF_ERROR(ExpectKeyword("TYPE"));
+      TG_ASSIGN_OR_RETURN(azoom.edge_type, ExpectString("edge type label"));
+    }
+    return Expr(std::move(azoom));
+  }
+
+  Result<AggregateClause> ParseAggregate() {
+    AggregateClause agg;
+    if (MatchKeyword("COUNT")) {
+      agg.kind = AggKind::kCount;
+      TG_RETURN_IF_ERROR(ExpectSymbol("("));
+      TG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      if (MatchKeyword("SUM")) {
+        agg.kind = AggKind::kSum;
+      } else if (MatchKeyword("MIN")) {
+        agg.kind = AggKind::kMin;
+      } else if (MatchKeyword("MAX")) {
+        agg.kind = AggKind::kMax;
+      } else if (MatchKeyword("AVG")) {
+        agg.kind = AggKind::kAvg;
+      } else {
+        return Error("expected COUNT, SUM, MIN, MAX, or AVG");
+      }
+      TG_RETURN_IF_ERROR(ExpectSymbol("("));
+      TG_ASSIGN_OR_RETURN(agg.input, ExpectIdentifier("attribute"));
+      TG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    TG_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    TG_ASSIGN_OR_RETURN(agg.output, ExpectIdentifier("output attribute"));
+    return agg;
+  }
+
+  Result<Expr> ParseWZoom() {
+    WZoomExpr wzoom;
+    TG_ASSIGN_OR_RETURN(wzoom.source, ExpectIdentifier("graph name"));
+    TG_RETURN_IF_ERROR(ExpectKeyword("WINDOW"));
+    TG_ASSIGN_OR_RETURN(wzoom.window, ExpectInteger("window size"));
+    if (MatchKeyword("CHANGES")) {
+      wzoom.by_changes = true;
+    } else {
+      MatchKeyword("POINTS");  // optional
+    }
+    if (MatchKeyword("NODES")) {
+      TG_ASSIGN_OR_RETURN(wzoom.nodes, ParseQuantifier());
+    }
+    if (MatchKeyword("EDGES")) {
+      TG_ASSIGN_OR_RETURN(wzoom.edges, ParseQuantifier());
+    }
+    if (MatchKeyword("RESOLVE")) {
+      do {
+        ResolveClause resolve;
+        TG_ASSIGN_OR_RETURN(resolve.attribute, ExpectIdentifier("attribute"));
+        if (MatchKeyword("FIRST")) {
+          resolve.resolver = Resolver::kFirst;
+        } else if (MatchKeyword("LAST")) {
+          resolve.resolver = Resolver::kLast;
+        } else {
+          TG_RETURN_IF_ERROR(ExpectKeyword("ANY"));
+          resolve.resolver = Resolver::kAny;
+        }
+        wzoom.resolves.push_back(std::move(resolve));
+      } while (MatchSymbol(","));
+    }
+    return Expr(std::move(wzoom));
+  }
+
+  Result<Quantifier> ParseQuantifier() {
+    if (MatchKeyword("ALL")) return Quantifier::All();
+    if (MatchKeyword("MOST")) return Quantifier::Most();
+    if (MatchKeyword("EXISTS")) return Quantifier::Exists();
+    if (MatchKeyword("ATLEAST")) {
+      TG_ASSIGN_OR_RETURN(double fraction, ExpectNumber("after ATLEAST"));
+      return Quantifier::AtLeast(fraction);
+    }
+    return Error("expected ALL, MOST, EXISTS, or ATLEAST");
+  }
+
+  Result<Expr> ParseSlice() {
+    SliceExpr slice;
+    TG_ASSIGN_OR_RETURN(slice.source, ExpectIdentifier("graph name"));
+    TG_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    TG_ASSIGN_OR_RETURN(slice.from, ExpectInteger("after FROM"));
+    TG_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    TG_ASSIGN_OR_RETURN(slice.to, ExpectInteger("after TO"));
+    return Expr(std::move(slice));
+  }
+
+  Result<Expr> ParseSubgraph() {
+    SubgraphExpr subgraph;
+    TG_ASSIGN_OR_RETURN(subgraph.source, ExpectIdentifier("graph name"));
+    if (MatchKeyword("WHERE")) {
+      TG_ASSIGN_OR_RETURN(subgraph.vertex_predicate, ParsePredicate());
+    }
+    if (MatchKeyword("EDGES")) {
+      TG_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+      TG_ASSIGN_OR_RETURN(subgraph.edge_predicate, ParsePredicate());
+    }
+    return Expr(std::move(subgraph));
+  }
+
+  Result<WherePredicate> ParsePredicate() {
+    WherePredicate predicate;
+    do {
+      TG_ASSIGN_OR_RETURN(Comparison comparison, ParseComparison());
+      predicate.push_back(std::move(comparison));
+    } while (MatchKeyword("AND"));
+    return predicate;
+  }
+
+  Result<Comparison> ParseComparison() {
+    Comparison comparison;
+    if (MatchKeyword("HAS")) {
+      comparison.op = Comparison::Op::kHas;
+      TG_RETURN_IF_ERROR(ExpectSymbol("("));
+      TG_ASSIGN_OR_RETURN(comparison.key, ExpectIdentifier("attribute"));
+      TG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return comparison;
+    }
+    TG_ASSIGN_OR_RETURN(comparison.key, ExpectIdentifier("attribute"));
+    if (MatchSymbol("=")) {
+      comparison.op = Comparison::Op::kEq;
+    } else if (MatchSymbol("!=")) {
+      comparison.op = Comparison::Op::kNe;
+    } else if (MatchSymbol("<=")) {
+      comparison.op = Comparison::Op::kLe;
+    } else if (MatchSymbol(">=")) {
+      comparison.op = Comparison::Op::kGe;
+    } else if (MatchSymbol("<")) {
+      comparison.op = Comparison::Op::kLt;
+    } else if (MatchSymbol(">")) {
+      comparison.op = Comparison::Op::kGt;
+    } else {
+      return Error("expected a comparison operator");
+    }
+    TG_ASSIGN_OR_RETURN(comparison.literal, ParseLiteral());
+    return comparison;
+  }
+
+  Result<PropertyValue> ParseLiteral() {
+    if (Peek().type == TokenType::kString) {
+      return PropertyValue(Advance().text);
+    }
+    if (Peek().type == TokenType::kInteger) {
+      return PropertyValue(Advance().int_value);
+    }
+    if (Peek().type == TokenType::kFloat) {
+      return PropertyValue(Advance().float_value);
+    }
+    if (MatchKeyword("TRUE")) return PropertyValue(true);
+    if (MatchKeyword("FALSE")) return PropertyValue(false);
+    return Error("expected a literal");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Statement>> Parse(const std::string& script) {
+  TG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(script));
+  return Parser(std::move(tokens)).ParseScript();
+}
+
+}  // namespace tgraph::tql

@@ -1,0 +1,42 @@
+#ifndef TGRAPH_TQL_PARSER_H_
+#define TGRAPH_TQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tql/ast.h"
+
+namespace tgraph::tql {
+
+/// \brief Parses a TQL script (statements separated by `;`).
+///
+/// The grammar, in rough EBNF (keywords case-insensitive):
+///
+///   script     := statement (';' statement)* ';'?
+///   statement  := LOAD string [FROM int TO int] AS ident
+///               | GENERATE ident '(' [ident '=' number {',' ...}] ')' AS ident
+///               | SET ident '=' expr
+///               | STORE ident TO string [SORT (TEMPORAL|STRUCTURAL)]
+///               | INFO ident | SNAPSHOT ident AT int [LIMIT int]
+///               | DROP ident | LIST
+///   expr       := AZOOM ident BY ident [AGGREGATE agg {',' agg}]
+///                   [TYPE string] [EDGE TYPE string]
+///               | WZOOM ident WINDOW int [POINTS|CHANGES]
+///                   [NODES quant] [EDGES quant]
+///                   [RESOLVE ident (FIRST|LAST|ANY) {',' ...}]
+///               | SLICE ident FROM int TO int
+///               | SUBGRAPH ident [WHERE pred] [EDGES WHERE pred]
+///               | COALESCE ident | CONVERT ident TO (VE|OG|OGC|RG) | ident
+///   agg        := COUNT '(' ')' AS ident
+///               | (SUM|MIN|MAX|AVG) '(' ident ')' AS ident
+///   quant      := ALL | MOST | EXISTS | ATLEAST number
+///   pred       := comparison {AND comparison}
+///   comparison := ident ('='|'!='|'<'|'<='|'>'|'>=') literal
+///               | HAS '(' ident ')'
+///   literal    := string | int | float | TRUE | FALSE
+Result<std::vector<Statement>> Parse(const std::string& script);
+
+}  // namespace tgraph::tql
+
+#endif  // TGRAPH_TQL_PARSER_H_

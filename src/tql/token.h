@@ -1,0 +1,35 @@
+#ifndef TGRAPH_TQL_TOKEN_H_
+#define TGRAPH_TQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tgraph::tql {
+
+/// \brief Lexical categories of TQL. Keywords are identifiers; the parser
+/// matches them case-insensitively so `azoom` and `AZOOM` are equivalent.
+enum class TokenType {
+  kIdentifier,  // azoom, school, g2
+  kString,      // 'single quoted', '' escapes a quote
+  kInteger,     // 42, -7
+  kFloat,       // 0.5
+  kSymbol,      // ; ( ) , = != < <= > >=
+  kEnd,         // end of input
+};
+
+const char* TokenTypeName(TokenType type);
+
+/// \brief One lexeme with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace tgraph::tql
+
+#endif  // TGRAPH_TQL_TOKEN_H_

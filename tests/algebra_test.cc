@@ -1,0 +1,205 @@
+#include "tgraph/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tests/test_util.h"
+#include "tgraph/slice.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Canonical;
+using ::tgraph::testing::Ctx;
+using ::tgraph::testing::Figure1;
+using ::tgraph::testing::RandomTGraph;
+
+PropertiesMerge LeftWins() {
+  return [](const Properties& a, const Properties&) { return a; };
+}
+
+TEST(SubgraphTest, VertexPredicateRemovesDanglingEdgePeriods) {
+  // Keep only MIT people: Bob disappears entirely, so e1 and e2 vanish.
+  VeGraph result = SubgraphVe(
+      Figure1(),
+      [](VertexId, const Properties& props) {
+        const PropertyValue* school = props.Find("school");
+        return school != nullptr && school->AsString() == "MIT";
+      },
+      [](EdgeId, VertexId, VertexId, const Properties&) { return true; });
+  EXPECT_EQ(result.NumVertices(), 2);  // Ann, Cat
+  EXPECT_EQ(result.NumEdgeRecords(), 0);
+  TG_CHECK_OK(ValidateVe(result));
+}
+
+TEST(SubgraphTest, EdgeClippedToSurvivingEndpointPeriods) {
+  // Keep states where a school is known: Bob's [2,5) state drops, so e1
+  // (valid [2,7)) must clip to [5,7).
+  VeGraph result = SubgraphVe(
+      Figure1(),
+      [](VertexId, const Properties& props) { return props.Has("school"); },
+      [](EdgeId, VertexId, VertexId, const Properties&) { return true; });
+  std::map<EdgeId, Interval> edges;
+  for (const VeEdge& e : result.edges().Collect()) edges[e.eid] = e.interval;
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[1], Interval(5, 7));
+  EXPECT_EQ(edges[2], Interval(7, 9));
+  TG_CHECK_OK(ValidateVe(result));
+}
+
+TEST(SubgraphTest, EdgePredicate) {
+  VeGraph result = SubgraphVe(
+      Figure1(), [](VertexId, const Properties&) { return true; },
+      [](EdgeId eid, VertexId, VertexId, const Properties&) {
+        return eid == 2;
+      });
+  EXPECT_EQ(result.NumEdges(), 1);
+  EXPECT_EQ(result.NumVertices(), 3);
+}
+
+TEST(SubgraphTest, KeepAllIsIdentity) {
+  VeGraph result = SubgraphVe(
+      Figure1(), [](VertexId, const Properties&) { return true; },
+      [](EdgeId, VertexId, VertexId, const Properties&) { return true; });
+  EXPECT_EQ(Canonical(result), Canonical(Figure1()));
+}
+
+TEST(MapVeTest, RewritesPropertiesAndCoalesces) {
+  // Dropping the school attribute makes Bob's two states value-equivalent;
+  // the map must coalesce them back into one.
+  VeGraph result = MapVe(
+      Figure1(),
+      [](VertexId, const Properties& props) {
+        Properties out = props;
+        out.Erase("school");
+        return out;
+      },
+      [](EdgeId, const Properties& props) { return props; });
+  EXPECT_EQ(result.NumVertexRecords(), 3);
+  TG_CHECK_OK(CheckCoalescedVe(result));
+  TG_CHECK_OK(ValidateVe(result));
+}
+
+class BinaryOpsTest : public ::testing::Test {
+ protected:
+  // a: vertex 1 over [0,6), vertex 2 over [0,10), edge 1->2 over [2,6).
+  VeGraph A() {
+    return VeGraph::Create(
+        Ctx(),
+        {{1, {0, 6}, Properties{{"type", "n"}, {"from", "a"}}},
+         {2, {0, 10}, Properties{{"type", "n"}, {"from", "a"}}}},
+        {{7, 1, 2, {2, 6}, Properties{{"type", "e"}, {"from", "a"}}}});
+  }
+  // b: vertex 1 over [4,10), vertex 3 over [0,10), edge 7 over [4,8).
+  VeGraph B() {
+    return VeGraph::Create(
+        Ctx(),
+        {{1, {4, 10}, Properties{{"type", "n"}, {"from", "b"}}},
+         {2, {0, 10}, Properties{{"type", "n"}, {"from", "b"}}},
+         {3, {0, 10}, Properties{{"type", "n"}, {"from", "b"}}}},
+        {{7, 1, 2, {4, 8}, Properties{{"type", "e"}, {"from", "b"}}}});
+  }
+};
+
+TEST_F(BinaryOpsTest, UnionCoversEitherPresence) {
+  VeGraph result = TemporalUnion(A(), B(), LeftWins());
+  std::map<VertexId, std::vector<Interval>> presence;
+  for (const VeVertex& v : result.vertices().Collect()) {
+    presence[v.vid].push_back(v.interval);
+  }
+  // Vertex 1: [0,6) from a, [4,10) from b; merged segments with "left
+  // wins" give [0,6) from=a then [6,10) from=b.
+  ASSERT_EQ(presence[1].size(), 2u);
+  EXPECT_EQ(CoalesceIntervals(presence[1]).front(), Interval(0, 10));
+  ASSERT_EQ(presence[3].size(), 1u);
+  EXPECT_EQ(presence[3][0], Interval(0, 10));
+  // Edge 7: [2,6) ∪ [4,8) = [2,8).
+  std::vector<Interval> edge_intervals;
+  for (const VeEdge& e : result.edges().Collect()) {
+    edge_intervals.push_back(e.interval);
+  }
+  EXPECT_EQ(CoalesceIntervals(edge_intervals).front(), Interval(2, 8));
+  TG_CHECK_OK(ValidateVe(result));
+}
+
+TEST_F(BinaryOpsTest, IntersectionKeepsCommonPresence) {
+  VeGraph result = TemporalIntersection(A(), B(), LeftWins());
+  std::map<VertexId, Interval> presence;
+  for (const VeVertex& v : result.vertices().Collect()) {
+    presence[v.vid] = v.interval;
+  }
+  ASSERT_EQ(presence.size(), 2u);  // vertex 3 only in b
+  EXPECT_EQ(presence[1], Interval(4, 6));
+  EXPECT_EQ(presence[2], Interval(0, 10));
+  std::vector<VeEdge> edges = result.edges().Collect();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].interval, Interval(4, 6));
+  TG_CHECK_OK(ValidateVe(result));
+}
+
+TEST_F(BinaryOpsTest, IntersectionMergesProperties) {
+  PropertiesMerge tag_both = [](const Properties& a, const Properties& b) {
+    Properties out = a;
+    out.Set("also_from", *b.Get("from"));
+    return out;
+  };
+  VeGraph result = TemporalIntersection(A(), B(), tag_both);
+  for (const VeVertex& v : result.vertices().Collect()) {
+    EXPECT_EQ(v.properties.Get("from")->AsString(), "a");
+    EXPECT_EQ(v.properties.Get("also_from")->AsString(), "b");
+  }
+}
+
+TEST_F(BinaryOpsTest, DifferenceSubtractsPresenceAndClipsEdges) {
+  VeGraph result = TemporalDifference(A(), B());
+  std::map<VertexId, Interval> presence;
+  for (const VeVertex& v : result.vertices().Collect()) {
+    presence[v.vid] = v.interval;
+  }
+  // Vertex 1: [0,6) \ [4,10) = [0,4). Vertex 2: fully removed.
+  ASSERT_EQ(presence.size(), 1u);
+  EXPECT_EQ(presence[1], Interval(0, 4));
+  // Edge 7: [2,6) \ [4,8) = [2,4), but endpoint 2 is gone -> dropped.
+  EXPECT_EQ(result.NumEdgeRecords(), 0);
+  TG_CHECK_OK(ValidateVe(result));
+}
+
+TEST_F(BinaryOpsTest, DifferenceWithEmptyIsIdentity) {
+  VeGraph empty = VeGraph::Create(Ctx(), {}, {});
+  EXPECT_EQ(Canonical(TemporalDifference(A(), empty)), Canonical(A()));
+}
+
+TEST_F(BinaryOpsTest, UnionWithSelfIsIdentity) {
+  VeGraph a = A();
+  EXPECT_EQ(Canonical(TemporalUnion(a, a, LeftWins())), Canonical(a));
+  EXPECT_EQ(Canonical(TemporalIntersection(a, a, LeftWins())), Canonical(a));
+}
+
+TEST_F(BinaryOpsTest, AlgebraicIdentitiesOnRandomGraphs) {
+  for (uint64_t seed : {71u, 72u, 73u}) {
+    VeGraph g = RandomTGraph(seed).Coalesce();
+    // g \ g is empty; g ∩ g = g ∪ g = g.
+    EXPECT_EQ(TemporalDifference(g, g).NumVertexRecords(), 0) << seed;
+    EXPECT_EQ(Canonical(TemporalIntersection(g, g, LeftWins())), Canonical(g))
+        << seed;
+    EXPECT_EQ(Canonical(TemporalUnion(g, g, LeftWins())), Canonical(g))
+        << seed;
+  }
+}
+
+TEST_F(BinaryOpsTest, UnionDistributesOverSlices) {
+  // Slicing a graph into two halves and unioning them restores it.
+  for (uint64_t seed : {74u, 75u}) {
+    VeGraph g = RandomTGraph(seed).Coalesce();
+    VeGraph first = SliceVe(g, Interval(0, 9));
+    VeGraph second = SliceVe(g, Interval(9, 100));
+    EXPECT_EQ(Canonical(TemporalUnion(first, second, LeftWins())),
+              Canonical(g))
+        << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tgraph

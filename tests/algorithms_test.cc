@@ -1,0 +1,106 @@
+#include "sg/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tgraph::sg {
+namespace {
+
+using dataflow::Dataset;
+
+dataflow::ExecutionContext* Ctx() {
+  static auto* ctx = new dataflow::ExecutionContext(
+      dataflow::ContextOptions{.num_workers = 2, .default_parallelism = 4});
+  return ctx;
+}
+
+PropertyGraph MakeGraph(int64_t num_vertices,
+                        std::vector<std::pair<VertexId, VertexId>> edge_list) {
+  std::vector<Vertex> vertices;
+  for (int64_t i = 0; i < num_vertices; ++i) {
+    vertices.push_back(Vertex{i, Properties{{"type", "n"}}});
+  }
+  std::vector<Edge> edges;
+  EdgeId eid = 0;
+  for (auto& [src, dst] : edge_list) {
+    edges.push_back(Edge{eid++, src, dst, {}});
+  }
+  return PropertyGraph(Dataset<Vertex>::FromVector(Ctx(), vertices),
+                       Dataset<Edge>::FromVector(Ctx(), edges));
+}
+
+TEST(ConnectedComponentsTest, TwoComponents) {
+  PropertyGraph g = MakeGraph(7, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 3}});
+  std::map<VertexId, VertexId> label;
+  for (auto& [v, c] : ConnectedComponents(g).Collect()) label[v] = c;
+  ASSERT_EQ(label.size(), 7u);
+  EXPECT_EQ(label[0], 0);
+  EXPECT_EQ(label[1], 0);
+  EXPECT_EQ(label[2], 0);
+  EXPECT_EQ(label[3], 3);
+  EXPECT_EQ(label[4], 3);
+  EXPECT_EQ(label[5], 3);
+  EXPECT_EQ(label[6], 6);  // isolated vertex forms its own component
+}
+
+TEST(ConnectedComponentsTest, DirectionIgnored) {
+  PropertyGraph g = MakeGraph(4, {{3, 2}, {2, 1}, {1, 0}});
+  for (auto& [v, c] : ConnectedComponents(g).Collect()) {
+    EXPECT_EQ(c, 0) << "vertex " << v;
+  }
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  PropertyGraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  std::map<VertexId, double> rank;
+  for (auto& [v, r] : PageRank(g, 20).Collect()) rank[v] = r;
+  ASSERT_EQ(rank.size(), 4u);
+  for (auto& [v, r] : rank) {
+    EXPECT_NEAR(r, 1.0, 1e-6) << "vertex " << v;
+  }
+}
+
+TEST(PageRankTest, SinkAttractsRank) {
+  // Star into vertex 0: it must out-rank the leaves.
+  PropertyGraph g = MakeGraph(4, {{1, 0}, {2, 0}, {3, 0}});
+  std::map<VertexId, double> rank;
+  for (auto& [v, r] : PageRank(g, 10).Collect()) rank[v] = r;
+  EXPECT_GT(rank[0], rank[1]);
+  EXPECT_GT(rank[0], rank[2]);
+  EXPECT_NEAR(rank[1], rank[2], 1e-9);
+  EXPECT_NEAR(rank[1], 0.15, 1e-9);  // leaves have no in-edges
+}
+
+TEST(TriangleCountTest, SingleTriangle) {
+  PropertyGraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  std::map<VertexId, int64_t> triangles;
+  for (auto& [v, t] : TriangleCount(g).Collect()) triangles[v] = t;
+  EXPECT_EQ(triangles[0], 1);
+  EXPECT_EQ(triangles[1], 1);
+  EXPECT_EQ(triangles[2], 1);
+  EXPECT_EQ(triangles.count(3) != 0u ? triangles[3] : 0, 0);
+}
+
+TEST(TriangleCountTest, IgnoresDirectionDuplicatesAndSelfLoops) {
+  PropertyGraph g = MakeGraph(
+      3, {{0, 1}, {1, 0}, {1, 2}, {2, 0}, {0, 0}});
+  std::map<VertexId, int64_t> triangles;
+  for (auto& [v, t] : TriangleCount(g).Collect()) triangles[v] = t;
+  EXPECT_EQ(triangles[0], 1);
+  EXPECT_EQ(triangles[1], 1);
+  EXPECT_EQ(triangles[2], 1);
+}
+
+TEST(TriangleCountTest, TwoTrianglesSharingAnEdge) {
+  PropertyGraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 2}});
+  std::map<VertexId, int64_t> triangles;
+  for (auto& [v, t] : TriangleCount(g).Collect()) triangles[v] = t;
+  EXPECT_EQ(triangles[0], 1);
+  EXPECT_EQ(triangles[1], 2);
+  EXPECT_EQ(triangles[2], 2);
+  EXPECT_EQ(triangles[3], 1);
+}
+
+}  // namespace
+}  // namespace tgraph::sg

@@ -1,0 +1,123 @@
+#include "tgraph/analytics.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tests/test_util.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Ctx;
+using ::tgraph::testing::Figure1;
+
+std::map<VertexId, std::vector<std::pair<Interval, PropertyValue>>> ByVertex(
+    const VeGraph& result, const std::string& property) {
+  std::map<VertexId, std::vector<std::pair<Interval, PropertyValue>>> out;
+  for (const VeVertex& v : result.vertices().Collect()) {
+    out[v.vid].emplace_back(v.interval, *v.properties.Get(property));
+  }
+  for (auto& [vid, states] : out) {
+    std::sort(states.begin(), states.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  return out;
+}
+
+TEST(TemporalDegreeTest, Figure1DegreeEvolution) {
+  VeGraph result = TemporalDegree(Figure1());
+  auto degrees = ByVertex(result, "degree");
+  // Ann: degree 0 in [1,2), 1 in [2,7) (edge e1).
+  ASSERT_EQ(degrees[1].size(), 2u);
+  EXPECT_EQ(degrees[1][0], (std::pair<Interval, PropertyValue>({1, 2}, 0)));
+  EXPECT_EQ(degrees[1][1], (std::pair<Interval, PropertyValue>({2, 7}, 1)));
+  // Bob: degree 1 through [2,9) (e1 then e2 back-to-back).
+  ASSERT_EQ(degrees[2].size(), 1u);
+  EXPECT_EQ(degrees[2][0], (std::pair<Interval, PropertyValue>({2, 9}, 1)));
+  // Cat: 0 in [1,7), 1 in [7,9).
+  ASSERT_EQ(degrees[3].size(), 2u);
+  EXPECT_EQ(degrees[3][0], (std::pair<Interval, PropertyValue>({1, 7}, 0)));
+  EXPECT_EQ(degrees[3][1], (std::pair<Interval, PropertyValue>({7, 9}, 1)));
+}
+
+TEST(TemporalDegreeTest, ResultIsCoalescedAndValid) {
+  VeGraph result = TemporalDegree(Figure1());
+  TG_CHECK_OK(ValidateVe(result));
+  TG_CHECK_OK(CheckCoalescedVe(result));
+}
+
+TEST(TemporalConnectedComponentsTest, ComponentsMergeOverTime) {
+  // Two pairs that join into one component when a bridge edge appears.
+  std::vector<VeVertex> vertices;
+  for (int64_t i = 0; i < 4; ++i) {
+    vertices.push_back(VeVertex{i, {0, 10}, Properties{{"type", "n"}}});
+  }
+  std::vector<VeEdge> edges = {
+      {1, 0, 1, {0, 10}, Properties{{"type", "e"}}},
+      {2, 2, 3, {0, 10}, Properties{{"type", "e"}}},
+      {3, 1, 2, {5, 10}, Properties{{"type", "e"}}},  // the bridge
+  };
+  VeGraph g = VeGraph::Create(Ctx(), vertices, edges);
+  auto components = ByVertex(TemporalConnectedComponents(g), "component");
+  // Vertex 3: component 2 before the bridge, 0 after.
+  ASSERT_EQ(components[3].size(), 2u);
+  EXPECT_EQ(components[3][0],
+            (std::pair<Interval, PropertyValue>({0, 5}, int64_t{2})));
+  EXPECT_EQ(components[3][1],
+            (std::pair<Interval, PropertyValue>({5, 10}, int64_t{0})));
+  // Vertex 0: component 0 throughout — one coalesced state.
+  ASSERT_EQ(components[0].size(), 1u);
+  EXPECT_EQ(components[0][0],
+            (std::pair<Interval, PropertyValue>({0, 10}, int64_t{0})));
+}
+
+TEST(TemporalPageRankTest, RanksRespondToTopologyChange) {
+  // A star into vertex 0 that loses its spokes at time 5.
+  std::vector<VeVertex> vertices;
+  for (int64_t i = 0; i < 4; ++i) {
+    vertices.push_back(VeVertex{i, {0, 10}, Properties{{"type", "n"}}});
+  }
+  std::vector<VeEdge> edges = {
+      {1, 1, 0, {0, 5}, Properties{{"type", "e"}}},
+      {2, 2, 0, {0, 5}, Properties{{"type", "e"}}},
+      {3, 3, 0, {0, 5}, Properties{{"type", "e"}}},
+  };
+  VeGraph g = VeGraph::Create(Ctx(), vertices, edges);
+  auto ranks = ByVertex(TemporalPageRank(g), "rank");
+  ASSERT_EQ(ranks[0].size(), 2u);
+  EXPECT_GT(ranks[0][0].second.AsDouble(), ranks[0][1].second.AsDouble());
+  EXPECT_NEAR(ranks[0][1].second.AsDouble(), 0.15, 1e-9);  // isolated
+}
+
+TEST(TemporalAnalyticTest, CustomAnalytic) {
+  // Count each vertex's out-edges of a given type, over time.
+  VeGraph result = TemporalVertexAnalytic(
+      Figure1(),
+      [](const sg::PropertyGraph& snapshot) {
+        auto zero = snapshot.vertices().Map([](const sg::Vertex& v) {
+          return std::pair<VertexId, int64_t>(v.vid, 0);
+        });
+        return zero.Union(snapshot.OutDegrees())
+            .ReduceByKey([](const int64_t& a, const int64_t& b) { return a + b; })
+            .Map([](const std::pair<VertexId, int64_t>& kv) {
+              return std::pair<VertexId, PropertyValue>(
+                  kv.first, PropertyValue(kv.second));
+            });
+      },
+      "out_degree");
+  auto out = ByVertex(result, "out_degree");
+  // Ann is the source of e1 during [2,7).
+  ASSERT_EQ(out[1].size(), 2u);
+  EXPECT_EQ(out[1][1], (std::pair<Interval, PropertyValue>({2, 7}, 1)));
+}
+
+TEST(TemporalAnalyticTest, EmptyGraph) {
+  VeGraph empty = VeGraph::Create(Ctx(), {}, {}, Interval(0, 5));
+  VeGraph result = TemporalDegree(empty);
+  EXPECT_EQ(result.NumVertexRecords(), 0);
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,109 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace tgraph {
+namespace {
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+}
+
+TEST(BitsetTest, Count) {
+  Bitset b(200);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  for (size_t i = 0; i < 200; i += 3) b.Set(i);
+  EXPECT_EQ(b.Count(), 67u);
+  EXPECT_FALSE(b.None());
+}
+
+TEST(BitsetTest, CountRange) {
+  Bitset b(128);
+  for (size_t i = 10; i < 90; ++i) b.Set(i);
+  EXPECT_EQ(b.CountRange(0, 10), 0u);
+  EXPECT_EQ(b.CountRange(10, 90), 80u);
+  EXPECT_EQ(b.CountRange(0, 128), 80u);
+  EXPECT_EQ(b.CountRange(50, 60), 10u);
+  EXPECT_EQ(b.CountRange(85, 95), 5u);
+  EXPECT_EQ(b.CountRange(60, 60), 0u);
+  // Word-boundary straddling.
+  EXPECT_EQ(b.CountRange(63, 65), 2u);
+}
+
+TEST(BitsetTest, AllAnyRange) {
+  Bitset b(100);
+  b.SetRange(20, 40);
+  EXPECT_TRUE(b.AllRange(20, 40));
+  EXPECT_FALSE(b.AllRange(19, 40));
+  EXPECT_TRUE(b.AnyRange(0, 21));
+  EXPECT_FALSE(b.AnyRange(0, 20));
+  EXPECT_TRUE(b.AllRange(30, 30));  // empty range is vacuously all
+}
+
+TEST(BitsetTest, FirstAndLastSetBit) {
+  Bitset b(200);
+  EXPECT_EQ(b.FirstSetBit(), -1);
+  EXPECT_EQ(b.LastSetBit(), -1);
+  b.Set(130);
+  EXPECT_EQ(b.FirstSetBit(), 130);
+  EXPECT_EQ(b.LastSetBit(), 130);
+  b.Set(7);
+  b.Set(199);
+  EXPECT_EQ(b.FirstSetBit(), 7);
+  EXPECT_EQ(b.LastSetBit(), 199);
+  b.Set(0);
+  EXPECT_EQ(b.FirstSetBit(), 0);
+}
+
+TEST(BitsetTest, AndOrWith) {
+  Bitset a(70), b(70);
+  a.SetRange(0, 40);
+  b.SetRange(20, 60);
+  Bitset and_result = a;
+  and_result.AndWith(b);
+  EXPECT_EQ(and_result.Count(), 20u);
+  EXPECT_TRUE(and_result.AllRange(20, 40));
+  Bitset or_result = a;
+  or_result.OrWith(b);
+  EXPECT_EQ(or_result.Count(), 60u);
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  Bitset a(10), b(10), c(11);
+  a.Set(3);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+  b.Set(4);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitsetTest, ToString) {
+  Bitset b(3);
+  b.Set(0);
+  b.Set(2);
+  EXPECT_EQ(b.ToString(), "[1, 0, 1]");
+}
+
+TEST(BitsetTest, WordsRoundTrip) {
+  Bitset b(100);
+  b.SetRange(5, 77);
+  Bitset restored = Bitset::FromWords(b.size(), b.words());
+  EXPECT_EQ(b, restored);
+}
+
+}  // namespace
+}  // namespace tgraph

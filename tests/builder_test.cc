@@ -1,0 +1,178 @@
+#include "tgraph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tests/test_util.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Canonical;
+using ::tgraph::testing::Ctx;
+using ::tgraph::testing::Figure1;
+
+TEST(BuilderTest, RebuildsFigure1FromEvents) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 1, Properties{{"type", "person"}, {"school", "MIT"}})
+      .RemoveVertex(1, 7)
+      .AddVertex(2, 2, Properties{{"type", "person"}})
+      .SetVertexProperty(2, 5, "school", "CMU")
+      .RemoveVertex(2, 9)
+      .AddVertex(3, 1, Properties{{"type", "person"}, {"school", "MIT"}})
+      .RemoveVertex(3, 9)
+      .AddEdge(1, 1, 2, 2, Properties{{"type", "co-author"}})
+      .RemoveEdge(1, 7)
+      .AddEdge(2, 2, 3, 7, Properties{{"type", "co-author"}})
+      .RemoveEdge(2, 9);
+  Result<VeGraph> graph = builder.Finish(9);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(Canonical(*graph), Canonical(Figure1()));
+  TG_CHECK_OK(ValidateVe(*graph));
+  TG_CHECK_OK(CheckCoalescedVe(*graph));
+}
+
+TEST(BuilderTest, OpenEntitiesCloseAtEndOfTime) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 3, Properties{{"type", "n"}});
+  Result<VeGraph> graph = builder.Finish(10);
+  ASSERT_TRUE(graph.ok());
+  std::vector<VeVertex> vertices = graph->vertices().Collect();
+  ASSERT_EQ(vertices.size(), 1u);
+  EXPECT_EQ(vertices[0].interval, Interval(3, 10));
+}
+
+TEST(BuilderTest, ReappearingVertex) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}, {"era", 1}})
+      .RemoveVertex(1, 4)
+      .AddVertex(1, 6, Properties{{"type", "n"}, {"era", 2}});
+  Result<VeGraph> graph = builder.Finish(10);
+  ASSERT_TRUE(graph.ok());
+  std::map<Interval, int64_t> eras;
+  for (const VeVertex& v : graph->vertices().Collect()) {
+    eras[v.interval] = v.properties.Get("era")->AsInt();
+  }
+  ASSERT_EQ(eras.size(), 2u);
+  EXPECT_EQ(eras[Interval(0, 4)], 1);
+  EXPECT_EQ(eras[Interval(6, 10)], 2);
+}
+
+TEST(BuilderTest, PropertyChangeSplitsState) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}, {"v", 1}})
+      .SetVertexProperty(1, 3, "v", 2)
+      .SetVertexProperty(1, 6, "v", 2)   // no-op: same value
+      .SetVertexProperty(1, 8, "w", 5);  // new attribute
+  Result<VeGraph> graph = builder.Finish(12);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->NumVertexRecords(), 3);  // [0,3), [3,8), [8,12)
+  TG_CHECK_OK(CheckCoalescedVe(*graph));
+}
+
+TEST(BuilderTest, RemovingVertexEndsIncidentEdges) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .AddVertex(2, 0, Properties{{"type", "n"}})
+      .RemoveVertex(2, 5)
+      .AddEdge(9, 1, 2, 1, Properties{{"type", "e"}});  // never removed
+  Result<VeGraph> graph = builder.Finish(10);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  std::vector<VeEdge> edges = graph->edges().Collect();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].interval, Interval(1, 5));  // clipped at the removal
+  TG_CHECK_OK(ValidateVe(*graph));
+}
+
+TEST(BuilderTest, EdgePropertyChanges) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .AddVertex(2, 0, Properties{{"type", "n"}})
+      .AddEdge(9, 1, 2, 1, Properties{{"type", "e"}, {"w", 1}})
+      .SetEdgeProperty(9, 4, "w", 7)
+      .RemoveEdge(9, 8);
+  Result<VeGraph> graph = builder.Finish(10);
+  ASSERT_TRUE(graph.ok());
+  std::map<Interval, int64_t> weights;
+  for (const VeEdge& e : graph->edges().Collect()) {
+    weights[e.interval] = e.properties.Get("w")->AsInt();
+  }
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_EQ(weights[Interval(1, 4)], 1);
+  EXPECT_EQ(weights[Interval(4, 8)], 7);
+}
+
+TEST(BuilderTest, RejectsDoubleAdd) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .AddVertex(1, 3, Properties{{"type", "n"}});
+  EXPECT_TRUE(builder.Finish(10).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, RejectsRemoveWhileAbsent) {
+  TGraphBuilder builder(Ctx());
+  builder.RemoveVertex(1, 3);
+  EXPECT_TRUE(builder.Finish(10).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, RejectsSetOnDeadEntity) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .RemoveVertex(1, 2)
+      .SetVertexProperty(1, 5, "x", 1);
+  EXPECT_TRUE(builder.Finish(10).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, RejectsEdgeAddedWhileEndpointAbsent) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .AddVertex(2, 5, Properties{{"type", "n"}})
+      .AddEdge(9, 1, 2, 2, Properties{{"type", "e"}});  // 2 joins later
+  EXPECT_TRUE(builder.Finish(10).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, RejectsEdgeToUnknownVertex) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .AddEdge(9, 1, 42, 1, Properties{{"type", "e"}});
+  EXPECT_TRUE(builder.Finish(10).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, RejectsMissingType) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"x", 1}});
+  EXPECT_TRUE(builder.Finish(10).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, RejectsEventAtOrAfterEndOfTime) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 10, Properties{{"type", "n"}});
+  EXPECT_TRUE(builder.Finish(10).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, RejectsEndpointChange) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .AddVertex(2, 0, Properties{{"type", "n"}})
+      .AddVertex(3, 0, Properties{{"type", "n"}})
+      .AddEdge(9, 1, 2, 1, Properties{{"type", "e"}})
+      .RemoveEdge(9, 3)
+      .AddEdge(9, 1, 3, 5, Properties{{"type", "e"}});
+  EXPECT_TRUE(builder.Finish(10).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, OutOfOrderAppendsAreSorted) {
+  TGraphBuilder builder(Ctx());
+  builder.RemoveVertex(1, 8);  // appended before the add
+  builder.AddVertex(1, 2, Properties{{"type", "n"}});
+  Result<VeGraph> graph = builder.Finish(10);
+  ASSERT_TRUE(graph.ok());
+  std::vector<VeVertex> vertices = graph->vertices().Collect();
+  ASSERT_EQ(vertices.size(), 1u);
+  EXPECT_EQ(vertices[0].interval, Interval(2, 8));
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,129 @@
+// Operator chaining (Section 5.3): sequences of aZoom^T and wZoom^T with
+// lazy coalescing and representation switching mid-query.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tgraph/tgraph.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Canonical;
+using ::tgraph::testing::Figure1;
+using ::tgraph::testing::RandomTGraph;
+using ::tgraph::testing::SchoolZoom;
+
+WZoomSpec Windows(int64_t size) {
+  return WZoomSpec{WindowSpec::TimePoints(size), Quantifier::Exists(),
+                   Quantifier::Exists(), {}, {}};
+}
+
+TEST(ChainingTest, AZoomThenWZoomRunsWithLazyCoalescing) {
+  TGraph g = TGraph::FromVe(Figure1(), true);
+  Result<TGraph> zoomed = g.AZoom(SchoolZoom());
+  ASSERT_TRUE(zoomed.ok());
+  EXPECT_FALSE(zoomed->coalesced());  // aZoom output left uncoalesced
+  Result<TGraph> windowed = zoomed->WZoom(Windows(3));
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_TRUE(windowed->coalesced());
+  EXPECT_GT(windowed->NumVertexRecords(), 0);
+}
+
+TEST(ChainingTest, LazyAndEagerCoalescingAgree) {
+  TGraph g = TGraph::FromVe(RandomTGraph(31), true);
+  AZoomSpec azoom;
+  azoom.group_of = GroupByProperty("group");
+  azoom.aggregator = MakeAggregator("cluster", "key",
+                                    {{"members", AggKind::kCount, ""}});
+  Result<TGraph> zoomed = g.AZoom(azoom);
+  ASSERT_TRUE(zoomed.ok());
+
+  Result<TGraph> lazy = zoomed->WZoom(Windows(4));
+  Result<TGraph> eager = zoomed->Coalesce().WZoom(Windows(4));
+  ASSERT_TRUE(lazy.ok());
+  ASSERT_TRUE(eager.ok());
+  EXPECT_EQ(Canonical(*lazy), Canonical(*eager));
+}
+
+TEST(ChainingTest, RepresentationSwitchMidChainPreservesResult) {
+  // VE -> aZoom -> convert to OG -> wZoom must equal staying in VE.
+  TGraph g = TGraph::FromVe(RandomTGraph(32), true);
+  AZoomSpec azoom;
+  azoom.group_of = GroupByProperty("group");
+  azoom.aggregator = MakeAggregator("cluster", "key",
+                                    {{"members", AggKind::kCount, ""}});
+  Result<TGraph> zoomed = g.AZoom(azoom);
+  ASSERT_TRUE(zoomed.ok());
+
+  Result<TGraph> stay_ve = zoomed->WZoom(Windows(5));
+  ASSERT_TRUE(stay_ve.ok());
+  Result<TGraph> via_og = zoomed->As(Representation::kOg);
+  ASSERT_TRUE(via_og.ok());
+  Result<TGraph> og_result = via_og->WZoom(Windows(5));
+  ASSERT_TRUE(og_result.ok());
+  EXPECT_EQ(Canonical(*og_result), Canonical(*stay_ve));
+}
+
+TEST(ChainingTest, WZoomThenAZoom) {
+  // The reverse order of Section 5.3's second experiment.
+  TGraph g = TGraph::FromVe(Figure1(), true);
+  Result<TGraph> windowed = g.WZoom(Windows(3));
+  ASSERT_TRUE(windowed.ok());
+  Result<TGraph> zoomed = windowed->AZoom(SchoolZoom());
+  ASSERT_TRUE(zoomed.ok());
+  // Schools still present after windowing; both MIT and CMU survive under
+  // exists/exists.
+  VeGraph out = zoomed->Coalesce().As(Representation::kVe)->ve();
+  EXPECT_EQ(out.NumVertices(), 2);
+  TG_CHECK_OK(ValidateVe(out));
+}
+
+TEST(ChainingTest, OrderCommutesForChangeFreeAttributesUnderExists) {
+  // Section 5.3: "we can safely reorder the operations for WikiTalk and
+  // SNB, since no attributes change in these datasets ... with the exists
+  // quantifier". Build a growth-only graph with stable attributes.
+  std::vector<VeVertex> vertices;
+  std::vector<VeEdge> edges;
+  for (int64_t i = 0; i < 12; ++i) {
+    Properties props{{"type", "n"},
+                     {"group", "g" + std::to_string(i % 3)}};
+    vertices.push_back(VeVertex{i, Interval(i % 5, 20), props});
+  }
+  for (int64_t i = 0; i + 1 < 12; ++i) {
+    edges.push_back(VeEdge{i, i, i + 1,
+                           Interval(std::max(i % 5, (i + 1) % 5) + 1, 20),
+                           Properties{{"type", "e"}}});
+  }
+  TGraph g = TGraph::FromVe(
+      VeGraph::Create(testing::Ctx(), vertices, edges), true);
+
+  AZoomSpec azoom;
+  azoom.group_of = GroupByProperty("group");
+  azoom.aggregator = MakeAggregator("cluster", "group", {});
+  WZoomSpec wzoom = Windows(4);
+
+  Result<TGraph> az_first = g.AZoom(azoom)->WZoom(wzoom);
+  ASSERT_TRUE(az_first.ok());
+  Result<TGraph> wz_first = g.WZoom(wzoom)->AZoom(azoom);
+  ASSERT_TRUE(wz_first.ok());
+  EXPECT_EQ(Canonical(*az_first), Canonical(wz_first->Coalesce()));
+}
+
+TEST(ChainingTest, DoubleWZoomCoarsensProgressively) {
+  TGraph g = TGraph::FromVe(RandomTGraph(33, 20, 40, 32), true);
+  Result<TGraph> by4 = g.WZoom(Windows(4));
+  ASSERT_TRUE(by4.ok());
+  Result<TGraph> by16 = by4->WZoom(Windows(16));
+  ASSERT_TRUE(by16.ok());
+  // Zooming the already-zoomed graph straight to 16 agrees (windows align:
+  // 16 is a multiple of 4 and both tilings start at the lifetime start).
+  Result<TGraph> direct = g.WZoom(Windows(16));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(testing::CanonicalTopology(by16->As(Representation::kVe)->ve()),
+            testing::CanonicalTopology(direct->As(Representation::kVe)->ve()));
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,106 @@
+#include "tgraph/convert.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tgraph/tgraph.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Canonical;
+using ::tgraph::testing::CanonicalTopology;
+using ::tgraph::testing::Figure1;
+using ::tgraph::testing::RandomTGraph;
+
+TEST(ConvertTest, VeOgRoundTrip) {
+  VeGraph ve = Figure1();
+  VeGraph back = OgToVe(VeToOg(ve)).Coalesce();
+  EXPECT_EQ(Canonical(ve.Coalesce()), Canonical(back));
+}
+
+TEST(ConvertTest, VeRgRoundTrip) {
+  VeGraph ve = Figure1();
+  VeGraph back = RgToVe(VeToRg(ve));
+  EXPECT_EQ(Canonical(ve.Coalesce()), Canonical(back));
+}
+
+TEST(ConvertTest, OgRgRoundTrip) {
+  OgGraph og = VeToOg(Figure1());
+  OgGraph back = RgToOg(OgToRg(og));
+  EXPECT_EQ(Canonical(OgToVe(og).Coalesce()), Canonical(OgToVe(back).Coalesce()));
+}
+
+TEST(ConvertTest, OgcKeepsTopologyAndType) {
+  VeGraph ve = Figure1();
+  VeGraph back = OgcToVe(VeToOgc(ve));
+  EXPECT_EQ(CanonicalTopology(ve), CanonicalTopology(back));
+  for (const VeVertex& v : back.vertices().Collect()) {
+    EXPECT_EQ(v.properties.Get("type")->AsString(), "person");
+    EXPECT_EQ(v.properties.size(), 1u);  // attributes beyond type dropped
+  }
+}
+
+TEST(ConvertTest, ConversionsPreserveValidity) {
+  VeGraph ve = RandomTGraph(11);
+  TG_CHECK_OK(ValidateVe(ve));
+  TG_CHECK_OK(ValidateOg(VeToOg(ve)));
+  TG_CHECK_OK(ValidateRg(VeToRg(ve)));
+  TG_CHECK_OK(ValidateOgc(VeToOgc(ve)));
+}
+
+TEST(ConvertTest, RandomGraphsRoundTripThroughEveryRepresentation) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    VeGraph ve = RandomTGraph(seed);
+    std::vector<std::string> expected = Canonical(ve.Coalesce());
+    EXPECT_EQ(Canonical(OgToVe(VeToOg(ve)).Coalesce()), expected)
+        << "OG seed " << seed;
+    EXPECT_EQ(Canonical(RgToVe(VeToRg(ve))), expected) << "RG seed " << seed;
+  }
+}
+
+TEST(ConvertTest, FacadeAsIsIdentityForSameRepresentation) {
+  TGraph g = TGraph::FromVe(Figure1(), true);
+  Result<TGraph> same = g.As(Representation::kVe);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->representation(), Representation::kVe);
+}
+
+TEST(ConvertTest, FacadeConversionMatrix) {
+  TGraph ve = TGraph::FromVe(Figure1(), true);
+  std::vector<std::string> expected = Canonical(ve);
+  const Representation reps[] = {Representation::kVe, Representation::kOg,
+                                 Representation::kRg};
+  for (Representation a : reps) {
+    Result<TGraph> as_a = ve.As(a);
+    ASSERT_TRUE(as_a.ok());
+    for (Representation b : reps) {
+      Result<TGraph> as_b = as_a->As(b);
+      ASSERT_TRUE(as_b.ok());
+      EXPECT_EQ(Canonical(*as_b), expected)
+          << RepresentationName(a) << " -> " << RepresentationName(b);
+    }
+  }
+}
+
+TEST(ConvertTest, OgEdgesEmbedFullVertexCopies) {
+  OgGraph og = VeToOg(RandomTGraph(21));
+  // Every edge's embedded copies must equal the vertex relation's entries.
+  std::map<VertexId, OgVertex> by_vid;
+  for (const OgVertex& v : og.vertices().Collect()) by_vid[v.vid] = v;
+  for (const OgEdge& e : og.edges().Collect()) {
+    EXPECT_EQ(e.v1, by_vid[e.v1.vid]);
+    EXPECT_EQ(e.v2, by_vid[e.v2.vid]);
+  }
+}
+
+TEST(ConvertTest, EmptyGraphConversions) {
+  VeGraph empty = VeGraph::Create(testing::Ctx(), {}, {}, Interval(0, 10));
+  EXPECT_EQ(VeToOg(empty).NumVertices(), 0);
+  EXPECT_EQ(VeToRg(empty).NumSnapshots(), 0u);
+  EXPECT_EQ(VeToOgc(empty).NumVertices(), 0);
+}
+
+}  // namespace
+}  // namespace tgraph

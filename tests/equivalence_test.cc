@@ -1,0 +1,220 @@
+// Property-based cross-representation equivalence: the paper's central
+// correctness claim is that RG, VE, OG (and OGC for topology) are physical
+// representations of the SAME logical TGraph, so every operator must
+// compute identical logical results on all of them. These parameterized
+// suites sweep random evolving graphs and operator parameters.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tgraph/tgraph.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Canonical;
+using ::tgraph::testing::RandomTGraph;
+
+AZoomSpec GroupZoom() {
+  AZoomSpec spec;
+  spec.group_of = GroupByProperty("group");
+  spec.aggregator = MakeAggregator(
+      "cluster", "key",
+      {{"members", AggKind::kCount, ""}, {"total", AggKind::kSum, "weight"}});
+  spec.edge_type = "clustered";
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// aZoom^T equivalence across RG / VE / OG for random graphs.
+// ---------------------------------------------------------------------------
+
+class AZoomEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AZoomEquivalence, AllRepresentationsAgree) {
+  VeGraph ve = RandomTGraph(GetParam());
+  TG_CHECK_OK(ValidateVe(ve));
+  TGraph g = TGraph::FromVe(ve, true);
+  AZoomSpec spec = GroupZoom();
+
+  Result<TGraph> from_ve = g.AZoom(spec);
+  ASSERT_TRUE(from_ve.ok());
+  std::vector<std::string> expected = Canonical(*from_ve);
+
+  Result<TGraph> from_og = g.As(Representation::kOg)->AZoom(spec);
+  ASSERT_TRUE(from_og.ok());
+  EXPECT_EQ(Canonical(*from_og), expected);
+
+  Result<TGraph> from_rg = g.As(Representation::kRg)->AZoom(spec);
+  ASSERT_TRUE(from_rg.ok());
+  EXPECT_EQ(Canonical(*from_rg), expected);
+}
+
+TEST_P(AZoomEquivalence, OutputIsValidTGraph) {
+  VeGraph ve = RandomTGraph(GetParam());
+  Result<TGraph> zoomed = TGraph::FromVe(ve, true).AZoom(GroupZoom());
+  ASSERT_TRUE(zoomed.ok());
+  TGraph coalesced = zoomed->Coalesce();
+  TG_CHECK_OK(ValidateVe(coalesced.As(Representation::kVe)->ve()));
+}
+
+TEST_P(AZoomEquivalence, SnapshotReducibility) {
+  // Point semantics: aZoom^T then snapshot == snapshot then non-temporal
+  // node creation. We verify the vertex side: group counts per snapshot.
+  VeGraph ve = RandomTGraph(GetParam());
+  Result<TGraph> zoomed = TGraph::FromVe(ve, true).AZoom(GroupZoom());
+  ASSERT_TRUE(zoomed.ok());
+  VeGraph zoomed_ve = zoomed->Coalesce().As(Representation::kVe)->ve();
+  for (TimePoint t : {2, 7, 13, 18}) {
+    // Expected: counts per group over the input snapshot at t.
+    std::map<std::string, int64_t> expected;
+    for (const sg::Vertex& v : ve.SnapshotAt(t).vertices().Collect()) {
+      if (const PropertyValue* group = v.properties.Find("group")) {
+        ++expected[group->AsString()];
+      }
+    }
+    std::map<std::string, int64_t> actual;
+    for (const sg::Vertex& v : zoomed_ve.SnapshotAt(t).vertices().Collect()) {
+      actual[v.properties.Get("key")->AsString()] =
+          v.properties.Get("members")->AsInt();
+    }
+    EXPECT_EQ(actual, expected) << "seed " << GetParam() << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, AZoomEquivalence,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+// ---------------------------------------------------------------------------
+// wZoom^T equivalence across RG / VE / OG, swept over window sizes and
+// quantifier combinations.
+// ---------------------------------------------------------------------------
+
+struct WZoomCase {
+  uint64_t seed;
+  int64_t window;
+  int vq;  // 0=all, 1=most, 2=exists
+  int eq;
+};
+
+Quantifier QuantifierOf(int code) {
+  switch (code) {
+    case 0:
+      return Quantifier::All();
+    case 1:
+      return Quantifier::Most();
+    default:
+      return Quantifier::Exists();
+  }
+}
+
+class WZoomEquivalence : public ::testing::TestWithParam<WZoomCase> {};
+
+TEST_P(WZoomEquivalence, AllRepresentationsAgree) {
+  const WZoomCase& param = GetParam();
+  VeGraph ve = RandomTGraph(param.seed);
+  TGraph g = TGraph::FromVe(ve, true);
+  WZoomSpec spec{WindowSpec::TimePoints(param.window), QuantifierOf(param.vq),
+                 QuantifierOf(param.eq), {}, {}};
+  spec.vertex_resolve.default_resolver = Resolver::kLast;
+
+  Result<TGraph> from_ve = g.WZoom(spec);
+  ASSERT_TRUE(from_ve.ok());
+  std::vector<std::string> expected = Canonical(*from_ve);
+
+  Result<TGraph> from_og = g.As(Representation::kOg)->WZoom(spec);
+  ASSERT_TRUE(from_og.ok());
+  EXPECT_EQ(Canonical(*from_og), expected) << "OG";
+
+  Result<TGraph> from_rg = g.As(Representation::kRg)->WZoom(spec);
+  ASSERT_TRUE(from_rg.ok());
+  EXPECT_EQ(Canonical(*from_rg), expected) << "RG";
+}
+
+TEST_P(WZoomEquivalence, OgcAgreesOnTopology) {
+  const WZoomCase& param = GetParam();
+  VeGraph ve = RandomTGraph(param.seed);
+  TGraph g = TGraph::FromVe(ve, true);
+  WZoomSpec spec{WindowSpec::TimePoints(param.window), QuantifierOf(param.vq),
+                 QuantifierOf(param.eq), {}, {}};
+
+  Result<TGraph> from_ve = g.WZoom(spec);
+  ASSERT_TRUE(from_ve.ok());
+  Result<TGraph> from_ogc = g.As(Representation::kOgc)->WZoom(spec);
+  ASSERT_TRUE(from_ogc.ok());
+  VeGraph ve_out = from_ve->As(Representation::kVe)->ve();
+  VeGraph ogc_out = from_ogc->As(Representation::kVe)->ve();
+  EXPECT_EQ(testing::CanonicalTopology(ogc_out),
+            testing::CanonicalTopology(ve_out));
+}
+
+TEST_P(WZoomEquivalence, OutputIsValidAndCoalesced) {
+  const WZoomCase& param = GetParam();
+  VeGraph ve = RandomTGraph(param.seed);
+  WZoomSpec spec{WindowSpec::TimePoints(param.window), QuantifierOf(param.vq),
+                 QuantifierOf(param.eq), {}, {}};
+  Result<TGraph> zoomed = TGraph::FromVe(ve, true).WZoom(spec);
+  ASSERT_TRUE(zoomed.ok());
+  VeGraph out = zoomed->As(Representation::kVe)->ve();
+  if (!QuantifierOf(param.eq).MoreRestrictiveThan(QuantifierOf(param.vq))) {
+    // Whenever the edge quantifier is at least as strict as the vertex
+    // quantifier, the output must be a valid TGraph (no dangling edges).
+    TG_CHECK_OK(ValidateVe(out));
+  }
+  TG_CHECK_OK(CheckCoalescedVe(out));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WZoomEquivalence,
+    ::testing::Values(
+        WZoomCase{1, 3, 0, 0}, WZoomCase{1, 3, 2, 2}, WZoomCase{1, 5, 1, 1},
+        WZoomCase{2, 4, 0, 2}, WZoomCase{2, 7, 2, 0}, WZoomCase{3, 2, 0, 0},
+        WZoomCase{3, 6, 1, 2}, WZoomCase{4, 3, 2, 2}, WZoomCase{4, 10, 0, 0},
+        WZoomCase{5, 5, 2, 1}, WZoomCase{6, 4, 1, 0}, WZoomCase{7, 8, 0, 1}));
+
+class ChangeWindowEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChangeWindowEquivalence, ChangeBasedWindowsAgreeAcrossRepresentations) {
+  VeGraph ve = RandomTGraph(GetParam());
+  TGraph g = TGraph::FromVe(ve, true);
+  WZoomSpec spec{WindowSpec::Changes(3), Quantifier::Exists(),
+                 Quantifier::Exists(), {}, {}};
+  Result<TGraph> from_ve = g.WZoom(spec);
+  ASSERT_TRUE(from_ve.ok());
+  std::vector<std::string> expected = Canonical(*from_ve);
+  Result<TGraph> from_og = g.As(Representation::kOg)->WZoom(spec);
+  ASSERT_TRUE(from_og.ok());
+  EXPECT_EQ(Canonical(*from_og), expected) << "OG";
+  Result<TGraph> from_rg = g.As(Representation::kRg)->WZoom(spec);
+  ASSERT_TRUE(from_rg.ok());
+  EXPECT_EQ(Canonical(*from_rg), expected) << "RG";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ChangeWindowEquivalence,
+                         ::testing::Range(uint64_t{40}, uint64_t{46}));
+
+// ---------------------------------------------------------------------------
+// Coalescing invariants on random graphs.
+// ---------------------------------------------------------------------------
+
+class CoalesceInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoalesceInvariants, CoalesceIsIdempotentAndPreservesSnapshots) {
+  VeGraph ve = RandomTGraph(GetParam());
+  VeGraph once = ve.Coalesce();
+  VeGraph twice = once.Coalesce();
+  EXPECT_EQ(Canonical(once), Canonical(twice));
+  TG_CHECK_OK(CheckCoalescedVe(once));
+  // Coalescing never changes any snapshot.
+  for (TimePoint t : {1, 6, 11, 17}) {
+    EXPECT_EQ(ve.SnapshotAt(t).NumVertices(), once.SnapshotAt(t).NumVertices());
+    EXPECT_EQ(ve.SnapshotAt(t).NumEdges(), once.SnapshotAt(t).NumEdges());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CoalesceInvariants,
+                         ::testing::Range(uint64_t{20}, uint64_t{28}));
+
+}  // namespace
+}  // namespace tgraph

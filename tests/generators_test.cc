@@ -1,0 +1,148 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/stats.h"
+#include "tests/test_util.h"
+#include "tgraph/validate.h"
+
+namespace tgraph::gen {
+namespace {
+
+using ::tgraph::testing::Canonical;
+using ::tgraph::testing::Ctx;
+
+TEST(WikiTalkGeneratorTest, ShapeMatchesConfig) {
+  WikiTalkConfig config;
+  config.num_users = 500;
+  config.num_months = 24;
+  config.seed = 1;
+  VeGraph g = GenerateWikiTalk(Ctx(), config);
+  EXPECT_EQ(g.NumVertices(), 500);
+  EXPECT_EQ(g.NumVertexRecords(), 500);  // growth-only, attrs never change
+  EXPECT_GT(g.NumEdgeRecords(), 500);
+  EXPECT_EQ(g.lifetime(), Interval(0, 24));
+  TG_CHECK_OK(ValidateVe(g));
+}
+
+TEST(WikiTalkGeneratorTest, DeterministicInSeed) {
+  WikiTalkConfig config;
+  config.num_users = 200;
+  config.num_months = 12;
+  EXPECT_EQ(Canonical(GenerateWikiTalk(Ctx(), config)),
+            Canonical(GenerateWikiTalk(Ctx(), config)));
+  config.seed = 99;
+  EXPECT_NE(Canonical(GenerateWikiTalk(Ctx(), config)),
+            Canonical(GenerateWikiTalk(Ctx(), {200, 12, 0.5, 0.35, 1000, 1})));
+}
+
+TEST(WikiTalkGeneratorTest, VerticesAreGrowthOnly) {
+  WikiTalkConfig config;
+  config.num_users = 300;
+  config.num_months = 24;
+  VeGraph g = GenerateWikiTalk(Ctx(), config);
+  for (const VeVertex& v : g.vertices().Collect()) {
+    EXPECT_EQ(v.interval.end, 24);  // persists to the end once added
+    EXPECT_TRUE(v.properties.Has("name"));
+    EXPECT_TRUE(v.properties.Has("editCount"));
+  }
+}
+
+TEST(WikiTalkGeneratorTest, LowEvolutionRate) {
+  WikiTalkConfig config;
+  config.num_users = 1000;
+  config.num_months = 36;
+  VeGraph g = GenerateWikiTalk(Ctx(), config);
+  DatasetStats stats = ComputeStats(g);
+  // Short-lived edges -> low edit similarity (paper: 14.4 for WikiTalk).
+  EXPECT_LT(stats.evolution_rate, 60.0);
+}
+
+TEST(SnbGeneratorTest, GrowthOnlyWithHighEvolutionRate) {
+  SnbConfig config;
+  config.num_persons = 800;
+  config.num_months = 36;
+  VeGraph g = GenerateSnb(Ctx(), config);
+  TG_CHECK_OK(ValidateVe(g));
+  for (const VeVertex& v : g.vertices().Collect()) {
+    EXPECT_EQ(v.interval.end, 36);
+    EXPECT_TRUE(v.properties.Has("firstName"));
+  }
+  for (const VeEdge& e : g.edges().Collect()) {
+    EXPECT_EQ(e.interval.end, 36);  // edges persist too
+  }
+  DatasetStats stats = ComputeStats(g);
+  // Growth-only graph: consecutive snapshots overlap heavily (paper: ~90).
+  EXPECT_GT(stats.evolution_rate, 75.0);
+}
+
+TEST(SnbGeneratorTest, FirstNameCardinalityBounded) {
+  SnbConfig config;
+  config.num_persons = 2000;
+  config.num_first_names = 50;
+  VeGraph g = GenerateSnb(Ctx(), config);
+  std::set<std::string> names;
+  for (const VeVertex& v : g.vertices().Collect()) {
+    names.insert(v.properties.Get("firstName")->AsString());
+  }
+  EXPECT_LE(names.size(), 50u);
+  EXPECT_GT(names.size(), 30u);  // most names used at this scale
+}
+
+TEST(NGramsGeneratorTest, PersistentVerticesChurningEdges) {
+  NGramsConfig config;
+  config.num_words = 500;
+  config.num_years = 50;
+  config.appearances_per_year = 300;
+  config.attribute_change_every = 0;  // single-state vertices for this check
+  VeGraph g = GenerateNGrams(Ctx(), config);
+  TG_CHECK_OK(ValidateVe(g));
+  EXPECT_EQ(g.NumVertexRecords(), 500);
+  for (const VeVertex& v : g.vertices().Collect()) {
+    EXPECT_EQ(v.interval, Interval(0, 50));
+  }
+  // Recurring pairs make multi-state edges: more records than edges.
+  EXPECT_GT(g.NumEdgeRecords(), g.NumEdges());
+}
+
+TEST(NGramsGeneratorTest, EdgeStatesDisjointPerPair) {
+  NGramsConfig config;
+  config.num_words = 100;
+  config.num_years = 60;
+  config.appearances_per_year = 400;  // dense: plenty of recurrences
+  VeGraph g = GenerateNGrams(Ctx(), config);
+  TG_CHECK_OK(CheckCoalescedVe(g));
+}
+
+TEST(NGramsGeneratorTest, AttributeChurnMakesMultiStateVertices) {
+  NGramsConfig config;
+  config.num_words = 400;
+  config.num_years = 100;
+  config.appearances_per_year = 200;
+  config.attribute_change_every = 20;
+  VeGraph g = GenerateNGrams(Ctx(), config);
+  TG_CHECK_OK(ValidateVe(g));
+  EXPECT_GT(g.NumVertexRecords(), 2 * g.NumVertices());
+  // Presence is still the full lifetime despite the state splits.
+  std::map<VertexId, int64_t> covered;
+  for (const VeVertex& v : g.vertices().Collect()) {
+    covered[v.vid] += v.interval.duration();
+  }
+  for (auto& [vid, duration] : covered) EXPECT_EQ(duration, 100);
+}
+
+TEST(NGramsGeneratorTest, MediumEvolutionRate) {
+  NGramsConfig config;
+  config.num_words = 800;
+  config.num_years = 60;
+  config.appearances_per_year = 1500;
+  config.mean_duration = 3.0;
+  VeGraph g = GenerateNGrams(Ctx(), config);
+  DatasetStats stats = ComputeStats(g);
+  // Multi-year edges give moderate overlap (paper: 16-18 for NGrams).
+  EXPECT_GT(stats.evolution_rate, 20.0);
+  EXPECT_LT(stats.evolution_rate, 90.0);
+}
+
+}  // namespace
+}  // namespace tgraph::gen

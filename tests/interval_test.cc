@@ -1,0 +1,126 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace tgraph {
+namespace {
+
+TEST(IntervalTest, EmptyAndDuration) {
+  EXPECT_TRUE(Interval().empty());
+  EXPECT_TRUE(Interval(5, 5).empty());
+  EXPECT_TRUE(Interval(7, 3).empty());
+  EXPECT_FALSE(Interval(3, 7).empty());
+  EXPECT_EQ(Interval(3, 7).duration(), 4);
+  EXPECT_EQ(Interval(7, 3).duration(), 0);
+}
+
+TEST(IntervalTest, ContainsPoint) {
+  Interval i(2, 5);
+  EXPECT_FALSE(i.Contains(1));
+  EXPECT_TRUE(i.Contains(2));
+  EXPECT_TRUE(i.Contains(4));
+  EXPECT_FALSE(i.Contains(5));  // closed-open
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval i(2, 8);
+  EXPECT_TRUE(i.Contains(Interval(2, 8)));
+  EXPECT_TRUE(i.Contains(Interval(3, 5)));
+  EXPECT_FALSE(i.Contains(Interval(1, 5)));
+  EXPECT_FALSE(i.Contains(Interval(5, 9)));
+  EXPECT_TRUE(i.Contains(Interval()));  // empty in anything
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(Interval(1, 5).Overlaps(Interval(4, 8)));
+  EXPECT_FALSE(Interval(1, 5).Overlaps(Interval(5, 8)));  // meets, no overlap
+  EXPECT_FALSE(Interval(1, 5).Overlaps(Interval(6, 8)));
+  EXPECT_FALSE(Interval(1, 5).Overlaps(Interval()));
+}
+
+TEST(IntervalTest, MeetsAndMergeable) {
+  EXPECT_TRUE(Interval(1, 5).Meets(Interval(5, 8)));
+  EXPECT_FALSE(Interval(1, 5).Meets(Interval(6, 8)));
+  EXPECT_TRUE(Interval(1, 5).Mergeable(Interval(5, 8)));
+  EXPECT_TRUE(Interval(1, 5).Mergeable(Interval(3, 8)));
+  EXPECT_FALSE(Interval(1, 5).Mergeable(Interval(6, 8)));
+  EXPECT_TRUE(Interval(1, 5).Mergeable(Interval()));
+}
+
+TEST(IntervalTest, IntersectAndMerge) {
+  EXPECT_EQ(Interval(1, 5).Intersect(Interval(3, 8)), Interval(3, 5));
+  EXPECT_TRUE(Interval(1, 5).Intersect(Interval(5, 8)).empty());
+  EXPECT_EQ(Interval(1, 5).Merge(Interval(5, 8)), Interval(1, 8));
+  EXPECT_EQ(Interval().Merge(Interval(2, 3)), Interval(2, 3));
+  EXPECT_EQ(Interval(2, 3).Merge(Interval()), Interval(2, 3));
+}
+
+TEST(IntervalTest, EqualityTreatsAllEmptyAsEqual) {
+  EXPECT_EQ(Interval(5, 5), Interval(9, 3));
+  EXPECT_NE(Interval(1, 2), Interval(1, 3));
+  EXPECT_EQ(Interval(1, 2), Interval(1, 2));
+}
+
+TEST(IntervalTest, Ordering) {
+  EXPECT_LT(Interval(1, 5), Interval(2, 3));
+  EXPECT_LT(Interval(1, 3), Interval(1, 5));
+}
+
+TEST(IntervalTest, Difference) {
+  std::vector<Interval> out;
+  IntervalDifference(Interval(1, 10), Interval(3, 5), &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Interval(1, 3));
+  EXPECT_EQ(out[1], Interval(5, 10));
+
+  out.clear();
+  IntervalDifference(Interval(1, 10), Interval(0, 20), &out);
+  EXPECT_TRUE(out.empty());
+
+  out.clear();
+  IntervalDifference(Interval(1, 10), Interval(15, 20), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Interval(1, 10));
+
+  out.clear();
+  IntervalDifference(Interval(1, 10), Interval(1, 4), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Interval(4, 10));
+}
+
+TEST(IntervalTest, SplitIntervalsMatchesPaperExample) {
+  // {[1,7), [2,5)} -> {[1,2), [2,5), [5,7)} (temporal splitters).
+  std::vector<Interval> split = SplitIntervals({{1, 7}, {2, 5}});
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split[0], Interval(1, 2));
+  EXPECT_EQ(split[1], Interval(2, 5));
+  EXPECT_EQ(split[2], Interval(5, 7));
+}
+
+TEST(IntervalTest, SplitIntervalsIgnoresEmpty) {
+  EXPECT_TRUE(SplitIntervals({}).empty());
+  EXPECT_TRUE(SplitIntervals({{3, 3}}).empty());
+  EXPECT_EQ(SplitIntervals({{1, 4}}).size(), 1u);
+}
+
+TEST(IntervalTest, CoalesceIntervals) {
+  std::vector<Interval> result =
+      CoalesceIntervals({{5, 7}, {1, 3}, {3, 5}, {10, 12}});
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], Interval(1, 7));
+  EXPECT_EQ(result[1], Interval(10, 12));
+}
+
+TEST(IntervalTest, CoalesceOverlapping) {
+  std::vector<Interval> result = CoalesceIntervals({{1, 6}, {2, 4}, {5, 9}});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], Interval(1, 9));
+}
+
+TEST(IntervalTest, CoveredDuration) {
+  EXPECT_EQ(CoveredDuration({{1, 4}, {2, 6}, {8, 9}}), 6);
+  EXPECT_EQ(CoveredDuration({}), 0);
+}
+
+}  // namespace
+}  // namespace tgraph

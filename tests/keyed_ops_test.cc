@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "dataflow/dataset.h"
+
+namespace tgraph::dataflow {
+namespace {
+
+using KV = std::pair<int64_t, int64_t>;
+
+ExecutionContext* Ctx() {
+  static ExecutionContext* ctx = new ExecutionContext(
+      ContextOptions{.num_workers = 2, .default_parallelism = 4});
+  return ctx;
+}
+
+Dataset<KV> ModKeyed(int64_t n, int64_t mod) {
+  std::vector<KV> data;
+  for (int64_t i = 0; i < n; ++i) data.emplace_back(i % mod, i);
+  return Dataset<KV>::FromVector(Ctx(), std::move(data));
+}
+
+TEST(KeyedOpsTest, GroupByKeyCollectsAllValues) {
+  auto grouped = ModKeyed(100, 10).GroupByKey();
+  std::vector<std::pair<int64_t, std::vector<int64_t>>> groups =
+      grouped.Collect();
+  ASSERT_EQ(groups.size(), 10u);
+  for (auto& [key, values] : groups) {
+    EXPECT_EQ(values.size(), 10u);
+    for (int64_t v : values) EXPECT_EQ(v % 10, key);
+  }
+}
+
+TEST(KeyedOpsTest, ReduceByKeySums) {
+  auto sums = ModKeyed(100, 4).ReduceByKey(
+      [](const int64_t& a, const int64_t& b) { return a + b; });
+  std::map<int64_t, int64_t> by_key;
+  for (auto& [k, v] : sums.Collect()) by_key[k] = v;
+  ASSERT_EQ(by_key.size(), 4u);
+  int64_t total = 0;
+  for (auto& [k, v] : by_key) total += v;
+  EXPECT_EQ(total, 99 * 100 / 2);
+  // Key 0 holds 0+4+...+96.
+  EXPECT_EQ(by_key[0], 25 * 96 / 2 + 0);
+}
+
+TEST(KeyedOpsTest, ReduceByKeySingletonKeysPassThrough) {
+  std::vector<KV> data = {{1, 10}, {2, 20}};
+  auto ds = Dataset<KV>::FromVector(Ctx(), data);
+  auto reduced = ds.ReduceByKey(
+      [](const int64_t&, const int64_t&) -> int64_t { ADD_FAILURE(); return 0; });
+  EXPECT_EQ(reduced.Count(), 2);
+}
+
+TEST(KeyedOpsTest, AggregateByKeyBuildsAccumulators) {
+  auto agg = ModKeyed(60, 6).AggregateByKey<std::vector<int64_t>>(
+      {},
+      [](std::vector<int64_t>* acc, const int64_t& v) { acc->push_back(v); },
+      [](std::vector<int64_t>* acc, std::vector<int64_t>&& other) {
+        acc->insert(acc->end(), other.begin(), other.end());
+      });
+  for (auto& [key, values] : agg.Collect()) {
+    EXPECT_EQ(values.size(), 10u) << "key " << key;
+  }
+}
+
+TEST(KeyedOpsTest, CountByKey) {
+  auto counts = ModKeyed(90, 9).CountByKey();
+  for (auto& [key, count] : counts.Collect()) {
+    EXPECT_EQ(count, 10) << "key " << key;
+  }
+}
+
+TEST(KeyedOpsTest, JoinInner) {
+  std::vector<KV> left = {{1, 10}, {2, 20}, {3, 30}};
+  std::vector<std::pair<int64_t, std::string>> right = {
+      {2, "two"}, {3, "three"}, {4, "four"}};
+  auto l = Dataset<KV>::FromVector(Ctx(), left);
+  auto r = Dataset<std::pair<int64_t, std::string>>::FromVector(Ctx(), right);
+  auto joined = l.Join<std::string>(r);
+  std::map<int64_t, std::pair<int64_t, std::string>> result;
+  for (auto& [k, v] : joined.Collect()) result[k] = v;
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[2], std::make_pair(int64_t{20}, std::string("two")));
+  EXPECT_EQ(result[3], std::make_pair(int64_t{30}, std::string("three")));
+}
+
+TEST(KeyedOpsTest, JoinProducesCrossProductPerKey) {
+  std::vector<KV> left = {{1, 10}, {1, 11}};
+  std::vector<KV> right = {{1, 100}, {1, 101}, {1, 102}};
+  auto l = Dataset<KV>::FromVector(Ctx(), left);
+  auto r = Dataset<KV>::FromVector(Ctx(), right);
+  EXPECT_EQ(l.Join<int64_t>(r).Count(), 6);
+}
+
+TEST(KeyedOpsTest, SemiJoinKeepsMatchingKeysOnly) {
+  auto left = ModKeyed(100, 10);
+  std::vector<KV> right = {{3, 0}, {7, 0}, {3, 1}};
+  auto r = Dataset<KV>::FromVector(Ctx(), right);
+  auto filtered = left.SemiJoin<int64_t>(r);
+  EXPECT_EQ(filtered.Count(), 20);  // keys 3 and 7, 10 records each
+  for (auto& [k, v] : filtered.Collect()) {
+    EXPECT_TRUE(k == 3 || k == 7);
+  }
+}
+
+TEST(KeyedOpsTest, CoGroupIncludesKeysFromEitherSide) {
+  std::vector<KV> left = {{1, 10}, {1, 11}, {2, 20}};
+  std::vector<KV> right = {{2, 200}, {3, 300}};
+  auto l = Dataset<KV>::FromVector(Ctx(), left);
+  auto r = Dataset<KV>::FromVector(Ctx(), right);
+  auto cogrouped = l.CoGroup<int64_t>(r);
+  std::map<int64_t, std::pair<size_t, size_t>> sizes;
+  for (auto& [k, pair] : cogrouped.Collect()) {
+    sizes[k] = {pair.first.size(), pair.second.size()};
+  }
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[1], std::make_pair(size_t{2}, size_t{0}));
+  EXPECT_EQ(sizes[2], std::make_pair(size_t{1}, size_t{1}));
+  EXPECT_EQ(sizes[3], std::make_pair(size_t{0}, size_t{1}));
+}
+
+TEST(KeyedOpsTest, StringKeys) {
+  std::vector<std::pair<std::string, int64_t>> data = {
+      {"a", 1}, {"b", 2}, {"a", 3}};
+  auto ds = Dataset<std::pair<std::string, int64_t>>::FromVector(Ctx(), data);
+  auto sums = ds.ReduceByKey(
+      [](const int64_t& a, const int64_t& b) { return a + b; });
+  std::map<std::string, int64_t> result;
+  for (auto& [k, v] : sums.Collect()) result[k] = v;
+  EXPECT_EQ(result["a"], 4);
+  EXPECT_EQ(result["b"], 2);
+}
+
+TEST(KeyedOpsTest, PairKeys) {
+  using PairKey = std::pair<int64_t, int64_t>;
+  std::vector<std::pair<PairKey, int64_t>> data = {
+      {{1, 2}, 5}, {{1, 2}, 6}, {{2, 1}, 7}};
+  auto ds = Dataset<std::pair<PairKey, int64_t>>::FromVector(Ctx(), data);
+  EXPECT_EQ(ds.GroupByKey().Count(), 2);
+}
+
+TEST(KeyedOpsTest, LargeShuffleIsCorrect) {
+  const int64_t n = 50000;
+  auto sums = ModKeyed(n, 137).ReduceByKey(
+      [](const int64_t& a, const int64_t& b) { return a + b; }, 16);
+  int64_t total = 0;
+  for (auto& [k, v] : sums.Collect()) total += v;
+  EXPECT_EQ(total, (n - 1) * n / 2);
+  EXPECT_EQ(sums.Count(), 137);
+}
+
+}  // namespace
+}  // namespace tgraph::dataflow

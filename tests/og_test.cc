@@ -1,0 +1,89 @@
+#include "tgraph/og.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tgraph/convert.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Ctx;
+using ::tgraph::testing::Figure1;
+
+OgGraph Figure1Og() { return VeToOg(Figure1()); }
+
+TEST(OgGraphTest, ConversionBuildsHistories) {
+  OgGraph g = Figure1Og();
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_EQ(g.NumVertexRecords(), 4);  // Bob has two states
+  EXPECT_EQ(g.NumEdgeRecords(), 2);
+  TG_CHECK_OK(ValidateOg(g));
+}
+
+TEST(OgGraphTest, BobHistoryHasTwoStatesInOrder) {
+  OgGraph g = Figure1Og();
+  for (const OgVertex& v : g.vertices().Collect()) {
+    if (v.vid != 2) continue;
+    ASSERT_EQ(v.history.size(), 2u);
+    EXPECT_EQ(v.history[0].interval, Interval(2, 5));
+    EXPECT_FALSE(v.history[0].properties.Has("school"));
+    EXPECT_EQ(v.history[1].interval, Interval(5, 9));
+    EXPECT_EQ(v.history[1].properties.Get("school")->AsString(), "CMU");
+  }
+}
+
+TEST(OgGraphTest, EdgesEmbedEndpointCopies) {
+  OgGraph g = Figure1Og();
+  for (const OgEdge& e : g.edges().Collect()) {
+    if (e.eid == 1) {
+      EXPECT_EQ(e.v1.vid, 1);
+      EXPECT_EQ(e.v2.vid, 2);
+      EXPECT_EQ(e.v1.history.size(), 1u);  // Ann: one state
+      EXPECT_EQ(e.v2.history.size(), 2u);  // Bob: two states
+    }
+  }
+}
+
+TEST(OgGraphTest, CoalesceMergesWithinHistories) {
+  std::vector<OgVertex> vertices = {
+      {1,
+       {{{1, 3}, Properties{{"type", "n"}}},
+        {{3, 6}, Properties{{"type", "n"}}}}},
+  };
+  OgGraph g = OgGraph::Create(Ctx(), vertices, {});
+  OgGraph c = g.Coalesce();
+  std::vector<OgVertex> collected = c.vertices().Collect();
+  ASSERT_EQ(collected.size(), 1u);
+  ASSERT_EQ(collected[0].history.size(), 1u);
+  EXPECT_EQ(collected[0].history[0].interval, Interval(1, 6));
+}
+
+TEST(OgGraphTest, ChangePointsMatchVe) {
+  EXPECT_EQ(Figure1Og().ChangePoints(), Figure1().ChangePoints());
+}
+
+TEST(OgGraphTest, SnapshotAtMatchesVe) {
+  OgGraph og = Figure1Og();
+  VeGraph ve = Figure1();
+  for (TimePoint t : {1, 3, 5, 8}) {
+    EXPECT_EQ(og.SnapshotAt(t).NumVertices(), ve.SnapshotAt(t).NumVertices())
+        << "t=" << t;
+    EXPECT_EQ(og.SnapshotAt(t).NumEdges(), ve.SnapshotAt(t).NumEdges())
+        << "t=" << t;
+  }
+}
+
+TEST(OgGraphTest, LifetimeDerivedFromHistories) {
+  std::vector<OgVertex> vertices = {
+      {1, {{{5, 9}, Properties{{"type", "n"}}}}},
+      {2, {{{2, 4}, Properties{{"type", "n"}}}}},
+  };
+  OgGraph g = OgGraph::Create(Ctx(), vertices, {});
+  EXPECT_EQ(g.lifetime(), Interval(2, 9));
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,74 @@
+#include "tgraph/ogc.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tgraph/convert.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Figure1;
+
+OgcGraph Figure1Ogc() { return VeToOgc(Figure1()); }
+
+TEST(OgcGraphTest, IntervalIndexFromChangePoints) {
+  OgcGraph g = Figure1Ogc();
+  // Change points {1,2,5,7,9} -> elementary intervals [1,2),[2,5),[5,7),[7,9).
+  ASSERT_EQ(g.intervals().size(), 4u);
+  EXPECT_EQ(g.intervals()[0], Interval(1, 2));
+  EXPECT_EQ(g.intervals()[3], Interval(7, 9));
+  TG_CHECK_OK(ValidateOgc(g));
+}
+
+TEST(OgcGraphTest, PresenceBitsMatchLifetimes) {
+  OgcGraph g = Figure1Ogc();
+  for (const OgcVertex& v : g.vertices().Collect()) {
+    if (v.vid == 1) {  // Ann [1,7): present in intervals 0,1,2
+      EXPECT_EQ(v.presence.ToString(), "[1, 1, 1, 0]");
+    } else if (v.vid == 2) {  // Bob [2,9)
+      EXPECT_EQ(v.presence.ToString(), "[0, 1, 1, 1]");
+    } else if (v.vid == 3) {  // Cat [1,9)
+      EXPECT_EQ(v.presence.ToString(), "[1, 1, 1, 1]");
+    }
+  }
+}
+
+TEST(OgcGraphTest, EdgePresenceAndTypes) {
+  OgcGraph g = Figure1Ogc();
+  for (const OgcEdge& e : g.edges().Collect()) {
+    EXPECT_EQ(e.type, "co-author");
+    if (e.eid == 1) {  // [2,7) -> intervals 1,2
+      EXPECT_EQ(e.presence.ToString(), "[0, 1, 1, 0]");
+      EXPECT_EQ(e.v1.vid, 1);
+      EXPECT_EQ(e.v2.vid, 2);
+    } else {  // e2 [7,9) -> interval 3
+      EXPECT_EQ(e.presence.ToString(), "[0, 0, 0, 1]");
+    }
+  }
+}
+
+TEST(OgcGraphTest, VertexTypesPreserved) {
+  OgcGraph g = Figure1Ogc();
+  for (const OgcVertex& v : g.vertices().Collect()) {
+    EXPECT_EQ(v.type, "person");
+  }
+}
+
+TEST(OgcGraphTest, RecordCounts) {
+  OgcGraph g = Figure1Ogc();
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_EQ(g.NumVertexRecords(), 3 + 3 + 4);  // set bits
+  EXPECT_EQ(g.NumEdgeRecords(), 2 + 1);
+}
+
+TEST(OgcGraphTest, RoundTripToVeKeepsTopology) {
+  VeGraph ve = Figure1();
+  VeGraph back = OgcToVe(VeToOgc(ve));
+  EXPECT_EQ(testing::CanonicalTopology(ve), testing::CanonicalTopology(back));
+}
+
+}  // namespace
+}  // namespace tgraph

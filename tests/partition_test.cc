@@ -1,0 +1,86 @@
+#include "sg/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace tgraph::sg {
+namespace {
+
+TEST(PartitionTest, InRangeForAllStrategies) {
+  const PartitionStrategy strategies[] = {
+      PartitionStrategy::kEdgePartition1D, PartitionStrategy::kEdgePartition2D,
+      PartitionStrategy::kCanonicalRandomVertexCut,
+      PartitionStrategy::kRandomVertexCut};
+  Rng rng(1);
+  for (PartitionStrategy strategy : strategies) {
+    for (int parts : {1, 3, 7, 16}) {
+      for (int i = 0; i < 200; ++i) {
+        int p = GetEdgePartition(strategy,
+                                 static_cast<VertexId>(rng.NextBounded(1000)),
+                                 static_cast<VertexId>(rng.NextBounded(1000)),
+                                 parts);
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, parts);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, Deterministic) {
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(GetEdgePartition(PartitionStrategy::kEdgePartition2D, i, i + 1, 9),
+              GetEdgePartition(PartitionStrategy::kEdgePartition2D, i, i + 1, 9));
+  }
+}
+
+TEST(PartitionTest, EdgePartition1DDependsOnlyOnSource) {
+  for (VertexId src = 0; src < 20; ++src) {
+    int expected =
+        GetEdgePartition(PartitionStrategy::kEdgePartition1D, src, 0, 8);
+    for (VertexId dst = 1; dst < 20; ++dst) {
+      EXPECT_EQ(GetEdgePartition(PartitionStrategy::kEdgePartition1D, src, dst, 8),
+                expected);
+    }
+  }
+}
+
+TEST(PartitionTest, CanonicalIsSymmetric) {
+  for (VertexId a = 0; a < 30; ++a) {
+    for (VertexId b = 0; b < 30; ++b) {
+      EXPECT_EQ(
+          GetEdgePartition(PartitionStrategy::kCanonicalRandomVertexCut, a, b, 13),
+          GetEdgePartition(PartitionStrategy::kCanonicalRandomVertexCut, b, a, 13));
+    }
+  }
+}
+
+TEST(PartitionTest, EdgePartition2DBoundsVertexReplication) {
+  // Under 2D partitioning, the partitions a single source vertex touches
+  // are bounded by the grid side (one row of the grid).
+  const int parts = 16;
+  const int bound = MaxVertexReplication(PartitionStrategy::kEdgePartition2D, parts);
+  EXPECT_EQ(bound, 8);  // 2 * ceil(sqrt(16))
+  for (VertexId src = 0; src < 10; ++src) {
+    std::set<int> touched;
+    for (VertexId dst = 0; dst < 500; ++dst) {
+      touched.insert(
+          GetEdgePartition(PartitionStrategy::kEdgePartition2D, src, dst, parts));
+    }
+    EXPECT_LE(static_cast<int>(touched.size()), 4);  // one grid row
+  }
+}
+
+TEST(PartitionTest, SpreadsAcrossPartitions) {
+  std::set<int> used;
+  for (int i = 0; i < 1000; ++i) {
+    used.insert(GetEdgePartition(PartitionStrategy::kRandomVertexCut, i,
+                                 i * 31 + 7, 16));
+  }
+  EXPECT_EQ(used.size(), 16u);
+}
+
+}  // namespace
+}  // namespace tgraph::sg

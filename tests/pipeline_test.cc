@@ -1,0 +1,154 @@
+#include "tgraph/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Canonical;
+using ::tgraph::testing::Figure1;
+using ::tgraph::testing::RandomTGraph;
+using ::tgraph::testing::SchoolZoom;
+
+WZoomSpec ExistsWindows(int64_t size) {
+  return WZoomSpec{WindowSpec::TimePoints(size), Quantifier::Exists(),
+                   Quantifier::Exists(), {}, {}};
+}
+
+AZoomSpec GroupZoom() {
+  AZoomSpec spec;
+  spec.group_of = GroupByProperty("group");
+  spec.aggregator = MakeAggregator("cluster", "group", {});
+  return spec;
+}
+
+TEST(PipelineTest, RunExecutesStepsInOrder) {
+  Pipeline pipeline;
+  pipeline.AZoom(SchoolZoom()).Coalesce().Slice(Interval(1, 8));
+  Result<TGraph> result = pipeline.Run(TGraph::FromVe(Figure1(), true));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->lifetime(), Interval(1, 8));
+  EXPECT_EQ(result->As(Representation::kVe)->ve().NumVertices(), 2);
+}
+
+TEST(PipelineTest, ExplainListsSteps) {
+  Pipeline pipeline;
+  pipeline.Slice(Interval(0, 9))
+      .AZoom(SchoolZoom())
+      .WZoom(ExistsWindows(3))
+      .Convert(Representation::kOgc);
+  std::string plan = pipeline.Explain();
+  EXPECT_NE(plan.find("1. slice [0, 9)"), std::string::npos);
+  EXPECT_NE(plan.find("2. aZoom edge_type=collaborate"), std::string::npos);
+  EXPECT_NE(plan.find("nodes=exists edges=exists"), std::string::npos);
+  EXPECT_NE(plan.find("4. convert to OGC"), std::string::npos);
+}
+
+TEST(PipelineTest, OptimizerDropsRedundantCoalesces) {
+  Pipeline pipeline;
+  pipeline.AZoom(SchoolZoom()).Coalesce().WZoom(ExistsWindows(3)).Coalesce();
+  Pipeline::Hints hints;
+  hints.drop_mid_chain_conversions = false;
+  Pipeline optimized = pipeline.Optimized(hints);
+  // The mid-chain coalesce goes (wZoom coalesces lazily); the final one
+  // stays (it shapes the result).
+  int coalesces = 0;
+  for (const Pipeline::Step& step : optimized.steps()) {
+    if (std::holds_alternative<Pipeline::CoalesceStep>(step)) ++coalesces;
+  }
+  EXPECT_EQ(coalesces, 1);
+  EXPECT_TRUE(std::holds_alternative<Pipeline::CoalesceStep>(
+      optimized.steps().back()));
+}
+
+TEST(PipelineTest, OptimizerPushesSliceBeforeAZoom) {
+  Pipeline pipeline;
+  pipeline.AZoom(SchoolZoom()).Slice(Interval(2, 7));
+  Pipeline::Hints hints;
+  hints.drop_mid_chain_conversions = false;
+  Pipeline optimized = pipeline.Optimized(hints);
+  ASSERT_EQ(optimized.steps().size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<Pipeline::SliceStep>(optimized.steps()[0]));
+  EXPECT_TRUE(std::holds_alternative<Pipeline::AZoomStep>(optimized.steps()[1]));
+}
+
+TEST(PipelineTest, OptimizerReordersZoomsOnlyWithStableAttributes) {
+  Pipeline pipeline;
+  pipeline.WZoom(ExistsWindows(4)).AZoom(GroupZoom());
+
+  Pipeline::Hints no_hint;
+  no_hint.drop_mid_chain_conversions = false;
+  Pipeline untouched = pipeline.Optimized(no_hint);
+  EXPECT_TRUE(std::holds_alternative<Pipeline::WZoomStep>(untouched.steps()[0]));
+
+  Pipeline::Hints stable;
+  stable.attributes_stable = true;
+  stable.drop_mid_chain_conversions = false;
+  Pipeline reordered = pipeline.Optimized(stable);
+  EXPECT_TRUE(std::holds_alternative<Pipeline::AZoomStep>(reordered.steps()[0]));
+}
+
+TEST(PipelineTest, OptimizerKeepsOrderForStrictQuantifiers) {
+  Pipeline pipeline;
+  pipeline
+      .WZoom(WZoomSpec{WindowSpec::TimePoints(4), Quantifier::All(),
+                       Quantifier::All(), {}, {}})
+      .AZoom(GroupZoom());
+  Pipeline::Hints stable;
+  stable.attributes_stable = true;
+  stable.drop_mid_chain_conversions = false;
+  Pipeline optimized = pipeline.Optimized(stable);
+  // all/all does not commute with aZoom; the order must survive.
+  EXPECT_TRUE(std::holds_alternative<Pipeline::WZoomStep>(optimized.steps()[0]));
+}
+
+TEST(PipelineTest, OptimizerDropsMidChainConversions) {
+  Pipeline pipeline;
+  pipeline.AZoom(SchoolZoom())
+      .Convert(Representation::kVe)
+      .WZoom(ExistsWindows(3));
+  Pipeline optimized = pipeline.Optimized();
+  // The mid-chain conversion disappeared and none was inserted.
+  for (const Pipeline::Step& step : optimized.steps()) {
+    EXPECT_FALSE(std::holds_alternative<Pipeline::ConvertStep>(step));
+  }
+  EXPECT_EQ(optimized.steps().size(), 2u);
+}
+
+TEST(PipelineTest, FinalUserConversionSurvivesOptimization) {
+  Pipeline pipeline;
+  pipeline.WZoom(ExistsWindows(3)).Convert(Representation::kOgc);
+  Pipeline optimized = pipeline.Optimized();
+  const auto* last =
+      std::get_if<Pipeline::ConvertStep>(&optimized.steps().back());
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->target, Representation::kOgc);
+}
+
+class PipelineEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineEquivalence, OptimizedPlanComputesSameResult) {
+  VeGraph ve = RandomTGraph(GetParam());
+  TGraph input = TGraph::FromVe(ve, true);
+  Pipeline pipeline;
+  pipeline.Slice(Interval(0, 18))
+      .Coalesce()
+      .AZoom(GroupZoom())
+      .Coalesce()
+      .WZoom(ExistsWindows(4));
+  Pipeline::Hints hints;
+  hints.attributes_stable = false;  // random graphs churn attributes
+  Result<TGraph> plain = pipeline.Run(input);
+  Result<TGraph> optimized = pipeline.Optimized(hints).Run(input);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(Canonical(*optimized), Canonical(*plain));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, PipelineEquivalence,
+                         ::testing::Range(uint64_t{80}, uint64_t{86}));
+
+}  // namespace
+}  // namespace tgraph

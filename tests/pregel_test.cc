@@ -1,0 +1,139 @@
+#include "sg/pregel.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sg/property_graph.h"
+
+namespace tgraph::sg {
+namespace {
+
+using dataflow::Dataset;
+
+dataflow::ExecutionContext* Ctx() {
+  static auto* ctx = new dataflow::ExecutionContext(
+      dataflow::ContextOptions{.num_workers = 2, .default_parallelism = 4});
+  return ctx;
+}
+
+Dataset<Edge> Chain(int64_t n) {
+  std::vector<Edge> edges;
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    edges.push_back(Edge{i, i, i + 1, {}});
+  }
+  return Dataset<Edge>::FromVector(Ctx(), edges);
+}
+
+Dataset<std::pair<VertexId, int64_t>> States(int64_t n, int64_t value) {
+  std::vector<std::pair<VertexId, int64_t>> states;
+  for (int64_t i = 0; i < n; ++i) states.emplace_back(i, value);
+  return Dataset<std::pair<VertexId, int64_t>>::FromVector(Ctx(), states);
+}
+
+TEST(PregelTest, PropagatesMaxAlongChain) {
+  // State = max vid seen; messages flow src -> dst along the chain.
+  auto result = RunPregel<int64_t, int64_t>(
+      States(5, 0).Map([](const std::pair<VertexId, int64_t>& kv) {
+        return std::pair<VertexId, int64_t>(kv.first, kv.first);
+      }),
+      Chain(5),
+      /*initial_message=*/int64_t{-1},
+      [](VertexId, const int64_t& state, const int64_t& msg) {
+        return std::max(state, msg);
+      },
+      [](const PregelTriplet<int64_t>& t,
+         std::vector<std::pair<VertexId, int64_t>>* out) {
+        if (t.src_state > t.dst_state) {
+          out->emplace_back(t.edge.dst, t.src_state);
+        }
+      },
+      [](const int64_t& a, const int64_t& b) { return std::max(a, b); });
+  std::map<VertexId, int64_t> states;
+  for (auto& [v, s] : result.Collect()) states[v] = s;
+  // Along 0->1->2->3->4 the max propagating forward is the own prefix max,
+  // i.e. each vertex keeps its own vid (vid is the max of its ancestors).
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(states[i], i);
+}
+
+TEST(PregelTest, HopCountReachesAllVertices) {
+  // Distance from vertex 0 along the chain.
+  const int64_t kInf = 1 << 20;
+  auto initial = States(6, 0).Map([](const std::pair<VertexId, int64_t>& kv) {
+    return std::pair<VertexId, int64_t>(kv.first,
+                                        kv.first == 0 ? 0 : (1 << 20));
+  });
+  auto result = RunPregel<int64_t, int64_t>(
+      initial, Chain(6), kInf,
+      [](VertexId, const int64_t& state, const int64_t& msg) {
+        return std::min(state, msg);
+      },
+      [kInf](const PregelTriplet<int64_t>& t,
+             std::vector<std::pair<VertexId, int64_t>>* out) {
+        if (t.src_state < kInf && t.src_state + 1 < t.dst_state) {
+          out->emplace_back(t.edge.dst, t.src_state + 1);
+        }
+      },
+      [](const int64_t& a, const int64_t& b) { return std::min(a, b); });
+  std::map<VertexId, int64_t> distance;
+  for (auto& [v, s] : result.Collect()) distance[v] = s;
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(distance[i], i);
+}
+
+TEST(PregelTest, StopsWhenNoMessages) {
+  // A send function that never sends: only superstep 0 runs.
+  int64_t calls = 0;
+  auto result = RunPregel<int64_t, int64_t>(
+      States(3, 7), Chain(3), int64_t{1},
+      [](VertexId, const int64_t& state, const int64_t& msg) {
+        return state + msg;
+      },
+      [](const PregelTriplet<int64_t>&,
+         std::vector<std::pair<VertexId, int64_t>>*) {},
+      [](const int64_t& a, const int64_t&) { return a; });
+  (void)calls;
+  for (auto& [v, s] : result.Collect()) {
+    EXPECT_EQ(s, 8);  // 7 + initial message 1, once
+  }
+}
+
+TEST(PregelTest, RespectsMaxIterations) {
+  // An infinite ping along a self-reinforcing chain, cut by max_iterations.
+  PregelOptions options;
+  options.max_iterations = 3;
+  auto result = RunPregel<int64_t, int64_t>(
+      States(2, 0),
+      Dataset<Edge>::FromVector(Ctx(), {Edge{0, 0, 1, {}}, Edge{1, 1, 0, {}}}),
+      int64_t{0},
+      [](VertexId, const int64_t& state, const int64_t&) { return state + 1; },
+      [](const PregelTriplet<int64_t>& t,
+         std::vector<std::pair<VertexId, int64_t>>* out) {
+        out->emplace_back(t.edge.dst, t.src_state);
+      },
+      [](const int64_t& a, const int64_t&) { return a; }, options);
+  for (auto& [v, s] : result.Collect()) {
+    EXPECT_EQ(s, 4);  // superstep 0 + 3 iterations
+  }
+}
+
+TEST(PregelTest, MessagesToUnknownVerticesAreDropped) {
+  auto result = RunPregel<int64_t, int64_t>(
+      States(2, 0),
+      Dataset<Edge>::FromVector(Ctx(), {Edge{0, 0, 1, {}}}), int64_t{0},
+      [](VertexId, const int64_t& state, const int64_t& msg) {
+        return state + msg;
+      },
+      [](const PregelTriplet<int64_t>&,
+         std::vector<std::pair<VertexId, int64_t>>* out) {
+        out->emplace_back(999, 1);  // no such vertex
+      },
+      [](const int64_t& a, const int64_t& b) { return a + b; });
+  EXPECT_EQ(result.Count(), 2);
+  for (auto& [v, s] : result.Collect()) {
+    EXPECT_LT(v, 2);
+    EXPECT_EQ(s, 0);
+  }
+}
+
+}  // namespace
+}  // namespace tgraph::sg

@@ -1,0 +1,80 @@
+#include "common/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace tgraph {
+namespace {
+
+TEST(PropertiesTest, SetGetErase) {
+  Properties p;
+  EXPECT_TRUE(p.empty());
+  p.Set("b", 2);
+  p.Set("a", "x");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.Get("a")->AsString(), "x");
+  EXPECT_EQ(p.Get("b")->AsInt(), 2);
+  EXPECT_FALSE(p.Get("c").has_value());
+  EXPECT_TRUE(p.Erase("a"));
+  EXPECT_FALSE(p.Erase("a"));
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(PropertiesTest, SetOverwrites) {
+  Properties p;
+  p.Set("k", 1);
+  p.Set("k", 2);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.Get("k")->AsInt(), 2);
+}
+
+TEST(PropertiesTest, EntriesSortedByKey) {
+  Properties p;
+  p.Set("z", 1);
+  p.Set("a", 2);
+  p.Set("m", 3);
+  ASSERT_EQ(p.entries().size(), 3u);
+  EXPECT_EQ(p.entries()[0].first, "a");
+  EXPECT_EQ(p.entries()[1].first, "m");
+  EXPECT_EQ(p.entries()[2].first, "z");
+}
+
+TEST(PropertiesTest, InitializerListLaterDuplicateWins) {
+  Properties p{{"a", 1}, {"b", 2}, {"a", 3}};
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.Get("a")->AsInt(), 3);
+}
+
+TEST(PropertiesTest, ValueEquivalence) {
+  Properties a{{"x", 1}, {"y", "s"}};
+  Properties b;
+  b.Set("y", "s");
+  b.Set("x", 1);
+  EXPECT_EQ(a, b);  // insertion order does not matter
+  b.Set("x", 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PropertiesTest, HashConsistentWithEquality) {
+  Properties a{{"x", 1}, {"y", "s"}};
+  Properties b{{"y", "s"}, {"x", 1}};
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Properties c{{"x", 1}};
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(PropertiesTest, FindReturnsPointerWithoutCopy) {
+  Properties p{{"k", "value"}};
+  const PropertyValue* v = p.Find("k");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->AsString(), "value");
+  EXPECT_EQ(p.Find("other"), nullptr);
+}
+
+TEST(PropertiesTest, ToString) {
+  Properties p{{"b", 2}, {"a", "x"}};
+  EXPECT_EQ(p.ToString(), "{a=x, b=2}");
+  EXPECT_EQ(Properties().ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,119 @@
+#include "sg/property_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tgraph::sg {
+namespace {
+
+using dataflow::Dataset;
+
+dataflow::ExecutionContext* Ctx() {
+  static auto* ctx = new dataflow::ExecutionContext(
+      dataflow::ContextOptions{.num_workers = 2, .default_parallelism = 4});
+  return ctx;
+}
+
+PropertyGraph Diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  std::vector<Vertex> vertices;
+  for (int64_t i = 0; i < 4; ++i) {
+    vertices.push_back(Vertex{i, Properties{{"type", "n"}, {"id", i}}});
+  }
+  std::vector<Edge> edges = {
+      {0, 0, 1, Properties{{"type", "e"}}},
+      {1, 0, 2, Properties{{"type", "e"}}},
+      {2, 1, 3, Properties{{"type", "e"}}},
+      {3, 2, 3, Properties{{"type", "e"}}},
+  };
+  return PropertyGraph(Dataset<Vertex>::FromVector(Ctx(), vertices),
+                       Dataset<Edge>::FromVector(Ctx(), edges));
+}
+
+TEST(PropertyGraphTest, Counts) {
+  PropertyGraph g = Diamond();
+  EXPECT_EQ(g.NumVertices(), 4);
+  EXPECT_EQ(g.NumEdges(), 4);
+}
+
+TEST(PropertyGraphTest, TripletsCarryBothEndpointProperties) {
+  PropertyGraph g = Diamond();
+  std::vector<Triplet> triplets = g.Triplets().Collect();
+  ASSERT_EQ(triplets.size(), 4u);
+  for (const Triplet& t : triplets) {
+    EXPECT_EQ(t.src_properties.Get("id")->AsInt(), t.edge.src);
+    EXPECT_EQ(t.dst_properties.Get("id")->AsInt(), t.edge.dst);
+  }
+}
+
+TEST(PropertyGraphTest, MapVertices) {
+  PropertyGraph g = Diamond().MapVertices([](const Vertex& v) {
+    Properties p = v.properties;
+    p.Set("doubled", v.vid * 2);
+    return p;
+  });
+  for (const Vertex& v : g.vertices().Collect()) {
+    EXPECT_EQ(v.properties.Get("doubled")->AsInt(), v.vid * 2);
+  }
+  EXPECT_EQ(g.NumEdges(), 4);  // topology unchanged
+}
+
+TEST(PropertyGraphTest, MapEdges) {
+  PropertyGraph g = Diamond().MapEdges([](const Edge& e) {
+    Properties p = e.properties;
+    p.Set("sum", e.src + e.dst);
+    return p;
+  });
+  for (const Edge& e : g.edges().Collect()) {
+    EXPECT_EQ(e.properties.Get("sum")->AsInt(), e.src + e.dst);
+  }
+}
+
+TEST(PropertyGraphTest, SubgraphRemovesDanglingEdges) {
+  // Drop vertex 3: edges 2 and 3 must disappear even though epred keeps all.
+  PropertyGraph g = Diamond().Subgraph(
+      [](const Vertex& v) { return v.vid != 3; },
+      [](const Edge&) { return true; });
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.NumEdges(), 2);
+  for (const Edge& e : g.edges().Collect()) {
+    EXPECT_NE(e.src, 3);
+    EXPECT_NE(e.dst, 3);
+  }
+}
+
+TEST(PropertyGraphTest, SubgraphEdgePredicate) {
+  PropertyGraph g = Diamond().Subgraph(
+      [](const Vertex&) { return true; },
+      [](const Edge& e) { return e.eid % 2 == 0; });
+  EXPECT_EQ(g.NumVertices(), 4);
+  EXPECT_EQ(g.NumEdges(), 2);
+}
+
+TEST(PropertyGraphTest, Degrees) {
+  PropertyGraph g = Diamond();
+  std::map<VertexId, int64_t> out, in, both;
+  for (auto& [v, d] : g.OutDegrees().Collect()) out[v] = d;
+  for (auto& [v, d] : g.InDegrees().Collect()) in[v] = d;
+  for (auto& [v, d] : g.Degrees().Collect()) both[v] = d;
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(in[3], 2);
+  EXPECT_EQ(both[1], 2);
+  EXPECT_EQ(both[0], 2);
+  EXPECT_EQ(out.count(3), 0u);  // no out-edges -> absent
+}
+
+TEST(PropertyGraphTest, MultiEdgesAreKept) {
+  std::vector<Vertex> vertices = {{0, Properties{{"type", "n"}}},
+                                  {1, Properties{{"type", "n"}}}};
+  std::vector<Edge> edges = {{0, 0, 1, Properties{{"type", "e"}}},
+                             {1, 0, 1, Properties{{"type", "e"}}}};
+  PropertyGraph g(Dataset<Vertex>::FromVector(Ctx(), vertices),
+                  Dataset<Edge>::FromVector(Ctx(), edges));
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_EQ(g.Triplets().Count(), 2);
+}
+
+}  // namespace
+}  // namespace tgraph::sg

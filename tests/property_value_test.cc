@@ -1,0 +1,69 @@
+#include "common/property_value.h"
+
+#include <gtest/gtest.h>
+
+namespace tgraph {
+namespace {
+
+TEST(PropertyValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(PropertyValue(int64_t{5}).is_int());
+  EXPECT_TRUE(PropertyValue(5).is_int());
+  EXPECT_TRUE(PropertyValue(2.5).is_double());
+  EXPECT_TRUE(PropertyValue(true).is_bool());
+  EXPECT_TRUE(PropertyValue("hi").is_string());
+  EXPECT_EQ(PropertyValue(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(PropertyValue(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(PropertyValue("abc").AsString(), "abc");
+  EXPECT_TRUE(PropertyValue(true).AsBool());
+}
+
+TEST(PropertyValueTest, DefaultIsIntZero) {
+  PropertyValue v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(PropertyValueTest, AsNumber) {
+  EXPECT_DOUBLE_EQ(PropertyValue(3).AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(PropertyValue(2.5).AsNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(PropertyValue(true).AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(PropertyValue("x").AsNumber(), 0.0);
+}
+
+TEST(PropertyValueTest, Equality) {
+  EXPECT_EQ(PropertyValue(3), PropertyValue(3));
+  EXPECT_NE(PropertyValue(3), PropertyValue(4));
+  EXPECT_NE(PropertyValue(3), PropertyValue(3.0));  // typed equality
+  EXPECT_EQ(PropertyValue("a"), PropertyValue(std::string("a")));
+}
+
+TEST(PropertyValueTest, OrderingWithinType) {
+  EXPECT_LT(PropertyValue(1), PropertyValue(2));
+  EXPECT_LT(PropertyValue(1.5), PropertyValue(2.5));
+  EXPECT_LT(PropertyValue("a"), PropertyValue("b"));
+  EXPECT_LT(PropertyValue(false), PropertyValue(true));
+}
+
+TEST(PropertyValueTest, OrderingAcrossTypesIsByTypeIndex) {
+  // int < double < bool < string by variant index: total deterministic order.
+  EXPECT_LT(PropertyValue(100), PropertyValue(0.5));
+  EXPECT_LT(PropertyValue(0.5), PropertyValue(false));
+  EXPECT_LT(PropertyValue(true), PropertyValue(""));
+}
+
+TEST(PropertyValueTest, HashDistinguishesTypeAndValue) {
+  EXPECT_NE(PropertyValue(3).Hash(), PropertyValue(4).Hash());
+  EXPECT_NE(PropertyValue(3).Hash(), PropertyValue(3.0).Hash());
+  EXPECT_EQ(PropertyValue("abc").Hash(), PropertyValue("abc").Hash());
+  EXPECT_NE(PropertyValue("abc").Hash(), PropertyValue("abd").Hash());
+}
+
+TEST(PropertyValueTest, ToString) {
+  EXPECT_EQ(PropertyValue(42).ToString(), "42");
+  EXPECT_EQ(PropertyValue("x").ToString(), "x");
+  EXPECT_EQ(PropertyValue(true).ToString(), "true");
+  EXPECT_EQ(PropertyValue(false).ToString(), "false");
+}
+
+}  // namespace
+}  // namespace tgraph

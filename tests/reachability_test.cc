@@ -1,0 +1,114 @@
+#include "tgraph/reachability.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Ctx;
+using ::tgraph::testing::Figure1;
+
+VeGraph Chain(std::vector<Interval> edge_intervals) {
+  // 0 -> 1 -> 2 -> ... with the given per-edge validity; vertices alive
+  // throughout.
+  std::vector<VeVertex> vertices;
+  for (size_t i = 0; i <= edge_intervals.size(); ++i) {
+    vertices.push_back(VeVertex{static_cast<VertexId>(i), {0, 100},
+                                Properties{{"type", "n"}}});
+  }
+  std::vector<VeEdge> edges;
+  for (size_t i = 0; i < edge_intervals.size(); ++i) {
+    edges.push_back(VeEdge{static_cast<EdgeId>(i), static_cast<VertexId>(i),
+                           static_cast<VertexId>(i + 1), edge_intervals[i],
+                           Properties{{"type", "e"}}});
+  }
+  return VeGraph::Create(Ctx(), vertices, edges);
+}
+
+TEST(ReachabilityTest, ForwardInTimeChain) {
+  // Edges open one after another: a time-respecting path exists.
+  VeGraph g = Chain({{1, 5}, {4, 8}, {7, 12}});
+  auto arrival = EarliestArrival(g, 0, 0);
+  ASSERT_EQ(arrival.size(), 4u);
+  EXPECT_EQ(arrival[0], 0);
+  EXPECT_EQ(arrival[1], 1);   // wait for edge 0 to open
+  EXPECT_EQ(arrival[2], 4);   // edge 1 opens at 4
+  EXPECT_EQ(arrival[3], 7);
+}
+
+TEST(ReachabilityTest, EdgeClosedBeforeArrivalBlocksPath) {
+  // Second edge closes (at 3) before the first opens (at 4): no path.
+  VeGraph g = Chain({{4, 8}, {1, 3}});
+  auto arrival = EarliestArrival(g, 0, 0);
+  EXPECT_EQ(arrival.count(1), 1u);
+  EXPECT_EQ(arrival.count(2), 0u);  // unreachable in time order
+  EXPECT_FALSE(Reaches(g, 0, 2, Interval(0, 100)));
+}
+
+TEST(ReachabilityTest, NonTemporalPathWouldExist) {
+  // Statically connected, temporally not: 0-1 alive only [8,10),
+  // 1-2 alive only [0,2).
+  VeGraph g = Chain({{8, 10}, {0, 2}});
+  EXPECT_FALSE(Reaches(g, 0, 2, Interval(0, 100)));
+  // The reverse direction respects time (undirected): 2 -> 1 at 0, wait,
+  // 1 -> 0 at 8.
+  ReachabilityOptions undirected;
+  undirected.undirected = true;
+  EXPECT_TRUE(Reaches(g, 2, 0, Interval(0, 100), undirected));
+}
+
+TEST(ReachabilityTest, StartTimeRestrictsPaths) {
+  VeGraph g = Chain({{1, 5}, {4, 8}});
+  EXPECT_TRUE(Reaches(g, 0, 2, Interval(0, 100)));
+  // Starting after edge 0 has closed: blocked.
+  EXPECT_FALSE(Reaches(g, 0, 2, Interval(5, 100)));
+}
+
+TEST(ReachabilityTest, RangeEndBoundsArrival) {
+  VeGraph g = Chain({{1, 5}, {4, 8}});
+  EXPECT_TRUE(Reaches(g, 0, 2, Interval(0, 5)));    // arrives at 4
+  EXPECT_FALSE(Reaches(g, 0, 2, Interval(0, 4)));   // 4 not < 4
+}
+
+TEST(ReachabilityTest, DirectedByDefault) {
+  VeGraph g = Chain({{0, 10}});
+  EXPECT_TRUE(Reaches(g, 0, 1, Interval(0, 10)));
+  EXPECT_FALSE(Reaches(g, 1, 0, Interval(0, 10)));
+}
+
+TEST(ReachabilityTest, SourceMustBeAlive) {
+  // Ann leaves at 7; searches from 7 on cannot start at her.
+  auto arrival = EarliestArrival(Figure1(), 1, 7);
+  EXPECT_TRUE(arrival.empty());
+}
+
+TEST(ReachabilityTest, SourceArrivalIsFirstAlivePoint) {
+  // Bob joins at 2; a search from 0 starts when he appears.
+  auto arrival = EarliestArrival(Figure1(), 2, 0);
+  EXPECT_EQ(arrival[2], 2);
+}
+
+TEST(ReachabilityTest, Figure1CollaborationFlow) {
+  // Ann -> Bob via e1 [2,7); Bob -> Cat via e2 [7,9): Ann's influence
+  // reaches Cat exactly at 7, after she has left — classic temporal flow.
+  auto arrival = EarliestArrival(Figure1(), 1, 1);
+  EXPECT_EQ(arrival[1], 1);
+  EXPECT_EQ(arrival[2], 2);
+  EXPECT_EQ(arrival[3], 7);
+  EXPECT_TRUE(Reaches(Figure1(), 1, 3, Interval(1, 9)));
+  EXPECT_FALSE(Reaches(Figure1(), 1, 3, Interval(1, 7)));
+}
+
+TEST(ReachabilityTest, UnknownSource) {
+  EXPECT_TRUE(EarliestArrival(Figure1(), 999, 0).empty());
+  EXPECT_FALSE(Reaches(Figure1(), 999, 1, Interval(0, 10)));
+}
+
+TEST(ReachabilityTest, EmptyRange) {
+  EXPECT_FALSE(Reaches(Figure1(), 1, 2, Interval(5, 5)));
+}
+
+}  // namespace
+}  // namespace tgraph

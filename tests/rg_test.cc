@@ -1,0 +1,86 @@
+#include "tgraph/rg.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tgraph/convert.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Figure1;
+
+RgGraph Figure1Rg() { return VeToRg(Figure1()); }
+
+TEST(RgGraphTest, OneSnapshotPerElementaryInterval) {
+  RgGraph g = Figure1Rg();
+  // Change points {1,2,5,7,9} -> 4 snapshots, exactly Figure 4's shape.
+  ASSERT_EQ(g.NumSnapshots(), 4u);
+  EXPECT_EQ(g.intervals()[0], Interval(1, 2));
+  EXPECT_EQ(g.intervals()[1], Interval(2, 5));
+  EXPECT_EQ(g.intervals()[2], Interval(5, 7));
+  EXPECT_EQ(g.intervals()[3], Interval(7, 9));
+  TG_CHECK_OK(ValidateRg(g));
+}
+
+TEST(RgGraphTest, SnapshotContents) {
+  RgGraph g = Figure1Rg();
+  // [1,2): Ann, Cat; no edges.
+  EXPECT_EQ(g.snapshots()[0].NumVertices(), 2);
+  EXPECT_EQ(g.snapshots()[0].NumEdges(), 0);
+  // [2,5): all three; e1.
+  EXPECT_EQ(g.snapshots()[1].NumVertices(), 3);
+  EXPECT_EQ(g.snapshots()[1].NumEdges(), 1);
+  // [5,7): all three; e1.
+  EXPECT_EQ(g.snapshots()[2].NumVertices(), 3);
+  EXPECT_EQ(g.snapshots()[2].NumEdges(), 1);
+  // [7,9): Bob, Cat; e2.
+  EXPECT_EQ(g.snapshots()[3].NumVertices(), 2);
+  EXPECT_EQ(g.snapshots()[3].NumEdges(), 1);
+}
+
+TEST(RgGraphTest, RecordCountsShowRedundancy) {
+  RgGraph g = Figure1Rg();
+  // 2 + 3 + 3 + 2 vertices, 0 + 1 + 1 + 1 edges.
+  EXPECT_EQ(g.NumVertexRecords(), 10);
+  EXPECT_EQ(g.NumEdgeRecords(), 3);
+}
+
+TEST(RgGraphTest, SnapshotAt) {
+  RgGraph g = Figure1Rg();
+  EXPECT_EQ(g.SnapshotAt(3).NumVertices(), 3);
+  EXPECT_EQ(g.SnapshotAt(8).NumVertices(), 2);
+  EXPECT_EQ(g.SnapshotAt(100).NumVertices(), 0);
+}
+
+TEST(RgGraphTest, CoalesceMergesIdenticalAdjacentSnapshots) {
+  // Two identical snapshots: same vertex set, no changes.
+  std::vector<VeVertex> vertices = {{1, {0, 10}, Properties{{"type", "n"}}}};
+  VeGraph ve = VeGraph::Create(testing::Ctx(), vertices, {});
+  RgGraph rg = VeToRg(ve);
+  ASSERT_EQ(rg.NumSnapshots(), 1u);
+
+  // Manually split into two identical snapshots and re-coalesce.
+  std::vector<Interval> intervals = {Interval(0, 5), Interval(5, 10)};
+  std::vector<sg::PropertyGraph> snapshots = {rg.snapshots()[0],
+                                              rg.snapshots()[0]};
+  RgGraph split(testing::Ctx(), intervals, snapshots, Interval(0, 10));
+  RgGraph coalesced = split.Coalesce();
+  ASSERT_EQ(coalesced.NumSnapshots(), 1u);
+  EXPECT_EQ(coalesced.intervals()[0], Interval(0, 10));
+}
+
+TEST(RgGraphTest, CoalesceKeepsDifferingSnapshots) {
+  RgGraph g = Figure1Rg();
+  EXPECT_EQ(g.Coalesce().NumSnapshots(), 4u);
+}
+
+TEST(RgGraphTest, RoundTripThroughVe) {
+  VeGraph ve = Figure1();
+  VeGraph back = RgToVe(VeToRg(ve));
+  EXPECT_EQ(testing::Canonical(ve.Coalesce()), testing::Canonical(back));
+}
+
+}  // namespace
+}  // namespace tgraph

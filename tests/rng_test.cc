@@ -1,0 +1,92 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace tgraph {
+namespace {
+
+TEST(RngTest, DeterministicInSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t x = a.Next();
+    EXPECT_EQ(x, b.Next());
+  }
+  bool any_different = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversValues) {
+  Rng rng(7);
+  std::vector<int> histogram(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++histogram[rng.NextBounded(8)];
+  }
+  for (int count : histogram) {
+    EXPECT_GT(count, 700);  // roughly uniform
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    if (v == -2) saw_lo = true;
+    if (v == 2) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.05);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng base(9);
+  Rng fork1 = base.Fork(1);
+  Rng fork2 = base.Fork(2);
+  Rng fork1_again = Rng(9).Fork(1);
+  EXPECT_EQ(fork1.Next(), fork1_again.Next());
+  bool differ = false;
+  for (int i = 0; i < 50; ++i) {
+    if (base.Fork(1).Next() == base.Fork(2).Next()) continue;
+    differ = true;
+  }
+  (void)fork2;
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace tgraph

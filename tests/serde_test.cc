@@ -1,0 +1,113 @@
+#include "storage/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace tgraph::storage {
+namespace {
+
+TEST(SerdeTest, VarintRoundTrip) {
+  for (uint64_t value : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 1ULL << 20,
+                         1ULL << 40, ~0ULL}) {
+    std::string buffer;
+    PutVarint(&buffer, value);
+    size_t pos = 0;
+    Result<uint64_t> decoded = GetVarint(buffer, &pos);
+    ASSERT_TRUE(decoded.ok()) << value;
+    EXPECT_EQ(*decoded, value);
+    EXPECT_EQ(pos, buffer.size());
+  }
+}
+
+TEST(SerdeTest, VarintTruncationFails) {
+  std::string buffer;
+  PutVarint(&buffer, 1ULL << 40);
+  buffer.resize(buffer.size() - 1);
+  size_t pos = 0;
+  EXPECT_TRUE(GetVarint(buffer, &pos).status().IsIoError());
+}
+
+TEST(SerdeTest, BytesRoundTrip) {
+  std::string buffer;
+  PutBytes(&buffer, "hello");
+  PutBytes(&buffer, "");
+  PutBytes(&buffer, std::string(1000, 'x'));
+  size_t pos = 0;
+  EXPECT_EQ(*GetBytes(buffer, &pos), "hello");
+  EXPECT_EQ(*GetBytes(buffer, &pos), "");
+  EXPECT_EQ(GetBytes(buffer, &pos)->size(), 1000u);
+}
+
+TEST(SerdeTest, Fixed64RoundTrip) {
+  std::string buffer;
+  PutFixed64(&buffer, 0xdeadbeefcafebabeULL);
+  size_t pos = 0;
+  EXPECT_EQ(*GetFixed64(buffer, &pos), 0xdeadbeefcafebabeULL);
+}
+
+TEST(SerdeTest, PropertiesRoundTrip) {
+  Properties props;
+  props.Set("name", "Ann");
+  props.Set("count", int64_t{42});
+  props.Set("score", 2.5);
+  props.Set("active", true);
+  std::string buffer;
+  SerializeProperties(props, &buffer);
+  size_t pos = 0;
+  Result<Properties> decoded = DeserializeProperties(buffer, &pos);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, props);
+  EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(SerdeTest, EmptyPropertiesRoundTrip) {
+  std::string buffer;
+  SerializeProperties(Properties(), &buffer);
+  size_t pos = 0;
+  EXPECT_TRUE(DeserializeProperties(buffer, &pos)->empty());
+}
+
+TEST(SerdeTest, HistoryRoundTrip) {
+  History history = {
+      {{1, 5}, Properties{{"type", "a"}, {"v", 1}}},
+      {{5, 9}, Properties{{"type", "a"}, {"v", 2}}},
+  };
+  std::string buffer;
+  SerializeHistory(history, &buffer);
+  size_t pos = 0;
+  Result<History> decoded = DeserializeHistory(buffer, &pos);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, history);
+}
+
+TEST(SerdeTest, NegativeTimePointsSurvive) {
+  History history = {{{-10, -2}, Properties{{"type", "a"}}}};
+  std::string buffer;
+  SerializeHistory(history, &buffer);
+  size_t pos = 0;
+  EXPECT_EQ((*DeserializeHistory(buffer, &pos))[0].interval, Interval(-10, -2));
+}
+
+TEST(SerdeTest, BitsetRoundTrip) {
+  Bitset bits(130);
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  std::string buffer;
+  SerializeBitset(bits, &buffer);
+  size_t pos = 0;
+  Result<Bitset> decoded = DeserializeBitset(buffer, &pos);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bits);
+}
+
+TEST(SerdeTest, CorruptValueTagFails) {
+  std::string buffer;
+  PutVarint(&buffer, 1);          // one entry
+  PutBytes(&buffer, "key");
+  buffer.push_back(static_cast<char>(99));  // bogus tag
+  size_t pos = 0;
+  EXPECT_TRUE(DeserializeProperties(buffer, &pos).status().IsIoError());
+}
+
+}  // namespace
+}  // namespace tgraph::storage

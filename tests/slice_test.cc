@@ -1,0 +1,103 @@
+#include "tgraph/slice.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tgraph/tgraph.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Canonical;
+using ::tgraph::testing::CanonicalTopology;
+using ::tgraph::testing::Figure1;
+using ::tgraph::testing::RandomTGraph;
+
+TEST(SliceVeTest, ClipsAndDrops) {
+  VeGraph sliced = SliceVe(Figure1(), Interval(3, 8));
+  EXPECT_EQ(sliced.lifetime(), Interval(3, 8));
+  TG_CHECK_OK(ValidateVe(sliced));
+  for (const VeVertex& v : sliced.vertices().Collect()) {
+    EXPECT_TRUE(Interval(3, 8).Contains(v.interval));
+  }
+  // e2 [7,9) clips to [7,8); e1 [2,7) clips to [3,7).
+  std::map<EdgeId, Interval> edges;
+  for (const VeEdge& e : sliced.edges().Collect()) edges[e.eid] = e.interval;
+  EXPECT_EQ(edges[1], Interval(3, 7));
+  EXPECT_EQ(edges[2], Interval(7, 8));
+}
+
+TEST(SliceTest, AllRepresentationsAgree) {
+  for (uint64_t seed : {61u, 62u, 63u}) {
+    VeGraph ve = RandomTGraph(seed);
+    TGraph g = TGraph::FromVe(ve, true);
+    Interval range(4, 15);
+    std::vector<std::string> expected = Canonical(g.Slice(range));
+    for (Representation rep : {Representation::kOg, Representation::kRg}) {
+      TGraph sliced = g.As(rep)->Slice(range);
+      EXPECT_EQ(Canonical(sliced), expected)
+          << RepresentationName(rep) << " seed " << seed;
+    }
+    // OGC: topology-only comparison.
+    TGraph ogc_sliced = g.As(Representation::kOgc)->Slice(range);
+    EXPECT_EQ(CanonicalTopology(ogc_sliced.As(Representation::kVe)->ve()),
+              CanonicalTopology(g.Slice(range).ve()))
+        << "OGC seed " << seed;
+  }
+}
+
+TEST(SliceTest, SliceOfSliceComposes) {
+  TGraph g = TGraph::FromVe(RandomTGraph(64), true);
+  EXPECT_EQ(Canonical(g.Slice(Interval(2, 16)).Slice(Interval(5, 10))),
+            Canonical(g.Slice(Interval(5, 10))));
+}
+
+TEST(SliceTest, FullRangeIsIdentity) {
+  VeGraph ve = Figure1();
+  TGraph g = TGraph::FromVe(ve, true);
+  EXPECT_EQ(Canonical(g.Slice(Interval(0, 100))), Canonical(g));
+}
+
+TEST(SliceTest, EmptyRangeGivesEmptyGraph) {
+  TGraph g = TGraph::FromVe(Figure1(), true);
+  TGraph sliced = g.Slice(Interval(100, 200));
+  EXPECT_EQ(sliced.NumVertexRecords(), 0);
+  EXPECT_EQ(sliced.NumEdgeRecords(), 0);
+}
+
+TEST(SliceTest, SlicedGraphIsValidAndZoomable) {
+  TGraph g = TGraph::FromVe(RandomTGraph(65), true);
+  TGraph sliced = g.Slice(Interval(3, 12));
+  TG_CHECK_OK(ValidateVe(sliced.ve()));
+  // Slicing composes with the zoom operators.
+  AZoomSpec spec;
+  spec.group_of = GroupByProperty("group");
+  spec.aggregator = MakeAggregator("cluster", "key",
+                                   {{"members", AggKind::kCount, ""}});
+  Result<TGraph> zoomed = sliced.AZoom(spec);
+  ASSERT_TRUE(zoomed.ok());
+  TG_CHECK_OK(ValidateVe(zoomed->Coalesce().ve()));
+}
+
+TEST(SliceOgTest, EmbeddedCopiesClipped) {
+  OgGraph sliced = SliceOg(VeToOg(Figure1()), Interval(3, 8));
+  for (const OgEdge& e : sliced.edges().Collect()) {
+    EXPECT_TRUE(Interval(3, 8).Contains(HistorySpan(e.history)));
+    EXPECT_TRUE(Interval(3, 8).Contains(HistorySpan(e.v1.history)));
+    EXPECT_TRUE(Interval(3, 8).Contains(HistorySpan(e.v2.history)));
+  }
+  TG_CHECK_OK(ValidateOg(sliced));
+}
+
+TEST(SliceOgcTest, IndexClippedAtBoundaries) {
+  OgcGraph sliced = SliceOgc(VeToOgc(Figure1()), Interval(3, 8));
+  // Original index [1,2),[2,5),[5,7),[7,9) -> [3,5),[5,7),[7,8).
+  ASSERT_EQ(sliced.intervals().size(), 3u);
+  EXPECT_EQ(sliced.intervals()[0], Interval(3, 5));
+  EXPECT_EQ(sliced.intervals()[2], Interval(7, 8));
+  TG_CHECK_OK(ValidateOgc(sliced));
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,88 @@
+#include "gen/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tgraph::gen {
+namespace {
+
+using ::tgraph::testing::Ctx;
+using ::tgraph::testing::Figure1;
+
+TEST(StatsTest, Figure1Counts) {
+  DatasetStats stats = ComputeStats(Figure1());
+  EXPECT_EQ(stats.num_vertices, 3);
+  EXPECT_EQ(stats.num_edges, 2);
+  EXPECT_EQ(stats.num_vertex_records, 4);
+  EXPECT_EQ(stats.num_edge_records, 2);
+  EXPECT_EQ(stats.num_snapshots, 4);  // [1,2),[2,5),[5,7),[7,9)
+}
+
+TEST(StatsTest, Figure1EvolutionRate) {
+  // Edge sets per snapshot: {}, {e1}, {e1}, {e2}.
+  // Transitions: ({},{e1})=0, ({e1},{e1})=1, ({e1},{e2})=0 -> mean 1/3.
+  DatasetStats stats = ComputeStats(Figure1());
+  EXPECT_NEAR(stats.evolution_rate, 100.0 / 3.0, 1e-9);
+}
+
+TEST(StatsTest, StaticGraphHasSimilarityOne) {
+  // One unchanging edge across several vertex-driven snapshots.
+  std::vector<VeVertex> vertices = {
+      {1, {0, 10}, Properties{{"type", "n"}}},
+      {2, {0, 10}, Properties{{"type", "n"}}},
+      {3, {4, 10}, Properties{{"type", "n"}}},  // vertex change at 4
+  };
+  std::vector<VeEdge> edges = {{1, 1, 2, {0, 10}, Properties{{"type", "e"}}}};
+  DatasetStats stats = ComputeStats(VeGraph::Create(Ctx(), vertices, edges));
+  EXPECT_EQ(stats.num_snapshots, 2);
+  EXPECT_NEAR(stats.evolution_rate, 100.0, 1e-9);
+}
+
+TEST(StatsTest, FullEdgeTurnoverHasSimilarityZero) {
+  std::vector<VeVertex> vertices = {{1, {0, 4}, Properties{{"type", "n"}}},
+                                    {2, {0, 4}, Properties{{"type", "n"}}}};
+  std::vector<VeEdge> edges = {
+      {1, 1, 2, {0, 2}, Properties{{"type", "e"}}},
+      {2, 1, 2, {2, 4}, Properties{{"type", "e"}}},
+  };
+  DatasetStats stats = ComputeStats(VeGraph::Create(Ctx(), vertices, edges));
+  EXPECT_EQ(stats.num_snapshots, 2);
+  EXPECT_NEAR(stats.evolution_rate, 0.0, 1e-9);
+}
+
+TEST(StatsTest, PartialOverlap) {
+  // Snapshot edges: {e1,e2} then {e2,e3}: similarity 2*1/4 = 0.5.
+  std::vector<VeVertex> vertices = {{1, {0, 4}, Properties{{"type", "n"}}},
+                                    {2, {0, 4}, Properties{{"type", "n"}}}};
+  std::vector<VeEdge> edges = {
+      {1, 1, 2, {0, 2}, Properties{{"type", "e"}}},
+      {2, 1, 2, {0, 4}, Properties{{"type", "e"}}},
+      {3, 1, 2, {2, 4}, Properties{{"type", "e"}}},
+  };
+  DatasetStats stats = ComputeStats(VeGraph::Create(Ctx(), vertices, edges));
+  EXPECT_NEAR(stats.evolution_rate, 50.0, 1e-9);
+}
+
+TEST(StatsTest, EmptyAndTinyGraphs) {
+  DatasetStats empty = ComputeStats(VeGraph::Create(Ctx(), {}, {}));
+  EXPECT_EQ(empty.num_vertices, 0);
+  EXPECT_EQ(empty.num_snapshots, 0);
+  EXPECT_EQ(empty.evolution_rate, 0.0);
+
+  DatasetStats single = ComputeStats(VeGraph::Create(
+      Ctx(), {{1, {0, 5}, Properties{{"type", "n"}}}}, {}));
+  EXPECT_EQ(single.num_snapshots, 1);
+  EXPECT_EQ(single.evolution_rate, 0.0);  // no transitions
+}
+
+TEST(StatsTest, ToStringMentionsEveryField) {
+  std::string s = ComputeStats(Figure1()).ToString();
+  EXPECT_NE(s.find("vertices=3"), std::string::npos);
+  EXPECT_NE(s.find("edges=2"), std::string::npos);
+  EXPECT_NE(s.find("snapshots=4"), std::string::npos);
+  EXPECT_NE(s.find("ev.rate=33.3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tgraph::gen

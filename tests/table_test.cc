@@ -1,0 +1,226 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/logging.h"
+#include "storage/predicate.h"
+
+namespace tgraph::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Schema TestSchema() {
+  return Schema{{{"id", ColumnType::kInt64},
+                 {"score", ColumnType::kDouble},
+                 {"flag", ColumnType::kBool},
+                 {"label", ColumnType::kBinary}}};
+}
+
+RecordBatch MakeBatch(int64_t start, int64_t count) {
+  RecordBatch batch;
+  batch.schema = TestSchema();
+  batch.columns.resize(4);
+  for (int64_t i = start; i < start + count; ++i) {
+    batch.columns[0].ints.push_back(i);
+    batch.columns[1].doubles.push_back(static_cast<double>(i) * 0.5);
+    batch.columns[2].bools.push_back(i % 3 == 0);
+    batch.columns[3].binaries.push_back("label" + std::to_string(i % 7));
+  }
+  batch.num_rows = count;
+  return batch;
+}
+
+TEST(TableTest, WriteReadRoundTrip) {
+  std::string path = TempPath("roundtrip.tcol");
+  auto writer = TableWriter::Open(path, TestSchema());
+  ASSERT_TRUE(writer.ok());
+  TG_CHECK_OK((*writer)->Append(MakeBatch(0, 1000)));
+  TG_CHECK_OK((*writer)->Close());
+
+  auto reader = TableReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_rows(), 1000);
+  EXPECT_TRUE((*reader)->schema() == TestSchema());
+  Result<RecordBatch> all = (*reader)->Read();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows, 1000);
+  EXPECT_EQ(all->columns[0].ints[500], 500);
+  EXPECT_DOUBLE_EQ(all->columns[1].doubles[999], 499.5);
+  EXPECT_EQ(all->columns[2].bools[9], 1);
+  EXPECT_EQ(all->columns[3].binaries[8], "label1");
+}
+
+TEST(TableTest, RowGroupsSplitAtConfiguredSize) {
+  std::string path = TempPath("groups.tcol");
+  WriterOptions options;
+  options.row_group_size = 100;
+  auto writer = TableWriter::Open(path, TestSchema(), options);
+  ASSERT_TRUE(writer.ok());
+  TG_CHECK_OK((*writer)->Append(MakeBatch(0, 250)));
+  TG_CHECK_OK((*writer)->Close());
+  auto reader = TableReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_row_groups(), 3u);
+  EXPECT_EQ((*reader)->row_groups()[0].num_rows, 100);
+  EXPECT_EQ((*reader)->row_groups()[2].num_rows, 50);
+}
+
+TEST(TableTest, MultipleAppendsAccumulate) {
+  std::string path = TempPath("appends.tcol");
+  WriterOptions options;
+  options.row_group_size = 64;
+  auto writer = TableWriter::Open(path, TestSchema(), options);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 5; ++i) {
+    TG_CHECK_OK((*writer)->Append(MakeBatch(i * 30, 30)));
+  }
+  TG_CHECK_OK((*writer)->Close());
+  auto reader = TableReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_rows(), 150);
+  Result<RecordBatch> all = (*reader)->Read();
+  ASSERT_TRUE(all.ok());
+  for (int64_t i = 0; i < 150; ++i) {
+    EXPECT_EQ(all->columns[0].ints[i], i);
+  }
+}
+
+TEST(TableTest, StatsRecordMinMax) {
+  std::string path = TempPath("stats.tcol");
+  WriterOptions options;
+  options.row_group_size = 50;
+  auto writer = TableWriter::Open(path, TestSchema(), options);
+  ASSERT_TRUE(writer.ok());
+  TG_CHECK_OK((*writer)->Append(MakeBatch(100, 150)));
+  TG_CHECK_OK((*writer)->Close());
+  auto reader = TableReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const RowGroupMeta& group0 = (*reader)->row_groups()[0];
+  EXPECT_TRUE(group0.stats[0].has_int_stats);
+  EXPECT_EQ(group0.stats[0].min_int, 100);
+  EXPECT_EQ(group0.stats[0].max_int, 149);
+  const RowGroupMeta& group2 = (*reader)->row_groups()[2];
+  EXPECT_EQ(group2.stats[0].min_int, 200);
+  EXPECT_EQ(group2.stats[0].max_int, 249);
+}
+
+TEST(TableTest, MetadataRoundTrip) {
+  std::string path = TempPath("meta.tcol");
+  WriterOptions options;
+  options.metadata = {{"sort_order", "temporal"}, {"k", "v"}};
+  auto writer = TableWriter::Open(path, TestSchema(), options);
+  ASSERT_TRUE(writer.ok());
+  TG_CHECK_OK((*writer)->Append(MakeBatch(0, 10)));
+  TG_CHECK_OK((*writer)->Close());
+  auto reader = TableReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ((*reader)->metadata().size(), 2u);
+  EXPECT_EQ((*reader)->metadata()[0].first, "sort_order");
+  EXPECT_EQ((*reader)->metadata()[0].second, "temporal");
+}
+
+TEST(TableTest, DictionaryEncodingPreservesRepetitiveStrings) {
+  // 7 distinct labels over 1000 rows: dictionary-encoded, must round-trip.
+  std::string path = TempPath("dict.tcol");
+  auto writer = TableWriter::Open(path, TestSchema());
+  ASSERT_TRUE(writer.ok());
+  TG_CHECK_OK((*writer)->Append(MakeBatch(0, 1000)));
+  TG_CHECK_OK((*writer)->Close());
+  auto reader = TableReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  Result<RecordBatch> all = (*reader)->Read();
+  ASSERT_TRUE(all.ok());
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(all->columns[3].binaries[i], "label" + std::to_string(i % 7));
+  }
+}
+
+TEST(TableTest, SchemaMismatchRejected) {
+  std::string path = TempPath("mismatch.tcol");
+  auto writer = TableWriter::Open(path, TestSchema());
+  ASSERT_TRUE(writer.ok());
+  RecordBatch wrong;
+  wrong.schema = Schema{{{"other", ColumnType::kInt64}}};
+  wrong.columns.resize(1);
+  EXPECT_TRUE((*writer)->Append(wrong).IsInvalidArgument());
+}
+
+TEST(TableTest, OpenRejectsNonTcolFile) {
+  std::string path = TempPath("garbage.bin");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    fputs("this is not a table", f);
+    fclose(f);
+  }
+  EXPECT_TRUE(TableReader::Open(path).status().IsIoError());
+}
+
+TEST(TableTest, OpenRejectsMissingFile) {
+  EXPECT_TRUE(
+      TableReader::Open(TempPath("does_not_exist.tcol")).status().IsIoError());
+}
+
+TEST(TableTest, EmptyTable) {
+  std::string path = TempPath("empty.tcol");
+  auto writer = TableWriter::Open(path, TestSchema());
+  ASSERT_TRUE(writer.ok());
+  TG_CHECK_OK((*writer)->Close());
+  auto reader = TableReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_rows(), 0);
+  EXPECT_EQ((*reader)->Read()->num_rows, 0);
+}
+
+TEST(TableTest, CorruptionDetectedByChecksum) {
+  std::string path = TempPath("corrupt.tcol");
+  WriterOptions options;
+  options.row_group_size = 100;
+  auto writer = TableWriter::Open(path, TestSchema(), options);
+  ASSERT_TRUE(writer.ok());
+  TG_CHECK_OK((*writer)->Append(MakeBatch(0, 300)));
+  TG_CHECK_OK((*writer)->Close());
+  // Flip one byte inside the second row group's data.
+  {
+    auto reader = TableReader::Open(path);
+    ASSERT_TRUE(reader.ok());
+    uint64_t offset = (*reader)->row_groups()[1].offset + 5;
+    FILE* f = fopen(path.c_str(), "r+b");
+    fseek(f, static_cast<long>(offset), SEEK_SET);
+    int byte = fgetc(f);
+    fseek(f, static_cast<long>(offset), SEEK_SET);
+    fputc(byte ^ 0x40, f);
+    fclose(f);
+  }
+  auto reader = TableReader::Open(path);
+  ASSERT_TRUE(reader.ok());  // footer is intact
+  TG_CHECK_OK((*reader)->ReadRowGroup(0).status());  // group 0 untouched
+  Status corrupt = (*reader)->ReadRowGroup(1).status();
+  EXPECT_TRUE(corrupt.IsIoError());
+  EXPECT_NE(corrupt.message().find("checksum"), std::string::npos);
+}
+
+TEST(TableTest, NegativeIntsAndDeltaEncoding) {
+  std::string path = TempPath("negatives.tcol");
+  Schema schema{{{"v", ColumnType::kInt64}}};
+  auto writer = TableWriter::Open(path, schema);
+  ASSERT_TRUE(writer.ok());
+  RecordBatch batch;
+  batch.schema = schema;
+  batch.columns.resize(1);
+  std::vector<int64_t> values = {-1000, 5, -3, 1LL << 40, -(1LL << 40), 0};
+  batch.columns[0].ints = values;
+  batch.num_rows = static_cast<int64_t>(values.size());
+  TG_CHECK_OK((*writer)->Append(batch));
+  TG_CHECK_OK((*writer)->Close());
+  auto reader = TableReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->Read()->columns[0].ints, values);
+}
+
+}  // namespace
+}  // namespace tgraph::storage

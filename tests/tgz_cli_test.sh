@@ -1,0 +1,27 @@
+#!/bin/sh
+# End-to-end smoke test of the tgz command-line tool: every subcommand,
+# composed through the on-disk columnar format.
+set -e
+TGZ="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$TGZ" generate --dataset snb --out "$DIR/base" --scale 0.1 --seed 7
+"$TGZ" info --in "$DIR/base" | grep -q "vertices       500"
+"$TGZ" slice --in "$DIR/base" --out "$DIR/slice" --from 6 --to 30
+"$TGZ" info --in "$DIR/slice" | grep -q "lifetime       \[6, 30)"
+"$TGZ" azoom --in "$DIR/base" --out "$DIR/cohorts" \
+    --group-by firstName --type cohort --count people --rep og
+"$TGZ" wzoom --in "$DIR/cohorts" --out "$DIR/quarters" \
+    --window 3 --vq exists --eq exists --rep ogc
+"$TGZ" snapshot --in "$DIR/quarters" --at 12 --limit 2 | grep -q "snapshot at 12"
+# Unknown flags and bad inputs must fail loudly.
+if "$TGZ" wzoom --in "$DIR/base" --out "$DIR/x" --window 0 2>/dev/null; then
+  echo "expected nonzero exit for window 0" >&2
+  exit 1
+fi
+if "$TGZ" info --in "$DIR/nonexistent" 2>/dev/null; then
+  echo "expected nonzero exit for missing input" >&2
+  exit 1
+fi
+echo "tgz CLI smoke OK"

@@ -1,0 +1,87 @@
+#include "tql/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace tgraph::tql {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  TG_CHECK(tokens.ok()) << tokens.status();
+  return *tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  std::vector<Token> tokens = MustTokenize("AZOOM g BY first_name");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kIdentifier);
+  }
+  EXPECT_EQ(tokens[0].text, "AZOOM");
+  EXPECT_EQ(tokens[3].text, "first_name");
+}
+
+TEST(LexerTest, Numbers) {
+  std::vector<Token> tokens = MustTokenize("42 -7 0.5 -0.25");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, -7);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, -0.25);
+}
+
+TEST(LexerTest, Strings) {
+  std::vector<Token> tokens = MustTokenize("'hello' '' 'it''s'");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "");
+  EXPECT_EQ(tokens[2].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsInvalidArgument());
+}
+
+TEST(LexerTest, Symbols) {
+  std::vector<Token> tokens = MustTokenize("; ( ) , = != < <= > >=");
+  ASSERT_EQ(tokens.size(), 11u);
+  EXPECT_EQ(tokens[5].text, "!=");
+  EXPECT_EQ(tokens[7].text, "<=");
+  EXPECT_EQ(tokens[9].text, ">=");
+}
+
+TEST(LexerTest, CommentsSkippedToEndOfLine) {
+  std::vector<Token> tokens =
+      MustTokenize("LOAD -- this is ignored\n'x' AS g");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "LOAD");
+  EXPECT_EQ(tokens[1].type, TokenType::kString);
+}
+
+TEST(LexerTest, MinusBeforeNonDigitFails) {
+  EXPECT_TRUE(Tokenize("a - b").status().IsInvalidArgument());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  std::vector<Token> tokens = MustTokenize("ab  cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 4u);
+}
+
+TEST(LexerTest, MalformedNumberFails) {
+  EXPECT_TRUE(Tokenize("1.2.3").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tgraph::tql

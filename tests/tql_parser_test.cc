@@ -1,0 +1,157 @@
+#include "tql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace tgraph::tql {
+namespace {
+
+std::vector<Statement> MustParse(const std::string& script) {
+  Result<std::vector<Statement>> statements = Parse(script);
+  TG_CHECK(statements.ok()) << statements.status();
+  return *statements;
+}
+
+TEST(ParserTest, LoadWithAndWithoutRange) {
+  auto statements = MustParse(
+      "LOAD '/data/wiki' AS g; LOAD '/data/wiki' FROM 3 TO 9 AS h");
+  ASSERT_EQ(statements.size(), 2u);
+  const auto& plain = std::get<LoadStatement>(statements[0]);
+  EXPECT_EQ(plain.path, "/data/wiki");
+  EXPECT_EQ(plain.name, "g");
+  EXPECT_FALSE(plain.range.has_value());
+  const auto& ranged = std::get<LoadStatement>(statements[1]);
+  EXPECT_EQ(ranged.range, Interval(3, 9));
+}
+
+TEST(ParserTest, GenerateWithParams) {
+  auto statements =
+      MustParse("GENERATE snb(scale=0.5, seed=7, months=24) AS g");
+  const auto& generate = std::get<GenerateStatement>(statements[0]);
+  EXPECT_EQ(generate.dataset, "snb");
+  ASSERT_EQ(generate.params.size(), 3u);
+  EXPECT_EQ(generate.params[0].first, "scale");
+  EXPECT_DOUBLE_EQ(generate.params[0].second, 0.5);
+  EXPECT_EQ(generate.name, "g");
+}
+
+TEST(ParserTest, AZoomFull) {
+  auto statements = MustParse(
+      "SET s = AZOOM g BY school "
+      "AGGREGATE COUNT() AS students, SUM(w) AS total, AVG(w) AS mean "
+      "TYPE 'school' EDGE TYPE 'collaborate'");
+  const auto& set = std::get<SetStatement>(statements[0]);
+  EXPECT_EQ(set.name, "s");
+  const auto& azoom = std::get<AZoomExpr>(set.expr);
+  EXPECT_EQ(azoom.source, "g");
+  EXPECT_EQ(azoom.group_by, "school");
+  ASSERT_EQ(azoom.aggregates.size(), 3u);
+  EXPECT_EQ(azoom.aggregates[0].kind, AggKind::kCount);
+  EXPECT_EQ(azoom.aggregates[0].output, "students");
+  EXPECT_EQ(azoom.aggregates[1].kind, AggKind::kSum);
+  EXPECT_EQ(azoom.aggregates[1].input, "w");
+  EXPECT_EQ(azoom.aggregates[2].kind, AggKind::kAvg);
+  EXPECT_EQ(azoom.new_type, "school");
+  EXPECT_EQ(azoom.edge_type, "collaborate");
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  auto statements = MustParse("set s = azoom g by school");
+  const auto& azoom = std::get<AZoomExpr>(std::get<SetStatement>(statements[0]).expr);
+  EXPECT_EQ(azoom.group_by, "school");
+}
+
+TEST(ParserTest, WZoomVariants) {
+  auto statements = MustParse(
+      "SET a = WZOOM g WINDOW 3;"
+      "SET b = WZOOM g WINDOW 5 CHANGES NODES ALL EDGES MOST;"
+      "SET c = WZOOM g WINDOW 3 NODES ATLEAST 0.25 EDGES EXISTS "
+      "RESOLVE school LAST, name FIRST");
+  const auto& a = std::get<WZoomExpr>(std::get<SetStatement>(statements[0]).expr);
+  EXPECT_EQ(a.window, 3);
+  EXPECT_FALSE(a.by_changes);
+  EXPECT_TRUE(a.nodes.Passes(1.0));
+  EXPECT_FALSE(a.nodes.Passes(0.9));  // defaults to ALL
+  const auto& b = std::get<WZoomExpr>(std::get<SetStatement>(statements[1]).expr);
+  EXPECT_TRUE(b.by_changes);
+  EXPECT_TRUE(b.edges.Passes(0.6));
+  EXPECT_FALSE(b.edges.Passes(0.5));  // MOST is strict
+  const auto& c = std::get<WZoomExpr>(std::get<SetStatement>(statements[2]).expr);
+  EXPECT_TRUE(c.nodes.Passes(0.25));
+  EXPECT_FALSE(c.nodes.Passes(0.2));
+  ASSERT_EQ(c.resolves.size(), 2u);
+  EXPECT_EQ(c.resolves[0].attribute, "school");
+  EXPECT_EQ(c.resolves[0].resolver, Resolver::kLast);
+  EXPECT_EQ(c.resolves[1].resolver, Resolver::kFirst);
+}
+
+TEST(ParserTest, SliceSubgraphCoalesceConvert) {
+  auto statements = MustParse(
+      "SET a = SLICE g FROM 2 TO 8;"
+      "SET b = SUBGRAPH g WHERE type = 'person' AND age >= 21 "
+      "EDGES WHERE HAS(weight);"
+      "SET c = COALESCE g;"
+      "SET d = CONVERT g TO ogc;"
+      "SET e = g");
+  const auto& slice = std::get<SliceExpr>(std::get<SetStatement>(statements[0]).expr);
+  EXPECT_EQ(slice.from, 2);
+  EXPECT_EQ(slice.to, 8);
+  const auto& subgraph =
+      std::get<SubgraphExpr>(std::get<SetStatement>(statements[1]).expr);
+  ASSERT_EQ(subgraph.vertex_predicate.size(), 2u);
+  EXPECT_EQ(subgraph.vertex_predicate[0].key, "type");
+  EXPECT_EQ(subgraph.vertex_predicate[0].op, Comparison::Op::kEq);
+  EXPECT_EQ(subgraph.vertex_predicate[0].literal, PropertyValue("person"));
+  EXPECT_EQ(subgraph.vertex_predicate[1].op, Comparison::Op::kGe);
+  ASSERT_EQ(subgraph.edge_predicate.size(), 1u);
+  EXPECT_EQ(subgraph.edge_predicate[0].op, Comparison::Op::kHas);
+  EXPECT_EQ(std::get<ConvertExpr>(std::get<SetStatement>(statements[3]).expr).target,
+            Representation::kOgc);
+  EXPECT_EQ(std::get<RefExpr>(std::get<SetStatement>(statements[4]).expr).source,
+            "g");
+}
+
+TEST(ParserTest, StoreInfoSnapshotDropList) {
+  auto statements = MustParse(
+      "STORE g TO '/out' SORT STRUCTURAL; INFO g; SNAPSHOT g AT 5 LIMIT 3; "
+      "DROP g; LIST");
+  EXPECT_EQ(std::get<StoreStatement>(statements[0]).sort,
+            storage::SortOrder::kStructuralLocality);
+  EXPECT_EQ(std::get<InfoStatement>(statements[1]).name, "g");
+  const auto& snapshot = std::get<SnapshotStatement>(statements[2]);
+  EXPECT_EQ(snapshot.at, 5);
+  EXPECT_EQ(snapshot.limit, 3);
+  EXPECT_EQ(std::get<DropStatement>(statements[3]).name, "g");
+  EXPECT_TRUE(std::holds_alternative<ListStatement>(statements[4]));
+}
+
+TEST(ParserTest, TrailingSemicolonAndComments) {
+  auto statements = MustParse("-- a pipeline\nLIST;\n-- done\n");
+  EXPECT_EQ(statements.size(), 1u);
+}
+
+TEST(ParserTest, ErrorsNameTheProblem) {
+  Status s = Parse("LOAD missing_quotes AS g").status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("quoted path"), std::string::npos);
+
+  s = Parse("SET x =").status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+
+  s = Parse("WZOOM g WINDOW 3").status();  // missing SET
+  EXPECT_TRUE(s.IsInvalidArgument());
+
+  s = Parse("SET x = WZOOM g WINDOW 'three'").status();
+  EXPECT_NE(s.message().find("integer"), std::string::npos);
+
+  s = Parse("SET x = CONVERT g TO xyz").status();
+  EXPECT_NE(s.message().find("VE, OG, OGC, or RG"), std::string::npos);
+}
+
+TEST(ParserTest, MissingSemicolonBetweenStatementsFails) {
+  EXPECT_TRUE(Parse("LIST LIST").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tgraph::tql

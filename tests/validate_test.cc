@@ -1,0 +1,159 @@
+#include "tgraph/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tgraph/convert.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Ctx;
+using ::tgraph::testing::Figure1;
+
+TEST(ValidateVeTest, Figure1IsValid) {
+  TG_CHECK_OK(ValidateVe(Figure1()));
+  TG_CHECK_OK(CheckCoalescedVe(Figure1()));
+}
+
+TEST(ValidateVeTest, RejectsEmptyInterval) {
+  VeGraph g = VeGraph::Create(
+      Ctx(), {{1, {5, 5}, Properties{{"type", "n"}}}}, {});
+  EXPECT_TRUE(ValidateVe(g).IsInvalidArgument());
+}
+
+TEST(ValidateVeTest, RejectsMissingType) {
+  VeGraph g = VeGraph::Create(Ctx(), {{1, {1, 5}, Properties{{"x", 1}}}}, {});
+  Status s = ValidateVe(g);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("type"), std::string::npos);
+}
+
+TEST(ValidateVeTest, RejectsOverlappingVertexStates) {
+  VeGraph g = VeGraph::Create(Ctx(),
+                              {{1, {1, 5}, Properties{{"type", "a"}}},
+                               {1, {3, 8}, Properties{{"type", "b"}}}},
+                              {});
+  Status s = ValidateVe(g);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("more than once"), std::string::npos);
+}
+
+TEST(ValidateVeTest, RejectsEdgeEndpointChange) {
+  std::vector<VeVertex> vertices = {{1, {0, 9}, Properties{{"type", "n"}}},
+                                    {2, {0, 9}, Properties{{"type", "n"}}},
+                                    {3, {0, 9}, Properties{{"type", "n"}}}};
+  std::vector<VeEdge> edges = {{7, 1, 2, {0, 3}, Properties{{"type", "e"}}},
+                               {7, 1, 3, {4, 6}, Properties{{"type", "e"}}}};
+  Status s = ValidateVe(VeGraph::Create(Ctx(), vertices, edges));
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("endpoints"), std::string::npos);
+}
+
+TEST(ValidateVeTest, RejectsDanglingEdge) {
+  // Edge alive [0,9) but destination vertex only [0,5).
+  std::vector<VeVertex> vertices = {{1, {0, 9}, Properties{{"type", "n"}}},
+                                    {2, {0, 5}, Properties{{"type", "n"}}}};
+  std::vector<VeEdge> edges = {{7, 1, 2, {0, 9}, Properties{{"type", "e"}}}};
+  Status s = ValidateVe(VeGraph::Create(Ctx(), vertices, edges));
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("dangle"), std::string::npos);
+}
+
+TEST(ValidateVeTest, AcceptsEdgeCoveredByMultiStateVertex) {
+  // Destination's presence is split across two states with an attribute
+  // change; the edge spans both — still valid.
+  std::vector<VeVertex> vertices = {{1, {0, 9}, Properties{{"type", "n"}}},
+                                    {2, {0, 5}, Properties{{"type", "a"}}},
+                                    {2, {5, 9}, Properties{{"type", "b"}}}};
+  std::vector<VeEdge> edges = {{7, 1, 2, {2, 8}, Properties{{"type", "e"}}}};
+  TG_CHECK_OK(ValidateVe(VeGraph::Create(Ctx(), vertices, edges)));
+}
+
+TEST(ValidateVeTest, RejectsEdgeToNonexistentVertex) {
+  std::vector<VeVertex> vertices = {{1, {0, 9}, Properties{{"type", "n"}}}};
+  std::vector<VeEdge> edges = {{7, 1, 99, {0, 5}, Properties{{"type", "e"}}}};
+  EXPECT_TRUE(
+      ValidateVe(VeGraph::Create(Ctx(), vertices, edges)).IsInvalidArgument());
+}
+
+TEST(CheckCoalescedVeTest, DetectsUncoalescedVertices) {
+  VeGraph g = VeGraph::Create(Ctx(),
+                              {{1, {1, 3}, Properties{{"type", "n"}}},
+                               {1, {3, 6}, Properties{{"type", "n"}}}},
+                              {});
+  EXPECT_TRUE(CheckCoalescedVe(g).IsInvalidArgument());
+  TG_CHECK_OK(CheckCoalescedVe(g.Coalesce()));
+}
+
+TEST(ValidateOgTest, Figure1OgIsValid) {
+  TG_CHECK_OK(ValidateOg(VeToOg(Figure1())));
+}
+
+TEST(ValidateOgTest, RejectsEmptyHistory) {
+  OgGraph g = OgGraph::Create(Ctx(), {{1, {}}}, {});
+  EXPECT_TRUE(ValidateOg(g).IsInvalidArgument());
+}
+
+TEST(ValidateOgTest, RejectsOverlappingHistory) {
+  OgGraph g = OgGraph::Create(
+      Ctx(),
+      {{1,
+        {{{1, 5}, Properties{{"type", "a"}}}, {{3, 8}, Properties{{"type", "b"}}}}}},
+      {});
+  EXPECT_TRUE(ValidateOg(g).IsInvalidArgument());
+}
+
+TEST(ValidateOgTest, RejectsEdgeOutsideEndpointPresence) {
+  OgVertex v1{1, {{{0, 3}, Properties{{"type", "n"}}}}};
+  OgVertex v2{2, {{{0, 9}, Properties{{"type", "n"}}}}};
+  OgEdge e{7, v1, v2, {{{0, 6}, Properties{{"type", "e"}}}}};
+  OgGraph g = OgGraph::Create(Ctx(), {v1, v2}, {e});
+  EXPECT_TRUE(ValidateOg(g).IsInvalidArgument());
+}
+
+TEST(ValidateOgcTest, Figure1OgcIsValid) {
+  TG_CHECK_OK(ValidateOgc(VeToOgc(Figure1())));
+}
+
+TEST(ValidateOgcTest, RejectsWrongBitsetSize) {
+  OgcVertex v{1, "n", Bitset(2)};
+  OgcGraph g(std::vector<Interval>{{0, 1}, {1, 2}, {2, 3}},
+             dataflow::Dataset<OgcVertex>::FromVector(Ctx(), {v}),
+             dataflow::Dataset<OgcEdge>::FromVector(Ctx(), {}), Interval(0, 3));
+  EXPECT_TRUE(ValidateOgc(g).IsInvalidArgument());
+}
+
+TEST(ValidateOgcTest, RejectsEdgePresentWithoutEndpoint) {
+  Bitset on(2), off(2);
+  on.SetRange(0, 2);
+  off.Set(0);
+  OgcVertex v1{1, "n", on};
+  OgcVertex v2{2, "n", off};  // absent in interval 1
+  Bitset edge_bits(2);
+  edge_bits.Set(1);
+  OgcEdge e{7, "e", v1, v2, edge_bits};
+  OgcGraph g(std::vector<Interval>{{0, 1}, {1, 2}},
+             dataflow::Dataset<OgcVertex>::FromVector(Ctx(), {v1, v2}),
+             dataflow::Dataset<OgcEdge>::FromVector(Ctx(), {e}),
+             Interval(0, 2));
+  EXPECT_TRUE(ValidateOgc(g).IsInvalidArgument());
+}
+
+TEST(ValidateRgTest, Figure1RgIsValid) {
+  TG_CHECK_OK(ValidateRg(VeToRg(Figure1())));
+}
+
+TEST(ValidateRgTest, RejectsDanglingSnapshotEdge) {
+  using dataflow::Dataset;
+  auto vertices = Dataset<sg::Vertex>::FromVector(
+      Ctx(), {sg::Vertex{1, Properties{{"type", "n"}}}});
+  auto edges = Dataset<sg::Edge>::FromVector(
+      Ctx(), {sg::Edge{7, 1, 99, Properties{{"type", "e"}}}});
+  RgGraph g(Ctx(), {Interval(0, 1)}, {sg::PropertyGraph(vertices, edges)},
+            Interval(0, 1));
+  EXPECT_TRUE(ValidateRg(g).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,113 @@
+#include "tgraph/ve.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tgraph/validate.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Ctx;
+using ::tgraph::testing::Figure1;
+
+TEST(VeGraphTest, CreateDerivesLifetime) {
+  VeGraph g = Figure1();
+  EXPECT_EQ(g.lifetime(), Interval(1, 9));
+  EXPECT_EQ(g.NumVertexRecords(), 4);
+  EXPECT_EQ(g.NumEdgeRecords(), 2);
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.NumEdges(), 2);
+}
+
+TEST(VeGraphTest, CreateRespectsExplicitLifetime) {
+  VeGraph g = VeGraph::Create(Ctx(), {}, {}, Interval(0, 100));
+  EXPECT_EQ(g.lifetime(), Interval(0, 100));
+}
+
+TEST(VeGraphTest, CoalesceMergesValueEquivalentAdjacentStates) {
+  std::vector<VeVertex> vertices = {
+      {1, {1, 3}, Properties{{"type", "n"}}},
+      {1, {3, 6}, Properties{{"type", "n"}}},     // same value, adjacent
+      {1, {6, 9}, Properties{{"type", "m"}}},     // value change
+      {2, {1, 4}, Properties{{"type", "n"}}},
+      {2, {5, 8}, Properties{{"type", "n"}}},     // gap at 4
+  };
+  VeGraph g = VeGraph::Create(Ctx(), vertices, {});
+  VeGraph c = g.Coalesce();
+  EXPECT_EQ(c.NumVertexRecords(), 4);
+  TG_CHECK_OK(CheckCoalescedVe(c));
+}
+
+TEST(VeGraphTest, CoalesceMergesEdgeStates) {
+  std::vector<VeVertex> vertices = {{1, {0, 10}, Properties{{"type", "n"}}},
+                                    {2, {0, 10}, Properties{{"type", "n"}}}};
+  std::vector<VeEdge> edges = {
+      {7, 1, 2, {0, 4}, Properties{{"type", "e"}}},
+      {7, 1, 2, {4, 9}, Properties{{"type", "e"}}},
+  };
+  VeGraph g = VeGraph::Create(Ctx(), vertices, edges);
+  VeGraph c = g.Coalesce();
+  EXPECT_EQ(c.NumEdgeRecords(), 1);
+  std::vector<VeEdge> collected = c.edges().Collect();
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].interval, Interval(0, 9));
+  EXPECT_EQ(collected[0].src, 1);
+  EXPECT_EQ(collected[0].dst, 2);
+}
+
+TEST(VeGraphTest, CoalesceIsIdempotent) {
+  VeGraph once = Figure1().Coalesce();
+  VeGraph twice = once.Coalesce();
+  EXPECT_EQ(testing::Canonical(once), testing::Canonical(twice));
+}
+
+TEST(VeGraphTest, ChangePoints) {
+  std::vector<TimePoint> points = Figure1().ChangePoints();
+  EXPECT_EQ(points, (std::vector<TimePoint>{1, 2, 5, 7, 9}));
+}
+
+TEST(VeGraphTest, SnapshotAtExtractsState) {
+  VeGraph g = Figure1();
+  sg::PropertyGraph at3 = g.SnapshotAt(3);
+  EXPECT_EQ(at3.NumVertices(), 3);
+  EXPECT_EQ(at3.NumEdges(), 1);  // only e1 alive at 3
+  sg::PropertyGraph at8 = g.SnapshotAt(8);
+  EXPECT_EQ(at8.NumVertices(), 2);  // Ann gone at 7
+  EXPECT_EQ(at8.NumEdges(), 1);     // e2
+  sg::PropertyGraph at0 = g.SnapshotAt(0);
+  EXPECT_EQ(at0.NumVertices(), 0);
+}
+
+TEST(VeGraphTest, SnapshotReflectsAttributeState) {
+  VeGraph g = Figure1();
+  for (const sg::Vertex& v : g.SnapshotAt(3).vertices().Collect()) {
+    if (v.vid == 2) {
+      EXPECT_FALSE(v.properties.Has("school"));
+    }
+  }
+  for (const sg::Vertex& v : g.SnapshotAt(6).vertices().Collect()) {
+    if (v.vid == 2) {
+      EXPECT_EQ(v.properties.Get("school")->AsString(), "CMU");
+    }
+  }
+}
+
+TEST(VeGraphTest, PartitionByEntityColocatesStates) {
+  VeGraph g = Figure1().PartitionByEntity();
+  const auto& parts = g.vertices().MaterializedPartitions();
+  // Bob's two states must share a partition.
+  int partitions_with_bob = 0;
+  for (const auto& part : parts) {
+    bool found = false;
+    for (const VeVertex& v : part) {
+      if (v.vid == 2) found = true;
+    }
+    if (found) ++partitions_with_bob;
+  }
+  EXPECT_EQ(partitions_with_bob, 1);
+  EXPECT_EQ(g.NumVertexRecords(), 4);
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,140 @@
+#include "tgraph/window.h"
+
+#include <gtest/gtest.h>
+
+namespace tgraph {
+namespace {
+
+TEST(WindowSpecTest, GenerateTimePointWindowsTilesLifetime) {
+  auto windows = GenerateWindows(Interval(1, 10), WindowSpec::TimePoints(3));
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].interval, Interval(1, 4));
+  EXPECT_EQ(windows[1].interval, Interval(4, 7));
+  EXPECT_EQ(windows[2].interval, Interval(7, 10));
+  EXPECT_EQ(windows[2].number, 2);
+}
+
+TEST(WindowSpecTest, LastWindowKeepsFullWidth) {
+  // Example 2.3: lifetime [1,9) with 3-point windows yields W3 = [7,10).
+  auto windows = GenerateWindows(Interval(1, 9), WindowSpec::TimePoints(3));
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[2].interval, Interval(7, 10));
+}
+
+TEST(WindowSpecTest, WindowLargerThanLifetime) {
+  auto windows = GenerateWindows(Interval(0, 5), WindowSpec::TimePoints(100));
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].interval, Interval(0, 100));
+}
+
+TEST(WindowSpecTest, EmptyLifetimeYieldsNoWindows) {
+  EXPECT_TRUE(GenerateWindows(Interval(), WindowSpec::TimePoints(3)).empty());
+}
+
+TEST(WindowSpecTest, ChangeBasedWindows) {
+  // Change points every 2 entries: [0, 5), [5, 9), [9, 10).
+  auto windows = GenerateWindows(Interval(0, 10), WindowSpec::Changes(2),
+                                 {0, 3, 5, 7, 9, 10});
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].interval, Interval(0, 5));
+  EXPECT_EQ(windows[1].interval, Interval(5, 9));
+  EXPECT_EQ(windows[2].interval, Interval(9, 10));
+}
+
+TEST(WindowSpecTest, ChangeBasedWindowsAddLifetimeBoundaries) {
+  auto windows =
+      GenerateWindows(Interval(0, 10), WindowSpec::Changes(10), {4, 6});
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].interval, Interval(0, 10));
+}
+
+TEST(QuantifierTest, All) {
+  Quantifier q = Quantifier::All();
+  EXPECT_TRUE(q.Passes(1.0));
+  EXPECT_FALSE(q.Passes(0.99));
+  EXPECT_EQ(q.ToString(), "all");
+}
+
+TEST(QuantifierTest, Most) {
+  Quantifier q = Quantifier::Most();
+  EXPECT_TRUE(q.Passes(0.51));
+  EXPECT_FALSE(q.Passes(0.5));  // strictly more than half
+  EXPECT_FALSE(q.Passes(0.0));
+}
+
+TEST(QuantifierTest, Exists) {
+  Quantifier q = Quantifier::Exists();
+  EXPECT_TRUE(q.Passes(0.01));
+  EXPECT_FALSE(q.Passes(0.0));
+}
+
+TEST(QuantifierTest, AtLeastIsInclusive) {
+  Quantifier q = Quantifier::AtLeast(0.25);
+  EXPECT_TRUE(q.Passes(0.25));
+  EXPECT_TRUE(q.Passes(0.3));
+  EXPECT_FALSE(q.Passes(0.24));
+}
+
+TEST(QuantifierTest, Restrictiveness) {
+  EXPECT_TRUE(Quantifier::All().MoreRestrictiveThan(Quantifier::Exists()));
+  EXPECT_TRUE(Quantifier::All().MoreRestrictiveThan(Quantifier::Most()));
+  EXPECT_TRUE(Quantifier::Most().MoreRestrictiveThan(Quantifier::Exists()));
+  EXPECT_FALSE(Quantifier::Exists().MoreRestrictiveThan(Quantifier::All()));
+  EXPECT_FALSE(Quantifier::All().MoreRestrictiveThan(Quantifier::All()));
+  // Strict dominates inclusive at the same threshold.
+  EXPECT_TRUE(
+      Quantifier::Most().MoreRestrictiveThan(Quantifier::AtLeast(0.5)));
+}
+
+TEST(ResolveSpecTest, DefaultAndOverrides) {
+  ResolveSpec spec;
+  spec.default_resolver = Resolver::kFirst;
+  spec.overrides = {{"school", Resolver::kLast}};
+  EXPECT_EQ(spec.For("school"), Resolver::kLast);
+  EXPECT_EQ(spec.For("other"), Resolver::kFirst);
+}
+
+TEST(ResolvePropertiesTest, FirstAndLast) {
+  std::vector<std::pair<TimePoint, Properties>> states = {
+      {5, Properties{{"a", 2}, {"b", "late"}}},
+      {1, Properties{{"a", 1}}},
+  };
+  ResolveSpec first;
+  first.default_resolver = Resolver::kFirst;
+  Properties f = ResolveProperties(states, first);
+  EXPECT_EQ(f.Get("a")->AsInt(), 1);
+  EXPECT_EQ(f.Get("b")->AsString(), "late");  // only state having b
+
+  ResolveSpec last;
+  last.default_resolver = Resolver::kLast;
+  Properties l = ResolveProperties(states, last);
+  EXPECT_EQ(l.Get("a")->AsInt(), 2);
+  EXPECT_EQ(l.Get("b")->AsString(), "late");
+}
+
+TEST(ResolvePropertiesTest, PerAttributeOverride) {
+  std::vector<std::pair<TimePoint, Properties>> states = {
+      {1, Properties{{"a", 1}, {"b", 10}}},
+      {2, Properties{{"a", 2}, {"b", 20}}},
+  };
+  ResolveSpec spec;
+  spec.default_resolver = Resolver::kFirst;
+  spec.overrides = {{"b", Resolver::kLast}};
+  Properties p = ResolveProperties(states, spec);
+  EXPECT_EQ(p.Get("a")->AsInt(), 1);
+  EXPECT_EQ(p.Get("b")->AsInt(), 20);
+}
+
+TEST(ResolvePropertiesTest, AnyIsDeterministic) {
+  std::vector<std::pair<TimePoint, Properties>> states = {
+      {3, Properties{{"a", 3}}},
+      {1, Properties{{"a", 1}}},
+      {2, Properties{{"a", 2}}},
+  };
+  ResolveSpec spec;  // default kAny
+  EXPECT_EQ(ResolveProperties(states, spec).Get("a")->AsInt(), 1);
+  EXPECT_EQ(ResolveProperties(states, spec).Get("a")->AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,121 @@
+#include "tgraph/zoom_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace tgraph {
+namespace {
+
+TEST(SkolemTest, DeterministicAndPositive) {
+  EXPECT_EQ(HashSkolem(PropertyValue("MIT")), HashSkolem(PropertyValue("MIT")));
+  EXPECT_NE(HashSkolem(PropertyValue("MIT")), HashSkolem(PropertyValue("CMU")));
+  EXPECT_GE(HashSkolem(PropertyValue("x")), 0);
+  EXPECT_GE(HashSkolem(PropertyValue(int64_t{-5})), 0);
+}
+
+TEST(GroupByPropertyTest, ReturnsValueOrNullopt) {
+  GroupFn group = GroupByProperty("school");
+  Properties with{{"school", "MIT"}, {"type", "person"}};
+  Properties without{{"type", "person"}};
+  EXPECT_EQ(group(1, with), PropertyValue("MIT"));
+  EXPECT_EQ(group(1, without), std::nullopt);
+}
+
+class AggregatorTest : public ::testing::Test {
+ protected:
+  Properties Input(int64_t weight) {
+    return Properties{{"type", "person"}, {"weight", weight}};
+  }
+};
+
+TEST_F(AggregatorTest, CountInitAndMerge) {
+  VertexAggregator agg =
+      MakeAggregator("school", "name", {{"students", AggKind::kCount, ""}});
+  Properties a = agg.init(PropertyValue("MIT"), 1, Input(10));
+  EXPECT_EQ(a.Get("type")->AsString(), "school");
+  EXPECT_EQ(a.Get("name")->AsString(), "MIT");
+  EXPECT_EQ(a.Get("students")->AsInt(), 1);
+  Properties b = agg.init(PropertyValue("MIT"), 2, Input(20));
+  Properties merged = agg.merge(a, b);
+  EXPECT_EQ(merged.Get("students")->AsInt(), 2);
+  EXPECT_FALSE(static_cast<bool>(agg.finalize));
+}
+
+TEST_F(AggregatorTest, SumMinMax) {
+  VertexAggregator agg = MakeAggregator(
+      "g", "key",
+      {{"total", AggKind::kSum, "weight"},
+       {"lo", AggKind::kMin, "weight"},
+       {"hi", AggKind::kMax, "weight"}});
+  Properties a = agg.init(PropertyValue("k"), 1, Input(10));
+  Properties b = agg.init(PropertyValue("k"), 2, Input(3));
+  Properties c = agg.init(PropertyValue("k"), 3, Input(25));
+  Properties merged = agg.merge(agg.merge(a, b), c);
+  EXPECT_EQ(merged.Get("total")->AsInt(), 38);
+  EXPECT_EQ(merged.Get("lo")->AsInt(), 3);
+  EXPECT_EQ(merged.Get("hi")->AsInt(), 25);
+}
+
+TEST_F(AggregatorTest, MergeIsCommutative) {
+  VertexAggregator agg = MakeAggregator(
+      "g", "key",
+      {{"total", AggKind::kSum, "weight"}, {"n", AggKind::kCount, ""}});
+  Properties a = agg.init(PropertyValue("k"), 1, Input(7));
+  Properties b = agg.init(PropertyValue("k"), 2, Input(9));
+  EXPECT_EQ(agg.merge(a, b), agg.merge(b, a));
+}
+
+TEST_F(AggregatorTest, MergeIsAssociative) {
+  VertexAggregator agg = MakeAggregator(
+      "g", "key", {{"total", AggKind::kSum, "weight"}});
+  Properties a = agg.init(PropertyValue("k"), 1, Input(1));
+  Properties b = agg.init(PropertyValue("k"), 2, Input(2));
+  Properties c = agg.init(PropertyValue("k"), 3, Input(4));
+  EXPECT_EQ(agg.merge(agg.merge(a, b), c), agg.merge(a, agg.merge(b, c)));
+}
+
+TEST_F(AggregatorTest, AverageUsesScratchAndFinalize) {
+  VertexAggregator agg =
+      MakeAggregator("g", "key", {{"mean", AggKind::kAvg, "weight"}});
+  Properties a = agg.init(PropertyValue("k"), 1, Input(10));
+  Properties b = agg.init(PropertyValue("k"), 2, Input(20));
+  Properties c = agg.init(PropertyValue("k"), 3, Input(60));
+  Properties merged = agg.merge(agg.merge(a, b), c);
+  ASSERT_TRUE(static_cast<bool>(agg.finalize));
+  Properties final = agg.finalize(merged);
+  EXPECT_DOUBLE_EQ(final.Get("mean")->AsDouble(), 30.0);
+  // Scratch keys must not leak.
+  for (const auto& [key, value] : final.entries()) {
+    EXPECT_EQ(key.find("__avg"), std::string::npos) << key;
+  }
+}
+
+TEST_F(AggregatorTest, MissingInputPropertyIsSkipped) {
+  VertexAggregator agg =
+      MakeAggregator("g", "key", {{"total", AggKind::kSum, "weight"}});
+  Properties no_weight{{"type", "person"}};
+  Properties a = agg.init(PropertyValue("k"), 1, no_weight);
+  EXPECT_FALSE(a.Has("total"));
+  Properties b = agg.init(PropertyValue("k"), 2, Input(5));
+  // One side missing: the present side's value survives, either order.
+  EXPECT_EQ(agg.merge(a, b).Get("total")->AsInt(), 5);
+  EXPECT_EQ(agg.merge(b, a).Get("total")->AsInt(), 5);
+}
+
+TEST_F(AggregatorTest, DoubleSumPromotes) {
+  VertexAggregator agg =
+      MakeAggregator("g", "key", {{"total", AggKind::kSum, "weight"}});
+  Properties a = agg.init(PropertyValue("k"), 1,
+                          Properties{{"type", "t"}, {"weight", 1.5}});
+  Properties b = agg.init(PropertyValue("k"), 2, Input(2));
+  EXPECT_DOUBLE_EQ(agg.merge(a, b).Get("total")->AsNumber(), 3.5);
+}
+
+TEST_F(AggregatorTest, EmptyGroupPropertyOmitsKeyStamp) {
+  VertexAggregator agg = MakeAggregator("g", "", {});
+  Properties a = agg.init(PropertyValue("k"), 1, Input(1));
+  EXPECT_EQ(a.size(), 1u);  // only type
+  EXPECT_EQ(a.Get("type")->AsString(), "g");
+}
+
+}  // namespace
+}  // namespace tgraph

@@ -1,0 +1,306 @@
+// tgz — command-line front end for TGraphZoom.
+//
+//   tgz generate --dataset wikitalk|snb|ngrams --out DIR [--seed N]
+//                [--scale F] [--sort temporal|structural]
+//   tgz info --in DIR
+//   tgz slice --in DIR --out DIR --from T --to T
+//   tgz azoom --in DIR --out DIR --group-by PROP [--type NAME]
+//             [--count PROP] [--rep ve|og|rg]
+//   tgz wzoom --in DIR --out DIR --window N [--vq all|most|exists]
+//             [--eq all|most|exists] [--rep ve|og|ogc|rg]
+//   tgz snapshot --in DIR --at T
+//   tgz query --script FILE      (run a TQL script)
+//   tgz repl                     (interactive TQL, statements end with ;)
+//
+// Graph directories use the library's columnar VE format (vertices.tcol +
+// edges.tcol), so every command composes with every other.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "gen/generators.h"
+#include "gen/stats.h"
+#include "storage/graph_io.h"
+#include "tgraph/tgraph.h"
+#include "tql/interpreter.h"
+
+namespace {
+
+using namespace tgraph;  // NOLINT — binary-local brevity
+
+// --- tiny flag parser ------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        Die("unexpected argument: " + arg);
+      }
+      std::string key = arg.substr(2);
+      if (i + 1 >= argc) Die("flag --" + key + " needs a value");
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) Die("missing required flag --" + key);
+    return it->second;
+  }
+
+  std::string GetOr(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key) const { return std::stoll(Get(key)); }
+  int64_t GetIntOr(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  double GetDoubleOr(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  [[noreturn]] static void Die(const std::string& message) {
+    std::fprintf(stderr, "tgz: %s\n", message.c_str());
+    std::exit(2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void DieOnError(const Status& status) {
+  if (!status.ok()) Flags::Die(status.ToString());
+}
+
+dataflow::ExecutionContext* Ctx() {
+  static auto* ctx = new dataflow::ExecutionContext();
+  return ctx;
+}
+
+VeGraph LoadInput(const Flags& flags) {
+  storage::LoadOptions options;
+  Result<VeGraph> graph = storage::LoadVeGraph(Ctx(), flags.Get("in"), options);
+  DieOnError(graph.status());
+  return *graph;
+}
+
+void StoreOutput(const VeGraph& graph, const Flags& flags) {
+  storage::GraphWriteOptions options;
+  if (flags.GetOr("sort", "temporal") == "structural") {
+    options.sort_order = storage::SortOrder::kStructuralLocality;
+  }
+  DieOnError(storage::WriteVeGraph(graph, flags.Get("out"), options));
+  gen::DatasetStats stats = gen::ComputeStats(graph);
+  std::printf("wrote %s: %s\n", flags.Get("out").c_str(),
+              stats.ToString().c_str());
+}
+
+Quantifier ParseQuantifier(const std::string& name) {
+  if (name == "all") return Quantifier::All();
+  if (name == "most") return Quantifier::Most();
+  if (name == "exists") return Quantifier::Exists();
+  if (name.rfind("atleast:", 0) == 0) {
+    return Quantifier::AtLeast(std::stod(name.substr(8)));
+  }
+  Flags::Die("unknown quantifier '" + name +
+             "' (use all|most|exists|atleast:<fraction>)");
+}
+
+Representation ParseRepresentation(const std::string& name) {
+  if (name == "ve") return Representation::kVe;
+  if (name == "og") return Representation::kOg;
+  if (name == "ogc") return Representation::kOgc;
+  if (name == "rg") return Representation::kRg;
+  Flags::Die("unknown representation '" + name + "' (use ve|og|ogc|rg)");
+}
+
+// --- subcommands -----------------------------------------------------------
+
+int Generate(const Flags& flags) {
+  std::string dataset = flags.Get("dataset");
+  uint64_t seed = static_cast<uint64_t>(flags.GetIntOr("seed", 42));
+  double scale = flags.GetDoubleOr("scale", 1.0);
+  VeGraph graph;
+  if (dataset == "wikitalk") {
+    gen::WikiTalkConfig config;
+    config.num_users = static_cast<int64_t>(config.num_users * scale);
+    config.seed = seed;
+    graph = gen::GenerateWikiTalk(Ctx(), config);
+  } else if (dataset == "snb") {
+    gen::SnbConfig config;
+    config.num_persons = static_cast<int64_t>(config.num_persons * scale);
+    config.seed = seed;
+    graph = gen::GenerateSnb(Ctx(), config);
+  } else if (dataset == "ngrams") {
+    gen::NGramsConfig config;
+    config.num_words = static_cast<int64_t>(config.num_words * scale);
+    config.appearances_per_year *= scale;
+    config.seed = seed;
+    graph = gen::GenerateNGrams(Ctx(), config);
+  } else {
+    Flags::Die("unknown dataset '" + dataset + "' (use wikitalk|snb|ngrams)");
+  }
+  StoreOutput(graph, flags);
+  return 0;
+}
+
+int Info(const Flags& flags) {
+  VeGraph graph = LoadInput(flags);
+  gen::DatasetStats stats = gen::ComputeStats(graph);
+  std::printf("lifetime       %s\n", graph.lifetime().ToString().c_str());
+  std::printf("vertices       %lld\n",
+              static_cast<long long>(stats.num_vertices));
+  std::printf("edges          %lld\n", static_cast<long long>(stats.num_edges));
+  std::printf("vertex states  %lld\n",
+              static_cast<long long>(stats.num_vertex_records));
+  std::printf("edge states    %lld\n",
+              static_cast<long long>(stats.num_edge_records));
+  std::printf("snapshots      %lld\n",
+              static_cast<long long>(stats.num_snapshots));
+  std::printf("evolution rate %.1f\n", stats.evolution_rate);
+  return 0;
+}
+
+int Slice(const Flags& flags) {
+  VeGraph graph = LoadInput(flags);
+  TGraph sliced = TGraph::FromVe(graph, true).Slice(
+      Interval(flags.GetInt("from"), flags.GetInt("to")));
+  StoreOutput(sliced.ve(), flags);
+  return 0;
+}
+
+int AZoomCommand(const Flags& flags) {
+  VeGraph graph = LoadInput(flags);
+  std::string group_by = flags.Get("group-by");
+  AZoomSpec spec;
+  spec.group_of = GroupByProperty(group_by);
+  std::vector<AggregateSpec> aggregates;
+  if (flags.GetOr("count", "") != "") {
+    aggregates.push_back({flags.Get("count"), AggKind::kCount, ""});
+  }
+  spec.aggregator = MakeAggregator(flags.GetOr("type", "group"), group_by,
+                                   std::move(aggregates));
+  Representation rep = ParseRepresentation(flags.GetOr("rep", "og"));
+  Result<TGraph> as_rep = TGraph::FromVe(graph, true).As(rep);
+  DieOnError(as_rep.status());
+  Result<TGraph> zoomed = as_rep->AZoom(spec);
+  DieOnError(zoomed.status());
+  Result<TGraph> back = zoomed->Coalesce().As(Representation::kVe);
+  DieOnError(back.status());
+  StoreOutput(back->ve(), flags);
+  return 0;
+}
+
+int WZoomCommand(const Flags& flags) {
+  VeGraph graph = LoadInput(flags);
+  WZoomSpec spec{WindowSpec::TimePoints(flags.GetInt("window")),
+                 ParseQuantifier(flags.GetOr("vq", "all")),
+                 ParseQuantifier(flags.GetOr("eq", "all")),
+                 {},
+                 {}};
+  Representation rep = ParseRepresentation(flags.GetOr("rep", "og"));
+  Result<TGraph> as_rep = TGraph::FromVe(graph, true).As(rep);
+  DieOnError(as_rep.status());
+  Result<TGraph> zoomed = as_rep->WZoom(spec);
+  DieOnError(zoomed.status());
+  Result<TGraph> back = zoomed->As(Representation::kVe);
+  DieOnError(back.status());
+  StoreOutput(back->Coalesce().ve(), flags);
+  return 0;
+}
+
+int Snapshot(const Flags& flags) {
+  VeGraph graph = LoadInput(flags);
+  TimePoint at = flags.GetInt("at");
+  sg::PropertyGraph snapshot = graph.SnapshotAt(at);
+  std::printf("snapshot at %lld: %lld vertices, %lld edges\n",
+              static_cast<long long>(at),
+              static_cast<long long>(snapshot.NumVertices()),
+              static_cast<long long>(snapshot.NumEdges()));
+  int64_t limit = flags.GetIntOr("limit", 10);
+  for (const sg::Vertex& v : snapshot.vertices().Take(limit)) {
+    std::printf("  v%lld %s\n", static_cast<long long>(v.vid),
+                v.properties.ToString().c_str());
+  }
+  for (const sg::Edge& e : snapshot.edges().Take(limit)) {
+    std::printf("  e%lld %lld->%lld %s\n", static_cast<long long>(e.eid),
+                static_cast<long long>(e.src), static_cast<long long>(e.dst),
+                e.properties.ToString().c_str());
+  }
+  return 0;
+}
+
+int Query(const Flags& flags) {
+  std::string path = flags.Get("script");
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) Flags::Die("cannot open script " + path);
+  std::string script;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    script.append(buffer, n);
+  }
+  std::fclose(file);
+  tql::Interpreter interpreter(Ctx());
+  Result<std::string> output = interpreter.ExecuteScript(script);
+  DieOnError(output.status());
+  std::fputs(output->c_str(), stdout);
+  return 0;
+}
+
+int Repl() {
+  tql::Interpreter interpreter(Ctx());
+  std::string pending;
+  std::printf("tgz TQL repl — statements end with ';', ctrl-d exits\n");
+  std::printf("> ");
+  std::fflush(stdout);
+  int c;
+  while ((c = std::fgetc(stdin)) != EOF) {
+    pending.push_back(static_cast<char>(c));
+    if (c != ';') continue;
+    Result<std::string> output = interpreter.ExecuteScript(pending);
+    if (output.ok()) {
+      std::fputs(output->c_str(), stdout);
+    } else {
+      std::fprintf(stderr, "error: %s\n", output.status().ToString().c_str());
+    }
+    pending.clear();
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tgz <generate|info|slice|azoom|wzoom|snapshot|query|repl> "
+               "[--flag value ...]\n"
+               "see the header of tools/tgz.cc for the full flag list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return Generate(flags);
+  if (command == "info") return Info(flags);
+  if (command == "slice") return Slice(flags);
+  if (command == "azoom") return AZoomCommand(flags);
+  if (command == "wzoom") return WZoomCommand(flags);
+  if (command == "snapshot") return Snapshot(flags);
+  if (command == "query") return Query(flags);
+  if (command == "repl") return Repl();
+  return Usage();
+}
