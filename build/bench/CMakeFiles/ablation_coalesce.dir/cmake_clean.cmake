@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coalesce.dir/ablation_coalesce.cc.o"
+  "CMakeFiles/ablation_coalesce.dir/ablation_coalesce.cc.o.d"
+  "ablation_coalesce"
+  "ablation_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_loading.cc" "bench/CMakeFiles/ablation_loading.dir/ablation_loading.cc.o" "gcc" "bench/CMakeFiles/ablation_loading.dir/ablation_loading.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/tg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgraph/CMakeFiles/tg_tgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/tg_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/tg_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loading.dir/ablation_loading.cc.o"
+  "CMakeFiles/ablation_loading.dir/ablation_loading.cc.o.d"
+  "ablation_loading"
+  "ablation_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

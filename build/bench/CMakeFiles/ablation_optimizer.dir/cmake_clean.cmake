@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimizer.dir/ablation_optimizer.cc.o"
+  "CMakeFiles/ablation_optimizer.dir/ablation_optimizer.cc.o.d"
+  "ablation_optimizer"
+  "ablation_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

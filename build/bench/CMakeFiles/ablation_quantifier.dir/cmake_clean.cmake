@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quantifier.dir/ablation_quantifier.cc.o"
+  "CMakeFiles/ablation_quantifier.dir/ablation_quantifier.cc.o.d"
+  "ablation_quantifier"
+  "ablation_quantifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quantifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

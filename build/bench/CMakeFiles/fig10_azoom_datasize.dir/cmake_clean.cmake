@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_azoom_datasize.dir/fig10_azoom_datasize.cc.o"
+  "CMakeFiles/fig10_azoom_datasize.dir/fig10_azoom_datasize.cc.o.d"
+  "fig10_azoom_datasize"
+  "fig10_azoom_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_azoom_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_azoom_datasize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_azoom_snapshots.dir/fig11_azoom_snapshots.cc.o"
+  "CMakeFiles/fig11_azoom_snapshots.dir/fig11_azoom_snapshots.cc.o.d"
+  "fig11_azoom_snapshots"
+  "fig11_azoom_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_azoom_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

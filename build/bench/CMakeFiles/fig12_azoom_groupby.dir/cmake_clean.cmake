@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_azoom_groupby.dir/fig12_azoom_groupby.cc.o"
+  "CMakeFiles/fig12_azoom_groupby.dir/fig12_azoom_groupby.cc.o.d"
+  "fig12_azoom_groupby"
+  "fig12_azoom_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_azoom_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_azoom_changefreq.dir/fig13_azoom_changefreq.cc.o"
+  "CMakeFiles/fig13_azoom_changefreq.dir/fig13_azoom_changefreq.cc.o.d"
+  "fig13_azoom_changefreq"
+  "fig13_azoom_changefreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_azoom_changefreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_wzoom_datasize.dir/fig14_wzoom_datasize.cc.o"
+  "CMakeFiles/fig14_wzoom_datasize.dir/fig14_wzoom_datasize.cc.o.d"
+  "fig14_wzoom_datasize"
+  "fig14_wzoom_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_wzoom_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_wzoom_window.dir/fig15_wzoom_window.cc.o"
+  "CMakeFiles/fig15_wzoom_window.dir/fig15_wzoom_window.cc.o.d"
+  "fig15_wzoom_window"
+  "fig15_wzoom_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_wzoom_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_chain_order.dir/fig17_chain_order.cc.o"
+  "CMakeFiles/fig17_chain_order.dir/fig17_chain_order.cc.o.d"
+  "fig17_chain_order"
+  "fig17_chain_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_chain_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngrams_decades.dir/ngrams_decades.cpp.o"
+  "CMakeFiles/ngrams_decades.dir/ngrams_decades.cpp.o.d"
+  "ngrams_decades"
+  "ngrams_decades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngrams_decades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ngrams_decades.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ngrams_decades.
+# This may be replaced when dependencies are built.

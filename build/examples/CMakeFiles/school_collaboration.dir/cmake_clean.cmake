@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/school_collaboration.dir/school_collaboration.cpp.o"
+  "CMakeFiles/school_collaboration.dir/school_collaboration.cpp.o.d"
+  "school_collaboration"
+  "school_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/school_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for school_collaboration.
+# This may be replaced when dependencies are built.

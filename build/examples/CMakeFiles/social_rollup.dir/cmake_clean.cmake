@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_rollup.dir/social_rollup.cpp.o"
+  "CMakeFiles/social_rollup.dir/social_rollup.cpp.o.d"
+  "social_rollup"
+  "social_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

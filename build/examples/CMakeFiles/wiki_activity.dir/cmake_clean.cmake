@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_activity.dir/wiki_activity.cpp.o"
+  "CMakeFiles/wiki_activity.dir/wiki_activity.cpp.o.d"
+  "wiki_activity"
+  "wiki_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitset.cc" "src/common/CMakeFiles/tg_common.dir/bitset.cc.o" "gcc" "src/common/CMakeFiles/tg_common.dir/bitset.cc.o.d"
+  "/root/repo/src/common/interval.cc" "src/common/CMakeFiles/tg_common.dir/interval.cc.o" "gcc" "src/common/CMakeFiles/tg_common.dir/interval.cc.o.d"
+  "/root/repo/src/common/properties.cc" "src/common/CMakeFiles/tg_common.dir/properties.cc.o" "gcc" "src/common/CMakeFiles/tg_common.dir/properties.cc.o.d"
+  "/root/repo/src/common/property_value.cc" "src/common/CMakeFiles/tg_common.dir/property_value.cc.o" "gcc" "src/common/CMakeFiles/tg_common.dir/property_value.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/tg_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/tg_common.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_common.dir/bitset.cc.o"
+  "CMakeFiles/tg_common.dir/bitset.cc.o.d"
+  "CMakeFiles/tg_common.dir/interval.cc.o"
+  "CMakeFiles/tg_common.dir/interval.cc.o.d"
+  "CMakeFiles/tg_common.dir/properties.cc.o"
+  "CMakeFiles/tg_common.dir/properties.cc.o.d"
+  "CMakeFiles/tg_common.dir/property_value.cc.o"
+  "CMakeFiles/tg_common.dir/property_value.cc.o.d"
+  "CMakeFiles/tg_common.dir/status.cc.o"
+  "CMakeFiles/tg_common.dir/status.cc.o.d"
+  "libtg_common.a"
+  "libtg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

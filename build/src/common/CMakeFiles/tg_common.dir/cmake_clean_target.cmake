@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtg_common.a"
+)

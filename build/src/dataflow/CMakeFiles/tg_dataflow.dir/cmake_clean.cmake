@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_dataflow.dir/context.cc.o"
+  "CMakeFiles/tg_dataflow.dir/context.cc.o.d"
+  "CMakeFiles/tg_dataflow.dir/thread_pool.cc.o"
+  "CMakeFiles/tg_dataflow.dir/thread_pool.cc.o.d"
+  "libtg_dataflow.a"
+  "libtg_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

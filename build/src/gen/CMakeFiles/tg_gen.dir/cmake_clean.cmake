@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_gen.dir/generators.cc.o"
+  "CMakeFiles/tg_gen.dir/generators.cc.o.d"
+  "CMakeFiles/tg_gen.dir/stats.cc.o"
+  "CMakeFiles/tg_gen.dir/stats.cc.o.d"
+  "CMakeFiles/tg_gen.dir/transform.cc.o"
+  "CMakeFiles/tg_gen.dir/transform.cc.o.d"
+  "libtg_gen.a"
+  "libtg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sg/algorithms.cc" "src/sg/CMakeFiles/tg_sg.dir/algorithms.cc.o" "gcc" "src/sg/CMakeFiles/tg_sg.dir/algorithms.cc.o.d"
+  "/root/repo/src/sg/partition.cc" "src/sg/CMakeFiles/tg_sg.dir/partition.cc.o" "gcc" "src/sg/CMakeFiles/tg_sg.dir/partition.cc.o.d"
+  "/root/repo/src/sg/property_graph.cc" "src/sg/CMakeFiles/tg_sg.dir/property_graph.cc.o" "gcc" "src/sg/CMakeFiles/tg_sg.dir/property_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/tg_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

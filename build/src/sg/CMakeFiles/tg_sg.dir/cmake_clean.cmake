@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_sg.dir/algorithms.cc.o"
+  "CMakeFiles/tg_sg.dir/algorithms.cc.o.d"
+  "CMakeFiles/tg_sg.dir/partition.cc.o"
+  "CMakeFiles/tg_sg.dir/partition.cc.o.d"
+  "CMakeFiles/tg_sg.dir/property_graph.cc.o"
+  "CMakeFiles/tg_sg.dir/property_graph.cc.o.d"
+  "libtg_sg.a"
+  "libtg_sg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_sg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tg_sg.
+# This may be replaced when dependencies are built.

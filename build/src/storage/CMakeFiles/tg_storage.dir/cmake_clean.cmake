@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_storage.dir/graph_io.cc.o"
+  "CMakeFiles/tg_storage.dir/graph_io.cc.o.d"
+  "CMakeFiles/tg_storage.dir/predicate.cc.o"
+  "CMakeFiles/tg_storage.dir/predicate.cc.o.d"
+  "CMakeFiles/tg_storage.dir/serde.cc.o"
+  "CMakeFiles/tg_storage.dir/serde.cc.o.d"
+  "CMakeFiles/tg_storage.dir/table.cc.o"
+  "CMakeFiles/tg_storage.dir/table.cc.o.d"
+  "libtg_storage.a"
+  "libtg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tgraph/algebra.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/algebra.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/algebra.cc.o.d"
+  "/root/repo/src/tgraph/analytics.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/analytics.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/analytics.cc.o.d"
+  "/root/repo/src/tgraph/azoom.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/azoom.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/azoom.cc.o.d"
+  "/root/repo/src/tgraph/builder.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/builder.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/builder.cc.o.d"
+  "/root/repo/src/tgraph/coalesce.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/coalesce.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/coalesce.cc.o.d"
+  "/root/repo/src/tgraph/convert.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/convert.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/convert.cc.o.d"
+  "/root/repo/src/tgraph/og.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/og.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/og.cc.o.d"
+  "/root/repo/src/tgraph/ogc.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/ogc.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/ogc.cc.o.d"
+  "/root/repo/src/tgraph/pipeline.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/pipeline.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/pipeline.cc.o.d"
+  "/root/repo/src/tgraph/reachability.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/reachability.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/reachability.cc.o.d"
+  "/root/repo/src/tgraph/rg.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/rg.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/rg.cc.o.d"
+  "/root/repo/src/tgraph/slice.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/slice.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/slice.cc.o.d"
+  "/root/repo/src/tgraph/tgraph.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/tgraph.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/tgraph.cc.o.d"
+  "/root/repo/src/tgraph/types.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/types.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/types.cc.o.d"
+  "/root/repo/src/tgraph/validate.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/validate.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/validate.cc.o.d"
+  "/root/repo/src/tgraph/ve.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/ve.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/ve.cc.o.d"
+  "/root/repo/src/tgraph/window.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/window.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/window.cc.o.d"
+  "/root/repo/src/tgraph/wzoom.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/wzoom.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/wzoom.cc.o.d"
+  "/root/repo/src/tgraph/zoom_spec.cc" "src/tgraph/CMakeFiles/tg_tgraph.dir/zoom_spec.cc.o" "gcc" "src/tgraph/CMakeFiles/tg_tgraph.dir/zoom_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sg/CMakeFiles/tg_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/tg_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

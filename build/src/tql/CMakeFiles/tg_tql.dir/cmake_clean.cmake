@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_tql.dir/interpreter.cc.o"
+  "CMakeFiles/tg_tql.dir/interpreter.cc.o.d"
+  "CMakeFiles/tg_tql.dir/lexer.cc.o"
+  "CMakeFiles/tg_tql.dir/lexer.cc.o.d"
+  "CMakeFiles/tg_tql.dir/parser.cc.o"
+  "CMakeFiles/tg_tql.dir/parser.cc.o.d"
+  "libtg_tql.a"
+  "libtg_tql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_tql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azoom_test.dir/azoom_test.cc.o"
+  "CMakeFiles/azoom_test.dir/azoom_test.cc.o.d"
+  "azoom_test"
+  "azoom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azoom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

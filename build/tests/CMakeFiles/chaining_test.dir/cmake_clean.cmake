@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaining_test.dir/chaining_test.cc.o"
+  "CMakeFiles/chaining_test.dir/chaining_test.cc.o.d"
+  "chaining_test"
+  "chaining_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_test.dir/coalesce_test.cc.o"
+  "CMakeFiles/coalesce_test.dir/coalesce_test.cc.o.d"
+  "coalesce_test"
+  "coalesce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyed_ops_test.dir/keyed_ops_test.cc.o"
+  "CMakeFiles/keyed_ops_test.dir/keyed_ops_test.cc.o.d"
+  "keyed_ops_test"
+  "keyed_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyed_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/og_test.dir/og_test.cc.o"
+  "CMakeFiles/og_test.dir/og_test.cc.o.d"
+  "og_test"
+  "og_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/og_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogc_test.dir/ogc_test.cc.o"
+  "CMakeFiles/ogc_test.dir/ogc_test.cc.o.d"
+  "ogc_test"
+  "ogc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

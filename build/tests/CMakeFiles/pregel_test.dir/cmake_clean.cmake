@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_test.dir/pregel_test.cc.o"
+  "CMakeFiles/pregel_test.dir/pregel_test.cc.o.d"
+  "pregel_test"
+  "pregel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

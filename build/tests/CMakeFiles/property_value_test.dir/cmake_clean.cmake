@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_value_test.dir/property_value_test.cc.o"
+  "CMakeFiles/property_value_test.dir/property_value_test.cc.o.d"
+  "property_value_test"
+  "property_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability_test.dir/reachability_test.cc.o"
+  "CMakeFiles/reachability_test.dir/reachability_test.cc.o.d"
+  "reachability_test"
+  "reachability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_test.dir/rg_test.cc.o"
+  "CMakeFiles/rg_test.dir/rg_test.cc.o.d"
+  "rg_test"
+  "rg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

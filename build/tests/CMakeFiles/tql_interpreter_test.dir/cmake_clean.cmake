@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tql_interpreter_test.dir/tql_interpreter_test.cc.o"
+  "CMakeFiles/tql_interpreter_test.dir/tql_interpreter_test.cc.o.d"
+  "tql_interpreter_test"
+  "tql_interpreter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tql_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

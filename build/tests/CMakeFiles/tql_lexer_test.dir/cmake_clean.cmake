@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tql_lexer_test.dir/tql_lexer_test.cc.o"
+  "CMakeFiles/tql_lexer_test.dir/tql_lexer_test.cc.o.d"
+  "tql_lexer_test"
+  "tql_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tql_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tql_parser_test.dir/tql_parser_test.cc.o"
+  "CMakeFiles/tql_parser_test.dir/tql_parser_test.cc.o.d"
+  "tql_parser_test"
+  "tql_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ve_test.dir/ve_test.cc.o"
+  "CMakeFiles/ve_test.dir/ve_test.cc.o.d"
+  "ve_test"
+  "ve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

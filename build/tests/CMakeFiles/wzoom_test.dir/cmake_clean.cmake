@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wzoom_test.dir/wzoom_test.cc.o"
+  "CMakeFiles/wzoom_test.dir/wzoom_test.cc.o.d"
+  "wzoom_test"
+  "wzoom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wzoom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

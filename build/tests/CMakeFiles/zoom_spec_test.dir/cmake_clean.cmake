@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoom_spec_test.dir/zoom_spec_test.cc.o"
+  "CMakeFiles/zoom_spec_test.dir/zoom_spec_test.cc.o.d"
+  "zoom_spec_test"
+  "zoom_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoom_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgz.dir/tgz.cc.o"
+  "CMakeFiles/tgz.dir/tgz.cc.o.d"
+  "tgz"
+  "tgz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
