@@ -3,21 +3,96 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <map>
 #include <string>
 
 #include "gen/generators.h"
 #include "gen/stats.h"
 #include "gen/transform.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tgraph/tgraph.h"
 
 namespace tgraph::bench {
 
+/// Opt-in benchmark observability, so BENCH_*.json trajectories become
+/// stage-attributable without perturbing default timings:
+///   TGRAPH_TRACE_OUT=<file>  enable tracing; at exit, write a Chrome
+///                            trace and print the span summary ("# obs"
+///                            comment lines, ignored by result parsers).
+inline void InitBenchObs() {
+  static bool initialized = [] {
+    const char* trace_out = std::getenv("TGRAPH_TRACE_OUT");
+    if (trace_out == nullptr || trace_out[0] == '\0') return true;
+    obs::Tracer::Global().Enable();
+    static std::string path = trace_out;
+    std::atexit([] {
+      obs::Tracer& tracer = obs::Tracer::Global();
+      if (tracer.WriteChromeTrace(path)) {
+        printf("# obs trace: %s (%zu spans)\n", path.c_str(),
+               tracer.EventCount());
+      }
+      std::string summary = tracer.Summary();
+      size_t start = 0;
+      while (start < summary.size()) {
+        size_t end = summary.find('\n', start);
+        printf("# obs %s\n", summary.substr(start, end - start).c_str());
+        if (end == std::string::npos) break;
+        start = end + 1;
+      }
+    });
+    return true;
+  }();
+  (void)initialized;
+}
+
 /// One shared execution context per benchmark binary.
 inline dataflow::ExecutionContext* Ctx() {
-  static auto* ctx = new dataflow::ExecutionContext();
+  static auto* ctx = [] {
+    InitBenchObs();
+    return new dataflow::ExecutionContext();
+  }();
   return ctx;
 }
+
+/// \brief Per-phase metric attribution: wraps one timed region, names it
+/// with a span, and on destruction reports the dataflow metric deltas the
+/// phase caused as benchmark counters (stages, shuffled records/bytes).
+///
+/// Usage inside a benchmark loop:
+///   for (auto _ : state) {
+///     PhaseMetrics phase("wzoom", &state);
+///     ... timed work ...
+///   }
+class PhaseMetrics {
+ public:
+  PhaseMetrics(std::string phase, benchmark::State* state)
+      : phase_(std::move(phase)),
+        state_(state),
+        span_(phase_, "bench"),
+        before_(obs::MetricsRegistry::Global().Snapshot()) {}
+
+  ~PhaseMetrics() {
+    obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::Global().Snapshot().DeltaSince(before_);
+    auto add = [&](const char* metric, const char* label) {
+      auto it = delta.counters.find(metric);
+      if (it == delta.counters.end() || it->second == 0) return;
+      (*state_)
+          .counters[phase_ + "." + label] += static_cast<double>(it->second);
+    };
+    add(obs::metric_names::kStages, "stages");
+    add(obs::metric_names::kShuffleRecords, "shuffled_records");
+    add(obs::metric_names::kShuffleBytes, "shuffled_bytes");
+  }
+
+ private:
+  std::string phase_;
+  benchmark::State* state_;
+  obs::Span span_;
+  obs::MetricsSnapshot before_;
+};
 
 /// Benchmark-scale stand-ins for the paper's datasets. The paper runs on a
 /// 64-core cluster with up to 1.3B edges and a 30-minute timeout; these are

@@ -22,6 +22,7 @@ void RunAZoom(benchmark::State& state, const std::string& key,
               const VeGraph& slice, Representation rep, const AZoomSpec& spec) {
   TGraph graph = Prepared(key, slice, rep);
   for (auto _ : state) {
+    PhaseMetrics phase("azoom", &state);
     Result<TGraph> zoomed = graph.AZoom(spec);
     TG_CHECK(zoomed.ok());
     benchmark::DoNotOptimize(zoomed->Materialize());

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
             [key, slice, rep, spec](benchmark::State& state) {
               TGraph graph = Prepared(key, slice, rep);
               for (auto _ : state) {
+                PhaseMetrics phase("wzoom", &state);
                 Result<TGraph> zoomed = graph.WZoom(spec);
                 TG_CHECK(zoomed.ok());
                 benchmark::DoNotOptimize(zoomed->Materialize());

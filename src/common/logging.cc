@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <string>
+
+namespace tgraph {
+
+namespace {
+
+LogLevel ParseLogLevel(const char* value) {
+  if (value == nullptr) return LogLevel::kWarn;
+  std::string lowered;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lowered == "info" || lowered == "0") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning" || lowered == "1") {
+    return LogLevel::kWarn;
+  }
+  if (lowered == "error" || lowered == "2") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none" || lowered == "3") {
+    return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& MinLevelStorage() {
+  static std::atomic<int> level{
+      static_cast<int>(ParseLogLevel(std::getenv("TGRAPH_LOG_LEVEL")))};
+  return level;
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      MinLevelStorage().load(std::memory_order_relaxed));
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(const char* file, int line, const char* severity) {
+  // Strip the directory for readability; mirrors the FATAL format.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << severity << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();  // single write; messages do not interleave
+}
+
+}  // namespace internal_logging
+}  // namespace tgraph

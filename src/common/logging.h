@@ -6,7 +6,45 @@
 #include <sstream>
 
 namespace tgraph {
+
+/// Severity levels for TG_LOG. The minimum emitted level comes from the
+/// TGRAPH_LOG_LEVEL environment variable ("info", "warn", "error", "off";
+/// default "warn"), read once per process.
+enum class LogLevel : int {
+  kInfo = 0,
+  kWarn = 1,
+  kError = 2,
+  kOff = 3,
+};
+
+/// The process-wide minimum level (cached TGRAPH_LOG_LEVEL).
+LogLevel MinLogLevel();
+
+/// Overrides the minimum level at runtime (tests, CLI verbosity flags).
+void SetMinLogLevel(LogLevel level);
+
 namespace internal_logging {
+
+// Severity aliases matching the TG_LOG(INFO/WARN/ERROR) spellings.
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARN = LogLevel::kWarn;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+
+inline bool LevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(MinLogLevel());
+}
+
+/// \brief Collects a leveled message and writes it to stderr on
+/// destruction (one write, so concurrent messages do not interleave).
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, const char* severity);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
 
 /// \brief Collects a message and aborts the process on destruction.
 ///
@@ -30,6 +68,15 @@ class FatalLogMessage {
 
 }  // namespace internal_logging
 }  // namespace tgraph
+
+/// Leveled logging: TG_LOG(INFO) << "loaded " << n << " records";
+/// Severity is INFO, WARN, or ERROR. Messages below the TGRAPH_LOG_LEVEL
+/// threshold (default warn) cost one comparison and evaluate no operands.
+#define TG_LOG(severity)                                                   \
+  if (::tgraph::internal_logging::LevelEnabled(                            \
+          ::tgraph::internal_logging::k##severity))                        \
+  ::tgraph::internal_logging::LogMessage(__FILE__, __LINE__, #severity)    \
+      .stream()
 
 /// Aborts with a message if `condition` is false. Active in all build modes:
 /// these guard internal invariants whose violation would corrupt results.

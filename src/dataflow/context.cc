@@ -4,12 +4,16 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tgraph::dataflow {
 
 std::string Metrics::ToString() const {
-  return "stages=" + std::to_string(stages_executed.load()) +
-         " tasks=" + std::to_string(tasks_executed.load()) +
-         " shuffled_records=" + std::to_string(records_shuffled.load());
+  Snapshot snap = Snap();
+  return "stages=" + std::to_string(snap.stages_executed) +
+         " tasks=" + std::to_string(snap.tasks_executed) +
+         " shuffled_records=" + std::to_string(snap.records_shuffled);
 }
 
 ExecutionContext::ExecutionContext(ContextOptions options) {
@@ -30,6 +34,13 @@ void ExecutionContext::ParallelFor(size_t n,
   metrics_.stages_executed.fetch_add(1, std::memory_order_relaxed);
   metrics_.tasks_executed.fetch_add(static_cast<int64_t>(n),
                                     std::memory_order_relaxed);
+  static obs::Counter* stages =
+      obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kStages);
+  static obs::Counter* tasks =
+      obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kTasks);
+  stages->Increment();
+  tasks->Add(static_cast<int64_t>(n));
+  obs::Span span("dataflow.stage", "dataflow");
   if (n == 1 || pool_->InWorkerThread()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -39,7 +50,10 @@ void ExecutionContext::ParallelFor(size_t n,
   size_t remaining = n;
   for (size_t i = 0; i < n; ++i) {
     pool_->Submit([&, i] {
-      fn(i);
+      {
+        obs::Span task_span("dataflow.task", "dataflow");
+        fn(i);
+      }
       std::lock_guard<std::mutex> lock(mu);
       if (--remaining == 0) cv.notify_one();
     });

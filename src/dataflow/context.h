@@ -11,18 +11,36 @@
 
 namespace tgraph::dataflow {
 
-/// \brief Counters accumulated while executing a dataflow plan. Mirrors the
-/// stage/shuffle metrics a Spark UI would report; the benchmark harness
-/// prints them alongside wall-clock times.
+/// \brief Per-context counters accumulated while executing a dataflow
+/// plan. Mirrors the stage/shuffle metrics a Spark UI would report.
+///
+/// Legacy interface: the richer, process-wide accounting (byte counts,
+/// partition-size skew histograms, per-run snapshots) lives in
+/// obs::MetricsRegistry::Global(); these three counters are kept because
+/// they are per-context and cheap. All accesses use relaxed ordering —
+/// they are statistics, not synchronization.
 struct Metrics {
   std::atomic<int64_t> stages_executed{0};
   std::atomic<int64_t> tasks_executed{0};
   std::atomic<int64_t> records_shuffled{0};
 
+  /// A plain-integer copy, for before/after deltas around a run.
+  struct Snapshot {
+    int64_t stages_executed = 0;
+    int64_t tasks_executed = 0;
+    int64_t records_shuffled = 0;
+  };
+
+  Snapshot Snap() const {
+    return Snapshot{stages_executed.load(std::memory_order_relaxed),
+                    tasks_executed.load(std::memory_order_relaxed),
+                    records_shuffled.load(std::memory_order_relaxed)};
+  }
+
   void Reset() {
-    stages_executed = 0;
-    tasks_executed = 0;
-    records_shuffled = 0;
+    stages_executed.store(0, std::memory_order_relaxed);
+    tasks_executed.store(0, std::memory_order_relaxed);
+    records_shuffled.store(0, std::memory_order_relaxed);
   }
   std::string ToString() const;
 };

@@ -16,6 +16,8 @@
 #include "common/logging.h"
 #include "dataflow/context.h"
 #include "dataflow/hashing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tgraph::dataflow {
 
@@ -110,6 +112,36 @@ Partitions<T> Chunk(std::vector<T> data, int num_partitions) {
   return out;
 }
 
+/// Shared shuffle accounting: per-context legacy counter plus the global
+/// registry (record and approximate byte volume — record count times the
+/// record's static size, so payloads behind pointers are not included).
+inline void NoteShuffle(ExecutionContext* ctx, int64_t records,
+                        size_t record_size) {
+  ctx->metrics().records_shuffled.fetch_add(records,
+                                            std::memory_order_relaxed);
+  static obs::Counter* shuffles = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kShuffles);
+  static obs::Counter* shuffled_records =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kShuffleRecords);
+  static obs::Counter* shuffled_bytes =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kShuffleBytes);
+  shuffles->Increment();
+  shuffled_records->Add(records);
+  shuffled_bytes->Add(records * static_cast<int64_t>(record_size));
+}
+
+/// Records post-shuffle partition sizes into the skew histogram.
+template <typename T>
+void NotePartitionSizes(const Partitions<T>& partitions) {
+  static obs::Histogram* sizes = obs::MetricsRegistry::Global().GetHistogram(
+      obs::metric_names::kShufflePartitionSize);
+  for (const auto& partition : partitions) {
+    sizes->Record(static_cast<int64_t>(partition.size()));
+  }
+}
+
 /// Hash-partitions every record of `input` into `num_out` buckets using
 /// `key_of` (record -> hashable key). The shuffle primitive behind all wide
 /// operators. Runs the bucketing stage in parallel over input partitions and
@@ -118,6 +150,7 @@ template <typename T, typename KeyOf>
 Partitions<T> ShuffleBy(ExecutionContext* ctx, const Partitions<T>& input,
                         size_t num_out, const KeyOf& key_of) {
   TG_CHECK_GT(num_out, 0u);
+  TG_SPAN("dataflow.shuffle", "dataflow");
   std::vector<Partitions<T>> bucketed(input.size());
   ctx->ParallelFor(input.size(), [&](size_t p) {
     bucketed[p].resize(num_out);
@@ -128,7 +161,7 @@ Partitions<T> ShuffleBy(ExecutionContext* ctx, const Partitions<T>& input,
   });
   int64_t moved = 0;
   for (const auto& part : input) moved += static_cast<int64_t>(part.size());
-  ctx->metrics().records_shuffled.fetch_add(moved, std::memory_order_relaxed);
+  NoteShuffle(ctx, moved, sizeof(T));
 
   Partitions<T> out(num_out);
   ctx->ParallelFor(num_out, [&](size_t b) {
@@ -141,6 +174,7 @@ Partitions<T> ShuffleBy(ExecutionContext* ctx, const Partitions<T>& input,
       bucket.clear();
     }
   });
+  NotePartitionSizes(out);
   return out;
 }
 
@@ -311,8 +345,8 @@ class Dataset {
         [input, parts](ExecutionContext* ctx) {
           const Partitions<T>& in = input->Materialize(ctx);
           std::vector<T> all = Flatten(in);
-          ctx->metrics().records_shuffled.fetch_add(
-              static_cast<int64_t>(all.size()), std::memory_order_relaxed);
+          internal_dataset::NoteShuffle(
+              ctx, static_cast<int64_t>(all.size()), sizeof(T));
           return internal_dataset::Chunk(std::move(all), parts);
         });
     return Dataset<T>(ctx_, std::move(node));

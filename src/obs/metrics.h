@@ -1,0 +1,153 @@
+#ifndef TGRAPH_OBS_METRICS_H_
+#define TGRAPH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tgraph::obs {
+
+/// \brief A monotonically increasing counter (atomic, relaxed ordering —
+/// counters are statistics, not synchronization).
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief A last-value-wins instantaneous measurement.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Point-in-time copy of a Histogram (see below).
+struct HistogramSnapshot {
+  static constexpr int kNumBuckets = 40;
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  std::array<int64_t, kNumBuckets> buckets{};
+
+  /// Upper bound (exclusive) of values recorded into bucket `index`.
+  static int64_t BucketUpperBound(int index);
+
+  /// Upper bound of the bucket containing the p-th percentile observation
+  /// (p in [0, 1]); 0 when empty. Approximate by construction: resolution
+  /// is one power-of-two bucket.
+  int64_t ApproxPercentile(double p) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// e.g. "count=12 sum=480 min=1 max=128 mean=40.0 p50<=32 p99<=128".
+  std::string ToString() const;
+};
+
+/// \brief A histogram with power-of-two buckets: bucket 0 holds values
+/// <= 0, bucket i (i >= 1) holds values in [2^(i-1), 2^i). Suited to
+/// partition sizes and record counts, whose skew spans orders of
+/// magnitude. All operations are thread-safe and lock-free.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+  void Record(int64_t value);
+
+  /// Index of the bucket `value` falls into.
+  static int BucketIndex(int64_t value);
+
+  HistogramSnapshot Snapshot() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/// \brief Point-in-time copy of a whole registry, with per-run delta
+/// support: `after.DeltaSince(before)` attributes metric movement to the
+/// work executed in between, which is how benchmarks and the CLI report
+/// per-run (not per-process) numbers.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;  ///< Kept as-is by DeltaSince.
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+
+  /// One "name value" line per metric, sorted by name; histograms render
+  /// via HistogramSnapshot::ToString. Zero-valued counters are omitted.
+  std::string ToString() const;
+};
+
+/// \brief Process-global registry of named counters, gauges, and
+/// histograms — the replacement for the hard-coded dataflow::Metrics
+/// struct. Lookup takes a mutex; instrumentation sites cache the returned
+/// pointer (which is stable for the process lifetime) in a function-local
+/// static so the hot path is a single relaxed atomic add.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (names stay registered).
+  void ResetAll();
+
+  std::string ToString() const { return Snapshot().ToString(); }
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Canonical metric names, so producers and consumers agree.
+namespace metric_names {
+inline constexpr char kStages[] = "dataflow.stages";
+inline constexpr char kTasks[] = "dataflow.tasks";
+inline constexpr char kShuffles[] = "dataflow.shuffle.count";
+inline constexpr char kShuffleRecords[] = "dataflow.shuffle.records";
+inline constexpr char kShuffleBytes[] = "dataflow.shuffle.bytes";
+inline constexpr char kShufflePartitionSize[] =
+    "dataflow.shuffle.partition_size";
+inline constexpr char kCoalesceOps[] = "tgraph.coalesce.ops";
+inline constexpr char kCoalesceMergedItems[] = "tgraph.coalesce.merged_items";
+inline constexpr char kPregelSupersteps[] = "pregel.supersteps";
+inline constexpr char kPregelMessages[] = "pregel.messages";
+inline constexpr char kOptimizerRulesFired[] = "pipeline.optimizer.rules_fired";
+}  // namespace metric_names
+
+}  // namespace tgraph::obs
+
+#endif  // TGRAPH_OBS_METRICS_H_

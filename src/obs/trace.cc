@@ -1,0 +1,220 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+namespace tgraph::obs {
+
+std::atomic<bool> Tracer::enabled_flag_{false};
+
+namespace {
+
+std::chrono::steady_clock::time_point TracerEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+/// JSON string escaping for span names (control chars, quotes, backslash).
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int64_t Tracer::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TracerEpoch())
+      .count();
+}
+
+Tracer& Tracer::Global() {
+  // Establish the epoch before any span can observe a timestamp.
+  TracerEpoch();
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  if (t_buffer != nullptr) return t_buffer;
+  auto buffer = std::make_unique<ThreadBuffer>();
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer->tid = next_tid_++;
+  t_buffer = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  return t_buffer;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) buffer->events.clear();
+}
+
+size_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  return total;
+}
+
+std::vector<SpanEvent> Tracer::Events() const {
+  std::vector<SpanEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.start_us < b.start_us;
+                   });
+  return all;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<SpanEvent> events = Events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(&out, e.name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(&out, e.category);
+    out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(e.start_us) +
+           ",\"dur\":" + std::to_string(e.duration_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::string json = ToChromeTraceJson();
+  FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  bool ok = written == json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+std::string Tracer::Summary() const {
+  std::vector<SpanEvent> events = Events();
+  // Resolve each event's call path by walking its parent chain. Parents
+  // are always in the same thread's buffer (nesting is per-thread), and at
+  // quiescence every parent has been recorded.
+  std::map<std::pair<uint32_t, uint64_t>, const SpanEvent*> by_id;
+  for (const SpanEvent& e : events) by_id[{e.tid, e.id}] = &e;
+
+  struct Agg {
+    int64_t count = 0;
+    int64_t total_us = 0;
+  };
+  // Aggregate across threads by path so ParallelFor workers fold together.
+  std::map<std::vector<std::string>, Agg> by_path;
+  for (const SpanEvent& e : events) {
+    std::vector<std::string> path;
+    const SpanEvent* cur = &e;
+    path.push_back(cur->name);
+    while (cur->parent_id != 0) {
+      auto it = by_id.find({cur->tid, cur->parent_id});
+      if (it == by_id.end()) break;  // parent lost to a Clear(); treat as root
+      cur = it->second;
+      path.push_back(cur->name);
+    }
+    std::reverse(path.begin(), path.end());
+    Agg& agg = by_path[path];
+    agg.count += 1;
+    agg.total_us += e.duration_us;
+  }
+
+  // Order siblings by total time descending, then render depth-first.
+  std::vector<std::pair<std::vector<std::string>, Agg>> rows(by_path.begin(),
+                                                             by_path.end());
+  std::stable_sort(rows.begin(), rows.end(), [&](const auto& a, const auto& b) {
+    // Lexicographic over (per-prefix rank): compare element-wise; ties on
+    // shared prefixes keep parents before children.
+    size_t n = std::min(a.first.size(), b.first.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (a.first[i] != b.first[i]) {
+        std::vector<std::string> pa(a.first.begin(), a.first.begin() + i + 1);
+        std::vector<std::string> pb(b.first.begin(), b.first.begin() + i + 1);
+        int64_t ta = by_path.count(pa) ? by_path.at(pa).total_us : 0;
+        int64_t tb = by_path.count(pb) ? by_path.at(pb).total_us : 0;
+        if (ta != tb) return ta > tb;
+        return a.first[i] < b.first[i];
+      }
+    }
+    return a.first.size() < b.first.size();
+  });
+
+  std::string out;
+  char line[256];
+  for (const auto& [path, agg] : rows) {
+    std::string indent(2 * (path.size() - 1), ' ');
+    std::snprintf(line, sizeof(line), "%s%-*s count=%-6lld total=%.3fms mean=%.3fms\n",
+                  indent.c_str(),
+                  static_cast<int>(std::max<size_t>(40 - indent.size(), 8)),
+                  path.back().c_str(), static_cast<long long>(agg.count),
+                  static_cast<double>(agg.total_us) / 1e3,
+                  static_cast<double>(agg.total_us) / 1e3 /
+                      static_cast<double>(agg.count));
+    out += line;
+  }
+  return out;
+}
+
+void Span::Begin(std::string name, const char* category) {
+  active_ = true;
+  name_ = std::move(name);
+  category_ = category;
+  buffer_ = Tracer::Global().BufferForThisThread();
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = buffer_->open_parent;
+  buffer_->open_parent = id_;
+  start_us_ = Tracer::NowMicros();
+}
+
+void Span::End() {
+  int64_t end_us = Tracer::NowMicros();
+  buffer_->open_parent = parent_id_;
+  buffer_->events.push_back(SpanEvent{std::move(name_), category_, start_us_,
+                                      end_us - start_us_, buffer_->tid, id_,
+                                      parent_id_});
+}
+
+}  // namespace tgraph::obs

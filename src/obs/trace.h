@@ -1,0 +1,141 @@
+#ifndef TGRAPH_OBS_TRACE_H_
+#define TGRAPH_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tgraph::obs {
+
+/// \brief One completed span: a named, timed section of one thread's
+/// execution, with its position in the per-thread nesting tree.
+///
+/// Timestamps are steady-clock microseconds relative to the tracer's epoch
+/// (process start), matching the Chrome trace_event "ts"/"dur" convention.
+struct SpanEvent {
+  std::string name;
+  const char* category;  ///< Static string ("dataflow", "zoom", ...).
+  int64_t start_us;
+  int64_t duration_us;
+  uint32_t tid;       ///< Dense per-thread id, assigned at first span.
+  uint64_t id;        ///< Process-unique span id (never 0).
+  uint64_t parent_id; ///< 0 when the span is a thread-level root.
+};
+
+/// \brief Process-global span collector with Chrome trace_event export.
+///
+/// Spans are recorded into per-thread buffers with no locking on the hot
+/// path: when tracing is disabled (the default) a Span costs one relaxed
+/// atomic load and a branch; when enabled, one steady_clock read at entry
+/// and a push_back at exit. Buffers are owned by the tracer and survive
+/// thread exit, so pool workers' spans are never lost.
+///
+/// Export (Events/ToChromeTraceJson/Summary) and Clear must run at
+/// quiescence — i.e. when no thread is inside an active Span, such as
+/// between pipeline runs or after ParallelFor has joined. This is the
+/// only threading requirement; recording itself is safe from any number
+/// of threads concurrently.
+class Tracer {
+ public:
+  /// The singleton used by all instrumentation. Never destroyed.
+  static Tracer& Global();
+
+  void Enable() { enabled_flag_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_flag_.store(false, std::memory_order_relaxed); }
+
+  /// The guard every instrumentation site checks before doing any work.
+  static bool enabled() {
+    return enabled_flag_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all collected events; thread buffers stay registered.
+  void Clear();
+
+  /// Number of events collected so far.
+  size_t EventCount() const;
+
+  /// All collected events, ordered by (tid, start_us).
+  std::vector<SpanEvent> Events() const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [{"ph":"X", ...}, ...]}.
+  /// Loadable in chrome://tracing or https://ui.perfetto.dev.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Plain-text hierarchical summary: spans aggregated by call path
+  /// (parent chain of names), indented by depth, children ordered by
+  /// total wall time. One line per path: count, total, mean.
+  std::string Summary() const;
+
+  /// Microseconds since the tracer epoch (steady clock).
+  static int64_t NowMicros();
+
+ private:
+  friend class Span;
+  struct ThreadBuffer {
+    std::vector<SpanEvent> events;
+    uint32_t tid = 0;
+    uint64_t open_parent = 0;  ///< id of the innermost open span.
+  };
+
+  Tracer() = default;
+
+  /// This thread's buffer, registering it on first use.
+  ThreadBuffer* BufferForThisThread();
+
+  static std::atomic<bool> enabled_flag_;
+
+  mutable std::mutex mu_;  ///< Guards `buffers_` registration/iteration.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 1;
+};
+
+/// \brief RAII scoped span recording into the global tracer.
+///
+/// Pass a string literal (or otherwise long-lived char array) for the
+/// cheap path; the std::string overload exists for dynamic names and only
+/// pays its construction when the caller already built the string.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "tgraph") {
+    if (!Tracer::enabled()) return;
+    Begin(name, category);
+  }
+  Span(std::string name, const char* category = "tgraph") {
+    if (!Tracer::enabled()) return;
+    Begin(std::move(name), category);
+  }
+  ~Span() {
+    if (active_) End();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Begin(std::string name, const char* category);
+  void End();
+
+  bool active_ = false;
+  std::string name_;
+  const char* category_ = nullptr;
+  int64_t start_us_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  Tracer::ThreadBuffer* buffer_ = nullptr;
+};
+
+#define TG_SPAN_CONCAT_INNER(a, b) a##b
+#define TG_SPAN_CONCAT(a, b) TG_SPAN_CONCAT_INNER(a, b)
+/// Declares an anonymous scoped span: TG_SPAN("name", "category").
+#define TG_SPAN(...) \
+  ::tgraph::obs::Span TG_SPAN_CONCAT(_tg_span_, __LINE__)(__VA_ARGS__)
+
+}  // namespace tgraph::obs
+
+#endif  // TGRAPH_OBS_TRACE_H_

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "dataflow/dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sg/types.h"
 
 namespace tgraph::sg {
@@ -51,6 +53,14 @@ dataflow::Dataset<std::pair<VertexId, VState>> RunPregel(
   using KV = std::pair<VertexId, VState>;
   using Msg = std::pair<VertexId, M>;
 
+  TG_SPAN("pregel.run", "pregel");
+  static obs::Counter* superstep_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kPregelSupersteps);
+  static obs::Counter* message_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kPregelMessages);
+
   // Superstep 0: every vertex processes the initial message.
   Dataset<KV> state =
       vertices
@@ -64,6 +74,8 @@ dataflow::Dataset<std::pair<VertexId, VState>> RunPregel(
           .Cache();
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    obs::Span superstep_span("pregel.superstep", "pregel");
+    superstep_counter->Increment();
     // Build triplets against the current state and generate messages.
     auto with_src = edges_by_src.template Join<VState>(state).Map(
         [](const std::pair<VertexId, std::pair<Edge, VState>>& kv) {
@@ -85,7 +97,9 @@ dataflow::Dataset<std::pair<VertexId, VState>> RunPregel(
                                           std::vector<Msg>* out) { send(t, out); })
             .ReduceByKey([merge](const M& a, const M& b) { return merge(a, b); })
             .Cache();
-    if (messages.Count() == 0) break;
+    int64_t num_messages = messages.Count();
+    message_counter->Add(num_messages);
+    if (num_messages == 0) break;
 
     // Vertices with messages advance; others keep their state.
     auto keyed_state = state;  // already (vid, state)

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/hash.h"
+#include "obs/trace.h"
 
 namespace tgraph {
 
@@ -94,6 +95,7 @@ std::pair<TimePoint, TimePoint> IntervalKey(const Interval& i) {
 // ---------------------------------------------------------------------------
 
 VeGraph AZoomVe(const VeGraph& graph, const AZoomSpec& spec) {
+  TG_SPAN("azoom.ve", "zoom");
   const GroupFn& group_of = spec.group_of;
   const SkolemFn& skolem = spec.skolem;
   auto init = spec.aggregator.init;
@@ -260,6 +262,7 @@ std::vector<OgGroupPeriod> GroupPeriodsOf(const OgVertex& v,
 }  // namespace
 
 OgGraph AZoomOg(const OgGraph& graph, const AZoomSpec& spec) {
+  TG_SPAN("azoom.og", "zoom");
   const GroupFn& group_of = spec.group_of;
   const SkolemFn& skolem = spec.skolem;
   auto init = spec.aggregator.init;
@@ -359,6 +362,7 @@ OgGraph AZoomOg(const OgGraph& graph, const AZoomSpec& spec) {
 // ---------------------------------------------------------------------------
 
 RgGraph AZoomRg(const RgGraph& graph, const AZoomSpec& spec) {
+  TG_SPAN("azoom.rg", "zoom");
   const GroupFn& group_of = spec.group_of;
   const SkolemFn& skolem = spec.skolem;
   auto init = spec.aggregator.init;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tgraph {
 
 History CoalesceHistory(History history) {
@@ -13,13 +16,22 @@ History CoalesceHistory(History history) {
               return a.interval < b.interval;
             });
   History result;
+  int64_t merged = 0;
   for (HistoryItem& item : history) {
     if (!result.empty() && result.back().interval.Mergeable(item.interval) &&
         result.back().properties == item.properties) {
       result.back().interval = result.back().interval.Merge(item.interval);
+      ++merged;
     } else {
       result.push_back(std::move(item));
     }
+  }
+  // Merge accounting only under tracing: this runs once per entity, so an
+  // unconditional shared atomic would contend on the default hot path.
+  if (merged > 0 && obs::Tracer::enabled()) {
+    static obs::Counter* merges = obs::MetricsRegistry::Global().GetCounter(
+        obs::metric_names::kCoalesceMergedItems);
+    merges->Add(merged);
   }
   return result;
 }

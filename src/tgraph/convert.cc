@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tgraph/coalesce.h"
 
 namespace tgraph {
@@ -9,6 +10,7 @@ namespace tgraph {
 using dataflow::Dataset;
 
 OgGraph VeToOg(const VeGraph& graph) {
+  TG_SPAN("convert.ve_to_og", "convert");
   // Group vertex states into per-entity histories.
   auto og_vertices =
       graph.vertices()
@@ -90,6 +92,7 @@ OgGraph VeToOg(const VeGraph& graph) {
 }
 
 VeGraph OgToVe(const OgGraph& graph) {
+  TG_SPAN("convert.og_to_ve", "convert");
   auto ve_vertices = graph.vertices().FlatMap<VeVertex>(
       [](const OgVertex& v, std::vector<VeVertex>* out) {
         for (const HistoryItem& item : v.history) {
@@ -107,6 +110,7 @@ VeGraph OgToVe(const OgGraph& graph) {
 }
 
 RgGraph VeToRg(const VeGraph& graph) {
+  TG_SPAN("convert.ve_to_rg", "convert");
   std::vector<TimePoint> points = graph.ChangePoints();
   std::vector<Interval> intervals;
   for (size_t i = 0; i + 1 < points.size(); ++i) {
@@ -122,6 +126,7 @@ RgGraph VeToRg(const VeGraph& graph) {
 }
 
 VeGraph RgToVe(const RgGraph& graph) {
+  TG_SPAN("convert.rg_to_ve", "convert");
   Dataset<VeVertex> vertices;
   Dataset<VeEdge> edges;
   bool first = true;
@@ -181,6 +186,7 @@ std::string TypeOfHistory(const History& history) {
 }  // namespace
 
 OgcGraph OgToOgc(const OgGraph& graph) {
+  TG_SPAN("convert.og_to_ogc", "convert");
   std::vector<TimePoint> points = graph.ChangePoints();
   std::vector<Interval> index;
   for (size_t i = 0; i + 1 < points.size(); ++i) {

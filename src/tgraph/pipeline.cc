@@ -2,12 +2,29 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tgraph {
 
 namespace {
 
 bool IsExistsLike(const Quantifier& quantifier) {
   return quantifier.threshold() == 0.0 && quantifier.strict();
+}
+
+// Records one optimizer rewrite: the aggregate counter, a per-rule
+// counter, and an INFO log naming the rule — so "what did the optimizer
+// buy" is answerable from a trace or a log alone.
+void NoteRuleFired(const char* rule) {
+  static obs::Counter* total = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kOptimizerRulesFired);
+  total->Increment();
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("pipeline.optimizer.rule.") + rule)
+      ->Increment();
+  TG_LOG(INFO) << "pipeline optimizer fired rule: " << rule;
 }
 
 }  // namespace
@@ -22,6 +39,7 @@ Pipeline Pipeline::Optimized(const Hints& hints) const {
   for (size_t i = 0; i + 1 < steps.size();) {
     if (std::holds_alternative<CoalesceStep>(steps[i])) {
       steps.erase(steps.begin() + static_cast<int64_t>(i));
+      NoteRuleFired("lazy_coalesce");
     } else {
       ++i;
     }
@@ -36,6 +54,7 @@ Pipeline Pipeline::Optimized(const Hints& hints) const {
       if (std::holds_alternative<AZoomStep>(steps[i]) &&
           std::holds_alternative<SliceStep>(steps[i + 1])) {
         std::swap(steps[i], steps[i + 1]);
+        NoteRuleFired("slice_pushdown");
         moved = true;
       }
     }
@@ -60,6 +79,7 @@ Pipeline Pipeline::Optimized(const Hints& hints) const {
           continue;
         }
         std::swap(steps[i], steps[i + 1]);
+        NoteRuleFired("azoom_before_wzoom");
         moved = true;
       }
     }
@@ -78,9 +98,10 @@ Pipeline Pipeline::Optimized(const Hints& hints) const {
       final_convert = *convert;
       steps.pop_back();
     }
-    std::erase_if(steps, [](const Step& step) {
+    size_t dropped = std::erase_if(steps, [](const Step& step) {
       return std::holds_alternative<ConvertStep>(step);
     });
+    for (size_t i = 0; i < dropped; ++i) NoteRuleFired("drop_conversion");
     if (final_convert.has_value()) steps.push_back(*final_convert);
   }
 
@@ -90,17 +111,23 @@ Pipeline Pipeline::Optimized(const Hints& hints) const {
 }
 
 Result<TGraph> Pipeline::Run(const TGraph& input) const {
+  TG_SPAN("pipeline.run", "pipeline");
   TGraph current = input;
   for (const Step& step : steps_) {
     if (const auto* azoom = std::get_if<AZoomStep>(&step)) {
+      obs::Span span("pipeline.step.azoom", "pipeline");
       TG_ASSIGN_OR_RETURN(current, current.AZoom(azoom->spec));
     } else if (const auto* wzoom = std::get_if<WZoomStep>(&step)) {
+      obs::Span span("pipeline.step.wzoom", "pipeline");
       TG_ASSIGN_OR_RETURN(current, current.WZoom(wzoom->spec));
     } else if (const auto* slice = std::get_if<SliceStep>(&step)) {
+      obs::Span span("pipeline.step.slice", "pipeline");
       current = current.Slice(slice->range);
     } else if (std::holds_alternative<CoalesceStep>(step)) {
+      obs::Span span("pipeline.step.coalesce", "pipeline");
       current = current.Coalesce();
     } else if (const auto* convert = std::get_if<ConvertStep>(&step)) {
+      obs::Span span("pipeline.step.convert", "pipeline");
       TG_ASSIGN_OR_RETURN(current, current.As(convert->target));
     }
   }

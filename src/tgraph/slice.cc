@@ -1,5 +1,6 @@
 #include "tgraph/slice.h"
 
+#include "obs/trace.h"
 #include "tgraph/coalesce.h"
 
 namespace tgraph {
@@ -7,6 +8,7 @@ namespace tgraph {
 using dataflow::Dataset;
 
 VeGraph SliceVe(const VeGraph& graph, Interval range) {
+  TG_SPAN("slice.ve", "zoom");
   auto vertices = graph.vertices().FlatMap<VeVertex>(
       [range](const VeVertex& v, std::vector<VeVertex>* out) {
         Interval clipped = v.interval.Intersect(range);
@@ -25,6 +27,7 @@ VeGraph SliceVe(const VeGraph& graph, Interval range) {
 }
 
 OgGraph SliceOg(const OgGraph& graph, Interval range) {
+  TG_SPAN("slice.og", "zoom");
   auto vertices = graph.vertices().FlatMap<OgVertex>(
       [range](const OgVertex& v, std::vector<OgVertex>* out) {
         History clipped = ClipHistory(v.history, range);
@@ -45,6 +48,7 @@ OgGraph SliceOg(const OgGraph& graph, Interval range) {
 }
 
 OgcGraph SliceOgc(const OgcGraph& graph, Interval range) {
+  TG_SPAN("slice.ogc", "zoom");
   // Surviving index entries (clipped) and their original positions.
   std::vector<size_t> kept;
   std::vector<Interval> index;
@@ -84,6 +88,7 @@ OgcGraph SliceOgc(const OgcGraph& graph, Interval range) {
 }
 
 RgGraph SliceRg(const RgGraph& graph, Interval range) {
+  TG_SPAN("slice.rg", "zoom");
   std::vector<Interval> intervals;
   std::vector<sg::PropertyGraph> snapshots;
   for (size_t i = 0; i < graph.NumSnapshots(); ++i) {

@@ -1,5 +1,8 @@
 #include "tgraph/tgraph.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tgraph {
 
 const char* RepresentationName(Representation representation) {
@@ -38,6 +41,7 @@ dataflow::ExecutionContext* TGraph::context() const {
 }
 
 Result<TGraph> TGraph::As(Representation target) const {
+  TG_SPAN("tgraph.convert", "tgraph");
   if (target == representation()) return *this;
   switch (representation()) {
     case Representation::kVe: {
@@ -102,6 +106,7 @@ Result<TGraph> TGraph::As(Representation target) const {
 }
 
 Result<TGraph> TGraph::AZoom(const AZoomSpec& spec) const {
+  TG_SPAN("tgraph.azoom", "tgraph");
   if (!spec.group_of || !spec.aggregator.init || !spec.aggregator.merge) {
     return Status::InvalidArgument(
         "AZoomSpec requires group_of and an aggregator with init and merge");
@@ -122,6 +127,7 @@ Result<TGraph> TGraph::AZoom(const AZoomSpec& spec) const {
 }
 
 Result<TGraph> TGraph::WZoom(const WZoomSpec& spec) const {
+  TG_SPAN("tgraph.wzoom", "tgraph");
   if (spec.window.size <= 0) {
     return Status::InvalidArgument("window size must be positive");
   }
@@ -145,6 +151,10 @@ Result<TGraph> TGraph::WZoom(const WZoomSpec& spec) const {
 
 TGraph TGraph::Coalesce() const {
   if (coalesced_) return *this;
+  TG_SPAN("tgraph.coalesce", "tgraph");
+  static obs::Counter* coalesce_ops =
+      obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kCoalesceOps);
+  coalesce_ops->Increment();
   switch (representation()) {
     case Representation::kVe:
       return TGraph(ve().Coalesce(), true);
@@ -159,6 +169,7 @@ TGraph TGraph::Coalesce() const {
 }
 
 TGraph TGraph::Slice(Interval range) const {
+  TG_SPAN("tgraph.slice", "tgraph");
   switch (representation()) {
     case Representation::kVe:
       return TGraph(SliceVe(ve(), range), coalesced_);

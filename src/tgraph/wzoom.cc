@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tgraph/coalesce.h"
 
 namespace tgraph {
@@ -123,6 +124,7 @@ History ZoomHistory(const History& history,
 // ---------------------------------------------------------------------------
 
 VeGraph WZoomVe(const VeGraph& graph, const WZoomSpec& spec) {
+  TG_SPAN("wzoom.ve", "zoom");
   std::vector<TemporalWindow> generated = GenerateWindows(
       graph.lifetime(), spec.window,
       spec.window.kind == WindowSpec::Kind::kChanges ? graph.ChangePoints()
@@ -258,6 +260,7 @@ VeGraph WZoomVe(const VeGraph& graph, const WZoomSpec& spec) {
 // ---------------------------------------------------------------------------
 
 OgGraph WZoomOg(const OgGraph& graph, const WZoomSpec& spec) {
+  TG_SPAN("wzoom.og", "zoom");
   std::vector<TemporalWindow> generated = GenerateWindows(
       graph.lifetime(), spec.window,
       spec.window.kind == WindowSpec::Kind::kChanges ? graph.ChangePoints()
@@ -340,6 +343,7 @@ OgGraph WZoomOg(const OgGraph& graph, const WZoomSpec& spec) {
 // ---------------------------------------------------------------------------
 
 RgGraph WZoomRg(const RgGraph& graph, const WZoomSpec& spec) {
+  TG_SPAN("wzoom.rg", "zoom");
   // RG's change points are exactly its snapshot boundaries.
   std::vector<TimePoint> change_points;
   for (const Interval& i : graph.intervals()) {
@@ -514,6 +518,7 @@ Bitset ZoomPresence(const Bitset& presence, const std::vector<Interval>& index,
 }  // namespace
 
 OgcGraph WZoomOgc(const OgcGraph& graph, const WZoomSpec& spec) {
+  TG_SPAN("wzoom.ogc", "zoom");
   // OGC's change points are the boundaries of its global interval index.
   std::vector<TimePoint> change_points;
   for (const Interval& i : graph.intervals()) {

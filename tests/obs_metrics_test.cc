@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "dataflow/context.h"
+#include "dataflow/dataset.h"
+
+namespace tgraph::obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(GaugeTest, LastValueWins) {
+  Gauge gauge;
+  gauge.Set(7);
+  gauge.Set(3);
+  EXPECT_EQ(gauge.value(), 3);
+}
+
+TEST(HistogramTest, BucketIndexPowersOfTwo) {
+  // Bucket 0: v <= 0; bucket i: [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  // Huge values saturate into the last bucket instead of overflowing.
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsCoverBucketedValues) {
+  // BucketUpperBound is inclusive for bucket 0 (which holds v <= 0) and
+  // exclusive above it (bucket i holds [2^(i-1), 2^i)).
+  for (int64_t v : {0, 1, 2, 3, 5, 8, 100, 4096, 1 << 20}) {
+    int bucket = Histogram::BucketIndex(v);
+    if (bucket == 0) {
+      EXPECT_LE(v, HistogramSnapshot::BucketUpperBound(bucket)) << v;
+    } else {
+      EXPECT_LT(v, HistogramSnapshot::BucketUpperBound(bucket)) << v;
+    }
+    if (bucket > 1) {
+      EXPECT_GE(v, HistogramSnapshot::BucketUpperBound(bucket - 1)) << v;
+    }
+  }
+}
+
+TEST(HistogramTest, SnapshotStats) {
+  Histogram histogram;
+  for (int64_t v : {1, 2, 4, 8, 16}) histogram.Record(v);
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_EQ(snap.sum, 31);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 16);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 6.2);
+  // Percentiles report an inclusive upper bound: the bound of the bucket
+  // holding the ranked observation, tightened by the observed max. The
+  // median observation (4) lives in bucket [4, 8) -> bound 8.
+  EXPECT_EQ(snap.ApproxPercentile(0.5), 8);
+  EXPECT_EQ(snap.ApproxPercentile(1.0), 16);
+  // p0 is the first observation's bucket bound: 1 lives in [1, 2) -> 2.
+  EXPECT_EQ(snap.ApproxPercentile(0.0), 2);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram histogram;
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.ApproxPercentile(0.5), 0);
+}
+
+TEST(HistogramTest, ConcurrentRecordIsConsistent) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Record(i % 128);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t bucket : snap.buckets) bucket_total += bucket;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 127);
+}
+
+TEST(MetricsRegistryTest, NamesResolveToStableInstances) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* a = registry.GetCounter("test.registry.stable");
+  Counter* b = registry.GetCounter("test.registry.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("test.registry.other"), a);
+  EXPECT_EQ(registry.GetHistogram("test.registry.h"),
+            registry.GetHistogram("test.registry.h"));
+}
+
+TEST(MetricsRegistryTest, SnapshotDeltaIsolatesARun) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test.delta.counter");
+  Histogram* histogram = registry.GetHistogram("test.delta.histogram");
+  counter->Add(10);
+  histogram->Record(4);
+
+  MetricsSnapshot before = registry.Snapshot();
+  counter->Add(5);
+  histogram->Record(8);
+  histogram->Record(8);
+  MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.counters.at("test.delta.counter"), 5);
+  EXPECT_EQ(delta.histograms.at("test.delta.histogram").count, 2);
+  EXPECT_EQ(delta.histograms.at("test.delta.histogram").sum, 16);
+}
+
+TEST(MetricsRegistryTest, ToStringOmitsZeroCounters) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.tostring.zero");
+  Counter* nonzero = registry.GetCounter("test.tostring.nonzero");
+  nonzero->Add(3);
+  std::string rendered = registry.ToString();
+  EXPECT_EQ(rendered.find("test.tostring.zero"), std::string::npos);
+  EXPECT_NE(rendered.find("test.tostring.nonzero 3"), std::string::npos);
+}
+
+TEST(DataflowMetricsTest, ShuffleRecordsBytesAndSkewHistogram) {
+  dataflow::ExecutionContext ctx({.num_workers = 4});
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 1000; ++i) data.emplace_back(i % 10, i);
+  auto counts = dataflow::Dataset<std::pair<int, int>>::FromVector(&ctx, data)
+                    .CountByKey()
+                    .Collect();
+  EXPECT_EQ(counts.size(), 10u);
+
+  MetricsSnapshot delta = MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  // CountByKey = map + ReduceByKey -> exactly one shuffle of the combined
+  // per-partition pairs.
+  EXPECT_GE(delta.counters.at(metric_names::kShuffles), 1);
+  int64_t records = delta.counters.at(metric_names::kShuffleRecords);
+  EXPECT_GT(records, 0);
+  EXPECT_EQ(delta.counters.at(metric_names::kShuffleBytes),
+            records * static_cast<int64_t>(sizeof(std::pair<int, int64_t>)));
+  const HistogramSnapshot& skew =
+      delta.histograms.at(metric_names::kShufflePartitionSize);
+  EXPECT_GT(skew.count, 0);
+  EXPECT_EQ(skew.sum, records);  // every shuffled record lands in a partition
+}
+
+TEST(DataflowMetricsTest, LegacyMetricsSnapshotAndReset) {
+  dataflow::ExecutionContext ctx({.num_workers = 2});
+  ctx.ParallelFor(5, [](size_t) {});
+  dataflow::Metrics::Snapshot snap = ctx.metrics().Snap();
+  EXPECT_EQ(snap.stages_executed, 1);
+  EXPECT_EQ(snap.tasks_executed, 5);
+  ctx.metrics().Reset();
+  snap = ctx.metrics().Snap();
+  EXPECT_EQ(snap.stages_executed, 0);
+  EXPECT_EQ(snap.tasks_executed, 0);
+  EXPECT_EQ(snap.records_shuffled, 0);
+}
+
+}  // namespace
+}  // namespace tgraph::obs

@@ -1,0 +1,345 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataflow/context.h"
+#include "tests/test_util.h"
+#include "tgraph/pipeline.h"
+#include "tgraph/tgraph.h"
+
+namespace tgraph::obs {
+namespace {
+
+using ::tgraph::testing::Figure1;
+using ::tgraph::testing::SchoolZoom;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough to validate Chrome trace_event output by
+// actually parsing it back rather than grepping for substrings.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipWhitespace();
+    return ok && pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't' || c == 'f') return ParseLiteral(out);
+    if (c == 'n') return ParseLiteral(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      SkipWhitespace();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // decoded code point not needed for these tests
+            *out += '?';
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    auto match = [&](const char* literal) {
+      size_t n = std::char_traits<char>::length(literal);
+      if (text_.compare(pos_, n, literal) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (match("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Enable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  Tracer::Global().Disable();
+  {
+    Span span("ignored", "test");
+    TG_SPAN("also_ignored", "test");
+  }
+  EXPECT_EQ(Tracer::Global().EventCount(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansTrackParents) {
+  {
+    Span outer("outer", "test");
+    {
+      Span inner("inner", "test");
+      { Span leaf("leaf", "test"); }
+    }
+    { Span sibling("sibling", "test"); }
+  }
+  std::vector<SpanEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 4u);
+  std::map<std::string, const SpanEvent*> by_name;
+  for (const SpanEvent& e : events) by_name[e.name] = &e;
+  ASSERT_TRUE(by_name.count("outer") && by_name.count("inner") &&
+              by_name.count("leaf") && by_name.count("sibling"));
+  EXPECT_EQ(by_name["outer"]->parent_id, 0u);
+  EXPECT_EQ(by_name["inner"]->parent_id, by_name["outer"]->id);
+  EXPECT_EQ(by_name["leaf"]->parent_id, by_name["inner"]->id);
+  // The sibling opens after inner closed: its parent is outer, not inner.
+  EXPECT_EQ(by_name["sibling"]->parent_id, by_name["outer"]->id);
+  // Containment: children start no earlier and end no later than parents.
+  EXPECT_GE(by_name["inner"]->start_us, by_name["outer"]->start_us);
+  EXPECT_LE(by_name["inner"]->start_us + by_name["inner"]->duration_us,
+            by_name["outer"]->start_us + by_name["outer"]->duration_us);
+}
+
+TEST_F(TraceTest, ParallelForSpansAreNotLost) {
+  dataflow::ExecutionContext ctx({.num_workers = 4});
+  constexpr size_t kTasks = 200;
+  ctx.ParallelFor(kTasks, [](size_t) { TG_SPAN("test.work", "test"); });
+
+  std::vector<SpanEvent> events = Tracer::Global().Events();
+  size_t work_spans = 0;
+  std::set<uint32_t> tids;
+  std::map<std::pair<uint32_t, uint64_t>, const SpanEvent*> by_id;
+  for (const SpanEvent& e : events) by_id[{e.tid, e.id}] = &e;
+  for (const SpanEvent& e : events) {
+    if (e.name != "test.work") continue;
+    ++work_spans;
+    tids.insert(e.tid);
+    // Each user-code span nests under the per-task instrumentation span,
+    // which itself nests under the stage span.
+    auto task = by_id.find({e.tid, e.parent_id});
+    ASSERT_NE(task, by_id.end());
+    EXPECT_EQ(task->second->name, "dataflow.task");
+  }
+  EXPECT_EQ(work_spans, kTasks);  // no events dropped under concurrency
+  EXPECT_GE(tids.size(), 1u);
+  // The stage itself was recorded once, on the calling thread.
+  size_t stage_spans = 0;
+  for (const SpanEvent& e : events) {
+    if (e.name == "dataflow.stage") ++stage_spans;
+  }
+  EXPECT_EQ(stage_spans, 1u);
+}
+
+TEST_F(TraceTest, PipelineRunEmitsWellFormedChromeTrace) {
+  Pipeline pipeline;
+  pipeline.AZoom(SchoolZoom()).Coalesce().Slice(Interval(1, 8));
+  Result<TGraph> result = pipeline.Run(TGraph::FromVe(Figure1(), true));
+  ASSERT_TRUE(result.ok());
+  result->Materialize();
+
+  std::string json = Tracer::Global().ToChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json.substr(0, 500);
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  ASSERT_TRUE(root.object.count("traceEvents"));
+  const JsonValue& trace_events = root.object.at("traceEvents");
+  ASSERT_EQ(trace_events.type, JsonValue::Type::kArray);
+  ASSERT_FALSE(trace_events.array.empty());
+
+  std::set<std::string> names;
+  for (const JsonValue& event : trace_events.array) {
+    ASSERT_EQ(event.type, JsonValue::Type::kObject);
+    for (const char* key : {"name", "cat", "ph", "ts", "dur", "pid", "tid"}) {
+      ASSERT_TRUE(event.object.count(key)) << "missing key " << key;
+    }
+    EXPECT_EQ(event.object.at("name").type, JsonValue::Type::kString);
+    EXPECT_EQ(event.object.at("ph").string, "X");  // complete events
+    EXPECT_EQ(event.object.at("ts").type, JsonValue::Type::kNumber);
+    EXPECT_EQ(event.object.at("dur").type, JsonValue::Type::kNumber);
+    EXPECT_GE(event.object.at("dur").number, 0);
+    names.insert(event.object.at("name").string);
+  }
+  // One span per pipeline step, plus the surrounding run.
+  EXPECT_TRUE(names.count("pipeline.run"));
+  EXPECT_TRUE(names.count("pipeline.step.azoom"));
+  EXPECT_TRUE(names.count("pipeline.step.coalesce"));
+  EXPECT_TRUE(names.count("pipeline.step.slice"));
+  // The azoom step shuffles through the dataflow engine.
+  EXPECT_TRUE(names.count("dataflow.shuffle"));
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTripsThroughAFile) {
+  { Span span("file.span", "test"); }
+  std::string path = ::testing::TempDir() + "/tg_obs_trace_test.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeTrace(path));
+  FILE* file = fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), file)) > 0) contents.append(buf, n);
+  fclose(file);
+  remove(path.c_str());
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(contents).Parse(&root));
+  ASSERT_EQ(root.object.at("traceEvents").array.size(), 1u);
+  EXPECT_EQ(root.object.at("traceEvents").array[0].object.at("name").string,
+            "file.span");
+}
+
+TEST_F(TraceTest, JsonEscapesHostileSpanNames) {
+  { Span span("quote\"back\\slash\nnewline", "test"); }
+  std::string json = Tracer::Global().ToChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root));
+  EXPECT_EQ(root.object.at("traceEvents").array[0].object.at("name").string,
+            "quote\"back\\slash\nnewline");
+}
+
+TEST_F(TraceTest, SummaryAggregatesByCallPath) {
+  {
+    Span outer("summary.outer", "test");
+    for (int i = 0; i < 3; ++i) { Span inner("summary.inner", "test"); }
+  }
+  std::string summary = Tracer::Global().Summary();
+  EXPECT_NE(summary.find("summary.outer"), std::string::npos);
+  EXPECT_NE(summary.find("summary.inner"), std::string::npos);
+  EXPECT_NE(summary.find("count=3"), std::string::npos);  // inner, aggregated
+  // The child renders indented beneath its parent.
+  EXPECT_LT(summary.find("summary.outer"), summary.find("summary.inner"));
+  EXPECT_NE(summary.find("\n  summary.inner"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tgraph::obs

@@ -15,6 +15,21 @@ trap 'rm -rf "$DIR"' EXIT
 "$TGZ" wzoom --in "$DIR/cohorts" --out "$DIR/quarters" \
     --window 3 --vq exists --eq exists --rep ogc
 "$TGZ" snapshot --in "$DIR/quarters" --at 12 --limit 2 | grep -q "snapshot at 12"
+# Observability: --trace-out writes a Chrome trace, --metrics prints the
+# run's metric deltas to stderr.
+"$TGZ" --trace-out="$DIR/trace.json" --metrics wzoom --in "$DIR/cohorts" \
+    --out "$DIR/quarters2" --window 3 --vq exists --eq exists --rep og \
+    2> "$DIR/obs.err"
+grep -q '"traceEvents"' "$DIR/trace.json"
+grep -q '"ph":"X"' "$DIR/trace.json"
+grep -q '"name":"tgz.wzoom"' "$DIR/trace.json"
+grep -q '"name":"dataflow.shuffle"' "$DIR/trace.json"
+grep -q "wrote trace to" "$DIR/obs.err"
+grep -q "dataflow.shuffle.records" "$DIR/obs.err"
+grep -q "dataflow.shuffle.partition_size" "$DIR/obs.err"
+# Without the flags, no trace file appears and stderr stays quiet.
+"$TGZ" info --in "$DIR/base" 2> "$DIR/plain.err" > /dev/null
+test ! -s "$DIR/plain.err"
 # Unknown flags and bad inputs must fail loudly.
 if "$TGZ" wzoom --in "$DIR/base" --out "$DIR/x" --window 0 2>/dev/null; then
   echo "expected nonzero exit for window 0" >&2

@@ -19,9 +19,12 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "gen/generators.h"
 #include "gen/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/graph_io.h"
 #include "tgraph/tgraph.h"
 #include "tql/interpreter.h"
@@ -282,18 +285,46 @@ int Repl() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tgz <generate|info|slice|azoom|wzoom|snapshot|query|repl> "
+               "usage: tgz [--trace-out FILE] [--metrics] "
+               "<generate|info|slice|azoom|wzoom|snapshot|query|repl> "
                "[--flag value ...]\n"
+               "  --trace-out FILE  write a Chrome trace_event JSON "
+               "(chrome://tracing, Perfetto)\n"
+               "  --metrics         print metric deltas for the run to "
+               "stderr\n"
                "see the header of tools/tgz.cc for the full flag list\n");
   return 2;
 }
 
-}  // namespace
+/// Observability flags: recognized anywhere on the command line, in both
+/// "--flag value" and "--flag=value" forms, and stripped before subcommand
+/// flag parsing.
+struct ObsFlags {
+  std::string trace_out;
+  bool metrics = false;
+};
 
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string command = argv[1];
-  Flags flags(argc, argv, 2);
+ObsFlags ExtractObsFlags(std::vector<std::string>* args) {
+  ObsFlags obs_flags;
+  std::vector<std::string> kept;
+  for (size_t i = 0; i < args->size(); ++i) {
+    const std::string& arg = (*args)[i];
+    if (arg == "--metrics") {
+      obs_flags.metrics = true;
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= args->size()) Flags::Die("flag --trace-out needs a value");
+      obs_flags.trace_out = (*args)[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      obs_flags.trace_out = arg.substr(std::string("--trace-out=").size());
+    } else {
+      kept.push_back(arg);
+    }
+  }
+  *args = std::move(kept);
+  return obs_flags;
+}
+
+int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "generate") return Generate(flags);
   if (command == "info") return Info(flags);
   if (command == "slice") return Slice(flags);
@@ -303,4 +334,48 @@ int main(int argc, char** argv) {
   if (command == "query") return Query(flags);
   if (command == "repl") return Repl();
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  ObsFlags obs_flags = ExtractObsFlags(&args);
+  if (args.empty()) return Usage();
+
+  if (!obs_flags.trace_out.empty()) obs::Tracer::Global().Enable();
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+
+  std::string command = args[0];
+  std::vector<char*> cargs;
+  cargs.push_back(argv[0]);
+  for (std::string& arg : args) cargs.push_back(arg.data());
+  Flags flags(static_cast<int>(cargs.size()), cargs.data(), 2);
+
+  int code;
+  {
+    obs::Span command_span("tgz." + command, "cli");
+    code = Dispatch(command, flags);
+  }
+
+  if (!obs_flags.trace_out.empty()) {
+    if (obs::Tracer::Global().WriteChromeTrace(obs_flags.trace_out)) {
+      std::fprintf(stderr, "tgz: wrote trace to %s (%zu spans)\n",
+                   obs_flags.trace_out.c_str(),
+                   obs::Tracer::Global().EventCount());
+      std::fprintf(stderr, "%s", obs::Tracer::Global().Summary().c_str());
+    } else {
+      std::fprintf(stderr, "tgz: cannot write trace to %s\n",
+                   obs_flags.trace_out.c_str());
+      return 2;
+    }
+  }
+  if (obs_flags.metrics) {
+    std::string report = obs::MetricsRegistry::Global()
+                             .Snapshot()
+                             .DeltaSince(before)
+                             .ToString();
+    std::fprintf(stderr, "%s", report.c_str());
+  }
+  return code;
 }
