@@ -1,0 +1,125 @@
+// tgraphd serving benchmark: loopback QPS and request-latency percentiles
+// for the repeated-zoom workload, with and without the result cache. The
+// cached rows show what the canonicalized-plan cache is worth once a zoom
+// result is resident: the server answers from memory instead of
+// re-executing the dataflow. items_per_second is the QPS; p50/p95/p99
+// request latencies are reported as microsecond counters.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/graph_io.h"
+
+namespace {
+
+using namespace tgraph;         // NOLINT
+using namespace tgraph::bench;  // NOLINT
+
+std::string DatasetDir() {
+  static std::string dir = [] {
+    std::string path =
+        (std::filesystem::temp_directory_path() / "tgz_bench_serve").string();
+    TG_CHECK_OK(storage::WriteVeGraph(SnbBase(), path,
+                                      storage::GraphWriteOptions()));
+    return path;
+  }();
+  return dir;
+}
+
+server::Server* ServerInstance() {
+  static auto* instance = [] {
+    server::ServerOptions options;
+    options.port = 0;
+    options.workers = 4;
+    options.queue_depth = 64;
+    auto* created = new server::Server(Ctx(), options);
+    TG_CHECK_OK(created->Start());
+    return created;
+  }();
+  return instance;
+}
+
+std::string ZoomScript() {
+  return "LOAD '" + DatasetDir() +
+         "' AS g;\n"
+         "SET cohorts = AZOOM g BY firstName AGGREGATE COUNT() AS people;\n"
+         "INFO cohorts;";
+}
+
+int64_t NowMicros() { return obs::Tracer::NowMicros(); }
+
+double Percentile(std::vector<int64_t>& sorted_micros, double p) {
+  if (sorted_micros.empty()) return 0.0;
+  size_t index = static_cast<size_t>(p * (sorted_micros.size() - 1));
+  return static_cast<double>(sorted_micros[index]);
+}
+
+void ServeBench(benchmark::State& state, bool cached) {
+  server::Server* server = ServerInstance();
+  server::Client client;
+  TG_CHECK_OK(client.Connect("127.0.0.1", server->port()));
+  if (cached) {
+    // Prime the cache so every timed request is a hit.
+    TG_CHECK_OK(client.Query(ZoomScript()).status());
+  }
+
+  std::vector<int64_t> latencies_us;
+  {
+    PhaseMetrics phase(cached ? "serve_cached" : "serve_uncached", &state);
+    for (auto _ : state) {
+      int64_t start = NowMicros();
+      Result<server::Response> response =
+          client.Query(ZoomScript(), /*no_cache=*/!cached);
+      TG_CHECK_OK(response.status());
+      latencies_us.push_back(NowMicros() - start);
+      if (cached && !response->cache_hit()) {
+        state.SkipWithError("expected a cache hit");
+        return;
+      }
+    }
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto report = [&](const char* name, double p) {
+    state.counters[name] = benchmark::Counter(
+        Percentile(latencies_us, p), benchmark::Counter::kAvgThreads);
+  };
+  report("p50_us", 0.50);
+  report("p95_us", 0.95);
+  report("p99_us", 0.99);
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DatasetDir();      // generate + write outside any timed region
+  ServerInstance();  // bind before benchmarks spawn client threads
+
+  for (bool cached : {false, true}) {
+    std::string name =
+        std::string("serve/azoom/") + (cached ? "cached" : "uncached");
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [cached](benchmark::State& state) { ServeBench(state, cached); })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(
+        (name + "/clients:4").c_str(),
+        [cached](benchmark::State& state) { ServeBench(state, cached); })
+        ->Threads(4)
+        ->UseRealTime();
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ServerInstance()->Drain();
+  std::error_code ec;
+  std::filesystem::remove_all(DatasetDir(), ec);
+  return 0;
+}

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

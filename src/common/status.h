@@ -19,6 +19,7 @@ enum class StatusCode : int {
   kNotImplemented = 6,
   kInternal = 7,
   kCancelled = 8,
+  kResourceExhausted = 9,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument").
@@ -69,6 +70,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  /// The 429 of the status space: the operation was refused because a
+  /// bounded resource (queue slots, workers) is saturated; retrying later
+  /// may succeed.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -83,6 +90,10 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// Returns "OK" or "<code name>: <message>".
   std::string ToString() const;

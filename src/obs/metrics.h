@@ -146,6 +146,31 @@ inline constexpr char kCoalesceMergedItems[] = "tgraph.coalesce.merged_items";
 inline constexpr char kPregelSupersteps[] = "pregel.supersteps";
 inline constexpr char kPregelMessages[] = "pregel.messages";
 inline constexpr char kOptimizerRulesFired[] = "pipeline.optimizer.rules_fired";
+
+// Storage loads (row-group pushdown effectiveness; mirrors LoadMetrics).
+inline constexpr char kLoads[] = "storage.load.count";
+inline constexpr char kLoadRowGroupsTotal[] = "storage.load.row_groups_total";
+inline constexpr char kLoadRowGroupsScanned[] =
+    "storage.load.row_groups_scanned";
+
+// tgraphd serving surface.
+inline constexpr char kServerRequests[] = "server.requests";
+inline constexpr char kServerErrors[] = "server.errors";
+inline constexpr char kServerRejected[] = "server.rejected";
+inline constexpr char kServerDeadlineExceeded[] = "server.deadline_exceeded";
+inline constexpr char kServerConnections[] = "server.connections";
+inline constexpr char kServerQueueDepth[] = "server.queue.depth";  // gauge
+inline constexpr char kServerRequestMicros[] =
+    "server.request_micros";  // histogram
+inline constexpr char kCacheHits[] = "server.cache.hits";
+inline constexpr char kCacheMisses[] = "server.cache.misses";
+inline constexpr char kCacheEvictions[] = "server.cache.evictions";
+inline constexpr char kCacheExpirations[] = "server.cache.expirations";
+inline constexpr char kCacheBytes[] = "server.cache.bytes";      // gauge
+inline constexpr char kCacheEntries[] = "server.cache.entries";  // gauge
+inline constexpr char kCatalogLoads[] = "server.catalog.loads";
+inline constexpr char kCatalogHits[] = "server.catalog.hits";
+inline constexpr char kCatalogGraphs[] = "server.catalog.graphs";  // gauge
 }  // namespace metric_names
 
 }  // namespace tgraph::obs

@@ -1,0 +1,79 @@
+#include "server/catalog.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/graph_io.h"
+
+namespace tgraph::server {
+
+Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
+                                       const std::optional<Interval>& range) {
+  static obs::Counter* loads = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kCatalogLoads);
+  static obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kCatalogHits);
+  static obs::Gauge* graphs = obs::MetricsRegistry::Global().GetGauge(
+      obs::metric_names::kCatalogGraphs);
+
+  std::string key = dir;
+  if (range.has_value()) key += "|" + range->ToString();
+
+  // Claim the load or wait for whoever holds it. A failed load erases its
+  // slot before waking waiters, so looping re-examines a fresh map state:
+  // either this thread claims the retry or it waits on someone else's.
+  std::shared_ptr<Slot> slot;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      slot = std::make_shared<Slot>();
+      slots_[key] = slot;
+      break;  // this thread owns the load
+    }
+    std::shared_ptr<Slot> existing = it->second;
+    loaded_cv_.wait(lock, [&] { return !existing->loading; });
+    if (existing->graph.has_value()) {
+      hits->Increment();
+      return *existing->graph;
+    }
+  }
+
+  obs::Span span("tgraphd.catalog.load", "server");
+  loads->Increment();
+  storage::LoadOptions options;
+  options.time_range = range;
+  Result<VeGraph> loaded = storage::LoadVeGraph(ctx_, dir, options);
+  std::optional<TGraph> graph;
+  if (loaded.ok()) {
+    graph = TGraph::FromVe(*std::move(loaded), /*coalesced=*/true);
+    // Materialize before publishing, so concurrent readers of the shared
+    // handle start from computed partitions and the cost is attributed to
+    // this load's span rather than the first unlucky query.
+    graph->Materialize();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  slot->loading = false;
+  if (!graph.has_value()) {
+    slot->error = loaded.status();
+    slots_.erase(key);  // no negative caching: the next request retries
+    loaded_cv_.notify_all();
+    return loaded.status();
+  }
+  slot->graph = std::move(graph);
+  graphs->Set(static_cast<int64_t>(slots_.size()));
+  loaded_cv_.notify_all();
+  return *slot->graph;
+}
+
+void GraphCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+}
+
+size_t GraphCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace tgraph::server

@@ -1,0 +1,91 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace tgraph::server {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect(const std::string& host, int port) {
+  Close();
+
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* resolved = nullptr;
+  std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &resolved);
+  if (rc != 0) {
+    return Status::IoError("resolve " + host + ": " + gai_strerror(rc));
+  }
+
+  Status status = Status::IoError("no addresses for " + host);
+  for (struct addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      status = Status::IoError(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      status = Status::OK();
+      break;
+    }
+    status = Status::IoError("connect " + host + ":" + port_str + ": " +
+                             std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(resolved);
+  return status;
+}
+
+Result<Response> Client::RoundTrip(const Request& request) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  TG_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
+  TG_ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_));
+  TG_ASSIGN_OR_RETURN(Response response, DecodeResponse(payload));
+  // A server-side failure (including a saturation rejection) surfaces as
+  // the status the server put on the wire, not as a client-side error.
+  TG_RETURN_IF_ERROR(response.ToStatus());
+  return response;
+}
+
+Result<Response> Client::Query(const std::string& script, bool no_cache) {
+  Request request;
+  request.verb = Verb::kQuery;
+  if (no_cache) request.flags |= kFlagNoCache;
+  request.body = script;
+  return RoundTrip(request);
+}
+
+Result<Response> Client::Stats() {
+  Request request;
+  request.verb = Verb::kStats;
+  return RoundTrip(request);
+}
+
+Result<Response> Client::Ping() {
+  Request request;
+  request.verb = Verb::kPing;
+  return RoundTrip(request);
+}
+
+}  // namespace tgraph::server

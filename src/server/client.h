@@ -1,0 +1,63 @@
+#ifndef TGRAPH_SERVER_CLIENT_H_
+#define TGRAPH_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace tgraph::server {
+
+/// \brief Blocking client for the tgraphd wire protocol. One Client owns
+/// one TCP connection; requests are issued sequentially. Used by
+/// `tgz query --connect=host:port`, the e2e tests, and the loopback
+/// throughput bench.
+///
+/// Not thread-safe: callers that want concurrency open one Client per
+/// thread (which is also how the server hands out workers).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to host:port. Host may be a dotted quad or "localhost".
+  Status Connect(const std::string& host, int port);
+
+  /// True while the underlying socket is open.
+  bool connected() const { return fd_ >= 0; }
+
+  void Close();
+
+  /// Sends a TQL script and returns the server's rendered result table.
+  /// A response carrying an error status becomes that error. `no_cache`
+  /// asks the server to bypass (and not populate) its result cache.
+  Result<Response> Query(const std::string& script, bool no_cache = false);
+
+  /// Fetches the server's STATS report (metrics + cache/queue state).
+  Result<Response> Stats();
+
+  /// Liveness probe; returns the round-trip response ("pong").
+  Result<Response> Ping();
+
+ private:
+  Result<Response> RoundTrip(const Request& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace tgraph::server
+
+#endif  // TGRAPH_SERVER_CLIENT_H_

@@ -1,0 +1,151 @@
+#include "server/protocol.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "storage/serde.h"
+
+namespace tgraph::server {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t value) {
+  char buffer[4];
+  std::memcpy(buffer, &value, 4);  // little-endian on all supported targets
+  out->append(buffer, 4);
+}
+
+Status CheckFullyConsumed(std::string_view payload, size_t pos) {
+  if (pos != payload.size()) {
+    return Status::IoError("trailing bytes after frame payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Response::ToStatus() const {
+  if (ok()) return Status::OK();
+  StatusCode status_code = static_cast<StatusCode>(code);
+  return Status(status_code, body);
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string payload;
+  payload.push_back(static_cast<char>(request.verb));
+  storage::PutVarint(&payload, request.flags);
+  storage::PutBytes(&payload, request.body);
+  return payload;
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  if (payload.empty()) return Status::IoError("empty request payload");
+  Request request;
+  uint8_t verb = static_cast<uint8_t>(payload[0]);
+  switch (static_cast<Verb>(verb)) {
+    case Verb::kQuery:
+    case Verb::kStats:
+    case Verb::kPing:
+      request.verb = static_cast<Verb>(verb);
+      break;
+    default:
+      return Status::IoError("unknown request verb " + std::to_string(verb));
+  }
+  size_t pos = 1;
+  TG_ASSIGN_OR_RETURN(request.flags, storage::GetVarint(payload, &pos));
+  TG_ASSIGN_OR_RETURN(std::string_view body,
+                      storage::GetBytes(payload, &pos));
+  request.body = std::string(body);
+  TG_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string payload;
+  payload.push_back(static_cast<char>(response.code));
+  storage::PutVarint(&payload, response.flags);
+  storage::PutVarint(&payload, response.request_id);
+  storage::PutBytes(&payload, response.body);
+  return payload;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  if (payload.empty()) return Status::IoError("empty response payload");
+  Response response;
+  response.code = static_cast<uint8_t>(payload[0]);
+  size_t pos = 1;
+  TG_ASSIGN_OR_RETURN(response.flags, storage::GetVarint(payload, &pos));
+  TG_ASSIGN_OR_RETURN(response.request_id, storage::GetVarint(payload, &pos));
+  TG_ASSIGN_OR_RETURN(std::string_view body,
+                      storage::GetBytes(payload, &pos));
+  response.body = std::string(body);
+  TG_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
+  return response;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes; returns the count actually read (short only on
+/// EOF) or an errno-derived error.
+Result<size_t> ReadFully(int fd, char* buffer, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::read(fd, buffer + done, n - done);
+    if (got == 0) return done;  // EOF
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("read timed out");
+      }
+      return Status::IoError(std::string("read failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(got);
+  }
+  return done;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds " +
+                                   std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  size_t done = 0;
+  while (done < frame.size()) {
+    ssize_t wrote = ::write(fd, frame.data() + done, frame.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFrame(int fd) {
+  char header[4];
+  TG_ASSIGN_OR_RETURN(size_t got, ReadFully(fd, header, 4));
+  if (got == 0) return Status::NotFound("connection closed");
+  if (got < 4) return Status::IoError("EOF inside frame header");
+  uint32_t length;
+  std::memcpy(&length, header, 4);
+  if (length > kMaxFrameBytes) {
+    return Status::IoError("frame length " + std::to_string(length) +
+                           " exceeds limit " + std::to_string(kMaxFrameBytes));
+  }
+  std::string payload(length, '\0');
+  TG_ASSIGN_OR_RETURN(got, ReadFully(fd, payload.data(), length));
+  if (got < length) return Status::IoError("EOF inside frame payload");
+  return payload;
+}
+
+}  // namespace tgraph::server

@@ -1,0 +1,90 @@
+#ifndef TGRAPH_SERVER_PROTOCOL_H_
+#define TGRAPH_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace tgraph::server {
+
+/// \brief The tgraphd wire protocol: length-prefixed frames over TCP.
+///
+/// Every message — request or response — is one frame:
+///
+///   [u32 little-endian payload length][payload bytes]
+///
+/// Request payload:
+///   [u8 verb][varint flags][varint-length-prefixed body]
+///     verb kQuery: body is a TQL script; flag kFlagNoCache bypasses the
+///       result cache for this request.
+///     verb kStats: empty body; the response body is the metrics report.
+///     verb kPing:  empty body; the response body is "pong".
+///
+/// Response payload:
+///   [u8 code][varint flags][varint request id][varint-prefixed body]
+///     code 0 is success and the body is the result table text; any other
+///     code is the tgraph::StatusCode of the failure and the body is the
+///     error message. Flag kFlagCacheHit marks a result served from the
+///     zoom-result cache. The request id is server-assigned and matches
+///     the server's per-request obs span, so a slow response can be
+///     located in a trace.
+///
+/// Frames above kMaxFrameBytes are rejected without allocation — the
+/// length prefix arrives from the network and is adversarial until proven
+/// otherwise.
+
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class Verb : uint8_t {
+  kQuery = 1,
+  kStats = 2,
+  kPing = 3,
+};
+
+inline constexpr uint64_t kFlagNoCache = 1;   ///< Request: skip the cache.
+inline constexpr uint64_t kFlagCacheHit = 1;  ///< Response: served from cache.
+
+struct Request {
+  Verb verb = Verb::kPing;
+  uint64_t flags = 0;
+  std::string body;
+};
+
+struct Response {
+  uint8_t code = 0;  ///< 0 = OK, else the tgraph::StatusCode numeric value.
+  uint64_t flags = 0;
+  uint64_t request_id = 0;
+  std::string body;
+
+  bool ok() const { return code == 0; }
+  bool cache_hit() const { return (flags & kFlagCacheHit) != 0; }
+
+  /// Reconstructs the Status a non-OK response carries.
+  Status ToStatus() const;
+};
+
+/// Serializes a request/response payload (without the length prefix).
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+/// Parses a payload. Fails on truncation, trailing garbage, or unknown
+/// verbs — off-protocol bytes must never be half-accepted.
+Result<Request> DecodeRequest(std::string_view payload);
+Result<Response> DecodeResponse(std::string_view payload);
+
+// --- framed socket I/O -----------------------------------------------------
+
+/// Writes the length prefix and payload, handling partial writes and
+/// EINTR. Fails if the payload exceeds kMaxFrameBytes.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame's payload. A clean EOF before any byte returns
+/// NotFound (connection closed); EOF mid-frame, oversized lengths, and
+/// socket errors (including read timeouts) return IoError.
+Result<std::string> ReadFrame(int fd);
+
+}  // namespace tgraph::server
+
+#endif  // TGRAPH_SERVER_PROTOCOL_H_

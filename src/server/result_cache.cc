@@ -1,0 +1,115 @@
+#include "server/result_cache.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace tgraph::server {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Counter* CacheCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(std::move(options)) {}
+
+bool ResultCache::Expired(const Entry& entry, int64_t now) const {
+  return options_.ttl_ms > 0 && now - entry.inserted_ms >= options_.ttl_ms;
+}
+
+std::optional<std::string> ResultCache::Get(const std::string& key) {
+  static obs::Counter* hits = CacheCounter(obs::metric_names::kCacheHits);
+  static obs::Counter* misses = CacheCounter(obs::metric_names::kCacheMisses);
+  static obs::Counter* expirations =
+      CacheCounter(obs::metric_names::kCacheExpirations);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses->Increment();
+    return std::nullopt;
+  }
+  int64_t now = options_.now_ms ? options_.now_ms() : SteadyNowMs();
+  if (Expired(*it->second, now)) {
+    Erase(it->second);
+    PublishGauges();
+    expirations->Increment();
+    misses->Increment();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits->Increment();
+  return it->second->value;
+}
+
+void ResultCache::Put(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) Erase(it->second);
+  size_t incoming = key.size() + value.size();
+  if (incoming > options_.max_bytes) {
+    // Never let one oversized result flush the whole cache.
+    PublishGauges();
+    return;
+  }
+  EvictToFit(incoming);
+  int64_t now = options_.now_ms ? options_.now_ms() : SteadyNowMs();
+  lru_.push_front(Entry{key, std::move(value), now});
+  index_[key] = lru_.begin();
+  bytes_ += incoming;
+  PublishGauges();
+}
+
+void ResultCache::EvictToFit(size_t incoming_bytes) {
+  static obs::Counter* evictions =
+      CacheCounter(obs::metric_names::kCacheEvictions);
+  while (!lru_.empty() && bytes_ + incoming_bytes > options_.max_bytes) {
+    Erase(std::prev(lru_.end()));
+    evictions->Increment();
+  }
+}
+
+void ResultCache::Erase(std::list<Entry>::iterator it) {
+  bytes_ -= EntryBytes(*it);
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  PublishGauges();
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void ResultCache::PublishGauges() {
+  static obs::Gauge* bytes_gauge =
+      obs::MetricsRegistry::Global().GetGauge(obs::metric_names::kCacheBytes);
+  static obs::Gauge* entries_gauge =
+      obs::MetricsRegistry::Global().GetGauge(obs::metric_names::kCacheEntries);
+  bytes_gauge->Set(static_cast<int64_t>(bytes_));
+  entries_gauge->Set(static_cast<int64_t>(lru_.size()));
+}
+
+}  // namespace tgraph::server

@@ -1,0 +1,84 @@
+#ifndef TGRAPH_SERVER_RESULT_CACHE_H_
+#define TGRAPH_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace tgraph::server {
+
+struct ResultCacheOptions {
+  /// Byte budget for cached values plus their keys; entries are evicted
+  /// least-recently-used-first to stay under it. 0 disables the cache.
+  size_t max_bytes = 64u << 20;
+
+  /// Entries older than this are treated as absent (and reclaimed on
+  /// access or during eviction). 0 means no expiry — results for immutable
+  /// datasets stay valid until evicted. The TTL is tgraphd's only defense
+  /// against a dataset directory changing on disk underneath the server,
+  /// so deployments that rewrite datasets in place should set it.
+  int64_t ttl_ms = 0;
+
+  /// Injectable clock (milliseconds, monotonic) for TTL tests.
+  std::function<int64_t()> now_ms;
+};
+
+/// \brief Thread-safe LRU + TTL cache from canonicalized query plans to
+/// serialized result tables — the "coalesced zoom results stay hot between
+/// requests" half of tgraphd (the graph catalog is the other half).
+///
+/// Keys are (dataset, canonical plan) strings built by the server; values
+/// are the exact response bodies previously returned. Hit/miss/eviction
+/// counters are published to obs::MetricsRegistry under server.cache.*.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullopt on
+  /// miss or expiry.
+  std::optional<std::string> Get(const std::string& key);
+
+  /// Inserts (or replaces) an entry, evicting LRU entries to fit the byte
+  /// budget. Values larger than the whole budget are not cached.
+  void Put(const std::string& key, std::string value);
+
+  /// Drops every entry.
+  void Clear();
+
+  size_t bytes() const;
+  size_t entries() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    int64_t inserted_ms = 0;
+  };
+
+  // Callers hold mu_.
+  bool Expired(const Entry& entry, int64_t now) const;
+  void EvictToFit(size_t incoming_bytes);
+  void Erase(std::list<Entry>::iterator it);
+  static size_t EntryBytes(const Entry& entry) {
+    return entry.key.size() + entry.value.size();
+  }
+  void PublishGauges();
+
+  const ResultCacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace tgraph::server
+
+#endif  // TGRAPH_SERVER_RESULT_CACHE_H_

@@ -1,0 +1,375 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <optional>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/protocol.h"
+#include "tql/canonical.h"
+#include "tql/interpreter.h"
+#include "tql/parser.h"
+
+namespace tgraph::server {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SetRecvTimeout(int fd, int64_t timeout_ms) {
+  if (timeout_ms <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+obs::Counter* ServerCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+/// Per-connection state. The protocol is stateless by design — every
+/// request runs in a fresh interpreter over the shared catalog — so a
+/// session only carries the request deadline plumbing. Statelessness is
+/// what makes the result cache sound: a script's canonical text fully
+/// determines its result, with no hidden session environment feeding in.
+struct Server::Session {
+  int fd = -1;
+  int64_t deadline_at_ms = 0;  ///< 0 = no deadline for this request.
+};
+
+Server::Server(dataflow::ExecutionContext* ctx, ServerOptions options)
+    : ctx_(ctx),
+      options_(options),
+      catalog_(ctx),
+      cache_(ResultCacheOptions{options.cache_bytes, options.cache_ttl_ms,
+                                nullptr}) {}
+
+Server::~Server() { Drain(); }
+
+Status Server::Start() {
+  if (running_.load()) return Status::Internal("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    Status status =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  int workers = options_.workers > 0 ? options_.workers : 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  TG_LOG(INFO) << "tgraphd listening on port " << port_ << " ("
+               << workers << " workers, queue depth " << options_.queue_depth
+               << ")";
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  static obs::Counter* connections =
+      ServerCounter(obs::metric_names::kServerConnections);
+  static obs::Counter* rejected =
+      ServerCounter(obs::metric_names::kServerRejected);
+  static obs::Gauge* queue_depth =
+      obs::MetricsRegistry::Global().GetGauge(
+          obs::metric_names::kServerQueueDepth);
+
+  while (!draining_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() on the listen socket wakes accept with an error; any
+      // other failure while not draining is transient — keep accepting.
+      if (draining_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    connections->Increment();
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (static_cast<int>(pending_.size()) < options_.queue_depth) {
+        pending_.push_back(fd);
+        queue_depth->Set(static_cast<int64_t>(pending_.size()));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+      continue;
+    }
+    // Admission control: the queue is full, so refuse rather than let the
+    // connection wait unboundedly. The refusal is a well-formed response
+    // frame, so clients fail fast with a retriable status.
+    rejected->Increment();
+    Response busy;
+    busy.code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
+    busy.body = "server saturated (queue depth " +
+                std::to_string(options_.queue_depth) + "); retry later";
+    (void)WriteFrame(fd, EncodeResponse(busy));
+    ::close(fd);
+  }
+}
+
+void Server::WorkerLoop() {
+  static obs::Gauge* queue_depth =
+      obs::MetricsRegistry::Global().GetGauge(
+          obs::metric_names::kServerQueueDepth);
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || draining_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) return;  // draining and nothing left to serve
+      fd = pending_.front();
+      pending_.pop_front();
+      queue_depth->Set(static_cast<int64_t>(pending_.size()));
+      active_.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Session session;
+  session.fd = fd;
+  bool first_request = true;
+  while (true) {
+    bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && !first_request) break;
+    // While draining, a queued connection still gets its (presumably
+    // already-sent) request served, but an idle one is closed quickly
+    // instead of holding up the drain for the full idle timeout.
+    SetRecvTimeout(fd, draining ? 100 : options_.idle_timeout_ms);
+    Result<std::string> payload = ReadFrame(fd);
+    if (!payload.ok()) {
+      // Clean close, idle timeout, or garbage: drop the connection. A
+      // malformed frame gets a best-effort error response first.
+      if (payload.status().IsIoError()) {
+        Response err;
+        err.code = static_cast<uint8_t>(payload.status().code());
+        err.body = payload.status().message();
+        (void)WriteFrame(fd, EncodeResponse(err));
+      }
+      break;
+    }
+    first_request = false;
+    std::string response_payload;
+    HandleRequest(&session, *payload, &response_payload);
+    if (!WriteFrame(fd, response_payload).ok()) break;
+  }
+}
+
+void Server::HandleRequest(Session* session, const std::string& payload,
+                           std::string* response_payload) {
+  static obs::Counter* requests =
+      ServerCounter(obs::metric_names::kServerRequests);
+  static obs::Counter* errors = ServerCounter(obs::metric_names::kServerErrors);
+  static obs::Counter* deadline_exceeded =
+      ServerCounter(obs::metric_names::kServerDeadlineExceeded);
+  static obs::Histogram* request_micros =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kServerRequestMicros);
+
+  uint64_t request_id = ++next_request_id_;
+  requests->Increment();
+  int64_t started_us = obs::Tracer::NowMicros();
+
+  Response response;
+  response.request_id = request_id;
+
+  Result<Request> request = DecodeRequest(payload);
+  if (!request.ok()) {
+    errors->Increment();
+    response.code = static_cast<uint8_t>(request.status().code());
+    response.body = request.status().ToString();
+    *response_payload = EncodeResponse(response);
+    return;
+  }
+
+  const char* verb_name = request->verb == Verb::kQuery   ? "query"
+                          : request->verb == Verb::kStats ? "stats"
+                                                          : "ping";
+  obs::Span verb_span(std::string("tgraphd.") + verb_name, "server");
+  // The request-id span nests under the verb span, so a trace can be
+  // searched for the id a client reported (responses echo it).
+  std::optional<obs::Span> rid_span;
+  if (obs::Tracer::enabled()) {
+    rid_span.emplace("rid=" + std::to_string(request_id), "server");
+  }
+
+  switch (request->verb) {
+    case Verb::kPing:
+      response.body = "pong";
+      break;
+    case Verb::kStats:
+      response.body = StatsReport();
+      break;
+    case Verb::kQuery: {
+      bool no_cache = (request->flags & kFlagNoCache) != 0;
+      Result<std::string> canonical = tql::CanonicalizeScript(request->body);
+      if (!canonical.ok()) {
+        errors->Increment();
+        response.code = static_cast<uint8_t>(canonical.status().code());
+        response.body = canonical.status().ToString();
+        break;
+      }
+      bool cacheable = false;
+      {
+        // Re-derive cacheability from the parsed script (STORE has disk
+        // side effects and must always re-execute).
+        Result<std::vector<tql::Statement>> statements =
+            tql::Parse(request->body);
+        cacheable = statements.ok() && tql::IsCacheableScript(*statements) &&
+                    options_.cache_bytes > 0 && !no_cache;
+      }
+      if (cacheable) {
+        std::optional<std::string> hit = cache_.Get(*canonical);
+        if (hit.has_value()) {
+          response.flags |= kFlagCacheHit;
+          response.body = *std::move(hit);
+          break;
+        }
+      }
+
+      session->deadline_at_ms =
+          options_.deadline_ms > 0 ? SteadyNowMs() + options_.deadline_ms : 0;
+      tql::Interpreter interpreter(ctx_);
+      interpreter.set_loader([this](const tql::LoadStatement& load) {
+        return catalog_.GetOrLoad(load.path, load.range);
+      });
+      interpreter.set_interrupt_check([this, session]() -> Status {
+        if (session->deadline_at_ms != 0 &&
+            SteadyNowMs() > session->deadline_at_ms) {
+          return Status::Cancelled("deadline of " +
+                                   std::to_string(options_.deadline_ms) +
+                                   " ms exceeded");
+        }
+        return Status::OK();
+      });
+      Result<std::string> output = interpreter.ExecuteScript(request->body);
+      if (!output.ok()) {
+        errors->Increment();
+        if (output.status().IsCancelled()) deadline_exceeded->Increment();
+        response.code = static_cast<uint8_t>(output.status().code());
+        response.body = output.status().ToString();
+        break;
+      }
+      response.body = *output;
+      if (cacheable) cache_.Put(*canonical, response.body);
+      break;
+    }
+  }
+
+  request_micros->Record(obs::Tracer::NowMicros() - started_us);
+  *response_payload = EncodeResponse(response);
+}
+
+std::string Server::StatsReport() {
+  std::string report = "tgraphd port=" + std::to_string(port_) +
+                       " workers=" + std::to_string(options_.workers) +
+                       " queue_depth=" + std::to_string(options_.queue_depth) +
+                       " cache_bytes=" + std::to_string(options_.cache_bytes) +
+                       " deadline_ms=" + std::to_string(options_.deadline_ms) +
+                       "\n";
+  report += "cache entries=" + std::to_string(cache_.entries()) +
+            " bytes=" + std::to_string(cache_.bytes()) +
+            " catalog graphs=" + std::to_string(catalog_.size()) + "\n";
+  report += obs::MetricsRegistry::Global().ToString();
+  return report;
+}
+
+void Server::Drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    // A concurrent or earlier drain owns shutdown; wait for the threads it
+    // joins by serializing on the same logic via running_.
+    while (running_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  if (!running_.load(std::memory_order_acquire)) {
+    draining_.store(true);
+    return;
+  }
+  TG_LOG(INFO) << "tgraphd draining: stop accepting, finishing in-flight";
+  // Wake the acceptor out of accept(2), then stop listening entirely.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Close the read side of idle in-service connections: a worker blocked
+    // in ReadFrame wakes with EOF, while one mid-execution finishes its
+    // request and delivers the response (writes stay open).
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : active_) ::shutdown(fd, SHUT_RD);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  running_.store(false, std::memory_order_release);
+  TG_LOG(INFO) << "tgraphd drained";
+}
+
+}  // namespace tgraph::server

@@ -1,0 +1,137 @@
+#ifndef TGRAPH_SERVER_SERVER_H_
+#define TGRAPH_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/context.h"
+#include "server/catalog.h"
+#include "server/result_cache.h"
+
+namespace tgraph::server {
+
+struct ServerOptions {
+  /// TCP port to listen on (loopback only). 0 picks an ephemeral port;
+  /// read it back from Server::port().
+  int port = 7464;
+
+  /// Session worker threads — the concurrency bound on in-flight
+  /// requests. Dataflow parallelism inside one query is separate (the
+  /// shared ExecutionContext pool).
+  int workers = 4;
+
+  /// Accepted connections allowed to wait for a free worker. A connection
+  /// arriving when the queue is full is refused with a ResourceExhausted
+  /// response ("429") and closed — saturation rejects, never hangs.
+  int queue_depth = 16;
+
+  /// Result-cache byte budget (0 disables caching).
+  size_t cache_bytes = 64u << 20;
+
+  /// Result-cache entry TTL in milliseconds (0 = never expire).
+  int64_t cache_ttl_ms = 0;
+
+  /// Per-query deadline. Execution checks it cooperatively between TQL
+  /// statements; an exceeded deadline answers Cancelled. 0 = no deadline.
+  int64_t deadline_ms = 60'000;
+
+  /// How long a worker blocks waiting for the next request on an idle
+  /// connection before closing it.
+  int64_t idle_timeout_ms = 60'000;
+};
+
+/// \brief tgraphd — the resident TQL query server. Accepts framed
+/// requests (see protocol.h), executes scripts over a shared
+/// dataflow::ExecutionContext with a per-session interpreter, shares
+/// loaded datasets through a GraphCatalog, and serves repeated zoom
+/// queries from a canonicalized-plan ResultCache.
+///
+/// Lifecycle: construct, Start(), serve, Drain(). Drain stops accepting,
+/// lets in-flight requests finish (idle connections are closed), then
+/// joins all threads; it is what the SIGTERM handler of tools/tgzd.cc
+/// calls. The destructor drains if the caller did not.
+///
+/// The protocol is stateless: every QUERY runs in a fresh interpreter,
+/// so a script's canonical text fully determines its result — the
+/// property that makes result caching sound. Pipelines are composed
+/// within one script (LOAD ... SET ... INFO). Only the catalog and
+/// result cache are shared across requests.
+class Server {
+ public:
+  Server(dataflow::ExecutionContext* ctx, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the acceptor and worker threads.
+  Status Start();
+
+  /// The bound port (differs from options.port when that was 0).
+  int port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, serve what is queued and
+  /// in-flight, close idle connections, join threads. Idempotent.
+  void Drain();
+
+  /// True between Start() and Drain().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const ServerOptions& options() const { return options_; }
+  ResultCache& cache() { return cache_; }
+  GraphCatalog& catalog() { return catalog_; }
+
+  /// Connections waiting for a worker right now (tests poll this to set
+  /// up saturation deterministically).
+  int pending_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(pending_.size());
+  }
+
+  /// Connections currently owned by workers.
+  int active_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(active_.size());
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  /// Handles one decoded request; returns the response to send.
+  struct Session;
+  void HandleRequest(Session* session, const std::string& payload,
+                     std::string* response_payload);
+  std::string StatsReport();
+
+  dataflow::ExecutionContext* ctx_;
+  const ServerOptions options_;
+  GraphCatalog catalog_;
+  ResultCache cache_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> next_request_id_{0};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< Accepted fds waiting for a worker.
+  std::unordered_set<int> active_;  ///< Fds currently owned by workers.
+};
+
+}  // namespace tgraph::server
+
+#endif  // TGRAPH_SERVER_SERVER_H_

@@ -3,11 +3,34 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "obs/metrics.h"
 #include "storage/predicate.h"
 #include "storage/serde.h"
 #include "storage/table.h"
 #include "tgraph/coalesce.h"
 #include "tgraph/convert.h"
+
+namespace tgraph::storage {
+namespace {
+
+/// Mirrors the per-call LoadMetrics out-params into the process-wide
+/// registry, so catalog loads and CLI loads surface in --metrics / STATS
+/// output the same way shuffles already do. `new_load` is set by the
+/// (once-per-load) vertex-file scan and counts whole graph loads.
+void RecordLoadScan(bool new_load, size_t groups_total, size_t groups_scanned) {
+  static obs::Counter* loads =
+      obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kLoads);
+  static obs::Counter* total = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kLoadRowGroupsTotal);
+  static obs::Counter* scanned = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kLoadRowGroupsScanned);
+  if (new_load) loads->Increment();
+  total->Add(static_cast<int64_t>(groups_total));
+  scanned->Add(static_cast<int64_t>(groups_scanned));
+}
+
+}  // namespace
+}  // namespace tgraph::storage
 
 namespace tgraph::storage {
 
@@ -172,6 +195,7 @@ Result<VeGraph> LoadVeGraph(dataflow::ExecutionContext* ctx,
   size_t scanned = 0;
   TG_ASSIGN_OR_RETURN(RecordBatch vbatch,
                       vertex_reader->Read(predicate_ptr, &scanned));
+  RecordLoadScan(/*new_load=*/true, vertex_reader->num_row_groups(), scanned);
   if (metrics != nullptr) {
     metrics->vertex_groups_total = vertex_reader->num_row_groups();
     metrics->vertex_groups_scanned = scanned;
@@ -192,6 +216,7 @@ Result<VeGraph> LoadVeGraph(dataflow::ExecutionContext* ctx,
 
   TG_ASSIGN_OR_RETURN(RecordBatch ebatch,
                       edge_reader->Read(predicate_ptr, &scanned));
+  RecordLoadScan(/*new_load=*/false, edge_reader->num_row_groups(), scanned);
   if (metrics != nullptr) {
     metrics->edge_groups_total = edge_reader->num_row_groups();
     metrics->edge_groups_scanned = scanned;
@@ -356,6 +381,7 @@ Result<OgGraph> LoadOgGraph(dataflow::ExecutionContext* ctx,
   size_t scanned = 0;
   TG_ASSIGN_OR_RETURN(RecordBatch vbatch,
                       vertex_reader->Read(predicate_ptr, &scanned));
+  RecordLoadScan(/*new_load=*/true, vertex_reader->num_row_groups(), scanned);
   if (metrics != nullptr) {
     metrics->vertex_groups_total = vertex_reader->num_row_groups();
     metrics->vertex_groups_scanned = scanned;
@@ -373,6 +399,7 @@ Result<OgGraph> LoadOgGraph(dataflow::ExecutionContext* ctx,
 
   TG_ASSIGN_OR_RETURN(RecordBatch ebatch,
                       edge_reader->Read(predicate_ptr, &scanned));
+  RecordLoadScan(/*new_load=*/false, edge_reader->num_row_groups(), scanned);
   if (metrics != nullptr) {
     metrics->edge_groups_total = edge_reader->num_row_groups();
     metrics->edge_groups_scanned = scanned;
@@ -572,6 +599,7 @@ Result<OgcGraph> LoadOgcGraph(dataflow::ExecutionContext* ctx,
                       TableReader::Open(dir + "/ogc_vertices.tcol"));
   TG_ASSIGN_OR_RETURN(RecordBatch vbatch,
                       vertex_reader->Read(predicate_ptr, &scanned));
+  RecordLoadScan(/*new_load=*/true, vertex_reader->num_row_groups(), scanned);
   if (metrics != nullptr) {
     metrics->vertex_groups_total = vertex_reader->num_row_groups();
     metrics->vertex_groups_scanned = scanned;
@@ -592,6 +620,7 @@ Result<OgcGraph> LoadOgcGraph(dataflow::ExecutionContext* ctx,
                       TableReader::Open(dir + "/ogc_edges.tcol"));
   TG_ASSIGN_OR_RETURN(RecordBatch ebatch,
                       edge_reader->Read(predicate_ptr, &scanned));
+  RecordLoadScan(/*new_load=*/false, edge_reader->num_row_groups(), scanned);
   if (metrics != nullptr) {
     metrics->edge_groups_total = edge_reader->num_row_groups();
     metrics->edge_groups_scanned = scanned;

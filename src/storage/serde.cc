@@ -19,6 +19,12 @@ Result<uint64_t> GetVarint(std::string_view data, size_t* pos) {
   while (*pos < data.size() && shift <= 63) {
     uint8_t byte = static_cast<uint8_t>(data[*pos]);
     ++*pos;
+    // The 10th byte carries only bit 64; anything above it would be
+    // silently shifted out, letting two encodings decode to one value —
+    // reject instead (these bytes now arrive off a socket).
+    if (shift == 63 && (byte & 0xfe) != 0) {
+      return Status::IoError("varint overflows 64 bits");
+    }
     value |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) return value;
     shift += 7;
@@ -33,8 +39,10 @@ void PutBytes(std::string* out, std::string_view bytes) {
 
 Result<std::string_view> GetBytes(std::string_view data, size_t* pos) {
   TG_ASSIGN_OR_RETURN(uint64_t length, GetVarint(data, pos));
-  if (*pos + length > data.size()) {
-    return Status::IoError("truncated byte string");
+  // Compare against the remainder, never `*pos + length`: an adversarial
+  // length prefix near UINT64_MAX would wrap the addition past the check.
+  if (length > data.size() - *pos) {
+    return Status::IoError("truncated or oversized byte string");
   }
   std::string_view result = data.substr(*pos, length);
   *pos += length;
@@ -56,6 +64,36 @@ Result<uint64_t> GetFixed64(std::string_view data, size_t* pos) {
 }
 
 namespace {
+
+// Decoder hardening: these blobs arrive off sockets and untrusted files,
+// so compound decoders (a) refuse element counts that exceed the bytes
+// remaining divided by the element's minimum encoded size — catching
+// adversarial counts before any reserve() can balloon memory — and (b)
+// cap the nesting depth of compound-in-compound payloads so a future
+// nested value type cannot be driven into unbounded recursion.
+constexpr int kMaxDecodeDepth = 16;
+
+Status CheckDepth(int depth) {
+  if (depth > kMaxDecodeDepth) {
+    return Status::IoError("decode nesting depth exceeds " +
+                           std::to_string(kMaxDecodeDepth));
+  }
+  return Status::OK();
+}
+
+Status CheckCount(uint64_t count, std::string_view data, size_t pos,
+                  size_t min_item_bytes, const char* what) {
+  size_t remaining = data.size() - pos;
+  if (count > remaining / min_item_bytes) {
+    return Status::IoError("implausible " + std::string(what) + " count " +
+                           std::to_string(count) + " (only " +
+                           std::to_string(remaining) + " bytes remain)");
+  }
+  return Status::OK();
+}
+
+Result<Properties> DeserializePropertiesAt(std::string_view data, size_t* pos,
+                                           int depth);
 
 // Tags for PropertyValue payloads.
 constexpr uint8_t kTagInt = 0;
@@ -112,6 +150,21 @@ Result<PropertyValue> DeserializeValue(std::string_view data, size_t* pos) {
   }
 }
 
+Result<Properties> DeserializePropertiesAt(std::string_view data, size_t* pos,
+                                           int depth) {
+  TG_RETURN_IF_ERROR(CheckDepth(depth));
+  TG_ASSIGN_OR_RETURN(uint64_t count, GetVarint(data, pos));
+  // Minimum entry: 1-byte empty key + 1-byte tag + 1-byte bool payload.
+  TG_RETURN_IF_ERROR(CheckCount(count, data, *pos, 3, "property"));
+  Properties props;
+  for (uint64_t i = 0; i < count; ++i) {
+    TG_ASSIGN_OR_RETURN(std::string_view key, GetBytes(data, pos));
+    TG_ASSIGN_OR_RETURN(PropertyValue value, DeserializeValue(data, pos));
+    props.Set(key, std::move(value));
+  }
+  return props;
+}
+
 }  // namespace
 
 void SerializeProperties(const Properties& props, std::string* out) {
@@ -123,14 +176,7 @@ void SerializeProperties(const Properties& props, std::string* out) {
 }
 
 Result<Properties> DeserializeProperties(std::string_view data, size_t* pos) {
-  TG_ASSIGN_OR_RETURN(uint64_t count, GetVarint(data, pos));
-  Properties props;
-  for (uint64_t i = 0; i < count; ++i) {
-    TG_ASSIGN_OR_RETURN(std::string_view key, GetBytes(data, pos));
-    TG_ASSIGN_OR_RETURN(PropertyValue value, DeserializeValue(data, pos));
-    props.Set(key, std::move(value));
-  }
-  return props;
+  return DeserializePropertiesAt(data, pos, /*depth=*/0);
 }
 
 void SerializeHistory(const History& history, std::string* out) {
@@ -144,12 +190,15 @@ void SerializeHistory(const History& history, std::string* out) {
 
 Result<History> DeserializeHistory(std::string_view data, size_t* pos) {
   TG_ASSIGN_OR_RETURN(uint64_t count, GetVarint(data, pos));
+  // Minimum item: two fixed64 interval bounds + 1-byte property count.
+  TG_RETURN_IF_ERROR(CheckCount(count, data, *pos, 17, "history item"));
   History history;
   history.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     TG_ASSIGN_OR_RETURN(uint64_t start, GetFixed64(data, pos));
     TG_ASSIGN_OR_RETURN(uint64_t end, GetFixed64(data, pos));
-    TG_ASSIGN_OR_RETURN(Properties props, DeserializeProperties(data, pos));
+    TG_ASSIGN_OR_RETURN(Properties props,
+                        DeserializePropertiesAt(data, pos, /*depth=*/1));
     history.push_back(HistoryItem{Interval(static_cast<TimePoint>(start),
                                            static_cast<TimePoint>(end)),
                                   std::move(props)});
@@ -164,7 +213,10 @@ void SerializeBitset(const Bitset& bitset, std::string* out) {
 
 Result<Bitset> DeserializeBitset(std::string_view data, size_t* pos) {
   TG_ASSIGN_OR_RETURN(uint64_t size, GetVarint(data, pos));
-  size_t num_words = (size + 63) / 64;
+  // Divide before multiplying: `(size + 63) / 64` wraps for sizes near
+  // UINT64_MAX, and each word costs 8 encoded bytes.
+  uint64_t num_words = size / 64 + (size % 64 != 0 ? 1 : 0);
+  TG_RETURN_IF_ERROR(CheckCount(num_words, data, *pos, 8, "bitset word"));
   std::vector<uint64_t> words;
   words.reserve(num_words);
   for (size_t i = 0; i < num_words; ++i) {

@@ -56,6 +56,7 @@ Result<std::string> Interpreter::ExecuteScript(const std::string& script) {
   TG_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parse(script));
   std::string output;
   for (const Statement& statement : statements) {
+    if (interrupt_check_) TG_RETURN_IF_ERROR(interrupt_check_());
     TG_ASSIGN_OR_RETURN(std::string line, Execute(statement));
     output += line;
   }
@@ -135,6 +136,11 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
 
 Result<std::string> Interpreter::Execute(const Statement& statement) {
   if (const auto* load = std::get_if<LoadStatement>(&statement)) {
+    if (loader_) {
+      TG_ASSIGN_OR_RETURN(TGraph graph, loader_(*load));
+      env_.insert_or_assign(load->name, std::move(graph));
+      return "loaded " + load->name + " from '" + load->path + "'\n";
+    }
     storage::LoadOptions options;
     options.time_range = load->range;
     TG_ASSIGN_OR_RETURN(VeGraph graph,

@@ -1,6 +1,7 @@
 #ifndef TGRAPH_TQL_INTERPRETER_H_
 #define TGRAPH_TQL_INTERPRETER_H_
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -33,11 +34,28 @@ class Interpreter {
   /// Graphs currently bound.
   const std::map<std::string, TGraph>& environment() const { return env_; }
 
+  /// Hook replacing LOAD's direct storage access. tgraphd points this at
+  /// its shared graph catalog so concurrent sessions reuse one loaded
+  /// copy of a dataset instead of re-reading it per request. Unset (the
+  /// default) means LOAD reads from disk itself.
+  using Loader = std::function<Result<TGraph>(const LoadStatement&)>;
+  void set_loader(Loader loader) { loader_ = std::move(loader); }
+
+  /// Cooperative interruption: when set, checked before each statement of
+  /// ExecuteScript; a non-OK return aborts the script with that status.
+  /// tgraphd uses this for per-request deadlines and drain cancellation.
+  using InterruptCheck = std::function<Status()>;
+  void set_interrupt_check(InterruptCheck check) {
+    interrupt_check_ = std::move(check);
+  }
+
  private:
   Result<TGraph> Evaluate(const Expr& expr);
 
   dataflow::ExecutionContext* ctx_;
   std::map<std::string, TGraph> env_;
+  Loader loader_;
+  InterruptCheck interrupt_check_;
 };
 
 }  // namespace tgraph::tql

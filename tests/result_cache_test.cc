@@ -1,0 +1,109 @@
+#include "server/result_cache.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace tgraph::server {
+namespace {
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+TEST(ResultCacheTest, GetAfterPutHitsAndTracksBytes) {
+  ResultCache cache(ResultCacheOptions{1024, 0, nullptr});
+  EXPECT_EQ(cache.Get("k"), std::nullopt);
+  cache.Put("k", "value");
+  ASSERT_TRUE(cache.Get("k").has_value());
+  EXPECT_EQ(*cache.Get("k"), "value");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), std::string("k").size() + std::string("value").size());
+}
+
+TEST(ResultCacheTest, PutReplacesExistingEntry) {
+  ResultCache cache(ResultCacheOptions{1024, 0, nullptr});
+  cache.Put("k", "old");
+  cache.Put("k", "newer");
+  EXPECT_EQ(*cache.Get("k"), "newer");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 1u + 5u);
+}
+
+TEST(ResultCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  // Each entry is 1 (key) + 9 (value) = 10 bytes; budget fits three.
+  ResultCache cache(ResultCacheOptions{30, 0, nullptr});
+  cache.Put("a", "123456789");
+  cache.Put("b", "123456789");
+  cache.Put("c", "123456789");
+  ASSERT_TRUE(cache.Get("a").has_value());  // a is now most-recent
+  cache.Put("d", "123456789");              // evicts b, the LRU
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_TRUE(cache.Get("d").has_value());
+  EXPECT_LE(cache.bytes(), 30u);
+}
+
+TEST(ResultCacheTest, OversizedValueIsNotAdmitted) {
+  ResultCache cache(ResultCacheOptions{10, 0, nullptr});
+  cache.Put("small", "x");
+  cache.Put("big", std::string(100, 'y'));  // would not fit even alone
+  EXPECT_FALSE(cache.Get("big").has_value());
+  // Crucially, the oversized put must not have flushed what was there.
+  EXPECT_TRUE(cache.Get("small").has_value());
+}
+
+TEST(ResultCacheTest, TtlExpiresThroughInjectedClock) {
+  int64_t now = 1000;
+  ResultCacheOptions options;
+  options.max_bytes = 1024;
+  options.ttl_ms = 50;
+  options.now_ms = [&now] { return now; };
+  ResultCache cache(options);
+
+  cache.Put("k", "value");
+  now += 49;
+  EXPECT_TRUE(cache.Get("k").has_value());  // still fresh
+  now += 1;
+  int64_t expirations_before =
+      CounterValue(obs::metric_names::kCacheExpirations);
+  EXPECT_FALSE(cache.Get("k").has_value());  // exactly at TTL: expired
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(CounterValue(obs::metric_names::kCacheExpirations),
+            expirations_before + 1);
+}
+
+TEST(ResultCacheTest, CountersTrackHitsMissesEvictions) {
+  int64_t hits_before = CounterValue(obs::metric_names::kCacheHits);
+  int64_t misses_before = CounterValue(obs::metric_names::kCacheMisses);
+  int64_t evictions_before = CounterValue(obs::metric_names::kCacheEvictions);
+
+  ResultCache cache(ResultCacheOptions{20, 0, nullptr});
+  cache.Get("absent");                   // miss
+  cache.Put("a", "123456789");           // 10 bytes
+  cache.Get("a");                        // hit
+  cache.Put("b", "123456789");           // 10 bytes, fits; b is now MRU
+  cache.Put("c", "123456789");           // evicts a, the LRU
+  EXPECT_EQ(CounterValue(obs::metric_names::kCacheHits), hits_before + 1);
+  EXPECT_EQ(CounterValue(obs::metric_names::kCacheMisses), misses_before + 1);
+  EXPECT_EQ(CounterValue(obs::metric_names::kCacheEvictions),
+            evictions_before + 1);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("b").has_value());
+}
+
+TEST(ResultCacheTest, ClearResetsEverything) {
+  ResultCache cache(ResultCacheOptions{1024, 0, nullptr});
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+}  // namespace
+}  // namespace tgraph::server

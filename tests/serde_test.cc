@@ -109,5 +109,105 @@ TEST(SerdeTest, CorruptValueTagFails) {
   EXPECT_TRUE(DeserializeProperties(buffer, &pos).status().IsIoError());
 }
 
+// --- malformed-input regression tests: these payloads now arrive off a
+// socket, so every decoder must reject adversarial bytes with an error
+// instead of over-reading, over-allocating, or wrapping arithmetic. ------
+
+TEST(SerdeMalformedTest, OverlongVarintRejected) {
+  // Ten bytes whose final byte sets bits beyond the 64th: the encoding
+  // would silently lose bits if accepted.
+  std::string buffer(9, static_cast<char>(0xff));
+  buffer.push_back(static_cast<char>(0x7f));
+  size_t pos = 0;
+  EXPECT_TRUE(GetVarint(buffer, &pos).status().IsIoError());
+}
+
+TEST(SerdeMalformedTest, MaxVarintStillDecodes) {
+  std::string buffer;
+  PutVarint(&buffer, ~0ULL);
+  size_t pos = 0;
+  EXPECT_EQ(*GetVarint(buffer, &pos), ~0ULL);
+}
+
+TEST(SerdeMalformedTest, HugeByteLengthPrefixRejected) {
+  // A length prefix of UINT64_MAX must not wrap `pos + length` past the
+  // bounds check.
+  std::string buffer;
+  PutVarint(&buffer, ~0ULL);
+  buffer += "abc";
+  size_t pos = 0;
+  EXPECT_TRUE(GetBytes(buffer, &pos).status().IsIoError());
+}
+
+TEST(SerdeMalformedTest, TruncatedByteStringRejected) {
+  std::string buffer;
+  PutVarint(&buffer, 100);  // promises 100 bytes
+  buffer += "short";
+  size_t pos = 0;
+  EXPECT_TRUE(GetBytes(buffer, &pos).status().IsIoError());
+}
+
+TEST(SerdeMalformedTest, ImplausiblePropertyCountRejected) {
+  std::string buffer;
+  PutVarint(&buffer, 1'000'000'000);  // a billion entries in ten bytes
+  buffer += "x";
+  size_t pos = 0;
+  EXPECT_TRUE(DeserializeProperties(buffer, &pos).status().IsIoError());
+}
+
+TEST(SerdeMalformedTest, ImplausibleHistoryCountRejected) {
+  // The count must be refused before reserve(), or the allocation itself
+  // is the attack.
+  std::string buffer;
+  PutVarint(&buffer, ~0ULL >> 1);
+  buffer += "xxxx";
+  size_t pos = 0;
+  EXPECT_TRUE(DeserializeHistory(buffer, &pos).status().IsIoError());
+}
+
+TEST(SerdeMalformedTest, ImplausibleBitsetSizeRejected) {
+  std::string buffer;
+  PutVarint(&buffer, ~0ULL);  // (size + 63) / 64 would wrap to 0
+  size_t pos = 0;
+  EXPECT_TRUE(DeserializeBitset(buffer, &pos).status().IsIoError());
+}
+
+TEST(SerdeMalformedTest, TruncatedHistoryItemRejected) {
+  History history = {{{1, 5}, Properties{{"type", "a"}}}};
+  std::string buffer;
+  SerializeHistory(history, &buffer);
+  for (size_t cut = 1; cut < buffer.size(); ++cut) {
+    std::string truncated = buffer.substr(0, cut);
+    size_t pos = 0;
+    Result<History> decoded = DeserializeHistory(truncated, &pos);
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerdeMalformedTest, RandomGarbageNeverCrashes) {
+  // Deterministic pseudo-random fuzz: decoders must fail cleanly (or
+  // succeed) on arbitrary bytes, never crash.
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    size_t len = next() % 64;
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(next() & 0xff));
+    }
+    size_t pos = 0;
+    (void)DeserializeProperties(garbage, &pos);
+    pos = 0;
+    (void)DeserializeHistory(garbage, &pos);
+    pos = 0;
+    (void)DeserializeBitset(garbage, &pos);
+  }
+}
+
 }  // namespace
 }  // namespace tgraph::storage

@@ -1,0 +1,256 @@
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/graph_io.h"
+#include "test_util.h"
+
+namespace tgraph::server {
+namespace {
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+/// Starts one tgraphd in-process on an ephemeral loopback port, backed by
+/// the paper's Figure 1 graph written to a temp directory.
+class ServerE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/tgraphd_e2e_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    graph_dir_ = dir_ + "/fig1";
+    ASSERT_TRUE(storage::WriteVeGraph(testing::Figure1(), graph_dir_,
+                                      storage::GraphWriteOptions())
+                    .ok());
+  }
+
+  void TearDown() override {
+    std::string cleanup = "rm -rf '" + dir_ + "'";
+    ASSERT_EQ(std::system(cleanup.c_str()), 0);
+  }
+
+  std::unique_ptr<Server> StartServer(ServerOptions options) {
+    options.port = 0;  // ephemeral
+    auto server = std::make_unique<Server>(testing::Ctx(), options);
+    Status status = server->Start();
+    EXPECT_TRUE(status.ok()) << status;
+    return server;
+  }
+
+  Client Connect(const Server& server) {
+    Client client;
+    Status status = client.Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(status.ok()) << status;
+    return client;
+  }
+
+  /// The same dataset through both zoom operators — the repeated-query
+  /// workload the result cache exists for.
+  std::string ZoomScript() const {
+    return "LOAD '" + graph_dir_ +
+           "' AS g;\n"
+           "SET a = AZOOM g BY school AGGREGATE COUNT() AS students;\n"
+           "SET w = WZOOM g WINDOW 2 NODES EXISTS EDGES EXISTS;\n"
+           "INFO a;\n"
+           "INFO w;";
+  }
+
+  std::string dir_;
+  std::string graph_dir_;
+};
+
+TEST_F(ServerE2eTest, PingAndStatsRoundTrip) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+
+  Result<Response> pong = client.Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(pong->body, "pong");
+
+  Result<Response> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->body.find("tgraphd port="), std::string::npos);
+  EXPECT_NE(stats->body.find("server.requests"), std::string::npos);
+}
+
+TEST_F(ServerE2eTest, SecondIdenticalZoomQueryIsServedFromCache) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+
+  int64_t hits_before = CounterValue(obs::metric_names::kCacheHits);
+
+  Result<Response> first = client.Query(ZoomScript());
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->cache_hit());
+
+  Result<Response> second = client.Query(ZoomScript());
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->cache_hit());
+  EXPECT_EQ(second->body, first->body);
+  EXPECT_EQ(CounterValue(obs::metric_names::kCacheHits), hits_before + 1);
+  EXPECT_GT(second->request_id, first->request_id);
+
+  // Surface variation must not defeat the canonicalized-plan key.
+  Result<Response> third = client.Query("  " + ZoomScript() + "\n");
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_TRUE(third->cache_hit());
+}
+
+TEST_F(ServerE2eTest, NoCacheFlagBypassesTheCache) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+  Result<Response> first = client.Query(ZoomScript(), /*no_cache=*/true);
+  ASSERT_TRUE(first.ok()) << first.status();
+  Result<Response> second = client.Query(ZoomScript(), /*no_cache=*/true);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE(second->cache_hit());
+  EXPECT_EQ(server->cache().entries(), 0u);
+  EXPECT_EQ(second->body, first->body);
+}
+
+TEST_F(ServerE2eTest, StoreScriptsAreNeverCached) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+  std::string script = "LOAD '" + graph_dir_ + "' AS g;\nSTORE g TO '" + dir_ +
+                       "/out';";
+  Result<Response> first = client.Query(script);
+  ASSERT_TRUE(first.ok()) << first.status();
+  Result<Response> second = client.Query(script);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE(second->cache_hit());
+  EXPECT_EQ(server->cache().entries(), 0u);
+}
+
+TEST_F(ServerE2eTest, MalformedQueryAnswersAnErrorNotACrash) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+  Result<Response> bad = client.Query("SET = nonsense (((");
+  EXPECT_FALSE(bad.ok());
+  // The connection survives a bad script; the next request still works.
+  Result<Response> pong = client.Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status();
+}
+
+TEST_F(ServerE2eTest, SaturatedQueueRejectsInsteadOfHanging) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_depth = 1;
+  auto server = StartServer(options);
+
+  // Occupy the only worker: a connection that sends nothing parks it in
+  // ReadFrame. Poll until the worker owns it, so the setup is race-free.
+  Client occupier = Connect(*server);
+  while (server->active_count() < 1) std::this_thread::yield();
+
+  // Fill the only queue slot the same way.
+  Client queued = Connect(*server);
+  while (server->pending_count() < 1) std::this_thread::yield();
+
+  // The next connection must be refused with ResourceExhausted — a bounded
+  // wait, not an unbounded hang.
+  int64_t rejected_before = CounterValue(obs::metric_names::kServerRejected);
+  Client overflow = Connect(*server);
+  Result<Response> refused = overflow.Ping();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsResourceExhausted()) << refused.status();
+  EXPECT_GE(CounterValue(obs::metric_names::kServerRejected),
+            rejected_before + 1);
+}
+
+TEST_F(ServerE2eTest, DeadlineExceededAnswersCancelled) {
+  ServerOptions options;
+  options.deadline_ms = 1;
+  auto server = StartServer(options);
+  Client client = Connect(*server);
+
+  int64_t exceeded_before =
+      CounterValue(obs::metric_names::kServerDeadlineExceeded);
+  // The first statement outlasts the 1 ms deadline; the cooperative check
+  // before the second statement converts it to Cancelled.
+  Result<Response> result =
+      client.Query("GENERATE snb(scale = 0.5, seed = 3) AS g;\nINFO g;");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
+  EXPECT_EQ(CounterValue(obs::metric_names::kServerDeadlineExceeded),
+            exceeded_before + 1);
+}
+
+TEST_F(ServerE2eTest, DrainStopsAcceptingAndFinishesCleanly) {
+  auto server = StartServer(ServerOptions{});
+  int port = server->port();
+
+  Client busy = Connect(*server);
+  Result<Response> result = busy.Query(ZoomScript());
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  Client idle = Connect(*server);  // parked in a worker, mid-read
+  while (server->active_count() < 2) std::this_thread::yield();
+
+  server->Drain();
+  EXPECT_FALSE(server->running());
+  EXPECT_EQ(server->active_count(), 0);
+  EXPECT_EQ(server->pending_count(), 0);
+
+  // Nothing listens any more.
+  Client late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", port).ok());
+
+  server->Drain();  // idempotent
+}
+
+TEST_F(ServerE2eTest, ConcurrentClientsShareCatalogAndCacheSafely) {
+  ServerOptions options;
+  options.workers = 4;
+  options.queue_depth = 16;
+  auto server = StartServer(options);
+
+  const int kThreads = 4;
+  const int kQueriesPerThread = 6;
+  std::vector<std::string> first_bodies(kThreads);
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server->port()).ok()) {
+        failures[t] = kQueriesPerThread;
+        return;
+      }
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        // Odd requests bypass the cache so both the execute path and the
+        // cache path run concurrently against the shared catalog.
+        Result<Response> response =
+            client.Query(ZoomScript(), /*no_cache=*/(i % 2) == 1);
+        if (!response.ok()) {
+          ++failures[t];
+          continue;
+        }
+        if (first_bodies[t].empty()) {
+          first_bodies[t] = response->body;
+        } else if (response->body != first_bodies[t]) {
+          ++failures[t];  // every repetition must agree
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+    EXPECT_EQ(first_bodies[t], first_bodies[0]) << "thread " << t;
+  }
+  // One dataset, many sessions: the catalog held exactly one load.
+  EXPECT_EQ(server->catalog().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tgraph::server

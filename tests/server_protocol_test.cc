@@ -1,0 +1,130 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace tgraph::server {
+namespace {
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  Request request;
+  request.verb = Verb::kQuery;
+  request.flags = kFlagNoCache;
+  request.body = "LOAD '/data/wiki' AS g; INFO g";
+  Result<Request> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kQuery);
+  EXPECT_EQ(decoded->flags, kFlagNoCache);
+  EXPECT_EQ(decoded->body, request.body);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  Response response;
+  response.code = 0;
+  response.flags = kFlagCacheHit;
+  response.request_id = 12345;
+  response.body = std::string(1000, 'x');
+  Result<Response> decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->ok());
+  EXPECT_TRUE(decoded->cache_hit());
+  EXPECT_EQ(decoded->request_id, 12345u);
+  EXPECT_EQ(decoded->body, response.body);
+}
+
+TEST(ProtocolTest, ErrorResponseReconstructsStatus) {
+  Response response;
+  response.code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
+  response.body = "server saturated";
+  Result<Response> decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  Status status = decoded->ToStatus();
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(status.message(), "server saturated");
+}
+
+TEST(ProtocolTest, UnknownVerbRejected) {
+  Request request;
+  request.verb = Verb::kPing;
+  std::string payload = EncodeRequest(request);
+  payload[0] = 77;  // not a verb
+  EXPECT_FALSE(DecodeRequest(payload).ok());
+}
+
+TEST(ProtocolTest, TruncatedPayloadsRejected) {
+  Request request;
+  request.verb = Verb::kQuery;
+  request.body = "INFO g";
+  std::string payload = EncodeRequest(request);
+  // Every prefix must fail to decode rather than half-succeed.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest(payload.substr(0, len)).ok()) << len;
+  }
+  Response response;
+  response.body = "result";
+  std::string response_payload = EncodeResponse(response);
+  for (size_t len = 0; len < response_payload.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse(response_payload.substr(0, len)).ok()) << len;
+  }
+}
+
+TEST(ProtocolTest, TrailingGarbageRejected) {
+  Request request;
+  request.verb = Verb::kPing;
+  std::string payload = EncodeRequest(request) + "extra";
+  EXPECT_FALSE(DecodeRequest(payload).ok());
+}
+
+TEST(ProtocolTest, FramesRoundTripOverASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string payload = "hello frames";
+  std::thread writer([&] { EXPECT_TRUE(WriteFrame(fds[0], payload).ok()); });
+  Result<std::string> read_back = ReadFrame(fds[1]);
+  writer.join();
+  ASSERT_TRUE(read_back.ok()) << read_back.status();
+  EXPECT_EQ(*read_back, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, CleanEofIsNotFoundMidFrameEofIsIoError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Clean close before any byte: NotFound ("connection closed").
+  ::close(fds[0]);
+  Result<std::string> eof = ReadFrame(fds[1]);
+  EXPECT_TRUE(eof.status().IsNotFound()) << eof.status();
+  ::close(fds[1]);
+
+  // Close mid-frame: IoError.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  uint32_t length = 100;  // promises 100 bytes, delivers 3
+  ASSERT_EQ(::write(fds[0], &length, sizeof(length)), 4);
+  ASSERT_EQ(::write(fds[0], "abc", 3), 3);
+  ::close(fds[0]);
+  Result<std::string> truncated = ReadFrame(fds[1]);
+  EXPECT_TRUE(truncated.status().IsIoError()) << truncated.status();
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, OversizedLengthPrefixRejectedWithoutAllocation) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  uint32_t huge = kMaxFrameBytes + 1;
+  ASSERT_EQ(::write(fds[0], &huge, sizeof(huge)), 4);
+  Result<std::string> result = ReadFrame(fds[1]);
+  EXPECT_TRUE(result.status().IsIoError()) << result.status();
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  EXPECT_FALSE(WriteFrame(-1, std::string(10, 'x')).ok());
+}
+
+}  // namespace
+}  // namespace tgraph::server

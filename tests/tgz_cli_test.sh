@@ -1,10 +1,17 @@
 #!/bin/sh
 # End-to-end smoke test of the tgz command-line tool: every subcommand,
-# composed through the on-disk columnar format.
+# composed through the on-disk columnar format — plus a tgzd
+# start-serve-query-shutdown cycle when the server binary is given.
 set -e
 TGZ="$1"
+TGZD="$2"
 DIR="$(mktemp -d)"
-trap 'rm -rf "$DIR"' EXIT
+TGZD_PID=""
+cleanup() {
+  [ -n "$TGZD_PID" ] && kill "$TGZD_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
 
 "$TGZ" generate --dataset snb --out "$DIR/base" --scale 0.1 --seed 7
 "$TGZ" info --in "$DIR/base" | grep -q "vertices       500"
@@ -38,5 +45,52 @@ fi
 if "$TGZ" info --in "$DIR/nonexistent" 2>/dev/null; then
   echo "expected nonzero exit for missing input" >&2
   exit 1
+fi
+
+# --- tgzd: start, serve over a real socket, stats, graceful shutdown -------
+if [ -n "$TGZD" ]; then
+  "$TGZD" --port 0 --workers 2 > "$DIR/tgzd.out" 2> "$DIR/tgzd.err" &
+  TGZD_PID=$!
+  # The startup line carries the bound ephemeral port.
+  for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/^tgraphd listening on port \([0-9]*\)$/\1/p' \
+        "$DIR/tgzd.out")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "tgzd never reported its port" >&2; exit 1; }
+
+  cat > "$DIR/query.tql" <<EOF
+LOAD '$DIR/base' AS g;
+SET cohorts = AZOOM g BY firstName AGGREGATE COUNT() AS people;
+INFO cohorts;
+EOF
+  "$TGZ" query --script "$DIR/query.tql" --connect "127.0.0.1:$PORT" \
+      > "$DIR/serve1.out" 2> "$DIR/serve1.err"
+  grep -q "cohorts" "$DIR/serve1.out"
+  # The identical script again: answered from the result cache.
+  "$TGZ" query --script "$DIR/query.tql" --connect "127.0.0.1:$PORT" \
+      > "$DIR/serve2.out" 2> "$DIR/serve2.err"
+  grep -q "served from cache" "$DIR/serve2.err"
+  cmp -s "$DIR/serve1.out" "$DIR/serve2.out"
+  # STATS shows the hit and the catalog load (row-group pushdown counters
+  # from storage::LoadMetrics flow into the same registry).
+  "$TGZ" stats --connect "127.0.0.1:$PORT" > "$DIR/stats.out"
+  grep -q "server.cache.hits 1" "$DIR/stats.out"
+  grep -q "server.catalog.loads 1" "$DIR/stats.out"
+  grep -q "storage.load.row_groups.total" "$DIR/stats.out"
+  # SIGTERM drains: the process exits 0 on its own.
+  kill -TERM "$TGZD_PID"
+  for _ in $(seq 1 50); do
+    kill -0 "$TGZD_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$TGZD_PID" 2>/dev/null; then
+    echo "tgzd did not exit after SIGTERM" >&2
+    exit 1
+  fi
+  wait "$TGZD_PID"
+  TGZD_PID=""
+  grep -q "tgraphd drained, exiting" "$DIR/tgzd.out"
 fi
 echo "tgz CLI smoke OK"

@@ -1,0 +1,90 @@
+#include "tql/canonical.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tql/parser.h"
+
+namespace tgraph::tql {
+namespace {
+
+std::string MustCanonicalize(const std::string& script) {
+  Result<std::string> canonical = CanonicalizeScript(script);
+  EXPECT_TRUE(canonical.ok()) << script << "\n" << canonical.status();
+  return canonical.ok() ? *canonical : std::string();
+}
+
+TEST(CanonicalTest, SurfaceVariationsCollapse) {
+  // Keyword case, whitespace, comments, and separators must not change
+  // the cache key.
+  const std::string base = "SET s = AZOOM g BY school";
+  EXPECT_EQ(MustCanonicalize(base), MustCanonicalize("set s = azoom g by school"));
+  EXPECT_EQ(MustCanonicalize(base),
+            MustCanonicalize("  SET   s =\n\tAZOOM g BY school ;"));
+  EXPECT_EQ(MustCanonicalize(base),
+            MustCanonicalize("-- compute the rollup\nSET s = AZOOM g BY school;\n"));
+}
+
+TEST(CanonicalTest, DistinctPlansStayDistinct) {
+  EXPECT_NE(MustCanonicalize("SET s = AZOOM g BY school"),
+            MustCanonicalize("SET s = AZOOM g BY city"));
+  EXPECT_NE(MustCanonicalize("SET s = WZOOM g WINDOW 3"),
+            MustCanonicalize("SET s = WZOOM g WINDOW 4"));
+  EXPECT_NE(MustCanonicalize("SET s = WZOOM g WINDOW 3"),
+            MustCanonicalize("SET s = WZOOM g WINDOW 3 CHANGES"));
+  EXPECT_NE(MustCanonicalize("LOAD '/data/wiki' AS g"),
+            MustCanonicalize("LOAD '/data/wiki' FROM 3 TO 9 AS g"));
+}
+
+TEST(CanonicalTest, CanonicalFormIsAFixedPoint) {
+  // The canonical text must itself parse, and canonicalize to itself —
+  // otherwise cache keys would depend on how many times a script bounced
+  // through the printer.
+  const std::vector<std::string> scripts = {
+      "LOAD '/data/wiki' AS g; LOAD '/data/wiki' FROM 3 TO 9 AS h",
+      "GENERATE snb(scale=0.5, seed=7, months=24) AS g",
+      "SET s = AZOOM g BY school "
+      "AGGREGATE COUNT() AS students, SUM(w) AS total, AVG(w) AS mean "
+      "TYPE 'school' EDGE TYPE 'collaborate'",
+      "set s = azoom g by school",
+      "SET a = WZOOM g WINDOW 3;"
+      "SET b = WZOOM g WINDOW 5 CHANGES NODES ALL EDGES MOST;"
+      "SET c = WZOOM g WINDOW 3 NODES ATLEAST 0.25 EDGES EXISTS "
+      "RESOLVE school LAST, name FIRST",
+      "SET a = SLICE g FROM 2 TO 8;"
+      "SET b = SUBGRAPH g WHERE type = 'person' AND age >= 21 "
+      "EDGES WHERE HAS(weight);"
+      "SET c = COALESCE g;"
+      "SET d = CONVERT g TO ogc;"
+      "SET e = g",
+      "STORE g TO '/out' SORT STRUCTURAL; INFO g; SNAPSHOT g AT 5 LIMIT 3; "
+      "DROP g; LIST",
+      "SET s = SUBGRAPH g WHERE name = 'O''Brien'",  // quote escaping
+  };
+  for (const std::string& script : scripts) {
+    std::string once = MustCanonicalize(script);
+    std::string twice = MustCanonicalize(once);
+    EXPECT_EQ(once, twice) << "not a fixed point for: " << script;
+  }
+}
+
+TEST(CanonicalTest, StoreMakesAScriptUncacheable) {
+  Result<std::vector<Statement>> cacheable =
+      Parse("LOAD '/data/wiki' AS g; SET s = AZOOM g BY school; INFO s");
+  ASSERT_TRUE(cacheable.ok());
+  EXPECT_TRUE(IsCacheableScript(*cacheable));
+
+  Result<std::vector<Statement>> with_store =
+      Parse("LOAD '/data/wiki' AS g; STORE g TO '/out'");
+  ASSERT_TRUE(with_store.ok());
+  EXPECT_FALSE(IsCacheableScript(*with_store));
+}
+
+TEST(CanonicalTest, UnparsableScriptFailsCleanly) {
+  EXPECT_FALSE(CanonicalizeScript("SET s = AZOOM").ok());
+  EXPECT_FALSE(CanonicalizeScript("LOAD missing_quotes AS g").ok());
+}
+
+}  // namespace
+}  // namespace tgraph::tql

@@ -10,6 +10,9 @@
 //             [--eq all|most|exists] [--rep ve|og|ogc|rg]
 //   tgz snapshot --in DIR --at T
 //   tgz query --script FILE      (run a TQL script)
+//   tgz query --script FILE --connect host:port [--no-cache v]
+//                                (run it on a tgraphd server)
+//   tgz stats --connect host:port   (fetch server metrics / cache stats)
 //   tgz repl                     (interactive TQL, statements end with ;)
 //
 // Graph directories use the library's columnar VE format (vertices.tcol +
@@ -25,6 +28,7 @@
 #include "gen/stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/client.h"
 #include "storage/graph_io.h"
 #include "tgraph/tgraph.h"
 #include "tql/interpreter.h"
@@ -44,10 +48,17 @@ class Flags {
         Die("unexpected argument: " + arg);
       }
       std::string key = arg.substr(2);
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {  // --flag=value form
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
       if (i + 1 >= argc) Die("flag --" + key + " needs a value");
       values_[key] = argv[++i];
     }
   }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
 
   std::string Get(const std::string& key) const {
     auto it = values_.find(key);
@@ -241,6 +252,22 @@ int Snapshot(const Flags& flags) {
   return 0;
 }
 
+/// Splits "host:port" (the value of --connect); dies on a bad spec.
+std::pair<std::string, int> ParseHostPort(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) {
+    Flags::Die("--connect wants host:port, got '" + spec + "'");
+  }
+  return {spec.substr(0, colon), std::stoi(spec.substr(colon + 1))};
+}
+
+server::Client ConnectedClient(const Flags& flags) {
+  auto [host, port] = ParseHostPort(flags.Get("connect"));
+  server::Client client;
+  DieOnError(client.Connect(host, port));
+  return client;
+}
+
 int Query(const Flags& flags) {
   std::string path = flags.Get("script");
   FILE* file = std::fopen(path.c_str(), "rb");
@@ -252,10 +279,31 @@ int Query(const Flags& flags) {
     script.append(buffer, n);
   }
   std::fclose(file);
+  if (flags.Has("connect")) {
+    // Client mode: ship the script to a tgraphd and print its answer.
+    server::Client client = ConnectedClient(flags);
+    Result<server::Response> response =
+        client.Query(script, /*no_cache=*/flags.Has("no-cache"));
+    DieOnError(response.status());
+    std::fputs(response->body.c_str(), stdout);
+    if (response->cache_hit()) {
+      std::fprintf(stderr, "tgz: served from cache (request %llu)\n",
+                   static_cast<unsigned long long>(response->request_id));
+    }
+    return 0;
+  }
   tql::Interpreter interpreter(Ctx());
   Result<std::string> output = interpreter.ExecuteScript(script);
   DieOnError(output.status());
   std::fputs(output->c_str(), stdout);
+  return 0;
+}
+
+int Stats(const Flags& flags) {
+  server::Client client = ConnectedClient(flags);
+  Result<server::Response> response = client.Stats();
+  DieOnError(response.status());
+  std::fputs(response->body.c_str(), stdout);
   return 0;
 }
 
@@ -286,7 +334,7 @@ int Repl() {
 int Usage() {
   std::fprintf(stderr,
                "usage: tgz [--trace-out FILE] [--metrics] "
-               "<generate|info|slice|azoom|wzoom|snapshot|query|repl> "
+               "<generate|info|slice|azoom|wzoom|snapshot|query|stats|repl> "
                "[--flag value ...]\n"
                "  --trace-out FILE  write a Chrome trace_event JSON "
                "(chrome://tracing, Perfetto)\n"
@@ -332,6 +380,7 @@ int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "wzoom") return WZoomCommand(flags);
   if (command == "snapshot") return Snapshot(flags);
   if (command == "query") return Query(flags);
+  if (command == "stats") return Stats(flags);
   if (command == "repl") return Repl();
   return Usage();
 }

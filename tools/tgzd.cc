@@ -1,0 +1,159 @@
+// tgzd — the resident TGraphZoom query server.
+//
+//   tgzd [--port N] [--workers N] [--queue-depth N]
+//        [--cache-bytes N] [--cache-ttl-ms N]
+//        [--deadline-ms N] [--idle-timeout-ms N]
+//        [--trace-out FILE] [--metrics]
+//
+// Listens on loopback for framed TQL requests (src/server/protocol.h),
+// executes them on a bounded worker pool over one shared
+// dataflow::ExecutionContext, and serves repeated zoom queries from a
+// canonicalized-plan result cache. SIGTERM/SIGINT trigger a graceful
+// drain: stop accepting, finish in-flight requests, flush the trace and
+// metrics, exit 0.
+//
+// Talk to it with `tgz query --connect host:port --script FILE`,
+// `tgz stats --connect host:port`, or any client of the wire protocol.
+
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "dataflow/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace tgraph;  // NOLINT — binary-local brevity
+
+// Self-pipe: the signal handler only writes one byte; main blocks on the
+// read end so all drain work happens on a normal thread, not in a
+// handler.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int /*signum*/) {
+  char byte = 1;
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "tgzd: %s\n", message.c_str());
+  std::exit(2);
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tgzd [--port N] [--workers N] [--queue-depth N]\n"
+      "            [--cache-bytes N] [--cache-ttl-ms N] [--deadline-ms N]\n"
+      "            [--idle-timeout-ms N] [--trace-out FILE] [--metrics]\n"
+      "  --port N            TCP port, loopback only (0 = ephemeral; "
+      "default 7464)\n"
+      "  --workers N         concurrent request executors (default 4)\n"
+      "  --queue-depth N     waiting connections before refusing "
+      "(default 16)\n"
+      "  --cache-bytes N     result-cache budget, 0 disables (default "
+      "64MiB)\n"
+      "  --cache-ttl-ms N    result-cache entry TTL, 0 = no expiry\n"
+      "  --deadline-ms N     per-query deadline, 0 = none (default "
+      "60000)\n"
+      "  --idle-timeout-ms N close idle connections after N ms (default "
+      "60000)\n"
+      "  --trace-out FILE    write a Chrome trace on shutdown\n"
+      "  --metrics           print the metrics registry on shutdown\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  bool metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return Usage();
+    if (arg == "--metrics") {
+      metrics = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) Die("unexpected argument: " + arg);
+    std::string key = arg.substr(2);
+    size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      flags[key.substr(0, eq)] = key.substr(eq + 1);
+    } else {
+      if (i + 1 >= argc) Die("flag --" + key + " needs a value");
+      flags[key] = argv[++i];
+    }
+  }
+  auto int_flag = [&](const char* key, int64_t fallback) {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoll(it->second);
+  };
+
+  server::ServerOptions options;
+  options.port = static_cast<int>(int_flag("port", options.port));
+  options.workers = static_cast<int>(int_flag("workers", options.workers));
+  options.queue_depth =
+      static_cast<int>(int_flag("queue-depth", options.queue_depth));
+  options.cache_bytes = static_cast<size_t>(
+      int_flag("cache-bytes", static_cast<int64_t>(options.cache_bytes)));
+  options.cache_ttl_ms = int_flag("cache-ttl-ms", options.cache_ttl_ms);
+  options.deadline_ms = int_flag("deadline-ms", options.deadline_ms);
+  options.idle_timeout_ms =
+      int_flag("idle-timeout-ms", options.idle_timeout_ms);
+  std::string trace_out;
+  if (auto it = flags.find("trace-out"); it != flags.end()) {
+    trace_out = it->second;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) Die("pipe: " + std::string(strerror(errno)));
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // failed response writes surface as EPIPE
+
+  if (!trace_out.empty()) tgraph::obs::Tracer::Global().Enable();
+
+  tgraph::dataflow::ExecutionContext ctx;
+  server::Server server(&ctx, options);
+  tgraph::Status status = server.Start();
+  if (!status.ok()) Die(status.ToString());
+  // Machine-readable startup line: scripts (and the CLI smoke test) parse
+  // the bound port from here, which is how --port 0 is usable.
+  std::printf("tgraphd listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  server.Drain();
+
+  if (!trace_out.empty()) {
+    if (tgraph::obs::Tracer::Global().WriteChromeTrace(trace_out)) {
+      std::fprintf(stderr, "tgzd: wrote trace to %s (%zu spans)\n",
+                   trace_out.c_str(),
+                   tgraph::obs::Tracer::Global().EventCount());
+    } else {
+      std::fprintf(stderr, "tgzd: cannot write trace to %s\n",
+                   trace_out.c_str());
+    }
+  }
+  if (metrics) {
+    std::string report = tgraph::obs::MetricsRegistry::Global().ToString();
+    std::fprintf(stderr, "%s", report.c_str());
+  }
+  std::printf("tgraphd drained, exiting\n");
+  return 0;
+}
