@@ -1,0 +1,119 @@
+// Ablation: skew-aware shuffle rebalancing on power-law inputs.
+//
+// groupBy throughput over edges keyed by source vertex, generated at
+// Zipf exponent 0 (uniform control), 0.8 (moderate), and 1.2 (severe,
+// plus a forced super-hub) — with rebalancing on vs. off. Reported per
+// case:
+//   * items_per_second — grouped records per second (wall clock);
+//   * max_over_mean_pre  — max/mean partition size of the plain hash
+//     layout (what the reduce stage would have seen);
+//   * max_over_mean_post — max/mean of the layout actually executed.
+// On a multi-core runner the reduce stage's wall clock tracks the max
+// partition, so max_over_mean_post/pre bounds the achievable stage
+// speedup; on a single-core runner only the (smaller) algorithmic
+// effects show up in items_per_second. See DESIGN.md "Skew-aware
+// shuffle rebalancing".
+
+#include "bench/bench_util.h"
+
+#include <utility>
+#include <vector>
+
+#include "dataflow/dataset.h"
+
+namespace {
+
+using namespace tgraph;         // NOLINT
+using namespace tgraph::bench;  // NOLINT
+
+using KV = std::pair<int64_t, int64_t>;
+
+constexpr int kNumPartitions = 16;
+
+/// Edges of a power-law graph keyed by source vertex — the canonical
+/// skewed shuffle workload (all of the hub's edges share one key).
+std::vector<KV> KeyedEdges(double zipf_exponent, double hub_fraction) {
+  gen::PowerLawConfig config;
+  config.num_vertices = 20000;
+  config.num_edges = 300000;
+  config.zipf_exponent = zipf_exponent;
+  config.hub_fraction = hub_fraction;
+  config.seed = 7;
+  // Generation context is independent of the per-mode benchmark contexts.
+  dataflow::ExecutionContext ctx;
+  VeGraph g = gen::GeneratePowerLaw(&ctx, config);
+  std::vector<KV> keyed;
+  for (const VeEdge& e : g.edges().Collect()) {
+    keyed.emplace_back(e.src, e.dst);
+  }
+  return keyed;
+}
+
+double MaxOverMean(const obs::HistogramSnapshot& h) {
+  return h.count == 0 || h.sum == 0
+             ? 0.0
+             : static_cast<double>(h.max) / h.Mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct SkewCase {
+    const char* name;
+    double zipf_exponent;
+    double hub_fraction;
+  };
+  // Exponent 0 with no hub is the uniform control: rebalancing must not
+  // regress it (the sketch pass is its only cost).
+  SkewCase cases[] = {
+      {"zipf0.0", 0.0, 0.0},
+      {"zipf0.8", 0.8, 0.1},
+      {"zipf1.2", 1.2, 0.2},
+  };
+  for (const SkewCase& c : cases) {
+    std::vector<KV> keyed = KeyedEdges(c.zipf_exponent, c.hub_fraction);
+    for (bool rebalance : {false, true}) {
+      std::string bench_name = std::string("groupBy/") + c.name + "/" +
+                               (rebalance ? "rebalance" : "legacy");
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [keyed, rebalance](benchmark::State& state) {
+            dataflow::ShuffleOptions shuffle;  // defaults: on, threshold 4
+            shuffle.enable = rebalance;
+            dataflow::ExecutionContext ctx(
+                dataflow::ContextOptions{.shuffle = shuffle});
+            auto source =
+                dataflow::Dataset<KV>::FromVector(&ctx, keyed, kNumPartitions);
+            // Materialize the source outside the timed region.
+            int64_t n = source.Count();
+            obs::MetricsSnapshot before =
+                obs::MetricsRegistry::Global().Snapshot();
+            int64_t groups = 0;
+            for (auto _ : state) {
+              groups = source.GroupByKey(kNumPartitions).Count();
+              benchmark::DoNotOptimize(groups);
+            }
+            obs::MetricsSnapshot delta =
+                obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+            state.SetItemsProcessed(n * static_cast<int64_t>(
+                                            state.iterations()));
+            state.counters["groups"] = static_cast<double>(groups);
+            double pre = MaxOverMean(
+                delta.histograms[obs::metric_names::kShufflePartitionSize]);
+            // Without a fired plan the executed layout IS the hash layout.
+            auto post = delta.histograms.find(
+                obs::metric_names::kShufflePartitionSizeRebalanced);
+            state.counters["max_over_mean_pre"] = pre;
+            state.counters["max_over_mean_post"] =
+                post != delta.histograms.end() && post->second.count > 0
+                    ? MaxOverMean(post->second)
+                    : pre;
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(5);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

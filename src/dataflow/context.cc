@@ -1,7 +1,9 @@
 #include "dataflow/context.h"
 
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
+#include <string_view>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -26,6 +28,15 @@ ExecutionContext::ExecutionContext(ContextOptions options) {
   default_parallelism_ = options.default_parallelism > 0
                              ? options.default_parallelism
                              : 2 * workers;
+  shuffle_options_ = options.shuffle;
+  // Process-wide kill switch, so benchmarks and CI can ablate the
+  // rebalancer without touching call sites.
+  if (const char* env = std::getenv("TGRAPH_SHUFFLE_REBALANCE");
+      env != nullptr &&
+      (std::string_view(env) == "0" || std::string_view(env) == "false" ||
+       std::string_view(env) == "off")) {
+    shuffle_options_.enable = false;
+  }
 }
 
 void ExecutionContext::ParallelFor(size_t n,
@@ -41,7 +52,10 @@ void ExecutionContext::ParallelFor(size_t n,
   stages->Increment();
   tasks->Add(static_cast<int64_t>(n));
   obs::Span span("dataflow.stage", "dataflow");
-  if (n == 1 || pool_->InWorkerThread()) {
+  // A single-worker pool gains nothing from dispatch: every task would
+  // serialize through the pool anyway, paying a wakeup per index. Run
+  // inline (same order a one-worker pool would use).
+  if (n == 1 || pool_->num_threads() <= 1 || pool_->InWorkerThread()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -45,6 +45,26 @@ struct Metrics {
   std::string ToString() const;
 };
 
+/// \brief Configuration of the skew-aware shuffle rebalancer (see
+/// dataflow/shuffle.h). On by default: wide operators sketch key
+/// frequencies on the map side and split hot keys across dedicated
+/// sub-partitions so one power-law hub key cannot drag a whole stage.
+struct ShuffleOptions {
+  /// Master switch. Off falls back to the plain hash shuffle with zero
+  /// sketch overhead. Also forced off process-wide by the environment
+  /// variable TGRAPH_SHUFFLE_REBALANCE=0.
+  bool enable = true;
+  /// A key is hot when its estimated record count exceeds
+  /// `skew_threshold x (total_records / num_partitions)` — i.e. it alone
+  /// would fill that many mean-sized partitions. Clamped to >= 1.
+  double skew_threshold = 4.0;
+  /// Upper bound on sub-partitions per hot key.
+  int max_splits = 8;
+  /// Shuffles smaller than this skip sketching entirely (the imbalance a
+  /// tiny shuffle can cause is not worth the sketch pass).
+  int64_t min_records = 2048;
+};
+
 /// \brief Configuration for an ExecutionContext.
 struct ContextOptions {
   /// Worker threads; 0 means use the hardware concurrency.
@@ -52,6 +72,8 @@ struct ContextOptions {
   /// Partitions created by sources and shuffles when not specified
   /// explicitly; 0 means 2x the worker count.
   int default_parallelism = 0;
+  /// Skew-aware shuffle rebalancing knobs.
+  ShuffleOptions shuffle;
 };
 
 /// \brief The driver for dataflow execution: owns the worker pool, the
@@ -70,6 +92,14 @@ class ExecutionContext {
   int num_workers() const { return pool_->num_threads(); }
   Metrics& metrics() { return metrics_; }
 
+  /// Shuffle rebalancing knobs, read by every wide operator at execution
+  /// time. The setter is not synchronized against running plans — change
+  /// options between actions, not during one.
+  const ShuffleOptions& shuffle_options() const { return shuffle_options_; }
+  void set_shuffle_options(const ShuffleOptions& options) {
+    shuffle_options_ = options;
+  }
+
   /// Runs fn(0) ... fn(n-1) on the worker pool and blocks until all have
   /// completed. Degrades to a sequential loop when invoked from a worker
   /// thread (nested parallelism), avoiding pool starvation.
@@ -78,6 +108,7 @@ class ExecutionContext {
  private:
   std::unique_ptr<ThreadPool> pool_;
   int default_parallelism_;
+  ShuffleOptions shuffle_options_;
   Metrics metrics_;
 };
 

@@ -16,14 +16,11 @@
 #include "common/logging.h"
 #include "dataflow/context.h"
 #include "dataflow/hashing.h"
+#include "dataflow/shuffle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace tgraph::dataflow {
-
-/// The physical result of a dataflow stage: a list of record partitions.
-template <typename T>
-using Partitions = std::vector<std::vector<T>>;
 
 namespace internal_dataset {
 
@@ -112,70 +109,62 @@ Partitions<T> Chunk(std::vector<T> data, int num_partitions) {
   return out;
 }
 
-/// Shared shuffle accounting: per-context legacy counter plus the global
-/// registry (record and approximate byte volume — record count times the
-/// record's static size, so payloads behind pointers are not included).
-inline void NoteShuffle(ExecutionContext* ctx, int64_t records,
-                        size_t record_size) {
-  ctx->metrics().records_shuffled.fetch_add(records,
-                                            std::memory_order_relaxed);
-  static obs::Counter* shuffles = obs::MetricsRegistry::Global().GetCounter(
-      obs::metric_names::kShuffles);
-  static obs::Counter* shuffled_records =
-      obs::MetricsRegistry::Global().GetCounter(
-          obs::metric_names::kShuffleRecords);
-  static obs::Counter* shuffled_bytes =
-      obs::MetricsRegistry::Global().GetCounter(
-          obs::metric_names::kShuffleBytes);
-  shuffles->Increment();
-  shuffled_records->Add(records);
-  shuffled_bytes->Add(records * static_cast<int64_t>(record_size));
+/// Merges per-key state across each hot key's sub-partitions into its
+/// first sub-partition (the reduce side of two-level aggregation after a
+/// HotRouting::kSpread shuffle). Entries are pair<K, S>;
+/// `append(S* dst, S&& src)` merges two entries with equal keys. Each hot
+/// key's sub-partitions hold only records of one key hash, so the number
+/// of distinct keys per sub-partition is tiny (hash collisions only) and
+/// a linear key scan beats a hash table.
+template <typename K, typename S, typename Append>
+void MergeHotGroups(ExecutionContext* ctx,
+                    const internal_shuffle::ShufflePlan& plan,
+                    Partitions<std::pair<K, S>>* out, const Append& append) {
+  if (!plan.rebalanced()) return;
+  TG_SPAN("dataflow.shuffle.merge", "dataflow");
+  ctx->ParallelFor(plan.hot.size(), [&](size_t i) {
+    const internal_shuffle::HotKey& hk = plan.hot[i];
+    if (hk.splits <= 1) return;
+    auto& head = (*out)[hk.first_sub];
+    for (int s = 1; s < hk.splits; ++s) {
+      auto& sub = (*out)[hk.first_sub + static_cast<size_t>(s)];
+      for (auto& entry : sub) {
+        auto it = std::find_if(
+            head.begin(), head.end(),
+            [&](const std::pair<K, S>& e) { return e.first == entry.first; });
+        if (it == head.end()) {
+          head.push_back(std::move(entry));
+        } else {
+          append(&it->second, std::move(entry.second));
+        }
+      }
+      sub.clear();
+    }
+  });
 }
 
-/// Records post-shuffle partition sizes into the skew histogram.
+/// Re-deduplicates each hot key's sub-partitions into the first one
+/// (Distinct's merge step: every sub-partition is already locally
+/// deduplicated, so the union per hot key is small).
 template <typename T>
-void NotePartitionSizes(const Partitions<T>& partitions) {
-  static obs::Histogram* sizes = obs::MetricsRegistry::Global().GetHistogram(
-      obs::metric_names::kShufflePartitionSize);
-  for (const auto& partition : partitions) {
-    sizes->Record(static_cast<int64_t>(partition.size()));
-  }
-}
-
-/// Hash-partitions every record of `input` into `num_out` buckets using
-/// `key_of` (record -> hashable key). The shuffle primitive behind all wide
-/// operators. Runs the bucketing stage in parallel over input partitions and
-/// the concatenation stage in parallel over output partitions.
-template <typename T, typename KeyOf>
-Partitions<T> ShuffleBy(ExecutionContext* ctx, const Partitions<T>& input,
-                        size_t num_out, const KeyOf& key_of) {
-  TG_CHECK_GT(num_out, 0u);
-  TG_SPAN("dataflow.shuffle", "dataflow");
-  std::vector<Partitions<T>> bucketed(input.size());
-  ctx->ParallelFor(input.size(), [&](size_t p) {
-    bucketed[p].resize(num_out);
-    for (const T& record : input[p]) {
-      size_t bucket = DfHash(key_of(record)) % num_out;
-      bucketed[p][bucket].push_back(record);
+void MergeHotDistinct(ExecutionContext* ctx,
+                      const internal_shuffle::ShufflePlan& plan,
+                      Partitions<T>* out) {
+  if (!plan.rebalanced()) return;
+  TG_SPAN("dataflow.shuffle.merge", "dataflow");
+  ctx->ParallelFor(plan.hot.size(), [&](size_t i) {
+    const internal_shuffle::HotKey& hk = plan.hot[i];
+    if (hk.splits <= 1) return;
+    auto& head = (*out)[hk.first_sub];
+    std::unordered_set<T, DfHasher<T>> seen(head.begin(), head.end());
+    for (int s = 1; s < hk.splits; ++s) {
+      auto& sub = (*out)[hk.first_sub + static_cast<size_t>(s)];
+      for (T& record : sub) {
+        if (seen.insert(record).second) head.push_back(std::move(record));
+      }
+      sub.clear();
     }
   });
-  int64_t moved = 0;
-  for (const auto& part : input) moved += static_cast<int64_t>(part.size());
-  NoteShuffle(ctx, moved, sizeof(T));
-
-  Partitions<T> out(num_out);
-  ctx->ParallelFor(num_out, [&](size_t b) {
-    size_t total = 0;
-    for (size_t p = 0; p < bucketed.size(); ++p) total += bucketed[p][b].size();
-    out[b].reserve(total);
-    for (size_t p = 0; p < bucketed.size(); ++p) {
-      auto& bucket = bucketed[p][b];
-      std::move(bucket.begin(), bucket.end(), std::back_inserter(out[b]));
-      bucket.clear();
-    }
-  });
-  NotePartitionSizes(out);
-  return out;
 }
 
 }  // namespace internal_dataset
@@ -188,7 +177,12 @@ Partitions<T> ShuffleBy(ExecutionContext* ctx, const Partitions<T>& input,
 /// the owning ExecutionContext's worker pool. Narrow transformations
 /// (Map/Filter/FlatMap/MapPartitions) parallelize per partition with no data
 /// movement; wide transformations (GroupByKey, ReduceByKey, Join, SemiJoin,
-/// CoGroup, Distinct, PartitionByKey) hash-shuffle between stages.
+/// CoGroup, Distinct, PartitionByKey) hash-shuffle between stages. Every
+/// wide transformation rides the skew-aware shuffle (dataflow/shuffle.h):
+/// hot keys detected by a map-side sketch are split across dedicated
+/// sub-partitions and re-merged per operator, so results are identical to
+/// the plain hash shuffle (see ExecutionContext::shuffle_options to tune
+/// or disable).
 ///
 /// Key-value operators are available whenever T is a std::pair<K, V> with a
 /// DfHash-able, equality-comparable K.
@@ -345,7 +339,7 @@ class Dataset {
         [input, parts](ExecutionContext* ctx) {
           const Partitions<T>& in = input->Materialize(ctx);
           std::vector<T> all = Flatten(in);
-          internal_dataset::NoteShuffle(
+          internal_shuffle::NoteShuffle(
               ctx, static_cast<int64_t>(all.size()), sizeof(T));
           return internal_dataset::Chunk(std::move(all), parts);
         });
@@ -355,6 +349,9 @@ class Dataset {
   /// Hash-partitions records so equal keys land in the same partition.
   /// `key_of(const T&)` must return a DfHash-able key. This is how the VE
   /// representation "reconstructs temporal locality at runtime" (Section 3).
+  /// Hot keys get a dedicated partition each (HotRouting::kIsolate), so
+  /// the output may hold more than `num_partitions` partitions; equal keys
+  /// are still always co-located.
   template <typename KeyOf>
   Dataset<T> PartitionBy(KeyOf key_of, int num_partitions = 0) const {
     int parts = num_partitions > 0 ? num_partitions : ctx_->default_parallelism();
@@ -362,8 +359,9 @@ class Dataset {
     auto node = std::make_shared<LambdaNode<T>>(
         [input, key_of = std::move(key_of), parts](ExecutionContext* ctx) {
           const Partitions<T>& in = input->Materialize(ctx);
-          return internal_dataset::ShuffleBy(ctx, in,
-                                             static_cast<size_t>(parts), key_of);
+          return internal_shuffle::ShuffleBy(
+              ctx, in, static_cast<size_t>(parts), key_of,
+              internal_shuffle::HotRouting::kIsolate);
         });
     return Dataset<T>(ctx_, std::move(node));
   }
@@ -376,16 +374,20 @@ class Dataset {
     });
   }
 
-  /// Removes duplicates (by DfHash/==) via a shuffle.
+  /// Removes duplicates (by DfHash/==) via a shuffle. A heavily repeated
+  /// record is spread over sub-partitions, deduplicated locally, and
+  /// re-deduplicated across its sub-partitions in a cheap merge step.
   Dataset<T> Distinct(int num_partitions = 0) const {
     int parts = num_partitions > 0 ? num_partitions : ctx_->default_parallelism();
     auto input = node_;
     auto node = std::make_shared<LambdaNode<T>>(
         [input, parts](ExecutionContext* ctx) {
           const Partitions<T>& in = input->Materialize(ctx);
-          Partitions<T> shuffled = internal_dataset::ShuffleBy(
-              ctx, in, static_cast<size_t>(parts),
-              [](const T& record) { return record; });
+          auto key = [](const T& record) -> const T& { return record; };
+          internal_shuffle::ShufflePlan plan = internal_shuffle::PlanShuffle(
+              ctx, in, static_cast<size_t>(parts), key, /*allow_spread=*/true);
+          Partitions<T> shuffled = internal_shuffle::ShuffleWithPlan(
+              ctx, in, plan, key, internal_shuffle::HotRouting::kSpread);
           Partitions<T> out(shuffled.size());
           ctx->ParallelFor(shuffled.size(), [&](size_t p) {
             std::unordered_set<T, DfHasher<T>> seen;
@@ -394,6 +396,7 @@ class Dataset {
               if (seen.insert(record).second) out[p].push_back(record);
             }
           });
+          internal_dataset::MergeHotDistinct(ctx, plan, &out);
           return out;
         });
     return Dataset<T>(ctx_, std::move(node));
@@ -419,7 +422,11 @@ class Dataset {
   // Key-value (wide) transformations — enabled when T is std::pair<K, V>
   // ---------------------------------------------------------------------
 
-  /// Groups values by key: Dataset<pair<K, vector<V>>>.
+  /// Groups values by key: Dataset<pair<K, vector<V>>>. A hot key is
+  /// spread over sub-partitions, partially grouped in each (without the
+  /// per-record hash-map probe — a sub-partition holds a single key hash,
+  /// so grouping is an equality scan over a handful of entries), then the
+  /// partial value vectors are concatenated in a merge step.
   template <typename P = T>
     requires internal_dataset::PairTraits<P>::is_pair
   auto GroupByKey(int num_partitions = 0) const {
@@ -431,11 +438,29 @@ class Dataset {
     auto node = std::make_shared<LambdaNode<Out>>(
         [input, parts](ExecutionContext* ctx) {
           const Partitions<T>& in = input->Materialize(ctx);
-          Partitions<T> shuffled = internal_dataset::ShuffleBy(
-              ctx, in, static_cast<size_t>(parts),
-              [](const T& kv) -> const K& { return kv.first; });
+          auto key = [](const T& kv) -> const K& { return kv.first; };
+          internal_shuffle::ShufflePlan plan = internal_shuffle::PlanShuffle(
+              ctx, in, static_cast<size_t>(parts), key, /*allow_spread=*/true);
+          Partitions<T> shuffled = internal_shuffle::ShuffleWithPlan(
+              ctx, in, plan, key, internal_shuffle::HotRouting::kSpread);
           Partitions<Out> out(shuffled.size());
           ctx->ParallelFor(shuffled.size(), [&](size_t p) {
+            if (p >= plan.num_base) {
+              // Hot sub-partition: one key hash; group by equality scan.
+              for (T& kv : shuffled[p]) {
+                auto it = std::find_if(out[p].begin(), out[p].end(),
+                                       [&](const Out& group) {
+                                         return group.first == kv.first;
+                                       });
+                if (it == out[p].end()) {
+                  out[p].emplace_back(kv.first, std::vector<V>{});
+                  it = std::prev(out[p].end());
+                  it->second.reserve(shuffled[p].size());
+                }
+                it->second.push_back(std::move(kv.second));
+              }
+              return;
+            }
             std::unordered_map<K, std::vector<V>, DfHasher<K>> groups;
             groups.reserve(shuffled[p].size());
             for (T& kv : shuffled[p]) {
@@ -446,6 +471,12 @@ class Dataset {
               out[p].emplace_back(key, std::move(values));
             }
           });
+          internal_dataset::MergeHotGroups(
+              ctx, plan, &out,
+              [](std::vector<V>* dst, std::vector<V>&& src) {
+                dst->reserve(dst->size() + src.size());
+                std::move(src.begin(), src.end(), std::back_inserter(*dst));
+              });
           return out;
         });
     return Dataset<Out>(ctx_, std::move(node));
@@ -478,10 +509,16 @@ class Dataset {
               combined[p].emplace_back(key, std::move(value));
             }
           });
-          // Shuffle + final combine.
-          Partitions<T> shuffled = internal_dataset::ShuffleBy(
-              ctx, combined, static_cast<size_t>(parts),
-              [](const T& kv) -> const K& { return kv.first; });
+          // Shuffle + final combine. Map-side combining already collapses
+          // each key to at most one record per input partition, so a key
+          // only stays hot here when the partition count itself is large;
+          // the spread + merge path handles that residual case.
+          auto key = [](const T& kv) -> const K& { return kv.first; };
+          internal_shuffle::ShufflePlan plan = internal_shuffle::PlanShuffle(
+              ctx, combined, static_cast<size_t>(parts), key,
+              /*allow_spread=*/true);
+          Partitions<T> shuffled = internal_shuffle::ShuffleWithPlan(
+              ctx, combined, plan, key, internal_shuffle::HotRouting::kSpread);
           Partitions<T> out(shuffled.size());
           ctx->ParallelFor(shuffled.size(), [&](size_t p) {
             std::unordered_map<K, V, DfHasher<K>> acc;
@@ -496,6 +533,10 @@ class Dataset {
               out[p].emplace_back(key, std::move(value));
             }
           });
+          internal_dataset::MergeHotGroups(ctx, plan, &out,
+                                           [&fn](V* dst, V&& src) {
+                                             *dst = fn(*dst, src);
+                                           });
           return out;
         });
     return Dataset<T>(ctx_, std::move(node));
@@ -528,9 +569,12 @@ class Dataset {
               partial[p].emplace_back(key, std::move(value));
             }
           });
-          Partitions<Out> shuffled = internal_dataset::ShuffleBy(
-              ctx, partial, static_cast<size_t>(parts),
-              [](const Out& kv) -> const K& { return kv.first; });
+          auto key = [](const Out& kv) -> const K& { return kv.first; };
+          internal_shuffle::ShufflePlan plan = internal_shuffle::PlanShuffle(
+              ctx, partial, static_cast<size_t>(parts), key,
+              /*allow_spread=*/true);
+          Partitions<Out> shuffled = internal_shuffle::ShuffleWithPlan(
+              ctx, partial, plan, key, internal_shuffle::HotRouting::kSpread);
           Partitions<Out> out(shuffled.size());
           ctx->ParallelFor(shuffled.size(), [&](size_t p) {
             std::unordered_map<K, A, DfHasher<K>> acc;
@@ -544,6 +588,10 @@ class Dataset {
               out[p].emplace_back(key, std::move(value));
             }
           });
+          internal_dataset::MergeHotGroups(ctx, plan, &out,
+                                           [&comb](A* dst, A&& src) {
+                                             comb(dst, std::move(src));
+                                           });
           return out;
         });
     return Dataset<Out>(ctx_, std::move(node));
@@ -582,10 +630,20 @@ class Dataset {
           const Partitions<RightT>& rin = right_node->Materialize(ctx);
           auto key_left = [](const T& kv) -> const K& { return kv.first; };
           auto key_right = [](const RightT& kv) -> const K& { return kv.first; };
-          Partitions<T> ls = internal_dataset::ShuffleBy(
-              ctx, lin, static_cast<size_t>(parts), key_left);
-          Partitions<RightT> rs = internal_dataset::ShuffleBy(
-              ctx, rin, static_cast<size_t>(parts), key_right);
+          // Skew handling detects hot keys on the probe (left) side,
+          // spreads their records over sub-partitions, and replicates the
+          // matching build-side rows into every sub-partition (the salted
+          // key + broadcast join). Build-side-only skew is left alone:
+          // splitting it would replicate the heavy side.
+          internal_shuffle::ShufflePlan plan = internal_shuffle::PlanShuffle(
+              ctx, lin, static_cast<size_t>(parts), key_left,
+              /*allow_spread=*/true);
+          Partitions<T> ls = internal_shuffle::ShuffleWithPlan(
+              ctx, lin, plan, key_left,
+              internal_shuffle::HotRouting::kSpread);
+          Partitions<RightT> rs = internal_shuffle::ShuffleWithPlan(
+              ctx, rin, plan, key_right,
+              internal_shuffle::HotRouting::kReplicate);
           Partitions<Out> out(ls.size());
           ctx->ParallelFor(ls.size(), [&](size_t p) {
             std::unordered_map<K, std::vector<W>, DfHasher<K>> table;
@@ -624,12 +682,19 @@ class Dataset {
         [left_node, right_node, parts](ExecutionContext* ctx) {
           const Partitions<T>& lin = left_node->Materialize(ctx);
           const Partitions<RightT>& rin = right_node->Materialize(ctx);
-          Partitions<T> ls = internal_dataset::ShuffleBy(
-              ctx, lin, static_cast<size_t>(parts),
-              [](const T& kv) -> const K& { return kv.first; });
-          Partitions<RightT> rs = internal_dataset::ShuffleBy(
-              ctx, rin, static_cast<size_t>(parts),
-              [](const RightT& kv) -> const K& { return kv.first; });
+          auto key_left = [](const T& kv) -> const K& { return kv.first; };
+          auto key_right = [](const RightT& kv) -> const K& { return kv.first; };
+          // Like Join: spread the hot left keys, replicate the right-side
+          // key set into their sub-partitions.
+          internal_shuffle::ShufflePlan plan = internal_shuffle::PlanShuffle(
+              ctx, lin, static_cast<size_t>(parts), key_left,
+              /*allow_spread=*/true);
+          Partitions<T> ls = internal_shuffle::ShuffleWithPlan(
+              ctx, lin, plan, key_left,
+              internal_shuffle::HotRouting::kSpread);
+          Partitions<RightT> rs = internal_shuffle::ShuffleWithPlan(
+              ctx, rin, plan, key_right,
+              internal_shuffle::HotRouting::kReplicate);
           Partitions<T> out(ls.size());
           ctx->ParallelFor(ls.size(), [&](size_t p) {
             std::unordered_set<K, DfHasher<K>> keys;
@@ -664,12 +729,32 @@ class Dataset {
         [left_node, right_node, parts](ExecutionContext* ctx) {
           const Partitions<T>& lin = left_node->Materialize(ctx);
           const Partitions<RightT>& rin = right_node->Materialize(ctx);
-          Partitions<T> ls = internal_dataset::ShuffleBy(
-              ctx, lin, static_cast<size_t>(parts),
-              [](const T& kv) -> const K& { return kv.first; });
-          Partitions<RightT> rs = internal_dataset::ShuffleBy(
-              ctx, rin, static_cast<size_t>(parts),
-              [](const RightT& kv) -> const K& { return kv.first; });
+          auto key_left = [](const T& kv) -> const K& { return kv.first; };
+          auto key_right = [](const RightT& kv) -> const K& { return kv.first; };
+          // Both sides contribute values that are merely gathered (no
+          // pairing), so hot keys — detected over the union of both
+          // sides — are spread on both sides and the partial groups
+          // concatenated in the merge step.
+          const ShuffleOptions& options = ctx->shuffle_options();
+          bool sketch = options.enable && parts > 1;
+          double floor = internal_shuffle::CandidateFloor(
+              options, static_cast<size_t>(parts));
+          std::vector<internal_shuffle::FrequentSketch::Candidate> candidates;
+          int64_t total =
+              internal_shuffle::SketchKeys(ctx, lin, key_left, &candidates,
+                                           sketch, floor) +
+              internal_shuffle::SketchKeys(ctx, rin, key_right, &candidates,
+                                           sketch, floor);
+          internal_shuffle::ShufflePlan plan =
+              internal_shuffle::BuildShufflePlan(
+                  static_cast<size_t>(parts), total, std::move(candidates),
+                  options, /*allow_spread=*/true);
+          Partitions<T> ls = internal_shuffle::ShuffleWithPlan(
+              ctx, lin, plan, key_left,
+              internal_shuffle::HotRouting::kSpread);
+          Partitions<RightT> rs = internal_shuffle::ShuffleWithPlan(
+              ctx, rin, plan, key_right,
+              internal_shuffle::HotRouting::kSpread);
           Partitions<Out> out(ls.size());
           ctx->ParallelFor(ls.size(), [&](size_t p) {
             std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>,
@@ -686,6 +771,17 @@ class Dataset {
               out[p].emplace_back(key, std::move(pair));
             }
           });
+          internal_dataset::MergeHotGroups(
+              ctx, plan, &out,
+              [](std::pair<std::vector<V>, std::vector<W>>* dst,
+                 std::pair<std::vector<V>, std::vector<W>>&& src) {
+                dst->first.reserve(dst->first.size() + src.first.size());
+                std::move(src.first.begin(), src.first.end(),
+                          std::back_inserter(dst->first));
+                dst->second.reserve(dst->second.size() + src.second.size());
+                std::move(src.second.begin(), src.second.end(),
+                          std::back_inserter(dst->second));
+              });
           return out;
         });
     return Dataset<Out>(ctx_, std::move(node));

@@ -207,4 +207,61 @@ VeGraph GenerateNGrams(dataflow::ExecutionContext* ctx,
                          Interval(0, years));
 }
 
+VeGraph GeneratePowerLaw(dataflow::ExecutionContext* ctx,
+                         const PowerLawConfig& config) {
+  Rng rng(config.seed);
+  int64_t n = config.num_vertices;
+  TimePoint horizon = config.num_snapshots;
+
+  // Vertices persist over the whole lifetime; `group` feeds aZoom specs
+  // in the skew tests, `weight` feeds sum aggregators.
+  std::vector<VeVertex> vertices;
+  vertices.reserve(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    Properties props;
+    props.Set(kTypeProperty, "node");
+    props.Set("group",
+              "g" + std::to_string(rng.NextBounded(static_cast<uint64_t>(
+                        std::max<int64_t>(1, config.num_groups)))));
+    props.Set("weight", static_cast<int64_t>(rng.NextBounded(100)));
+    vertices.push_back(VeVertex{v, Interval(0, horizon), std::move(props)});
+  }
+
+  // Zipf CDF over vertex ranks: P(rank r) proportional to 1/(r+1)^s.
+  // Sampling is a binary search over the cumulative weights; exponent 0
+  // degenerates to uniform.
+  std::vector<double> cdf(static_cast<size_t>(n));
+  double cumulative = 0.0;
+  for (int64_t r = 0; r < n; ++r) {
+    cumulative += 1.0 / std::pow(static_cast<double>(r + 1),
+                                 config.zipf_exponent);
+    cdf[static_cast<size_t>(r)] = cumulative;
+  }
+  auto sample_zipf = [&]() -> VertexId {
+    double u = rng.NextDouble() * cumulative;
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end()) --it;
+    return static_cast<VertexId>(it - cdf.begin());
+  };
+
+  std::vector<VeEdge> edges;
+  edges.reserve(static_cast<size_t>(config.num_edges));
+  EdgeId next_eid = 0;
+  for (int64_t e = 0; e < config.num_edges; ++e) {
+    VertexId src = rng.NextDouble() < config.hub_fraction ? 0 : sample_zipf();
+    VertexId dst = sample_zipf();
+    if (src == dst) continue;
+    TimePoint start = static_cast<TimePoint>(
+        rng.NextBounded(static_cast<uint64_t>(horizon)));
+    TimePoint end = std::min<TimePoint>(
+        horizon, start + SampleDuration(&rng, config.mean_edge_duration));
+    Properties props;
+    props.Set(kTypeProperty, "link");
+    edges.push_back(
+        VeEdge{next_eid++, src, dst, Interval(start, end), std::move(props)});
+  }
+  return VeGraph::Create(ctx, std::move(vertices), std::move(edges),
+                         Interval(0, horizon));
+}
+
 }  // namespace tgraph::gen

@@ -69,6 +69,32 @@ struct NGramsConfig {
 VeGraph GenerateNGrams(dataflow::ExecutionContext* ctx,
                        const NGramsConfig& config);
 
+/// \brief Power-law / hub-vertex graph: endpoints drawn from a Zipf
+/// distribution (degree of vertex rank r proportional to 1/(r+1)^s) plus
+/// one configurable super-hub (vertex 0) that a fixed fraction of edges
+/// is forced to touch. The adversarial input for shuffle-skew tests and
+/// benchmarks — keying edges by source vertex makes the hub a hot shuffle
+/// key — so they don't hand-roll skewed graphs. Vertices persist for the
+/// whole lifetime and carry `group` (for aZoom specs) and `weight`
+/// attributes; edges churn with short geometric lifetimes.
+struct PowerLawConfig {
+  int64_t num_vertices = 2000;
+  int64_t num_edges = 20000;
+  /// Zipf exponent `s`; 0 means uniform endpoint sampling.
+  double zipf_exponent = 1.2;
+  /// Fraction of edges whose source is forced to the super-hub (vertex 0)
+  /// on top of its Zipf share; 0 disables the hub.
+  double hub_fraction = 0.1;
+  int64_t num_snapshots = 10;
+  /// Mean snapshots an edge stays alive (geometric, at least 1).
+  double mean_edge_duration = 2.0;
+  /// Cardinality of the `group` vertex attribute.
+  int64_t num_groups = 8;
+  uint64_t seed = 42;
+};
+VeGraph GeneratePowerLaw(dataflow::ExecutionContext* ctx,
+                         const PowerLawConfig& config);
+
 }  // namespace tgraph::gen
 
 #endif  // TGRAPH_GEN_GENERATORS_H_

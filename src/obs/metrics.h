@@ -139,8 +139,20 @@ inline constexpr char kTasks[] = "dataflow.tasks";
 inline constexpr char kShuffles[] = "dataflow.shuffle.count";
 inline constexpr char kShuffleRecords[] = "dataflow.shuffle.records";
 inline constexpr char kShuffleBytes[] = "dataflow.shuffle.bytes";
+/// Pre-rebalance partition sizes: what a plain hash shuffle produces (or
+/// would have produced when the rebalancer fired) — the input skew.
 inline constexpr char kShufflePartitionSize[] =
     "dataflow.shuffle.partition_size";
+/// Post-rebalance partition sizes, recorded only when a shuffle actually
+/// rebalanced; compare against kShufflePartitionSize for before/after.
+inline constexpr char kShufflePartitionSizeRebalanced[] =
+    "dataflow.shuffle.partition_size_rebalanced";
+/// Shuffles in which skew rebalancing fired.
+inline constexpr char kShuffleRebalanced[] = "dataflow.shuffle.rebalanced";
+/// Hot keys detected across all rebalanced shuffles.
+inline constexpr char kShuffleHotKeys[] = "dataflow.shuffle.hot_keys";
+/// Dedicated sub-partitions created for hot keys.
+inline constexpr char kShuffleSplits[] = "dataflow.shuffle.splits";
 inline constexpr char kCoalesceOps[] = "tgraph.coalesce.ops";
 inline constexpr char kCoalesceMergedItems[] = "tgraph.coalesce.merged_items";
 inline constexpr char kPregelSupersteps[] = "pregel.supersteps";

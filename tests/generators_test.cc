@@ -131,6 +131,93 @@ TEST(NGramsGeneratorTest, AttributeChurnMakesMultiStateVertices) {
   for (auto& [vid, duration] : covered) EXPECT_EQ(duration, 100);
 }
 
+// Degree of each vertex as an edge endpoint (undirected count), summed
+// over edge records.
+std::map<VertexId, int64_t> DegreeHistogram(const VeGraph& g) {
+  std::map<VertexId, int64_t> degree;
+  for (const VeEdge& e : g.edges().Collect()) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  return degree;
+}
+
+TEST(PowerLawGeneratorTest, ShapeAndValidity) {
+  PowerLawConfig config;
+  config.num_vertices = 500;
+  config.num_edges = 5000;
+  config.seed = 1;
+  VeGraph g = GeneratePowerLaw(Ctx(), config);
+  TG_CHECK_OK(ValidateVe(g));
+  EXPECT_EQ(g.NumVertices(), 500);
+  EXPECT_EQ(g.lifetime(), Interval(0, config.num_snapshots));
+  // Self-loops are skipped, so slightly fewer edges than requested.
+  EXPECT_GT(g.NumEdgeRecords(), 4000);
+  EXPECT_LE(g.NumEdgeRecords(), 5000);
+  for (const VeVertex& v : g.vertices().Collect()) {
+    EXPECT_EQ(v.interval, Interval(0, config.num_snapshots));
+    EXPECT_TRUE(v.properties.Has("group"));
+    EXPECT_TRUE(v.properties.Has("weight"));
+  }
+}
+
+TEST(PowerLawGeneratorTest, DeterministicInSeed) {
+  PowerLawConfig config;
+  config.num_vertices = 300;
+  config.num_edges = 2000;
+  EXPECT_EQ(Canonical(GeneratePowerLaw(Ctx(), config)),
+            Canonical(GeneratePowerLaw(Ctx(), config)));
+  PowerLawConfig other = config;
+  other.seed = 99;
+  EXPECT_NE(Canonical(GeneratePowerLaw(Ctx(), config)),
+            Canonical(GeneratePowerLaw(Ctx(), other)));
+}
+
+TEST(PowerLawGeneratorTest, HubDominatesDegreeDistribution) {
+  PowerLawConfig config;
+  config.num_vertices = 1000;
+  config.num_edges = 20000;
+  config.zipf_exponent = 1.2;
+  config.hub_fraction = 0.2;
+  VeGraph g = GeneratePowerLaw(Ctx(), config);
+  std::map<VertexId, int64_t> degree = DegreeHistogram(g);
+  int64_t total = 0;
+  int64_t max_other = 0;
+  for (auto& [vid, d] : degree) {
+    total += d;
+    if (vid != 0) max_other = std::max(max_other, d);
+  }
+  double mean = static_cast<double>(total) / static_cast<double>(degree.size());
+  // The hub carries at least its forced share (~20% of sources) — orders
+  // of magnitude above the mean — and tops every other vertex.
+  EXPECT_GT(degree[0], static_cast<int64_t>(0.15 * 20000));
+  EXPECT_GT(static_cast<double>(degree[0]), 10.0 * mean);
+  EXPECT_GT(degree[0], max_other);
+}
+
+TEST(PowerLawGeneratorTest, ZipfExponentControlsSkew) {
+  PowerLawConfig config;
+  config.num_vertices = 1000;
+  config.num_edges = 20000;
+  config.hub_fraction = 0;  // isolate the Zipf tail from the forced hub
+
+  config.zipf_exponent = 0;  // uniform endpoints
+  std::map<VertexId, int64_t> uniform =
+      DegreeHistogram(GeneratePowerLaw(Ctx(), config));
+  config.zipf_exponent = 1.2;
+  std::map<VertexId, int64_t> skewed =
+      DegreeHistogram(GeneratePowerLaw(Ctx(), config));
+
+  auto max_degree = [](const std::map<VertexId, int64_t>& d) {
+    int64_t max = 0;
+    for (auto& [vid, count] : d) max = std::max(max, count);
+    return max;
+  };
+  // Uniform sampling keeps the max near the mean (~40); Zipf 1.2
+  // concentrates a large multiple of that on the head ranks.
+  EXPECT_GT(max_degree(skewed), 4 * max_degree(uniform));
+}
+
 TEST(NGramsGeneratorTest, MediumEvolutionRate) {
   NGramsConfig config;
   config.num_words = 800;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "dataflow/dataset.h"
+#include "obs/metrics.h"
 
 namespace tgraph::dataflow {
 namespace {
@@ -150,6 +151,80 @@ TEST(KeyedOpsTest, LargeShuffleIsCorrect) {
   for (auto& [k, v] : sums.Collect()) total += v;
   EXPECT_EQ(total, (n - 1) * n / 2);
   EXPECT_EQ(sums.Count(), 137);
+}
+
+/// 90% of records share one key — a hub-vertex workload in miniature.
+std::vector<KV> HubRecords(int64_t n) {
+  std::vector<KV> data;
+  data.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    data.emplace_back(i % 10 == 0 ? 1 + i % 7 : 0, i);
+  }
+  return data;
+}
+
+TEST(KeyedOpsSkewTest, HistogramRecordsHotPartitionWithoutRebalancing) {
+  ExecutionContext ctx(ContextOptions{.num_workers = 2,
+                                      .default_parallelism = 8,
+                                      .shuffle = {.enable = false}});
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  auto grouped =
+      Dataset<KV>::FromVector(&ctx, HubRecords(10000)).GroupByKey().Collect();
+  EXPECT_EQ(grouped.size(), 8u);  // keys 0..7
+
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  // The plain hash shuffle funnels the hot key's ~9000 records into one
+  // partition, and the skew histogram must expose that.
+  const obs::HistogramSnapshot& skew =
+      delta.histograms.at(obs::metric_names::kShufflePartitionSize);
+  EXPECT_EQ(skew.sum, 10000);
+  EXPECT_GE(skew.max, 9000);
+  EXPECT_EQ(delta.counters[obs::metric_names::kShuffleRebalanced], 0);
+}
+
+TEST(KeyedOpsSkewTest, RebalancingSplitsHotPartitionAndKeepsResult) {
+  ExecutionContext legacy_ctx(ContextOptions{.num_workers = 2,
+                                             .default_parallelism = 8,
+                                             .shuffle = {.enable = false}});
+  auto expected = Dataset<KV>::FromVector(&legacy_ctx, HubRecords(10000))
+                      .GroupByKey()
+                      .Collect();
+
+  ExecutionContext ctx(
+      ContextOptions{.num_workers = 2,
+                     .default_parallelism = 8,
+                     .shuffle = {.enable = true,
+                                 .skew_threshold = 2.0,
+                                 .max_splits = 4,
+                                 .min_records = 0}});
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  auto grouped =
+      Dataset<KV>::FromVector(&ctx, HubRecords(10000)).GroupByKey().Collect();
+
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  EXPECT_GE(delta.counters.at(obs::metric_names::kShuffleRebalanced), 1);
+  EXPECT_GE(delta.counters.at(obs::metric_names::kShuffleHotKeys), 1);
+  EXPECT_GE(delta.counters.at(obs::metric_names::kShuffleSplits), 2);
+  // Pre-rebalance histogram still shows the would-be hot partition...
+  EXPECT_GE(
+      delta.histograms.at(obs::metric_names::kShufflePartitionSize).max,
+      9000);
+  // ...while the actual (rebalanced) layout caps it near 9000/4 splits.
+  EXPECT_LE(delta.histograms
+                .at(obs::metric_names::kShufflePartitionSizeRebalanced)
+                .max,
+            9000 / 2);
+
+  // And the grouped result is unchanged up to group/value order.
+  auto canonicalize = [](std::vector<std::pair<int64_t, std::vector<int64_t>>>
+                             groups) {
+    for (auto& [key, values] : groups) std::sort(values.begin(), values.end());
+    std::sort(groups.begin(), groups.end());
+    return groups;
+  };
+  EXPECT_EQ(canonicalize(grouped), canonicalize(expected));
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -80,6 +82,59 @@ TEST(PartitionTest, SpreadsAcrossPartitions) {
                                  i * 31 + 7, 16));
   }
   EXPECT_EQ(used.size(), 16u);
+}
+
+TEST(PartitionSkewTest, HubVertexFloodsOnePartitionUnder1D) {
+  // A power-law hub: every edge leaves vertex 0. 1D partitioning keys on
+  // the source alone, so the whole hub load lands in a single partition —
+  // the skew pathology the dataflow shuffle rebalancer exists to fix.
+  const int parts = 16;
+  std::vector<int> load(parts, 0);
+  for (VertexId dst = 1; dst <= 4000; ++dst) {
+    ++load[static_cast<size_t>(GetEdgePartition(
+        PartitionStrategy::kEdgePartition1D, 0, dst, parts))];
+  }
+  int max_load = *std::max_element(load.begin(), load.end());
+  EXPECT_EQ(max_load, 4000);
+}
+
+TEST(PartitionSkewTest, HubVertexSpreadBoundedUnder2D) {
+  // 2D partitioning spreads the hub's edges across one grid row: more
+  // than one partition, at most MaxVertexReplication, with the load
+  // within the row roughly even.
+  const int parts = 16;
+  const int bound =
+      MaxVertexReplication(PartitionStrategy::kEdgePartition2D, parts);
+  std::vector<int> load(parts, 0);
+  for (VertexId dst = 1; dst <= 4000; ++dst) {
+    ++load[static_cast<size_t>(GetEdgePartition(
+        PartitionStrategy::kEdgePartition2D, 0, dst, parts))];
+  }
+  int touched = 0;
+  int max_load = 0;
+  for (int l : load) {
+    touched += l > 0 ? 1 : 0;
+    max_load = std::max(max_load, l);
+  }
+  EXPECT_GT(touched, 1);
+  EXPECT_LE(touched, bound);
+  // Even spread within the touched row: nobody holds more than ~2x the
+  // per-slot mean.
+  EXPECT_LE(max_load, 2 * 4000 / touched);
+}
+
+TEST(PartitionSkewTest, RandomVertexCutSpreadsHubEvenly) {
+  // Random vertex cut hashes both endpoints, so even an all-hub edge set
+  // spreads across every partition.
+  const int parts = 16;
+  std::vector<int> load(parts, 0);
+  for (VertexId dst = 1; dst <= 4000; ++dst) {
+    ++load[static_cast<size_t>(GetEdgePartition(
+        PartitionStrategy::kRandomVertexCut, 0, dst, parts))];
+  }
+  for (int l : load) EXPECT_GT(l, 0);
+  int max_load = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(max_load, 2 * 4000 / parts);
 }
 
 }  // namespace

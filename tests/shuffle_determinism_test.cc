@@ -1,0 +1,192 @@
+// Thread-count determinism: the rebalanced shuffle's routing must be a
+// pure function of (input partitioning, record order) — never of the
+// thread schedule. These suites run the same pipelines under 1 worker,
+// 2 workers, and the TGRAPH_THREADS environment override (the CI
+// sanitizer matrix sets 1 and 4), with a fixed default_parallelism, and
+// require bit-identical outputs. Run under TSan this also shakes out
+// data races in the parallel bucketing/concat stages.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/dataset.h"
+#include "gen/generators.h"
+#include "tests/test_util.h"
+#include "tgraph/tgraph.h"
+
+namespace tgraph::dataflow {
+namespace {
+
+using KV = std::pair<int64_t, int64_t>;
+
+int EnvThreads() {
+  if (const char* env = std::getenv("TGRAPH_THREADS"); env != nullptr) {
+    int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 4;
+}
+
+/// Worker counts under test: serial, minimal parallelism, and the
+/// CI-controlled count (hardware concurrency by default).
+std::vector<int> WorkerCounts() {
+  std::vector<int> counts = {1, 2};
+  if (int env = EnvThreads();
+      std::find(counts.begin(), counts.end(), env) == counts.end()) {
+    counts.push_back(env);
+  }
+  return counts;
+}
+
+ExecutionContext MakeContext(int workers, bool rebalance) {
+  ShuffleOptions shuffle;
+  if (rebalance) {
+    shuffle = ShuffleOptions{.enable = true,
+                             .skew_threshold = 2.0,
+                             .max_splits = 4,
+                             .min_records = 0};
+  } else {
+    shuffle.enable = false;
+  }
+  return ExecutionContext(ContextOptions{
+      .num_workers = workers, .default_parallelism = 8, .shuffle = shuffle});
+}
+
+/// Skewed records: ~30% of keys are 0, the rest cycle a small key space.
+std::vector<KV> SkewedRecords(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KV> data;
+  data.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t key = rng.NextDouble() < 0.3
+                      ? 0
+                      : static_cast<int64_t>(rng.NextBounded(97));
+    data.emplace_back(key, i);
+  }
+  return data;
+}
+
+/// Runs `pipeline` once per worker count (rebalancing on) and asserts
+/// every run produces the exact same output as the single-worker run —
+/// including record order, which the shuffle contract pins down.
+template <typename Fn>
+void ExpectDeterministicAcrossWorkers(const Fn& pipeline) {
+  std::vector<int> counts = WorkerCounts();
+  ExecutionContext baseline_ctx = MakeContext(counts[0], /*rebalance=*/true);
+  auto baseline = pipeline(&baseline_ctx);
+  ASSERT_FALSE(baseline.empty());
+  for (size_t i = 1; i < counts.size(); ++i) {
+    ExecutionContext ctx = MakeContext(counts[i], /*rebalance=*/true);
+    auto result = pipeline(&ctx);
+    EXPECT_EQ(result, baseline)
+        << "output differs between " << counts[0] << " and " << counts[i]
+        << " workers";
+  }
+}
+
+TEST(ShuffleDeterminism, GroupByKeyExactOutput) {
+  std::vector<KV> data = SkewedRecords(20000, 5);
+  ExpectDeterministicAcrossWorkers([&](ExecutionContext* ctx) {
+    // No canonicalization: partition order, group order, and value order
+    // must all be schedule-independent.
+    return Dataset<KV>::FromVector(ctx, data).GroupByKey().Collect();
+  });
+}
+
+TEST(ShuffleDeterminism, ReduceByKeyExactOutput) {
+  std::vector<KV> data = SkewedRecords(20000, 6);
+  ExpectDeterministicAcrossWorkers([&](ExecutionContext* ctx) {
+    return Dataset<KV>::FromVector(ctx, data)
+        .ReduceByKey(
+            [](const int64_t& a, const int64_t& b) { return a ^ (b * 31); })
+        .Collect();
+  });
+}
+
+TEST(ShuffleDeterminism, DistinctExactOutput) {
+  std::vector<KV> data = SkewedRecords(20000, 7);
+  for (KV& kv : data) kv.second %= 11;
+  ExpectDeterministicAcrossWorkers([&](ExecutionContext* ctx) {
+    return Dataset<KV>::FromVector(ctx, data).Distinct().Collect();
+  });
+}
+
+TEST(ShuffleDeterminism, JoinExactOutput) {
+  std::vector<KV> left = SkewedRecords(12000, 8);
+  std::vector<KV> right = SkewedRecords(500, 9);
+  ExpectDeterministicAcrossWorkers([&](ExecutionContext* ctx) {
+    auto l = Dataset<KV>::FromVector(ctx, left);
+    auto r = Dataset<KV>::FromVector(ctx, right);
+    return l.Join<int64_t>(r).Collect();
+  });
+}
+
+TEST(ShuffleDeterminism, CoGroupExactOutput) {
+  std::vector<KV> left = SkewedRecords(8000, 10);
+  std::vector<KV> right = SkewedRecords(8000, 11);
+  ExpectDeterministicAcrossWorkers([&](ExecutionContext* ctx) {
+    auto l = Dataset<KV>::FromVector(ctx, left);
+    auto r = Dataset<KV>::FromVector(ctx, right);
+    return l.CoGroup<int64_t>(r).Collect();
+  });
+}
+
+TEST(ShuffleDeterminism, PartitionByExactLayout) {
+  std::vector<KV> data = SkewedRecords(20000, 12);
+  ExpectDeterministicAcrossWorkers([&](ExecutionContext* ctx) {
+    // Compare the full physical layout, not just the flattened records:
+    // every record must land in the same partition at the same offset
+    // regardless of worker count.
+    auto partitioned = Dataset<KV>::FromVector(ctx, data).PartitionBy(
+        [](const KV& kv) { return kv.first; });
+    return partitioned.MaterializedPartitions();
+  });
+}
+
+TEST(ShuffleDeterminism, ZoomPipelineCanonicalOutput) {
+  gen::PowerLawConfig config;
+  config.num_vertices = 300;
+  config.num_edges = 4000;
+  config.hub_fraction = 0.25;
+  config.num_snapshots = 6;
+  config.seed = 13;
+  AZoomSpec spec;
+  spec.group_of = GroupByProperty("group");
+  spec.aggregator = MakeAggregator(
+      "cluster", "key",
+      {{"members", AggKind::kCount, ""}, {"total", AggKind::kSum, "weight"}});
+  spec.edge_type = "clustered";
+  ExpectDeterministicAcrossWorkers([&](ExecutionContext* ctx) {
+    VeGraph ve = gen::GeneratePowerLaw(ctx, config);
+    Result<TGraph> zoomed = TGraph::FromVe(ve, true).AZoom(spec);
+    TG_CHECK(zoomed.ok()) << zoomed.status();
+    return testing::Canonical(*zoomed);
+  });
+}
+
+/// Control: the legacy (rebalancing-off) shuffle has the same
+/// thread-count determinism guarantee; the harness must not mask a
+/// regression there.
+TEST(ShuffleDeterminism, LegacyShuffleAlsoDeterministic) {
+  std::vector<KV> data = SkewedRecords(20000, 14);
+  std::vector<int> counts = WorkerCounts();
+  ExecutionContext baseline_ctx = MakeContext(counts[0], /*rebalance=*/false);
+  auto baseline =
+      Dataset<KV>::FromVector(&baseline_ctx, data).GroupByKey().Collect();
+  for (size_t i = 1; i < counts.size(); ++i) {
+    ExecutionContext ctx = MakeContext(counts[i], /*rebalance=*/false);
+    EXPECT_EQ(Dataset<KV>::FromVector(&ctx, data).GroupByKey().Collect(),
+              baseline);
+  }
+}
+
+}  // namespace
+}  // namespace tgraph::dataflow
