@@ -158,6 +158,18 @@ inline constexpr char kCoalesceMergedItems[] = "tgraph.coalesce.merged_items";
 inline constexpr char kPregelSupersteps[] = "pregel.supersteps";
 inline constexpr char kPregelMessages[] = "pregel.messages";
 inline constexpr char kOptimizerRulesFired[] = "pipeline.optimizer.rules_fired";
+/// Per-operator executions recorded into an opt::Stats store.
+inline constexpr char kOptimizerObservations[] =
+    "pipeline.optimizer.observations";
+/// Candidate plans priced by the cost-based enumerator.
+inline constexpr char kOptimizerCandidates[] =
+    "pipeline.optimizer.cost.candidates";
+/// OptimizedWithCost calls that picked a priced plan.
+inline constexpr char kOptimizerCostPlans[] = "pipeline.optimizer.cost.plans";
+/// OptimizedWithCost calls that fell back to the rule rewrites (no
+/// observed statistics to price with).
+inline constexpr char kOptimizerCostFallbacks[] =
+    "pipeline.optimizer.cost.fallbacks";
 
 // Storage loads (row-group pushdown effectiveness; mirrors LoadMetrics).
 inline constexpr char kLoads[] = "storage.load.count";

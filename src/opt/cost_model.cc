@@ -1,0 +1,148 @@
+#include "opt/cost_model.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace tgraph::opt {
+
+namespace {
+
+/// Estimated microseconds per kilobyte moved through a shuffle. Converts
+/// the observed shuffle-byte means into the same unit as wall time so one
+/// scalar can rank plans.
+constexpr double kShuffleUsPerByte = 0.001;
+
+/// Microseconds per row read + row written during a conversion.
+constexpr double kConvertUsPerRow = 0.6;
+
+OpKind KindOf(const Pipeline::Step& step) {
+  if (std::holds_alternative<Pipeline::AZoomStep>(step)) return OpKind::kAZoom;
+  if (std::holds_alternative<Pipeline::WZoomStep>(step)) return OpKind::kWZoom;
+  if (std::holds_alternative<Pipeline::SliceStep>(step)) return OpKind::kSlice;
+  if (std::holds_alternative<Pipeline::CoalesceStep>(step)) {
+    return OpKind::kCoalesce;
+  }
+  return OpKind::kConvert;
+}
+
+/// Baseline microseconds per row for an operator, before the
+/// representation factor. Relative magnitudes matter, absolutes do not:
+/// wZoom pays for its internal coalesce, Slice is a cheap filter.
+double OpBaseUs(OpKind op) {
+  switch (op) {
+    case OpKind::kAZoom:
+      return 1.0;
+    case OpKind::kWZoom:
+      return 1.6;
+    case OpKind::kSlice:
+      return 0.2;
+    case OpKind::kCoalesce:
+      return 0.8;
+    case OpKind::kConvert:
+      return kConvertUsPerRow;
+  }
+  return 1.0;
+}
+
+/// Per-row work multiplier of running an operator on a representation:
+/// VE joins its vertex/edge state tuples through a shuffle; OG scans
+/// history arrays in place; OGC scans bitsets. RG's penalty is carried by
+/// its row count (one record per snapshot copy), not this factor.
+double WorkFactor(Representation rep) {
+  switch (rep) {
+    case Representation::kRg:
+      return 1.0;
+    case Representation::kVe:
+      return 1.6;
+    case Representation::kOg:
+      return 0.8;
+    case Representation::kOgc:
+      return 0.5;
+  }
+  return 1.0;
+}
+
+/// Physical records one logical entity costs in a representation: RG
+/// fans out to one copy per snapshot; OG/OGC pack a history into one
+/// record (arrays / bitsets).
+double RepRowFactor(Representation rep, const PlanContext& context) {
+  switch (rep) {
+    case Representation::kRg:
+      return std::max(1.0, context.snapshots);
+    case Representation::kVe:
+      return 1.0;
+    case Representation::kOg:
+      return 0.7;
+    case Representation::kOgc:
+      return 0.4;
+  }
+  return 1.0;
+}
+
+/// Output/input row ratio assumed when nothing was measured.
+double AnalyticSelectivity(OpKind op) {
+  switch (op) {
+    case OpKind::kAZoom:
+      return 0.7;
+    case OpKind::kWZoom:
+      return 0.6;
+    case OpKind::kSlice:
+      return 0.5;
+    case OpKind::kCoalesce:
+      return 0.9;
+    case OpKind::kConvert:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double CostModel::PriceStep(const Pipeline::Step& step,
+                            PlanContext* context) const {
+  const OpKind op = KindOf(step);
+  const Representation rep = context->representation;
+  const double rows = std::max(1.0, context->rows);
+
+  std::optional<OpStats> cell = stats_.Get(op, rep);
+  const bool observed = cell.has_value() && cell->rows_in > 0;
+
+  double cost;
+  double rows_out;
+  if (observed) {
+    cost = rows * (cell->MeanWallUsPerRow() +
+                   cell->MeanShuffleBytesPerRow() * kShuffleUsPerByte);
+    rows_out = rows * cell->Selectivity();
+  } else {
+    cost = rows * OpBaseUs(op) * WorkFactor(rep);
+    rows_out = rows * AnalyticSelectivity(op);
+  }
+
+  if (const auto* convert = std::get_if<Pipeline::ConvertStep>(&step)) {
+    const Representation target = convert->target;
+    if (!observed) {
+      // A conversion reads every input record and writes every record of
+      // the target encoding; the target's row factor captures RG fan-out
+      // and OG/OGC packing.
+      const double target_rows =
+          rows * RepRowFactor(target, *context) / RepRowFactor(rep, *context);
+      cost = (rows + target_rows) * kConvertUsPerRow;
+      rows_out = target_rows;
+    }
+    context->representation = target;
+  }
+
+  context->rows = rows_out;
+  return cost;
+}
+
+double CostModel::PricePipeline(const Pipeline& pipeline,
+                                PlanContext context) const {
+  double total = 0.0;
+  for (const Pipeline::Step& step : pipeline.steps()) {
+    total += PriceStep(step, &context);
+  }
+  return total;
+}
+
+}  // namespace tgraph::opt

@@ -1,0 +1,42 @@
+#ifndef TGRAPH_OPT_COST_MODEL_H_
+#define TGRAPH_OPT_COST_MODEL_H_
+
+#include "tgraph/pipeline.h"
+#include "tgraph/stats.h"
+
+namespace tgraph::opt {
+
+/// \brief Prices pipeline plans in estimated microseconds.
+///
+/// Two regimes per (operator, representation) cell:
+///  - **observed**: when the Stats store holds measurements for the cell,
+///    cost is rows × (mean wall-us per row + mean shuffled bytes per row ×
+///    a byte-cost weight), and the observed selectivity propagates the row
+///    count to the next step. Cost is strictly increasing in the observed
+///    means, which is what makes planner choices monotone in measured
+///    cost.
+///  - **analytic**: with no observations for the cell, calibrated
+///    formulas stand in — RG pays the per-snapshot fan-out of its copies,
+///    VE pays a shuffle-join surcharge, OG/OGC pay a plain nested-array /
+///    bitset scan — mirroring the relative orderings of Figures 14-17.
+///
+/// Costs are comparable between candidates of the same pipeline, which is
+/// all the planner needs; they are not wall-clock predictions.
+class CostModel {
+ public:
+  explicit CostModel(const Stats& stats) : stats_(stats) {}
+
+  /// Estimated cost of one step against `*context`; updates the context
+  /// (row count, representation after a Convert) for the next step.
+  double PriceStep(const Pipeline::Step& step, PlanContext* context) const;
+
+  /// Sum of PriceStep over the pipeline, threading the context through.
+  double PricePipeline(const Pipeline& pipeline, PlanContext context) const;
+
+ private:
+  const Stats& stats_;
+};
+
+}  // namespace tgraph::opt
+
+#endif  // TGRAPH_OPT_COST_MODEL_H_

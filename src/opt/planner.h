@@ -1,0 +1,35 @@
+#ifndef TGRAPH_OPT_PLANNER_H_
+#define TGRAPH_OPT_PLANNER_H_
+
+#include <vector>
+
+#include "tgraph/pipeline.h"
+#include "tgraph/stats.h"
+
+namespace tgraph::opt {
+
+/// \brief All candidate plans Pipeline::OptimizedWithCost prices,
+/// deduplicated (by Explain form) and in deterministic order with the
+/// rule-optimized plan first — so a cost tie resolves to the same plan
+/// the rule optimizer would have produced.
+///
+/// The candidate space is: {fully rule-rewritten, rule-rewritten without
+/// the zoom swap, original order} × up-front conversion to {none, RG, VE,
+/// OG} placed after any leading slices. Every candidate is semantically
+/// equivalent to the input pipeline (the differential harness asserts
+/// this over fuzzed corpora):
+///  - the zoom swap only appears when the caller attested stable
+///    attributes AND Pipeline::ZoomReorderSafe holds for the window;
+///  - lossy OGC conversions are never inserted and never removed;
+///  - when an up-front conversion changes the plan's final
+///    representation, a trailing conversion restores it.
+///  - no conversion is inserted when the input arrives as OGC: running an
+///    operator on lossy OGC and running it on a rep converted *from* OGC
+///    are different programs (one may error, one may not).
+std::vector<Pipeline> EnumerateCandidates(const Pipeline& pipeline,
+                                          const Pipeline::Hints& hints,
+                                          const PlanContext& input);
+
+}  // namespace tgraph::opt
+
+#endif  // TGRAPH_OPT_PLANNER_H_

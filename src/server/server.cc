@@ -65,6 +65,21 @@ Server::~Server() { Drain(); }
 Status Server::Start() {
   if (running_.load()) return Status::Internal("server already started");
 
+  if (!options_.stats_path.empty()) {
+    Result<opt::Stats> loaded = opt::Stats::LoadFromFile(options_.stats_path);
+    if (loaded.ok()) {
+      stats_.MergeFrom(*loaded);
+      TG_LOG(INFO) << "tgraphd warm-started stats from '"
+                   << options_.stats_path << "' ("
+                   << stats_.TotalObservations() << " observations)";
+    } else if (!loaded.status().IsNotFound()) {
+      // A corrupt profile is worth a warning but never blocks serving:
+      // the store just starts cold.
+      TG_LOG(WARN) << "ignoring stats profile: "
+                   << loaded.status().ToString();
+    }
+  }
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
@@ -293,6 +308,10 @@ void Server::HandleRequest(Session* session, const std::string& payload,
       interpreter.set_loader([this](const tql::LoadStatement& load) {
         return catalog_.GetOrLoad(load.path, load.range);
       });
+      // Observation-only: the interpreter records per-operator costs but
+      // executes exactly as it would without the store, so cached and
+      // fresh results stay byte-identical.
+      interpreter.set_stats(&stats_);
       interpreter.set_interrupt_check([this, session]() -> Status {
         if (session->deadline_at_ms != 0 &&
             SteadyNowMs() > session->deadline_at_ms) {
@@ -330,6 +349,9 @@ std::string Server::StatsReport() {
   report += "cache entries=" + std::to_string(cache_.entries()) +
             " bytes=" + std::to_string(cache_.bytes()) +
             " catalog graphs=" + std::to_string(catalog_.size()) + "\n";
+  report += "opt.stats observations=" +
+            std::to_string(stats_.TotalObservations()) + "\n";
+  report += stats_.ToString();
   report += obs::MetricsRegistry::Global().ToString();
   return report;
 }
@@ -368,6 +390,16 @@ void Server::Drain() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  if (!options_.stats_path.empty() && !stats_.empty()) {
+    Status saved = stats_.SaveToFile(options_.stats_path);
+    if (saved.ok()) {
+      TG_LOG(INFO) << "tgraphd saved stats profile to '"
+                   << options_.stats_path << "' ("
+                   << stats_.TotalObservations() << " observations)";
+    } else {
+      TG_LOG(WARN) << "failed to save stats profile: " << saved.ToString();
+    }
+  }
   running_.store(false, std::memory_order_release);
   TG_LOG(INFO) << "tgraphd drained";
 }

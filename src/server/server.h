@@ -15,6 +15,7 @@
 #include "dataflow/context.h"
 #include "server/catalog.h"
 #include "server/result_cache.h"
+#include "tgraph/stats.h"
 
 namespace tgraph::server {
 
@@ -46,6 +47,13 @@ struct ServerOptions {
   /// How long a worker blocks waiting for the next request on an idle
   /// connection before closing it.
   int64_t idle_timeout_ms = 60'000;
+
+  /// Path of the per-operator statistics profile. When non-empty, Start()
+  /// warm-starts the stats store from it (a missing file is a cold start,
+  /// not an error) and Drain() writes the accumulated store back, so the
+  /// cost model learns across server restarts. Empty disables
+  /// persistence; observations still accumulate in memory.
+  std::string stats_path;
 };
 
 /// \brief tgraphd — the resident TQL query server. Accepts framed
@@ -89,6 +97,13 @@ class Server {
   ResultCache& cache() { return cache_; }
   GraphCatalog& catalog() { return catalog_; }
 
+  /// Per-operator statistics observed across every query this server has
+  /// executed (plus the warm-start profile). Recording is
+  /// observation-only: query *execution* is unchanged by the store, which
+  /// keeps the result cache sound — a cached and a fresh execution of the
+  /// same canonical script still produce the same bytes.
+  opt::Stats& stats() { return stats_; }
+
   /// Connections waiting for a worker right now (tests poll this to set
   /// up saturation deterministically).
   int pending_count() const {
@@ -116,6 +131,7 @@ class Server {
   const ServerOptions options_;
   GraphCatalog catalog_;
   ResultCache cache_;
+  opt::Stats stats_;
 
   int listen_fd_ = -1;
   int port_ = 0;

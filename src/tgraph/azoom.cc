@@ -241,20 +241,28 @@ VeGraph AZoomVe(const VeGraph& graph, const AZoomSpec& spec) {
 namespace {
 
 // The periods during which a vertex belongs to each group, derived from its
-// history: (group key, new id, interval) per state with a defined group.
+// history: (new id, interval, seeded properties) per state with a defined
+// group. The seed is this one vertex's finalized contribution — not the
+// group's global aggregate, which would require the join the OG algorithm
+// exists to avoid — and becomes the embedded endpoint copy's state, so a
+// chained aZoom can still resolve group_of on redirected edges (properties
+// seeded from the group key itself agree with the global aggregate).
 struct OgGroupPeriod {
   Interval interval;
   VertexId new_vid;
+  Properties seeded;
 };
 
 std::vector<OgGroupPeriod> GroupPeriodsOf(const OgVertex& v,
-                                          const GroupFn& group_of,
-                                          const SkolemFn& skolem) {
+                                          const AZoomSpec& spec) {
   std::vector<OgGroupPeriod> periods;
   for (const HistoryItem& item : v.history) {
-    std::optional<GroupKey> group = group_of(v.vid, item.properties);
+    std::optional<GroupKey> group = spec.group_of(v.vid, item.properties);
     if (!group.has_value()) continue;
-    periods.push_back(OgGroupPeriod{item.interval, skolem(*group)});
+    periods.push_back(OgGroupPeriod{
+        item.interval, spec.skolem(*group),
+        Finalize(spec.aggregator,
+                 spec.aggregator.init(*group, v.vid, item.properties))});
   }
   return periods;
 }
@@ -310,16 +318,19 @@ OgGraph AZoomOg(const OgGraph& graph, const AZoomSpec& spec) {
   // output edge is emitted per distinct (new src, new dst) pair.
   std::string edge_type = spec.edge_type;
   auto zoomed_edges = graph.edges().FlatMap<OgEdge>(
-      [group_of, skolem, edge_type](const OgEdge& e,
-                                    std::vector<OgEdge>* out) {
+      [spec_copy, edge_type](const OgEdge& e, std::vector<OgEdge>* out) {
         std::vector<OgGroupPeriod> src_periods =
-            GroupPeriodsOf(e.v1, group_of, skolem);
+            GroupPeriodsOf(e.v1, spec_copy);
         std::vector<OgGroupPeriod> dst_periods =
-            GroupPeriodsOf(e.v2, group_of, skolem);
+            GroupPeriodsOf(e.v2, spec_copy);
         if (src_periods.empty() || dst_periods.empty()) return;
         // (new src, new dst) -> history pieces where edge and both group
-        // periods are simultaneously valid.
-        std::map<std::pair<VertexId, VertexId>, History> pieces;
+        // periods are simultaneously valid, plus the endpoint-copy states
+        // for the same spans.
+        struct Pieces {
+          History edge, src, dst;
+        };
+        std::map<std::pair<VertexId, VertexId>, Pieces> pieces;
         for (const HistoryItem& item : e.history) {
           for (const OgGroupPeriod& sp : src_periods) {
             Interval a = item.interval.Intersect(sp.interval);
@@ -329,25 +340,22 @@ OgGraph AZoomOg(const OgGraph& graph, const AZoomSpec& spec) {
               if (overlap.empty()) continue;
               Properties props = item.properties;
               if (!edge_type.empty()) props.Set(kTypeProperty, edge_type);
-              pieces[{sp.new_vid, dp.new_vid}].push_back(
-                  HistoryItem{overlap, std::move(props)});
+              Pieces& p = pieces[{sp.new_vid, dp.new_vid}];
+              p.edge.push_back(HistoryItem{overlap, std::move(props)});
+              p.src.push_back(HistoryItem{overlap, sp.seeded});
+              p.dst.push_back(HistoryItem{overlap, dp.seeded});
             }
           }
         }
-        for (auto& [endpoints, history] : pieces) {
-          History coalesced = CoalesceHistory(std::move(history));
-          // Presence-only endpoint copies: the aggregated vertex attributes
-          // would require a join, which OG's edge redirection avoids.
-          History src_presence, dst_presence;
-          for (const HistoryItem& item : coalesced) {
-            src_presence.push_back(HistoryItem{item.interval, Properties{}});
-            dst_presence.push_back(HistoryItem{item.interval, Properties{}});
-          }
+        for (auto& [endpoints, p] : pieces) {
+          // Endpoint copies carry the locally seeded group state (see
+          // OgGroupPeriod): enough for a chained aZoom to redirect this
+          // edge again, without the join the algorithm avoids.
           out->push_back(
               OgEdge{RedirectedEdgeId(e.eid, endpoints.first, endpoints.second),
-                     OgVertex{endpoints.first, CoalesceHistory(src_presence)},
-                     OgVertex{endpoints.second, CoalesceHistory(dst_presence)},
-                     std::move(coalesced)});
+                     OgVertex{endpoints.first, CoalesceHistory(std::move(p.src))},
+                     OgVertex{endpoints.second, CoalesceHistory(std::move(p.dst))},
+                     CoalesceHistory(std::move(p.edge))});
         }
       });
 

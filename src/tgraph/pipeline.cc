@@ -10,10 +10,6 @@ namespace tgraph {
 
 namespace {
 
-bool IsExistsLike(const Quantifier& quantifier) {
-  return quantifier.threshold() == 0.0 && quantifier.strict();
-}
-
 // Records one optimizer rewrite: the aggregate counter, a per-rule
 // counter, and an INFO log naming the rule — so "what did the optimizer
 // buy" is answerable from a trace or a log alone.
@@ -28,6 +24,14 @@ void NoteRuleFired(const char* rule) {
 }
 
 }  // namespace
+
+bool Pipeline::ZoomReorderSafe(const WZoomSpec& spec) {
+  auto exists_like = [](const Quantifier& quantifier) {
+    return quantifier.threshold() == 0.0 && quantifier.strict();
+  };
+  return exists_like(spec.vertex_quantifier) &&
+         exists_like(spec.edge_quantifier);
+}
 
 Pipeline Pipeline::Optimized(const Hints& hints) const {
   std::vector<Step> steps = steps_;
@@ -74,10 +78,7 @@ Pipeline Pipeline::Optimized(const Hints& hints) const {
             !std::holds_alternative<AZoomStep>(steps[i + 1])) {
           continue;
         }
-        if (!IsExistsLike(wzoom->spec.vertex_quantifier) ||
-            !IsExistsLike(wzoom->spec.edge_quantifier)) {
-          continue;
-        }
+        if (!ZoomReorderSafe(wzoom->spec)) continue;
         std::swap(steps[i], steps[i + 1]);
         NoteRuleFired("azoom_before_wzoom");
         moved = true;
@@ -89,19 +90,41 @@ Pipeline Pipeline::Optimized(const Hints& hints) const {
   // representations mid-chain never recovers the conversion cost (the
   // paper's finding, confirmed by bench/ablation_optimizer), so mid-chain
   // Convert steps are removed. A final, user-requested conversion shapes
-  // the result and is preserved. The optimizer deliberately does NOT
-  // insert an up-front conversion: when the input arrives in VE, paying a
-  // VE->OG conversion for a single zoom costs more than it saves.
+  // the result and is preserved — as is any mid-chain conversion to OGC:
+  // OGC is lossy (attribute values collapse to types), so dropping it
+  // would change what downstream steps see, not just how fast they run.
+  // The optimizer deliberately does NOT insert an up-front conversion:
+  // when the input arrives in VE, paying a VE->OG conversion for a single
+  // zoom costs more than it saves.
   if (hints.drop_mid_chain_conversions && !steps.empty()) {
     std::optional<ConvertStep> final_convert;
     if (const auto* convert = std::get_if<ConvertStep>(&steps.back())) {
       final_convert = *convert;
       steps.pop_back();
     }
-    size_t dropped = std::erase_if(steps, [](const Step& step) {
-      return std::holds_alternative<ConvertStep>(step);
-    });
-    for (size_t i = 0; i < dropped; ++i) NoteRuleFired("drop_conversion");
+    std::vector<Step> kept;
+    kept.reserve(steps.size());
+    // Whether the graph is OGC at this point in the chain. Per the hint's
+    // contract the input is not; only an explicit Convert changes it. A
+    // conversion *off* OGC is semantic — it restores aZoom support — so
+    // it survives even though its target is lossless.
+    bool rep_is_ogc = false;
+    for (Step& step : steps) {
+      if (const auto* convert = std::get_if<ConvertStep>(&step)) {
+        if (convert->target == Representation::kOgc) {
+          rep_is_ogc = true;
+          kept.push_back(std::move(step));
+        } else if (rep_is_ogc) {
+          rep_is_ogc = false;
+          kept.push_back(std::move(step));
+        } else {
+          NoteRuleFired("drop_conversion");
+        }
+        continue;
+      }
+      kept.push_back(std::move(step));
+    }
+    steps = std::move(kept);
     if (final_convert.has_value()) steps.push_back(*final_convert);
   }
 
@@ -110,25 +133,50 @@ Pipeline Pipeline::Optimized(const Hints& hints) const {
   return optimized;
 }
 
-Result<TGraph> Pipeline::Run(const TGraph& input) const {
+namespace {
+
+int64_t RecordCount(const TGraph& graph) {
+  return static_cast<int64_t>(graph.NumVertexRecords() +
+                              graph.NumEdgeRecords());
+}
+
+}  // namespace
+
+Result<TGraph> Pipeline::Run(const TGraph& input, opt::Stats* stats) const {
   TG_SPAN("pipeline.run", "pipeline");
   TGraph current = input;
   for (const Step& step : steps_) {
+    // Observed before the step runs: the cost model attributes each
+    // measurement to the representation the operator consumed.
+    const Representation rep = current.representation();
+    const int64_t rows_in = stats != nullptr ? RecordCount(current) : 0;
+    opt::ScopedObservation observation;
+    opt::OpKind op;
     if (const auto* azoom = std::get_if<AZoomStep>(&step)) {
       obs::Span span("pipeline.step.azoom", "pipeline");
+      op = opt::OpKind::kAZoom;
       TG_ASSIGN_OR_RETURN(current, current.AZoom(azoom->spec));
     } else if (const auto* wzoom = std::get_if<WZoomStep>(&step)) {
       obs::Span span("pipeline.step.wzoom", "pipeline");
+      op = opt::OpKind::kWZoom;
       TG_ASSIGN_OR_RETURN(current, current.WZoom(wzoom->spec));
     } else if (const auto* slice = std::get_if<SliceStep>(&step)) {
       obs::Span span("pipeline.step.slice", "pipeline");
+      op = opt::OpKind::kSlice;
       current = current.Slice(slice->range);
     } else if (std::holds_alternative<CoalesceStep>(step)) {
       obs::Span span("pipeline.step.coalesce", "pipeline");
+      op = opt::OpKind::kCoalesce;
       current = current.Coalesce();
     } else if (const auto* convert = std::get_if<ConvertStep>(&step)) {
       obs::Span span("pipeline.step.convert", "pipeline");
+      op = opt::OpKind::kConvert;
       TG_ASSIGN_OR_RETURN(current, current.As(convert->target));
+    } else {
+      continue;
+    }
+    if (stats != nullptr) {
+      observation.Commit(stats, op, rep, rows_in, RecordCount(current));
     }
   }
   return current;

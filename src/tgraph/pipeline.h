@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "tgraph/stats.h"
 #include "tgraph/tgraph.h"
 
 namespace tgraph {
@@ -52,7 +53,13 @@ class Pipeline {
     /// growth-only datasets like WikiTalk and SNB). Enables the
     /// aZoom-before-wZoom reordering of Section 5.3.
     bool attributes_stable = false;
-    /// Remove mid-chain representation switches (keep a final one).
+    /// Remove lossless mid-chain representation switches (keep a final
+    /// one, and keep lossy OGC conversions anywhere). Disable when the
+    /// plan will run against an OGC input: there a conversion is
+    /// semantic — aZoom errors on OGC but runs after a conversion — so
+    /// removing one can change the plan's outcome, not just its cost.
+    /// OptimizedWithCost applies this guard automatically from its input
+    /// context.
     bool drop_mid_chain_conversions = true;
   };
 
@@ -83,8 +90,34 @@ class Pipeline {
   Pipeline Optimized(const Hints& hints) const;
   Pipeline Optimized() const { return Optimized(Hints()); }
 
-  /// Executes the steps in order against `input`.
-  Result<TGraph> Run(const TGraph& input) const;
+  /// \brief Cost-based optimization: enumerates valid rewrites of this
+  /// pipeline (the rule rewrites, representation selection, conversion
+  /// placement), prices each candidate against `stats` — per-operator
+  /// statistics observed by the instrumented Run overload or a warm-start
+  /// profile — and returns the cheapest. When `stats` holds no
+  /// observations, falls back to Optimized(hints), so cold starts behave
+  /// exactly like the rule optimizer.
+  ///
+  /// Defined in src/opt/planner.cc: callers must link tg_opt.
+  Pipeline OptimizedWithCost(const opt::Stats& stats, const Hints& hints,
+                             const opt::PlanContext& input) const;
+
+  /// \brief True iff the aZoom-before-wZoom reorder of Section 5.3 is
+  /// legal for a window with this spec: both quantifiers must be
+  /// existential (exists/exists). The single guard shared by every code
+  /// path that reorders zooms — the rule rewriter (rule 3) and the
+  /// cost-based enumerator — so neither can drift: under all/most/at-least
+  /// quantification the zooms do not commute even with stable attributes.
+  static bool ZoomReorderSafe(const WZoomSpec& spec);
+
+  /// Executes the steps in order against `input`. The `stats` overload
+  /// additionally records one opt::Stats observation per step — wall
+  /// time, shuffle-byte delta, rows in/out on the representation the step
+  /// ran against — which is how executions feed the cost model.
+  Result<TGraph> Run(const TGraph& input) const {
+    return Run(input, nullptr);
+  }
+  Result<TGraph> Run(const TGraph& input, opt::Stats* stats) const;
 
   /// One line per step, e.g. "1. wZoom window=3 nodes=all edges=all".
   std::string Explain() const;

@@ -50,6 +50,11 @@ bool MatchesAll(const WherePredicate& predicate, const Properties& props) {
   return true;
 }
 
+int64_t RecordCount(const TGraph& graph) {
+  return static_cast<int64_t>(graph.NumVertexRecords() +
+                              graph.NumEdgeRecords());
+}
+
 }  // namespace
 
 Result<std::string> Interpreter::ExecuteScript(const std::string& script) {
@@ -89,7 +94,13 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
     spec.aggregator =
         MakeAggregator(new_type, azoom->group_by, std::move(aggregates));
     spec.edge_type = azoom->edge_type;
-    return graph.AZoom(spec);
+    const Representation rep = graph.representation();
+    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    opt::ScopedObservation observation;
+    TG_ASSIGN_OR_RETURN(TGraph result, graph.AZoom(spec));
+    observation.Commit(stats_, opt::OpKind::kAZoom, rep, rows_in,
+                       RecordCount(result));
+    return result;
   }
   if (const auto* wzoom = std::get_if<WZoomExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(wzoom->source));
@@ -102,11 +113,23 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
       spec.edge_resolve.overrides.emplace_back(resolve.attribute,
                                                resolve.resolver);
     }
-    return graph.WZoom(spec);
+    const Representation rep = graph.representation();
+    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    opt::ScopedObservation observation;
+    TG_ASSIGN_OR_RETURN(TGraph result, graph.WZoom(spec));
+    observation.Commit(stats_, opt::OpKind::kWZoom, rep, rows_in,
+                       RecordCount(result));
+    return result;
   }
   if (const auto* slice = std::get_if<SliceExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(slice->source));
-    return graph.Slice(Interval(slice->from, slice->to));
+    const Representation rep = graph.representation();
+    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    opt::ScopedObservation observation;
+    TGraph result = graph.Slice(Interval(slice->from, slice->to));
+    observation.Commit(stats_, opt::OpKind::kSlice, rep, rows_in,
+                       RecordCount(result));
+    return result;
   }
   if (const auto* subgraph = std::get_if<SubgraphExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(subgraph->source));
@@ -125,11 +148,23 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
   }
   if (const auto* coalesce = std::get_if<CoalesceExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(coalesce->source));
-    return graph.Coalesce();
+    const Representation rep = graph.representation();
+    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    opt::ScopedObservation observation;
+    TGraph result = graph.Coalesce();
+    observation.Commit(stats_, opt::OpKind::kCoalesce, rep, rows_in,
+                       RecordCount(result));
+    return result;
   }
   if (const auto* convert = std::get_if<ConvertExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(convert->source));
-    return graph.As(convert->target);
+    const Representation rep = graph.representation();
+    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    opt::ScopedObservation observation;
+    TG_ASSIGN_OR_RETURN(TGraph result, graph.As(convert->target));
+    observation.Commit(stats_, opt::OpKind::kConvert, rep, rows_in,
+                       RecordCount(result));
+    return result;
   }
   return Status::Internal("unhandled expression");
 }

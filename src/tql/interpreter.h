@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "tgraph/stats.h"
 #include "tql/ast.h"
 
 namespace tgraph::tql {
@@ -49,6 +50,13 @@ class Interpreter {
     interrupt_check_ = std::move(check);
   }
 
+  /// When set, every zoom/slice/coalesce/convert expression records one
+  /// observation (wall time, shuffle-byte delta, rows in/out, input
+  /// representation) into the store — how tgraphd learns a cost profile
+  /// from its own query history. The store must outlive the interpreter.
+  /// Unset (the default) means no recording.
+  void set_stats(opt::Stats* stats) { stats_ = stats; }
+
  private:
   Result<TGraph> Evaluate(const Expr& expr);
 
@@ -56,6 +64,7 @@ class Interpreter {
   std::map<std::string, TGraph> env_;
   Loader loader_;
   InterruptCheck interrupt_check_;
+  opt::Stats* stats_ = nullptr;
 };
 
 }  // namespace tgraph::tql

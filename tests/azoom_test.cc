@@ -216,5 +216,31 @@ TEST(AZoomTest, UncoalescedInputGivesSameResultAsCoalesced) {
             Canonical(AZoomVe(Figure1(), SchoolZoom()).Coalesce()));
 }
 
+TEST(AZoomTest, ChainedAZoomAgreesAcrossRepresentations) {
+  // Zooming a zoomed graph again: OG's redirected edges embed endpoint
+  // copies, and those copies must carry enough (seeded) state for the
+  // second aZoom's group_of to resolve — with presence-only copies, OG
+  // silently dropped every edge while VE and RG kept them. Found by
+  // optimizer_differential_test.
+  AZoomSpec zoom;
+  zoom.group_of = GroupByProperty("group");
+  zoom.aggregator =
+      MakeAggregator("cluster", "group", {{"members", AggKind::kCount, ""}});
+  TGraph base = TGraph::FromVe(testing::RandomTGraph(3), /*coalesced=*/true);
+
+  auto chained = [&](Representation rep) {
+    TGraph graph = *base.As(rep);
+    graph = *graph.AZoom(zoom);
+    graph = *graph.AZoom(zoom);
+    return Canonical(graph.Coalesce());
+  };
+  std::vector<std::string> expected = chained(Representation::kVe);
+  bool has_edges = false;
+  for (const std::string& line : expected) has_edges |= line[0] == 'E';
+  EXPECT_TRUE(has_edges);
+  EXPECT_EQ(chained(Representation::kRg), expected);
+  EXPECT_EQ(chained(Representation::kOg), expected);
+}
+
 }  // namespace
 }  // namespace tgraph

@@ -1,0 +1,236 @@
+// Differential plan-equivalence harness for the pipeline optimizer — the
+// optimizer analogue of shuffle_differential_test. For a fuzzed corpus of
+// random pipelines, the unoptimized plan, the rule-optimized plan, and
+// every candidate the cost-based enumerator prices must produce the same
+// outcome (identical canonicalized TGraph, or an error in every plan) on
+// all four representations of the same input. Any divergence means a
+// rewrite changed semantics, not just cost.
+//
+// Two corpora:
+//  - churning attributes (RandomTGraph): the zoom-reorder rule may never
+//    fire (attributes_stable is false), but coalesce elision, slice
+//    pushdown, conversion dropping, and conversion insertion all must
+//    preserve results on arbitrary inputs, aggregates included.
+//  - stable attributes (gen::GeneratePowerLaw, single-state vertices):
+//    attributes_stable is attested, so the aZoom-before-wZoom swap joins
+//    the candidate space; specs stay aggregate-free, the regime where the
+//    swap is an equivalence (see chaining_test).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "opt/planner.h"
+#include "tests/test_util.h"
+#include "tgraph/pipeline.h"
+
+namespace tgraph {
+namespace {
+
+using ::tgraph::testing::Canonical;
+using ::tgraph::testing::Ctx;
+using ::tgraph::testing::RandomTGraph;
+
+constexpr Representation kAllReps[] = {Representation::kVe,
+                                       Representation::kRg,
+                                       Representation::kOg,
+                                       Representation::kOgc};
+
+AZoomSpec PlainGroupZoom() {
+  AZoomSpec spec;
+  spec.group_of = GroupByProperty("group");
+  spec.aggregator = MakeAggregator("cluster", "group", {});
+  return spec;
+}
+
+AZoomSpec CountingGroupZoom() {
+  AZoomSpec spec;
+  spec.group_of = GroupByProperty("group");
+  spec.aggregator =
+      MakeAggregator("cluster", "group", {{"members", AggKind::kCount, ""}});
+  return spec;
+}
+
+Quantifier RandomQuantifier(Rng* rng) {
+  switch (rng->NextBounded(4)) {
+    case 0:
+    case 1:
+      return Quantifier::Exists();  // weighted: the reorder-eligible case
+    case 2:
+      return Quantifier::All();
+    default:
+      return Quantifier::Most();
+  }
+}
+
+/// A random 1-4 step pipeline over the shared operator vocabulary. The
+/// stable corpus keeps aZoom aggregate-free (the regime where the zoom
+/// swap is an equivalence); the churn corpus exercises aggregates too.
+Pipeline RandomPipeline(uint64_t seed, bool stable_corpus,
+                        TimePoint horizon) {
+  Rng rng(seed);
+  Pipeline pipeline;
+  const int64_t steps = 1 + static_cast<int64_t>(rng.NextBounded(4));
+  for (int64_t i = 0; i < steps; ++i) {
+    switch (rng.NextBounded(5)) {
+      case 0:
+        pipeline.AZoom(stable_corpus ? PlainGroupZoom() : CountingGroupZoom());
+        break;
+      case 1: {
+        const int64_t window = 2 + static_cast<int64_t>(rng.NextBounded(4));
+        Quantifier nodes = RandomQuantifier(&rng);
+        Quantifier edges = RandomQuantifier(&rng);
+        pipeline.WZoom(
+            WZoomSpec{WindowSpec::TimePoints(window), nodes, edges, {}, {}});
+        break;
+      }
+      case 2: {
+        const TimePoint from =
+            static_cast<TimePoint>(rng.NextBounded(
+                static_cast<uint64_t>(horizon - 2)));
+        const TimePoint to =
+            from + 1 +
+            static_cast<TimePoint>(rng.NextBounded(
+                static_cast<uint64_t>(horizon - from - 1)));
+        pipeline.Slice(Interval(from, to));
+        break;
+      }
+      case 3:
+        pipeline.Coalesce();
+        break;
+      default: {
+        constexpr Representation kTargets[] = {
+            Representation::kRg, Representation::kVe, Representation::kOg,
+            Representation::kOgc};
+        pipeline.Convert(kTargets[rng.NextBounded(4)]);
+        break;
+      }
+    }
+  }
+  return pipeline;
+}
+
+/// Runs the plan and flattens the result into a comparable outcome: the
+/// canonical VE rendering on success, a fixed marker on error. Plans are
+/// equivalent iff they agree on this — including agreeing to fail (e.g.
+/// every plan of an aZoom-on-OGC query must keep failing).
+std::string Outcome(const Pipeline& plan, const TGraph& input) {
+  Result<TGraph> result = plan.Run(input);
+  if (!result.ok()) return "ERROR";
+  std::string out;
+  for (const std::string& line : Canonical(*result)) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void CheckPlanEquivalence(const Pipeline& pipeline, const TGraph& base,
+                          const Pipeline::Hints& hints) {
+  for (Representation rep : kAllReps) {
+    SCOPED_TRACE(RepresentationName(rep));
+    Result<TGraph> input = base.As(rep);
+    ASSERT_TRUE(input.ok()) << input.status();
+
+    const std::string expected = Outcome(pipeline, *input);
+
+    // Rule path. Per the Hints contract, conversion dropping is the
+    // caller's responsibility to disable on OGC inputs (a conversion off
+    // OGC is semantic); the enumerator below does it automatically.
+    Pipeline::Hints rep_hints = hints;
+    if (rep == Representation::kOgc) {
+      rep_hints.drop_mid_chain_conversions = false;
+    }
+    Pipeline rule_plan = pipeline.Optimized(rep_hints);
+    EXPECT_EQ(Outcome(rule_plan, *input), expected)
+        << "rule-optimized plan diverged:\n"
+        << rule_plan.Explain() << "from:\n"
+        << pipeline.Explain();
+
+    // Cost path: every priced candidate, not just the chosen one.
+    opt::PlanContext context = opt::PlanContext::FromGraph(*input);
+    for (const Pipeline& candidate :
+         opt::EnumerateCandidates(pipeline, hints, context)) {
+      EXPECT_EQ(Outcome(candidate, *input), expected)
+          << "enumerated candidate diverged:\n"
+          << candidate.Explain() << "from:\n"
+          << pipeline.Explain();
+    }
+  }
+}
+
+class ChurnCorpus : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChurnCorpus, AllCandidatePlansComputeTheSameResult) {
+  const uint64_t seed = GetParam();
+  TGraph base = TGraph::FromVe(RandomTGraph(seed), /*coalesced=*/true);
+  Pipeline pipeline = RandomPipeline(seed * 7919 + 1, /*stable_corpus=*/false,
+                                     /*horizon=*/20);
+  SCOPED_TRACE("pipeline:\n" + pipeline.Explain());
+  Pipeline::Hints hints;
+  hints.attributes_stable = false;  // random graphs churn attributes
+  CheckPlanEquivalence(pipeline, base, hints);
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzedPipelines, ChurnCorpus,
+                         ::testing::Range(uint64_t{0}, uint64_t{30}));
+
+class StableCorpus : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StableCorpus, AllCandidatePlansComputeTheSameResult) {
+  const uint64_t seed = GetParam();
+  gen::PowerLawConfig config;
+  config.num_vertices = 60;
+  config.num_edges = 200;
+  config.num_snapshots = 12;
+  config.seed = seed;
+  TGraph base =
+      TGraph::FromVe(gen::GeneratePowerLaw(Ctx(), config), /*coalesced=*/true);
+  Pipeline pipeline = RandomPipeline(seed * 104'729 + 3, /*stable_corpus=*/true,
+                                     /*horizon=*/12);
+  SCOPED_TRACE("pipeline:\n" + pipeline.Explain());
+  Pipeline::Hints hints;
+  hints.attributes_stable = true;  // PowerLaw vertices are single-state
+  CheckPlanEquivalence(pipeline, base, hints);
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzedPipelines, StableCorpus,
+                         ::testing::Range(uint64_t{100}, uint64_t{125}));
+
+// The harness is only as good as its corpus: make sure the enumerator
+// actually diversifies (several candidates, including an inserted
+// conversion) and that the swap-eligible shape occurs.
+TEST(OptimizerDifferentialSanity, EnumeratorProducesDiverseCandidates) {
+  Pipeline pipeline;
+  pipeline
+      .WZoom(WZoomSpec{WindowSpec::TimePoints(3), Quantifier::Exists(),
+                       Quantifier::Exists(), {}, {}})
+      .AZoom(PlainGroupZoom());
+  Pipeline::Hints hints;
+  hints.attributes_stable = true;
+  opt::PlanContext context;
+  context.representation = Representation::kVe;
+  context.rows = 100;
+  std::vector<Pipeline> candidates =
+      opt::EnumerateCandidates(pipeline, hints, context);
+  EXPECT_GE(candidates.size(), 4u);
+
+  bool saw_inserted_conversion = false;
+  bool saw_swapped_order = false;
+  for (const Pipeline& candidate : candidates) {
+    if (std::holds_alternative<Pipeline::ConvertStep>(candidate.steps()[0])) {
+      saw_inserted_conversion = true;
+    }
+    if (std::holds_alternative<Pipeline::AZoomStep>(candidate.steps()[0])) {
+      saw_swapped_order = true;
+    }
+  }
+  EXPECT_TRUE(saw_inserted_conversion);
+  EXPECT_TRUE(saw_swapped_order);
+}
+
+}  // namespace
+}  // namespace tgraph

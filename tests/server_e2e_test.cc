@@ -208,6 +208,48 @@ TEST_F(ServerE2eTest, DrainStopsAcceptingAndFinishesCleanly) {
   server->Drain();  // idempotent
 }
 
+TEST_F(ServerE2eTest, OperatorStatsPersistAcrossRestarts) {
+  ServerOptions options;
+  options.stats_path = dir_ + "/profile.stats";
+
+  // First lifetime: queries populate the in-memory profile, Drain saves it.
+  {
+    auto server = StartServer(options);
+    Client client = Connect(*server);
+    Result<Response> result = client.Query(ZoomScript());
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GT(server->stats().TotalObservations(), 0);
+
+    Result<Response> stats = client.Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_NE(stats->body.find("opt.stats observations="), std::string::npos);
+
+    server->Drain();
+  }
+
+  // Second lifetime: Start warm-loads the saved profile before any query.
+  {
+    auto server = StartServer(options);
+    EXPECT_GT(server->stats().TotalObservations(), 0);
+    auto azoom =
+        server->stats().Get(opt::OpKind::kAZoom, Representation::kVe);
+    ASSERT_TRUE(azoom.has_value());
+    EXPECT_GT(azoom->rows_in, 0);
+    server->Drain();
+  }
+
+  // A corrupt profile degrades to a cold start, not a failed boot.
+  {
+    FILE* f = fopen(options.stats_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("not a stats profile\n", f);
+    fclose(f);
+    auto server = StartServer(options);
+    EXPECT_EQ(server->stats().TotalObservations(), 0);
+    server->Drain();
+  }
+}
+
 TEST_F(ServerE2eTest, ConcurrentClientsShareCatalogAndCacheSafely) {
   ServerOptions options;
   options.workers = 4;

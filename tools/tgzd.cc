@@ -3,7 +3,7 @@
 //   tgzd [--port N] [--workers N] [--queue-depth N]
 //        [--cache-bytes N] [--cache-ttl-ms N]
 //        [--deadline-ms N] [--idle-timeout-ms N]
-//        [--trace-out FILE] [--metrics]
+//        [--stats-file FILE] [--trace-out FILE] [--metrics]
 //
 // Listens on loopback for framed TQL requests (src/server/protocol.h),
 // executes them on a bounded worker pool over one shared
@@ -55,7 +55,8 @@ int Usage() {
       stderr,
       "usage: tgzd [--port N] [--workers N] [--queue-depth N]\n"
       "            [--cache-bytes N] [--cache-ttl-ms N] [--deadline-ms N]\n"
-      "            [--idle-timeout-ms N] [--trace-out FILE] [--metrics]\n"
+      "            [--idle-timeout-ms N] [--stats-file FILE]\n"
+      "            [--trace-out FILE] [--metrics]\n"
       "  --port N            TCP port, loopback only (0 = ephemeral; "
       "default 7464)\n"
       "  --workers N         concurrent request executors (default 4)\n"
@@ -68,6 +69,9 @@ int Usage() {
       "60000)\n"
       "  --idle-timeout-ms N close idle connections after N ms (default "
       "60000)\n"
+      "  --stats-file FILE   per-operator cost profile: loaded on start,\n"
+      "                      written back on drain (warm-starts the cost "
+      "model)\n"
       "  --trace-out FILE    write a Chrome trace on shutdown\n"
       "  --metrics           print the metrics registry on shutdown\n");
   return 2;
@@ -111,6 +115,9 @@ int main(int argc, char** argv) {
   options.deadline_ms = int_flag("deadline-ms", options.deadline_ms);
   options.idle_timeout_ms =
       int_flag("idle-timeout-ms", options.idle_timeout_ms);
+  if (auto it = flags.find("stats-file"); it != flags.end()) {
+    options.stats_path = it->second;
+  }
   std::string trace_out;
   if (auto it = flags.find("trace-out"); it != flags.end()) {
     trace_out = it->second;
