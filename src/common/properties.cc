@@ -24,6 +24,20 @@ auto FindEntry(
 
 }  // namespace
 
+const Properties::EntryVector& Properties::EmptyEntries() {
+  static const EntryVector* empty = new EntryVector();
+  return *empty;
+}
+
+Properties::EntryVector& Properties::Mutable() {
+  if (entries_ == nullptr) {
+    entries_ = std::make_shared<EntryVector>();
+  } else if (entries_.use_count() > 1) {
+    entries_ = std::make_shared<EntryVector>(*entries_);
+  }
+  return *entries_;
+}
+
 Properties::Properties(
     std::initializer_list<std::pair<std::string, PropertyValue>> init) {
   for (const auto& [key, value] : init) {
@@ -31,12 +45,33 @@ Properties::Properties(
   }
 }
 
+Properties Properties::FromEntries(EntryVector entries) {
+  Properties props;
+  if (entries.empty()) return props;
+  bool sorted = true;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].first >= entries[i].first) {
+      sorted = false;
+      break;
+    }
+  }
+  if (sorted) {
+    props.entries_ = std::make_shared<EntryVector>(std::move(entries));
+  } else {
+    for (auto& [key, value] : entries) {
+      props.Set(key, std::move(value));
+    }
+  }
+  return props;
+}
+
 void Properties::Set(std::string_view key, PropertyValue value) {
-  auto it = FindEntry(entries_, key);
-  if (it != entries_.end() && it->first == key) {
+  EntryVector& entries = Mutable();
+  auto it = FindEntry(entries, key);
+  if (it != entries.end() && it->first == key) {
     it->second = std::move(value);
   } else {
-    entries_.insert(it, {std::string(key), std::move(value)});
+    entries.insert(it, {std::string(key), std::move(value)});
   }
 }
 
@@ -47,23 +82,27 @@ std::optional<PropertyValue> Properties::Get(std::string_view key) const {
 }
 
 const PropertyValue* Properties::Find(std::string_view key) const {
-  auto it = FindEntry(entries_, key);
-  if (it != entries_.end() && it->first == key) return &it->second;
+  const EntryVector& e = entries();
+  auto it = FindEntry(e, key);
+  if (it != e.end() && it->first == key) return &it->second;
   return nullptr;
 }
 
 bool Properties::Erase(std::string_view key) {
-  auto it = FindEntry(entries_, key);
-  if (it != entries_.end() && it->first == key) {
-    entries_.erase(it);
+  if (empty()) return false;
+  EntryVector& entries = Mutable();
+  auto it = FindEntry(entries, key);
+  if (it != entries.end() && it->first == key) {
+    entries.erase(it);
     return true;
   }
   return false;
 }
 
 uint64_t Properties::Hash() const {
-  uint64_t h = Mix64(entries_.size());
-  for (const auto& [key, value] : entries_) {
+  const EntryVector& e = entries();
+  uint64_t h = Mix64(e.size());
+  for (const auto& [key, value] : e) {
     h = HashCombine(h, HashBytes(key));
     h = HashCombine(h, value.Hash());
   }
@@ -73,7 +112,7 @@ uint64_t Properties::Hash() const {
 std::string Properties::ToString() const {
   std::string out = "{";
   bool first = true;
-  for (const auto& [key, value] : entries_) {
+  for (const auto& [key, value] : entries()) {
     if (!first) out += ", ";
     first = false;
     out += key;

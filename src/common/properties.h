@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -21,12 +22,30 @@ namespace tgraph {
 /// of entries), so a sorted vector beats a map in both memory and speed, and
 /// it gives O(n) value-equivalence comparison — the hot operation during
 /// temporal coalescing.
+///
+/// The entry vector is copy-on-write: copying a Properties is a refcount
+/// bump, and mutation clones only when the storage is shared. Graph loads
+/// and shuffles copy property sets by the hundreds of thousands (every
+/// VeVertex/VeEdge owns one), and with COW all copies of an identical
+/// attribute set share one allocation — the in-memory analogue of the
+/// store's zero-copy segments. Mutating a Properties instance while other
+/// threads read that same instance was a data race before COW and still is;
+/// concurrent reads and copies of a shared instance are safe.
 class Properties {
  public:
   Properties() = default;
 
+  using EntryVector = std::vector<std::pair<std::string, PropertyValue>>;
+
   /// Builds from unsorted pairs; later duplicates of a key win.
   Properties(std::initializer_list<std::pair<std::string, PropertyValue>> init);
+
+  /// Bulk construction: adopts a whole entry vector in one move when it is
+  /// already sorted by key with no duplicates (serialized property blobs
+  /// store entries that way, so deserialization — the load-time hot loop —
+  /// takes this path on every well-formed cell). Unsorted input falls back
+  /// to per-entry Set.
+  static Properties FromEntries(EntryVector entries);
 
   /// Sets (inserts or overwrites) a property.
   void Set(std::string_view key, PropertyValue value);
@@ -41,17 +60,21 @@ class Properties {
   bool Erase(std::string_view key);
 
   bool Has(std::string_view key) const { return Find(key) != nullptr; }
-  bool empty() const { return entries_.empty(); }
-  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_ == nullptr || entries_->empty(); }
+  size_t size() const { return entries_ == nullptr ? 0 : entries_->size(); }
 
-  /// Sorted (key, value) entries; stable iteration order.
+  /// Sorted (key, value) entries; stable iteration order. The reference is
+  /// invalidated by any mutation of this instance (as it always was).
   const std::vector<std::pair<std::string, PropertyValue>>& entries() const {
-    return entries_;
+    return entries_ == nullptr ? EmptyEntries() : *entries_;
   }
 
   /// Value-equivalence (same keys, same values) — the coalescing predicate.
+  /// Copies share storage, so the common copied-not-changed case is a
+  /// pointer comparison.
   friend bool operator==(const Properties& a, const Properties& b) {
-    return a.entries_ == b.entries_;
+    if (a.entries_ == b.entries_) return true;
+    return a.entries() == b.entries();
   }
 
   /// Order-consistent hash (entries are kept sorted by key).
@@ -61,7 +84,13 @@ class Properties {
   std::string ToString() const;
 
  private:
-  std::vector<std::pair<std::string, PropertyValue>> entries_;
+  static const EntryVector& EmptyEntries();
+
+  /// Unique-owner view of the entry vector: allocates when null, clones
+  /// when shared (copy-on-write).
+  EntryVector& Mutable();
+
+  std::shared_ptr<EntryVector> entries_;  ///< null means empty.
 };
 
 std::ostream& operator<<(std::ostream& os, const Properties& p);

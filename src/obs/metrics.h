@@ -195,6 +195,9 @@ inline constexpr char kCacheEntries[] = "server.cache.entries";  // gauge
 inline constexpr char kCatalogLoads[] = "server.catalog.loads";
 inline constexpr char kCatalogHits[] = "server.catalog.hits";
 inline constexpr char kCatalogGraphs[] = "server.catalog.graphs";  // gauge
+/// Directories served off a shared mmap'd tgraph-store v2 reader.
+inline constexpr char kCatalogMmapStores[] =
+    "server.catalog.mmap_stores";  // gauge
 }  // namespace metric_names
 
 }  // namespace tgraph::obs

@@ -3,8 +3,27 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/graph_io.h"
+#include "storage/store_reader.h"
 
 namespace tgraph::server {
+
+Result<std::shared_ptr<storage::StoreReader>> GraphCatalog::GetOrOpenStore(
+    const std::string& dir) {
+  static obs::Gauge* mmap_stores = obs::MetricsRegistry::Global().GetGauge(
+      obs::metric_names::kCatalogMmapStores);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stores_.find(dir);
+    if (it != stores_.end()) return it->second;
+  }
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<storage::StoreReader> opened,
+                      storage::StoreReader::Open(storage::StorePath(dir)));
+  std::shared_ptr<storage::StoreReader> store = std::move(opened);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = stores_.emplace(dir, store);
+  mmap_stores->Set(static_cast<int64_t>(stores_.size()));
+  return it->second;  // a racing opener's reader wins; ours is dropped
+}
 
 Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
                                        const std::optional<Interval>& range) {
@@ -42,7 +61,19 @@ Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
   loads->Increment();
   storage::LoadOptions options;
   options.time_range = range;
-  Result<VeGraph> loaded = storage::LoadVeGraph(ctx_, dir, options);
+  // Serve off the directory's shared mmap reader when it has a v2 store
+  // with the flat representation; otherwise the plain loader (which still
+  // auto-detects a store holding another representation's tables).
+  Result<VeGraph> loaded = [&]() -> Result<VeGraph> {
+    if (storage::HasStore(dir)) {
+      auto store = GetOrOpenStore(dir);
+      if (!store.ok()) return store.status();
+      if ((*store)->FindTable("vertices") >= 0) {
+        return storage::LoadVeGraphFromStore(ctx_, **store, options);
+      }
+    }
+    return storage::LoadVeGraph(ctx_, dir, options);
+  }();
   std::optional<TGraph> graph;
   if (loaded.ok()) {
     graph = TGraph::FromVe(*std::move(loaded), /*coalesced=*/true);
@@ -69,6 +100,7 @@ Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
 void GraphCatalog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   slots_.clear();
+  stores_.clear();
 }
 
 size_t GraphCatalog::size() const {

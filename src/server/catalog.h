@@ -12,6 +12,10 @@
 #include "common/result.h"
 #include "tgraph/tgraph.h"
 
+namespace tgraph::storage {
+class StoreReader;
+}  // namespace tgraph::storage
+
 namespace tgraph::server {
 
 /// \brief Shared, read-only graph catalog: each (.tcol directory, time
@@ -28,6 +32,11 @@ namespace tgraph::server {
 ///
 /// Failed loads are not negatively cached — a dataset that appears on
 /// disk later loads on the next request.
+///
+/// Directories with a tgraph-store v2 container (`graph.tgs`) are served
+/// off a single memory-mapped StoreReader shared by every ranged load of
+/// that directory: N concurrent time slices fault in (and share) one set
+/// of page-cache pages instead of parsing N heap copies of the files.
 class GraphCatalog {
  public:
   explicit GraphCatalog(dataflow::ExecutionContext* ctx) : ctx_(ctx) {}
@@ -55,9 +64,15 @@ class GraphCatalog {
 
   dataflow::ExecutionContext* ctx_;
 
+  /// The shared mmap reader for `dir`, opened on first use. Never opened
+  /// twice: racing openers reconcile through the map.
+  Result<std::shared_ptr<storage::StoreReader>> GetOrOpenStore(
+      const std::string& dir);
+
   mutable std::mutex mu_;
   std::condition_variable loaded_cv_;
   std::map<std::string, std::shared_ptr<Slot>> slots_;
+  std::map<std::string, std::shared_ptr<storage::StoreReader>> stores_;
 };
 
 }  // namespace tgraph::server

@@ -6,6 +6,8 @@
 #include "obs/metrics.h"
 #include "storage/predicate.h"
 #include "storage/serde.h"
+#include "storage/store_reader.h"
+#include "storage/store_writer.h"
 #include "storage/table.h"
 #include "tgraph/coalesce.h"
 #include "tgraph/convert.h"
@@ -96,6 +98,68 @@ Schema VeEdgeSchema() {
                  {"props", ColumnType::kBinary}}};
 }
 
+/// Sort order decides the locality the file preserves (Section 4).
+void SortVeRecords(std::vector<VeVertex>* vertices, std::vector<VeEdge>* edges,
+                   SortOrder order) {
+  if (order == SortOrder::kTemporalLocality) {
+    std::sort(vertices->begin(), vertices->end(),
+              [](const VeVertex& a, const VeVertex& b) {
+                return std::tie(a.vid, a.interval.start) <
+                       std::tie(b.vid, b.interval.start);
+              });
+    std::sort(edges->begin(), edges->end(),
+              [](const VeEdge& a, const VeEdge& b) {
+                return std::tie(a.eid, a.interval.start) <
+                       std::tie(b.eid, b.interval.start);
+              });
+  } else {
+    std::sort(vertices->begin(), vertices->end(),
+              [](const VeVertex& a, const VeVertex& b) {
+                return std::tie(a.interval.start, a.vid) <
+                       std::tie(b.interval.start, b.vid);
+              });
+    std::sort(edges->begin(), edges->end(),
+              [](const VeEdge& a, const VeEdge& b) {
+                return std::tie(a.interval.start, a.eid) <
+                       std::tie(b.interval.start, b.eid);
+              });
+  }
+}
+
+RecordBatch MakeVeVertexBatch(const std::vector<VeVertex>& vertices) {
+  RecordBatch batch;
+  batch.schema = VeVertexSchema();
+  batch.columns.resize(4);
+  for (const VeVertex& v : vertices) {
+    batch.columns[0].ints.push_back(v.vid);
+    batch.columns[1].ints.push_back(v.interval.start);
+    batch.columns[2].ints.push_back(v.interval.end);
+    std::string blob;
+    SerializeProperties(v.properties, &blob);
+    batch.columns[3].binaries.push_back(std::move(blob));
+  }
+  batch.num_rows = static_cast<int64_t>(vertices.size());
+  return batch;
+}
+
+RecordBatch MakeVeEdgeBatch(const std::vector<VeEdge>& edges) {
+  RecordBatch batch;
+  batch.schema = VeEdgeSchema();
+  batch.columns.resize(6);
+  for (const VeEdge& e : edges) {
+    batch.columns[0].ints.push_back(e.eid);
+    batch.columns[1].ints.push_back(e.src);
+    batch.columns[2].ints.push_back(e.dst);
+    batch.columns[3].ints.push_back(e.interval.start);
+    batch.columns[4].ints.push_back(e.interval.end);
+    std::string blob;
+    SerializeProperties(e.properties, &blob);
+    batch.columns[5].binaries.push_back(std::move(blob));
+  }
+  batch.num_rows = static_cast<int64_t>(edges.size());
+  return batch;
+}
+
 }  // namespace
 
 Status WriteVeGraph(const VeGraph& graph, const std::string& dir,
@@ -103,28 +167,7 @@ Status WriteVeGraph(const VeGraph& graph, const std::string& dir,
   TG_RETURN_IF_ERROR(EnsureDir(dir));
   std::vector<VeVertex> vertices = graph.vertices().Collect();
   std::vector<VeEdge> edges = graph.edges().Collect();
-  // Sort order decides the locality the file preserves (Section 4).
-  if (options.sort_order == SortOrder::kTemporalLocality) {
-    std::sort(vertices.begin(), vertices.end(),
-              [](const VeVertex& a, const VeVertex& b) {
-                return std::tie(a.vid, a.interval.start) <
-                       std::tie(b.vid, b.interval.start);
-              });
-    std::sort(edges.begin(), edges.end(), [](const VeEdge& a, const VeEdge& b) {
-      return std::tie(a.eid, a.interval.start) <
-             std::tie(b.eid, b.interval.start);
-    });
-  } else {
-    std::sort(vertices.begin(), vertices.end(),
-              [](const VeVertex& a, const VeVertex& b) {
-                return std::tie(a.interval.start, a.vid) <
-                       std::tie(b.interval.start, b.vid);
-              });
-    std::sort(edges.begin(), edges.end(), [](const VeEdge& a, const VeEdge& b) {
-      return std::tie(a.interval.start, a.eid) <
-             std::tie(b.interval.start, b.eid);
-    });
-  }
+  SortVeRecords(&vertices, &edges, options.sort_order);
 
   WriterOptions writer_options;
   writer_options.row_group_size = options.row_group_size;
@@ -135,40 +178,14 @@ Status WriteVeGraph(const VeGraph& graph, const std::string& dir,
         std::unique_ptr<TableWriter> writer,
         TableWriter::Open(dir + "/vertices.tcol", VeVertexSchema(),
                           writer_options));
-    RecordBatch batch;
-    batch.schema = VeVertexSchema();
-    batch.columns.resize(4);
-    for (const VeVertex& v : vertices) {
-      batch.columns[0].ints.push_back(v.vid);
-      batch.columns[1].ints.push_back(v.interval.start);
-      batch.columns[2].ints.push_back(v.interval.end);
-      std::string blob;
-      SerializeProperties(v.properties, &blob);
-      batch.columns[3].binaries.push_back(std::move(blob));
-    }
-    batch.num_rows = static_cast<int64_t>(vertices.size());
-    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Append(MakeVeVertexBatch(vertices)));
     TG_RETURN_IF_ERROR(writer->Close());
   }
   {
     TG_ASSIGN_OR_RETURN(
         std::unique_ptr<TableWriter> writer,
         TableWriter::Open(dir + "/edges.tcol", VeEdgeSchema(), writer_options));
-    RecordBatch batch;
-    batch.schema = VeEdgeSchema();
-    batch.columns.resize(6);
-    for (const VeEdge& e : edges) {
-      batch.columns[0].ints.push_back(e.eid);
-      batch.columns[1].ints.push_back(e.src);
-      batch.columns[2].ints.push_back(e.dst);
-      batch.columns[3].ints.push_back(e.interval.start);
-      batch.columns[4].ints.push_back(e.interval.end);
-      std::string blob;
-      SerializeProperties(e.properties, &blob);
-      batch.columns[5].binaries.push_back(std::move(blob));
-    }
-    batch.num_rows = static_cast<int64_t>(edges.size());
-    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Append(MakeVeEdgeBatch(edges)));
     TG_RETURN_IF_ERROR(writer->Close());
   }
   return Status::OK();
@@ -177,6 +194,13 @@ Status WriteVeGraph(const VeGraph& graph, const std::string& dir,
 Result<VeGraph> LoadVeGraph(dataflow::ExecutionContext* ctx,
                             const std::string& dir, const LoadOptions& options,
                             LoadMetrics* metrics) {
+  if (HasStore(dir)) {
+    TG_ASSIGN_OR_RETURN(std::unique_ptr<StoreReader> store,
+                        StoreReader::Open(StorePath(dir)));
+    if (store->FindTable("vertices") >= 0) {
+      return LoadVeGraphFromStore(ctx, *store, options, metrics);
+    }
+  }
   TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> vertex_reader,
                       TableReader::Open(dir + "/vertices.tcol"));
   TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> edge_reader,
@@ -189,7 +213,7 @@ Result<VeGraph> LoadVeGraph(dataflow::ExecutionContext* ctx,
   if (options.time_range.has_value()) {
     clip = options.time_range->Intersect(lifetime);
     predicate = Predicate::IntervalOverlaps("start", "end", clip);
-    predicate_ptr = &predicate;
+    if (options.pushdown) predicate_ptr = &predicate;
   }
 
   size_t scanned = 0;
@@ -277,6 +301,70 @@ Result<OgVertex> DeserializeOgVertex(std::string_view data, size_t* pos) {
   return OgVertex{static_cast<VertexId>(vid), std::move(history)};
 }
 
+/// The nested format sorts on (first, id) or (id, first) like the flat
+/// one; pushdown works on the first/last columns (Section 4).
+void SortOgRecords(std::vector<OgVertex>* vertices, std::vector<OgEdge>* edges,
+                   SortOrder order) {
+  auto first_of = [](const History& h) {
+    return h.empty() ? int64_t{0} : h.front().interval.start;
+  };
+  if (order == SortOrder::kTemporalLocality) {
+    std::sort(vertices->begin(), vertices->end(),
+              [&](const OgVertex& a, const OgVertex& b) { return a.vid < b.vid; });
+    std::sort(edges->begin(), edges->end(),
+              [&](const OgEdge& a, const OgEdge& b) { return a.eid < b.eid; });
+  } else {
+    std::sort(vertices->begin(), vertices->end(),
+              [&](const OgVertex& a, const OgVertex& b) {
+                return std::pair(first_of(a.history), a.vid) <
+                       std::pair(first_of(b.history), b.vid);
+              });
+    std::sort(edges->begin(), edges->end(),
+              [&](const OgEdge& a, const OgEdge& b) {
+                return std::pair(first_of(a.history), a.eid) <
+                       std::pair(first_of(b.history), b.eid);
+              });
+  }
+}
+
+RecordBatch MakeOgVertexBatch(const std::vector<OgVertex>& vertices) {
+  RecordBatch batch;
+  batch.schema = OgVertexSchema();
+  batch.columns.resize(4);
+  for (const OgVertex& v : vertices) {
+    Interval span = HistorySpan(v.history);
+    batch.columns[0].ints.push_back(v.vid);
+    batch.columns[1].ints.push_back(span.start);
+    batch.columns[2].ints.push_back(span.end);
+    std::string blob;
+    SerializeHistory(v.history, &blob);
+    batch.columns[3].binaries.push_back(std::move(blob));
+  }
+  batch.num_rows = static_cast<int64_t>(vertices.size());
+  return batch;
+}
+
+RecordBatch MakeOgEdgeBatch(const std::vector<OgEdge>& edges) {
+  RecordBatch batch;
+  batch.schema = OgEdgeSchema();
+  batch.columns.resize(6);
+  for (const OgEdge& e : edges) {
+    Interval span = HistorySpan(e.history);
+    batch.columns[0].ints.push_back(e.eid);
+    batch.columns[1].ints.push_back(span.start);
+    batch.columns[2].ints.push_back(span.end);
+    std::string v1_blob, v2_blob, history_blob;
+    SerializeOgVertex(e.v1, &v1_blob);
+    SerializeOgVertex(e.v2, &v2_blob);
+    SerializeHistory(e.history, &history_blob);
+    batch.columns[3].binaries.push_back(std::move(v1_blob));
+    batch.columns[4].binaries.push_back(std::move(v2_blob));
+    batch.columns[5].binaries.push_back(std::move(history_blob));
+  }
+  batch.num_rows = static_cast<int64_t>(edges.size());
+  return batch;
+}
+
 }  // namespace
 
 Status WriteOgGraph(const OgGraph& graph, const std::string& dir,
@@ -284,28 +372,7 @@ Status WriteOgGraph(const OgGraph& graph, const std::string& dir,
   TG_RETURN_IF_ERROR(EnsureDir(dir));
   std::vector<OgVertex> vertices = graph.vertices().Collect();
   std::vector<OgEdge> edges = graph.edges().Collect();
-  // The nested format sorts on (first, id) or (id, first) like the flat
-  // one; pushdown works on the first/last columns (Section 4).
-  auto first_of = [](const History& h) {
-    return h.empty() ? int64_t{0} : h.front().interval.start;
-  };
-  if (options.sort_order == SortOrder::kTemporalLocality) {
-    std::sort(vertices.begin(), vertices.end(),
-              [&](const OgVertex& a, const OgVertex& b) { return a.vid < b.vid; });
-    std::sort(edges.begin(), edges.end(),
-              [&](const OgEdge& a, const OgEdge& b) { return a.eid < b.eid; });
-  } else {
-    std::sort(vertices.begin(), vertices.end(),
-              [&](const OgVertex& a, const OgVertex& b) {
-                return std::pair(first_of(a.history), a.vid) <
-                       std::pair(first_of(b.history), b.vid);
-              });
-    std::sort(edges.begin(), edges.end(),
-              [&](const OgEdge& a, const OgEdge& b) {
-                return std::pair(first_of(a.history), a.eid) <
-                       std::pair(first_of(b.history), b.eid);
-              });
-  }
+  SortOgRecords(&vertices, &edges, options.sort_order);
 
   WriterOptions writer_options;
   writer_options.row_group_size = options.row_group_size;
@@ -315,44 +382,14 @@ Status WriteOgGraph(const OgGraph& graph, const std::string& dir,
     TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
                         TableWriter::Open(dir + "/og_vertices.tcol",
                                           OgVertexSchema(), writer_options));
-    RecordBatch batch;
-    batch.schema = OgVertexSchema();
-    batch.columns.resize(4);
-    for (const OgVertex& v : vertices) {
-      Interval span = HistorySpan(v.history);
-      batch.columns[0].ints.push_back(v.vid);
-      batch.columns[1].ints.push_back(span.start);
-      batch.columns[2].ints.push_back(span.end);
-      std::string blob;
-      SerializeHistory(v.history, &blob);
-      batch.columns[3].binaries.push_back(std::move(blob));
-    }
-    batch.num_rows = static_cast<int64_t>(vertices.size());
-    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Append(MakeOgVertexBatch(vertices)));
     TG_RETURN_IF_ERROR(writer->Close());
   }
   {
     TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
                         TableWriter::Open(dir + "/og_edges.tcol",
                                           OgEdgeSchema(), writer_options));
-    RecordBatch batch;
-    batch.schema = OgEdgeSchema();
-    batch.columns.resize(6);
-    for (const OgEdge& e : edges) {
-      Interval span = HistorySpan(e.history);
-      batch.columns[0].ints.push_back(e.eid);
-      batch.columns[1].ints.push_back(span.start);
-      batch.columns[2].ints.push_back(span.end);
-      std::string v1_blob, v2_blob, history_blob;
-      SerializeOgVertex(e.v1, &v1_blob);
-      SerializeOgVertex(e.v2, &v2_blob);
-      SerializeHistory(e.history, &history_blob);
-      batch.columns[3].binaries.push_back(std::move(v1_blob));
-      batch.columns[4].binaries.push_back(std::move(v2_blob));
-      batch.columns[5].binaries.push_back(std::move(history_blob));
-    }
-    batch.num_rows = static_cast<int64_t>(edges.size());
-    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Append(MakeOgEdgeBatch(edges)));
     TG_RETURN_IF_ERROR(writer->Close());
   }
   return Status::OK();
@@ -361,6 +398,13 @@ Status WriteOgGraph(const OgGraph& graph, const std::string& dir,
 Result<OgGraph> LoadOgGraph(dataflow::ExecutionContext* ctx,
                             const std::string& dir, const LoadOptions& options,
                             LoadMetrics* metrics) {
+  if (HasStore(dir)) {
+    TG_ASSIGN_OR_RETURN(std::unique_ptr<StoreReader> store,
+                        StoreReader::Open(StorePath(dir)));
+    if (store->FindTable("og_vertices") >= 0) {
+      return LoadOgGraphFromStore(ctx, *store, options, metrics);
+    }
+  }
   TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> vertex_reader,
                       TableReader::Open(dir + "/og_vertices.tcol"));
   TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> edge_reader,
@@ -375,7 +419,7 @@ Result<OgGraph> LoadOgGraph(dataflow::ExecutionContext* ctx,
     // Pushdown on the flattened first/last columns (the nested history
     // column cannot be filtered, Section 4).
     predicate = Predicate::IntervalOverlaps("first", "last", clip);
-    predicate_ptr = &predicate;
+    if (options.pushdown) predicate_ptr = &predicate;
   }
 
   size_t scanned = 0;
@@ -476,6 +520,60 @@ Result<OgcVertex> DeserializeOgcVertex(std::string_view data, size_t* pos) {
                    std::move(bits)};
 }
 
+RecordBatch MakeOgcIndexBatch(const std::vector<Interval>& intervals) {
+  RecordBatch batch;
+  batch.schema = OgcIndexSchema();
+  batch.columns.resize(2);
+  for (const Interval& i : intervals) {
+    batch.columns[0].ints.push_back(i.start);
+    batch.columns[1].ints.push_back(i.end);
+  }
+  batch.num_rows = static_cast<int64_t>(intervals.size());
+  return batch;
+}
+
+RecordBatch MakeOgcVertexBatch(const std::vector<OgcVertex>& vertices,
+                               const std::vector<Interval>& index) {
+  RecordBatch batch;
+  batch.schema = OgcVertexSchema();
+  batch.columns.resize(5);
+  for (const OgcVertex& v : vertices) {
+    Interval span = PresenceSpan(v.presence, index);
+    batch.columns[0].ints.push_back(v.vid);
+    batch.columns[1].ints.push_back(span.start);
+    batch.columns[2].ints.push_back(span.end);
+    batch.columns[3].binaries.push_back(v.type);
+    std::string bits;
+    SerializeBitset(v.presence, &bits);
+    batch.columns[4].binaries.push_back(std::move(bits));
+    ++batch.num_rows;
+  }
+  return batch;
+}
+
+RecordBatch MakeOgcEdgeBatch(const std::vector<OgcEdge>& edges,
+                             const std::vector<Interval>& index) {
+  RecordBatch batch;
+  batch.schema = OgcEdgeSchema();
+  batch.columns.resize(7);
+  for (const OgcEdge& e : edges) {
+    Interval span = PresenceSpan(e.presence, index);
+    batch.columns[0].ints.push_back(e.eid);
+    batch.columns[1].ints.push_back(span.start);
+    batch.columns[2].ints.push_back(span.end);
+    batch.columns[3].binaries.push_back(e.type);
+    std::string v1_blob, v2_blob, bits;
+    SerializeOgcVertex(e.v1, &v1_blob);
+    SerializeOgcVertex(e.v2, &v2_blob);
+    SerializeBitset(e.presence, &bits);
+    batch.columns[4].binaries.push_back(std::move(v1_blob));
+    batch.columns[5].binaries.push_back(std::move(v2_blob));
+    batch.columns[6].binaries.push_back(std::move(bits));
+    ++batch.num_rows;
+  }
+  return batch;
+}
+
 }  // namespace
 
 Status WriteOgcGraph(const OgcGraph& graph, const std::string& dir,
@@ -485,67 +583,28 @@ Status WriteOgcGraph(const OgcGraph& graph, const std::string& dir,
   writer_options.row_group_size = options.row_group_size;
   writer_options.metadata = FileMetadata(graph.lifetime(), options.sort_order);
 
+  const std::vector<Interval>& index = graph.intervals();
   {
     TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
                         TableWriter::Open(dir + "/ogc_index.tcol",
                                           OgcIndexSchema(), writer_options));
-    RecordBatch batch;
-    batch.schema = OgcIndexSchema();
-    batch.columns.resize(2);
-    for (const Interval& i : graph.intervals()) {
-      batch.columns[0].ints.push_back(i.start);
-      batch.columns[1].ints.push_back(i.end);
-    }
-    batch.num_rows = static_cast<int64_t>(graph.intervals().size());
-    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(writer->Append(MakeOgcIndexBatch(index)));
     TG_RETURN_IF_ERROR(writer->Close());
   }
-
-  const std::vector<Interval>& index = graph.intervals();
   {
     TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
                         TableWriter::Open(dir + "/ogc_vertices.tcol",
                                           OgcVertexSchema(), writer_options));
-    RecordBatch batch;
-    batch.schema = OgcVertexSchema();
-    batch.columns.resize(5);
-    for (const OgcVertex& v : graph.vertices().Collect()) {
-      Interval span = PresenceSpan(v.presence, index);
-      batch.columns[0].ints.push_back(v.vid);
-      batch.columns[1].ints.push_back(span.start);
-      batch.columns[2].ints.push_back(span.end);
-      batch.columns[3].binaries.push_back(v.type);
-      std::string bits;
-      SerializeBitset(v.presence, &bits);
-      batch.columns[4].binaries.push_back(std::move(bits));
-      ++batch.num_rows;
-    }
-    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(
+        writer->Append(MakeOgcVertexBatch(graph.vertices().Collect(), index)));
     TG_RETURN_IF_ERROR(writer->Close());
   }
   {
     TG_ASSIGN_OR_RETURN(std::unique_ptr<TableWriter> writer,
                         TableWriter::Open(dir + "/ogc_edges.tcol",
                                           OgcEdgeSchema(), writer_options));
-    RecordBatch batch;
-    batch.schema = OgcEdgeSchema();
-    batch.columns.resize(7);
-    for (const OgcEdge& e : graph.edges().Collect()) {
-      Interval span = PresenceSpan(e.presence, index);
-      batch.columns[0].ints.push_back(e.eid);
-      batch.columns[1].ints.push_back(span.start);
-      batch.columns[2].ints.push_back(span.end);
-      batch.columns[3].binaries.push_back(e.type);
-      std::string v1_blob, v2_blob, bits;
-      SerializeOgcVertex(e.v1, &v1_blob);
-      SerializeOgcVertex(e.v2, &v2_blob);
-      SerializeBitset(e.presence, &bits);
-      batch.columns[4].binaries.push_back(std::move(v1_blob));
-      batch.columns[5].binaries.push_back(std::move(v2_blob));
-      batch.columns[6].binaries.push_back(std::move(bits));
-      ++batch.num_rows;
-    }
-    TG_RETURN_IF_ERROR(writer->Append(batch));
+    TG_RETURN_IF_ERROR(
+        writer->Append(MakeOgcEdgeBatch(graph.edges().Collect(), index)));
     TG_RETURN_IF_ERROR(writer->Close());
   }
   return Status::OK();
@@ -555,6 +614,13 @@ Result<OgcGraph> LoadOgcGraph(dataflow::ExecutionContext* ctx,
                               const std::string& dir,
                               const LoadOptions& options,
                               LoadMetrics* metrics) {
+  if (HasStore(dir)) {
+    TG_ASSIGN_OR_RETURN(std::unique_ptr<StoreReader> store,
+                        StoreReader::Open(StorePath(dir)));
+    if (store->FindTable("ogc_vertices") >= 0) {
+      return LoadOgcGraphFromStore(ctx, *store, options, metrics);
+    }
+  }
   TG_ASSIGN_OR_RETURN(std::unique_ptr<TableReader> index_reader,
                       TableReader::Open(dir + "/ogc_index.tcol"));
   TG_ASSIGN_OR_RETURN(RecordBatch index_batch, index_reader->Read());
@@ -583,7 +649,7 @@ Result<OgcGraph> LoadOgcGraph(dataflow::ExecutionContext* ctx,
   if (options.time_range.has_value()) {
     clip = options.time_range->Intersect(lifetime);
     predicate = Predicate::IntervalOverlaps("first", "last", clip);
-    predicate_ptr = &predicate;
+    if (options.pushdown) predicate_ptr = &predicate;
   }
 
   auto slice_bits = [&kept](const Bitset& bits) {
@@ -647,6 +713,456 @@ Result<OgcGraph> LoadOgcGraph(dataflow::ExecutionContext* ctx,
   return OgcGraph(std::move(index),
                   Dataset<OgcVertex>::FromVector(ctx, std::move(vertices)),
                   Dataset<OgcEdge>::FromVector(ctx, std::move(edges)), clip);
+}
+
+// --- tgraph-store v2 -------------------------------------------------------
+
+namespace {
+
+Result<Interval> StoreLifetime(const StoreReader& store) {
+  const std::string* start = store.FindMetadata(kLifetimeStartKey);
+  const std::string* end = store.FindMetadata(kLifetimeEndKey);
+  if (start == nullptr || end == nullptr) {
+    return Status::IoError(store.path() + " lacks lifetime metadata");
+  }
+  return Interval(std::stoll(*start), std::stoll(*end));
+}
+
+Result<int> RequireStoreTable(const StoreReader& store,
+                              const std::string& name) {
+  int t = store.FindTable(name);
+  if (t < 0) {
+    return Status::IoError(store.path() + " has no '" + name + "' table");
+  }
+  return t;
+}
+
+/// The loader fan-out: prunes partitions against the predicate's zone
+/// maps (footer-only — skipped partitions never fault their pages in),
+/// then decodes the survivors in parallel, one output partition each, so
+/// the partition structure on disk becomes the Dataset's partition
+/// structure in memory. `decode(p, out)` decodes store partition `p`.
+template <typename T, typename Decode>
+Result<dataflow::Partitions<T>> ScanStoreTable(dataflow::ExecutionContext* ctx,
+                                               const StoreReader& store,
+                                               int table,
+                                               const Predicate* predicate,
+                                               size_t* total, size_t* scanned,
+                                               const Decode& decode) {
+  const TableMeta& meta = store.table(table);
+  std::vector<size_t> kept;
+  kept.reserve(meta.partitions.size());
+  for (size_t p = 0; p < meta.partitions.size(); ++p) {
+    if (predicate == nullptr ||
+        store.PartitionMaybeMatches(table, p, *predicate)) {
+      kept.push_back(p);
+    }
+  }
+  *total = meta.partitions.size();
+  *scanned = kept.size();
+  dataflow::Partitions<T> parts(kept.size());
+  std::vector<Status> statuses(kept.size());
+  ctx->ParallelFor(kept.size(), [&](size_t i) {
+    statuses[i] = decode(kept[i], &parts[i]);
+  });
+  for (const Status& status : statuses) TG_RETURN_IF_ERROR(status);
+  return parts;
+}
+
+template <typename T>
+Dataset<T> DatasetFromStoreParts(dataflow::ExecutionContext* ctx,
+                                 dataflow::Partitions<T> parts) {
+  if (parts.empty()) return Dataset<T>::FromVector(ctx, std::vector<T>{});
+  return Dataset<T>::FromPartitions(ctx, std::move(parts));
+}
+
+std::vector<std::pair<std::string, std::string>> StoreMetadata(
+    Interval lifetime, SortOrder order, const char* representation) {
+  auto metadata = FileMetadata(lifetime, order);
+  metadata.emplace_back(kStoreMetaRepresentation, representation);
+  return metadata;
+}
+
+/// Memoizes the previously decoded property cell. Columnar neighbors very
+/// often carry byte-identical attribute blobs (a constant type tag, a
+/// stable schema of per-type attributes), and the store's segments are
+/// stable mmap memory, so the previous cell's bytes can be compared by
+/// view. A repeat then costs one Properties copy — a refcount bump under
+/// copy-on-write — instead of a parse. One cache per decode loop; never
+/// shared across threads.
+class PropsRunCache {
+ public:
+  Result<Properties> Decode(std::string_view blob) {
+    if (valid_ && blob == last_blob_) return last_props_;
+    size_t pos = 0;
+    TG_ASSIGN_OR_RETURN(Properties props, DeserializeProperties(blob, &pos));
+    last_blob_ = blob;
+    last_props_ = props;
+    valid_ = true;
+    return props;
+  }
+
+ private:
+  bool valid_ = false;
+  std::string_view last_blob_;
+  Properties last_props_;
+};
+
+}  // namespace
+
+std::string StorePath(const std::string& dir) { return dir + "/graph.tgs"; }
+
+bool HasStore(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(StorePath(dir), ec);
+}
+
+Status WriteVeStore(const VeGraph& graph, const std::string& dir,
+                    const GraphWriteOptions& options) {
+  TG_RETURN_IF_ERROR(EnsureDir(dir));
+  std::vector<VeVertex> vertices = graph.vertices().Collect();
+  std::vector<VeEdge> edges = graph.edges().Collect();
+  SortVeRecords(&vertices, &edges, options.sort_order);
+
+  StoreWriterOptions writer_options;
+  writer_options.partition_rows = options.row_group_size;
+  writer_options.metadata =
+      StoreMetadata(graph.lifetime(), options.sort_order, "ve");
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<StoreWriter> writer,
+                      StoreWriter::Open(StorePath(dir), writer_options));
+  int vt = writer->AddTable("vertices", VeVertexSchema());
+  int et = writer->AddTable("edges", VeEdgeSchema());
+  TG_RETURN_IF_ERROR(writer->Append(vt, MakeVeVertexBatch(vertices)));
+  TG_RETURN_IF_ERROR(writer->Append(et, MakeVeEdgeBatch(edges)));
+  return writer->Close();
+}
+
+Status WriteOgStore(const OgGraph& graph, const std::string& dir,
+                    const GraphWriteOptions& options) {
+  TG_RETURN_IF_ERROR(EnsureDir(dir));
+  std::vector<OgVertex> vertices = graph.vertices().Collect();
+  std::vector<OgEdge> edges = graph.edges().Collect();
+  SortOgRecords(&vertices, &edges, options.sort_order);
+
+  StoreWriterOptions writer_options;
+  writer_options.partition_rows = options.row_group_size;
+  writer_options.metadata =
+      StoreMetadata(graph.lifetime(), options.sort_order, "og");
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<StoreWriter> writer,
+                      StoreWriter::Open(StorePath(dir), writer_options));
+  int vt = writer->AddTable("og_vertices", OgVertexSchema());
+  int et = writer->AddTable("og_edges", OgEdgeSchema());
+  TG_RETURN_IF_ERROR(writer->Append(vt, MakeOgVertexBatch(vertices)));
+  TG_RETURN_IF_ERROR(writer->Append(et, MakeOgEdgeBatch(edges)));
+  return writer->Close();
+}
+
+Status WriteOgcStore(const OgcGraph& graph, const std::string& dir,
+                     const GraphWriteOptions& options) {
+  TG_RETURN_IF_ERROR(EnsureDir(dir));
+  StoreWriterOptions writer_options;
+  writer_options.partition_rows = options.row_group_size;
+  writer_options.metadata =
+      StoreMetadata(graph.lifetime(), options.sort_order, "ogc");
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<StoreWriter> writer,
+                      StoreWriter::Open(StorePath(dir), writer_options));
+  const std::vector<Interval>& index = graph.intervals();
+  int it = writer->AddTable("ogc_index", OgcIndexSchema());
+  int vt = writer->AddTable("ogc_vertices", OgcVertexSchema());
+  int et = writer->AddTable("ogc_edges", OgcEdgeSchema());
+  TG_RETURN_IF_ERROR(writer->Append(it, MakeOgcIndexBatch(index)));
+  TG_RETURN_IF_ERROR(
+      writer->Append(vt, MakeOgcVertexBatch(graph.vertices().Collect(), index)));
+  TG_RETURN_IF_ERROR(
+      writer->Append(et, MakeOgcEdgeBatch(graph.edges().Collect(), index)));
+  return writer->Close();
+}
+
+Result<VeGraph> LoadVeGraphFromStore(dataflow::ExecutionContext* ctx,
+                                     const StoreReader& store,
+                                     const LoadOptions& options,
+                                     LoadMetrics* metrics) {
+  TG_ASSIGN_OR_RETURN(int vt, RequireStoreTable(store, "vertices"));
+  TG_ASSIGN_OR_RETURN(int et, RequireStoreTable(store, "edges"));
+  TG_ASSIGN_OR_RETURN(Interval lifetime, StoreLifetime(store));
+
+  Predicate predicate;
+  const Predicate* predicate_ptr = nullptr;
+  Interval clip = lifetime;
+  if (options.time_range.has_value()) {
+    clip = options.time_range->Intersect(lifetime);
+    predicate = Predicate::IntervalOverlaps("start", "end", clip);
+    if (options.pushdown) predicate_ptr = &predicate;
+  }
+
+  size_t total = 0, scanned = 0;
+  TG_ASSIGN_OR_RETURN(
+      dataflow::Partitions<VeVertex> vertex_parts,
+      (ScanStoreTable<VeVertex>(
+          ctx, store, vt, predicate_ptr, &total, &scanned,
+          [&](size_t p, std::vector<VeVertex>* out) -> Status {
+            TG_ASSIGN_OR_RETURN(auto vids, store.Int64Column(vt, p, 0));
+            TG_ASSIGN_OR_RETURN(auto starts, store.Int64Column(vt, p, 1));
+            TG_ASSIGN_OR_RETURN(auto ends, store.Int64Column(vt, p, 2));
+            TG_ASSIGN_OR_RETURN(auto props, store.BinaryColumn(vt, p, 3));
+            out->reserve(vids.size());
+            PropsRunCache cache;
+            for (size_t i = 0; i < vids.size(); ++i) {
+              Interval interval =
+                  Interval(starts[i], ends[i]).Intersect(clip);
+              if (interval.empty()) continue;
+              TG_ASSIGN_OR_RETURN(Properties properties,
+                                  cache.Decode(props.Value(i)));
+              out->push_back(
+                  VeVertex{vids[i], interval, std::move(properties)});
+            }
+            return Status::OK();
+          })));
+  RecordLoadScan(/*new_load=*/true, total, scanned);
+  if (metrics != nullptr) {
+    metrics->vertex_groups_total = total;
+    metrics->vertex_groups_scanned = scanned;
+  }
+
+  TG_ASSIGN_OR_RETURN(
+      dataflow::Partitions<VeEdge> edge_parts,
+      (ScanStoreTable<VeEdge>(
+          ctx, store, et, predicate_ptr, &total, &scanned,
+          [&](size_t p, std::vector<VeEdge>* out) -> Status {
+            TG_ASSIGN_OR_RETURN(auto eids, store.Int64Column(et, p, 0));
+            TG_ASSIGN_OR_RETURN(auto srcs, store.Int64Column(et, p, 1));
+            TG_ASSIGN_OR_RETURN(auto dsts, store.Int64Column(et, p, 2));
+            TG_ASSIGN_OR_RETURN(auto starts, store.Int64Column(et, p, 3));
+            TG_ASSIGN_OR_RETURN(auto ends, store.Int64Column(et, p, 4));
+            TG_ASSIGN_OR_RETURN(auto props, store.BinaryColumn(et, p, 5));
+            out->reserve(eids.size());
+            PropsRunCache cache;
+            for (size_t i = 0; i < eids.size(); ++i) {
+              Interval interval =
+                  Interval(starts[i], ends[i]).Intersect(clip);
+              if (interval.empty()) continue;
+              TG_ASSIGN_OR_RETURN(Properties properties,
+                                  cache.Decode(props.Value(i)));
+              out->push_back(VeEdge{eids[i], srcs[i], dsts[i], interval,
+                                    std::move(properties)});
+            }
+            return Status::OK();
+          })));
+  RecordLoadScan(/*new_load=*/false, total, scanned);
+  if (metrics != nullptr) {
+    metrics->edge_groups_total = total;
+    metrics->edge_groups_scanned = scanned;
+  }
+  return VeGraph(DatasetFromStoreParts(ctx, std::move(vertex_parts)),
+                 DatasetFromStoreParts(ctx, std::move(edge_parts)), clip);
+}
+
+Result<RgGraph> LoadRgGraphFromStore(dataflow::ExecutionContext* ctx,
+                                     const StoreReader& store,
+                                     const LoadOptions& options,
+                                     LoadMetrics* metrics) {
+  TG_ASSIGN_OR_RETURN(VeGraph ve,
+                      LoadVeGraphFromStore(ctx, store, options, metrics));
+  return VeToRg(ve);
+}
+
+Result<OgGraph> LoadOgGraphFromStore(dataflow::ExecutionContext* ctx,
+                                     const StoreReader& store,
+                                     const LoadOptions& options,
+                                     LoadMetrics* metrics) {
+  TG_ASSIGN_OR_RETURN(int vt, RequireStoreTable(store, "og_vertices"));
+  TG_ASSIGN_OR_RETURN(int et, RequireStoreTable(store, "og_edges"));
+  TG_ASSIGN_OR_RETURN(Interval lifetime, StoreLifetime(store));
+
+  Predicate predicate;
+  const Predicate* predicate_ptr = nullptr;
+  Interval clip = lifetime;
+  if (options.time_range.has_value()) {
+    clip = options.time_range->Intersect(lifetime);
+    predicate = Predicate::IntervalOverlaps("first", "last", clip);
+    if (options.pushdown) predicate_ptr = &predicate;
+  }
+
+  size_t total = 0, scanned = 0;
+  TG_ASSIGN_OR_RETURN(
+      dataflow::Partitions<OgVertex> vertex_parts,
+      (ScanStoreTable<OgVertex>(
+          ctx, store, vt, predicate_ptr, &total, &scanned,
+          [&](size_t p, std::vector<OgVertex>* out) -> Status {
+            TG_ASSIGN_OR_RETURN(auto vids, store.Int64Column(vt, p, 0));
+            TG_ASSIGN_OR_RETURN(auto histories, store.BinaryColumn(vt, p, 3));
+            out->reserve(vids.size());
+            for (size_t i = 0; i < vids.size(); ++i) {
+              size_t pos = 0;
+              TG_ASSIGN_OR_RETURN(
+                  History history,
+                  DeserializeHistory(histories.Value(i), &pos));
+              history = ClipHistory(history, clip);
+              if (history.empty()) continue;
+              out->push_back(OgVertex{vids[i], std::move(history)});
+            }
+            return Status::OK();
+          })));
+  RecordLoadScan(/*new_load=*/true, total, scanned);
+  if (metrics != nullptr) {
+    metrics->vertex_groups_total = total;
+    metrics->vertex_groups_scanned = scanned;
+  }
+
+  TG_ASSIGN_OR_RETURN(
+      dataflow::Partitions<OgEdge> edge_parts,
+      (ScanStoreTable<OgEdge>(
+          ctx, store, et, predicate_ptr, &total, &scanned,
+          [&](size_t p, std::vector<OgEdge>* out) -> Status {
+            TG_ASSIGN_OR_RETURN(auto eids, store.Int64Column(et, p, 0));
+            TG_ASSIGN_OR_RETURN(auto v1s, store.BinaryColumn(et, p, 3));
+            TG_ASSIGN_OR_RETURN(auto v2s, store.BinaryColumn(et, p, 4));
+            TG_ASSIGN_OR_RETURN(auto histories, store.BinaryColumn(et, p, 5));
+            out->reserve(eids.size());
+            for (size_t i = 0; i < eids.size(); ++i) {
+              size_t pos = 0;
+              TG_ASSIGN_OR_RETURN(
+                  History history,
+                  DeserializeHistory(histories.Value(i), &pos));
+              history = ClipHistory(history, clip);
+              if (history.empty()) continue;
+              pos = 0;
+              TG_ASSIGN_OR_RETURN(OgVertex v1,
+                                  DeserializeOgVertex(v1s.Value(i), &pos));
+              pos = 0;
+              TG_ASSIGN_OR_RETURN(OgVertex v2,
+                                  DeserializeOgVertex(v2s.Value(i), &pos));
+              v1.history = ClipHistory(v1.history, clip);
+              v2.history = ClipHistory(v2.history, clip);
+              out->push_back(OgEdge{eids[i], std::move(v1), std::move(v2),
+                                    std::move(history)});
+            }
+            return Status::OK();
+          })));
+  RecordLoadScan(/*new_load=*/false, total, scanned);
+  if (metrics != nullptr) {
+    metrics->edge_groups_total = total;
+    metrics->edge_groups_scanned = scanned;
+  }
+  return OgGraph(DatasetFromStoreParts(ctx, std::move(vertex_parts)),
+                 DatasetFromStoreParts(ctx, std::move(edge_parts)), clip);
+}
+
+Result<OgcGraph> LoadOgcGraphFromStore(dataflow::ExecutionContext* ctx,
+                                       const StoreReader& store,
+                                       const LoadOptions& options,
+                                       LoadMetrics* metrics) {
+  TG_ASSIGN_OR_RETURN(int it, RequireStoreTable(store, "ogc_index"));
+  TG_ASSIGN_OR_RETURN(int vt, RequireStoreTable(store, "ogc_vertices"));
+  TG_ASSIGN_OR_RETURN(int et, RequireStoreTable(store, "ogc_edges"));
+  TG_ASSIGN_OR_RETURN(Interval lifetime, StoreLifetime(store));
+
+  // The interval index is small and always needed in full.
+  std::vector<Interval> full_index;
+  for (size_t p = 0; p < store.table(it).partitions.size(); ++p) {
+    TG_ASSIGN_OR_RETURN(auto starts, store.Int64Column(it, p, 0));
+    TG_ASSIGN_OR_RETURN(auto ends, store.Int64Column(it, p, 1));
+    for (size_t i = 0; i < starts.size(); ++i) {
+      full_index.push_back(Interval(starts[i], ends[i]));
+    }
+  }
+
+  Interval clip = lifetime;
+  Predicate predicate;
+  const Predicate* predicate_ptr = nullptr;
+  // Index entries kept after the range filter, with their original slots.
+  std::vector<size_t> kept;
+  std::vector<Interval> index;
+  for (size_t i = 0; i < full_index.size(); ++i) {
+    if (!options.time_range.has_value() ||
+        full_index[i].Overlaps(*options.time_range)) {
+      kept.push_back(i);
+      index.push_back(options.time_range.has_value()
+                          ? full_index[i].Intersect(*options.time_range)
+                          : full_index[i]);
+    }
+  }
+  if (options.time_range.has_value()) {
+    clip = options.time_range->Intersect(lifetime);
+    predicate = Predicate::IntervalOverlaps("first", "last", clip);
+    if (options.pushdown) predicate_ptr = &predicate;
+  }
+
+  auto slice_bits = [&kept](const Bitset& bits) {
+    Bitset sliced(kept.size());
+    for (size_t i = 0; i < kept.size(); ++i) {
+      if (kept[i] < bits.size() && bits.Test(kept[i])) sliced.Set(i);
+    }
+    return sliced;
+  };
+
+  size_t total = 0, scanned = 0;
+  TG_ASSIGN_OR_RETURN(
+      dataflow::Partitions<OgcVertex> vertex_parts,
+      (ScanStoreTable<OgcVertex>(
+          ctx, store, vt, predicate_ptr, &total, &scanned,
+          [&](size_t p, std::vector<OgcVertex>* out) -> Status {
+            TG_ASSIGN_OR_RETURN(auto vids, store.Int64Column(vt, p, 0));
+            TG_ASSIGN_OR_RETURN(auto types, store.BinaryColumn(vt, p, 3));
+            TG_ASSIGN_OR_RETURN(auto bits, store.BinaryColumn(vt, p, 4));
+            out->reserve(vids.size());
+            for (size_t i = 0; i < vids.size(); ++i) {
+              size_t pos = 0;
+              TG_ASSIGN_OR_RETURN(Bitset presence,
+                                  DeserializeBitset(bits.Value(i), &pos));
+              Bitset sliced = slice_bits(presence);
+              if (sliced.None()) continue;
+              out->push_back(OgcVertex{vids[i],
+                                       std::string(types.Value(i)),
+                                       std::move(sliced)});
+            }
+            return Status::OK();
+          })));
+  RecordLoadScan(/*new_load=*/true, total, scanned);
+  if (metrics != nullptr) {
+    metrics->vertex_groups_total = total;
+    metrics->vertex_groups_scanned = scanned;
+  }
+
+  TG_ASSIGN_OR_RETURN(
+      dataflow::Partitions<OgcEdge> edge_parts,
+      (ScanStoreTable<OgcEdge>(
+          ctx, store, et, predicate_ptr, &total, &scanned,
+          [&](size_t p, std::vector<OgcEdge>* out) -> Status {
+            TG_ASSIGN_OR_RETURN(auto eids, store.Int64Column(et, p, 0));
+            TG_ASSIGN_OR_RETURN(auto types, store.BinaryColumn(et, p, 3));
+            TG_ASSIGN_OR_RETURN(auto v1s, store.BinaryColumn(et, p, 4));
+            TG_ASSIGN_OR_RETURN(auto v2s, store.BinaryColumn(et, p, 5));
+            TG_ASSIGN_OR_RETURN(auto bits, store.BinaryColumn(et, p, 6));
+            out->reserve(eids.size());
+            for (size_t i = 0; i < eids.size(); ++i) {
+              size_t pos = 0;
+              TG_ASSIGN_OR_RETURN(Bitset presence,
+                                  DeserializeBitset(bits.Value(i), &pos));
+              Bitset sliced = slice_bits(presence);
+              if (sliced.None()) continue;
+              pos = 0;
+              TG_ASSIGN_OR_RETURN(OgcVertex v1,
+                                  DeserializeOgcVertex(v1s.Value(i), &pos));
+              pos = 0;
+              TG_ASSIGN_OR_RETURN(OgcVertex v2,
+                                  DeserializeOgcVertex(v2s.Value(i), &pos));
+              v1.presence = slice_bits(v1.presence);
+              v2.presence = slice_bits(v2.presence);
+              out->push_back(OgcEdge{eids[i], std::string(types.Value(i)),
+                                     std::move(v1), std::move(v2),
+                                     std::move(sliced)});
+            }
+            return Status::OK();
+          })));
+  RecordLoadScan(/*new_load=*/false, total, scanned);
+  if (metrics != nullptr) {
+    metrics->edge_groups_total = total;
+    metrics->edge_groups_scanned = scanned;
+  }
+  return OgcGraph(std::move(index),
+                  DatasetFromStoreParts(ctx, std::move(vertex_parts)),
+                  DatasetFromStoreParts(ctx, std::move(edge_parts)), clip);
 }
 
 }  // namespace tgraph::storage

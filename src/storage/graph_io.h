@@ -32,9 +32,14 @@ struct LoadOptions {
   /// When set, only states overlapping this range are loaded (clipped to
   /// it), using filter pushdown on the start/end (or first/last) columns.
   std::optional<Interval> time_range;
+  /// Evaluate min/max statistics (v1 row groups, v2 zone maps) to skip
+  /// chunks before touching them. Disabling only removes the skipping —
+  /// every chunk is scanned and the loaded graph is identical.
+  bool pushdown = true;
 };
 
-/// \brief Pushdown effectiveness counters filled by the loaders.
+/// \brief Pushdown effectiveness counters filled by the loaders. "Groups"
+/// are v1 row groups or v2 partitions — both are the skip unit.
 struct LoadMetrics {
   size_t vertex_groups_total = 0;
   size_t vertex_groups_scanned = 0;
@@ -80,6 +85,48 @@ Result<OgcGraph> LoadOgcGraph(dataflow::ExecutionContext* ctx,
                               const std::string& dir,
                               const LoadOptions& options = {},
                               LoadMetrics* metrics = nullptr);
+
+// --- tgraph-store v2 (mmap'd binary container, docs/FORMAT.md) ------------
+//
+// One `<dir>/graph.tgs` file holds every table of one representation.
+// The Load*Graph functions above auto-detect it: when the store file
+// exists and contains the representation's tables it is used (mmap,
+// partition-parallel, zero-copy); otherwise they fall back to the v1
+// .tcol files. Loaded graphs are canonically identical either way.
+
+class StoreReader;
+
+/// `<dir>/graph.tgs`, the v2 container path inside a graph directory.
+std::string StorePath(const std::string& dir);
+/// Whether `dir` has a v2 store container.
+bool HasStore(const std::string& dir);
+
+Status WriteVeStore(const VeGraph& graph, const std::string& dir,
+                    const GraphWriteOptions& options = {});
+Status WriteOgStore(const OgGraph& graph, const std::string& dir,
+                    const GraphWriteOptions& options = {});
+Status WriteOgcStore(const OgcGraph& graph, const std::string& dir,
+                     const GraphWriteOptions& options = {});
+
+/// Store-backed loaders taking an already-open (possibly shared) reader:
+/// tgraphd's catalog opens one StoreReader per directory and serves every
+/// ranged load off the same mapping.
+Result<VeGraph> LoadVeGraphFromStore(dataflow::ExecutionContext* ctx,
+                                     const StoreReader& store,
+                                     const LoadOptions& options = {},
+                                     LoadMetrics* metrics = nullptr);
+Result<RgGraph> LoadRgGraphFromStore(dataflow::ExecutionContext* ctx,
+                                     const StoreReader& store,
+                                     const LoadOptions& options = {},
+                                     LoadMetrics* metrics = nullptr);
+Result<OgGraph> LoadOgGraphFromStore(dataflow::ExecutionContext* ctx,
+                                     const StoreReader& store,
+                                     const LoadOptions& options = {},
+                                     LoadMetrics* metrics = nullptr);
+Result<OgcGraph> LoadOgcGraphFromStore(dataflow::ExecutionContext* ctx,
+                                       const StoreReader& store,
+                                       const LoadOptions& options = {},
+                                       LoadMetrics* metrics = nullptr);
 
 }  // namespace tgraph::storage
 

@@ -156,13 +156,17 @@ Result<Properties> DeserializePropertiesAt(std::string_view data, size_t* pos,
   TG_ASSIGN_OR_RETURN(uint64_t count, GetVarint(data, pos));
   // Minimum entry: 1-byte empty key + 1-byte tag + 1-byte bool payload.
   TG_RETURN_IF_ERROR(CheckCount(count, data, *pos, 3, "property"));
-  Properties props;
+  Properties::EntryVector entries;
+  entries.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     TG_ASSIGN_OR_RETURN(std::string_view key, GetBytes(data, pos));
     TG_ASSIGN_OR_RETURN(PropertyValue value, DeserializeValue(data, pos));
-    props.Set(key, std::move(value));
+    entries.emplace_back(std::string(key), std::move(value));
   }
-  return props;
+  // Writers emit entries sorted by key, so this adopts the vector in one
+  // move for every well-formed blob (FromEntries falls back to per-entry
+  // Set for out-of-order or duplicate keys from foreign writers).
+  return Properties::FromEntries(std::move(entries));
 }
 
 }  // namespace

@@ -1,0 +1,118 @@
+#ifndef TGRAPH_STORAGE_STORE_FORMAT_H_
+#define TGRAPH_STORAGE_STORE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace tgraph::storage {
+
+/// tgraph-store v2: the binary, columnar, section-based graph container.
+///
+/// The normative byte-level specification lives in docs/FORMAT.md; the
+/// constants and layout structs here are the single source the spec is
+/// reviewed against. In one sentence: a fixed 16-byte header, a sequence of
+/// 8-byte-aligned column segments (one per (table, partition, column)),
+/// and a varint-encoded footer holding the section table and per-segment
+/// zone maps, sealed by a checksum + length + tail magic trailer so the
+/// footer can be located from the end of the file.
+///
+///   [header 16B] [segment]* [footer] [footer_checksum u64]
+///                                    [footer_size u64] [tail magic 8B]
+///
+/// All fixed-width integers are little-endian. Variable-width integers are
+/// LEB128 varints; length-prefixed byte strings are varint length + raw
+/// bytes (the encodings of storage/serde.h).
+
+/// Leading and trailing magic (8 bytes, no NUL terminator on disk).
+inline constexpr char kStoreMagic[8] = {'T', 'G', 'S', 'T', 'O', 'R', 'E', '2'};
+/// Format version recorded in the header. Readers reject other values.
+inline constexpr uint32_t kStoreVersion = 2;
+/// Header flag bit: all fixed-width integers (and int64/double column
+/// segments) are little-endian. Always set by the writer; readers on
+/// big-endian hosts reject the file rather than byte-swap, because column
+/// segments are reinterpreted in place (zero-copy).
+inline constexpr uint32_t kStoreFlagLittleEndian = 0x1;
+/// Header: magic(8) + version(u32) + flags(u32).
+inline constexpr size_t kStoreHeaderSize = 16;
+/// Trailer: footer_checksum(u64) + footer_size(u64) + magic(8).
+inline constexpr size_t kStoreTrailerSize = 24;
+/// Every segment starts on an 8-byte boundary so int64 segments can be
+/// reinterpreted as aligned arrays. Gaps are zero-filled pad bytes.
+inline constexpr size_t kStoreSegmentAlignment = 8;
+
+/// Well-known footer metadata keys shared with the v1 (.tcol) loaders.
+inline constexpr char kStoreMetaLifetimeStart[] = "lifetime_start";
+inline constexpr char kStoreMetaLifetimeEnd[] = "lifetime_end";
+inline constexpr char kStoreMetaSortOrder[] = "sort_order";
+/// The representation the file stores: "ve", "og", or "ogc".
+inline constexpr char kStoreMetaRepresentation[] = "representation";
+
+/// \brief Location, integrity, and zone map of one column segment: the
+/// encoded bytes of one column of one partition.
+struct SegmentMeta {
+  uint64_t offset = 0;     ///< Absolute file offset; 8-byte aligned.
+  uint64_t byte_size = 0;  ///< Encoded bytes, excluding alignment padding.
+  /// FNV-1a over the segment's bytes; verified before a segment is
+  /// decoded, so on-disk corruption surfaces as IoError, never bad data.
+  uint64_t checksum = 0;
+  /// Zone map: min/max of an int64 column's values. The pair of zone maps
+  /// on a table's interval columns (start/end or first/last) is what
+  /// temporal pushdown evaluates before touching the segment's pages.
+  ColumnStats stats;
+};
+
+/// \brief One horizontal slice of a table: `num_rows` rows, one segment
+/// per schema column. The unit of parallel loading and of pushdown
+/// skipping (the v2 analogue of a v1 row group).
+struct PartitionMeta {
+  int64_t num_rows = 0;
+  std::vector<SegmentMeta> segments;  ///< Aligned with the table schema.
+
+  /// The per-column zone maps, in the shape Predicate::MaybeMatches wants.
+  std::vector<ColumnStats> ColumnStatsView() const;
+};
+
+/// \brief One named table (e.g. "vertices", "edges") with its schema and
+/// partitions.
+struct TableMeta {
+  std::string name;
+  Schema schema;
+  std::vector<PartitionMeta> partitions;
+};
+
+/// \brief Everything the footer records: free-form metadata plus the
+/// section table.
+struct StoreFooter {
+  std::vector<std::pair<std::string, std::string>> metadata;
+  std::vector<TableMeta> tables;
+
+  /// Index of the table named `name`, or -1.
+  int FindTable(const std::string& name) const;
+  /// Metadata value for `key`, or nullptr.
+  const std::string* FindMetadata(const std::string& key) const;
+};
+
+/// Serializes the footer body (no trailer; the writer seals it).
+void EncodeStoreFooter(const StoreFooter& footer, std::string* out);
+
+/// Parses a footer body. Structural failures (truncation, bad types)
+/// return IoError.
+Status DecodeStoreFooter(std::string_view data, StoreFooter* footer);
+
+/// \brief Cross-checks a decoded footer against the file size: header and
+/// trailer bounds, segment alignment, per-type byte sizes (int64/double =
+/// 8*rows, bool = rows, binary >= 8*(rows+1)), segments within the data
+/// area, and pairwise non-overlap of all segments. Returns IoError with
+/// the first violation; a footer that passes cannot make the reader index
+/// out of the mapping.
+Status ValidateStoreLayout(const StoreFooter& footer, uint64_t file_size,
+                           uint64_t data_end);
+
+}  // namespace tgraph::storage
+
+#endif  // TGRAPH_STORAGE_STORE_FORMAT_H_

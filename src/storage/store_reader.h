@@ -1,0 +1,101 @@
+#ifndef TGRAPH_STORAGE_STORE_READER_H_
+#define TGRAPH_STORAGE_STORE_READER_H_
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/mmap_file.h"
+#include "storage/store_format.h"
+
+namespace tgraph::storage {
+
+class Predicate;
+
+/// \brief Memory-mapped reader for tgraph-store v2 files.
+///
+/// Open maps the file and fully validates its skeleton (header, trailer,
+/// footer checksum, section table bounds/alignment/overlap) without
+/// touching any column segment, so opening is O(footer) regardless of
+/// graph size. Column accessors then return zero-copy views straight into
+/// the mapping: int64/double columns are reinterpreted in place, binary
+/// columns are string_view slices of the payload. Each segment's FNV-1a
+/// checksum (and, for int64 columns, agreement between its zone map and
+/// its actual min/max) is verified the first time the segment is touched;
+/// partitions skipped by pushdown never fault their pages in at all.
+///
+/// A reader is immutable after Open and safe to share across threads; the
+/// per-segment verification flags are atomics, so concurrent first
+/// touches at worst verify twice.
+class StoreReader {
+ public:
+  static Result<std::unique_ptr<StoreReader>> Open(const std::string& path);
+
+  const std::string& path() const { return file_.path(); }
+  size_t file_size() const { return file_.size(); }
+  const StoreFooter& footer() const { return footer_; }
+  int FindTable(const std::string& name) const {
+    return footer_.FindTable(name);
+  }
+  const TableMeta& table(int t) const { return footer_.tables[t]; }
+  const std::string* FindMetadata(const std::string& key) const {
+    return footer_.FindMetadata(key);
+  }
+  int64_t TableRows(int t) const;
+
+  /// Hints the kernel to read ahead the whole file (cold-load helper).
+  void Prefetch() const { file_.PrefetchAll(); }
+
+  /// Zone-map pushdown: can any row of this partition satisfy the
+  /// predicate? Answered from the footer alone — no segment pages are
+  /// touched.
+  bool PartitionMaybeMatches(int t, size_t partition,
+                             const Predicate& predicate) const;
+
+  /// The values of an int64 column segment, reinterpreted in place.
+  Result<std::span<const int64_t>> Int64Column(int t, size_t partition,
+                                               int column) const;
+  /// The values of a double column segment, reinterpreted in place.
+  Result<std::span<const double>> DoubleColumn(int t, size_t partition,
+                                               int column) const;
+  /// The values of a bool column segment (one byte per value).
+  Result<std::span<const uint8_t>> BoolColumn(int t, size_t partition,
+                                              int column) const;
+
+  /// \brief Zero-copy view of a binary column segment: value i is
+  /// payload[offsets[i], offsets[i + 1]).
+  struct BinaryColumnView {
+    std::span<const uint64_t> offsets;  ///< num_rows + 1 entries.
+    std::string_view payload;
+
+    size_t size() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+    std::string_view Value(size_t row) const {
+      return payload.substr(offsets[row], offsets[row + 1] - offsets[row]);
+    }
+  };
+  Result<BinaryColumnView> BinaryColumn(int t, size_t partition,
+                                        int column) const;
+
+ private:
+  StoreReader() = default;
+
+  Status CheckIndex(int t, size_t partition, int column,
+                    ColumnType expected) const;
+  std::string_view SegmentBytes(const SegmentMeta& segment) const;
+  /// First-touch verification: segment checksum, plus type-specific
+  /// invariants (int64 zone-map agreement, binary offset monotonicity).
+  Status VerifySegment(int t, size_t partition, int column) const;
+
+  MmapFile file_;
+  StoreFooter footer_;
+  std::vector<std::vector<size_t>> segment_base_;  // [table][partition]
+  std::unique_ptr<std::atomic<uint8_t>[]> verified_;
+};
+
+}  // namespace tgraph::storage
+
+#endif  // TGRAPH_STORAGE_STORE_READER_H_

@@ -1,0 +1,189 @@
+#include "storage/store_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+#include "storage/serde.h"
+
+namespace tgraph::storage {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+void PadToAlignment(std::string* out) {
+  while (out->size() % kStoreSegmentAlignment != 0) out->push_back('\0');
+}
+
+void AppendRaw(std::string* out, const void* data, size_t bytes) {
+  if (bytes > 0) out->append(static_cast<const char*>(data), bytes);
+}
+
+}  // namespace
+
+StoreWriter::StoreWriter(std::string path, StoreWriterOptions options)
+    : path_(std::move(path)), options_(std::move(options)) {
+  file_data_.append(kStoreMagic, sizeof(kStoreMagic));
+  std::string header_tail;
+  PutFixed64(&header_tail,
+             static_cast<uint64_t>(kStoreVersion) |
+                 (static_cast<uint64_t>(kStoreFlagLittleEndian) << 32));
+  // PutFixed64 writes little-endian, so the low word lands first: the
+  // header reads as magic(8) + version(u32 LE) + flags(u32 LE).
+  file_data_ += header_tail;
+  footer_.metadata = options_.metadata;
+}
+
+StoreWriter::~StoreWriter() = default;
+
+Result<std::unique_ptr<StoreWriter>> StoreWriter::Open(
+    const std::string& path, StoreWriterOptions options) {
+  if (options.partition_rows <= 0) {
+    return Status::InvalidArgument("partition_rows must be positive");
+  }
+  return std::unique_ptr<StoreWriter>(
+      new StoreWriter(path, std::move(options)));
+}
+
+int StoreWriter::AddTable(const std::string& name, Schema schema) {
+  TableMeta table;
+  table.name = name;
+  table.schema = std::move(schema);
+  footer_.tables.push_back(std::move(table));
+  RecordBatch buffer;
+  buffer.schema = footer_.tables.back().schema;
+  buffer.columns.resize(buffer.schema.columns.size());
+  buffers_.push_back(std::move(buffer));
+  return static_cast<int>(footer_.tables.size()) - 1;
+}
+
+Status StoreWriter::Append(int table, const RecordBatch& batch) {
+  if (closed_) return Status::InvalidArgument("store writer is closed");
+  if (table < 0 || table >= static_cast<int>(buffers_.size())) {
+    return Status::InvalidArgument("unknown store table handle");
+  }
+  RecordBatch& buffer = buffers_[table];
+  if (!(batch.schema == buffer.schema)) {
+    return Status::InvalidArgument("batch schema does not match table '" +
+                                   footer_.tables[table].name + "'");
+  }
+  for (size_t c = 0; c < buffer.schema.columns.size(); ++c) {
+    Column& dst = buffer.columns[c];
+    const Column& src = batch.columns[c];
+    switch (buffer.schema.columns[c].type) {
+      case ColumnType::kInt64:
+        dst.ints.insert(dst.ints.end(), src.ints.begin(), src.ints.end());
+        break;
+      case ColumnType::kDouble:
+        dst.doubles.insert(dst.doubles.end(), src.doubles.begin(),
+                           src.doubles.end());
+        break;
+      case ColumnType::kBool:
+        dst.bools.insert(dst.bools.end(), src.bools.begin(), src.bools.end());
+        break;
+      case ColumnType::kBinary:
+        dst.binaries.insert(dst.binaries.end(), src.binaries.begin(),
+                            src.binaries.end());
+        break;
+    }
+  }
+  buffer.num_rows += batch.num_rows;
+  while (buffer.num_rows >= options_.partition_rows) {
+    TG_RETURN_IF_ERROR(FlushPartition(table));
+  }
+  return Status::OK();
+}
+
+Status StoreWriter::FlushPartition(int table) {
+  RecordBatch& buffer = buffers_[table];
+  int64_t rows = std::min(buffer.num_rows, options_.partition_rows);
+  if (rows == 0) return Status::OK();
+  size_t n = static_cast<size_t>(rows);
+  PartitionMeta partition;
+  partition.num_rows = rows;
+  partition.segments.resize(buffer.schema.columns.size());
+  for (size_t c = 0; c < buffer.schema.columns.size(); ++c) {
+    Column& column = buffer.columns[c];
+    SegmentMeta& segment = partition.segments[c];
+    PadToAlignment(&file_data_);
+    segment.offset = file_data_.size();
+    switch (buffer.schema.columns[c].type) {
+      case ColumnType::kInt64: {
+        AppendRaw(&file_data_, column.ints.data(), n * sizeof(int64_t));
+        auto [min_it, max_it] =
+            std::minmax_element(column.ints.begin(), column.ints.begin() + n);
+        segment.stats = ColumnStats{true, *min_it, *max_it};
+        column.ints.erase(column.ints.begin(), column.ints.begin() + n);
+        break;
+      }
+      case ColumnType::kDouble: {
+        AppendRaw(&file_data_, column.doubles.data(), n * sizeof(double));
+        column.doubles.erase(column.doubles.begin(),
+                             column.doubles.begin() + n);
+        break;
+      }
+      case ColumnType::kBool: {
+        AppendRaw(&file_data_, column.bools.data(), n);
+        column.bools.erase(column.bools.begin(), column.bools.begin() + n);
+        break;
+      }
+      case ColumnType::kBinary: {
+        // (rows + 1) u64 end-exclusive offsets into the payload that
+        // follows, so value i is payload[offsets[i], offsets[i + 1]).
+        uint64_t cursor = 0;
+        PutFixed64(&file_data_, cursor);
+        for (size_t i = 0; i < n; ++i) {
+          cursor += column.binaries[i].size();
+          PutFixed64(&file_data_, cursor);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          file_data_ += column.binaries[i];
+        }
+        column.binaries.erase(column.binaries.begin(),
+                              column.binaries.begin() + n);
+        break;
+      }
+    }
+    segment.byte_size = file_data_.size() - segment.offset;
+    segment.checksum = HashBytesFast(
+        std::string_view(file_data_).substr(segment.offset, segment.byte_size));
+  }
+  buffer.num_rows -= rows;
+  footer_.tables[table].partitions.push_back(std::move(partition));
+  return Status::OK();
+}
+
+Status StoreWriter::Close() {
+  if (closed_) return Status::OK();
+  for (int t = 0; t < static_cast<int>(buffers_.size()); ++t) {
+    while (buffers_[t].num_rows > 0) {
+      TG_RETURN_IF_ERROR(FlushPartition(t));
+    }
+  }
+  PadToAlignment(&file_data_);
+  std::string footer;
+  EncodeStoreFooter(footer_, &footer);
+  uint64_t footer_checksum = HashBytesFast(footer);
+  uint64_t footer_size = footer.size();
+  file_data_ += footer;
+  PutFixed64(&file_data_, footer_checksum);
+  PutFixed64(&file_data_, footer_size);
+  file_data_.append(kStoreMagic, sizeof(kStoreMagic));
+  closed_ = true;
+  return WriteFile(path_, file_data_);
+}
+
+}  // namespace tgraph::storage

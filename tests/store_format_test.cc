@@ -1,0 +1,280 @@
+#include "storage/store_format.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "storage/store_reader.h"
+#include "storage/store_writer.h"
+
+namespace tgraph::storage {
+namespace {
+
+std::string TempFile(const std::string& name) {
+  std::string path = (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove(path);
+  return path;
+}
+
+StoreFooter SampleFooter() {
+  StoreFooter footer;
+  footer.metadata = {{"lifetime_start", "0"}, {"lifetime_end", "10"},
+                     {"representation", "ve"}};
+  TableMeta table;
+  table.name = "vertices";
+  table.schema = Schema{{{"vid", ColumnType::kInt64},
+                         {"props", ColumnType::kBinary}}};
+  PartitionMeta partition;
+  partition.num_rows = 3;
+  partition.segments = {
+      SegmentMeta{16, 24, 111, ColumnStats{true, -5, 9}},
+      SegmentMeta{40, 32 + 7, 222, ColumnStats{}},
+  };
+  table.partitions.push_back(partition);
+  footer.tables.push_back(std::move(table));
+  return footer;
+}
+
+TEST(StoreFormatTest, FooterRoundTrips) {
+  StoreFooter footer = SampleFooter();
+  std::string encoded;
+  EncodeStoreFooter(footer, &encoded);
+  StoreFooter decoded;
+  TG_CHECK_OK(DecodeStoreFooter(encoded, &decoded));
+  ASSERT_EQ(decoded.tables.size(), 1u);
+  EXPECT_EQ(decoded.tables[0].name, "vertices");
+  EXPECT_TRUE(decoded.tables[0].schema == footer.tables[0].schema);
+  ASSERT_EQ(decoded.tables[0].partitions.size(), 1u);
+  const PartitionMeta& partition = decoded.tables[0].partitions[0];
+  EXPECT_EQ(partition.num_rows, 3);
+  ASSERT_EQ(partition.segments.size(), 2u);
+  EXPECT_EQ(partition.segments[0].offset, 16u);
+  EXPECT_EQ(partition.segments[0].checksum, 111u);
+  EXPECT_TRUE(partition.segments[0].stats.has_int_stats);
+  EXPECT_EQ(partition.segments[0].stats.min_int, -5);
+  EXPECT_EQ(partition.segments[0].stats.max_int, 9);
+  EXPECT_FALSE(partition.segments[1].stats.has_int_stats);
+  EXPECT_EQ(decoded.metadata, footer.metadata);
+  EXPECT_EQ(decoded.FindTable("vertices"), 0);
+  EXPECT_EQ(decoded.FindTable("nope"), -1);
+  ASSERT_NE(decoded.FindMetadata("representation"), nullptr);
+  EXPECT_EQ(*decoded.FindMetadata("representation"), "ve");
+  EXPECT_EQ(decoded.FindMetadata("nope"), nullptr);
+}
+
+TEST(StoreFormatTest, DecodeRejectsTruncationAtEveryPrefix) {
+  std::string encoded;
+  EncodeStoreFooter(SampleFooter(), &encoded);
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    StoreFooter decoded;
+    EXPECT_FALSE(
+        DecodeStoreFooter(std::string_view(encoded).substr(0, len), &decoded)
+            .ok())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(StoreFormatTest, DecodeRejectsTrailingBytes) {
+  std::string encoded;
+  EncodeStoreFooter(SampleFooter(), &encoded);
+  encoded.push_back('\0');
+  StoreFooter decoded;
+  EXPECT_TRUE(DecodeStoreFooter(encoded, &decoded).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateAcceptsWellFormedLayout) {
+  StoreFooter footer = SampleFooter();
+  TG_CHECK_OK(ValidateStoreLayout(footer, /*file_size=*/200, /*data_end=*/100));
+}
+
+TEST(StoreFormatTest, ValidateRejectsMisalignedSegment) {
+  StoreFooter footer = SampleFooter();
+  footer.tables[0].partitions[0].segments[0].offset = 17;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsSegmentInHeader) {
+  StoreFooter footer = SampleFooter();
+  footer.tables[0].partitions[0].segments[0].offset = 8;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsSegmentPastDataEnd) {
+  StoreFooter footer = SampleFooter();
+  footer.tables[0].partitions[0].segments[1].offset = 96;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsOverlappingSegments) {
+  StoreFooter footer = SampleFooter();
+  // Segment 1 starts inside segment 0 ([16, 40)).
+  footer.tables[0].partitions[0].segments[1].offset = 32;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsWrongInt64SegmentSize) {
+  StoreFooter footer = SampleFooter();
+  footer.tables[0].partitions[0].segments[0].byte_size = 23;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsShortBinaryOffsetsArray) {
+  StoreFooter footer = SampleFooter();
+  // Binary column of 3 rows needs at least (3 + 1) * 8 = 32 offset bytes.
+  footer.tables[0].partitions[0].segments[1].byte_size = 31;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsNegativeRowCount) {
+  StoreFooter footer = SampleFooter();
+  footer.tables[0].partitions[0].num_rows = -1;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsHugeRowCountWithoutOverflow) {
+  StoreFooter footer = SampleFooter();
+  // A row count whose rows * 8 would wrap around uint64 must be rejected,
+  // not wrapped into a plausible size.
+  footer.tables[0].partitions[0].num_rows =
+      static_cast<int64_t>(uint64_t{1} << 61);
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsSegmentCountSchemaMismatch) {
+  StoreFooter footer = SampleFooter();
+  footer.tables[0].partitions[0].segments.pop_back();
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+// --- writer/reader round trip at the batch level ---------------------------
+
+RecordBatch SampleBatch(int64_t base, int64_t rows) {
+  RecordBatch batch;
+  batch.schema = Schema{{{"id", ColumnType::kInt64},
+                         {"score", ColumnType::kDouble},
+                         {"flag", ColumnType::kBool},
+                         {"name", ColumnType::kBinary}}};
+  batch.columns.resize(4);
+  for (int64_t i = 0; i < rows; ++i) {
+    batch.columns[0].ints.push_back(base + i);
+    batch.columns[1].doubles.push_back(0.5 * static_cast<double>(i));
+    batch.columns[2].bools.push_back(i % 3 == 0 ? 1 : 0);
+    batch.columns[3].binaries.push_back(i % 5 == 0
+                                            ? std::string()
+                                            : "name-" + std::to_string(i));
+  }
+  batch.num_rows = rows;
+  return batch;
+}
+
+TEST(StoreWriterReaderTest, RoundTripsAllColumnTypes) {
+  std::string path = TempFile("store_roundtrip.tgs");
+  StoreWriterOptions options;
+  options.partition_rows = 16;  // force several partitions
+  options.metadata = {{"representation", "test"}};
+  auto writer = StoreWriter::Open(path, options);
+  ASSERT_TRUE(writer.ok());
+  int t = (*writer)->AddTable("rows", SampleBatch(0, 0).schema);
+  TG_CHECK_OK((*writer)->Append(t, SampleBatch(0, 50)));
+  TG_CHECK_OK((*writer)->Close());
+
+  auto reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->FindTable("rows"), 0);
+  EXPECT_EQ((*reader)->TableRows(0), 50);
+  ASSERT_NE((*reader)->FindMetadata("representation"), nullptr);
+  EXPECT_EQ(*(*reader)->FindMetadata("representation"), "test");
+  const TableMeta& table = (*reader)->table(0);
+  ASSERT_EQ(table.partitions.size(), 4u);  // 16 + 16 + 16 + 2
+  EXPECT_EQ(table.partitions[3].num_rows, 2);
+
+  int64_t row = 0;
+  for (size_t p = 0; p < table.partitions.size(); ++p) {
+    auto ids = (*reader)->Int64Column(0, p, 0);
+    auto scores = (*reader)->DoubleColumn(0, p, 1);
+    auto flags = (*reader)->BoolColumn(0, p, 2);
+    auto names = (*reader)->BinaryColumn(0, p, 3);
+    ASSERT_TRUE(ids.ok());
+    ASSERT_TRUE(scores.ok());
+    ASSERT_TRUE(flags.ok());
+    ASSERT_TRUE(names.ok());
+    for (size_t i = 0; i < ids->size(); ++i, ++row) {
+      EXPECT_EQ((*ids)[i], row);
+      EXPECT_EQ((*scores)[i], 0.5 * static_cast<double>(row));
+      EXPECT_EQ((*flags)[i], row % 3 == 0 ? 1 : 0);
+      std::string expected =
+          row % 5 == 0 ? std::string() : "name-" + std::to_string(row);
+      EXPECT_EQ(names->Value(i), expected);
+    }
+    // Zone maps cover exactly the partition's id range.
+    const SegmentMeta& ids_segment = table.partitions[p].segments[0];
+    ASSERT_TRUE(ids_segment.stats.has_int_stats);
+    EXPECT_EQ(ids_segment.stats.min_int, (*ids)[0]);
+    EXPECT_EQ(ids_segment.stats.max_int, (*ids)[ids->size() - 1]);
+  }
+  EXPECT_EQ(row, 50);
+}
+
+TEST(StoreWriterReaderTest, SegmentsAreAlignedAndZeroCopy) {
+  std::string path = TempFile("store_aligned.tgs");
+  auto writer = StoreWriter::Open(path, {});
+  ASSERT_TRUE(writer.ok());
+  int t = (*writer)->AddTable("rows", SampleBatch(0, 0).schema);
+  TG_CHECK_OK((*writer)->Append(t, SampleBatch(7, 9)));
+  TG_CHECK_OK((*writer)->Close());
+
+  auto reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  for (const SegmentMeta& segment : (*reader)->table(0).partitions[0].segments) {
+    EXPECT_EQ(segment.offset % kStoreSegmentAlignment, 0u);
+  }
+  // The int64 view points into the mapping itself — no copy was made.
+  auto ids = (*reader)->Int64Column(0, 0, 0);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(ids->data()) % alignof(int64_t), 0u);
+  EXPECT_EQ((*ids)[0], 7);
+}
+
+TEST(StoreWriterReaderTest, EmptyTableRoundTrips) {
+  std::string path = TempFile("store_empty.tgs");
+  auto writer = StoreWriter::Open(path, {});
+  ASSERT_TRUE(writer.ok());
+  (*writer)->AddTable("rows", SampleBatch(0, 0).schema);
+  TG_CHECK_OK((*writer)->Close());
+  auto reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->TableRows(0), 0);
+  EXPECT_TRUE((*reader)->table(0).partitions.empty());
+}
+
+TEST(StoreWriterReaderTest, TypeMismatchIsInvalidArgument) {
+  std::string path = TempFile("store_typed.tgs");
+  auto writer = StoreWriter::Open(path, {});
+  ASSERT_TRUE(writer.ok());
+  int t = (*writer)->AddTable("rows", SampleBatch(0, 0).schema);
+  TG_CHECK_OK((*writer)->Append(t, SampleBatch(0, 3)));
+  TG_CHECK_OK((*writer)->Close());
+  auto reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE((*reader)->Int64Column(0, 0, 1).ok());   // double column
+  EXPECT_FALSE((*reader)->BinaryColumn(0, 0, 0).ok());  // int column
+  EXPECT_FALSE((*reader)->Int64Column(0, 1, 0).ok());   // no partition 1
+  EXPECT_FALSE((*reader)->Int64Column(1, 0, 0).ok());   // no table 1
+}
+
+TEST(StoreWriterReaderTest, WriterRejectsSchemaMismatch) {
+  std::string path = TempFile("store_mismatch.tgs");
+  auto writer = StoreWriter::Open(path, {});
+  ASSERT_TRUE(writer.ok());
+  int t = (*writer)->AddTable("rows", SampleBatch(0, 0).schema);
+  RecordBatch wrong;
+  wrong.schema = Schema{{{"x", ColumnType::kInt64}}};
+  wrong.columns.resize(1);
+  EXPECT_FALSE((*writer)->Append(t, wrong).ok());
+  EXPECT_FALSE((*writer)->Append(7, SampleBatch(0, 1)).ok());
+}
+
+}  // namespace
+}  // namespace tgraph::storage

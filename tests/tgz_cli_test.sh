@@ -47,6 +47,32 @@ if "$TGZ" info --in "$DIR/nonexistent" 2>/dev/null; then
   exit 1
 fi
 
+# --- tgraph-store v2: save-store writes a container, every reader
+# auto-detects it ---------------------------------------------------------
+"$TGZ" save-store --in "$DIR/base" --out "$DIR/store" --partition-rows 256
+test -f "$DIR/store/graph.tgs"
+"$TGZ" info --in "$DIR/store" | grep -q "vertices       500"
+"$TGZ" snapshot --in "$DIR/store" --at 12 --limit 2 | grep -q "snapshot at 12"
+"$TGZ" slice --in "$DIR/store" --out "$DIR/store_slice" --from 6 --to 30
+"$TGZ" info --in "$DIR/store_slice" | grep -q "lifetime       \[6, 30)"
+"$TGZ" save-store --in "$DIR/base" --out "$DIR/store_og" --rep og
+test -f "$DIR/store_og/graph.tgs"
+if "$TGZ" save-store --in "$DIR/base" 2>/dev/null; then
+  echo "expected nonzero exit for save-store without --out" >&2
+  exit 1
+fi
+
+# --help exits 0 on stdout for both binaries; bad usage exits nonzero.
+"$TGZ" --help | grep -q "save-store"
+"$TGZ" help > /dev/null
+if [ -n "$TGZD" ]; then
+  "$TGZD" --help | grep -q -- "--port"
+fi
+if "$TGZ" frobnicate 2>/dev/null; then
+  echo "expected nonzero exit for unknown command" >&2
+  exit 1
+fi
+
 # --- tgzd: start, serve over a real socket, stats, graceful shutdown -------
 if [ -n "$TGZD" ]; then
   "$TGZD" --port 0 --workers 2 > "$DIR/tgzd.out" 2> "$DIR/tgzd.err" &

@@ -1,0 +1,57 @@
+#!/bin/sh
+# check_docs.sh — fail if the README stops matching reality.
+#
+#   tools/check_docs.sh REPO_ROOT TGZ_BINARY [TGZD_BINARY]
+#
+# Cross-checks two kinds of user-facing surface against README.md:
+#   1. every --flag printed by `tgz --help` and `tgzd --help`
+#   2. every TGRAPH_* environment variable read anywhere under src/
+# Anything a binary advertises (or an env var the code consults) that the
+# README does not mention is reported and the script exits nonzero, so a
+# new flag cannot land without its documentation.
+set -eu
+
+ROOT="$1"
+TGZ="$2"
+TGZD="${3:-}"
+README="$ROOT/README.md"
+[ -f "$README" ] || { echo "check_docs: no README.md at $ROOT" >&2; exit 2; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# --- surface 1: command-line flags from --help ----------------------------
+"$TGZ" --help > "$TMP/help.txt"
+if [ -n "$TGZD" ]; then
+  "$TGZD" --help >> "$TMP/help.txt"
+fi
+# "--flag" is the help text's placeholder for "any flag", not a flag.
+grep -oE -- '--[a-z][a-z-]+' "$TMP/help.txt" | sort -u \
+  | grep -vx -- '--flag' > "$TMP/flags.txt"
+
+# --- surface 2: TGRAPH_* environment variables read by the code -----------
+# Only getenv() call sites count (header guards also match TGRAPH_[A-Z_]+).
+grep -rhoE 'getenv\("TGRAPH_[A-Z_]+"' \
+    "$ROOT/src" "$ROOT/tools" "$ROOT/tests" "$ROOT/bench" 2>/dev/null \
+  | grep -oE 'TGRAPH_[A-Z_]+' | sort -u > "$TMP/envs.txt"
+
+MISSING=0
+while IFS= read -r flag; do
+  if ! grep -qF -- "$flag" "$README"; then
+    echo "check_docs: flag $flag is in --help but not in README.md" >&2
+    MISSING=1
+  fi
+done < "$TMP/flags.txt"
+
+while IFS= read -r var; do
+  if ! grep -qF -- "$var" "$README"; then
+    echo "check_docs: env var $var is read by the code but not in README.md" >&2
+    MISSING=1
+  fi
+done < "$TMP/envs.txt"
+
+if [ "$MISSING" -ne 0 ]; then
+  echo "check_docs: README.md is out of date (see above)" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(wc -l < "$TMP/flags.txt") flags, $(wc -l < "$TMP/envs.txt") env vars documented)"

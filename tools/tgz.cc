@@ -13,10 +13,14 @@
 //   tgz query --script FILE --connect host:port [--no-cache v]
 //                                (run it on a tgraphd server)
 //   tgz stats --connect host:port   (fetch server metrics / cache stats)
+//   tgz save-store --in DIR --out DIR [--rep ve|og|ogc]
+//                                (convert to the mmap'd tgraph-store v2)
 //   tgz repl                     (interactive TQL, statements end with ;)
 //
-// Graph directories use the library's columnar VE format (vertices.tcol +
-// edges.tcol), so every command composes with every other.
+// Graph directories hold either the v1 columnar files (vertices.tcol +
+// edges.tcol) or a tgraph-store v2 container (graph.tgs, docs/FORMAT.md);
+// loads auto-detect which one is present, so every command composes with
+// every other.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +34,7 @@
 #include "obs/trace.h"
 #include "server/client.h"
 #include "storage/graph_io.h"
+#include "tgraph/convert.h"
 #include "tgraph/tgraph.h"
 #include "tql/interpreter.h"
 
@@ -307,6 +312,30 @@ int Stats(const Flags& flags) {
   return 0;
 }
 
+int SaveStore(const Flags& flags) {
+  VeGraph graph = LoadInput(flags);
+  storage::GraphWriteOptions options;
+  if (flags.GetOr("sort", "temporal") == "structural") {
+    options.sort_order = storage::SortOrder::kStructuralLocality;
+  }
+  options.row_group_size =
+      flags.GetIntOr("partition-rows", options.row_group_size);
+  std::string rep = flags.GetOr("rep", "ve");
+  std::string out = flags.Get("out");
+  if (rep == "ve") {
+    DieOnError(storage::WriteVeStore(graph, out, options));
+  } else if (rep == "og") {
+    DieOnError(storage::WriteOgStore(VeToOg(graph), out, options));
+  } else if (rep == "ogc") {
+    DieOnError(storage::WriteOgcStore(VeToOgc(graph), out, options));
+  } else {
+    Flags::Die("unknown representation '" + rep + "' (use ve|og|ogc)");
+  }
+  std::printf("wrote %s (tgraph-store v2, %s)\n",
+              storage::StorePath(out).c_str(), rep.c_str());
+  return 0;
+}
+
 int Repl() {
   tql::Interpreter interpreter(Ctx());
   std::string pending;
@@ -331,18 +360,41 @@ int Repl() {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: tgz [--trace-out FILE] [--metrics] "
-               "<generate|info|slice|azoom|wzoom|snapshot|query|stats|repl> "
-               "[--flag value ...]\n"
-               "  --trace-out FILE  write a Chrome trace_event JSON "
-               "(chrome://tracing, Perfetto)\n"
-               "  --metrics         print metric deltas for the run to "
-               "stderr\n"
-               "see the header of tools/tgz.cc for the full flag list\n");
-  return 2;
+int Help(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: tgz [--trace-out FILE] [--metrics] <command> [--flag value ...]\n"
+      "\n"
+      "global flags (any command, --flag value or --flag=value):\n"
+      "  --trace-out FILE   write a Chrome trace_event JSON\n"
+      "                     (chrome://tracing, Perfetto)\n"
+      "  --metrics          print metric deltas for the run to stderr\n"
+      "  --help             print this help and exit\n"
+      "\n"
+      "commands:\n"
+      "  generate    --dataset wikitalk|snb|ngrams --out DIR [--seed N]\n"
+      "              [--scale F] [--sort temporal|structural]\n"
+      "  info        --in DIR\n"
+      "  slice       --in DIR --out DIR --from T --to T [--sort ...]\n"
+      "  azoom       --in DIR --out DIR --group-by PROP [--type NAME]\n"
+      "              [--count PROP] [--rep ve|og|rg] [--sort ...]\n"
+      "  wzoom       --in DIR --out DIR --window N [--vq all|most|exists]\n"
+      "              [--eq all|most|exists] [--rep ve|og|ogc|rg] [--sort ...]\n"
+      "  snapshot    --in DIR --at T [--limit N]\n"
+      "  query       --script FILE [--connect host:port] [--no-cache v]\n"
+      "  stats       --connect host:port\n"
+      "  save-store  --in DIR --out DIR [--rep ve|og|ogc]\n"
+      "              [--partition-rows N] [--sort temporal|structural]\n"
+      "  repl        (interactive TQL; statements end with ';')\n"
+      "\n"
+      "Graph dirs hold v1 columnar files (vertices.tcol) or a tgraph-store\n"
+      "v2 container (graph.tgs); loads auto-detect by magic. See\n"
+      "docs/FORMAT.md for both on-disk formats and README.md for the full\n"
+      "flag and environment-variable reference.\n");
+  return out == stdout ? 0 : 2;
 }
+
+int Usage() { return Help(stderr); }
 
 /// Observability flags: recognized anywhere on the command line, in both
 /// "--flag value" and "--flag=value" forms, and stripped before subcommand
@@ -381,7 +433,11 @@ int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "snapshot") return Snapshot(flags);
   if (command == "query") return Query(flags);
   if (command == "stats") return Stats(flags);
+  if (command == "save-store") return SaveStore(flags);
   if (command == "repl") return Repl();
+  if (command == "help" || command == "--help" || command == "-h") {
+    return Help(stdout);
+  }
   return Usage();
 }
 

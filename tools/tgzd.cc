@@ -50,9 +50,9 @@ void HandleSignal(int /*signum*/) {
   std::exit(2);
 }
 
-int Usage() {
+int Help(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: tgzd [--port N] [--workers N] [--queue-depth N]\n"
       "            [--cache-bytes N] [--cache-ttl-ms N] [--deadline-ms N]\n"
       "            [--idle-timeout-ms N] [--stats-file FILE]\n"
@@ -73,9 +73,15 @@ int Usage() {
       "                      written back on drain (warm-starts the cost "
       "model)\n"
       "  --trace-out FILE    write a Chrome trace on shutdown\n"
-      "  --metrics           print the metrics registry on shutdown\n");
-  return 2;
+      "  --metrics           print the metrics registry on shutdown\n"
+      "  --help              print this help and exit\n"
+      "Graph dirs named in TQL LOAD statements hold v1 columnar files or a\n"
+      "tgraph-store v2 container (graph.tgs, docs/FORMAT.md); the catalog\n"
+      "auto-detects and serves v2 dirs off one shared mmap per directory.\n");
+  return out == stdout ? 0 : 2;
 }
+
+int Usage() { return Help(stderr); }
 
 }  // namespace
 
@@ -84,7 +90,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") return Usage();
+    if (arg == "--help" || arg == "-h") return Help(stdout);
     if (arg == "--metrics") {
       metrics = true;
       continue;
