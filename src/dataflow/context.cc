@@ -62,9 +62,13 @@ void ExecutionContext::ParallelFor(size_t n,
   std::mutex mu;
   std::condition_variable cv;
   size_t remaining = n;
+  // Carry the submitting thread's query context into the workers so task
+  // spans attribute to the owning query and nest under this stage.
+  const obs::QueryContext qctx = obs::CaptureQueryContext();
   for (size_t i = 0; i < n; ++i) {
     pool_->Submit([&, i] {
       {
+        obs::ScopedQueryContext qscope(qctx);
         obs::Span task_span("dataflow.task", "dataflow");
         fn(i);
       }

@@ -1,0 +1,131 @@
+#include "obs/exposition.h"
+
+#include <cstdio>
+
+namespace tgraph::obs {
+
+namespace {
+
+/// "server.cache.hits" -> "tgraph_server_cache_hits". Metric names in
+/// this codebase are [a-z0-9._]+, so dots are the only characters that
+/// need mapping into the Prometheus charset.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "tgraph_";
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+void AppendTyped(std::string* out, const std::string& name, const char* type,
+                 int64_t value) {
+  *out += "# TYPE " + name + " " + type + "\n";
+  *out += name + " " + std::to_string(value) + "\n";
+}
+
+void AppendHistogram(std::string* out, const std::string& name,
+                     const HistogramSnapshot& histogram) {
+  *out += "# TYPE " + name + " histogram\n";
+  int last_non_empty = -1;
+  for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    if (histogram.buckets[i] != 0) last_non_empty = i;
+  }
+  int64_t cumulative = 0;
+  for (int i = 0; i <= last_non_empty; ++i) {
+    cumulative += histogram.buckets[i];
+    *out += name + "_bucket{le=\"" +
+            std::to_string(HistogramSnapshot::BucketUpperBound(i)) + "\"} " +
+            std::to_string(cumulative) + "\n";
+  }
+  *out += name + "_bucket{le=\"+Inf\"} " + std::to_string(histogram.count) +
+          "\n";
+  *out += name + "_sum " + std::to_string(histogram.sum) + "\n";
+  *out += name + "_count " + std::to_string(histogram.count) + "\n";
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    AppendTyped(&out, PrometheusName(name), "counter", value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    AppendTyped(&out, PrometheusName(name), "gauge", value);
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    AppendHistogram(&out, PrometheusName(name), histogram);
+  }
+  return out;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(histogram.count) +
+           ",\"sum\":" + std::to_string(histogram.sum) +
+           ",\"min\":" + std::to_string(histogram.count == 0 ? 0
+                                                             : histogram.min) +
+           ",\"max\":" + std::to_string(histogram.count == 0 ? 0
+                                                             : histogram.max) +
+           ",\"mean\":" + FormatDouble(histogram.Mean()) +
+           ",\"p50\":" + std::to_string(histogram.ApproxPercentile(0.5)) +
+           ",\"p99\":" + std::to_string(histogram.ApproxPercentile(0.99)) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace tgraph::obs

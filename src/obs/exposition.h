@@ -1,0 +1,33 @@
+#ifndef TGRAPH_OBS_EXPOSITION_H_
+#define TGRAPH_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tgraph::obs {
+
+/// \brief Renders a MetricsSnapshot in Prometheus text exposition format
+/// (version 0.0.4) — what `tgzd --metrics-port` serves and the kMetrics
+/// protocol verb returns.
+///
+/// Naming: every metric gets a `tgraph_` prefix and dots become
+/// underscores ("server.cache.hits" -> "tgraph_server_cache_hits").
+/// Counters emit `# TYPE ... counter`, gauges `gauge`, histograms the
+/// cumulative `_bucket{le="..."}` / `_sum` / `_count` triple with
+/// power-of-two upper bounds (buckets above the highest non-empty one
+/// are elided; `+Inf` always closes the series).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// The same snapshot as a JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+/// max,mean,p50,p99}}}.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+/// Appends `text` JSON-escaped (quotes, backslashes, control chars) —
+/// shared by every hand-rolled JSON emitter in the obs/server layers.
+void AppendJsonEscaped(std::string* out, const std::string& text);
+
+}  // namespace tgraph::obs
+
+#endif  // TGRAPH_OBS_EXPOSITION_H_

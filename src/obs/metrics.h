@@ -177,6 +177,20 @@ inline constexpr char kLoadRowGroupsTotal[] = "storage.load.row_groups_total";
 inline constexpr char kLoadRowGroupsScanned[] =
     "storage.load.row_groups_scanned";
 
+// tgraph-store v2 mmap readers: lazy-verification and pushdown surface.
+/// Segments checksum-verified on first touch (each counts once per open
+/// reader; re-reads of a verified segment are free).
+inline constexpr char kStoreSegmentVerifies[] =
+    "storage.store.segment_verifies";
+/// Bytes of segment payload covered by those first-touch verifies — a
+/// proxy for distinct mmap bytes actually faulted in by queries.
+inline constexpr char kStoreVerifiedBytes[] = "storage.store.verified_bytes";
+/// Store-table partitions skipped via zone-map pushdown vs decoded.
+inline constexpr char kStorePartitionsPruned[] =
+    "storage.store.partitions_pruned";
+inline constexpr char kStorePartitionsDecoded[] =
+    "storage.store.partitions_decoded";
+
 // tgraphd serving surface.
 inline constexpr char kServerRequests[] = "server.requests";
 inline constexpr char kServerErrors[] = "server.errors";
@@ -186,6 +200,23 @@ inline constexpr char kServerConnections[] = "server.connections";
 inline constexpr char kServerQueueDepth[] = "server.queue.depth";  // gauge
 inline constexpr char kServerRequestMicros[] =
     "server.request_micros";  // histogram
+// Per-verb request latency histograms (tgraphd).
+inline constexpr char kVerbQueryMicros[] = "server.verb.query_micros";
+inline constexpr char kVerbStatsMicros[] = "server.verb.stats_micros";
+inline constexpr char kVerbPingMicros[] = "server.verb.ping_micros";
+inline constexpr char kVerbMetricsMicros[] = "server.verb.metrics_micros";
+// Per-cache-state kQuery latency histograms: served from the result
+// cache, executed after a cache miss, or executed with caching out of
+// the picture (uncacheable script, cache disabled, or kFlagNoCache).
+inline constexpr char kQueryCacheHitMicros[] =
+    "server.query.cache_hit_micros";
+inline constexpr char kQueryCacheMissMicros[] =
+    "server.query.cache_miss_micros";
+inline constexpr char kQueryUncachedMicros[] = "server.query.uncached_micros";
+/// kQuery requests, trace-sampled kQuery requests, and slow-logged ones.
+inline constexpr char kQueryCount[] = "server.query.count";
+inline constexpr char kQuerySampled[] = "server.query.sampled";
+inline constexpr char kQuerySlow[] = "server.query.slow";
 inline constexpr char kCacheHits[] = "server.cache.hits";
 inline constexpr char kCacheMisses[] = "server.cache.misses";
 inline constexpr char kCacheEvictions[] = "server.cache.evictions";

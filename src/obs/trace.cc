@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 namespace tgraph::obs {
 
 std::atomic<bool> Tracer::enabled_flag_{false};
+
+namespace internal {
+thread_local QueryContextTls t_query_context;
+}  // namespace internal
 
 namespace {
 
@@ -18,6 +23,7 @@ std::chrono::steady_clock::time_point TracerEpoch() {
 }
 
 std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_query_id{1};
 
 /// JSON string escaping for span names (control chars, quotes, backslash).
 void AppendJsonEscaped(std::string* out, const std::string& s) {
@@ -52,6 +58,120 @@ void AppendJsonEscaped(std::string* out, const std::string& s) {
 
 }  // namespace
 
+// --- query contexts --------------------------------------------------------
+
+QueryContext CurrentQueryContext() {
+  const internal::QueryContextTls& t = internal::t_query_context;
+  return QueryContext{t.query_id, t.trace, t.parent_span};
+}
+
+QueryContext CaptureQueryContext() {
+  const internal::QueryContextTls& t = internal::t_query_context;
+  return QueryContext{t.query_id, t.trace,
+                      Tracer::Global().OpenSpanOnThisThread()};
+}
+
+ScopedQueryContext::ScopedQueryContext(const QueryContext& context) {
+  internal::QueryContextTls& t = internal::t_query_context;
+  saved_ = t;
+  t.query_id = context.query_id;
+  t.trace = context.trace;
+  t.parent_span = context.parent_span;
+}
+
+ScopedQueryContext::~ScopedQueryContext() {
+  internal::t_query_context = saved_;
+}
+
+uint64_t NextQueryId() {
+  return g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+double TraceSampleRate() {
+  static const double rate = [] {
+    const char* env = std::getenv("TGRAPH_TRACE_SAMPLE");
+    if (env == nullptr || *env == '\0') return 0.0;
+    char* end = nullptr;
+    double value = std::strtod(env, &end);
+    if (end == env) return 0.0;
+    return std::clamp(value, 0.0, 1.0);
+  }();
+  return rate;
+}
+
+bool SampleQuery(uint64_t query_id, double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  // splitmix64 finalizer: decorrelates the sampling decision from the
+  // sequential id allocation so rate=0.5 doesn't sample every other burst.
+  uint64_t h = query_id + 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h = h ^ (h >> 31);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+}
+
+// --- per-query traces ------------------------------------------------------
+
+void QueryTrace::Record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t QueryTrace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<SpanEvent> QueryTrace::Events() const {
+  std::vector<SpanEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all = events_;
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.start_us < b.start_us;
+                   });
+  return all;
+}
+
+std::string QueryTrace::ToChromeTraceJson() const {
+  return ChromeTraceJson(Events());
+}
+
+std::string ChromeTraceJson(const std::vector<SpanEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(&out, e.name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(&out, e.category);
+    out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(e.start_us) +
+           ",\"dur\":" + std::to_string(e.duration_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"args\":{\"id\":" + std::to_string(e.id) +
+           ",\"parent\":" + std::to_string(e.parent_id);
+    if (e.query_id != 0) {
+      char qid[32];
+      std::snprintf(qid, sizeof(qid), "%016llx",
+                    static_cast<unsigned long long>(e.query_id));
+      out += ",\"qid\":\"";
+      out += qid;
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+// --- global tracer ---------------------------------------------------------
+
 int64_t Tracer::NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - TracerEpoch())
@@ -76,15 +196,27 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
   return t_buffer;
 }
 
+uint64_t Tracer::OpenSpanOnThisThread() const {
+  // Reading this thread's own slot: no lock needed (only this thread
+  // writes open_parent).
+  return const_cast<Tracer*>(this)->BufferForThisThread()->open_parent;
+}
+
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& buffer : buffers_) buffer->events.clear();
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
 }
 
 size_t Tracer::EventCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
-  for (const auto& buffer : buffers_) total += buffer->events.size();
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
   return total;
 }
 
@@ -93,6 +225,7 @@ std::vector<SpanEvent> Tracer::Events() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       all.insert(all.end(), buffer->events.begin(), buffer->events.end());
     }
   }
@@ -105,22 +238,7 @@ std::vector<SpanEvent> Tracer::Events() const {
 }
 
 std::string Tracer::ToChromeTraceJson() const {
-  std::vector<SpanEvent> events = Events();
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
-  for (const SpanEvent& e : events) {
-    if (!first) out += ",";
-    first = false;
-    out += "\n{\"name\":\"";
-    AppendJsonEscaped(&out, e.name);
-    out += "\",\"cat\":\"";
-    AppendJsonEscaped(&out, e.category);
-    out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(e.start_us) +
-           ",\"dur\":" + std::to_string(e.duration_us) +
-           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + "}";
-  }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
-  return out;
+  return ChromeTraceJson(Events());
 }
 
 bool Tracer::WriteChromeTrace(const std::string& path) const {
@@ -202,19 +320,36 @@ void Span::Begin(std::string name, const char* category) {
   active_ = true;
   name_ = std::move(name);
   category_ = category;
+  // Capture the destinations now: the query context may be swapped out
+  // (scope ends on another frame) before this span ends, and the span
+  // must land where it started.
+  const internal::QueryContextTls& q = internal::t_query_context;
+  query_id_ = q.query_id;
+  query_trace_ = q.trace;
+  record_global_ =
+      Tracer::enabled() && (q.query_id == 0 || q.trace != nullptr);
   buffer_ = Tracer::Global().BufferForThisThread();
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
-  parent_id_ = buffer_->open_parent;
+  // At a thread root, adopt the context's cross-thread parent so worker
+  // spans nest under the capturing scope; the buffer restore still uses
+  // the buffer's own (thread-local) previous value.
+  restore_parent_ = buffer_->open_parent;
+  parent_id_ = restore_parent_ != 0 ? restore_parent_ : q.parent_span;
   buffer_->open_parent = id_;
   start_us_ = Tracer::NowMicros();
 }
 
 void Span::End() {
   int64_t end_us = Tracer::NowMicros();
-  buffer_->open_parent = parent_id_;
-  buffer_->events.push_back(SpanEvent{std::move(name_), category_, start_us_,
-                                      end_us - start_us_, buffer_->tid, id_,
-                                      parent_id_});
+  buffer_->open_parent = restore_parent_;
+  SpanEvent event{std::move(name_), category_,   start_us_,
+                  end_us - start_us_, buffer_->tid, id_,
+                  parent_id_,         query_id_};
+  if (query_trace_ != nullptr) query_trace_->Record(event);
+  if (record_global_) {
+    std::lock_guard<std::mutex> lock(buffer_->mu);
+    buffer_->events.push_back(std::move(event));
+  }
 }
 
 }  // namespace tgraph::obs

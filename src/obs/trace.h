@@ -10,6 +10,8 @@
 
 namespace tgraph::obs {
 
+class QueryTrace;
+
 /// \brief One completed span: a named, timed section of one thread's
 /// execution, with its position in the per-thread nesting tree.
 ///
@@ -23,21 +25,120 @@ struct SpanEvent {
   uint32_t tid;       ///< Dense per-thread id, assigned at first span.
   uint64_t id;        ///< Process-unique span id (never 0).
   uint64_t parent_id; ///< 0 when the span is a thread-level root.
+  uint64_t query_id;  ///< Owning query (0 = outside any query context).
 };
+
+// --- query contexts --------------------------------------------------------
+//
+// Every query (a tgraphd request, a `tgz query` run) gets a process-unique
+// 64-bit id and a sampling decision. The context is a thread-local that
+// ExecutionContext::ParallelFor snapshots into its worker tasks, so every
+// span a query causes — pipeline stages, shuffles, Pregel supersteps, zoom
+// operators, store loads, cache lookups — carries the owning query id and,
+// when the query is sampled, is additionally collected into the query's own
+// QueryTrace buffer for on-demand export (`tgz query --trace`).
+//
+// Sampling also *gates* the global tracer for served traffic: when a query
+// context is active and the query was not sampled, spans are suppressed
+// even if the process-wide tracer is enabled, which is what keeps
+// always-on tracing affordable at traffic (TGRAPH_TRACE_SAMPLE).
+
+/// Copyable snapshot of a query's identity, shipped across threads.
+struct QueryContext {
+  uint64_t query_id = 0;      ///< 0 = no query context.
+  QueryTrace* trace = nullptr; ///< Non-null iff the query is sampled.
+  /// Span to nest under when this context is installed on another thread
+  /// (the innermost open span of the capturing thread).
+  uint64_t parent_span = 0;
+};
+
+namespace internal {
+/// The thread-local slot behind CurrentQueryContext(); exposed so the
+/// Span fast path can inline its check. Treat as private.
+struct QueryContextTls {
+  uint64_t query_id = 0;
+  QueryTrace* trace = nullptr;
+  uint64_t parent_span = 0;
+};
+extern thread_local QueryContextTls t_query_context;
+}  // namespace internal
+
+/// This thread's active query context (query_id 0 when none).
+QueryContext CurrentQueryContext();
+
+/// Snapshot of the current context for cross-thread propagation: like
+/// CurrentQueryContext() but with parent_span set to this thread's
+/// innermost open span, so spans recorded by the receiving thread nest
+/// under the capturing scope in per-query traces.
+QueryContext CaptureQueryContext();
+
+/// Installs a query context on this thread for the current scope,
+/// restoring the previous one on destruction. Used at query entry (the
+/// server request handler, the CLI) and inside every ParallelFor task.
+class ScopedQueryContext {
+ public:
+  explicit ScopedQueryContext(const QueryContext& context);
+  ~ScopedQueryContext();
+
+  ScopedQueryContext(const ScopedQueryContext&) = delete;
+  ScopedQueryContext& operator=(const ScopedQueryContext&) = delete;
+
+ private:
+  internal::QueryContextTls saved_;
+};
+
+/// Process-unique, never-zero query id.
+uint64_t NextQueryId();
+
+/// The TGRAPH_TRACE_SAMPLE sampling rate in [0, 1] (default 0: queries are
+/// traced only on demand). Parsed once per process.
+double TraceSampleRate();
+
+/// Deterministic per-query sampling decision: true for a `rate` fraction
+/// of query ids (rate >= 1 always samples, rate <= 0 never).
+bool SampleQuery(uint64_t query_id, double rate);
+
+/// \brief Span buffer owned by one sampled query: every span recorded
+/// anywhere in the process while that query's context is installed lands
+/// here, so a query's trace can be exported the moment it finishes without
+/// quiescing the rest of the server. Thread-safe (ParallelFor workers
+/// record concurrently).
+class QueryTrace {
+ public:
+  explicit QueryTrace(uint64_t query_id) : query_id_(query_id) {}
+
+  uint64_t query_id() const { return query_id_; }
+
+  void Record(SpanEvent event);
+  size_t size() const;
+
+  /// All spans recorded so far, ordered by (tid, start_us).
+  std::vector<SpanEvent> Events() const;
+
+  /// Chrome trace_event JSON for this query only; span args carry the
+  /// query id and the span/parent ids, so nesting survives the export.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  uint64_t query_id_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+};
+
+/// Chrome trace_event JSON ({"traceEvents": [...]}) for a span list.
+std::string ChromeTraceJson(const std::vector<SpanEvent>& events);
 
 /// \brief Process-global span collector with Chrome trace_event export.
 ///
-/// Spans are recorded into per-thread buffers with no locking on the hot
-/// path: when tracing is disabled (the default) a Span costs one relaxed
-/// atomic load and a branch; when enabled, one steady_clock read at entry
-/// and a push_back at exit. Buffers are owned by the tracer and survive
-/// thread exit, so pool workers' spans are never lost.
-///
-/// Export (Events/ToChromeTraceJson/Summary) and Clear must run at
-/// quiescence — i.e. when no thread is inside an active Span, such as
-/// between pipeline runs or after ParallelFor has joined. This is the
-/// only threading requirement; recording itself is safe from any number
-/// of threads concurrently.
+/// Spans are recorded into per-thread buffers: when tracing is disabled
+/// and no sampled query context is active (the default) a Span costs two
+/// relaxed loads and a branch; when enabled, one steady_clock read at
+/// entry and a locked push_back at exit. Each buffer has its own mutex,
+/// taken only at span end and during export, so Events()/Clear() are safe
+/// to call at any time — including while worker threads are still
+/// recording (the guarantee tgzd's SIGTERM drain relies on: no span that
+/// ended before the export call can be dropped). Spans still *open* at
+/// export time are not included (they have no duration yet).
 class Tracer {
  public:
   /// The singleton used by all instrumentation. Never destroyed.
@@ -46,9 +147,20 @@ class Tracer {
   void Enable() { enabled_flag_.store(true, std::memory_order_relaxed); }
   void Disable() { enabled_flag_.store(false, std::memory_order_relaxed); }
 
-  /// The guard every instrumentation site checks before doing any work.
+  /// Whether the process-wide tracer collects spans.
   static bool enabled() {
     return enabled_flag_.load(std::memory_order_relaxed);
+  }
+
+  /// The guard every instrumentation site checks before doing any work:
+  /// a sampled query records always; an unsampled query records never
+  /// (even with the global tracer on); outside any query the global
+  /// enable flag decides.
+  static bool ShouldRecord() {
+    const internal::QueryContextTls& q = internal::t_query_context;
+    if (q.trace != nullptr) return true;
+    if (!enabled()) return false;
+    return q.query_id == 0;
   }
 
   /// Drops all collected events; thread buffers stay registered.
@@ -72,12 +184,17 @@ class Tracer {
   /// total wall time. One line per path: count, total, mean.
   std::string Summary() const;
 
+  /// The innermost open span on this thread (0 if none) — the nesting
+  /// parent a cross-thread context capture hands to worker tasks.
+  uint64_t OpenSpanOnThisThread() const;
+
   /// Microseconds since the tracer epoch (steady clock).
   static int64_t NowMicros();
 
  private:
   friend class Span;
   struct ThreadBuffer {
+    std::mutex mu;  ///< Guards `events` against concurrent export.
     std::vector<SpanEvent> events;
     uint32_t tid = 0;
     uint64_t open_parent = 0;  ///< id of the innermost open span.
@@ -95,7 +212,8 @@ class Tracer {
   uint32_t next_tid_ = 1;
 };
 
-/// \brief RAII scoped span recording into the global tracer.
+/// \brief RAII scoped span recording into the global tracer and/or the
+/// active query's trace buffer (see Tracer::ShouldRecord).
 ///
 /// Pass a string literal (or otherwise long-lived char array) for the
 /// cheap path; the std::string overload exists for dynamic names and only
@@ -103,11 +221,11 @@ class Tracer {
 class Span {
  public:
   explicit Span(const char* name, const char* category = "tgraph") {
-    if (!Tracer::enabled()) return;
+    if (!Tracer::ShouldRecord()) return;
     Begin(name, category);
   }
   Span(std::string name, const char* category = "tgraph") {
-    if (!Tracer::enabled()) return;
+    if (!Tracer::ShouldRecord()) return;
     Begin(std::move(name), category);
   }
   ~Span() {
@@ -122,11 +240,15 @@ class Span {
   void End();
 
   bool active_ = false;
+  bool record_global_ = false;
   std::string name_;
   const char* category_ = nullptr;
   int64_t start_us_ = 0;
   uint64_t id_ = 0;
-  uint64_t parent_id_ = 0;
+  uint64_t parent_id_ = 0;       ///< Parent recorded in the event.
+  uint64_t restore_parent_ = 0;  ///< Buffer open_parent to restore at end.
+  uint64_t query_id_ = 0;
+  QueryTrace* query_trace_ = nullptr;
   Tracer::ThreadBuffer* buffer_ = nullptr;
 };
 

@@ -68,17 +68,26 @@ Result<Response> Client::RoundTrip(const Request& request) {
   return response;
 }
 
-Result<Response> Client::Query(const std::string& script, bool no_cache) {
+Result<Response> Client::Query(const std::string& script, bool no_cache,
+                               bool want_trace) {
   Request request;
   request.verb = Verb::kQuery;
   if (no_cache) request.flags |= kFlagNoCache;
+  if (want_trace) request.flags |= kFlagTrace;
   request.body = script;
   return RoundTrip(request);
 }
 
-Result<Response> Client::Stats() {
+Result<Response> Client::Stats(bool json) {
   Request request;
   request.verb = Verb::kStats;
+  if (json) request.flags |= kFlagJson;
+  return RoundTrip(request);
+}
+
+Result<Response> Client::Metrics() {
+  Request request;
+  request.verb = Verb::kMetrics;
   return RoundTrip(request);
 }
 

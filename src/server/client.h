@@ -43,11 +43,18 @@ class Client {
 
   /// Sends a TQL script and returns the server's rendered result table.
   /// A response carrying an error status becomes that error. `no_cache`
-  /// asks the server to bypass (and not populate) its result cache.
-  Result<Response> Query(const std::string& script, bool no_cache = false);
+  /// asks the server to bypass (and not populate) its result cache;
+  /// `want_trace` asks it to trace the query and return the spans in
+  /// Response::trace (Chrome trace JSON).
+  Result<Response> Query(const std::string& script, bool no_cache = false,
+                         bool want_trace = false);
 
-  /// Fetches the server's STATS report (metrics + cache/queue state).
-  Result<Response> Stats();
+  /// Fetches the server's STATS report (metrics + cache/queue state),
+  /// plain text by default or JSON with `json`.
+  Result<Response> Stats(bool json = false);
+
+  /// Fetches the server's metrics registry in Prometheus text format.
+  Result<Response> Metrics();
 
   /// Liveness probe; returns the round-trip response ("pong").
   Result<Response> Ping();

@@ -48,6 +48,7 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case Verb::kQuery:
     case Verb::kStats:
     case Verb::kPing:
+    case Verb::kMetrics:
       request.verb = static_cast<Verb>(verb);
       break;
     default:
@@ -68,6 +69,7 @@ std::string EncodeResponse(const Response& response) {
   storage::PutVarint(&payload, response.flags);
   storage::PutVarint(&payload, response.request_id);
   storage::PutBytes(&payload, response.body);
+  if (response.has_trace()) storage::PutBytes(&payload, response.trace);
   return payload;
 }
 
@@ -81,6 +83,11 @@ Result<Response> DecodeResponse(std::string_view payload) {
   TG_ASSIGN_OR_RETURN(std::string_view body,
                       storage::GetBytes(payload, &pos));
   response.body = std::string(body);
+  if (response.has_trace()) {
+    TG_ASSIGN_OR_RETURN(std::string_view trace,
+                        storage::GetBytes(payload, &pos));
+    response.trace = std::string(trace);
+  }
   TG_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
   return response;
 }

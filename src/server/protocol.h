@@ -18,18 +18,25 @@ namespace tgraph::server {
 /// Request payload:
 ///   [u8 verb][varint flags][varint-length-prefixed body]
 ///     verb kQuery: body is a TQL script; flag kFlagNoCache bypasses the
-///       result cache for this request.
-///     verb kStats: empty body; the response body is the metrics report.
+///       result cache for this request, flag kFlagTrace asks the server
+///       to trace this query and return its spans.
+///     verb kStats: empty body; the response body is the stats report
+///       (plain text, or JSON with flag kFlagJson).
 ///     verb kPing:  empty body; the response body is "pong".
+///     verb kMetrics: empty body; the response body is the metrics
+///       registry in Prometheus text exposition format.
 ///
 /// Response payload:
 ///   [u8 code][varint flags][varint request id][varint-prefixed body]
+///   [varint-prefixed trace, only when flag kFlagHasTrace is set]
 ///     code 0 is success and the body is the result table text; any other
 ///     code is the tgraph::StatusCode of the failure and the body is the
 ///     error message. Flag kFlagCacheHit marks a result served from the
-///     zoom-result cache. The request id is server-assigned and matches
-///     the server's per-request obs span, so a slow response can be
-///     located in a trace.
+///     zoom-result cache. Flag kFlagHasTrace marks a trailing Chrome
+///     trace JSON field holding the query's spans (kFlagTrace requests).
+///     The request id is server-assigned and matches the server's
+///     per-request obs span, so a slow response can be located in a
+///     trace.
 ///
 /// Frames above kMaxFrameBytes are rejected without allocation — the
 /// length prefix arrives from the network and is adversarial until proven
@@ -41,10 +48,17 @@ enum class Verb : uint8_t {
   kQuery = 1,
   kStats = 2,
   kPing = 3,
+  kMetrics = 4,
 };
 
-inline constexpr uint64_t kFlagNoCache = 1;   ///< Request: skip the cache.
-inline constexpr uint64_t kFlagCacheHit = 1;  ///< Response: served from cache.
+// Request flags.
+inline constexpr uint64_t kFlagNoCache = 1;  ///< kQuery: skip the cache.
+inline constexpr uint64_t kFlagTrace = 2;    ///< kQuery: return query spans.
+inline constexpr uint64_t kFlagJson = 4;     ///< kStats: JSON body.
+
+// Response flags.
+inline constexpr uint64_t kFlagCacheHit = 1;  ///< Served from cache.
+inline constexpr uint64_t kFlagHasTrace = 2;  ///< Trace field present.
 
 struct Request {
   Verb verb = Verb::kPing;
@@ -57,9 +71,13 @@ struct Response {
   uint64_t flags = 0;
   uint64_t request_id = 0;
   std::string body;
+  /// Chrome trace JSON of the query's spans; on the wire only when
+  /// kFlagHasTrace is set (older peers never see the field).
+  std::string trace;
 
   bool ok() const { return code == 0; }
   bool cache_hit() const { return (flags & kFlagCacheHit) != 0; }
+  bool has_trace() const { return (flags & kFlagHasTrace) != 0; }
 
   /// Reconstructs the Status a non-OK response carries.
   Status ToStatus() const;

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/protocol.h"
@@ -39,6 +40,85 @@ void SetRecvTimeout(int fd, int64_t timeout_ms) {
 
 obs::Counter* ServerCounter(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+int64_t UnixNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Binds a loopback TCP listener; returns the fd and stores the bound
+/// port. Shared by the protocol listener setup and the metrics endpoint.
+Result<int> ListenLoopback(int port, int* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) < 0) {
+    Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+/// Routes a finished request's wall time into the per-verb histogram and,
+/// for queries, the per-cache-state one ("hit" | "miss" | anything else =
+/// ran without the cache in play).
+void RecordVerbLatency(Verb verb, const std::string& cache, int64_t wall_us) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram* query_micros =
+      registry.GetHistogram(obs::metric_names::kVerbQueryMicros);
+  static obs::Histogram* stats_micros =
+      registry.GetHistogram(obs::metric_names::kVerbStatsMicros);
+  static obs::Histogram* ping_micros =
+      registry.GetHistogram(obs::metric_names::kVerbPingMicros);
+  static obs::Histogram* metrics_micros =
+      registry.GetHistogram(obs::metric_names::kVerbMetricsMicros);
+  static obs::Histogram* hit_micros =
+      registry.GetHistogram(obs::metric_names::kQueryCacheHitMicros);
+  static obs::Histogram* miss_micros =
+      registry.GetHistogram(obs::metric_names::kQueryCacheMissMicros);
+  static obs::Histogram* uncached_micros =
+      registry.GetHistogram(obs::metric_names::kQueryUncachedMicros);
+  switch (verb) {
+    case Verb::kQuery:
+      query_micros->Record(wall_us);
+      (cache == "hit"    ? hit_micros
+       : cache == "miss" ? miss_micros
+                         : uncached_micros)
+          ->Record(wall_us);
+      break;
+    case Verb::kStats:
+      stats_micros->Record(wall_us);
+      break;
+    case Verb::kPing:
+      ping_micros->Record(wall_us);
+      break;
+    case Verb::kMetrics:
+      metrics_micros->Record(wall_us);
+      break;
+  }
 }
 
 }  // namespace
@@ -80,41 +160,30 @@ Status Server::Start() {
     }
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  if (!options_.slow_query_log.empty()) {
+    TG_ASSIGN_OR_RETURN(slow_log_, SlowQueryLog::Open(options_.slow_query_log));
   }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-    Status status =
-        Status::IoError(std::string("bind: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
+  TG_ASSIGN_OR_RETURN(listen_fd_, ListenLoopback(options_.port, &port_));
+
+  if (options_.metrics_port >= 0) {
+    Result<int> metrics_fd =
+        ListenLoopback(options_.metrics_port, &metrics_port_);
+    if (!metrics_fd.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return metrics_fd.status();
+    }
+    metrics_fd_ = *metrics_fd;
   }
-  if (::listen(listen_fd_, 128) < 0) {
-    Status status =
-        Status::IoError(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
-                &addr_len);
-  port_ = ntohs(addr.sin_port);
 
   running_.store(true, std::memory_order_release);
   draining_.store(false, std::memory_order_release);
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  if (metrics_fd_ >= 0) {
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+    TG_LOG(INFO) << "tgraphd metrics endpoint on port " << metrics_port_;
+  }
   int workers = options_.workers > 0 ? options_.workers : 1;
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -235,8 +304,11 @@ void Server::HandleRequest(Session* session, const std::string& payload,
   static obs::Counter* requests =
       ServerCounter(obs::metric_names::kServerRequests);
   static obs::Counter* errors = ServerCounter(obs::metric_names::kServerErrors);
-  static obs::Counter* deadline_exceeded =
-      ServerCounter(obs::metric_names::kServerDeadlineExceeded);
+  static obs::Counter* query_count =
+      ServerCounter(obs::metric_names::kQueryCount);
+  static obs::Counter* query_sampled =
+      ServerCounter(obs::metric_names::kQuerySampled);
+  static obs::Counter* query_slow = ServerCounter(obs::metric_names::kQuerySlow);
   static obs::Histogram* request_micros =
       obs::MetricsRegistry::Global().GetHistogram(
           obs::metric_names::kServerRequestMicros);
@@ -257,86 +329,162 @@ void Server::HandleRequest(Session* session, const std::string& payload,
     return;
   }
 
-  const char* verb_name = request->verb == Verb::kQuery   ? "query"
-                          : request->verb == Verb::kStats ? "stats"
-                                                          : "ping";
-  obs::Span verb_span(std::string("tgraphd.") + verb_name, "server");
-  // The request-id span nests under the verb span, so a trace can be
-  // searched for the id a client reported (responses echo it).
-  std::optional<obs::Span> rid_span;
-  if (obs::Tracer::enabled()) {
-    rid_span.emplace("rid=" + std::to_string(request_id), "server");
+  // Per-query trace identity. Installing the context before the verb span
+  // opens makes that span the query's single root: every span recorded
+  // below — cache lookup, catalog load, dataflow stages on pool threads —
+  // nests under it and carries the query id. kFlagTrace forces sampling
+  // (the client asked for this query's spans); otherwise
+  // TGRAPH_TRACE_SAMPLE decides, which both bounds per-query trace
+  // buffers at traffic and downsamples the global tracer.
+  const bool is_query = request->verb == Verb::kQuery;
+  const bool want_trace = is_query && (request->flags & kFlagTrace) != 0;
+  std::unique_ptr<obs::QueryTrace> query_trace;
+  std::optional<obs::ScopedQueryContext> query_scope;
+  SlowQueryEntry slow;
+  if (is_query) {
+    const uint64_t query_id = obs::NextQueryId();
+    const bool sampled =
+        want_trace || obs::SampleQuery(query_id, obs::TraceSampleRate());
+    if (sampled) query_trace = std::make_unique<obs::QueryTrace>(query_id);
+    query_scope.emplace(
+        obs::QueryContext{query_id, query_trace.get(), /*parent_span=*/0});
+    query_count->Increment();
+    if (sampled) query_sampled->Increment();
+    slow.query_id = query_id;
+    slow.request_id = request_id;
+    slow.sampled = sampled;
   }
 
-  switch (request->verb) {
-    case Verb::kPing:
-      response.body = "pong";
-      break;
-    case Verb::kStats:
-      response.body = StatsReport();
-      break;
-    case Verb::kQuery: {
-      bool no_cache = (request->flags & kFlagNoCache) != 0;
-      Result<std::string> canonical = tql::CanonicalizeScript(request->body);
-      if (!canonical.ok()) {
-        errors->Increment();
-        response.code = static_cast<uint8_t>(canonical.status().code());
-        response.body = canonical.status().ToString();
-        break;
-      }
-      bool cacheable = false;
-      {
-        // Re-derive cacheability from the parsed script (STORE has disk
-        // side effects and must always re-execute).
-        Result<std::vector<tql::Statement>> statements =
-            tql::Parse(request->body);
-        cacheable = statements.ok() && tql::IsCacheableScript(*statements) &&
-                    options_.cache_bytes > 0 && !no_cache;
-      }
-      if (cacheable) {
-        std::optional<std::string> hit = cache_.Get(*canonical);
-        if (hit.has_value()) {
-          response.flags |= kFlagCacheHit;
-          response.body = *std::move(hit);
-          break;
-        }
-      }
+  {
+    const char* verb_name = request->verb == Verb::kQuery     ? "query"
+                            : request->verb == Verb::kStats   ? "stats"
+                            : request->verb == Verb::kMetrics ? "metrics"
+                                                              : "ping";
+    obs::Span verb_span(std::string("tgraphd.") + verb_name, "server");
+    // The request-id span nests under the verb span, so a trace can be
+    // searched for the id a client reported (responses echo it).
+    std::optional<obs::Span> rid_span;
+    if (obs::Tracer::enabled() || query_trace != nullptr) {
+      rid_span.emplace("rid=" + std::to_string(request_id), "server");
+    }
 
-      session->deadline_at_ms =
-          options_.deadline_ms > 0 ? SteadyNowMs() + options_.deadline_ms : 0;
-      tql::Interpreter interpreter(ctx_);
-      interpreter.set_loader([this](const tql::LoadStatement& load) {
-        return catalog_.GetOrLoad(load.path, load.range);
-      });
-      // Observation-only: the interpreter records per-operator costs but
-      // executes exactly as it would without the store, so cached and
-      // fresh results stay byte-identical.
-      interpreter.set_stats(&stats_);
-      interpreter.set_interrupt_check([this, session]() -> Status {
-        if (session->deadline_at_ms != 0 &&
-            SteadyNowMs() > session->deadline_at_ms) {
-          return Status::Cancelled("deadline of " +
-                                   std::to_string(options_.deadline_ms) +
-                                   " ms exceeded");
-        }
-        return Status::OK();
-      });
-      Result<std::string> output = interpreter.ExecuteScript(request->body);
-      if (!output.ok()) {
-        errors->Increment();
-        if (output.status().IsCancelled()) deadline_exceeded->Increment();
-        response.code = static_cast<uint8_t>(output.status().code());
-        response.body = output.status().ToString();
+    switch (request->verb) {
+      case Verb::kPing:
+        response.body = "pong";
         break;
+      case Verb::kStats:
+        response.body =
+            (request->flags & kFlagJson) != 0 ? StatsJson() : StatsReport();
+        break;
+      case Verb::kMetrics:
+        response.body =
+            obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot());
+        break;
+      case Verb::kQuery:
+        HandleQuery(session, *request, &response, &slow);
+        break;
+    }
+  }
+  // All request spans are closed; drop the context before exporting so
+  // the export itself is not traced into the query.
+  query_scope.reset();
+
+  const int64_t wall_us = obs::Tracer::NowMicros() - started_us;
+  request_micros->Record(wall_us);
+  RecordVerbLatency(request->verb, slow.cache, wall_us);
+
+  if (is_query) {
+    if (want_trace && query_trace != nullptr) {
+      response.flags |= kFlagHasTrace;
+      response.trace = query_trace->ToChromeTraceJson();
+    }
+    if (slow_log_ != nullptr && wall_us >= options_.slow_query_ms * 1000) {
+      query_slow->Increment();
+      slow.unix_ms = UnixNowMs();
+      slow.wall_us = wall_us;
+      if (!response.ok()) {
+        slow.status = StatusCodeToString(static_cast<StatusCode>(response.code));
       }
-      response.body = *output;
-      if (cacheable) cache_.Put(*canonical, response.body);
-      break;
+      slow_log_->Append(slow);
     }
   }
 
-  request_micros->Record(obs::Tracer::NowMicros() - started_us);
   *response_payload = EncodeResponse(response);
+}
+
+void Server::HandleQuery(Session* session, const Request& request,
+                         Response* response, SlowQueryEntry* slow) {
+  static obs::Counter* errors = ServerCounter(obs::metric_names::kServerErrors);
+  static obs::Counter* deadline_exceeded =
+      ServerCounter(obs::metric_names::kServerDeadlineExceeded);
+
+  const bool no_cache = (request.flags & kFlagNoCache) != 0;
+  Result<std::string> canonical = tql::CanonicalizeScript(request.body);
+  if (!canonical.ok()) {
+    errors->Increment();
+    response->code = static_cast<uint8_t>(canonical.status().code());
+    response->body = canonical.status().ToString();
+    return;
+  }
+  slow->canonical = *canonical;
+  bool cacheable = false;
+  {
+    // Re-derive cacheability from the parsed script (STORE has disk side
+    // effects, EXPLAIN ANALYZE must re-execute to measure).
+    Result<std::vector<tql::Statement>> statements = tql::Parse(request.body);
+    bool script_cacheable =
+        statements.ok() && tql::IsCacheableScript(*statements);
+    cacheable = script_cacheable && options_.cache_bytes > 0 && !no_cache;
+    slow->cache = !script_cacheable      ? "uncacheable"
+                  : no_cache             ? "bypass"
+                  : options_.cache_bytes == 0 ? "uncacheable"
+                                         : "miss";
+  }
+  if (cacheable) {
+    obs::Span lookup_span("tgraphd.cache.lookup", "server");
+    std::optional<std::string> hit = cache_.Get(*canonical);
+    if (hit.has_value()) {
+      slow->cache = "hit";
+      response->flags |= kFlagCacheHit;
+      response->body = *std::move(hit);
+      return;
+    }
+  }
+
+  session->deadline_at_ms =
+      options_.deadline_ms > 0 ? SteadyNowMs() + options_.deadline_ms : 0;
+  tql::Interpreter interpreter(ctx_);
+  interpreter.set_loader([this](const tql::LoadStatement& load) {
+    return catalog_.GetOrLoad(load.path, load.range);
+  });
+  // Observation-only: the interpreter records per-operator costs but
+  // executes exactly as it would without the store, so cached and
+  // fresh results stay byte-identical.
+  interpreter.set_stats(&stats_);
+  // Stage collection for the slow-query log; EXPLAIN ANALYZE statements
+  // bring their own collector either way.
+  tql::ExplainCollector stages;
+  if (slow_log_ != nullptr) interpreter.set_explain(&stages);
+  interpreter.set_interrupt_check([this, session]() -> Status {
+    if (session->deadline_at_ms != 0 &&
+        SteadyNowMs() > session->deadline_at_ms) {
+      return Status::Cancelled("deadline of " +
+                               std::to_string(options_.deadline_ms) +
+                               " ms exceeded");
+    }
+    return Status::OK();
+  });
+  Result<std::string> output = interpreter.ExecuteScript(request.body);
+  if (!stages.empty()) slow->stages_json = stages.StagesJson();
+  if (!output.ok()) {
+    errors->Increment();
+    if (output.status().IsCancelled()) deadline_exceeded->Increment();
+    response->code = static_cast<uint8_t>(output.status().code());
+    response->body = output.status().ToString();
+    return;
+  }
+  response->body = *output;
+  if (cacheable) cache_.Put(*canonical, response->body);
 }
 
 std::string Server::StatsReport() {
@@ -354,6 +502,92 @@ std::string Server::StatsReport() {
   report += stats_.ToString();
   report += obs::MetricsRegistry::Global().ToString();
   return report;
+}
+
+std::string Server::StatsJson() {
+  std::string json = "{\"server\":{\"port\":" + std::to_string(port_) +
+                     ",\"workers\":" + std::to_string(options_.workers) +
+                     ",\"queue_depth\":" + std::to_string(options_.queue_depth) +
+                     ",\"cache_bytes\":" + std::to_string(options_.cache_bytes) +
+                     ",\"deadline_ms\":" + std::to_string(options_.deadline_ms) +
+                     ",\"metrics_port\":" + std::to_string(metrics_port_) + "}";
+  json += ",\"cache\":{\"entries\":" + std::to_string(cache_.entries()) +
+          ",\"bytes\":" + std::to_string(cache_.bytes()) + "}";
+  json += ",\"catalog\":{\"graphs\":" + std::to_string(catalog_.size()) + "}";
+  json += ",\"opt_stats\":{\"observations\":" +
+          std::to_string(stats_.TotalObservations()) + ",\"cells\":[";
+  bool first = true;
+  for (const auto& [key, cell] : stats_.Cells()) {
+    if (!first) json += ",";
+    first = false;
+    json += std::string("{\"op\":\"") + opt::OpKindName(key.first) +
+            "\",\"rep\":\"" + RepresentationName(key.second) +
+            "\",\"observations\":" + std::to_string(cell.observations) +
+            ",\"wall_us\":" + std::to_string(cell.wall_us) +
+            ",\"shuffle_bytes\":" + std::to_string(cell.shuffle_bytes) +
+            ",\"rows_in\":" + std::to_string(cell.rows_in) +
+            ",\"rows_out\":" + std::to_string(cell.rows_out) + "}";
+  }
+  json += "]}";
+  json += ",\"metrics\":" +
+          obs::MetricsJson(obs::MetricsRegistry::Global().Snapshot());
+  json += "}";
+  return json;
+}
+
+void Server::MetricsLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    int fd = ::accept(metrics_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (draining_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    // One request per connection (HTTP/1.0 semantics) keeps the loop
+    // single-threaded and scrape-rate bound; Prometheus reconnects per
+    // scrape by default anyway.
+    SetRecvTimeout(fd, 2000);
+    std::string head;
+    char buf[1024];
+    while (head.find("\r\n") == std::string::npos && head.size() < 8192) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      head.append(buf, static_cast<size_t>(n));
+    }
+    std::string method, path;
+    const size_t line_end = head.find("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    if (sp1 != std::string::npos) {
+      const size_t sp2 = line.find(' ', sp1 + 1);
+      method = line.substr(0, sp1);
+      path = line.substr(sp1 + 1,
+                         (sp2 == std::string::npos ? line.size() : sp2) -
+                             sp1 - 1);
+    }
+    std::string status_line, content_type, body;
+    if (method == "GET" && path == "/metrics") {
+      status_line = "HTTP/1.0 200 OK";
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot());
+    } else {
+      status_line = "HTTP/1.0 404 Not Found";
+      content_type = "text/plain; charset=utf-8";
+      body = "not found; try GET /metrics\n";
+    }
+    std::string http = status_line + "\r\nContent-Type: " + content_type +
+                       "\r\nContent-Length: " + std::to_string(body.size()) +
+                       "\r\nConnection: close\r\n\r\n" + body;
+    size_t off = 0;
+    while (off < http.size()) {
+      ssize_t n =
+          ::send(fd, http.data() + off, http.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+  }
 }
 
 void Server::Drain() {
@@ -377,6 +611,12 @@ void Server::Drain() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (metrics_fd_ >= 0) ::shutdown(metrics_fd_, SHUT_RDWR);
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  if (metrics_fd_ >= 0) {
+    ::close(metrics_fd_);
+    metrics_fd_ = -1;
   }
   {
     // Close the read side of idle in-service connections: a worker blocked

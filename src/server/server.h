@@ -14,7 +14,9 @@
 #include "common/result.h"
 #include "dataflow/context.h"
 #include "server/catalog.h"
+#include "server/protocol.h"
 #include "server/result_cache.h"
+#include "server/slow_query_log.h"
 #include "tgraph/stats.h"
 
 namespace tgraph::server {
@@ -54,6 +56,20 @@ struct ServerOptions {
   /// cost model learns across server restarts. Empty disables
   /// persistence; observations still accumulate in memory.
   std::string stats_path;
+
+  /// Plain-HTTP Prometheus exposition port (loopback only): GET /metrics
+  /// returns the registry in text format. 0 picks an ephemeral port (read
+  /// it back from Server::metrics_port()); -1 (default) disables the
+  /// endpoint.
+  int metrics_port = -1;
+
+  /// Path of the JSONL slow-query log. Empty (default) disables it.
+  std::string slow_query_log;
+
+  /// Queries slower than this land in the slow-query log (with their
+  /// per-stage breakdown). Only meaningful with slow_query_log set; 0
+  /// logs every query.
+  int64_t slow_query_ms = 100;
 };
 
 /// \brief tgraphd — the resident TQL query server. Accepts framed
@@ -85,6 +101,9 @@ class Server {
 
   /// The bound port (differs from options.port when that was 0).
   int port() const { return port_; }
+
+  /// The bound metrics port, or -1 when the endpoint is disabled.
+  int metrics_port() const { return metrics_port_; }
 
   /// Graceful shutdown: stop accepting, serve what is queued and
   /// in-flight, close idle connections, join threads. Idempotent.
@@ -125,7 +144,12 @@ class Server {
   struct Session;
   void HandleRequest(Session* session, const std::string& payload,
                      std::string* response_payload);
+  void HandleQuery(Session* session, const Request& request,
+                   Response* response, SlowQueryEntry* slow);
   std::string StatsReport();
+  std::string StatsJson();
+  /// Serves GET /metrics over plain HTTP until drain (its own thread).
+  void MetricsLoop();
 
   dataflow::ExecutionContext* ctx_;
   const ServerOptions options_;
@@ -135,12 +159,16 @@ class Server {
 
   int listen_fd_ = -1;
   int port_ = 0;
+  int metrics_fd_ = -1;
+  int metrics_port_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> next_request_id_{0};
 
   std::thread acceptor_;
+  std::thread metrics_thread_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<SlowQueryLog> slow_log_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,52 @@
+#include "server/slow_query_log.h"
+
+#include <chrono>
+
+#include "obs/exposition.h"
+
+namespace tgraph::server {
+
+Result<std::unique_ptr<SlowQueryLog>> SlowQueryLog::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open slow-query log '" + path + "'");
+  }
+  return std::unique_ptr<SlowQueryLog>(new SlowQueryLog(path, file));
+}
+
+SlowQueryLog::~SlowQueryLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SlowQueryLog::Append(const SlowQueryEntry& entry) {
+  char query_id_hex[32];
+  std::snprintf(query_id_hex, sizeof(query_id_hex), "%016llx",
+                static_cast<unsigned long long>(entry.query_id));
+  std::string line = "{\"unix_ms\":" + std::to_string(entry.unix_ms) +
+                     ",\"query_id\":\"" + query_id_hex +
+                     "\",\"request_id\":" + std::to_string(entry.request_id) +
+                     ",\"wall_us\":" + std::to_string(entry.wall_us) +
+                     ",\"status\":\"";
+  obs::AppendJsonEscaped(&line, entry.status);
+  line += "\",\"cache\":\"" + entry.cache + "\"";
+  line += ",\"sampled\":";
+  line += entry.sampled ? "true" : "false";
+  line += ",\"canonical\":\"";
+  // Cap the statement text: the log is for triage, the full script can be
+  // recovered from the query id + trace if needed.
+  constexpr size_t kMaxCanonical = 2048;
+  obs::AppendJsonEscaped(&line, entry.canonical.size() <= kMaxCanonical
+                                    ? entry.canonical
+                                    : entry.canonical.substr(0, kMaxCanonical) +
+                                          "...");
+  line += "\",\"stages\":" + entry.stages_json + "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace tgraph::server

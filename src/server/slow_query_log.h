@@ -1,0 +1,56 @@
+#ifndef TGRAPH_SERVER_SLOW_QUERY_LOG_H_
+#define TGRAPH_SERVER_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+
+namespace tgraph::server {
+
+/// One slow query, ready to be appended as a JSONL record.
+struct SlowQueryEntry {
+  int64_t unix_ms = 0;          ///< Wall-clock completion time.
+  uint64_t query_id = 0;        ///< The query's trace id (hex in the log).
+  uint64_t request_id = 0;      ///< Matches the protocol response.
+  int64_t wall_us = 0;
+  std::string status = "ok";    ///< "ok" or the failure StatusCode name.
+  /// Result-cache disposition: hit | miss | bypass | uncacheable.
+  std::string cache = "uncacheable";
+  bool sampled = false;         ///< Whether the query was trace-sampled.
+  std::string canonical;        ///< Canonical script (truncated).
+  /// Per-stage breakdown (ExplainCollector::StagesJson()); "[]" for
+  /// queries that never reached execution (parse errors, cache hits).
+  std::string stages_json = "[]";
+};
+
+/// \brief Append-only JSONL log of queries slower than a threshold —
+/// tgraphd's `--slow-query-log`. One JSON object per line; writes are
+/// serialized and flushed per entry so `tail -f` and crash-time
+/// postmortems see complete records. Thread-safe.
+class SlowQueryLog {
+ public:
+  /// Opens `path` for appending. Fails (IoError) if it cannot.
+  static Result<std::unique_ptr<SlowQueryLog>> Open(const std::string& path);
+
+  ~SlowQueryLog();
+
+  void Append(const SlowQueryEntry& entry);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  SlowQueryLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::mutex mu_;
+  std::FILE* file_;
+};
+
+}  // namespace tgraph::server
+
+#endif  // TGRAPH_SERVER_SLOW_QUERY_LOG_H_

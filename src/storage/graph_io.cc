@@ -760,6 +760,12 @@ Result<dataflow::Partitions<T>> ScanStoreTable(dataflow::ExecutionContext* ctx,
   }
   *total = meta.partitions.size();
   *scanned = kept.size();
+  static obs::Counter* pruned = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kStorePartitionsPruned);
+  static obs::Counter* decoded = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kStorePartitionsDecoded);
+  pruned->Add(static_cast<int64_t>(meta.partitions.size() - kept.size()));
+  decoded->Add(static_cast<int64_t>(kept.size()));
   dataflow::Partitions<T> parts(kept.size());
   std::vector<Status> statuses(kept.size());
   ctx->ParallelFor(kept.size(), [&](size_t i) {

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 #include "storage/predicate.h"
 #include "storage/serde.h"
 
@@ -168,6 +169,13 @@ Status StoreReader::VerifySegment(int t, size_t partition, int column) const {
       break;
   }
   flag.store(1, std::memory_order_release);
+  static obs::Counter* verifies = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kStoreSegmentVerifies);
+  static obs::Counter* verified_bytes =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kStoreVerifiedBytes);
+  verifies->Increment();
+  verified_bytes->Add(static_cast<int64_t>(segment.byte_size));
   return Status::OK();
 }
 

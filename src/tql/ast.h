@@ -1,6 +1,7 @@
 #ifndef TGRAPH_TQL_AST_H_
 #define TGRAPH_TQL_AST_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
@@ -127,10 +128,22 @@ struct DropStatement {
 
 struct ListStatement {};
 
+// EXPLAIN ANALYZE wraps any other statement; forward-declared so the
+// Statement variant can contain it (it holds the inner Statement behind a
+// pointer, which also keeps the variant small).
+struct ExplainStatement;
+
 using Statement =
     std::variant<LoadStatement, GenerateStatement, SetStatement,
                  StoreStatement, InfoStatement, SnapshotStatement,
-                 DropStatement, ListStatement>;
+                 DropStatement, ListStatement, ExplainStatement>;
+
+/// EXPLAIN ANALYZE <statement>: execute the inner statement and report
+/// the executed plan with per-stage timings, row counts, shuffle bytes,
+/// and storage/cache disposition.
+struct ExplainStatement {
+  std::shared_ptr<Statement> inner;
+};
 
 }  // namespace tgraph::tql
 

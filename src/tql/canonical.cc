@@ -218,6 +218,9 @@ std::string Canonicalize(const Statement& statement) {
   if (std::get_if<ListStatement>(&statement) != nullptr) {
     return "LIST";
   }
+  if (const auto* explain = std::get_if<ExplainStatement>(&statement)) {
+    return "EXPLAIN ANALYZE " + Canonicalize(*explain->inner);
+  }
   return "";
 }
 
@@ -232,7 +235,10 @@ Result<std::string> CanonicalizeScript(const std::string& script) {
 }
 
 bool IsCacheable(const Statement& statement) {
-  return std::get_if<StoreStatement>(&statement) == nullptr;
+  // STORE has filesystem side effects; EXPLAIN ANALYZE must re-execute to
+  // measure, so serving it from the result cache would defeat its purpose.
+  return std::get_if<StoreStatement>(&statement) == nullptr &&
+         std::get_if<ExplainStatement>(&statement) == nullptr;
 }
 
 bool IsCacheableScript(const std::vector<Statement>& statements) {

@@ -1,0 +1,217 @@
+#include "tql/explain.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tgraph::tql {
+
+namespace {
+
+/// The counters a stage observes, resolved once per process (registry
+/// pointers are stable for the process lifetime).
+struct StageCounters {
+  obs::Counter* shuffles;
+  obs::Counter* shuffle_records;
+  obs::Counter* shuffle_bytes;
+  obs::Counter* shuffles_rebalanced;
+  obs::Counter* shuffle_hot_keys;
+  obs::Counter* row_groups_total;
+  obs::Counter* row_groups_scanned;
+  obs::Counter* store_partitions_pruned;
+  obs::Counter* store_partitions_decoded;
+  obs::Counter* store_segment_verifies;
+  obs::Counter* store_verified_bytes;
+  obs::Counter* catalog_hits;
+  obs::Counter* catalog_loads;
+};
+
+const StageCounters& Counters() {
+  static const StageCounters counters = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    namespace names = obs::metric_names;
+    StageCounters c;
+    c.shuffles = reg.GetCounter(names::kShuffles);
+    c.shuffle_records = reg.GetCounter(names::kShuffleRecords);
+    c.shuffle_bytes = reg.GetCounter(names::kShuffleBytes);
+    c.shuffles_rebalanced = reg.GetCounter(names::kShuffleRebalanced);
+    c.shuffle_hot_keys = reg.GetCounter(names::kShuffleHotKeys);
+    c.row_groups_total = reg.GetCounter(names::kLoadRowGroupsTotal);
+    c.row_groups_scanned = reg.GetCounter(names::kLoadRowGroupsScanned);
+    c.store_partitions_pruned = reg.GetCounter(names::kStorePartitionsPruned);
+    c.store_partitions_decoded = reg.GetCounter(names::kStorePartitionsDecoded);
+    c.store_segment_verifies = reg.GetCounter(names::kStoreSegmentVerifies);
+    c.store_verified_bytes = reg.GetCounter(names::kStoreVerifiedBytes);
+    c.catalog_hits = reg.GetCounter(names::kCatalogHits);
+    c.catalog_loads = reg.GetCounter(names::kCatalogLoads);
+    return c;
+  }();
+  return counters;
+}
+
+void AppendField(std::string* out, const char* key, int64_t value) {
+  *out += " ";
+  *out += key;
+  *out += "=";
+  *out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string StageStats::ToString() const {
+  std::string out = label;
+  if (!detail.empty()) out += " " + detail;
+  out += ":";
+  AppendField(&out, "wall_us", wall_us);
+  if (rows_in >= 0) AppendField(&out, "rows_in", rows_in);
+  if (rows_out >= 0) AppendField(&out, "rows_out", rows_out);
+  if (shuffles != 0) {
+    AppendField(&out, "shuffles", shuffles);
+    AppendField(&out, "shuffle_records", shuffle_records);
+    AppendField(&out, "shuffle_bytes", shuffle_bytes);
+  }
+  if (shuffles_rebalanced != 0) {
+    AppendField(&out, "rebalanced", shuffles_rebalanced);
+    AppendField(&out, "hot_keys", shuffle_hot_keys);
+  }
+  if (row_groups_total != 0) {
+    AppendField(&out, "row_groups_scanned", row_groups_scanned);
+    AppendField(&out, "row_groups_total", row_groups_total);
+  }
+  if (store_partitions_pruned != 0 || store_partitions_decoded != 0) {
+    AppendField(&out, "partitions_pruned", store_partitions_pruned);
+    AppendField(&out, "partitions_decoded", store_partitions_decoded);
+  }
+  if (store_segment_verifies != 0) {
+    AppendField(&out, "segment_verifies", store_segment_verifies);
+    AppendField(&out, "verified_bytes", store_verified_bytes);
+  }
+  if (catalog_hits != 0 || catalog_loads != 0) {
+    out += catalog_loads != 0 ? " catalog=load" : " catalog=hit";
+  }
+  return out;
+}
+
+std::string StageStats::ToJson() const {
+  // label/detail are operator names and graph identifiers (lexer-safe
+  // charsets), so plain quoting suffices.
+  std::string out = "{\"label\":\"" + label + "\",\"detail\":\"" + detail +
+                    "\",\"wall_us\":" + std::to_string(wall_us);
+  auto field = [&out](const char* key, int64_t value) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  if (rows_in >= 0) field("rows_in", rows_in);
+  if (rows_out >= 0) field("rows_out", rows_out);
+  if (shuffles != 0) {
+    field("shuffles", shuffles);
+    field("shuffle_records", shuffle_records);
+    field("shuffle_bytes", shuffle_bytes);
+  }
+  if (shuffles_rebalanced != 0) {
+    field("rebalanced", shuffles_rebalanced);
+    field("hot_keys", shuffle_hot_keys);
+  }
+  if (row_groups_total != 0) {
+    field("row_groups_scanned", row_groups_scanned);
+    field("row_groups_total", row_groups_total);
+  }
+  if (store_partitions_pruned != 0 || store_partitions_decoded != 0) {
+    field("partitions_pruned", store_partitions_pruned);
+    field("partitions_decoded", store_partitions_decoded);
+  }
+  if (store_segment_verifies != 0) {
+    field("segment_verifies", store_segment_verifies);
+    field("verified_bytes", store_verified_bytes);
+  }
+  if (catalog_hits != 0 || catalog_loads != 0) {
+    out += ",\"catalog\":\"";
+    out += catalog_loads != 0 ? "load" : "hit";
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+ExplainCollector::Scope::Scope(ExplainCollector* collector, std::string label,
+                               std::string detail)
+    : collector_(collector) {
+  if (collector_ == nullptr) return;
+  stage_.label = std::move(label);
+  stage_.detail = std::move(detail);
+  const StageCounters& c = Counters();
+  shuffles_ = c.shuffles->value();
+  shuffle_records_ = c.shuffle_records->value();
+  shuffle_bytes_ = c.shuffle_bytes->value();
+  shuffles_rebalanced_ = c.shuffles_rebalanced->value();
+  shuffle_hot_keys_ = c.shuffle_hot_keys->value();
+  row_groups_total_ = c.row_groups_total->value();
+  row_groups_scanned_ = c.row_groups_scanned->value();
+  store_partitions_pruned_ = c.store_partitions_pruned->value();
+  store_partitions_decoded_ = c.store_partitions_decoded->value();
+  store_segment_verifies_ = c.store_segment_verifies->value();
+  store_verified_bytes_ = c.store_verified_bytes->value();
+  catalog_hits_ = c.catalog_hits->value();
+  catalog_loads_ = c.catalog_loads->value();
+  start_us_ = obs::Tracer::NowMicros();
+}
+
+ExplainCollector::Scope::~Scope() {
+  if (collector_ == nullptr) return;
+  const StageCounters& c = Counters();
+  stage_.wall_us = obs::Tracer::NowMicros() - start_us_;
+  stage_.shuffles = c.shuffles->value() - shuffles_;
+  stage_.shuffle_records = c.shuffle_records->value() - shuffle_records_;
+  stage_.shuffle_bytes = c.shuffle_bytes->value() - shuffle_bytes_;
+  stage_.shuffles_rebalanced =
+      c.shuffles_rebalanced->value() - shuffles_rebalanced_;
+  stage_.shuffle_hot_keys = c.shuffle_hot_keys->value() - shuffle_hot_keys_;
+  stage_.row_groups_total = c.row_groups_total->value() - row_groups_total_;
+  stage_.row_groups_scanned =
+      c.row_groups_scanned->value() - row_groups_scanned_;
+  stage_.store_partitions_pruned =
+      c.store_partitions_pruned->value() - store_partitions_pruned_;
+  stage_.store_partitions_decoded =
+      c.store_partitions_decoded->value() - store_partitions_decoded_;
+  stage_.store_segment_verifies =
+      c.store_segment_verifies->value() - store_segment_verifies_;
+  stage_.store_verified_bytes =
+      c.store_verified_bytes->value() - store_verified_bytes_;
+  stage_.catalog_hits = c.catalog_hits->value() - catalog_hits_;
+  stage_.catalog_loads = c.catalog_loads->value() - catalog_loads_;
+  collector_->Add(std::move(stage_));
+}
+
+void ExplainCollector::Scope::set_rows(int64_t rows_in, int64_t rows_out) {
+  stage_.rows_in = rows_in;
+  stage_.rows_out = rows_out;
+}
+
+void ExplainCollector::Scope::set_detail(std::string detail) {
+  if (collector_ == nullptr) return;
+  stage_.detail = std::move(detail);
+}
+
+std::string ExplainCollector::Render(const std::string& canonical,
+                                     int64_t total_us) const {
+  std::string out = "EXPLAIN ANALYZE " + canonical + "\n";
+  for (const StageStats& stage : stages_) {
+    out += "  " + stage.ToString() + "\n";
+  }
+  out += "result-cache: bypass (EXPLAIN ANALYZE always re-executes)\n";
+  out += "total: wall_us=" + std::to_string(total_us) + "\n";
+  return out;
+}
+
+std::string ExplainCollector::StagesJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += stages_[i].ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace tgraph::tql

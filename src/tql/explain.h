@@ -1,0 +1,112 @@
+#ifndef TGRAPH_TQL_EXPLAIN_H_
+#define TGRAPH_TQL_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tgraph::tql {
+
+/// \brief One executed stage of an EXPLAIN ANALYZE plan: an operator or
+/// statement with its wall time and the observable work it caused.
+///
+/// Counter-derived fields are deltas of the process-global
+/// MetricsRegistry taken around the stage, so the numbers are exactly
+/// what the cost model and the metrics endpoint see. Under concurrent
+/// queries they can over-attribute (another query's shuffle landing in
+/// this stage's window) — same caveat as opt::ScopedObservation.
+struct StageStats {
+  std::string label;   ///< Operator / statement name ("AZOOM", "LOAD"...).
+  std::string detail;  ///< Source graph, representation, target, ...
+  int64_t wall_us = 0;
+  int64_t rows_in = -1;   ///< -1 = not applicable.
+  int64_t rows_out = -1;  ///< -1 = not applicable.
+
+  // Dataflow (shuffles and skew rebalancing).
+  int64_t shuffles = 0;
+  int64_t shuffle_records = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t shuffles_rebalanced = 0;
+  int64_t shuffle_hot_keys = 0;
+
+  // Storage pushdown (v1 row groups and v2 store partitions).
+  int64_t row_groups_total = 0;
+  int64_t row_groups_scanned = 0;
+  int64_t store_partitions_pruned = 0;
+  int64_t store_partitions_decoded = 0;
+  int64_t store_segment_verifies = 0;
+  int64_t store_verified_bytes = 0;
+
+  // Catalog disposition (tgraphd only; 0/0 when loading directly).
+  int64_t catalog_hits = 0;
+  int64_t catalog_loads = 0;
+
+  /// One plan line: "  AZOOM g [VE]: wall_us=412 rows_in=1000 ..."
+  /// Only fields the stage actually moved are printed.
+  std::string ToString() const;
+
+  /// The same data as a JSON object (for the slow-query log).
+  std::string ToJson() const;
+};
+
+/// \brief Accumulates StageStats while the interpreter executes a
+/// statement under EXPLAIN ANALYZE (or under the server's slow-query
+/// log). Single-query scope: not thread-safe, create one per execution.
+class ExplainCollector {
+ public:
+  /// RAII stage measurement: snapshots the relevant global counters on
+  /// construction and commits the delta as one stage on destruction.
+  /// A null collector makes the scope a no-op, so call sites don't
+  /// branch.
+  class Scope {
+   public:
+    Scope(ExplainCollector* collector, std::string label, std::string detail);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    void set_rows(int64_t rows_in, int64_t rows_out);
+    void set_detail(std::string detail);
+
+   private:
+    ExplainCollector* collector_;
+    StageStats stage_;
+    int64_t start_us_ = 0;
+    // Counter values at scope entry; deltas become the stage's work.
+    int64_t shuffles_ = 0;
+    int64_t shuffle_records_ = 0;
+    int64_t shuffle_bytes_ = 0;
+    int64_t shuffles_rebalanced_ = 0;
+    int64_t shuffle_hot_keys_ = 0;
+    int64_t row_groups_total_ = 0;
+    int64_t row_groups_scanned_ = 0;
+    int64_t store_partitions_pruned_ = 0;
+    int64_t store_partitions_decoded_ = 0;
+    int64_t store_segment_verifies_ = 0;
+    int64_t store_verified_bytes_ = 0;
+    int64_t catalog_hits_ = 0;
+    int64_t catalog_loads_ = 0;
+  };
+
+  void Add(StageStats stage) { stages_.push_back(std::move(stage)); }
+  const std::vector<StageStats>& stages() const { return stages_; }
+  bool empty() const { return stages_.empty(); }
+
+  /// The rendered EXPLAIN ANALYZE report for one statement:
+  ///   EXPLAIN ANALYZE <canonical>
+  ///     <stage lines>
+  ///   result-cache: bypass (EXPLAIN ANALYZE always re-executes)
+  ///   total: wall_us=<total_us>
+  std::string Render(const std::string& canonical, int64_t total_us) const;
+
+  /// JSON array of ToJson() stages (for the slow-query log).
+  std::string StagesJson() const;
+
+ private:
+  std::vector<StageStats> stages_;
+};
+
+}  // namespace tgraph::tql
+
+#endif  // TGRAPH_TQL_EXPLAIN_H_

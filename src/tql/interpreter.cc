@@ -4,7 +4,9 @@
 
 #include "gen/generators.h"
 #include "gen/stats.h"
+#include "obs/trace.h"
 #include "tgraph/algebra.h"
+#include "tql/canonical.h"
 #include "tql/parser.h"
 
 namespace tgraph::tql {
@@ -55,6 +57,11 @@ int64_t RecordCount(const TGraph& graph) {
                               graph.NumEdgeRecords());
 }
 
+/// "source [REP]" — the stage detail for operators over a bound graph.
+std::string StageDetail(const std::string& source, Representation rep) {
+  return source + " [" + RepresentationName(rep) + "]";
+}
+
 }  // namespace
 
 Result<std::string> Interpreter::ExecuteScript(const std::string& script) {
@@ -95,11 +102,15 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
         MakeAggregator(new_type, azoom->group_by, std::move(aggregates));
     spec.edge_type = azoom->edge_type;
     const Representation rep = graph.representation();
-    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    const bool observe = stats_ != nullptr || explain_ != nullptr;
+    const int64_t rows_in = observe ? RecordCount(graph) : 0;
+    ExplainCollector::Scope stage(explain_, "AZOOM",
+                                  StageDetail(azoom->source, rep));
     opt::ScopedObservation observation;
     TG_ASSIGN_OR_RETURN(TGraph result, graph.AZoom(spec));
-    observation.Commit(stats_, opt::OpKind::kAZoom, rep, rows_in,
-                       RecordCount(result));
+    const int64_t rows_out = RecordCount(result);
+    observation.Commit(stats_, opt::OpKind::kAZoom, rep, rows_in, rows_out);
+    stage.set_rows(rows_in, rows_out);
     return result;
   }
   if (const auto* wzoom = std::get_if<WZoomExpr>(&expr)) {
@@ -114,25 +125,37 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
                                                resolve.resolver);
     }
     const Representation rep = graph.representation();
-    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    const bool observe = stats_ != nullptr || explain_ != nullptr;
+    const int64_t rows_in = observe ? RecordCount(graph) : 0;
+    ExplainCollector::Scope stage(explain_, "WZOOM",
+                                  StageDetail(wzoom->source, rep));
     opt::ScopedObservation observation;
     TG_ASSIGN_OR_RETURN(TGraph result, graph.WZoom(spec));
-    observation.Commit(stats_, opt::OpKind::kWZoom, rep, rows_in,
-                       RecordCount(result));
+    const int64_t rows_out = RecordCount(result);
+    observation.Commit(stats_, opt::OpKind::kWZoom, rep, rows_in, rows_out);
+    stage.set_rows(rows_in, rows_out);
     return result;
   }
   if (const auto* slice = std::get_if<SliceExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(slice->source));
     const Representation rep = graph.representation();
-    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    const bool observe = stats_ != nullptr || explain_ != nullptr;
+    const int64_t rows_in = observe ? RecordCount(graph) : 0;
+    ExplainCollector::Scope stage(explain_, "SLICE",
+                                  StageDetail(slice->source, rep));
     opt::ScopedObservation observation;
     TGraph result = graph.Slice(Interval(slice->from, slice->to));
-    observation.Commit(stats_, opt::OpKind::kSlice, rep, rows_in,
-                       RecordCount(result));
+    const int64_t rows_out = RecordCount(result);
+    observation.Commit(stats_, opt::OpKind::kSlice, rep, rows_in, rows_out);
+    stage.set_rows(rows_in, rows_out);
     return result;
   }
   if (const auto* subgraph = std::get_if<SubgraphExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(subgraph->source));
+    ExplainCollector::Scope stage(
+        explain_, "SUBGRAPH",
+        StageDetail(subgraph->source, graph.representation()));
+    const int64_t rows_in = explain_ != nullptr ? RecordCount(graph) : 0;
     TG_ASSIGN_OR_RETURN(TGraph as_ve, graph.As(Representation::kVe));
     WherePredicate vertex_predicate = subgraph->vertex_predicate;
     WherePredicate edge_predicate = subgraph->edge_predicate;
@@ -144,26 +167,38 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
         [edge_predicate](EdgeId, VertexId, VertexId, const Properties& props) {
           return MatchesAll(edge_predicate, props);
         });
-    return TGraph::FromVe(std::move(result), /*coalesced=*/true);
+    TGraph out = TGraph::FromVe(std::move(result), /*coalesced=*/true);
+    stage.set_rows(rows_in, RecordCount(out));
+    return out;
   }
   if (const auto* coalesce = std::get_if<CoalesceExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(coalesce->source));
     const Representation rep = graph.representation();
-    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    const bool observe = stats_ != nullptr || explain_ != nullptr;
+    const int64_t rows_in = observe ? RecordCount(graph) : 0;
+    ExplainCollector::Scope stage(explain_, "COALESCE",
+                                  StageDetail(coalesce->source, rep));
     opt::ScopedObservation observation;
     TGraph result = graph.Coalesce();
-    observation.Commit(stats_, opt::OpKind::kCoalesce, rep, rows_in,
-                       RecordCount(result));
+    const int64_t rows_out = RecordCount(result);
+    observation.Commit(stats_, opt::OpKind::kCoalesce, rep, rows_in, rows_out);
+    stage.set_rows(rows_in, rows_out);
     return result;
   }
   if (const auto* convert = std::get_if<ConvertExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(convert->source));
     const Representation rep = graph.representation();
-    const int64_t rows_in = stats_ != nullptr ? RecordCount(graph) : 0;
+    const bool observe = stats_ != nullptr || explain_ != nullptr;
+    const int64_t rows_in = observe ? RecordCount(graph) : 0;
+    ExplainCollector::Scope stage(
+        explain_, "CONVERT",
+        StageDetail(convert->source, rep) + " -> " +
+            RepresentationName(convert->target));
     opt::ScopedObservation observation;
     TG_ASSIGN_OR_RETURN(TGraph result, graph.As(convert->target));
-    observation.Commit(stats_, opt::OpKind::kConvert, rep, rows_in,
-                       RecordCount(result));
+    const int64_t rows_out = RecordCount(result);
+    observation.Commit(stats_, opt::OpKind::kConvert, rep, rows_in, rows_out);
+    stage.set_rows(rows_in, rows_out);
     return result;
   }
   return Status::Internal("unhandled expression");
@@ -171,8 +206,11 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
 
 Result<std::string> Interpreter::Execute(const Statement& statement) {
   if (const auto* load = std::get_if<LoadStatement>(&statement)) {
+    ExplainCollector::Scope stage(explain_, "LOAD",
+                                  load->name + " '" + load->path + "'");
     if (loader_) {
       TG_ASSIGN_OR_RETURN(TGraph graph, loader_(*load));
+      stage.set_rows(-1, RecordCount(graph));
       env_.insert_or_assign(load->name, std::move(graph));
       return "loaded " + load->name + " from '" + load->path + "'\n";
     }
@@ -180,11 +218,14 @@ Result<std::string> Interpreter::Execute(const Statement& statement) {
     options.time_range = load->range;
     TG_ASSIGN_OR_RETURN(VeGraph graph,
                         storage::LoadVeGraph(ctx_, load->path, options));
-    env_.insert_or_assign(load->name,
-                          TGraph::FromVe(std::move(graph), /*coalesced=*/true));
+    TGraph bound = TGraph::FromVe(std::move(graph), /*coalesced=*/true);
+    stage.set_rows(-1, RecordCount(bound));
+    env_.insert_or_assign(load->name, std::move(bound));
     return "loaded " + load->name + " from '" + load->path + "'\n";
   }
   if (const auto* generate = std::get_if<GenerateStatement>(&statement)) {
+    ExplainCollector::Scope stage(explain_, "GENERATE",
+                                  generate->name + " " + generate->dataset);
     double scale = ParamOr(*generate, "scale", 1.0);
     uint64_t seed = static_cast<uint64_t>(ParamOr(*generate, "seed", 42));
     VeGraph graph;
@@ -214,8 +255,9 @@ Result<std::string> Interpreter::Execute(const Statement& statement) {
       return Status::InvalidArgument("unknown dataset '" + generate->dataset +
                                      "' (use wikitalk, snb, or ngrams)");
     }
-    env_.insert_or_assign(generate->name,
-                          TGraph::FromVe(std::move(graph), /*coalesced=*/true));
+    TGraph bound = TGraph::FromVe(std::move(graph), /*coalesced=*/true);
+    stage.set_rows(-1, RecordCount(bound));
+    env_.insert_or_assign(generate->name, std::move(bound));
     return "generated " + generate->name + " (" + generate->dataset + ")\n";
   }
   if (const auto* set = std::get_if<SetStatement>(&statement)) {
@@ -225,6 +267,9 @@ Result<std::string> Interpreter::Execute(const Statement& statement) {
   }
   if (const auto* store = std::get_if<StoreStatement>(&statement)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(store->name));
+    ExplainCollector::Scope stage(explain_, "STORE",
+                                  store->name + " '" + store->path + "'");
+    stage.set_rows(RecordCount(graph), -1);
     TG_ASSIGN_OR_RETURN(TGraph as_ve, graph.As(Representation::kVe));
     storage::GraphWriteOptions options;
     options.sort_order = store->sort;
@@ -234,6 +279,9 @@ Result<std::string> Interpreter::Execute(const Statement& statement) {
   }
   if (const auto* info = std::get_if<InfoStatement>(&statement)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(info->name));
+    ExplainCollector::Scope stage(
+        explain_, "INFO", StageDetail(info->name, graph.representation()));
+    stage.set_rows(RecordCount(graph), -1);
     TG_ASSIGN_OR_RETURN(TGraph as_ve, graph.As(Representation::kVe));
     gen::DatasetStats stats = gen::ComputeStats(as_ve.ve());
     return info->name + " [" +
@@ -243,6 +291,11 @@ Result<std::string> Interpreter::Execute(const Statement& statement) {
   }
   if (const auto* snapshot = std::get_if<SnapshotStatement>(&statement)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(snapshot->name));
+    ExplainCollector::Scope stage(
+        explain_, "SNAPSHOT",
+        StageDetail(snapshot->name, graph.representation()) + " AT " +
+            std::to_string(snapshot->at));
+    stage.set_rows(RecordCount(graph), -1);
     TG_ASSIGN_OR_RETURN(TGraph as_ve, graph.As(Representation::kVe));
     sg::PropertyGraph state = as_ve.ve().SnapshotAt(snapshot->at);
     std::string out = snapshot->name + " at " + std::to_string(snapshot->at) +
@@ -265,6 +318,23 @@ Result<std::string> Interpreter::Execute(const Statement& statement) {
       return Status::NotFound("no graph named '" + drop->name + "'");
     }
     return "dropped " + drop->name + "\n";
+  }
+  if (const auto* explain = std::get_if<ExplainStatement>(&statement)) {
+    // Swap in a fresh collector for the inner statement so the report
+    // covers exactly this statement; the outer collector (the server's
+    // slow-query log) still sees the stages afterwards.
+    ExplainCollector nested;
+    ExplainCollector* saved = explain_;
+    explain_ = &nested;
+    const int64_t start_us = obs::Tracer::NowMicros();
+    Result<std::string> inner = Execute(*explain->inner);
+    const int64_t total_us = obs::Tracer::NowMicros() - start_us;
+    explain_ = saved;
+    if (saved != nullptr) {
+      for (const StageStats& stage : nested.stages()) saved->Add(stage);
+    }
+    TG_RETURN_IF_ERROR(inner.status());
+    return nested.Render(Canonicalize(*explain->inner), total_us) + *inner;
   }
   if (std::get_if<ListStatement>(&statement) != nullptr) {
     if (env_.empty()) return std::string("no graphs bound\n");

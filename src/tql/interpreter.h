@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "tgraph/stats.h"
 #include "tql/ast.h"
+#include "tql/explain.h"
 
 namespace tgraph::tql {
 
@@ -57,6 +58,13 @@ class Interpreter {
   /// Unset (the default) means no recording.
   void set_stats(opt::Stats* stats) { stats_ = stats; }
 
+  /// When set, every executed statement and operator appends a StageStats
+  /// to the collector — the engine behind EXPLAIN ANALYZE and tgraphd's
+  /// slow-query log. EXPLAIN ANALYZE statements swap in their own
+  /// collector for the inner statement regardless of this setting.
+  /// The collector must outlive the interpreter. Unset by default.
+  void set_explain(ExplainCollector* explain) { explain_ = explain; }
+
  private:
   Result<TGraph> Evaluate(const Expr& expr);
 
@@ -65,6 +73,7 @@ class Interpreter {
   Loader loader_;
   InterruptCheck interrupt_check_;
   opt::Stats* stats_ = nullptr;
+  ExplainCollector* explain_ = nullptr;
 };
 
 }  // namespace tgraph::tql

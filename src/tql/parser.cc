@@ -126,8 +126,18 @@ class Parser {
       return Statement(DropStatement{name});
     }
     if (MatchKeyword("LIST")) return Statement(ListStatement{});
+    if (MatchKeyword("EXPLAIN")) {
+      TG_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+      if (PeekKeyword("EXPLAIN")) {
+        return Error("EXPLAIN ANALYZE cannot be nested");
+      }
+      TG_ASSIGN_OR_RETURN(Statement inner, ParseStatement());
+      return Statement(
+          ExplainStatement{std::make_shared<Statement>(std::move(inner))});
+    }
     return Error(
-        "expected LOAD, GENERATE, SET, STORE, INFO, SNAPSHOT, DROP, or LIST");
+        "expected LOAD, GENERATE, SET, STORE, INFO, SNAPSHOT, DROP, LIST, "
+        "or EXPLAIN ANALYZE");
   }
 
   Result<Statement> ParseLoad() {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
+
+#include "obs/exposition.h"
 
 #include "dataflow/context.h"
 #include "dataflow/dataset.h"
@@ -87,6 +90,41 @@ TEST(HistogramTest, EmptySnapshot) {
   EXPECT_EQ(snap.ApproxPercentile(0.5), 0);
 }
 
+TEST(HistogramTest, SingleSamplePercentiles) {
+  Histogram histogram;
+  histogram.Record(5);
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.min, 5);
+  EXPECT_EQ(snap.max, 5);
+  // With one observation every percentile is that observation; the bucket
+  // bound [4, 8) -> 8 tightens to the observed max.
+  for (double p : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(snap.ApproxPercentile(p), 5) << p;
+  }
+}
+
+TEST(HistogramTest, SaturatedTopBucketPercentiles) {
+  Histogram histogram;
+  // INT64_MAX saturates into the last bucket, whose upper bound is
+  // INT64_MAX itself — percentiles must not overflow past it.
+  histogram.Record(INT64_MAX);
+  histogram.Record(INT64_MAX - 1);
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.buckets[Histogram::kNumBuckets - 1], 2);
+  EXPECT_EQ(snap.ApproxPercentile(0.5), INT64_MAX);
+  EXPECT_EQ(snap.ApproxPercentile(1.0), INT64_MAX);
+  EXPECT_EQ(snap.max, INT64_MAX);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeP) {
+  Histogram histogram;
+  for (int64_t v : {1, 2, 4}) histogram.Record(v);
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.ApproxPercentile(-0.5), snap.ApproxPercentile(0.0));
+  EXPECT_EQ(snap.ApproxPercentile(1.5), snap.ApproxPercentile(1.0));
+}
+
 TEST(HistogramTest, ConcurrentRecordIsConsistent) {
   Histogram histogram;
   constexpr int kThreads = 8;
@@ -145,6 +183,58 @@ TEST(MetricsRegistryTest, ToStringOmitsZeroCounters) {
   EXPECT_NE(rendered.find("test.tostring.nonzero 3"), std::string::npos);
 }
 
+// Snapshot while writers are mid-flight: the snapshot must be internally
+// coherent (bucket sums match counts at some point in the interleaving)
+// and must never crash or tear. This is the /metrics scrape path: the
+// exposition endpoint snapshots the registry while workers serve queries.
+TEST(MetricsRegistryTest, SnapshotUnderConcurrentWritesIsCoherent) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test.concurrent.counter");
+  Histogram* histogram = registry.GetHistogram("test.concurrent.histogram");
+  counter->Reset();
+  histogram->Reset();
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      while (!start.load()) {
+      }
+      for (int i = 0; i < kPerWriter; ++i) {
+        counter->Increment();
+        histogram->Record(i % 64);
+      }
+    });
+  }
+  start.store(true);
+  for (int i = 0; i < 200; ++i) {
+    MetricsSnapshot snap = registry.Snapshot();
+    int64_t count = snap.counters.at("test.concurrent.counter");
+    EXPECT_GE(count, 0);
+    EXPECT_LE(count, int64_t{kWriters} * kPerWriter);
+    const HistogramSnapshot& h =
+        snap.histograms.at("test.concurrent.histogram");
+    int64_t bucket_total = 0;
+    for (int64_t bucket : h.buckets) {
+      EXPECT_GE(bucket, 0);
+      bucket_total += bucket;
+    }
+    // Mid-flight snapshots are allowed to be slightly stale across fields
+    // (relaxed counters), but never out of range or torn.
+    EXPECT_GE(h.count, 0);
+    EXPECT_LE(h.count, int64_t{kWriters} * kPerWriter);
+    EXPECT_LE(bucket_total, int64_t{kWriters} * kPerWriter);
+  }
+  for (auto& writer : writers) writer.join();
+  MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.counters.at("test.concurrent.counter"),
+            int64_t{kWriters} * kPerWriter);
+  EXPECT_EQ(final_snap.histograms.at("test.concurrent.histogram").count,
+            int64_t{kWriters} * kPerWriter);
+}
+
 TEST(DataflowMetricsTest, ShuffleRecordsBytesAndSkewHistogram) {
   dataflow::ExecutionContext ctx({.num_workers = 4});
   MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
@@ -168,6 +258,96 @@ TEST(DataflowMetricsTest, ShuffleRecordsBytesAndSkewHistogram) {
       delta.histograms.at(metric_names::kShufflePartitionSize);
   EXPECT_GT(skew.count, 0);
   EXPECT_EQ(skew.sum, records);  // every shuffled record lands in a partition
+}
+
+// --- Prometheus / JSON exposition ------------------------------------------
+
+TEST(ExpositionTest, PrometheusTextRendersCountersGaugesHistograms) {
+  MetricsSnapshot snap;
+  snap.counters["server.cache.hits"] = 12;
+  snap.gauges["server.queue.depth"] = 3;
+  HistogramSnapshot h;
+  for (int64_t v : {1, 3, 3, 9}) {
+    h.buckets[Histogram::BucketIndex(v)] += 1;
+    h.count += 1;
+    h.sum += v;
+  }
+  h.min = 1;
+  h.max = 9;
+  snap.histograms["server.request_micros"] = h;
+
+  std::string text = ToPrometheusText(snap);
+  EXPECT_NE(text.find("# TYPE tgraph_server_cache_hits counter\n"
+                      "tgraph_server_cache_hits 12\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE tgraph_server_queue_depth gauge\n"
+                      "tgraph_server_queue_depth 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tgraph_server_request_micros histogram"),
+            std::string::npos);
+  // Cumulative buckets: 1 -> [1,2), 3,3 -> [2,4), 9 -> [8,16).
+  EXPECT_NE(text.find("tgraph_server_request_micros_bucket{le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tgraph_server_request_micros_bucket{le=\"4\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tgraph_server_request_micros_bucket{le=\"16\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tgraph_server_request_micros_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tgraph_server_request_micros_sum 16\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tgraph_server_request_micros_count 4\n"),
+            std::string::npos);
+  // Dots never leak into the exposition charset.
+  EXPECT_EQ(text.find("server.cache"), std::string::npos);
+}
+
+TEST(ExpositionTest, PrometheusBucketsAreCumulativeAndMonotonic) {
+  Histogram histogram;
+  for (int64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  MetricsSnapshot snap;
+  snap.histograms["test.mono"] = histogram.Snapshot();
+  std::string text = ToPrometheusText(snap);
+  // Walk every _bucket line: counts must be non-decreasing and end at the
+  // total count — the invariant Prometheus clients rely on.
+  int64_t previous = -1;
+  size_t pos = 0;
+  int buckets_seen = 0;
+  while ((pos = text.find("_bucket{le=\"", pos)) != std::string::npos) {
+    size_t value_at = text.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    int64_t cumulative = std::stoll(text.substr(value_at + 2));
+    EXPECT_GE(cumulative, previous);
+    previous = cumulative;
+    ++buckets_seen;
+    pos = value_at;
+  }
+  EXPECT_GT(buckets_seen, 2);
+  EXPECT_EQ(previous, 1000);  // the +Inf bucket carries the full count
+}
+
+TEST(ExpositionTest, MetricsJsonIsWellFormedAndEscapes) {
+  MetricsSnapshot snap;
+  snap.counters["test.json.counter"] = 5;
+  HistogramSnapshot h;
+  h.count = 1;
+  h.sum = 7;
+  h.min = 7;
+  h.max = 7;
+  h.buckets[Histogram::BucketIndex(7)] = 1;
+  snap.histograms["test.json.histogram"] = h;
+  std::string json = MetricsJson(snap);
+  EXPECT_NE(json.find("\"counters\":{\"test.json.counter\":5}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"test.json.histogram\":{\"count\":1,\"sum\":7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\":7"), std::string::npos);
+
+  std::string escaped;
+  AppendJsonEscaped(&escaped, "a\"b\\c\nd\x01");
+  EXPECT_EQ(escaped, "a\\\"b\\\\c\\nd\\u0001");
 }
 
 TEST(DataflowMetricsTest, LegacyMetricsSnapshotAndReset) {

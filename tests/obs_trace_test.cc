@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "dataflow/context.h"
@@ -325,6 +328,177 @@ TEST_F(TraceTest, JsonEscapesHostileSpanNames) {
   ASSERT_TRUE(JsonParser(json).Parse(&root));
   EXPECT_EQ(root.object.at("traceEvents").array[0].object.at("name").string,
             "quote\"back\\slash\nnewline");
+}
+
+// --- query contexts --------------------------------------------------------
+
+TEST_F(TraceTest, QueryIdsAreUniqueAndNonZero) {
+  uint64_t a = NextQueryId();
+  uint64_t b = NextQueryId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(TraceTest, SampleQueryRespectsRateEndpoints) {
+  for (uint64_t id = 1; id <= 100; ++id) {
+    EXPECT_FALSE(SampleQuery(id, 0.0));
+    EXPECT_TRUE(SampleQuery(id, 1.0));
+    // Deterministic: the same id always gets the same decision.
+    EXPECT_EQ(SampleQuery(id, 0.5), SampleQuery(id, 0.5));
+  }
+  int sampled = 0;
+  for (uint64_t id = 1; id <= 2000; ++id) {
+    if (SampleQuery(id, 0.5)) ++sampled;
+  }
+  // Statistical, but with 2000 ids and a hash this is a ~22-sigma bound.
+  EXPECT_GT(sampled, 500);
+  EXPECT_LT(sampled, 1500);
+}
+
+TEST_F(TraceTest, SpansCarryTheActiveQueryId) {
+  QueryTrace trace(77);
+  {
+    ScopedQueryContext scope(QueryContext{77, &trace, 0});
+    Span span("query.work", "test");
+  }
+  std::vector<SpanEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "query.work");
+  EXPECT_EQ(events[0].query_id, 77u);
+  // The global tracer (enabled in SetUp) saw it too: sampled queries
+  // feed both sinks.
+  EXPECT_EQ(Tracer::Global().EventCount(), 1u);
+}
+
+TEST_F(TraceTest, UnsampledQuerySuppressesGlobalTracing) {
+  {
+    // query_id set, no trace buffer: this query was not sampled, so even
+    // the enabled global tracer must not record its spans.
+    ScopedQueryContext scope(QueryContext{123, nullptr, 0});
+    Span span("suppressed", "test");
+  }
+  EXPECT_EQ(Tracer::Global().EventCount(), 0u);
+  // Context restored: spans outside the query record again.
+  { Span span("recorded", "test"); }
+  EXPECT_EQ(Tracer::Global().EventCount(), 1u);
+}
+
+TEST_F(TraceTest, SampledQueryRecordsEvenWhenGlobalTracerIsDisabled) {
+  Tracer::Global().Disable();
+  QueryTrace trace(9);
+  {
+    ScopedQueryContext scope(QueryContext{9, &trace, 0});
+    Span span("on.demand", "test");
+  }
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(Tracer::Global().EventCount(), 0u);
+}
+
+TEST_F(TraceTest, QueryContextPropagatesThroughParallelFor) {
+  Tracer::Global().Disable();  // per-query collection must not need it
+  dataflow::ExecutionContext ctx({.num_workers = 4});
+  QueryTrace trace(42);
+  {
+    ScopedQueryContext scope(QueryContext{42, &trace, 0});
+    Span root("query.root", "test");
+    ctx.ParallelFor(50, [](size_t) { TG_SPAN("query.task.work", "test"); });
+  }
+  std::vector<SpanEvent> events = trace.Events();
+  std::map<std::pair<uint32_t, uint64_t>, const SpanEvent*> by_id;
+  for (const SpanEvent& e : events) by_id[{e.tid, e.id}] = &e;
+  size_t work_spans = 0;
+  uint64_t root_id = 0;
+  for (const SpanEvent& e : events) {
+    EXPECT_EQ(e.query_id, 42u) << e.name;
+    if (e.name == "query.root") root_id = e.id;
+    if (e.name == "query.task.work") ++work_spans;
+  }
+  EXPECT_EQ(work_spans, 50u);
+  ASSERT_NE(root_id, 0u);
+  // Every span reaches query.root through its parent chain, even those
+  // recorded on pool threads: the capture hands workers the calling
+  // scope as nesting parent.
+  for (const SpanEvent& e : events) {
+    if (e.id == root_id) continue;
+    const SpanEvent* cursor = &e;
+    int hops = 0;
+    while (cursor != nullptr && cursor->id != root_id && hops < 16) {
+      uint64_t parent = cursor->parent_id;
+      cursor = nullptr;
+      for (const SpanEvent& candidate : events) {
+        if (candidate.id == parent) {
+          cursor = &candidate;
+          break;
+        }
+      }
+      ++hops;
+    }
+    ASSERT_NE(cursor, nullptr) << e.name << " is orphaned";
+    EXPECT_EQ(cursor->id, root_id);
+  }
+}
+
+TEST_F(TraceTest, QueryTraceJsonCarriesTheQueryId) {
+  QueryTrace trace(0xabcdef);
+  {
+    ScopedQueryContext scope(QueryContext{0xabcdef, &trace, 0});
+    Span span("traced", "test");
+  }
+  std::string json = trace.ToChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue& events = root.object.at("traceEvents");
+  ASSERT_EQ(events.array.size(), 1u);
+  const JsonValue& args = events.array[0].object.at("args");
+  EXPECT_EQ(args.object.at("qid").string, "0000000000abcdef");
+}
+
+// Regression test for the drain-time flush guarantee tgzd relies on: a
+// span that *ended* on a worker thread must be visible to an export
+// issued from another thread while those workers are still alive (a
+// SIGTERM drain exports before any pool thread exits). The old
+// implementation buffered events per thread without synchronization, so
+// an export could miss or tear spans recorded by live threads.
+TEST_F(TraceTest, ExportSeesSpansEndedOnLiveThreadsImmediately) {
+  dataflow::ExecutionContext ctx({.num_workers = 4});
+  for (int round = 0; round < 5; ++round) {
+    Tracer::Global().Clear();
+    constexpr size_t kTasks = 64;
+    ctx.ParallelFor(kTasks, [](size_t) { TG_SPAN("drain.work", "test"); });
+    // The pool threads are idle but alive; the export must already see
+    // every ended span, fully formed.
+    std::vector<SpanEvent> events = Tracer::Global().Events();
+    size_t work = 0;
+    for (const SpanEvent& e : events) {
+      if (e.name != "drain.work") continue;
+      ++work;
+      EXPECT_GE(e.duration_us, 0);
+      EXPECT_NE(e.id, 0u);
+    }
+    EXPECT_EQ(work, kTasks) << "round " << round;
+  }
+}
+
+// Export/record concurrency: Events() and Clear() from one thread while
+// pool threads are mid-span must neither crash nor return torn events.
+TEST_F(TraceTest, ConcurrentExportWhileRecordingIsSafe) {
+  dataflow::ExecutionContext ctx({.num_workers = 4});
+  std::atomic<bool> stop{false};
+  std::thread exporter([&] {
+    while (!stop.load()) {
+      std::vector<SpanEvent> events = Tracer::Global().Events();
+      for (const SpanEvent& e : events) {
+        ASSERT_FALSE(e.name.empty());
+        ASSERT_NE(e.id, 0u);
+      }
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    ctx.ParallelFor(32, [](size_t) { TG_SPAN("stress.work", "test"); });
+  }
+  stop.store(true);
+  exporter.join();
 }
 
 TEST_F(TraceTest, SummaryAggregatesByCallPath) {

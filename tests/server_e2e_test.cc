@@ -1,6 +1,10 @@
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <stdlib.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,6 +22,46 @@ namespace {
 
 int64_t CounterValue(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+/// Minimal HTTP/1.0 GET against the metrics listener: sends the request,
+/// returns the whole response (headers + body) or "" on any failure.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string content;
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), f)) > 0) content.append(buffer, n);
+  fclose(f);
+  return content;
 }
 
 /// Starts one tgraphd in-process on an ephemeral loopback port, backed by
@@ -292,6 +336,112 @@ TEST_F(ServerE2eTest, ConcurrentClientsShareCatalogAndCacheSafely) {
   }
   // One dataset, many sessions: the catalog held exactly one load.
   EXPECT_EQ(server->catalog().size(), 1u);
+}
+
+TEST_F(ServerE2eTest, MetricsVerbServesPrometheusText) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+  ASSERT_TRUE(client.Query(ZoomScript()).ok());
+
+  Result<Response> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NE(metrics->body.find("# TYPE tgraph_server_requests counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("tgraph_server_query_count"),
+            std::string::npos);
+  // Histograms expose cumulative buckets plus sum and count.
+  EXPECT_NE(metrics->body.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(metrics->body.find("_count"), std::string::npos);
+  // No raw dotted metric names may leak into the exposition.
+  EXPECT_EQ(metrics->body.find("server.requests"), std::string::npos);
+}
+
+TEST_F(ServerE2eTest, StatsJsonFlagReturnsParseableJson) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+  ASSERT_TRUE(client.Query(ZoomScript()).ok());
+
+  Result<Response> stats = client.Stats(/*json=*/true);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->body.front(), '{');
+  EXPECT_EQ(stats->body.back(), '}');
+  EXPECT_NE(stats->body.find("\"server\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"cache\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"opt_stats\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"metrics\":"), std::string::npos);
+
+  // The plain-text report is still the default.
+  Result<Response> text = client.Stats();
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->body.find("tgraphd port="), std::string::npos);
+}
+
+TEST_F(ServerE2eTest, TraceFlagReturnsTheQuerysNestedSpans) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+
+  Result<Response> traced =
+      client.Query(ZoomScript(), /*no_cache=*/false, /*want_trace=*/true);
+  ASSERT_TRUE(traced.ok()) << traced.status();
+  ASSERT_TRUE(traced->has_trace());
+  // Chrome trace JSON with the root query span and the per-query id on
+  // every event (qid args are emitted by QueryTrace::ToChromeTraceJson).
+  EXPECT_NE(traced->trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(traced->trace.find("\"tgraphd.query\""), std::string::npos);
+  EXPECT_NE(traced->trace.find("\"qid\""), std::string::npos);
+  // Operator spans nested under the query made it into the export.
+  EXPECT_NE(traced->trace.find("tgraph.azoom"), std::string::npos);
+
+  // Without the flag, no trace rides along.
+  Result<Response> plain = client.Query(ZoomScript(), /*no_cache=*/true);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_FALSE(plain->has_trace());
+}
+
+TEST_F(ServerE2eTest, SlowQueryLogRecordsStructuredEntries) {
+  ServerOptions options;
+  options.slow_query_log = dir_ + "/slow.jsonl";
+  options.slow_query_ms = 0;  // everything is slow
+  auto server = StartServer(options);
+  Client client = Connect(*server);
+  ASSERT_TRUE(client.Query(ZoomScript()).ok());
+  ASSERT_TRUE(client.Query(ZoomScript()).ok());  // cache hit
+  server->Drain();
+
+  std::string log = ReadFileOrEmpty(options.slow_query_log);
+  ASSERT_FALSE(log.empty());
+  // One JSON object per line, carrying the query id, per-stage breakdown,
+  // and cache disposition.
+  EXPECT_NE(log.find("\"query_id\":\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"wall_us\":"), std::string::npos);
+  EXPECT_NE(log.find("\"canonical\":\""), std::string::npos);
+  EXPECT_NE(log.find("AZOOM g BY school"), std::string::npos);
+  EXPECT_NE(log.find("\"cache\":\"miss\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"cache\":\"hit\""), std::string::npos) << log;
+  // The miss entry carries executed stages; AZOOM ran.
+  EXPECT_NE(log.find("\"label\":\"AZOOM\""), std::string::npos) << log;
+}
+
+TEST_F(ServerE2eTest, MetricsPortServesPrometheusOverHttp) {
+  ServerOptions options;
+  options.metrics_port = 0;  // ephemeral
+  auto server = StartServer(options);
+  ASSERT_GT(server->metrics_port(), 0);
+  Client client = Connect(*server);
+  ASSERT_TRUE(client.Query(ZoomScript()).ok());
+
+  std::string response = HttpGet(server->metrics_port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.find("tgraph_server_requests"), std::string::npos);
+
+  std::string missing = HttpGet(server->metrics_port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+
+  server->Drain();
+  // The listener dies with the server.
+  EXPECT_EQ(HttpGet(server->metrics_port(), "/metrics"), "");
 }
 
 }  // namespace

@@ -48,6 +48,38 @@ TEST(ProtocolTest, ErrorResponseReconstructsStatus) {
   EXPECT_EQ(status.message(), "server saturated");
 }
 
+TEST(ProtocolTest, MetricsVerbRoundTrip) {
+  Request request;
+  request.verb = Verb::kMetrics;
+  Result<Request> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kMetrics);
+  EXPECT_TRUE(decoded->body.empty());
+}
+
+TEST(ProtocolTest, TraceFieldRoundTripsOnlyWithItsFlag) {
+  Response with_trace;
+  with_trace.flags = kFlagHasTrace;
+  with_trace.request_id = 7;
+  with_trace.body = "result";
+  with_trace.trace = R"({"traceEvents":[{"name":"tgraphd.query"}]})";
+  Result<Response> decoded = DecodeResponse(EncodeResponse(with_trace));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->has_trace());
+  EXPECT_EQ(decoded->trace, with_trace.trace);
+  EXPECT_EQ(decoded->body, "result");
+
+  // Without the flag the trace field never reaches the wire, so an old
+  // peer sees exactly the pre-trace encoding.
+  Response without_flag = with_trace;
+  without_flag.flags = 0;
+  Result<Response> plain = DecodeResponse(EncodeResponse(without_flag));
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_FALSE(plain->has_trace());
+  EXPECT_TRUE(plain->trace.empty());
+  EXPECT_EQ(plain->body, "result");
+}
+
 TEST(ProtocolTest, UnknownVerbRejected) {
   Request request;
   request.verb = Verb::kPing;

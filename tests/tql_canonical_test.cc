@@ -81,6 +81,21 @@ TEST(CanonicalTest, StoreMakesAScriptUncacheable) {
   EXPECT_FALSE(IsCacheableScript(*with_store));
 }
 
+TEST(CanonicalTest, ExplainAnalyzeCanonicalizesAndIsUncacheable) {
+  // Canonical form prefixes the canonical inner statement, and it is a
+  // fixed point like everything else.
+  std::string once = MustCanonicalize("explain analyze set s = azoom g by school");
+  EXPECT_EQ(once, "EXPLAIN ANALYZE SET s = AZOOM g BY school;\n");
+  EXPECT_EQ(once, MustCanonicalize(once));
+
+  // EXPLAIN ANALYZE must always re-execute (its output embeds measured
+  // wall times), so it can never be served from the result cache.
+  Result<std::vector<Statement>> script =
+      Parse("LOAD '/data/wiki' AS g; EXPLAIN ANALYZE SET s = AZOOM g BY school");
+  ASSERT_TRUE(script.ok());
+  EXPECT_FALSE(IsCacheableScript(*script));
+}
+
 TEST(CanonicalTest, UnparsableScriptFailsCleanly) {
   EXPECT_FALSE(CanonicalizeScript("SET s = AZOOM").ok());
   EXPECT_FALSE(CanonicalizeScript("LOAD missing_quotes AS g").ok());

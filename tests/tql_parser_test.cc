@@ -153,5 +153,33 @@ TEST(ParserTest, MissingSemicolonBetweenStatementsFails) {
   EXPECT_TRUE(Parse("LIST LIST").status().IsInvalidArgument());
 }
 
+TEST(ParserTest, ExplainAnalyzeWrapsAnyStatement) {
+  auto statements = MustParse(
+      "EXPLAIN ANALYZE SET s = AZOOM g BY school;"
+      "explain analyze INFO g;"
+      "EXPLAIN ANALYZE LOAD '/data/wiki' AS g");
+  ASSERT_EQ(statements.size(), 3u);
+  const auto& set_explain = std::get<ExplainStatement>(statements[0]);
+  ASSERT_NE(set_explain.inner, nullptr);
+  EXPECT_TRUE(std::holds_alternative<SetStatement>(*set_explain.inner));
+  const auto& info_explain = std::get<ExplainStatement>(statements[1]);
+  EXPECT_TRUE(std::holds_alternative<InfoStatement>(*info_explain.inner));
+  const auto& load_explain = std::get<ExplainStatement>(statements[2]);
+  EXPECT_TRUE(std::holds_alternative<LoadStatement>(*load_explain.inner));
+}
+
+TEST(ParserTest, ExplainRequiresAnalyzeAndRejectsNesting) {
+  Status s = Parse("EXPLAIN SET s = g").status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("ANALYZE"), std::string::npos);
+
+  s = Parse("EXPLAIN ANALYZE EXPLAIN ANALYZE INFO g").status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("nested"), std::string::npos);
+
+  s = Parse("EXPLAIN ANALYZE").status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace tgraph::tql

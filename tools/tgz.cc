@@ -9,10 +9,12 @@
 //   tgz wzoom --in DIR --out DIR --window N [--vq all|most|exists]
 //             [--eq all|most|exists] [--rep ve|og|ogc|rg]
 //   tgz snapshot --in DIR --at T
-//   tgz query --script FILE      (run a TQL script)
-//   tgz query --script FILE --connect host:port [--no-cache v]
+//   tgz query --script FILE [--trace FILE]  (run a TQL script)
+//   tgz query --script FILE --connect host:port [--no-cache v] [--trace FILE]
 //                                (run it on a tgraphd server)
-//   tgz stats --connect host:port   (fetch server metrics / cache stats)
+//   tgz stats --connect host:port [--json v]
+//                                (fetch server metrics / cache stats)
+//   tgz metrics --connect host:port (Prometheus text exposition)
 //   tgz save-store --in DIR --out DIR [--rep ve|og|ogc]
 //                                (convert to the mmap'd tgraph-store v2)
 //   tgz repl                     (interactive TQL, statements end with ;)
@@ -25,6 +27,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -273,6 +277,14 @@ server::Client ConnectedClient(const Flags& flags) {
   return client;
 }
 
+void WriteTraceFile(const std::string& path, const std::string& json) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) Flags::Die("cannot write trace to " + path);
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::fprintf(stderr, "tgz: wrote query trace to %s\n", path.c_str());
+}
+
 int Query(const Flags& flags) {
   std::string path = flags.Get("script");
   FILE* file = std::fopen(path.c_str(), "rb");
@@ -284,29 +296,61 @@ int Query(const Flags& flags) {
     script.append(buffer, n);
   }
   std::fclose(file);
+  const std::string trace_path = flags.GetOr("trace", "");
   if (flags.Has("connect")) {
     // Client mode: ship the script to a tgraphd and print its answer.
+    // --trace asks the server to trace this query and return its spans.
     server::Client client = ConnectedClient(flags);
     Result<server::Response> response =
-        client.Query(script, /*no_cache=*/flags.Has("no-cache"));
+        client.Query(script, /*no_cache=*/flags.Has("no-cache"),
+                     /*want_trace=*/!trace_path.empty());
     DieOnError(response.status());
     std::fputs(response->body.c_str(), stdout);
     if (response->cache_hit()) {
       std::fprintf(stderr, "tgz: served from cache (request %llu)\n",
                    static_cast<unsigned long long>(response->request_id));
     }
+    if (!trace_path.empty()) {
+      if (!response->has_trace()) {
+        Flags::Die("server returned no trace (older tgraphd?)");
+      }
+      WriteTraceFile(trace_path, response->trace);
+    }
     return 0;
+  }
+  // Local mode --trace: run the script under its own sampled query
+  // context, so exactly this query's spans are exported — the same
+  // per-query collection path tgraphd uses, not the global tracer.
+  std::unique_ptr<obs::QueryTrace> query_trace;
+  std::optional<obs::ScopedQueryContext> query_scope;
+  if (!trace_path.empty()) {
+    query_trace = std::make_unique<obs::QueryTrace>(obs::NextQueryId());
+    query_scope.emplace(obs::QueryContext{query_trace->query_id(),
+                                          query_trace.get(),
+                                          /*parent_span=*/0});
   }
   tql::Interpreter interpreter(Ctx());
   Result<std::string> output = interpreter.ExecuteScript(script);
+  query_scope.reset();
   DieOnError(output.status());
   std::fputs(output->c_str(), stdout);
+  if (query_trace != nullptr) {
+    WriteTraceFile(trace_path, query_trace->ToChromeTraceJson());
+  }
   return 0;
 }
 
 int Stats(const Flags& flags) {
   server::Client client = ConnectedClient(flags);
-  Result<server::Response> response = client.Stats();
+  Result<server::Response> response = client.Stats(flags.Has("json"));
+  DieOnError(response.status());
+  std::fputs(response->body.c_str(), stdout);
+  return 0;
+}
+
+int Metrics(const Flags& flags) {
+  server::Client client = ConnectedClient(flags);
+  Result<server::Response> response = client.Metrics();
   DieOnError(response.status());
   std::fputs(response->body.c_str(), stdout);
   return 0;
@@ -382,7 +426,10 @@ int Help(std::FILE* out) {
       "              [--eq all|most|exists] [--rep ve|og|ogc|rg] [--sort ...]\n"
       "  snapshot    --in DIR --at T [--limit N]\n"
       "  query       --script FILE [--connect host:port] [--no-cache v]\n"
-      "  stats       --connect host:port\n"
+      "              [--trace FILE]  (write this query's spans as Chrome\n"
+      "              trace JSON; with --connect the server traces it)\n"
+      "  stats       --connect host:port [--json v]\n"
+      "  metrics     --connect host:port  (Prometheus text exposition)\n"
       "  save-store  --in DIR --out DIR [--rep ve|og|ogc]\n"
       "              [--partition-rows N] [--sort temporal|structural]\n"
       "  repl        (interactive TQL; statements end with ';')\n"
@@ -433,6 +480,7 @@ int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "snapshot") return Snapshot(flags);
   if (command == "query") return Query(flags);
   if (command == "stats") return Stats(flags);
+  if (command == "metrics") return Metrics(flags);
   if (command == "save-store") return SaveStore(flags);
   if (command == "repl") return Repl();
   if (command == "help" || command == "--help" || command == "-h") {

@@ -4,6 +4,7 @@
 //        [--cache-bytes N] [--cache-ttl-ms N]
 //        [--deadline-ms N] [--idle-timeout-ms N]
 //        [--stats-file FILE] [--trace-out FILE] [--metrics]
+//        [--metrics-port N] [--slow-query-log FILE] [--slow-query-ms N]
 //
 // Listens on loopback for framed TQL requests (src/server/protocol.h),
 // executes them on a bounded worker pool over one shared
@@ -56,7 +57,8 @@ int Help(std::FILE* out) {
       "usage: tgzd [--port N] [--workers N] [--queue-depth N]\n"
       "            [--cache-bytes N] [--cache-ttl-ms N] [--deadline-ms N]\n"
       "            [--idle-timeout-ms N] [--stats-file FILE]\n"
-      "            [--trace-out FILE] [--metrics]\n"
+      "            [--trace-out FILE] [--metrics] [--metrics-port N]\n"
+      "            [--slow-query-log FILE] [--slow-query-ms N]\n"
       "  --port N            TCP port, loopback only (0 = ephemeral; "
       "default 7464)\n"
       "  --workers N         concurrent request executors (default 4)\n"
@@ -74,6 +76,13 @@ int Help(std::FILE* out) {
       "model)\n"
       "  --trace-out FILE    write a Chrome trace on shutdown\n"
       "  --metrics           print the metrics registry on shutdown\n"
+      "  --metrics-port N    serve GET /metrics (Prometheus text) over\n"
+      "                      plain HTTP on loopback port N (0 = ephemeral;\n"
+      "                      default off)\n"
+      "  --slow-query-log FILE  append queries slower than --slow-query-ms\n"
+      "                      as JSONL records with per-stage breakdowns\n"
+      "  --slow-query-ms N   slow-query threshold (default 100; 0 logs\n"
+      "                      every query)\n"
       "  --help              print this help and exit\n"
       "Graph dirs named in TQL LOAD statements hold v1 columnar files or a\n"
       "tgraph-store v2 container (graph.tgs, docs/FORMAT.md); the catalog\n"
@@ -124,6 +133,12 @@ int main(int argc, char** argv) {
   if (auto it = flags.find("stats-file"); it != flags.end()) {
     options.stats_path = it->second;
   }
+  options.metrics_port =
+      static_cast<int>(int_flag("metrics-port", options.metrics_port));
+  if (auto it = flags.find("slow-query-log"); it != flags.end()) {
+    options.slow_query_log = it->second;
+  }
+  options.slow_query_ms = int_flag("slow-query-ms", options.slow_query_ms);
   std::string trace_out;
   if (auto it = flags.find("trace-out"); it != flags.end()) {
     trace_out = it->second;
@@ -146,6 +161,9 @@ int main(int argc, char** argv) {
   // Machine-readable startup line: scripts (and the CLI smoke test) parse
   // the bound port from here, which is how --port 0 is usable.
   std::printf("tgraphd listening on port %d\n", server.port());
+  if (server.metrics_port() >= 0) {
+    std::printf("tgraphd metrics on port %d\n", server.metrics_port());
+  }
   std::fflush(stdout);
 
   char byte;
