@@ -4,14 +4,24 @@
 // result is resident: the server answers from memory instead of
 // re-executing the dataflow. items_per_second is the QPS; p50/p95/p99
 // request latencies are reported as microsecond counters.
+//
+// The serve/ingest and serve/mixed groups measure the streaming write
+// path: pure kIngest batch throughput (events/s, WAL-durable on ack),
+// and a mixed workload where every client interleaves reads of the live
+// graph with ~25% writes — read latencies are reported while the delta
+// grows and background compactions rewrite the base generation
+// underneath the readers.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "ingest/event.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "storage/graph_io.h"
@@ -38,11 +48,21 @@ server::Server* ServerInstance() {
     options.port = 0;
     options.workers = 4;
     options.queue_depth = 64;
+    // Low enough that the mixed workload crosses it repeatedly — the
+    // read percentiles then include requests racing a live compaction.
+    options.ingest_delta_events = 512;
     auto* created = new server::Server(Ctx(), options);
     TG_CHECK_OK(created->Start());
     return created;
   }();
   return instance;
+}
+
+std::string LiveDir() {
+  static std::string dir =
+      (std::filesystem::temp_directory_path() / "tgz_bench_serve_live")
+          .string();
+  return dir;
 }
 
 std::string ZoomScript() {
@@ -96,6 +116,91 @@ void ServeBench(benchmark::State& state, bool cached) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// --- streaming write path --------------------------------------------------
+
+// Cross-batch timestamps must strictly advance, so batch construction and
+// the Ingest round-trip happen under one writer lock (the single-writer
+// model every log-structured store assumes); readers never take it.
+std::mutex g_writer_mu;
+std::atomic<int64_t> g_next_ts{1};
+std::atomic<int64_t> g_next_vid{1};
+
+std::vector<ingest::Event> NextBatch(size_t count) {
+  std::vector<ingest::Event> events;
+  events.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ingest::Event event;
+    event.kind = ingest::EventKind::kAddVertex;
+    event.id = g_next_vid.fetch_add(1);
+    event.at = g_next_ts.fetch_add(1);
+    event.props = Properties{{"type", "person"}};
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::string LiveScript() {
+  return "LOAD '" + LiveDir() + "' AS g;\nINFO g;";
+}
+
+constexpr size_t kIngestBatch = 8;
+
+void IngestBench(benchmark::State& state) {
+  server::Server* server = ServerInstance();
+  server::Client client;
+  TG_CHECK_OK(client.Connect("127.0.0.1", server->port()));
+  {
+    PhaseMetrics phase("serve_ingest", &state);
+    for (auto _ : state) {
+      std::lock_guard<std::mutex> lock(g_writer_mu);
+      TG_CHECK_OK(client.Ingest(LiveDir(), NextBatch(kIngestBatch)).status());
+    }
+  }
+  // items_per_second = WAL-durable events per second.
+  state.SetItemsProcessed(state.iterations() * kIngestBatch);
+}
+
+void MixedBench(benchmark::State& state) {
+  server::Server* server = ServerInstance();
+  server::Client client;
+  TG_CHECK_OK(client.Connect("127.0.0.1", server->port()));
+
+  std::vector<int64_t> read_us;
+  int64_t batches_written = 0;
+  {
+    PhaseMetrics phase("serve_mixed", &state);
+    size_t iteration = 0;
+    for (auto _ : state) {
+      // Deterministic 1-in-4 writes, phase-shifted per thread so the
+      // writers spread out instead of convoying on the writer lock.
+      bool write =
+          (iteration++ + static_cast<size_t>(state.thread_index())) % 4 == 0;
+      if (write) {
+        std::lock_guard<std::mutex> lock(g_writer_mu);
+        TG_CHECK_OK(
+            client.Ingest(LiveDir(), NextBatch(kIngestBatch)).status());
+        ++batches_written;
+      } else {
+        int64_t start = NowMicros();
+        TG_CHECK_OK(client.Query(LiveScript()).status());
+        read_us.push_back(NowMicros() - start);
+      }
+    }
+  }
+
+  std::sort(read_us.begin(), read_us.end());
+  auto report = [&](const char* name, double p) {
+    state.counters[name] = benchmark::Counter(Percentile(read_us, p),
+                                              benchmark::Counter::kAvgThreads);
+  };
+  report("read_p50_us", 0.50);
+  report("read_p95_us", 0.95);
+  report("read_p99_us", 0.99);
+  state.counters["events_written"] =
+      benchmark::Counter(static_cast<double>(batches_written * kIngestBatch));
+  state.SetItemsProcessed(state.iterations());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,10 +221,20 @@ int main(int argc, char** argv) {
         ->UseRealTime();
   }
 
+  benchmark::RegisterBenchmark("serve/ingest/append", IngestBench)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("serve/mixed/write_frac:25", MixedBench)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("serve/mixed/write_frac:25/clients:4",
+                               MixedBench)
+      ->Threads(4)
+      ->UseRealTime();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   ServerInstance()->Drain();
   std::error_code ec;
   std::filesystem::remove_all(DatasetDir(), ec);
+  std::filesystem::remove_all(LiveDir(), ec);
   return 0;
 }

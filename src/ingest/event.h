@@ -1,0 +1,86 @@
+#ifndef TGRAPH_INGEST_EVENT_H_
+#define TGRAPH_INGEST_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/properties.h"
+#include "common/result.h"
+#include "tgraph/types.h"
+
+namespace tgraph::ingest {
+
+/// \brief The six change-event kinds the write path accepts — exactly the
+/// operations of tgraph::TGraphBuilder, so a WAL replayed through a
+/// builder produces the same graph an offline build over the same log
+/// would.
+enum class EventKind : uint8_t {
+  kAddVertex = 0,
+  kRemoveVertex = 1,
+  kSetVertexProperty = 2,
+  kAddEdge = 3,
+  kRemoveEdge = 4,
+  kSetEdgeProperty = 5,
+};
+
+const char* EventKindName(EventKind kind);
+
+/// \brief One timestamped graph change. `id` is the vertex or edge id;
+/// `src`/`dst` are meaningful only for kAddEdge; `props` carries the full
+/// initial property set for adds and exactly one entry (the key being
+/// set) for the two set kinds; removes carry no payload.
+struct Event {
+  EventKind kind = EventKind::kAddVertex;
+  int64_t id = 0;
+  TimePoint at = 0;
+  VertexId src = 0;
+  VertexId dst = 0;
+  Properties props;
+
+  bool is_vertex() const { return kind <= EventKind::kSetVertexProperty; }
+  bool is_add() const {
+    return kind == EventKind::kAddVertex || kind == EventKind::kAddEdge;
+  }
+  bool is_set() const {
+    return kind == EventKind::kSetVertexProperty ||
+           kind == EventKind::kSetEdgeProperty;
+  }
+
+  std::string ToString() const;  ///< The `tgz ingest` text-line form.
+};
+
+/// Appends the binary encoding of `event` (the WAL and kIngest wire form;
+/// docs/FORMAT.md "tgraph-wal v1", Record payload grammar).
+void EncodeEvent(const Event& event, std::string* out);
+
+/// Decodes one event at *pos, advancing it. Structural failures and
+/// payload-shape violations (a set event without exactly one entry, an
+/// unknown kind byte) return IoError — WAL bytes are adversarial until
+/// checksummed *and* parsed.
+Result<Event> DecodeEvent(std::string_view data, size_t* pos);
+
+/// Encodes a batch as varint count + events.
+void EncodeEvents(const std::vector<Event>& events, std::string* out);
+Result<std::vector<Event>> DecodeEvents(std::string_view data, size_t* pos);
+
+/// \brief Parses the `tgz ingest` text form, one event per line:
+///
+///   add-vertex <vid> <at> key=value ...
+///   remove-vertex <vid> <at>
+///   set-vertex <vid> <at> key=value
+///   add-edge <eid> <src> <dst> <at> key=value ...
+///   remove-edge <eid> <at>
+///   set-edge <eid> <at> key=value
+///
+/// Values parse as int64, then double, then true/false, else string.
+/// Blank lines and lines starting with '#' are skipped.
+Result<Event> ParseEventLine(std::string_view line);
+
+/// Parses a whole text stream of event lines (errors name the line).
+Result<std::vector<Event>> ParseEventText(std::string_view text);
+
+}  // namespace tgraph::ingest
+
+#endif  // TGRAPH_INGEST_EVENT_H_

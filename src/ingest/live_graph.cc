@@ -1,0 +1,670 @@
+#include "ingest/live_graph.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/graph_io.h"
+#include "storage/store_reader.h"
+
+namespace tgraph::ingest {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status MkDirs(const std::string& dir) {
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    size_t slash = dir.find('/', pos);
+    if (slash == std::string::npos) slash = dir.size();
+    partial = dir.substr(0, slash);
+    pos = slash + 1;
+    if (partial.empty()) continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("mkdir '" + partial +
+                             "': " + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadSmallFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no file at '" + path + "'");
+    return Status::IoError("open '" + path + "': " + std::strerror(errno));
+  }
+  std::string data;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (n < 0) {
+    return Status::IoError("read '" + path + "': " + std::strerror(errno));
+  }
+  return data;
+}
+
+std::string Trim(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  return s;
+}
+
+/// Generation filenames in `dir` matching gen-NNNNNN.tgs, sorted (name
+/// order == generation order thanks to the fixed-width counter).
+std::vector<std::string> ListGenFiles(const std::string& dir) {
+  std::vector<std::string> gens;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return gens;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() == 14 && name.rfind("gen-", 0) == 0 &&
+        name.substr(10) == ".tgs" &&
+        std::all_of(name.begin() + 4, name.begin() + 10, [](char c) {
+          return c >= '0' && c <= '9';
+        })) {
+      gens.push_back(std::move(name));
+    }
+  }
+  ::closedir(d);
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+Result<int64_t> ParseMetaInt(const storage::StoreReader& reader,
+                             const char* key) {
+  const std::string* value = reader.FindMetadata(key);
+  if (value == nullptr) {
+    return Status::IoError(std::string("generation store is missing the '") +
+                           key + "' metadata entry");
+  }
+  int64_t parsed = 0;
+  auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc() || ptr != value->data() + value->size()) {
+    return Status::IoError(std::string("bad '") + key + "' metadata: '" +
+                           *value + "'");
+  }
+  return parsed;
+}
+
+/// Writes `contents` to `path` durably via temp file + rename.
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open '" + tmp + "': " + std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status =
+          Status::IoError("write '" + tmp + "': " + std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status =
+        Status::IoError("fsync '" + tmp + "': " + std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status =
+        Status::IoError("rename '" + tmp + "': " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  FsyncParentDir(path);
+  return Status::OK();
+}
+
+/// Converts a materialized graph back into seed form for the next round
+/// of appends: each entity's rows become its folded History.
+std::shared_ptr<const BaseState> BaseFromGraph(const VeGraph& graph,
+                                               uint64_t last_seq,
+                                               TimePoint watermark,
+                                               uint64_t generation) {
+  auto base = std::make_shared<BaseState>();
+  base->last_seq = last_seq;
+  base->watermark = watermark;
+  base->generation = generation;
+  for (const VeVertex& row : graph.vertices().Collect()) {
+    base->vertex_seeds[row.vid].push_back(
+        HistoryItem{row.interval, row.properties});
+  }
+  for (const VeEdge& row : graph.edges().Collect()) {
+    BaseState::EdgeSeed& seed = base->edge_seeds[row.eid];
+    seed.src = row.src;
+    seed.dst = row.dst;
+    seed.states.push_back(HistoryItem{row.interval, row.properties});
+  }
+  auto by_start = [](const HistoryItem& a, const HistoryItem& b) {
+    return a.interval.start < b.interval.start;
+  };
+  for (auto& [vid, states] : base->vertex_seeds) {
+    std::sort(states.begin(), states.end(), by_start);
+  }
+  for (auto& [eid, seed] : base->edge_seeds) {
+    std::sort(seed.states.begin(), seed.states.end(), by_start);
+  }
+  return base;
+}
+
+}  // namespace
+
+bool IsLiveDir(const std::string& dir) {
+  return FileExists(dir + "/" + kCurrentFileName) ||
+         FileExists(dir + "/" + kWalFileName);
+}
+
+std::string WalPathFor(const std::string& dir, const std::string& wal_dir) {
+  if (wal_dir.empty()) return dir + "/" + kWalFileName;
+  size_t slash = dir.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? dir : dir.substr(slash + 1);
+  if (base.empty()) base = "graph";
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(HashBytes(dir)));
+  return wal_dir + "/" + base + "-" + hash + ".wal";
+}
+
+// --- LiveSnapshot ----------------------------------------------------------
+
+uint64_t LiveSnapshot::last_seq() const {
+  return delta_->empty() ? base_->last_seq : delta_->last_seq();
+}
+
+Result<const VeGraph*> LiveSnapshot::Graph() const {
+  std::call_once(merge_once_, [this] {
+    obs::Span span("ingest.merge", "ingest");
+    TGraphBuilder builder(ctx_);
+    for (const auto& [vid, states] : base_->vertex_seeds) {
+      builder.SeedVertex(vid, states);
+    }
+    for (const auto& [eid, seed] : base_->edge_seeds) {
+      builder.SeedEdge(eid, seed.src, seed.dst, seed.states);
+    }
+    delta_->ApplyToBuilder(&builder);
+    Result<VeGraph> merged = builder.Finish(horizon_);
+    if (!merged.ok()) {
+      // Batches are validated before acknowledgement, so this indicates a
+      // bug or on-disk tampering, not a user error.
+      merge_status_ = merged.status();
+      return;
+    }
+    merged_ = *std::move(merged);
+  });
+  TG_RETURN_IF_ERROR(merge_status_);
+  return &*merged_;
+}
+
+// --- LiveGraph -------------------------------------------------------------
+
+std::string LiveGraph::CurrentPath() const {
+  return dir_ + "/" + kCurrentFileName;
+}
+
+std::string LiveGraph::GenPath(uint64_t generation) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "gen-%06llu.tgs",
+                static_cast<unsigned long long>(generation));
+  return dir_ + "/" + name;
+}
+
+Result<std::shared_ptr<const BaseState>> LiveGraph::LoadBase(
+    const std::string& gen_file) {
+  if (gen_file == "none") return std::make_shared<const BaseState>();
+  const std::string path = dir_ + "/" + gen_file;
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<storage::StoreReader> reader,
+                      storage::StoreReader::Open(path));
+  TG_ASSIGN_OR_RETURN(int64_t last_seq,
+                      ParseMetaInt(*reader, kMetaIngestLastSeq));
+  TG_ASSIGN_OR_RETURN(int64_t watermark,
+                      ParseMetaInt(*reader, kMetaIngestWatermark));
+  TG_ASSIGN_OR_RETURN(int64_t horizon,
+                      ParseMetaInt(*reader, kMetaIngestHorizon));
+  TG_ASSIGN_OR_RETURN(int64_t generation,
+                      ParseMetaInt(*reader, kMetaIngestGeneration));
+  TG_ASSIGN_OR_RETURN(VeGraph graph,
+                      storage::LoadVeGraphFromStore(ctx_, *reader));
+  horizon_ = horizon;
+  return BaseFromGraph(graph, static_cast<uint64_t>(last_seq), watermark,
+                       static_cast<uint64_t>(generation));
+}
+
+Result<std::unique_ptr<LiveGraph>> LiveGraph::Open(
+    dataflow::ExecutionContext* ctx, const std::string& dir,
+    Options options) {
+  TG_RETURN_IF_ERROR(MkDirs(dir));
+  std::unique_ptr<LiveGraph> live(new LiveGraph(ctx, dir, std::move(options)));
+  live->horizon_ = live->options_.horizon;
+
+  // Resolve the base generation through the CURRENT pointer; fall back to
+  // the newest generation on disk when the pointer is absent (a
+  // hand-assembled directory — no crash window produces this state).
+  std::string gen_file = "none";
+  Result<std::string> current = ReadSmallFile(live->CurrentPath());
+  if (current.ok()) {
+    gen_file = Trim(*std::move(current));
+    if (gen_file.empty()) gen_file = "none";
+  } else if (!current.status().IsNotFound()) {
+    return current.status();
+  } else {
+    std::vector<std::string> gens = ListGenFiles(dir);
+    if (!gens.empty()) gen_file = gens.back();
+  }
+  TG_ASSIGN_OR_RETURN(std::shared_ptr<const BaseState> base,
+                      live->LoadBase(gen_file));
+
+  // A generation not referenced by CURRENT is an orphan from a crash
+  // between writing the file and swinging the pointer; its batches are
+  // still in the WAL, so deleting it loses nothing.
+  for (const std::string& gen : ListGenFiles(dir)) {
+    if (gen != gen_file) ::unlink((dir + "/" + gen).c_str());
+  }
+
+  const std::string wal_path = live->options_.wal_path.empty()
+                                   ? dir + "/" + kWalFileName
+                                   : live->options_.wal_path;
+  WalHeader create_header;
+  create_header.horizon = live->horizon_;
+  create_header.base_seq = base->last_seq;
+  WalReplay replay;
+  TG_ASSIGN_OR_RETURN(live->wal_,
+                      Wal::Open(wal_path, create_header,
+                                live->options_.sync, &replay));
+  if (replay.header.base_seq > base->last_seq) {
+    return Status::IoError(
+        "WAL at '" + wal_path + "' starts after sequence " +
+        std::to_string(replay.header.base_seq) +
+        " but the base generation only covers up to " +
+        std::to_string(base->last_seq) + ": acknowledged events are missing");
+  }
+  if (base->generation > 0 && replay.header.horizon != live->horizon_) {
+    return Status::IoError(
+        "WAL horizon " + std::to_string(replay.header.horizon) +
+        " does not match the base generation's horizon " +
+        std::to_string(live->horizon_));
+  }
+  live->horizon_ = replay.header.horizon;
+
+  // Rebuild the delta, skipping records already folded into the base
+  // (left behind when a crash hit between the CURRENT swap and the WAL
+  // rotation — replaying them would double-apply acknowledged events).
+  std::shared_ptr<const DeltaPartition> delta = DeltaPartition::Empty();
+  uint64_t max_seq = base->last_seq;
+  for (WalRecord& record : replay.records) {
+    if (record.seq <= base->last_seq) continue;
+    max_seq = record.seq;
+    delta = delta->Append(DeltaBatch{record.seq, std::move(record.events)});
+  }
+  live->next_seq_ = max_seq + 1;
+  live->watermark_ = std::max(base->watermark, delta->max_event_time());
+
+  {
+    std::lock_guard<std::mutex> lock(live->mu_);
+    live->Publish(std::move(base), std::move(delta));
+  }
+
+  // Make sure the directory is recognizably live even when the WAL lives
+  // elsewhere (--wal-dir) and nothing has been compacted yet.
+  if (!FileExists(live->CurrentPath())) {
+    TG_RETURN_IF_ERROR(
+        WriteFileAtomic(live->CurrentPath(), gen_file + "\n"));
+  }
+
+  if (live->options_.delta_events_threshold > 0 ||
+      live->options_.compact_interval_ms > 0) {
+    live->compactor_ = std::thread([graph = live.get()] {
+      graph->CompactorLoop();
+    });
+  }
+  return live;
+}
+
+LiveGraph::~LiveGraph() { (void)Close(); }
+
+std::shared_ptr<const LiveSnapshot> LiveGraph::snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+uint64_t LiveGraph::Publish(std::shared_ptr<const BaseState> base,
+                            std::shared_ptr<const DeltaPartition> delta) {
+  static obs::Gauge* epoch_gauge =
+      obs::MetricsRegistry::Global().GetGauge(obs::metric_names::kIngestEpoch);
+  static obs::Gauge* delta_gauge = obs::MetricsRegistry::Global().GetGauge(
+      obs::metric_names::kIngestDeltaEvents);
+
+  ++epoch_;
+  auto snap = std::shared_ptr<const LiveSnapshot>(new LiveSnapshot(
+      epoch_, horizon_, std::move(base), std::move(delta), ctx_));
+  epoch_gauge->Set(static_cast<int64_t>(epoch_));
+  delta_gauge->Set(static_cast<int64_t>(snap->delta_events()));
+  snapshot_.store(snap, std::memory_order_release);
+  return epoch_;
+}
+
+Status LiveGraph::ValidateBatch(const LiveSnapshot& snap,
+                                const std::vector<Event>& events) const {
+  // Seed only the entities the batch touches (plus the endpoint vertices
+  // of touched edges, which edge validation consults), replay their
+  // existing delta events, then the batch: a Finish() error means the
+  // batch is inconsistent with the graph as acknowledged so far.
+  std::set<VertexId> vids;
+  std::set<EdgeId> eids;
+  for (const Event& event : events) {
+    if (event.is_vertex()) {
+      vids.insert(event.id);
+    } else {
+      eids.insert(event.id);
+      if (event.kind == EventKind::kAddEdge) {
+        vids.insert(event.src);
+        vids.insert(event.dst);
+      }
+    }
+  }
+  const BaseState& base = *snap.base_;
+  const DeltaPartition& delta = *snap.delta_;
+  for (EdgeId eid : eids) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    if (delta.FindEdgeEndpoints(eid, &src, &dst)) {
+      vids.insert(src);
+      vids.insert(dst);
+    } else if (auto it = base.edge_seeds.find(eid);
+               it != base.edge_seeds.end()) {
+      vids.insert(it->second.src);
+      vids.insert(it->second.dst);
+    }
+  }
+
+  TGraphBuilder builder(ctx_);
+  for (VertexId vid : vids) {
+    if (auto it = base.vertex_seeds.find(vid); it != base.vertex_seeds.end()) {
+      builder.SeedVertex(vid, it->second);
+    }
+    for (const Event* event : delta.EventsForVertex(vid)) {
+      ApplyEventToBuilder(*event, &builder);
+    }
+  }
+  for (EdgeId eid : eids) {
+    if (auto it = base.edge_seeds.find(eid); it != base.edge_seeds.end()) {
+      builder.SeedEdge(eid, it->second.src, it->second.dst,
+                       it->second.states);
+    }
+    for (const Event* event : delta.EventsForEdge(eid)) {
+      ApplyEventToBuilder(*event, &builder);
+    }
+  }
+  for (const Event& event : events) {
+    ApplyEventToBuilder(event, &builder);
+  }
+  return builder.Finish(horizon_).status();
+}
+
+Result<uint64_t> LiveGraph::Append(const std::vector<Event>& events) {
+  static obs::Counter* ingested = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kIngestEvents);
+  static obs::Counter* rejected = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kIngestRejectedBatches);
+
+  if (events.empty()) {
+    return Status::InvalidArgument("empty ingest batch");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return Status::Internal("live graph is closed");
+  for (const Event& event : events) {
+    if (event.at >= horizon_) {
+      rejected->Increment();
+      return Status::InvalidArgument(
+          "event at " + std::to_string(event.at) +
+          " is not before the horizon " + std::to_string(horizon_));
+    }
+    if (event.at <= watermark_) {
+      rejected->Increment();
+      return Status::InvalidArgument(
+          "event at " + std::to_string(event.at) +
+          " does not advance past the ingest watermark " +
+          std::to_string(watermark_) +
+          " (timestamps must strictly increase between batches)");
+    }
+    if (event.is_set() && event.props.size() != 1) {
+      rejected->Increment();
+      return Status::InvalidArgument(
+          std::string(EventKindName(event.kind)) +
+          " must carry exactly one property");
+    }
+  }
+  std::shared_ptr<const LiveSnapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  Status valid = ValidateBatch(*snap, events);
+  if (!valid.ok()) {
+    rejected->Increment();
+    return valid;
+  }
+
+  const uint64_t seq = next_seq_;
+  TG_RETURN_IF_ERROR(wal_->Append(seq, events));  // the durability ack
+  next_seq_ = seq + 1;
+  for (const Event& event : events) {
+    watermark_ = std::max(watermark_, event.at);
+  }
+  std::shared_ptr<const DeltaPartition> delta =
+      snap->delta_->Append(DeltaBatch{seq, events});
+  const size_t delta_events = delta->event_count();
+  const uint64_t epoch = Publish(snap->base_, std::move(delta));
+  ingested->Add(static_cast<int64_t>(events.size()));
+  if (options_.delta_events_threshold > 0 &&
+      delta_events >= options_.delta_events_threshold) {
+    compact_requested_ = true;
+    compact_cv_.notify_all();
+  }
+  lock.unlock();
+  if (options_.epoch_listener) options_.epoch_listener(dir_, epoch);
+  return seq;
+}
+
+Status LiveGraph::Compact() {
+  static obs::Counter* compactions = obs::MetricsRegistry::Global().GetCounter(
+      obs::metric_names::kIngestCompactions);
+  static obs::Histogram* duration =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kIngestCompactionMicros);
+
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  std::shared_ptr<const LiveSnapshot> snap = snapshot();
+  if (snap->delta_->empty()) return Status::OK();
+
+  obs::Span span("ingest.compact", "ingest");
+  const auto started = std::chrono::steady_clock::now();
+
+  // Freeze: everything up to this sequence number folds into the new
+  // generation; batches appended while we merge stay in the delta.
+  const uint64_t frozen_last_seq = snap->delta_->last_seq();
+  const uint64_t generation = snap->base_->generation + 1;
+  const TimePoint watermark =
+      std::max(snap->base_->watermark, snap->delta_->max_event_time());
+  TG_ASSIGN_OR_RETURN(const VeGraph* merged, snap->Graph());
+
+  // 1. Write the new generation and make it durable before any pointer
+  //    names it.
+  const std::string gen_path = GenPath(generation);
+  const std::string gen_file =
+      gen_path.substr(gen_path.find_last_of('/') + 1);
+  std::vector<std::pair<std::string, std::string>> meta = {
+      {kMetaIngestLastSeq, std::to_string(frozen_last_seq)},
+      {kMetaIngestWatermark, std::to_string(watermark)},
+      {kMetaIngestHorizon, std::to_string(horizon_)},
+      {kMetaIngestGeneration, std::to_string(generation)},
+  };
+  TG_RETURN_IF_ERROR(
+      storage::WriteVeStoreFile(*merged, gen_path, {}, meta));
+  TG_RETURN_IF_ERROR(FsyncPath(gen_path));
+  FsyncParentDir(gen_path);
+
+  // 2. Swing CURRENT (temp + rename: readers of the directory see the old
+  //    or the new generation, never a half-written pointer).
+  TG_RETURN_IF_ERROR(WriteFileAtomic(CurrentPath(), gen_file + "\n"));
+
+  std::shared_ptr<const BaseState> base =
+      BaseFromGraph(*merged, frozen_last_seq, watermark, generation);
+
+  // 3. Swap the in-memory snapshot and truncate the WAL down to the
+  //    unfolded suffix. A crash before the rotation replays the folded
+  //    records as duplicates, which recovery skips by sequence number.
+  Status rotate_status;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<const DeltaPartition> suffix =
+        snapshot_.load(std::memory_order_acquire)
+            ->delta_->Suffix(frozen_last_seq);
+    std::vector<WalRecord> records;
+    records.reserve(suffix->batches().size());
+    for (const auto& batch : suffix->batches()) {
+      records.push_back(WalRecord{batch->seq, batch->events});
+    }
+    WalHeader header;
+    header.horizon = horizon_;
+    header.base_seq = frozen_last_seq;
+    rotate_status = wal_->Rotate(header, records);
+    epoch = Publish(std::move(base), std::move(suffix));
+  }
+  if (options_.epoch_listener) options_.epoch_listener(dir_, epoch);
+
+  // 4. Drop superseded generations.
+  for (const std::string& gen : ListGenFiles(dir_)) {
+    if (gen != gen_file) ::unlink((dir_ + "/" + gen).c_str());
+  }
+
+  compactions->Increment();
+  duration->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - started)
+                       .count());
+  return rotate_status;
+}
+
+void LiveGraph::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (options_.compact_interval_ms > 0) {
+      compact_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.compact_interval_ms),
+          [this] { return stop_ || compact_requested_; });
+    } else {
+      compact_cv_.wait(lock,
+                       [this] { return stop_ || compact_requested_; });
+    }
+    if (stop_) return;
+    const bool requested = compact_requested_;
+    compact_requested_ = false;
+    const bool due =
+        requested ||
+        (options_.compact_interval_ms > 0 &&
+         !snapshot_.load(std::memory_order_acquire)->delta_->empty());
+    if (!due) continue;
+    lock.unlock();
+    Status status = Compact();
+    if (!status.ok()) {
+      TG_LOG(WARN) << "compaction of " << dir_
+                   << " failed: " << status.message();
+    }
+    lock.lock();
+  }
+}
+
+Status LiveGraph::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::OK();
+    closed_ = true;
+    stop_ = true;
+    compact_cv_.notify_all();
+  }
+  if (compactor_.joinable()) compactor_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ == nullptr ? Status::OK() : wal_->Close();
+}
+
+// --- LiveGraphRegistry -----------------------------------------------------
+
+void LiveGraphRegistry::set_options(LiveGraph::Options options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = std::move(options);
+}
+
+Result<LiveGraph*> LiveGraphRegistry::GetOrOpen(const std::string& dir,
+                                                TimePoint horizon_if_create) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(dir);
+  if (it != graphs_.end()) return it->second.get();
+  LiveGraph::Options options = options_;
+  if (horizon_if_create != 0) options.horizon = horizon_if_create;
+  if (!options.wal_path.empty()) {
+    // The registry-level option names a *directory* for WALs; each graph
+    // gets its own file inside it.
+    options.wal_path = WalPathFor(dir, options.wal_path);
+  }
+  TG_ASSIGN_OR_RETURN(std::unique_ptr<LiveGraph> graph,
+                      LiveGraph::Open(ctx_, dir, std::move(options)));
+  LiveGraph* raw = graph.get();
+  graphs_.emplace(dir, std::move(graph));
+  return raw;
+}
+
+LiveGraph* LiveGraphRegistry::Find(const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(dir);
+  return it == graphs_.end() ? nullptr : it->second.get();
+}
+
+void LiveGraphRegistry::CloseAll() {
+  std::map<std::string, std::unique_ptr<LiveGraph>> graphs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    graphs.swap(graphs_);
+  }
+  for (auto& [dir, graph] : graphs) {
+    Status status = graph->Close();
+    if (!status.ok()) {
+      TG_LOG(WARN) << "closing live graph " << dir
+                   << " failed: " << status.message();
+    }
+  }
+}
+
+}  // namespace tgraph::ingest

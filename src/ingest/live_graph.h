@@ -1,0 +1,284 @@
+#ifndef TGRAPH_INGEST_LIVE_GRAPH_H_
+#define TGRAPH_INGEST_LIVE_GRAPH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "ingest/delta.h"
+#include "ingest/event.h"
+#include "ingest/wal.h"
+#include "tgraph/ve.h"
+
+namespace tgraph::ingest {
+
+/// Default end-of-time for live graphs: every ingested event must be
+/// strictly before the horizon, and still-alive entities are closed at it
+/// when a snapshot materializes. 10^12 leaves room for microsecond
+/// timestamps while staying printable.
+inline constexpr TimePoint kDefaultHorizon = 1'000'000'000'000;
+
+/// Name of the pointer file inside a live graph directory. It holds the
+/// current base generation's filename (e.g. "gen-000003.tgs"), or the
+/// literal "none" before the first compaction. Updated via write-to-temp +
+/// rename, so it is always either the old or the new generation — never
+/// half of each.
+inline constexpr char kCurrentFileName[] = "CURRENT";
+
+/// Default WAL filename inside a live graph directory ("wal", no
+/// extension, mirroring the CURRENT pointer's bare name).
+inline constexpr char kWalFileName[] = "wal";
+
+// Footer metadata keys a compacted generation carries beyond the standard
+// store keys, tying the generation back to the WAL (docs/FORMAT.md):
+/// Last WAL sequence number folded into this generation.
+inline constexpr char kMetaIngestLastSeq[] = "ingest_last_seq";
+/// Largest event timestamp folded into this generation.
+inline constexpr char kMetaIngestWatermark[] = "ingest_watermark";
+/// The live graph's end of time.
+inline constexpr char kMetaIngestHorizon[] = "ingest_horizon";
+/// This generation's number (also in the filename, authoritative here).
+inline constexpr char kMetaIngestGeneration[] = "ingest_generation";
+
+/// Whether `dir` is a live (streaming-ingest) graph directory: it has a
+/// CURRENT pointer or a WAL. The server catalog uses this to route loads
+/// through the LiveGraphRegistry instead of the static store loaders.
+bool IsLiveDir(const std::string& dir);
+
+/// The WAL path for live graph `dir`: `dir/wal` by default, or — when
+/// `wal_dir` is non-empty (tgraphd --wal-dir, e.g. a faster device) —
+/// `wal_dir/<basename>-<hash>.wal`, the hash disambiguating graphs whose
+/// directories share a basename.
+std::string WalPathFor(const std::string& dir, const std::string& wal_dir);
+
+/// \brief The immutable base of a live graph: the newest compacted
+/// generation, reloaded into seed form so the next merge or compaction can
+/// continue the builder's replay exactly where the offline fold stopped.
+struct BaseState {
+  /// Seeded states per entity (empty maps before the first compaction).
+  std::map<VertexId, History> vertex_seeds;
+  struct EdgeSeed {
+    VertexId src = 0;
+    VertexId dst = 0;
+    History states;
+  };
+  std::map<EdgeId, EdgeSeed> edge_seeds;
+  /// Last WAL sequence number folded into this generation (0 = none).
+  uint64_t last_seq = 0;
+  /// Largest event timestamp folded into this generation. Every later
+  /// event must be strictly greater — the monotonicity that makes seeded
+  /// replay equivalent to an offline rebuild.
+  TimePoint watermark = std::numeric_limits<TimePoint>::min();
+  uint64_t generation = 0;  ///< 0 before the first compaction.
+};
+
+/// \brief A consistent, immutable view of a live graph: base generation +
+/// frozen delta at one publication instant. Reads are completely lock-free
+/// — grab the snapshot (one atomic shared_ptr load), then everything
+/// reachable from it is frozen. Writers publish a *new* snapshot for every
+/// acknowledged batch and every compaction; they never mutate an old one,
+/// so a reader holding epoch N can never observe a partial batch from
+/// epoch N+1.
+class LiveSnapshot {
+ public:
+  uint64_t epoch() const { return epoch_; }
+  uint64_t generation() const { return base_->generation; }
+  TimePoint horizon() const { return horizon_; }
+  uint64_t last_seq() const;
+  size_t delta_events() const { return delta_->event_count(); }
+
+  /// The merged base-plus-delta graph, materialized lazily on first use
+  /// and cached for the snapshot's lifetime (concurrent callers
+  /// synchronize on a once_flag; the result is immutable after that).
+  Result<const VeGraph*> Graph() const;
+
+ private:
+  friend class LiveGraph;
+  LiveSnapshot(uint64_t epoch, TimePoint horizon,
+               std::shared_ptr<const BaseState> base,
+               std::shared_ptr<const DeltaPartition> delta,
+               dataflow::ExecutionContext* ctx)
+      : epoch_(epoch),
+        horizon_(horizon),
+        base_(std::move(base)),
+        delta_(std::move(delta)),
+        ctx_(ctx) {}
+
+  uint64_t epoch_ = 0;
+  TimePoint horizon_ = kDefaultHorizon;
+  std::shared_ptr<const BaseState> base_;
+  std::shared_ptr<const DeltaPartition> delta_;
+  dataflow::ExecutionContext* ctx_ = nullptr;
+
+  mutable std::once_flag merge_once_;
+  mutable Status merge_status_ = Status::OK();
+  mutable std::optional<VeGraph> merged_;
+};
+
+/// \brief One live (write-accepting) graph: WAL + delta partition + base
+/// generation, with snapshot-isolated reads and LSM-style compaction.
+///
+/// Writers call Append(); an OK return means the batch is WAL-durable
+/// (fdatasync'd by default) and visible to every snapshot taken from then
+/// on. A background compactor (or an explicit Compact() call) freezes the
+/// delta, merges it with the base through the seeded TGraphBuilder, writes
+/// a new `gen-NNNNNN.tgs` tgraph-store v2 generation, swaps the CURRENT
+/// pointer, and truncates the WAL to the unfolded suffix. Every crash
+/// window in that sequence recovers: replay skips records already folded
+/// into the base generation (by sequence number), so duplicates are
+/// harmless and acknowledged events are never lost.
+class LiveGraph {
+ public:
+  struct Options {
+    /// WAL location override; empty means `<dir>/wal`.
+    std::string wal_path;
+    /// End of time for a graph created by this open (an existing WAL's
+    /// header wins over this value).
+    TimePoint horizon = kDefaultHorizon;
+    /// fdatasync every append before acknowledging (disable only in
+    /// benchmarks that accept losing the tail on power failure).
+    bool sync = true;
+    /// Compact when the delta holds at least this many events (0 disables
+    /// size-triggered compaction).
+    size_t delta_events_threshold = 4096;
+    /// Also compact on this cadence when the delta is non-empty (0
+    /// disables time-triggered compaction).
+    int64_t compact_interval_ms = 0;
+    /// Invoked (outside internal locks) after each new snapshot
+    /// publication — the server uses this to scope result-cache
+    /// invalidation to the one graph that changed.
+    std::function<void(const std::string& dir, uint64_t epoch)>
+        epoch_listener;
+  };
+
+  /// Opens (creating if necessary) the live graph in `dir`: loads the
+  /// CURRENT base generation, replays the WAL into the delta (skipping
+  /// already-folded records), deletes orphaned generations, publishes the
+  /// first snapshot, and starts the compactor thread if configured.
+  static Result<std::unique_ptr<LiveGraph>> Open(
+      dataflow::ExecutionContext* ctx, const std::string& dir,
+      Options options);
+
+  ~LiveGraph();
+  LiveGraph(const LiveGraph&) = delete;
+  LiveGraph& operator=(const LiveGraph&) = delete;
+
+  /// Validates, logs, and publishes one batch; returns its WAL sequence
+  /// number. InvalidArgument rejects the whole batch atomically (nothing
+  /// logged, nothing visible) on: an empty batch, an event at or after
+  /// the horizon, an event at or before the ingest watermark (timestamps
+  /// must advance between batches), or a batch that is inconsistent with
+  /// the current graph (double add, remove of an absent entity, edge with
+  /// an absent endpoint, ...).
+  Result<uint64_t> Append(const std::vector<Event>& events);
+
+  /// The current snapshot (lock-free; callers keep the shared_ptr for as
+  /// long as they read from it).
+  std::shared_ptr<const LiveSnapshot> snapshot() const;
+
+  /// Synchronously folds the current delta into a new base generation.
+  /// No-op when the delta is empty.
+  Status Compact();
+
+  /// Stops the compactor and closes the WAL. Idempotent.
+  Status Close();
+
+  const std::string& dir() const { return dir_; }
+  TimePoint horizon() const { return horizon_; }
+  uint64_t epoch() const { return snapshot()->epoch(); }
+
+ private:
+  LiveGraph(dataflow::ExecutionContext* ctx, std::string dir,
+            Options options)
+      : ctx_(ctx), dir_(std::move(dir)), options_(std::move(options)) {}
+
+  std::string CurrentPath() const;
+  std::string GenPath(uint64_t generation) const;
+
+  /// Loads generation `gen_file` (or an empty base when "none") into seed
+  /// form.
+  Result<std::shared_ptr<const BaseState>> LoadBase(
+      const std::string& gen_file);
+
+  /// Mini-builder consistency check of `events` against the snapshot:
+  /// seeds only the touched entities (plus edge endpoints), replays their
+  /// existing delta events and the batch, and runs Finish. Errors reject
+  /// the batch before it reaches the WAL.
+  Status ValidateBatch(const LiveSnapshot& snap,
+                       const std::vector<Event>& events) const;
+
+  /// Publishes a new snapshot (epoch+1). Requires mu_ held; returns the
+  /// published epoch. Callers invoke the epoch listener after unlocking.
+  uint64_t Publish(std::shared_ptr<const BaseState> base,
+                   std::shared_ptr<const DeltaPartition> delta);
+
+  void CompactorLoop();
+
+  dataflow::ExecutionContext* ctx_;
+  std::string dir_;
+  Options options_;
+  TimePoint horizon_ = kDefaultHorizon;
+
+  /// Serializes writers (Append) and snapshot publication.
+  mutable std::mutex mu_;
+  /// Serializes compactions (taken before mu_; never the reverse).
+  std::mutex compact_mu_;
+  std::unique_ptr<Wal> wal_;              // guarded by mu_
+  uint64_t next_seq_ = 1;                 // guarded by mu_
+  TimePoint watermark_ = std::numeric_limits<TimePoint>::min();  // mu_
+  std::atomic<std::shared_ptr<const LiveSnapshot>> snapshot_;
+  uint64_t epoch_ = 0;                    // guarded by mu_
+
+  std::thread compactor_;
+  std::condition_variable compact_cv_;
+  bool stop_ = false;           // guarded by mu_
+  bool compact_requested_ = false;  // guarded by mu_
+  bool closed_ = false;         // guarded by mu_
+};
+
+/// \brief Process-wide table of open live graphs, keyed by directory. The
+/// server's catalog routes live directories here; `tgz ingest` (local
+/// mode) opens a registry of its own.
+class LiveGraphRegistry {
+ public:
+  explicit LiveGraphRegistry(dataflow::ExecutionContext* ctx) : ctx_(ctx) {}
+  ~LiveGraphRegistry() { CloseAll(); }
+
+  /// Default options applied to graphs opened after this call. Unlike a
+  /// single LiveGraph's Options, `wal_path` here names a *directory*
+  /// (tgraphd --wal-dir): each graph gets its own WalPathFor file in it.
+  void set_options(LiveGraph::Options options);
+
+  /// The open live graph for `dir`, opening (or creating) it on first use.
+  /// `horizon_if_create` (when nonzero) overrides the default horizon for
+  /// a graph created by this call; it is ignored for graphs that already
+  /// exist on disk or in the registry — their horizon is authoritative.
+  Result<LiveGraph*> GetOrOpen(const std::string& dir,
+                               TimePoint horizon_if_create = 0);
+
+  /// The already-open live graph for `dir`, or nullptr.
+  LiveGraph* Find(const std::string& dir) const;
+
+  /// Closes every open graph (stopping compactors, closing WALs).
+  void CloseAll();
+
+ private:
+  dataflow::ExecutionContext* ctx_;
+  mutable std::mutex mu_;
+  LiveGraph::Options options_;
+  std::map<std::string, std::unique_ptr<LiveGraph>> graphs_;
+};
+
+}  // namespace tgraph::ingest
+
+#endif  // TGRAPH_INGEST_LIVE_GRAPH_H_

@@ -205,6 +205,7 @@ inline constexpr char kVerbQueryMicros[] = "server.verb.query_micros";
 inline constexpr char kVerbStatsMicros[] = "server.verb.stats_micros";
 inline constexpr char kVerbPingMicros[] = "server.verb.ping_micros";
 inline constexpr char kVerbMetricsMicros[] = "server.verb.metrics_micros";
+inline constexpr char kVerbIngestMicros[] = "server.verb.ingest_micros";
 // Per-cache-state kQuery latency histograms: served from the result
 // cache, executed after a cache miss, or executed with caching out of
 // the picture (uncacheable script, cache disabled, or kFlagNoCache).
@@ -229,6 +230,26 @@ inline constexpr char kCatalogGraphs[] = "server.catalog.graphs";  // gauge
 /// Directories served off a shared mmap'd tgraph-store v2 reader.
 inline constexpr char kCatalogMmapStores[] =
     "server.catalog.mmap_stores";  // gauge
+
+// Streaming ingest (src/ingest): WAL, delta partition, compaction.
+/// Events accepted into a live graph (acknowledged, i.e. WAL-durable).
+inline constexpr char kIngestEvents[] = "ingest.events";
+/// Batches rejected by validation before touching the WAL or delta.
+inline constexpr char kIngestRejectedBatches[] = "ingest.rejected_batches";
+/// WAL record appends and payload+frame bytes written.
+inline constexpr char kIngestWalAppends[] = "ingest.wal.appends";
+inline constexpr char kIngestWalBytes[] = "ingest.wal.bytes";
+/// Acknowledged records replayed from an existing WAL at open.
+inline constexpr char kIngestWalReplayedRecords[] =
+    "ingest.wal.replayed_records";
+/// Events currently buffered in the mutable delta partition.
+inline constexpr char kIngestDeltaEvents[] = "ingest.delta.events";  // gauge
+/// Snapshot epoch of the most recently published live-graph snapshot.
+inline constexpr char kIngestEpoch[] = "ingest.epoch";  // gauge
+/// Completed delta-into-base compactions and their duration.
+inline constexpr char kIngestCompactions[] = "ingest.compactions";
+inline constexpr char kIngestCompactionMicros[] =
+    "ingest.compaction_micros";  // histogram
 }  // namespace metric_names
 
 }  // namespace tgraph::obs

@@ -1,5 +1,6 @@
 #include "server/catalog.h"
 
+#include "ingest/live_graph.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/graph_io.h"
@@ -34,7 +35,18 @@ Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
   static obs::Gauge* graphs = obs::MetricsRegistry::Global().GetGauge(
       obs::metric_names::kCatalogGraphs);
 
+  // Live directories are served from the current ingest snapshot; the
+  // epoch in the key pins every reader admitted now to this snapshot even
+  // as later appends publish new ones.
+  std::shared_ptr<const ingest::LiveSnapshot> snap;
+  if (live_graphs_ != nullptr &&
+      (live_graphs_->Find(dir) != nullptr || ingest::IsLiveDir(dir))) {
+    TG_ASSIGN_OR_RETURN(ingest::LiveGraph * live, live_graphs_->GetOrOpen(dir));
+    snap = live->snapshot();
+  }
+
   std::string key = dir;
+  if (snap != nullptr) key += "|live@" + std::to_string(snap->epoch());
   if (range.has_value()) key += "|" + range->ToString();
 
   // Claim the load or wait for whoever holds it. A failed load erases its
@@ -65,6 +77,7 @@ Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
   // with the flat representation; otherwise the plain loader (which still
   // auto-detects a store holding another representation's tables).
   Result<VeGraph> loaded = [&]() -> Result<VeGraph> {
+    if (snap != nullptr) return LoadLiveSnapshot(snap, range);
     if (storage::HasStore(dir)) {
       auto store = GetOrOpenStore(dir);
       if (!store.ok()) return store.status();
@@ -87,7 +100,11 @@ Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
   slot->loading = false;
   if (!graph.has_value()) {
     slot->error = loaded.status();
-    slots_.erase(key);  // no negative caching: the next request retries
+    // No negative caching: the next request retries. Erase by identity —
+    // an epoch prune may have dropped this slot already and the key could
+    // name a newer load.
+    auto it = slots_.find(key);
+    if (it != slots_.end() && it->second == slot) slots_.erase(it);
     loaded_cv_.notify_all();
     return loaded.status();
   }
@@ -95,6 +112,49 @@ Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
   graphs->Set(static_cast<int64_t>(slots_.size()));
   loaded_cv_.notify_all();
   return *slot->graph;
+}
+
+Result<VeGraph> GraphCatalog::LoadLiveSnapshot(
+    const std::shared_ptr<const ingest::LiveSnapshot>& snap,
+    const std::optional<Interval>& range) {
+  TG_ASSIGN_OR_RETURN(const VeGraph* merged, snap->Graph());
+  if (!range.has_value()) return *merged;
+  // Mirror the static loaders' pushdown semantics: clip every state to
+  // range ∩ lifetime and drop the ones that vanish.
+  const Interval clip = range->Intersect(merged->lifetime());
+  std::vector<VeVertex> vertices;
+  for (VeVertex row : merged->vertices().Collect()) {
+    row.interval = row.interval.Intersect(clip);
+    if (!row.interval.empty()) vertices.push_back(std::move(row));
+  }
+  std::vector<VeEdge> edges;
+  for (VeEdge row : merged->edges().Collect()) {
+    row.interval = row.interval.Intersect(clip);
+    if (!row.interval.empty()) edges.push_back(std::move(row));
+  }
+  return VeGraph::Create(ctx_, std::move(vertices), std::move(edges), clip);
+}
+
+void GraphCatalog::PruneLiveEpochs(const std::string& dir,
+                                   uint64_t current_epoch) {
+  static obs::Gauge* graphs = obs::MetricsRegistry::Global().GetGauge(
+      obs::metric_names::kCatalogGraphs);
+  const std::string prefix = dir + "|live@";
+  const std::string keep = prefix + std::to_string(current_epoch);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    const std::string& key = it->first;
+    const bool of_dir = key.compare(0, prefix.size(), prefix) == 0;
+    const bool of_current =
+        key.compare(0, keep.size(), keep) == 0 &&
+        (key.size() == keep.size() || key[keep.size()] == '|');
+    if (of_dir && !of_current) {
+      it = slots_.erase(it);  // in-flight readers keep their shared_ptr
+    } else {
+      ++it;
+    }
+  }
+  graphs->Set(static_cast<int64_t>(slots_.size()));
 }
 
 void GraphCatalog::Clear() {

@@ -16,6 +16,12 @@ namespace tgraph::storage {
 class StoreReader;
 }  // namespace tgraph::storage
 
+namespace tgraph::ingest {
+class LiveGraph;
+class LiveGraphRegistry;
+class LiveSnapshot;
+}  // namespace tgraph::ingest
+
 namespace tgraph::server {
 
 /// \brief Shared, read-only graph catalog: each (.tcol directory, time
@@ -47,8 +53,26 @@ class GraphCatalog {
   /// Returns the shared graph for `dir` (optionally range-restricted via
   /// pushdown), loading it on first use. TGraph is a cheap shared handle,
   /// so the returned copy aliases the catalog's data.
+  ///
+  /// A *live* directory (streaming ingest; ingest::IsLiveDir) is served
+  /// from its LiveGraph's current snapshot instead of the disk loaders,
+  /// with the snapshot epoch folded into the cache key: a query admitted
+  /// at epoch N keeps reading epoch N's materialization even while
+  /// ingestion publishes N+1 — snapshot isolation at the catalog layer.
   Result<TGraph> GetOrLoad(const std::string& dir,
                            const std::optional<Interval>& range);
+
+  /// Routes live directories through `registry` (not owned; may be null
+  /// to disable live serving). Set once before serving starts.
+  void set_live_graphs(ingest::LiveGraphRegistry* registry) {
+    live_graphs_ = registry;
+  }
+
+  /// Drops cached materializations of `dir` at live epochs other than
+  /// `current_epoch` — the server's epoch listener calls this after each
+  /// ingest publication so superseded snapshots release their memory as
+  /// soon as in-flight readers finish.
+  void PruneLiveEpochs(const std::string& dir, uint64_t current_epoch);
 
   /// Drops every cached graph (tests; not exposed over the protocol).
   void Clear();
@@ -63,11 +87,19 @@ class GraphCatalog {
   };
 
   dataflow::ExecutionContext* ctx_;
+  ingest::LiveGraphRegistry* live_graphs_ = nullptr;
 
   /// The shared mmap reader for `dir`, opened on first use. Never opened
   /// twice: racing openers reconcile through the map.
   Result<std::shared_ptr<storage::StoreReader>> GetOrOpenStore(
       const std::string& dir);
+
+  /// The snapshot's merged graph, range-clipped the same way the static
+  /// loaders clip (rows intersected with range ∩ lifetime, empties
+  /// dropped).
+  Result<VeGraph> LoadLiveSnapshot(
+      const std::shared_ptr<const ingest::LiveSnapshot>& snap,
+      const std::optional<Interval>& range);
 
   mutable std::mutex mu_;
   std::condition_variable loaded_cv_;

@@ -97,4 +97,17 @@ Result<Response> Client::Ping() {
   return RoundTrip(request);
 }
 
+Result<Response> Client::Ingest(const std::string& dir,
+                                const std::vector<ingest::Event>& events,
+                                TimePoint horizon) {
+  Request request;
+  request.verb = Verb::kIngest;
+  IngestRequest body;
+  body.dir = dir;
+  body.horizon = horizon;
+  body.events = events;
+  request.body = EncodeIngestBody(body);
+  return RoundTrip(request);
+}
+
 }  // namespace tgraph::server

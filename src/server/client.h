@@ -59,6 +59,14 @@ class Client {
   /// Liveness probe; returns the round-trip response ("pong").
   Result<Response> Ping();
 
+  /// Sends one ingest batch for the live graph at server-side directory
+  /// `dir`. An OK response means the batch is WAL-durable on the server;
+  /// the body reports the assigned sequence number and epoch. `horizon`
+  /// applies only when this call creates the graph (0 = server default).
+  Result<Response> Ingest(const std::string& dir,
+                          const std::vector<ingest::Event>& events,
+                          TimePoint horizon = 0);
+
  private:
   Result<Response> RoundTrip(const Request& request);
 

@@ -26,6 +26,26 @@ Status CheckFullyConsumed(std::string_view payload, size_t pos) {
 
 }  // namespace
 
+std::string EncodeIngestBody(const IngestRequest& request) {
+  std::string body;
+  storage::PutBytes(&body, request.dir);
+  storage::PutVarint(&body, static_cast<uint64_t>(request.horizon));
+  ingest::EncodeEvents(request.events, &body);
+  return body;
+}
+
+Result<IngestRequest> DecodeIngestBody(std::string_view body) {
+  IngestRequest request;
+  size_t pos = 0;
+  TG_ASSIGN_OR_RETURN(std::string_view dir, storage::GetBytes(body, &pos));
+  request.dir = std::string(dir);
+  TG_ASSIGN_OR_RETURN(uint64_t horizon, storage::GetVarint(body, &pos));
+  request.horizon = static_cast<TimePoint>(horizon);
+  TG_ASSIGN_OR_RETURN(request.events, ingest::DecodeEvents(body, &pos));
+  TG_RETURN_IF_ERROR(CheckFullyConsumed(body, pos));
+  return request;
+}
+
 Status Response::ToStatus() const {
   if (ok()) return Status::OK();
   StatusCode status_code = static_cast<StatusCode>(code);
@@ -49,6 +69,7 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case Verb::kStats:
     case Verb::kPing:
     case Verb::kMetrics:
+    case Verb::kIngest:
       request.verb = static_cast<Verb>(verb);
       break;
     default:

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
+#include "ingest/event.h"
 
 namespace tgraph::server {
 
@@ -25,6 +27,11 @@ namespace tgraph::server {
 ///     verb kPing:  empty body; the response body is "pong".
 ///     verb kMetrics: empty body; the response body is the metrics
 ///       registry in Prometheus text exposition format.
+///     verb kIngest: body is [varint-prefixed graph dir][varint horizon]
+///       [varint count][binary events] (the tgraph-wal v1 event
+///       encoding); the response body reports the acknowledged batch
+///       ("ingested N events graph=<dir> epoch=E seq=S"). An OK response
+///       means the batch is WAL-durable on the server.
 ///
 /// Response payload:
 ///   [u8 code][varint flags][varint request id][varint-prefixed body]
@@ -49,6 +56,7 @@ enum class Verb : uint8_t {
   kStats = 2,
   kPing = 3,
   kMetrics = 4,
+  kIngest = 5,
 };
 
 // Request flags.
@@ -82,6 +90,19 @@ struct Response {
   /// Reconstructs the Status a non-OK response carries.
   Status ToStatus() const;
 };
+
+/// \brief A decoded kIngest request body: one durable batch for one live
+/// graph directory.
+struct IngestRequest {
+  std::string dir;
+  /// End of time when the server creates the graph (an existing graph's
+  /// horizon wins; 0 means "server default").
+  TimePoint horizon = 0;
+  std::vector<ingest::Event> events;
+};
+
+std::string EncodeIngestBody(const IngestRequest& request);
+Result<IngestRequest> DecodeIngestBody(std::string_view body);
 
 /// Serializes a request/response payload (without the length prefix).
 std::string EncodeRequest(const Request& request);

@@ -1,5 +1,6 @@
 #include "server/result_cache.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/metrics.h"
@@ -52,7 +53,8 @@ std::optional<std::string> ResultCache::Get(const std::string& key) {
   return it->second->value;
 }
 
-void ResultCache::Put(const std::string& key, std::string value) {
+void ResultCache::Put(const std::string& key, std::string value,
+                      std::vector<std::string> tags) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) Erase(it->second);
@@ -64,9 +66,25 @@ void ResultCache::Put(const std::string& key, std::string value) {
   }
   EvictToFit(incoming);
   int64_t now = options_.now_ms ? options_.now_ms() : SteadyNowMs();
-  lru_.push_front(Entry{key, std::move(value), now});
+  lru_.push_front(Entry{key, std::move(value), std::move(tags), now});
   index_[key] = lru_.begin();
   bytes_ += incoming;
+  PublishGauges();
+}
+
+void ResultCache::EvictTag(const std::string& tag) {
+  static obs::Counter* evictions =
+      CacheCounter(obs::metric_names::kCacheEvictions);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    const auto& tags = it->tags;
+    if (std::find(tags.begin(), tags.end(), tag) != tags.end()) {
+      Erase(it);
+      evictions->Increment();
+    }
+    it = next;
+  }
   PublishGauges();
 }
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace tgraph::server {
 
@@ -47,7 +48,18 @@ class ResultCache {
 
   /// Inserts (or replaces) an entry, evicting LRU entries to fit the byte
   /// budget. Values larger than the whole budget are not cached.
-  void Put(const std::string& key, std::string value);
+  /// `tags` name the datasets the result depends on (the LOADed graph
+  /// directories): EvictTag(tag) later drops every entry carrying that
+  /// tag and no others.
+  void Put(const std::string& key, std::string value,
+           std::vector<std::string> tags = {});
+
+  /// Drops every entry tagged with `tag` — scoped invalidation: ingesting
+  /// into graph A reclaims A's cached results without touching B's.
+  /// (Correctness does not depend on this — live-graph keys carry the
+  /// snapshot epoch, so stale entries can never be *served* — this frees
+  /// their bytes promptly instead of waiting for LRU pressure.)
+  void EvictTag(const std::string& tag);
 
   /// Drops every entry.
   void Clear();
@@ -59,6 +71,7 @@ class ResultCache {
   struct Entry {
     std::string key;
     std::string value;
+    std::vector<std::string> tags;
     int64_t inserted_ms = 0;
   };
 

@@ -95,6 +95,8 @@ void RecordVerbLatency(Verb verb, const std::string& cache, int64_t wall_us) {
       registry.GetHistogram(obs::metric_names::kVerbPingMicros);
   static obs::Histogram* metrics_micros =
       registry.GetHistogram(obs::metric_names::kVerbMetricsMicros);
+  static obs::Histogram* ingest_micros =
+      registry.GetHistogram(obs::metric_names::kVerbIngestMicros);
   static obs::Histogram* hit_micros =
       registry.GetHistogram(obs::metric_names::kQueryCacheHitMicros);
   static obs::Histogram* miss_micros =
@@ -118,6 +120,9 @@ void RecordVerbLatency(Verb verb, const std::string& cache, int64_t wall_us) {
     case Verb::kMetrics:
       metrics_micros->Record(wall_us);
       break;
+    case Verb::kIngest:
+      ingest_micros->Record(wall_us);
+      break;
   }
 }
 
@@ -138,7 +143,22 @@ Server::Server(dataflow::ExecutionContext* ctx, ServerOptions options)
       options_(options),
       catalog_(ctx),
       cache_(ResultCacheOptions{options.cache_bytes, options.cache_ttl_ms,
-                                nullptr}) {}
+                                nullptr}),
+      live_graphs_(ctx) {
+  ingest::LiveGraph::Options live;
+  live.wal_path = options_.ingest_wal_dir;  // directory; see set_options
+  live.delta_events_threshold = options_.ingest_delta_events;
+  live.compact_interval_ms = options_.ingest_compact_ms;
+  // Each publication retires the previous epoch: superseded catalog
+  // materializations are pruned and the graph's cached results evicted.
+  // (Correctness never depends on this — epochs live in the cache keys.)
+  live.epoch_listener = [this](const std::string& dir, uint64_t epoch) {
+    catalog_.PruneLiveEpochs(dir, epoch);
+    cache_.EvictTag(dir);
+  };
+  live_graphs_.set_options(std::move(live));
+  catalog_.set_live_graphs(&live_graphs_);
+}
 
 Server::~Server() { Drain(); }
 
@@ -359,6 +379,7 @@ void Server::HandleRequest(Session* session, const std::string& payload,
     const char* verb_name = request->verb == Verb::kQuery     ? "query"
                             : request->verb == Verb::kStats   ? "stats"
                             : request->verb == Verb::kMetrics ? "metrics"
+                            : request->verb == Verb::kIngest  ? "ingest"
                                                               : "ping";
     obs::Span verb_span(std::string("tgraphd.") + verb_name, "server");
     // The request-id span nests under the verb span, so a trace can be
@@ -382,6 +403,9 @@ void Server::HandleRequest(Session* session, const std::string& payload,
         break;
       case Verb::kQuery:
         HandleQuery(session, *request, &response, &slow);
+        break;
+      case Verb::kIngest:
+        HandleIngest(*request, &response);
         break;
     }
   }
@@ -428,6 +452,8 @@ void Server::HandleQuery(Session* session, const Request& request,
   }
   slow->canonical = *canonical;
   bool cacheable = false;
+  std::string cache_key = *canonical;
+  std::vector<std::string> cache_tags;
   {
     // Re-derive cacheability from the parsed script (STORE has disk side
     // effects, EXPLAIN ANALYZE must re-execute to measure).
@@ -439,10 +465,32 @@ void Server::HandleQuery(Session* session, const Request& request,
                   : no_cache             ? "bypass"
                   : options_.cache_bytes == 0 ? "uncacheable"
                                          : "miss";
+    if (cacheable) {
+      // Tag the entry with every LOADed directory (scoped invalidation)
+      // and, for live (ingest) directories, pin the key to the snapshot
+      // epoch the query will read: an entry cached at epoch N can never
+      // be served after ingestion publishes N+1 — its key simply stops
+      // being generated.
+      for (const tql::Statement& statement : *statements) {
+        const auto* load = std::get_if<tql::LoadStatement>(&statement);
+        if (load == nullptr) continue;
+        cache_tags.push_back(load->path);
+        if (live_graphs_.Find(load->path) != nullptr ||
+            ingest::IsLiveDir(load->path)) {
+          Result<ingest::LiveGraph*> live = live_graphs_.GetOrOpen(load->path);
+          if (live.ok()) {
+            cache_key += "|" + load->path + "@" +
+                         std::to_string((*live)->epoch());
+          } else {
+            cacheable = false;  // the query's own load will report why
+          }
+        }
+      }
+    }
   }
   if (cacheable) {
     obs::Span lookup_span("tgraphd.cache.lookup", "server");
-    std::optional<std::string> hit = cache_.Get(*canonical);
+    std::optional<std::string> hit = cache_.Get(cache_key);
     if (hit.has_value()) {
       slow->cache = "hit";
       response->flags |= kFlagCacheHit;
@@ -484,7 +532,41 @@ void Server::HandleQuery(Session* session, const Request& request,
     return;
   }
   response->body = *output;
-  if (cacheable) cache_.Put(*canonical, response->body);
+  if (cacheable) {
+    cache_.Put(cache_key, response->body, std::move(cache_tags));
+  }
+}
+
+void Server::HandleIngest(const Request& request, Response* response) {
+  static obs::Counter* errors = ServerCounter(obs::metric_names::kServerErrors);
+  Result<IngestRequest> body = DecodeIngestBody(request.body);
+  if (!body.ok()) {
+    errors->Increment();
+    response->code = static_cast<uint8_t>(body.status().code());
+    response->body = body.status().ToString();
+    return;
+  }
+  Result<ingest::LiveGraph*> graph =
+      live_graphs_.GetOrOpen(body->dir, body->horizon);
+  if (!graph.ok()) {
+    errors->Increment();
+    response->code = static_cast<uint8_t>(graph.status().code());
+    response->body = graph.status().ToString();
+    return;
+  }
+  // Append() returning is the durability point: the batch is fsynced in
+  // the WAL and visible to queries admitted from now on.
+  Result<uint64_t> seq = (*graph)->Append(body->events);
+  if (!seq.ok()) {
+    errors->Increment();
+    response->code = static_cast<uint8_t>(seq.status().code());
+    response->body = seq.status().ToString();
+    return;
+  }
+  response->body = "ingested " + std::to_string(body->events.size()) +
+                   " events graph=" + body->dir +
+                   " epoch=" + std::to_string((*graph)->epoch()) +
+                   " seq=" + std::to_string(*seq);
 }
 
 std::string Server::StatsReport() {
@@ -630,6 +712,9 @@ void Server::Drain() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // No worker can append anymore; stop compactors and close the WALs so a
+  // restart replays a clean (possibly non-empty) log.
+  live_graphs_.CloseAll();
   if (!options_.stats_path.empty() && !stats_.empty()) {
     Status saved = stats_.SaveToFile(options_.stats_path);
     if (saved.ok()) {

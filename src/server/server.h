@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "dataflow/context.h"
+#include "ingest/live_graph.h"
 #include "server/catalog.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
@@ -70,6 +71,20 @@ struct ServerOptions {
   /// per-stage breakdown). Only meaningful with slow_query_log set; 0
   /// logs every query.
   int64_t slow_query_ms = 100;
+
+  /// Directory that holds the write-ahead logs of live graphs. Empty
+  /// (default) keeps each graph's WAL inside its own directory
+  /// (`<dir>/wal`); set it to collect WALs on a separate (faster/safer)
+  /// device.
+  std::string ingest_wal_dir;
+
+  /// Delta events per live graph beyond which the background compactor
+  /// folds the delta into a new on-disk generation.
+  size_t ingest_delta_events = 4096;
+
+  /// Time-based compaction cadence in milliseconds (0 = size-triggered
+  /// only): every interval, a non-empty delta is compacted.
+  int64_t ingest_compact_ms = 0;
 };
 
 /// \brief tgraphd — the resident TQL query server. Accepts framed
@@ -115,6 +130,7 @@ class Server {
   const ServerOptions& options() const { return options_; }
   ResultCache& cache() { return cache_; }
   GraphCatalog& catalog() { return catalog_; }
+  ingest::LiveGraphRegistry& live_graphs() { return live_graphs_; }
 
   /// Per-operator statistics observed across every query this server has
   /// executed (plus the warm-start profile). Recording is
@@ -146,6 +162,7 @@ class Server {
                      std::string* response_payload);
   void HandleQuery(Session* session, const Request& request,
                    Response* response, SlowQueryEntry* slow);
+  void HandleIngest(const Request& request, Response* response);
   std::string StatsReport();
   std::string StatsJson();
   /// Serves GET /metrics over plain HTTP until drain (its own thread).
@@ -155,6 +172,7 @@ class Server {
   const ServerOptions options_;
   GraphCatalog catalog_;
   ResultCache cache_;
+  ingest::LiveGraphRegistry live_graphs_;
   opt::Stats stats_;
 
   int listen_fd_ = -1;

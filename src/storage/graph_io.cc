@@ -826,6 +826,13 @@ bool HasStore(const std::string& dir) {
 Status WriteVeStore(const VeGraph& graph, const std::string& dir,
                     const GraphWriteOptions& options) {
   TG_RETURN_IF_ERROR(EnsureDir(dir));
+  return WriteVeStoreFile(graph, StorePath(dir), options, {});
+}
+
+Status WriteVeStoreFile(
+    const VeGraph& graph, const std::string& path,
+    const GraphWriteOptions& options,
+    const std::vector<std::pair<std::string, std::string>>& extra_metadata) {
   std::vector<VeVertex> vertices = graph.vertices().Collect();
   std::vector<VeEdge> edges = graph.edges().Collect();
   SortVeRecords(&vertices, &edges, options.sort_order);
@@ -834,8 +841,10 @@ Status WriteVeStore(const VeGraph& graph, const std::string& dir,
   writer_options.partition_rows = options.row_group_size;
   writer_options.metadata =
       StoreMetadata(graph.lifetime(), options.sort_order, "ve");
+  writer_options.metadata.insert(writer_options.metadata.end(),
+                                 extra_metadata.begin(), extra_metadata.end());
   TG_ASSIGN_OR_RETURN(std::unique_ptr<StoreWriter> writer,
-                      StoreWriter::Open(StorePath(dir), writer_options));
+                      StoreWriter::Open(path, writer_options));
   int vt = writer->AddTable("vertices", VeVertexSchema());
   int et = writer->AddTable("edges", VeEdgeSchema());
   TG_RETURN_IF_ERROR(writer->Append(vt, MakeVeVertexBatch(vertices)));

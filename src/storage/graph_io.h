@@ -3,6 +3,8 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "tgraph/og.h"
@@ -103,6 +105,15 @@ bool HasStore(const std::string& dir);
 
 Status WriteVeStore(const VeGraph& graph, const std::string& dir,
                     const GraphWriteOptions& options = {});
+/// Writes a VE store container to an explicit file `path` instead of the
+/// directory's canonical `graph.tgs`, appending `extra_metadata` to the
+/// footer. The streaming-ingest compactor uses this to emit partition
+/// generations (`gen-NNNNNN.tgs`, docs/FORMAT.md) that carry the ingest
+/// watermark, horizon, and last folded WAL sequence number.
+Status WriteVeStoreFile(
+    const VeGraph& graph, const std::string& path,
+    const GraphWriteOptions& options,
+    const std::vector<std::pair<std::string, std::string>>& extra_metadata);
 Status WriteOgStore(const OgGraph& graph, const std::string& dir,
                     const GraphWriteOptions& options = {});
 Status WriteOgcStore(const OgcGraph& graph, const std::string& dir,

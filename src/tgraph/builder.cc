@@ -70,23 +70,56 @@ TGraphBuilder& TGraphBuilder::SetEdgeProperty(EdgeId eid, TimePoint at,
   return *this;
 }
 
-Result<History> TGraphBuilder::Replay(std::vector<Event> events, TimePoint end,
-                                      const std::string& label) {
+TGraphBuilder& TGraphBuilder::SeedVertex(VertexId vid, History states) {
+  vertex_seeds_[vid] = std::move(states);
+  return *this;
+}
+
+TGraphBuilder& TGraphBuilder::SeedEdge(EdgeId eid, VertexId src, VertexId dst,
+                                       History states) {
+  edge_seeds_[eid] = EdgeSeed{src, dst, std::move(states)};
+  return *this;
+}
+
+Result<History> TGraphBuilder::Replay(History seed, std::vector<Event> events,
+                                      TimePoint end, const std::string& label) {
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) {
                      if (a.at != b.at) return a.at < b.at;
                      return static_cast<int>(a.op) < static_cast<int>(b.op);
                    });
-  History history;
+  History history = std::move(seed);
   bool alive = false;
   TimePoint state_start = 0;
   Properties current;
+  // A seeded final state ending exactly at the horizon means "alive when
+  // the seed was folded": reopen it so later events extend or close it.
+  // Earlier ends stay closed — the entity is absent after its last state.
+  std::optional<TimePoint> seed_floor;
+  if (!history.empty()) {
+    if (history.back().interval.end == end) {
+      alive = true;
+      state_start = history.back().interval.start;
+      current = history.back().properties;
+      seed_floor = state_start;
+      history.pop_back();
+    } else {
+      seed_floor = history.back().interval.end;
+    }
+  }
   auto close_state = [&](TimePoint until) {
     if (until > state_start) {
       history.push_back(HistoryItem{Interval(state_start, until), current});
     }
   };
   for (const Event& event : events) {
+    // Events cannot rewrite folded history: anything before the seed's
+    // final boundary would interleave with states already merged away.
+    if (seed_floor.has_value() && event.at < *seed_floor) {
+      return Status::InvalidArgument(
+          label + ": event at " + std::to_string(event.at) +
+          " precedes the seeded state boundary " + std::to_string(*seed_floor));
+    }
     // Adds and property changes must happen strictly before the horizon
     // (they start a state); a removal exactly at the horizon is fine — it
     // says the entity exists right up to the end.
@@ -139,12 +172,25 @@ Result<History> TGraphBuilder::Replay(std::vector<Event> events, TimePoint end,
 }
 
 Result<VeGraph> TGraphBuilder::Finish(TimePoint end_of_time) {
+  // Union of seeded and evented entity ids, in id order: a seeded entity
+  // with no events replays to its seed, an unseeded one replays from
+  // scratch, and a seeded one with events continues where the seed ended.
   std::vector<VeVertex> vertices;
   std::map<VertexId, History> presence;
-  for (auto& [vid, events] : vertex_events_) {
-    TG_ASSIGN_OR_RETURN(
-        History history,
-        Replay(events, end_of_time, "vertex " + std::to_string(vid)));
+  std::map<VertexId, std::vector<Event>*> vertex_ids;
+  for (auto& [vid, events] : vertex_events_) vertex_ids[vid] = &events;
+  for (auto& [vid, seed] : vertex_seeds_) vertex_ids.emplace(vid, nullptr);
+  static const std::vector<Event> kNoEvents;
+  for (auto& [vid, events_ptr] : vertex_ids) {
+    const std::vector<Event>& events =
+        events_ptr != nullptr ? *events_ptr : kNoEvents;
+    History seed;
+    if (auto it = vertex_seeds_.find(vid); it != vertex_seeds_.end()) {
+      seed = it->second;
+    }
+    TG_ASSIGN_OR_RETURN(History history,
+                        Replay(std::move(seed), events, end_of_time,
+                               "vertex " + std::to_string(vid)));
     for (const HistoryItem& item : history) {
       if (!item.properties.Has(kTypeProperty)) {
         return Status::InvalidArgument("vertex " + std::to_string(vid) +
@@ -156,9 +202,21 @@ Result<VeGraph> TGraphBuilder::Finish(TimePoint end_of_time) {
   }
 
   std::vector<VeEdge> edges;
-  for (auto& [eid, events] : edge_events_) {
+  std::map<EdgeId, std::vector<Event>*> edge_ids;
+  for (auto& [eid, events] : edge_events_) edge_ids[eid] = &events;
+  for (auto& [eid, seed] : edge_seeds_) edge_ids.emplace(eid, nullptr);
+  for (auto& [eid, events_ptr] : edge_ids) {
+    const std::vector<Event>& events =
+        events_ptr != nullptr ? *events_ptr : kNoEvents;
     VertexId src = 0, dst = 0;
     bool endpoints_known = false;
+    History seed;
+    if (auto it = edge_seeds_.find(eid); it != edge_seeds_.end()) {
+      src = it->second.src;
+      dst = it->second.dst;
+      endpoints_known = true;
+      seed = it->second.states;
+    }
     for (const Event& event : events) {
       if (event.op == Op::kAdd) {
         if (endpoints_known && (src != event.src || dst != event.dst)) {
@@ -174,9 +232,9 @@ Result<VeGraph> TGraphBuilder::Finish(TimePoint end_of_time) {
       return Status::InvalidArgument("edge " + std::to_string(eid) +
                                      " has events but was never added");
     }
-    TG_ASSIGN_OR_RETURN(
-        History history,
-        Replay(events, end_of_time, "edge " + std::to_string(eid)));
+    TG_ASSIGN_OR_RETURN(History history,
+                        Replay(std::move(seed), events, end_of_time,
+                               "edge " + std::to_string(eid)));
     if (history.empty()) continue;
     auto src_it = presence.find(src);
     auto dst_it = presence.find(dst);
@@ -184,8 +242,14 @@ Result<VeGraph> TGraphBuilder::Finish(TimePoint end_of_time) {
       return Status::InvalidArgument("edge " + std::to_string(eid) +
                                      " references an unknown vertex");
     }
-    // A vertex removal implicitly ends incident edges; an edge that was
-    // *added* outside its endpoints' lifetime is a log error.
+    // A vertex removal implicitly — and permanently — ends incident
+    // edges: the edge does NOT resume if the endpoint is later re-added
+    // (only the first clipped piece of each state survives). Permanence
+    // is what lets the streaming path materialize a snapshot at any
+    // moment and keep building on it: the clip is idempotent, so a graph
+    // compacted between the removal and the re-add equals one built
+    // offline from the full log. An edge *added* outside its endpoints'
+    // lifetime is a log error.
     for (const HistoryItem& item : history) {
       History clipped = IntersectHistoryPresence(
           IntersectHistoryPresence({item}, src_it->second), dst_it->second);
@@ -196,10 +260,9 @@ Result<VeGraph> TGraphBuilder::Finish(TimePoint end_of_time) {
             std::to_string(item.interval.start) +
             " while an endpoint is absent");
       }
-      for (HistoryItem& piece : clipped) {
-        edges.push_back(VeEdge{eid, src, dst, piece.interval,
-                               std::move(piece.properties)});
-      }
+      HistoryItem& piece = clipped.front();
+      edges.push_back(
+          VeEdge{eid, src, dst, piece.interval, std::move(piece.properties)});
     }
   }
   return VeGraph::Create(ctx_, std::move(vertices), std::move(edges),

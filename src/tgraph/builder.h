@@ -22,6 +22,14 @@ namespace tgraph {
 ///
 /// Entities may appear and disappear repeatedly; every lifetime segment
 /// starts from the properties given to that segment's Add event.
+///
+/// A builder can also be *seeded* with already-folded states (SeedVertex /
+/// SeedEdge): the streaming ingest path reloads a compacted base store as
+/// seeds and appends only the events that arrived since, and Finish()
+/// extends the seeded states instead of replaying history from scratch.
+/// Because the seeded continuation runs the exact replay loop an
+/// unseeded build would, base-plus-delta merges are equivalent to an
+/// offline rebuild over the full event log by construction.
 class TGraphBuilder {
  public:
   explicit TGraphBuilder(dataflow::ExecutionContext* ctx) : ctx_(ctx) {}
@@ -43,11 +51,24 @@ class TGraphBuilder {
   TGraphBuilder& SetEdgeProperty(EdgeId eid, TimePoint at,
                                  const std::string& key, PropertyValue value);
 
+  /// Seeds vertex `vid` with already-folded `states` (sorted, coalesced —
+  /// the output of a previous Finish() whose end_of_time equals this
+  /// build's). A final state ending exactly at end_of_time is reopened:
+  /// the entity is alive and later events extend or close it; any earlier
+  /// final end means the entity is absent after its last state. Events
+  /// appended for a seeded entity must not precede its seeded state
+  /// boundaries (the ingest layer enforces this with a watermark).
+  TGraphBuilder& SeedVertex(VertexId vid, History states);
+  /// Seeds edge `eid` (endpoints `src` -> `dst`) with folded states, as
+  /// SeedVertex. Add events for a seeded edge must agree on endpoints.
+  TGraphBuilder& SeedEdge(EdgeId eid, VertexId src, VertexId dst,
+                          History states);
+
   /// Replays the log and returns the graph. Entities still alive are
   /// closed at `end_of_time` (which must be after every event). Fails with
   /// InvalidArgument on an inconsistent log: double add, remove/set on a
-  /// dead entity, an edge added while an endpoint is absent, or an event
-  /// at or after end_of_time.
+  /// dead entity, an edge added while an endpoint is absent, an event at
+  /// or after end_of_time, or an event before a seeded state boundary.
   Result<VeGraph> Finish(TimePoint end_of_time);
 
  private:
@@ -63,14 +84,23 @@ class TGraphBuilder {
     VertexId dst = 0;
   };
 
-  // Replays one entity's events into states; appends (interval, props).
-  // `label` names the entity in error messages.
-  static Result<History> Replay(std::vector<Event> events, TimePoint end,
-                                const std::string& label);
+  struct EdgeSeed {
+    VertexId src = 0;
+    VertexId dst = 0;
+    History states;
+  };
+
+  // Replays one entity's events into states, continuing from `seed` (empty
+  // for unseeded entities); appends (interval, props). `label` names the
+  // entity in error messages.
+  static Result<History> Replay(History seed, std::vector<Event> events,
+                                TimePoint end, const std::string& label);
 
   dataflow::ExecutionContext* ctx_;
   std::map<VertexId, std::vector<Event>> vertex_events_;
   std::map<EdgeId, std::vector<Event>> edge_events_;
+  std::map<VertexId, History> vertex_seeds_;
+  std::map<EdgeId, EdgeSeed> edge_seeds_;
 };
 
 }  // namespace tgraph

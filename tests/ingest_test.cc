@@ -1,0 +1,469 @@
+// End-to-end tests for the streaming ingest subsystem (src/ingest):
+// differential equivalence against offline builds, snapshot isolation,
+// LSM compaction, and crash recovery through the WAL.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ingest/event.h"
+#include "ingest/live_graph.h"
+#include "ingest/wal.h"
+#include "tgraph/builder.h"
+#include "test_util.h"
+
+namespace tgraph::ingest {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = (fs::temp_directory_path() /
+                     ("tg_ingest_test_" + name + "_" +
+                      std::to_string(::getpid())))
+                        .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+Event AddVertex(int64_t vid, TimePoint at, Properties props) {
+  Event e;
+  e.kind = EventKind::kAddVertex;
+  e.id = vid;
+  e.at = at;
+  props.Set("type", "node");
+  e.props = std::move(props);
+  return e;
+}
+
+Event SetVertex(int64_t vid, TimePoint at, const std::string& key,
+                PropertyValue value) {
+  Event e;
+  e.kind = EventKind::kSetVertexProperty;
+  e.id = vid;
+  e.at = at;
+  e.props = Properties{{key, std::move(value)}};
+  return e;
+}
+
+Event RemoveVertex(int64_t vid, TimePoint at) {
+  Event e;
+  e.kind = EventKind::kRemoveVertex;
+  e.id = vid;
+  e.at = at;
+  return e;
+}
+
+Event AddEdge(int64_t eid, VertexId src, VertexId dst, TimePoint at,
+              Properties props) {
+  Event e;
+  e.kind = EventKind::kAddEdge;
+  e.id = eid;
+  e.src = src;
+  e.dst = dst;
+  e.at = at;
+  props.Set("type", "link");
+  e.props = std::move(props);
+  return e;
+}
+
+Event RemoveEdge(int64_t eid, TimePoint at) {
+  Event e;
+  e.kind = EventKind::kRemoveEdge;
+  e.id = eid;
+  e.at = at;
+  return e;
+}
+
+/// The scripted workload every differential test ingests: adds, property
+/// churn, removals, and a re-add — split into batches at arbitrary points.
+std::vector<std::vector<Event>> Workload() {
+  return {
+      {AddVertex(1, 10, {{"name", "ann"}}), AddVertex(2, 11, {{"name", "bob"}}),
+       AddEdge(100, 1, 2, 12, {{"w", 1}})},
+      {SetVertex(1, 20, "name", "ann2"), AddVertex(3, 21, {{"name", "cat"}}),
+       AddEdge(101, 2, 3, 22, {{"w", 2}})},
+      {RemoveEdge(100, 30), RemoveVertex(2, 31)},
+      {AddVertex(2, 40, {{"name", "bob2"}}), AddEdge(102, 1, 2, 41, {{"w", 3}}),
+       SetVertex(3, 42, "name", "cat2")},
+  };
+}
+
+/// Offline reference: one builder over the flattened event stream.
+VeGraph OfflineBuild(const std::vector<std::vector<Event>>& batches,
+                     TimePoint horizon) {
+  TGraphBuilder builder(testing::Ctx());
+  for (const std::vector<Event>& batch : batches) {
+    for (const Event& event : batch) ApplyEventToBuilder(event, &builder);
+  }
+  Result<VeGraph> graph = builder.Finish(horizon);
+  TG_CHECK(graph.ok()) << graph.status();
+  return *graph;
+}
+
+class LiveGraphTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& dir : dirs_) fs::remove_all(dir);
+  }
+
+  std::string Dir(const std::string& name) {
+    dirs_.push_back(FreshDir(name));
+    return dirs_.back();
+  }
+
+  LiveGraph::Options NoCompactor() {
+    LiveGraph::Options options;
+    options.delta_events_threshold = 0;
+    options.sync = false;  // tests don't crash the machine, just the process
+    return options;
+  }
+
+  std::vector<std::string> dirs_;
+};
+
+TEST_F(LiveGraphTest, LiveEqualsOfflinePreCompaction) {
+  std::string dir = Dir("pre_compaction");
+  Result<std::unique_ptr<LiveGraph>> live =
+      LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+  ASSERT_TRUE(live.ok()) << live.status();
+  for (const std::vector<Event>& batch : Workload()) {
+    Result<uint64_t> seq = (*live)->Append(batch);
+    ASSERT_TRUE(seq.ok()) << seq.status();
+  }
+  std::shared_ptr<const LiveSnapshot> snap = (*live)->snapshot();
+  Result<const VeGraph*> merged = snap->Graph();
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(testing::Canonical(**merged),
+            testing::Canonical(OfflineBuild(Workload(), (*live)->horizon())));
+  ASSERT_TRUE((*live)->Close().ok());
+}
+
+TEST_F(LiveGraphTest, LiveEqualsOfflineAcrossEveryCompactionPoint) {
+  // Compact after batch k, for every k: the base+delta merge must be
+  // invisible — identical canonical VE (and thus identical RG/VE/OG/OGC
+  // conversions, which are pure functions of it) at every split.
+  const std::vector<std::vector<Event>> batches = Workload();
+  for (size_t compact_after = 0; compact_after <= batches.size();
+       ++compact_after) {
+    std::string dir = Dir("split_" + std::to_string(compact_after));
+    Result<std::unique_ptr<LiveGraph>> live =
+        LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+    ASSERT_TRUE(live.ok()) << live.status();
+    for (size_t i = 0; i < batches.size(); ++i) {
+      Result<uint64_t> seq = (*live)->Append(batches[i]);
+      ASSERT_TRUE(seq.ok()) << "batch " << i << ": " << seq.status();
+      if (i + 1 == compact_after) {
+        ASSERT_TRUE((*live)->Compact().ok());
+      }
+    }
+    std::shared_ptr<const LiveSnapshot> snap = (*live)->snapshot();
+    Result<const VeGraph*> merged = snap->Graph();
+    ASSERT_TRUE(merged.ok()) << merged.status();
+    EXPECT_EQ(testing::Canonical(**merged),
+              testing::Canonical(OfflineBuild(batches, (*live)->horizon())))
+        << "compacted after batch " << compact_after;
+    ASSERT_TRUE((*live)->Close().ok());
+  }
+}
+
+TEST_F(LiveGraphTest, DifferentialAcrossRepresentations) {
+  // The live graph's merged VE, pushed through each representation and
+  // back, matches the offline build pushed through the same conversions.
+  std::string dir = Dir("reps");
+  Result<std::unique_ptr<LiveGraph>> live =
+      LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+  ASSERT_TRUE(live.ok()) << live.status();
+  for (const std::vector<Event>& batch : Workload()) {
+    ASSERT_TRUE((*live)->Append(batch).ok());
+  }
+  ASSERT_TRUE((*live)->Compact().ok());
+  std::shared_ptr<const LiveSnapshot> snap = (*live)->snapshot();
+  Result<const VeGraph*> merged = snap->Graph();
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  VeGraph offline = OfflineBuild(Workload(), (*live)->horizon());
+  for (Representation rep : {Representation::kRg, Representation::kVe,
+                             Representation::kOg, Representation::kOgc}) {
+    Result<TGraph> live_rep = TGraph::FromVe(**merged, true).As(rep);
+    Result<TGraph> offline_rep = TGraph::FromVe(offline, true).As(rep);
+    ASSERT_TRUE(live_rep.ok()) << live_rep.status();
+    ASSERT_TRUE(offline_rep.ok()) << offline_rep.status();
+    if (rep == Representation::kOgc) {
+      // OGC is topology-only; compare what it preserves.
+      Result<TGraph> live_ve = live_rep->As(Representation::kVe);
+      Result<TGraph> offline_ve = offline_rep->As(Representation::kVe);
+      ASSERT_TRUE(live_ve.ok() && offline_ve.ok());
+      EXPECT_EQ(testing::CanonicalTopology(live_ve->ve()),
+                testing::CanonicalTopology(offline_ve->ve()));
+    } else {
+      EXPECT_EQ(testing::Canonical(*live_rep), testing::Canonical(*offline_rep))
+          << "rep " << static_cast<int>(rep);
+    }
+  }
+  ASSERT_TRUE((*live)->Close().ok());
+}
+
+TEST_F(LiveGraphTest, ReopenAfterCloseReplaysWal) {
+  std::string dir = Dir("reopen");
+  {
+    Result<std::unique_ptr<LiveGraph>> live =
+        LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+    ASSERT_TRUE(live.ok()) << live.status();
+    for (const std::vector<Event>& batch : Workload()) {
+      ASSERT_TRUE((*live)->Append(batch).ok());
+    }
+    ASSERT_TRUE((*live)->Close().ok());
+  }
+  Result<std::unique_ptr<LiveGraph>> reopened =
+      LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  std::shared_ptr<const LiveSnapshot> snap = (*reopened)->snapshot();
+  Result<const VeGraph*> merged = snap->Graph();
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(
+      testing::Canonical(**merged),
+      testing::Canonical(OfflineBuild(Workload(), (*reopened)->horizon())));
+  // The next sequence number continues past the replayed ones: appending
+  // after recovery must not collide.
+  Result<uint64_t> seq = (*reopened)->Append({AddVertex(9, 100, {})});
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  EXPECT_EQ(*seq, Workload().size() + 1);
+  ASSERT_TRUE((*reopened)->Close().ok());
+}
+
+TEST_F(LiveGraphTest, TornWalTailLosesOnlyUnackedBatch) {
+  std::string dir = Dir("torn");
+  {
+    Result<std::unique_ptr<LiveGraph>> live =
+        LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+    ASSERT_TRUE(live.ok()) << live.status();
+    for (const std::vector<Event>& batch : Workload()) {
+      ASSERT_TRUE((*live)->Append(batch).ok());
+    }
+    ASSERT_TRUE((*live)->Close().ok());
+  }
+  // Simulate a crash mid-append: tear bytes off the final record.
+  std::string wal_path = WalPathFor(dir, "");
+  {
+    std::error_code ec;
+    uintmax_t size = fs::file_size(wal_path, ec);
+    ASSERT_FALSE(ec);
+    fs::resize_file(wal_path, size - 3, ec);
+    ASSERT_FALSE(ec);
+  }
+  Result<std::unique_ptr<LiveGraph>> reopened =
+      LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  std::vector<std::vector<Event>> all_but_last = Workload();
+  all_but_last.pop_back();
+  std::shared_ptr<const LiveSnapshot> snap = (*reopened)->snapshot();
+  Result<const VeGraph*> merged = snap->Graph();
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(
+      testing::Canonical(**merged),
+      testing::Canonical(OfflineBuild(all_but_last, (*reopened)->horizon())));
+  ASSERT_TRUE((*reopened)->Close().ok());
+}
+
+TEST_F(LiveGraphTest, ReopenAfterCompactionSkipsDuplicateReplay) {
+  std::string dir = Dir("dedup");
+  const std::vector<std::vector<Event>> batches = Workload();
+  {
+    Result<std::unique_ptr<LiveGraph>> live =
+        LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+    ASSERT_TRUE(live.ok()) << live.status();
+    ASSERT_TRUE((*live)->Append(batches[0]).ok());
+    ASSERT_TRUE((*live)->Append(batches[1]).ok());
+    ASSERT_TRUE((*live)->Compact().ok());
+    ASSERT_TRUE((*live)->Append(batches[2]).ok());
+    ASSERT_TRUE((*live)->Append(batches[3]).ok());
+    ASSERT_TRUE((*live)->Close().ok());
+  }
+  // Reopen: base holds seq<=2, rotated WAL holds 3..4. Replay must fold
+  // exactly once.
+  Result<std::unique_ptr<LiveGraph>> reopened =
+      LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->snapshot()->delta_events(),
+            batches[2].size() + batches[3].size());
+  std::shared_ptr<const LiveSnapshot> snap = (*reopened)->snapshot();
+  Result<const VeGraph*> merged = snap->Graph();
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(testing::Canonical(**merged),
+            testing::Canonical(OfflineBuild(batches, (*reopened)->horizon())));
+  ASSERT_TRUE((*reopened)->Close().ok());
+}
+
+TEST_F(LiveGraphTest, SnapshotIsolationAcrossAppendAndCompaction) {
+  std::string dir = Dir("isolation");
+  Result<std::unique_ptr<LiveGraph>> live =
+      LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+  ASSERT_TRUE(live.ok()) << live.status();
+  const std::vector<std::vector<Event>> batches = Workload();
+  ASSERT_TRUE((*live)->Append(batches[0]).ok());
+
+  std::shared_ptr<const LiveSnapshot> old_snap = (*live)->snapshot();
+  Result<const VeGraph*> old_graph = old_snap->Graph();
+  ASSERT_TRUE(old_graph.ok());
+  std::vector<std::string> before = testing::Canonical(**old_graph);
+  uint64_t old_epoch = old_snap->epoch();
+
+  // Appends and a compaction publish new epochs...
+  for (size_t i = 1; i < batches.size(); ++i) {
+    ASSERT_TRUE((*live)->Append(batches[i]).ok());
+  }
+  ASSERT_TRUE((*live)->Compact().ok());
+  EXPECT_GT((*live)->snapshot()->epoch(), old_epoch);
+
+  // ...while the old snapshot still answers exactly as before.
+  Result<const VeGraph*> again = old_snap->Graph();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(testing::Canonical(**again), before);
+  EXPECT_EQ(old_snap->epoch(), old_epoch);
+  ASSERT_TRUE((*live)->Close().ok());
+}
+
+TEST_F(LiveGraphTest, ConcurrentReadersNeverSeePartialBatches) {
+  std::string dir = Dir("concurrent");
+  Result<std::unique_ptr<LiveGraph>> live =
+      LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+  ASSERT_TRUE(live.ok()) << live.status();
+  LiveGraph* graph = live->get();
+
+  // Each batch adds a vertex pair atomically; readers count vertices and
+  // assert the count is always even (no half-applied batch) and
+  // monotonic per-reader within one snapshot.
+  constexpr int kBatches = 50;
+  std::atomic<bool> failed{false};
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::shared_ptr<const LiveSnapshot> snap = graph->snapshot();
+      Result<const VeGraph*> merged = snap->Graph();
+      if (!merged.ok()) {
+        failed.store(true);
+        return;
+      }
+      size_t n = (*merged)->vertices().Collect().size();
+      if (n % 2 != 0) {
+        failed.store(true);
+        return;
+      }
+    }
+  });
+  for (int i = 0; i < kBatches; ++i) {
+    TimePoint at = 10 + i;
+    Result<uint64_t> seq = graph->Append(
+        {AddVertex(2 * i + 1, at, {}), AddVertex(2 * i + 2, at, {})});
+    ASSERT_TRUE(seq.ok()) << seq.status();
+    if (i == kBatches / 2) ASSERT_TRUE(graph->Compact().ok());
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_FALSE(failed.load());
+  ASSERT_TRUE((*live)->Close().ok());
+}
+
+TEST_F(LiveGraphTest, RejectedBatchIsAtomicAndInvisible) {
+  std::string dir = Dir("reject");
+  Result<std::unique_ptr<LiveGraph>> live =
+      LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+  ASSERT_TRUE(live.ok()) << live.status();
+  ASSERT_TRUE((*live)->Append({AddVertex(1, 10, {})}).ok());
+  uint64_t epoch = (*live)->epoch();
+
+  // A batch whose second event is invalid (edge endpoint never existed)
+  // must reject wholesale: no epoch bump, no WAL growth, no delta change.
+  Result<uint64_t> bad = (*live)->Append(
+      {AddVertex(2, 20, {}), AddEdge(100, 2, 999, 21, {})});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ((*live)->epoch(), epoch);
+  EXPECT_EQ((*live)->snapshot()->delta_events(), 1u);
+
+  // Timestamps at or before the watermark reject too (strict cross-batch
+  // monotonicity keeps live replay order identical to offline order).
+  Result<uint64_t> stale = (*live)->Append({AddVertex(3, 10, {})});
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().IsInvalidArgument()) << stale.status();
+
+  // At-or-past-horizon events reject.
+  Result<uint64_t> late =
+      (*live)->Append({AddVertex(4, (*live)->horizon(), {})});
+  ASSERT_FALSE(late.ok());
+
+  // The graph still works after rejections.
+  ASSERT_TRUE((*live)->Append({AddVertex(5, 30, {})}).ok());
+  ASSERT_TRUE((*live)->Close().ok());
+}
+
+TEST_F(LiveGraphTest, ThresholdTriggersBackgroundCompaction) {
+  std::string dir = Dir("threshold");
+  LiveGraph::Options options = NoCompactor();
+  options.delta_events_threshold = 4;
+  Result<std::unique_ptr<LiveGraph>> live =
+      LiveGraph::Open(testing::Ctx(), dir, options);
+  ASSERT_TRUE(live.ok()) << live.status();
+  for (const std::vector<Event>& batch : Workload()) {
+    ASSERT_TRUE((*live)->Append(batch).ok());
+  }
+  // The compactor runs asynchronously; wait for a generation to land.
+  bool compacted = false;
+  for (int i = 0; i < 200 && !compacted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    compacted = fs::exists(fs::path(dir) / "gen-000001.tgs");
+  }
+  EXPECT_TRUE(compacted) << "no generation appeared within 2s";
+  std::shared_ptr<const LiveSnapshot> snap = (*live)->snapshot();
+  Result<const VeGraph*> merged = snap->Graph();
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(testing::Canonical(**merged),
+            testing::Canonical(OfflineBuild(Workload(), (*live)->horizon())));
+  ASSERT_TRUE((*live)->Close().ok());
+}
+
+TEST_F(LiveGraphTest, RegistrySharesOneGraphPerDir) {
+  std::string dir = Dir("registry");
+  LiveGraphRegistry registry(testing::Ctx());
+  LiveGraph::Options options;
+  options.sync = false;
+  options.delta_events_threshold = 0;
+  registry.set_options(options);
+  Result<LiveGraph*> a = registry.GetOrOpen(dir);
+  ASSERT_TRUE(a.ok()) << a.status();
+  Result<LiveGraph*> b = registry.GetOrOpen(dir);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(registry.Find(dir), *a);
+  EXPECT_EQ(registry.Find(dir + "_other"), nullptr);
+  ASSERT_TRUE((*a)->Append({AddVertex(1, 10, {})}).ok());
+  registry.CloseAll();
+  EXPECT_EQ(registry.Find(dir), nullptr);
+}
+
+TEST_F(LiveGraphTest, WalPathForSeparatesWalDevice) {
+  EXPECT_EQ(WalPathFor("/data/g", ""), "/data/g/wal");
+  std::string a = WalPathFor("/data/g", "/wals");
+  std::string b = WalPathFor("/data/other", "/wals");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.rfind("/wals/", 0), 0u) << a;
+  EXPECT_NE(a.find("g-"), std::string::npos) << a;
+}
+
+TEST_F(LiveGraphTest, IsLiveDirDetection) {
+  std::string dir = Dir("detect");
+  EXPECT_FALSE(IsLiveDir(dir));
+  Result<std::unique_ptr<LiveGraph>> live =
+      LiveGraph::Open(testing::Ctx(), dir, NoCompactor());
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE((*live)->Close().ok());
+  EXPECT_TRUE(IsLiveDir(dir));
+}
+
+}  // namespace
+}  // namespace tgraph::ingest

@@ -105,5 +105,44 @@ TEST(ResultCacheTest, ClearResetsEverything) {
   EXPECT_FALSE(cache.Get("a").has_value());
 }
 
+TEST(ResultCacheTest, EvictTagDropsOnlyTaggedEntries) {
+  ResultCache cache(ResultCacheOptions{1024, 0, nullptr});
+  cache.Put("qa", "ra", {"/data/a"});
+  cache.Put("qb", "rb", {"/data/b"});
+  cache.Put("qplain", "rplain");  // untagged: no dataset dependency
+  int64_t evictions_before = CounterValue(obs::metric_names::kCacheEvictions);
+
+  cache.EvictTag("/data/a");
+
+  EXPECT_FALSE(cache.Get("qa").has_value());
+  EXPECT_TRUE(cache.Get("qb").has_value());
+  EXPECT_TRUE(cache.Get("qplain").has_value());
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.bytes(),
+            std::string("qb").size() + std::string("rb").size() +
+                std::string("qplain").size() + std::string("rplain").size());
+  EXPECT_EQ(CounterValue(obs::metric_names::kCacheEvictions),
+            evictions_before + 1);
+}
+
+TEST(ResultCacheTest, EvictTagMatchesAnyTagOfMultiGraphResults) {
+  // A query that LOADs two graphs is tagged with both; ingesting into
+  // either one must invalidate it.
+  ResultCache cache(ResultCacheOptions{1024, 0, nullptr});
+  cache.Put("join", "r", {"/data/a", "/data/b"});
+  cache.Put("solo", "r", {"/data/b"});
+  cache.EvictTag("/data/a");
+  EXPECT_FALSE(cache.Get("join").has_value());
+  EXPECT_TRUE(cache.Get("solo").has_value());
+}
+
+TEST(ResultCacheTest, EvictTagOnAbsentTagIsANoOp) {
+  ResultCache cache(ResultCacheOptions{1024, 0, nullptr});
+  cache.Put("k", "v", {"/data/a"});
+  cache.EvictTag("/data/never-loaded");
+  EXPECT_TRUE(cache.Get("k").has_value());
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
 }  // namespace
 }  // namespace tgraph::server

@@ -422,6 +422,121 @@ TEST_F(ServerE2eTest, SlowQueryLogRecordsStructuredEntries) {
   EXPECT_NE(log.find("\"label\":\"AZOOM\""), std::string::npos) << log;
 }
 
+ingest::Event AddVertexEvent(int64_t vid, TimePoint at) {
+  ingest::Event event;
+  event.kind = ingest::EventKind::kAddVertex;
+  event.id = vid;
+  event.at = at;
+  event.props = Properties{{"type", "person"}};
+  return event;
+}
+
+ingest::Event AddEdgeEvent(int64_t eid, VertexId src, VertexId dst,
+                           TimePoint at) {
+  ingest::Event event;
+  event.kind = ingest::EventKind::kAddEdge;
+  event.id = eid;
+  event.src = src;
+  event.dst = dst;
+  event.at = at;
+  event.props = Properties{{"type", "knows"}};
+  return event;
+}
+
+TEST_F(ServerE2eTest, IngestVerbMakesEventsDurableAndQueryable) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+  std::string live_dir = dir_ + "/live";
+  std::string script = "LOAD '" + live_dir + "' AS g;\nINFO g;";
+
+  Result<Response> ack = client.Ingest(
+      live_dir, {AddVertexEvent(1, 1), AddVertexEvent(2, 2),
+                 AddEdgeEvent(9, 1, 2, 3)},
+      /*horizon=*/100);
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_NE(ack->body.find("ingested 3 events"), std::string::npos)
+      << ack->body;
+  EXPECT_NE(ack->body.find("seq=1"), std::string::npos) << ack->body;
+
+  Result<Response> first = client.Query(script);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_NE(first->body.find("vertices=2 edges=1"), std::string::npos)
+      << first->body;
+
+  // A second batch advances the graph; the same script must answer with
+  // the new state, not a stale cached result (the key carries the epoch).
+  Result<Response> ack2 =
+      client.Ingest(live_dir, {AddVertexEvent(3, 10)});
+  ASSERT_TRUE(ack2.ok()) << ack2.status();
+  EXPECT_NE(ack2->body.find("seq=2"), std::string::npos) << ack2->body;
+  Result<Response> second = client.Query(script);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE(second->cache_hit());
+  EXPECT_NE(second->body.find("vertices=3 edges=1"), std::string::npos)
+      << second->body;
+
+  // The acked batches survive a server restart: the WAL replays on open.
+  server->Drain();
+  auto reborn = StartServer(ServerOptions{});
+  Client again = Connect(*reborn);
+  Result<Response> replayed = again.Query(script);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_NE(replayed->body.find("vertices=3 edges=1"), std::string::npos)
+      << replayed->body;
+}
+
+TEST_F(ServerE2eTest, RejectedIngestBatchAnswersAnErrorAndChangesNothing) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+  std::string live_dir = dir_ + "/live";
+
+  ASSERT_TRUE(
+      client.Ingest(live_dir, {AddVertexEvent(1, 5)}, /*horizon=*/100).ok());
+
+  // Timestamps must advance across batches: an event at the watermark is
+  // rejected wholesale, along with everything riding in the same batch.
+  Result<Response> stale = client.Ingest(
+      live_dir, {AddVertexEvent(2, 5), AddVertexEvent(3, 6)});
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().IsInvalidArgument()) << stale.status();
+
+  Result<Response> info =
+      client.Query("LOAD '" + live_dir + "' AS g;\nINFO g;");
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_NE(info->body.find("vertices=1"), std::string::npos) << info->body;
+  // The connection survives; the next well-formed batch is accepted.
+  ASSERT_TRUE(client.Ingest(live_dir, {AddVertexEvent(2, 6)}).ok());
+}
+
+TEST_F(ServerE2eTest, IngestInvalidatesOnlyTheChangedGraphsCachedResults) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+  std::string live_dir = dir_ + "/live";
+  std::string live_script = "LOAD '" + live_dir + "' AS g;\nINFO g;";
+
+  ASSERT_TRUE(
+      client.Ingest(live_dir, {AddVertexEvent(1, 1)}, /*horizon=*/100).ok());
+
+  // Warm the cache with one result per graph.
+  ASSERT_TRUE(client.Query(ZoomScript()).ok());
+  ASSERT_TRUE(client.Query(live_script).ok());
+  ASSERT_TRUE(client.Query(live_script)->cache_hit());
+  size_t entries_before = server->cache().entries();
+  ASSERT_GE(entries_before, 2u);
+
+  // Ingesting into the live graph evicts its tagged entries — and only
+  // its — so the static graph's result is still served from cache.
+  ASSERT_TRUE(client.Ingest(live_dir, {AddVertexEvent(2, 2)}).ok());
+  EXPECT_LT(server->cache().entries(), entries_before);
+  Result<Response> fig1 = client.Query(ZoomScript());
+  ASSERT_TRUE(fig1.ok()) << fig1.status();
+  EXPECT_TRUE(fig1->cache_hit());
+  Result<Response> live = client.Query(live_script);
+  ASSERT_TRUE(live.ok()) << live.status();
+  EXPECT_FALSE(live->cache_hit());
+  EXPECT_NE(live->body.find("vertices=2"), std::string::npos) << live->body;
+}
+
 TEST_F(ServerE2eTest, MetricsPortServesPrometheusOverHttp) {
   ServerOptions options;
   options.metrics_port = 0;  // ephemeral

@@ -80,6 +80,84 @@ TEST(ProtocolTest, TraceFieldRoundTripsOnlyWithItsFlag) {
   EXPECT_EQ(plain->body, "result");
 }
 
+TEST(ProtocolTest, IngestBodyRoundTrip) {
+  IngestRequest request;
+  request.dir = "/data/live-graph";
+  request.horizon = 1000;
+  ingest::Event add;
+  add.kind = ingest::EventKind::kAddVertex;
+  add.id = 42;
+  add.at = 7;
+  add.props = Properties{{"type", "person"}, {"school", "MIT"}};
+  ingest::Event edge;
+  edge.kind = ingest::EventKind::kAddEdge;
+  edge.id = -9;  // negative ids must survive the zigzag varints
+  edge.src = 42;
+  edge.dst = 43;
+  edge.at = 8;
+  edge.props = Properties{{"type", "co-author"}};
+  ingest::Event remove;
+  remove.kind = ingest::EventKind::kRemoveEdge;
+  remove.id = -9;
+  remove.at = 30;
+  request.events = {add, edge, remove};
+
+  Result<IngestRequest> decoded = DecodeIngestBody(EncodeIngestBody(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->dir, request.dir);
+  EXPECT_EQ(decoded->horizon, request.horizon);
+  ASSERT_EQ(decoded->events.size(), 3u);
+  EXPECT_EQ(decoded->events[0].kind, ingest::EventKind::kAddVertex);
+  EXPECT_EQ(decoded->events[0].id, 42);
+  EXPECT_EQ(decoded->events[0].props.Get("school")->AsString(), "MIT");
+  EXPECT_EQ(decoded->events[1].kind, ingest::EventKind::kAddEdge);
+  EXPECT_EQ(decoded->events[1].id, -9);
+  EXPECT_EQ(decoded->events[1].src, 42);
+  EXPECT_EQ(decoded->events[1].dst, 43);
+  EXPECT_EQ(decoded->events[2].kind, ingest::EventKind::kRemoveEdge);
+  EXPECT_EQ(decoded->events[2].at, 30);
+}
+
+TEST(ProtocolTest, IngestRequestRoundTripsThroughVerbFraming) {
+  IngestRequest ingest;
+  ingest.dir = "/data/g";
+  ingest::Event event;
+  event.kind = ingest::EventKind::kRemoveVertex;
+  event.id = 1;
+  event.at = 5;
+  ingest.events = {event};
+
+  Request request;
+  request.verb = Verb::kIngest;
+  request.body = EncodeIngestBody(ingest);
+  Result<Request> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kIngest);
+  Result<IngestRequest> body = DecodeIngestBody(decoded->body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  EXPECT_EQ(body->dir, "/data/g");
+  ASSERT_EQ(body->events.size(), 1u);
+  EXPECT_EQ(body->events[0].kind, ingest::EventKind::kRemoveVertex);
+}
+
+TEST(ProtocolTest, TruncatedIngestBodyRejected) {
+  IngestRequest request;
+  request.dir = "/data/g";
+  ingest::Event event;
+  event.kind = ingest::EventKind::kAddVertex;
+  event.id = 1;
+  event.at = 2;
+  event.props = Properties{{"type", "n"}};
+  request.events = {event};
+  std::string body = EncodeIngestBody(request);
+  // Every strict prefix must fail to decode rather than half-succeed.
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeIngestBody(body.substr(0, len)).ok()) << len;
+  }
+  // So must trailing garbage — an ingest body is not a stream.
+  EXPECT_FALSE(DecodeIngestBody(body + "x").ok());
+}
+
 TEST(ProtocolTest, UnknownVerbRejected) {
   Request request;
   request.verb = Verb::kPing;

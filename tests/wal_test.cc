@@ -1,0 +1,346 @@
+// Adversarial crash-recovery tests for tgraph-wal v1 (src/ingest/wal.h).
+//
+// The contract under test: an acknowledged batch survives anything short
+// of media corruption; a torn final record (crash mid-append) is dropped
+// silently because it was never acknowledged; corruption of acknowledged
+// bytes is an IoError, never silent data loss.
+
+#include "ingest/wal.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tgraph::ingest {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* base = ::getenv("TMPDIR");
+  std::string dir = base != nullptr ? base : "/tmp";
+  return dir + "/tgwal_test_" + name + "_" + std::to_string(::getpid());
+}
+
+Event AddVertex(int64_t vid, TimePoint at) {
+  Event event;
+  event.kind = EventKind::kAddVertex;
+  event.id = vid;
+  event.at = at;
+  event.props = Properties{{"type", "t"}};
+  return event;
+}
+
+Event RemoveVertex(int64_t vid, TimePoint at) {
+  Event event;
+  event.kind = EventKind::kRemoveVertex;
+  event.id = vid;
+  event.at = at;
+  return event;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  /// Creates a WAL with two acknowledged batches and closes it.
+  void WriteTwoBatches() {
+    path_ = TempPath(::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name());
+    std::remove(path_.c_str());
+    WalHeader header;
+    header.horizon = 1000;
+    header.base_seq = 0;
+    Result<std::unique_ptr<Wal>> wal =
+        Wal::Open(path_, header, /*sync=*/false, /*replay=*/nullptr);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    ASSERT_TRUE((*wal)->Append(1, {AddVertex(1, 10), AddVertex(2, 11)}).ok());
+    ASSERT_TRUE((*wal)->Append(2, {RemoveVertex(1, 20)}).ok());
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+
+  std::string path_;
+};
+
+TEST_F(WalTest, RoundTripTwoBatches) {
+  WriteTwoBatches();
+  Result<WalReplay> replay = ReplayWalFile(path_);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_FALSE(replay->torn_tail);
+  EXPECT_EQ(replay->header.horizon, 1000);
+  EXPECT_EQ(replay->header.base_seq, 0u);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].seq, 1u);
+  ASSERT_EQ(replay->records[0].events.size(), 2u);
+  EXPECT_EQ(replay->records[0].events[0].id, 1);
+  EXPECT_EQ(replay->records[0].events[0].kind, EventKind::kAddVertex);
+  EXPECT_EQ(replay->records[0].events[0].props.Get("type")->AsString(), "t");
+  EXPECT_EQ(replay->records[1].seq, 2u);
+  EXPECT_EQ(replay->records[1].events[0].kind, EventKind::kRemoveVertex);
+}
+
+TEST_F(WalTest, MissingFileIsNotFound) {
+  Result<WalReplay> replay = ReplayWalFile(TempPath("does_not_exist"));
+  ASSERT_FALSE(replay.ok());
+  EXPECT_TRUE(replay.status().IsNotFound());
+}
+
+TEST_F(WalTest, TornFinalRecordIsDroppedSilently) {
+  WriteTwoBatches();
+  std::string bytes = ReadAll(path_);
+  const uint64_t full = bytes.size();
+  // Chop bytes off the final record one at a time: every cut must replay
+  // the first batch intact and report a torn tail — a crash mid-append
+  // loses only the unacknowledged batch.
+  for (uint64_t cut = full - 1; cut > full - kWalRecordFrameSize - 2; --cut) {
+    WriteAll(path_, bytes.substr(0, cut));
+    Result<WalReplay> replay = ReplayWalFile(path_);
+    ASSERT_TRUE(replay.ok()) << "cut at " << cut << ": " << replay.status();
+    EXPECT_TRUE(replay->torn_tail) << "cut at " << cut;
+    ASSERT_EQ(replay->records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(replay->records[0].seq, 1u);
+  }
+
+  // Re-opening the torn file truncates the tail and accepts new appends.
+  WriteAll(path_, bytes.substr(0, full - 3));
+  WalReplay replay;
+  Result<std::unique_ptr<Wal>> wal =
+      Wal::Open(path_, WalHeader{}, /*sync=*/false, &replay);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  EXPECT_TRUE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), 1u);
+  ASSERT_TRUE((*wal)->Append(2, {AddVertex(3, 30)}).ok());
+  ASSERT_TRUE((*wal)->Close().ok());
+  Result<WalReplay> after = ReplayWalFile(path_);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->torn_tail);
+  ASSERT_EQ(after->records.size(), 2u);
+  EXPECT_EQ(after->records[1].seq, 2u);
+  EXPECT_EQ(after->records[1].events[0].id, 3);
+}
+
+TEST_F(WalTest, TruncatedHeaderIsTornNotCorrupt) {
+  WriteTwoBatches();
+  std::string bytes = ReadAll(path_);
+  // A file shorter than the header can only come from a crash during
+  // creation — nothing was ever acknowledged, so it replays empty.
+  for (size_t cut : std::vector<size_t>{0, 1, 8, kWalHeaderSize - 1}) {
+    WriteAll(path_, bytes.substr(0, cut));
+    Result<WalReplay> replay = ReplayWalFile(path_);
+    ASSERT_TRUE(replay.ok()) << "cut at " << cut << ": " << replay.status();
+    // A zero-byte file has nothing torn; any partial header does.
+    EXPECT_EQ(replay->torn_tail, cut > 0) << "cut at " << cut;
+    EXPECT_TRUE(replay->records.empty());
+    EXPECT_EQ(replay->valid_bytes, 0u);
+  }
+}
+
+TEST_F(WalTest, BadMagicIsIoError) {
+  WriteTwoBatches();
+  std::string bytes = ReadAll(path_);
+  bytes[0] = 'X';
+  WriteAll(path_, bytes);
+  Result<WalReplay> replay = ReplayWalFile(path_);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_TRUE(replay.status().IsIoError());
+}
+
+TEST_F(WalTest, ChecksumMismatchOnAcknowledgedRecordIsIoError) {
+  WriteTwoBatches();
+  std::string bytes = ReadAll(path_);
+  // Flip one payload byte of the FIRST record: it is followed by an
+  // intact record, so this is corruption of acknowledged data, not a torn
+  // tail — it must refuse to open, not silently drop the suffix.
+  bytes[kWalHeaderSize + kWalRecordFrameSize] ^= 0x40;
+  WriteAll(path_, bytes);
+  Result<WalReplay> replay = ReplayWalFile(path_);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_TRUE(replay.status().IsIoError());
+}
+
+TEST_F(WalTest, FlippedByteInFinalRecordIsIoError) {
+  WriteTwoBatches();
+  std::string bytes = ReadAll(path_);
+  // The final record is complete (its framed length fits), so a checksum
+  // mismatch there is also corruption: distinguishable from truncation.
+  bytes[bytes.size() - 1] ^= 0x01;
+  WriteAll(path_, bytes);
+  Result<WalReplay> replay = ReplayWalFile(path_);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_TRUE(replay.status().IsIoError());
+}
+
+TEST_F(WalTest, NonIncreasingSequenceIsIoError) {
+  path_ = TempPath("seq_regression");
+  std::remove(path_.c_str());
+  Result<std::unique_ptr<Wal>> wal =
+      Wal::Open(path_, WalHeader{}, /*sync=*/false, nullptr);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(5, {AddVertex(1, 10)}).ok());
+  ASSERT_TRUE((*wal)->Append(5, {AddVertex(2, 11)}).ok());  // duplicate seq
+  ASSERT_TRUE((*wal)->Close().ok());
+  Result<WalReplay> replay = ReplayWalFile(path_);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_TRUE(replay.status().IsIoError());
+}
+
+TEST_F(WalTest, OversizedLengthPrefixIsRejected) {
+  WriteTwoBatches();
+  std::string bytes = ReadAll(path_);
+  uint32_t huge = kMaxWalRecordBytes + 1;
+  std::memcpy(bytes.data() + kWalHeaderSize, &huge, sizeof(huge));
+  WriteAll(path_, bytes);
+  Result<WalReplay> replay = ReplayWalFile(path_);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_TRUE(replay.status().IsIoError());
+}
+
+TEST_F(WalTest, RotateReplacesLogAtomically) {
+  WriteTwoBatches();
+  WalReplay existing;
+  Result<std::unique_ptr<Wal>> wal =
+      Wal::Open(path_, WalHeader{}, /*sync=*/false, &existing);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(existing.records.size(), 2u);
+
+  // Compaction folded seq<=1 into the base: the rotated log carries
+  // base_seq=1 and only the unfolded suffix.
+  WalHeader rotated;
+  rotated.horizon = 1000;
+  rotated.base_seq = 1;
+  ASSERT_TRUE((*wal)->Rotate(rotated, {existing.records[1]}).ok());
+  ASSERT_TRUE((*wal)->Append(3, {AddVertex(9, 30)}).ok());
+  ASSERT_TRUE((*wal)->Close().ok());
+
+  Result<WalReplay> replay = ReplayWalFile(path_);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->header.base_seq, 1u);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].seq, 2u);
+  EXPECT_EQ(replay->records[1].seq, 3u);
+}
+
+TEST_F(WalTest, GarbageAppendedPastValidRecordsIsTornTail) {
+  WriteTwoBatches();
+  std::string bytes = ReadAll(path_);
+  // A few stray bytes (shorter than a record frame) after the last valid
+  // record: indistinguishable from a torn append, dropped on replay.
+  WriteAll(path_, bytes + "\x07\x03");
+  Result<WalReplay> replay = ReplayWalFile(path_);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(replay->torn_tail);
+  EXPECT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->valid_bytes, bytes.size());
+}
+
+TEST(WalEventTest, BinaryRoundTripAllKinds) {
+  std::vector<Event> events;
+  {
+    Event e;
+    e.kind = EventKind::kAddVertex;
+    e.id = -7;  // ZigZag: negative ids survive
+    e.at = 42;
+    e.props = Properties{{"type", "person"}, {"score", 1.5}};
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = EventKind::kSetVertexProperty;
+    e.id = 3;
+    e.at = 50;
+    e.props = Properties{{"score", 2.5}};
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = EventKind::kAddEdge;
+    e.id = 100;
+    e.src = 3;
+    e.dst = -7;
+    e.at = 60;
+    e.props = Properties{{"type", "knows"}};
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = EventKind::kRemoveEdge;
+    e.id = 100;
+    e.at = 70;
+    events.push_back(e);
+  }
+  std::string encoded;
+  EncodeEvents(events, &encoded);
+  size_t pos = 0;
+  Result<std::vector<Event>> decoded = DecodeEvents(encoded, &pos);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(pos, encoded.size());
+  ASSERT_EQ(decoded->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].kind, events[i].kind) << i;
+    EXPECT_EQ((*decoded)[i].id, events[i].id) << i;
+    EXPECT_EQ((*decoded)[i].at, events[i].at) << i;
+    EXPECT_EQ((*decoded)[i].src, events[i].src) << i;
+    EXPECT_EQ((*decoded)[i].dst, events[i].dst) << i;
+    EXPECT_EQ((*decoded)[i].props.ToString(), events[i].props.ToString()) << i;
+  }
+}
+
+TEST(WalEventTest, SetEventWithoutExactlyOneEntryIsRejected) {
+  Event e;
+  e.kind = EventKind::kSetVertexProperty;
+  e.id = 1;
+  e.at = 5;
+  e.props = Properties{{"a", 1}, {"b", 2}};  // two entries: malformed
+  std::string encoded;
+  EncodeEvent(e, &encoded);
+  size_t pos = 0;
+  Result<Event> decoded = DecodeEvent(encoded, &pos);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsIoError());
+}
+
+TEST(WalEventTest, TextGrammarRoundTrip) {
+  const char* text =
+      "# comment and blank lines are skipped\n"
+      "\n"
+      "add-vertex 1 10 type=\"person\" name=\"ann\" score=1.5\n"
+      "set-vertex 1 15 score=2\n"
+      "add-edge 100 1 2 20 type=\"knows\" active=true\n"
+      "remove-edge 100 30\n"
+      "remove-vertex 1 40\n";
+  Result<std::vector<Event>> events = ParseEventText(text);
+  ASSERT_TRUE(events.ok()) << events.status();
+  ASSERT_EQ(events->size(), 5u);
+  EXPECT_EQ((*events)[0].kind, EventKind::kAddVertex);
+  EXPECT_EQ((*events)[0].props.Get("name")->AsString(), "ann");
+  EXPECT_EQ((*events)[1].kind, EventKind::kSetVertexProperty);
+  EXPECT_EQ((*events)[2].src, 1);
+  EXPECT_EQ((*events)[2].dst, 2);
+  EXPECT_EQ((*events)[3].kind, EventKind::kRemoveEdge);
+  EXPECT_EQ((*events)[4].kind, EventKind::kRemoveVertex);
+
+  // Errors carry the line number.
+  Result<std::vector<Event>> bad = ParseEventText("add-vertex 1\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("line 1"), std::string::npos)
+      << bad.status();
+}
+
+}  // namespace
+}  // namespace tgraph::ingest

@@ -1,0 +1,130 @@
+#!/bin/sh
+# End-to-end test of the streaming write path: starts tgzd with a small
+# compaction threshold, then drives the full ingest lifecycle through tgz:
+#   - `tgz ingest --connect` appends text-grammar events; the ack names
+#     the WAL sequence and snapshot epoch,
+#   - queries against the live directory see every acknowledged batch,
+#   - crossing the delta threshold triggers a background compaction that
+#     writes a gen-NNNNNN.tgs base generation,
+#   - kill -9 mid-stream loses nothing: restart replays the CURRENT
+#     generation plus the WAL tail and answers the same query with the
+#     same result,
+#   - local (serverless) `tgz ingest` + `tgz query` work against their
+#     own directory, including an explicit --compact.
+#
+# Usage: ingest_e2e.sh <tgz> <tgzd>
+set -e
+TGZ="$1"
+TGZD="$2"
+[ -x "$TGZ" ] && [ -x "$TGZD" ] || { echo "usage: $0 <tgz> <tgzd>" >&2; exit 2; }
+
+DIR="$(mktemp -d)"
+LIVE="$DIR/live"
+TGZD_PID=""
+cleanup() {
+  [ -n "$TGZD_PID" ] && kill -9 "$TGZD_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+start_tgzd() {
+  : > "$DIR/tgzd.out"
+  "$TGZD" --port 0 --workers 2 --ingest-delta-events 6 \
+      > "$DIR/tgzd.out" 2> "$DIR/tgzd.err" &
+  TGZD_PID=$!
+  PORT=""
+  for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/^tgraphd listening on port \([0-9]*\)$/\1/p' "$DIR/tgzd.out")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "tgzd never reported its port" >&2; exit 1; }
+}
+
+start_tgzd
+
+cat > "$DIR/query.tql" <<EOF
+LOAD '$LIVE' AS g;
+INFO g;
+SNAPSHOT g AT 50;
+EOF
+
+# --- first batch: WAL-durable and immediately queryable --------------------
+cat > "$DIR/batch1.events" <<EOF
+# two people and one edge (comments and blank lines are skipped)
+
+add-vertex 1 1 type=person name=ada
+add-vertex 2 2 type=person name=grace
+add-edge 9 1 2 3 type=knows
+EOF
+"$TGZ" ingest --graph "$LIVE" --events "$DIR/batch1.events" \
+    --connect "127.0.0.1:$PORT" --horizon 1000 > "$DIR/ack1.out"
+grep -q "ingested 3 events" "$DIR/ack1.out"
+grep -q "seq=1" "$DIR/ack1.out"
+
+"$TGZ" query --script "$DIR/query.tql" --connect "127.0.0.1:$PORT" \
+    > "$DIR/q1.out"
+grep -q "vertices=2 edges=1" "$DIR/q1.out"
+
+# --- second batch crosses the threshold: background compaction -------------
+cat > "$DIR/batch2.events" <<EOF
+add-vertex 3 10 type=person
+add-vertex 4 11 type=person
+add-vertex 5 12 type=person
+add-vertex 6 13 type=person
+EOF
+"$TGZ" ingest --graph "$LIVE" --events "$DIR/batch2.events" \
+    --connect "127.0.0.1:$PORT" > "$DIR/ack2.out"
+grep -q "ingested 4 events" "$DIR/ack2.out"
+
+GEN=""
+for _ in $(seq 1 100); do
+  [ -f "$LIVE/gen-000001.tgs" ] && GEN=yes && break
+  sleep 0.1
+done
+[ -n "$GEN" ] || { echo "background compaction never produced gen-000001.tgs" >&2; exit 1; }
+grep -q "gen-000001.tgs" "$LIVE/CURRENT"
+
+"$TGZ" query --script "$DIR/query.tql" --connect "127.0.0.1:$PORT" \
+    > "$DIR/q2.out"
+grep -q "vertices=6 edges=1" "$DIR/q2.out"
+
+# --- third batch stays in the WAL tail; kill -9 must not lose it -----------
+printf 'add-vertex 7 20 type=person\n' | "$TGZ" ingest --graph "$LIVE" \
+    --connect "127.0.0.1:$PORT" > "$DIR/ack3.out"
+grep -q "ingested 1 events" "$DIR/ack3.out"
+"$TGZ" query --script "$DIR/query.tql" --connect "127.0.0.1:$PORT" \
+    > "$DIR/q3.out"
+grep -q "vertices=7 edges=1" "$DIR/q3.out"
+
+kill -9 "$TGZD_PID"
+wait "$TGZD_PID" 2>/dev/null || true
+TGZD_PID=""
+
+# Restart: CURRENT generation + WAL replay reconstruct the exact state.
+start_tgzd
+"$TGZ" query --script "$DIR/query.tql" --connect "127.0.0.1:$PORT" \
+    > "$DIR/q4.out"
+diff "$DIR/q3.out" "$DIR/q4.out"
+
+kill "$TGZD_PID" 2>/dev/null
+wait "$TGZD_PID" 2>/dev/null || true
+TGZD_PID=""
+
+# --- local (serverless) ingest against its own directory -------------------
+LOCAL="$DIR/local"
+"$TGZ" ingest --graph "$LOCAL" --events "$DIR/batch1.events" \
+    --horizon 1000 > "$DIR/local1.out"
+grep -q "ingested 3 events" "$DIR/local1.out"
+"$TGZ" ingest --graph "$LOCAL" --events "$DIR/batch2.events" \
+    --compact v > "$DIR/local2.out"
+[ -f "$LOCAL/gen-000001.tgs" ] || { echo "--compact wrote no generation" >&2; exit 1; }
+
+cat > "$DIR/local_query.tql" <<EOF
+LOAD '$LOCAL' AS g;
+INFO g;
+EOF
+"$TGZ" query --script "$DIR/local_query.tql" > "$DIR/local_q.out"
+grep -q "vertices=6 edges=1" "$DIR/local_q.out"
+
+echo "ingest e2e OK"

@@ -12,6 +12,8 @@
 //   tgz query --script FILE [--trace FILE]  (run a TQL script)
 //   tgz query --script FILE --connect host:port [--no-cache v] [--trace FILE]
 //                                (run it on a tgraphd server)
+//   tgz ingest --graph DIR [--events FILE|-] [--connect host:port]
+//              [--horizon T] [--compact v]  (stream events into a live graph)
 //   tgz stats --connect host:port [--json v]
 //                                (fetch server metrics / cache stats)
 //   tgz metrics --connect host:port (Prometheus text exposition)
@@ -34,6 +36,8 @@
 
 #include "gen/generators.h"
 #include "gen/stats.h"
+#include "ingest/event.h"
+#include "ingest/live_graph.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/client.h"
@@ -285,6 +289,31 @@ void WriteTraceFile(const std::string& path, const std::string& json) {
   std::fprintf(stderr, "tgz: wrote query trace to %s\n", path.c_str());
 }
 
+/// Local-mode loader that understands live (streaming-ingest) directories:
+/// a dir with a WAL or CURRENT pointer is opened briefly, its merged
+/// snapshot copied out, and its WAL closed again — so `tgz query` and the
+/// repl can read what `tgz ingest` wrote without a server. Static dirs
+/// fall through to the storage loaders.
+Result<TGraph> LoadLocal(const tql::LoadStatement& load) {
+  if (ingest::IsLiveDir(load.path)) {
+    ingest::LiveGraph::Options options;
+    options.delta_events_threshold = 0;  // read-only visit: no compactor
+    TG_ASSIGN_OR_RETURN(std::unique_ptr<ingest::LiveGraph> live,
+                        ingest::LiveGraph::Open(Ctx(), load.path, options));
+    std::shared_ptr<const ingest::LiveSnapshot> snap = live->snapshot();
+    TG_RETURN_IF_ERROR(live->Close());
+    TG_ASSIGN_OR_RETURN(const VeGraph* merged, snap->Graph());
+    TGraph graph = TGraph::FromVe(*merged, /*coalesced=*/true);
+    if (load.range.has_value()) graph = graph.Slice(*load.range);
+    return graph;
+  }
+  storage::LoadOptions options;
+  options.time_range = load.range;
+  TG_ASSIGN_OR_RETURN(VeGraph graph,
+                      storage::LoadVeGraph(Ctx(), load.path, options));
+  return TGraph::FromVe(std::move(graph), /*coalesced=*/true);
+}
+
 int Query(const Flags& flags) {
   std::string path = flags.Get("script");
   FILE* file = std::fopen(path.c_str(), "rb");
@@ -330,6 +359,7 @@ int Query(const Flags& flags) {
                                           /*parent_span=*/0});
   }
   tql::Interpreter interpreter(Ctx());
+  interpreter.set_loader(LoadLocal);
   Result<std::string> output = interpreter.ExecuteScript(script);
   query_scope.reset();
   DieOnError(output.status());
@@ -337,6 +367,64 @@ int Query(const Flags& flags) {
   if (query_trace != nullptr) {
     WriteTraceFile(trace_path, query_trace->ToChromeTraceJson());
   }
+  return 0;
+}
+
+/// Reads the whole of `path` ("-" = stdin) into a string; dies on error.
+std::string ReadEventsInput(const std::string& path) {
+  std::FILE* file = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (file == nullptr) Flags::Die("cannot open events file " + path);
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  if (file != stdin) std::fclose(file);
+  return text;
+}
+
+int Ingest(const Flags& flags) {
+  std::string dir = flags.Get("graph");
+  std::string text = ReadEventsInput(flags.GetOr("events", "-"));
+  Result<std::vector<ingest::Event>> events = ingest::ParseEventText(text);
+  DieOnError(events.status());
+  TimePoint horizon = flags.GetIntOr("horizon", 0);
+  if (flags.Has("connect")) {
+    // Remote mode: the server owns the WAL and the live graph; the ack
+    // means the batch is fsynced there.
+    server::Client client = ConnectedClient(flags);
+    Result<server::Response> response = client.Ingest(dir, *events, horizon);
+    DieOnError(response.status());
+    std::printf("%s\n", response->body.c_str());
+    return 0;
+  }
+  // Local mode: open (or create) the live directory in-process. Do not
+  // point this at a directory a running tgraphd is serving — two WAL
+  // writers do not compose.
+  ingest::LiveGraph::Options options;
+  if (horizon != 0) options.horizon = horizon;
+  options.delta_events_threshold = 0;  // no background compactor
+  Result<std::unique_ptr<ingest::LiveGraph>> graph =
+      ingest::LiveGraph::Open(Ctx(), dir, std::move(options));
+  DieOnError(graph.status());
+  if (!events->empty()) {
+    Result<uint64_t> seq = (*graph)->Append(*events);
+    if (!seq.ok()) {
+      (void)(*graph)->Close();
+      DieOnError(seq.status());
+    }
+    std::printf("ingested %zu events graph=%s epoch=%llu seq=%llu\n",
+                events->size(), dir.c_str(),
+                static_cast<unsigned long long>((*graph)->epoch()),
+                static_cast<unsigned long long>(*seq));
+  }
+  if (flags.Has("compact")) {
+    DieOnError((*graph)->Compact());
+    std::printf("compacted graph=%s epoch=%llu\n", dir.c_str(),
+                static_cast<unsigned long long>((*graph)->epoch()));
+  }
+  DieOnError((*graph)->Close());
   return 0;
 }
 
@@ -382,6 +470,7 @@ int SaveStore(const Flags& flags) {
 
 int Repl() {
   tql::Interpreter interpreter(Ctx());
+  interpreter.set_loader(LoadLocal);
   std::string pending;
   std::printf("tgz TQL repl — statements end with ';', ctrl-d exits\n");
   std::printf("> ");
@@ -428,6 +517,10 @@ int Help(std::FILE* out) {
       "  query       --script FILE [--connect host:port] [--no-cache v]\n"
       "              [--trace FILE]  (write this query's spans as Chrome\n"
       "              trace JSON; with --connect the server traces it)\n"
+      "  ingest      --graph DIR [--events FILE|-] [--connect host:port]\n"
+      "              [--horizon T] [--compact v]  (append events from the\n"
+      "              text grammar in docs/FORMAT.md; default reads stdin.\n"
+      "              Without --connect, opens DIR's WAL in-process)\n"
       "  stats       --connect host:port [--json v]\n"
       "  metrics     --connect host:port  (Prometheus text exposition)\n"
       "  save-store  --in DIR --out DIR [--rep ve|og|ogc]\n"
@@ -479,6 +572,7 @@ int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "wzoom") return WZoomCommand(flags);
   if (command == "snapshot") return Snapshot(flags);
   if (command == "query") return Query(flags);
+  if (command == "ingest") return Ingest(flags);
   if (command == "stats") return Stats(flags);
   if (command == "metrics") return Metrics(flags);
   if (command == "save-store") return SaveStore(flags);

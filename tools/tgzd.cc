@@ -5,6 +5,7 @@
 //        [--deadline-ms N] [--idle-timeout-ms N]
 //        [--stats-file FILE] [--trace-out FILE] [--metrics]
 //        [--metrics-port N] [--slow-query-log FILE] [--slow-query-ms N]
+//        [--wal-dir DIR] [--ingest-delta-events N] [--ingest-compact-ms N]
 //
 // Listens on loopback for framed TQL requests (src/server/protocol.h),
 // executes them on a bounded worker pool over one shared
@@ -59,6 +60,8 @@ int Help(std::FILE* out) {
       "            [--idle-timeout-ms N] [--stats-file FILE]\n"
       "            [--trace-out FILE] [--metrics] [--metrics-port N]\n"
       "            [--slow-query-log FILE] [--slow-query-ms N]\n"
+      "            [--wal-dir DIR] [--ingest-delta-events N]\n"
+      "            [--ingest-compact-ms N]\n"
       "  --port N            TCP port, loopback only (0 = ephemeral; "
       "default 7464)\n"
       "  --workers N         concurrent request executors (default 4)\n"
@@ -83,6 +86,12 @@ int Help(std::FILE* out) {
       "                      as JSONL records with per-stage breakdowns\n"
       "  --slow-query-ms N   slow-query threshold (default 100; 0 logs\n"
       "                      every query)\n"
+      "  --wal-dir DIR       collect live graphs' write-ahead logs in DIR\n"
+      "                      (default: each graph keeps <dir>/wal)\n"
+      "  --ingest-delta-events N  compact a live graph once its in-memory\n"
+      "                      delta holds N events (default 4096)\n"
+      "  --ingest-compact-ms N  also compact non-empty deltas every N ms\n"
+      "                      (default 0 = size-triggered only)\n"
       "  --help              print this help and exit\n"
       "Graph dirs named in TQL LOAD statements hold v1 columnar files or a\n"
       "tgraph-store v2 container (graph.tgs, docs/FORMAT.md); the catalog\n"
@@ -139,6 +148,13 @@ int main(int argc, char** argv) {
     options.slow_query_log = it->second;
   }
   options.slow_query_ms = int_flag("slow-query-ms", options.slow_query_ms);
+  if (auto it = flags.find("wal-dir"); it != flags.end()) {
+    options.ingest_wal_dir = it->second;
+  }
+  options.ingest_delta_events = static_cast<size_t>(int_flag(
+      "ingest-delta-events", static_cast<int64_t>(options.ingest_delta_events)));
+  options.ingest_compact_ms =
+      int_flag("ingest-compact-ms", options.ingest_compact_ms);
   std::string trace_out;
   if (auto it = flags.find("trace-out"); it != flags.end()) {
     trace_out = it->second;
