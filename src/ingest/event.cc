@@ -200,14 +200,19 @@ void EncodeEvents(const std::vector<Event>& events, std::string* out) {
 
 Result<std::vector<Event>> DecodeEvents(std::string_view data, size_t* pos) {
   TG_ASSIGN_OR_RETURN(uint64_t count, GetVarint(data, pos));
-  // An adversarial count cannot force a huge allocation: every event costs
-  // at least three bytes, so the count is bounded by the payload size.
-  if (count > data.size() - *pos) {
+  // Every event encodes to at least three bytes (kind + id + at), so a
+  // count above remaining/3 cannot be satisfied and is rejected before
+  // any allocation.
+  if (count > (data.size() - *pos) / 3) {
     return Status::IoError("event count " + std::to_string(count) +
                            " exceeds payload bytes");
   }
   std::vector<Event> events;
-  events.reserve(count);
+  // A wire-legal count can still be millions for a max-size frame, and an
+  // in-memory Event is an order of magnitude bigger than its encoding —
+  // cap the up-front reservation and let the vector grow amortized past
+  // it rather than reserving gigabytes before the first decode fails.
+  events.reserve(std::min<uint64_t>(count, 64 * 1024));
   for (uint64_t i = 0; i < count; ++i) {
     TG_ASSIGN_OR_RETURN(Event event, DecodeEvent(data, pos));
     events.push_back(std::move(event));

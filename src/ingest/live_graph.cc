@@ -629,20 +629,51 @@ void LiveGraphRegistry::set_options(LiveGraph::Options options) {
 
 Result<LiveGraph*> LiveGraphRegistry::GetOrOpen(const std::string& dir,
                                                 TimePoint horizon_if_create) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = graphs_.find(dir);
-  if (it != graphs_.end()) return it->second.get();
-  LiveGraph::Options options = options_;
+  // Claim the open or wait for whoever holds it, as GraphCatalog does for
+  // loads: the mutex is held for map bookkeeping only, never across
+  // LiveGraph::Open, so the first open of a large graph (store load +
+  // full WAL replay) does not block Find/GetOrOpen on other graphs.
+  std::shared_ptr<OpenSlot> slot;
+  LiveGraph::Options options;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = graphs_.find(dir);
+    if (it != graphs_.end()) return it->second.get();
+    auto opening = opening_.find(dir);
+    if (opening == opening_.end()) {
+      slot = std::make_shared<OpenSlot>();
+      opening_[dir] = slot;
+      options = options_;
+      break;  // this thread owns the open
+    }
+    std::shared_ptr<OpenSlot> existing = opening->second;
+    opened_cv_.wait(lock, [&] { return !existing->opening; });
+    if (!existing->error.ok()) return existing->error;
+    // Success: loop around and pick the graph up from graphs_.
+  }
+
   if (horizon_if_create != 0) options.horizon = horizon_if_create;
   if (!options.wal_path.empty()) {
     // The registry-level option names a *directory* for WALs; each graph
     // gets its own file inside it.
     options.wal_path = WalPathFor(dir, options.wal_path);
   }
-  TG_ASSIGN_OR_RETURN(std::unique_ptr<LiveGraph> graph,
-                      LiveGraph::Open(ctx_, dir, std::move(options)));
-  LiveGraph* raw = graph.get();
-  graphs_.emplace(dir, std::move(graph));
+  Result<std::unique_ptr<LiveGraph>> graph =
+      LiveGraph::Open(ctx_, dir, std::move(options));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  slot->opening = false;
+  opening_.erase(dir);
+  if (!graph.ok()) {
+    // No negative caching: the error wakes current waiters, and the next
+    // GetOrOpen claims a fresh slot and retries.
+    slot->error = graph.status();
+    opened_cv_.notify_all();
+    return graph.status();
+  }
+  LiveGraph* raw = graph->get();
+  graphs_.emplace(dir, *std::move(graph));
+  opened_cv_.notify_all();
   return raw;
 }
 
@@ -655,7 +686,10 @@ LiveGraph* LiveGraphRegistry::Find(const std::string& dir) const {
 void LiveGraphRegistry::CloseAll() {
   std::map<std::string, std::unique_ptr<LiveGraph>> graphs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // Wait out in-flight opens: a graph finishing its open after the swap
+    // below would land in the map with nobody left to close it.
+    opened_cv_.wait(lock, [this] { return opening_.empty(); });
     graphs.swap(graphs_);
   }
   for (auto& [dir, graph] : graphs) {

@@ -273,10 +273,21 @@ class LiveGraphRegistry {
   void CloseAll();
 
  private:
+  /// One in-flight LiveGraph::Open per directory. The registry mutex only
+  /// guards the maps; the open itself (base store load, full WAL replay,
+  /// fsyncs) runs outside it, so opening one large graph never stalls
+  /// lookups or opens of other graphs.
+  struct OpenSlot {
+    bool opening = true;
+    Status error;  ///< Set when the open finished unsuccessfully.
+  };
+
   dataflow::ExecutionContext* ctx_;
   mutable std::mutex mu_;
+  std::condition_variable opened_cv_;
   LiveGraph::Options options_;
   std::map<std::string, std::unique_ptr<LiveGraph>> graphs_;
+  std::map<std::string, std::shared_ptr<OpenSlot>> opening_;
 };
 
 }  // namespace tgraph::ingest

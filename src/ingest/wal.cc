@@ -292,9 +292,45 @@ Status Wal::Append(uint64_t seq, const std::vector<Event>& events,
       obs::metric_names::kIngestWalBytes);
 
   if (fd_ < 0) return Status::Internal("WAL is closed");
+  if (poisoned_) {
+    return Status::IoError("WAL at '" + path_ +
+                           "' is poisoned by an earlier failed append; "
+                           "reopen to recover");
+  }
   const std::string frame = EncodeRecord(seq, events);
-  TG_RETURN_IF_ERROR(WriteAll(fd_, frame, path_));
-  if (sync_) TG_RETURN_IF_ERROR(SyncFd(fd_, path_));
+  Status written = WriteAll(fd_, frame, path_);
+  if (written.ok()) {
+    if (sync_) {
+      Status synced = SyncFd(fd_, path_);
+      if (!synced.ok()) {
+        // After a failed fdatasync the kernel may have marked dirty pages
+        // clean without persisting them, so no later sync can be trusted
+        // to cover this file again (the "fsyncgate" failure mode): refuse
+        // every further append until the WAL is reopened from a clean fd.
+        poisoned_ = true;
+        return Status::IoError("append to '" + path_ + "' failed (" +
+                               synced.message() +
+                               "); WAL poisoned until reopened");
+      }
+    }
+  } else {
+    // A failed or partial write leaves a torn frame after the valid
+    // prefix with the fd offset past it; a later successful append would
+    // then bury acknowledged records behind garbage that replay either
+    // truncates away (losing them) or trips over (IoError). Roll the
+    // file back to the last acknowledged byte — and if even that fails,
+    // poison the log so no further append can widen the damage.
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) {
+      poisoned_ = true;
+      return Status::IoError(
+          "append to '" + path_ + "' failed (" + written.message() +
+          ") and rollback to offset " + std::to_string(bytes_) +
+          " also failed: " + std::strerror(errno) +
+          "; WAL poisoned until reopened");
+    }
+    return written;
+  }
   bytes_ += frame.size();
   appends->Increment();
   wal_bytes->Add(static_cast<int64_t>(frame.size()));
@@ -339,6 +375,7 @@ Status Wal::Rotate(const WalHeader& header,
   }
   header_ = header;
   bytes_ = contents.size();
+  poisoned_ = false;  // the file was rewritten from scratch on a fresh fd
   return Status::OK();
 }
 

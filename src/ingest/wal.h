@@ -105,6 +105,13 @@ class Wal {
   /// Appends one record with a single write(2) and, when `sync` was set,
   /// fdatasync's before returning: an OK status is the durability ack.
   /// `bytes_out` (optional) reports the appended frame size.
+  ///
+  /// A failed append never leaves a torn frame for later appends to bury:
+  /// the file is rolled back to the last acknowledged byte. If that
+  /// rollback fails — or fdatasync fails, after which the kernel may have
+  /// dropped dirty pages without persisting them — the WAL is *poisoned*:
+  /// every further Append returns IoError until the file is reopened
+  /// (Open re-scans the valid prefix) or Rotate rewrites it from scratch.
   Status Append(uint64_t seq, const std::vector<Event>& events,
                 size_t* bytes_out = nullptr);
 
@@ -130,6 +137,10 @@ class Wal {
   int fd_ = -1;
   WalHeader header_;
   uint64_t bytes_ = 0;  ///< Current valid file length.
+  /// Set when a failed append could not be rolled back (or a fdatasync
+  /// failed): the bytes past bytes_ are untrustworthy, so appends are
+  /// refused until Open or Rotate re-establishes a clean file.
+  bool poisoned_ = false;
 };
 
 }  // namespace tgraph::ingest

@@ -27,7 +27,8 @@ Result<std::shared_ptr<storage::StoreReader>> GraphCatalog::GetOrOpenStore(
 }
 
 Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
-                                       const std::optional<Interval>& range) {
+                                       const std::optional<Interval>& range,
+                                       uint64_t* live_epoch) {
   static obs::Counter* loads = obs::MetricsRegistry::Global().GetCounter(
       obs::metric_names::kCatalogLoads);
   static obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
@@ -35,14 +36,17 @@ Result<TGraph> GraphCatalog::GetOrLoad(const std::string& dir,
   static obs::Gauge* graphs = obs::MetricsRegistry::Global().GetGauge(
       obs::metric_names::kCatalogGraphs);
 
-  // Live directories are served from the current ingest snapshot; the
-  // epoch in the key pins every reader admitted now to this snapshot even
-  // as later appends publish new ones.
+  // Live directories are served from the current ingest snapshot,
+  // resolved exactly once per call: the epoch in the slot key pins this
+  // load to that snapshot even as later appends publish new ones.
   std::shared_ptr<const ingest::LiveSnapshot> snap;
   if (live_graphs_ != nullptr &&
       (live_graphs_->Find(dir) != nullptr || ingest::IsLiveDir(dir))) {
     TG_ASSIGN_OR_RETURN(ingest::LiveGraph * live, live_graphs_->GetOrOpen(dir));
     snap = live->snapshot();
+  }
+  if (live_epoch != nullptr) {
+    *live_epoch = snap == nullptr ? 0 : snap->epoch();
   }
 
   std::string key = dir;

@@ -56,11 +56,17 @@ class GraphCatalog {
   ///
   /// A *live* directory (streaming ingest; ingest::IsLiveDir) is served
   /// from its LiveGraph's current snapshot instead of the disk loaders,
-  /// with the snapshot epoch folded into the cache key: a query admitted
-  /// at epoch N keeps reading epoch N's materialization even while
-  /// ingestion publishes N+1 — snapshot isolation at the catalog layer.
+  /// with the snapshot epoch folded into the slot key: the snapshot is
+  /// resolved once per call, so everything this call returns comes from
+  /// that one epoch even while ingestion publishes newer ones, and
+  /// superseded materializations stay addressable until pruned. When
+  /// `live_epoch` is non-null it receives the epoch this call actually
+  /// served (0 for a non-live directory) — the server keys cached query
+  /// results by it, since the current epoch may advance between a query's
+  /// admission and its loads.
   Result<TGraph> GetOrLoad(const std::string& dir,
-                           const std::optional<Interval>& range);
+                           const std::optional<Interval>& range,
+                           uint64_t* live_epoch = nullptr);
 
   /// Routes live directories through `registry` (not owned; may be null
   /// to disable live serving). Set once before serving starts.

@@ -9,7 +9,9 @@
 
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <optional>
+#include <set>
 
 #include "common/logging.h"
 #include "obs/exposition.h"
@@ -454,6 +456,7 @@ void Server::HandleQuery(Session* session, const Request& request,
   bool cacheable = false;
   std::string cache_key = *canonical;
   std::vector<std::string> cache_tags;
+  std::vector<std::string> live_paths;  // live LOAD paths, statement order
   {
     // Re-derive cacheability from the parsed script (STORE has disk side
     // effects, EXPLAIN ANALYZE must re-execute to measure).
@@ -467,10 +470,12 @@ void Server::HandleQuery(Session* session, const Request& request,
                                          : "miss";
     if (cacheable) {
       // Tag the entry with every LOADed directory (scoped invalidation)
-      // and, for live (ingest) directories, pin the key to the snapshot
-      // epoch the query will read: an entry cached at epoch N can never
-      // be served after ingestion publishes N+1 — its key simply stops
-      // being generated.
+      // and fold live (ingest) directories' snapshot epochs into the key.
+      // Lookups probe the epoch current at admission; a computed result
+      // is stored under the epoch(s) its loads actually read (below), so
+      // a cached entry is only ever served for the exact snapshot it was
+      // computed from — even when an append publishes a new epoch between
+      // a query's admission and its loads.
       for (const tql::Statement& statement : *statements) {
         const auto* load = std::get_if<tql::LoadStatement>(&statement);
         if (load == nullptr) continue;
@@ -479,6 +484,7 @@ void Server::HandleQuery(Session* session, const Request& request,
             ingest::IsLiveDir(load->path)) {
           Result<ingest::LiveGraph*> live = live_graphs_.GetOrOpen(load->path);
           if (live.ok()) {
+            live_paths.push_back(load->path);
             cache_key += "|" + load->path + "@" +
                          std::to_string((*live)->epoch());
           } else {
@@ -502,9 +508,21 @@ void Server::HandleQuery(Session* session, const Request& request,
   session->deadline_at_ms =
       options_.deadline_ms > 0 ? SteadyNowMs() + options_.deadline_ms : 0;
   tql::Interpreter interpreter(ctx_);
-  interpreter.set_loader([this](const tql::LoadStatement& load) {
-    return catalog_.GetOrLoad(load.path, load.range);
-  });
+  // Record, per live path, the snapshot epoch the catalog actually served:
+  // the stored cache key is built from these, not the admission epochs.
+  std::map<std::string, uint64_t> served_epochs;
+  bool mixed_epochs = false;
+  interpreter.set_loader(
+      [this, &served_epochs, &mixed_epochs](const tql::LoadStatement& load) {
+        uint64_t live_epoch = 0;
+        Result<TGraph> graph =
+            catalog_.GetOrLoad(load.path, load.range, &live_epoch);
+        if (graph.ok() && live_epoch != 0) {
+          auto [it, inserted] = served_epochs.emplace(load.path, live_epoch);
+          if (!inserted && it->second != live_epoch) mixed_epochs = true;
+        }
+        return graph;
+      });
   // Observation-only: the interpreter records per-operator costs but
   // executes exactly as it would without the store, so cached and
   // fresh results stay byte-identical.
@@ -533,7 +551,26 @@ void Server::HandleQuery(Session* session, const Request& request,
   }
   response->body = *output;
   if (cacheable) {
-    cache_.Put(cache_key, response->body, std::move(cache_tags));
+    // Store under the epochs the execution actually read. Caching under
+    // the admission key would, after a mid-query append, file an epoch
+    // N+1 result where epoch-N probes find it. Skip caching entirely when
+    // the loads disagree (two loads of one path straddled a publication,
+    // or a path turned live mid-query): such a result belongs to no
+    // single snapshot.
+    std::set<std::string> unique_live(live_paths.begin(), live_paths.end());
+    bool storable = !mixed_epochs && served_epochs.size() == unique_live.size();
+    std::string store_key = *canonical;
+    for (const std::string& path : live_paths) {
+      auto it = served_epochs.find(path);
+      if (it == served_epochs.end()) {
+        storable = false;
+        break;
+      }
+      store_key += "|" + path + "@" + std::to_string(it->second);
+    }
+    if (storable) {
+      cache_.Put(store_key, response->body, std::move(cache_tags));
+    }
   }
 }
 

@@ -8,6 +8,44 @@ namespace tgraph {
 
 using dataflow::Dataset;
 
+namespace {
+
+/// The union of a sorted history's lifetimes: property-change splits keep
+/// items of one lifetime temporally adjacent, so merging adjacent (or
+/// overlapping) intervals recovers the spans where the entity exists.
+std::vector<Interval> PresenceUnion(const History& history) {
+  std::vector<Interval> out;
+  for (const HistoryItem& item : history) {
+    if (!out.empty() && item.interval.start <= out.back().end) {
+      out.back().end = std::max(out.back().end, item.interval.end);
+    } else {
+      out.push_back(item.interval);
+    }
+  }
+  return out;
+}
+
+/// Intersection of two sorted, disjoint interval unions.
+std::vector<Interval> IntersectUnions(const std::vector<Interval>& a,
+                                      const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const TimePoint start = std::max(a[i].start, b[j].start);
+    const TimePoint end = std::min(a[i].end, b[j].end);
+    if (start < end) out.push_back(Interval(start, end));
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 TGraphBuilder& TGraphBuilder::AddVertex(VertexId vid, TimePoint at,
                                         Properties props) {
   Event event;
@@ -232,33 +270,116 @@ Result<VeGraph> TGraphBuilder::Finish(TimePoint end_of_time) {
       return Status::InvalidArgument("edge " + std::to_string(eid) +
                                      " has events but was never added");
     }
-    TG_ASSIGN_OR_RETURN(History history,
-                        Replay(std::move(seed), events, end_of_time,
-                               "edge " + std::to_string(eid)));
-    if (history.empty()) continue;
+    const std::string label = "edge " + std::to_string(eid);
     auto src_it = presence.find(src);
     auto dst_it = presence.find(dst);
     if (src_it == presence.end() || dst_it == presence.end()) {
-      return Status::InvalidArgument("edge " + std::to_string(eid) +
-                                     " references an unknown vertex");
+      return Status::InvalidArgument(label + " references an unknown vertex");
     }
+
     // A vertex removal implicitly — and permanently — ends incident
-    // edges: the edge does NOT resume if the endpoint is later re-added
-    // (only the first clipped piece of each state survives). Permanence
-    // is what lets the streaming path materialize a snapshot at any
-    // moment and keep building on it: the clip is idempotent, so a graph
-    // compacted between the removal and the re-add equals one built
-    // offline from the full log. An edge *added* outside its endpoints'
-    // lifetime is a log error.
+    // edges: the edge does NOT resume if the endpoint is later re-added.
+    // Permanence is what lets the streaming path materialize a snapshot
+    // at any moment and keep building on it: a graph compacted between
+    // the removal and a later event must accept or reject that event
+    // exactly as an offline build over the full log would. So the edge
+    // replays against the windows where BOTH endpoints exist: an add
+    // inside a window schedules an implicit removal at the window's end
+    // (unless an explicit removal closes the edge first), and a set or
+    // remove past that boundary targets a dead edge — the same error a
+    // replay from a compacted seed produces.
+    const std::vector<Interval> windows = IntersectUnions(
+        PresenceUnion(src_it->second), PresenceUnion(dst_it->second));
+    auto window_containing = [&](TimePoint at) -> const Interval* {
+      for (const Interval& window : windows) {
+        if (window.Contains(at)) return &window;
+      }
+      return nullptr;
+    };
+
+    std::vector<Event> augmented(events);
+    std::stable_sort(augmented.begin(), augmented.end(),
+                     [](const Event& a, const Event& b) {
+                       if (a.at != b.at) return a.at < b.at;
+                       return static_cast<int>(a.op) < static_cast<int>(b.op);
+                     });
+    bool alive = false;
+    TimePoint death = end_of_time;
+    if (!seed.empty() && seed.back().interval.end == end_of_time) {
+      const TimePoint open_start = seed.back().interval.start;
+      const Interval* window = window_containing(open_start);
+      if (window == nullptr) {
+        return Status::InvalidArgument(
+            label + " seeded at " + std::to_string(open_start) +
+            " while an endpoint is absent");
+      }
+      alive = true;
+      death = window->end;
+    }
+    std::vector<Event> implicit;
+    auto implicit_removal = [&implicit](TimePoint at) {
+      Event removal;
+      removal.at = at;
+      removal.op = Op::kRemove;
+      implicit.push_back(std::move(removal));
+    };
+    for (const Event& event : augmented) {
+      // `death == end_of_time` means the endpoints outlive the horizon,
+      // so the edge closes naturally and no boundary applies.
+      const bool bounded = alive && death < end_of_time;
+      switch (event.op) {
+        case Op::kAdd: {
+          if (bounded && death <= event.at) {
+            implicit_removal(death);
+            alive = false;
+          }
+          const Interval* window = window_containing(event.at);
+          if (window == nullptr) {
+            return Status::InvalidArgument(
+                label + " added at " + std::to_string(event.at) +
+                " while an endpoint is absent");
+          }
+          alive = true;  // a double add is diagnosed by Replay
+          death = window->end;
+          break;
+        }
+        case Op::kSet:
+          if (bounded && death <= event.at) {
+            return Status::InvalidArgument(
+                label + ": property set at " + std::to_string(event.at) +
+                " while absent (an endpoint was removed at " +
+                std::to_string(death) + ")");
+          }
+          break;
+        case Op::kRemove:
+          // An explicit removal at the boundary itself coincides with the
+          // implicit one and stands in for it; strictly past it, the edge
+          // is already dead and Replay reports the removal, exactly as a
+          // replay from a compacted seed would.
+          if (bounded && death < event.at) implicit_removal(death);
+          alive = false;
+          break;
+      }
+    }
+    if (alive && death < end_of_time) implicit_removal(death);
+    augmented.insert(augmented.end(), implicit.begin(), implicit.end());
+
+    TG_ASSIGN_OR_RETURN(History history,
+                        Replay(std::move(seed), std::move(augmented),
+                               end_of_time, label));
+    if (history.empty()) continue;
     for (const HistoryItem& item : history) {
+      // Replay confined every event-built state to a both-endpoints
+      // window above, so this clip is an identity for them; it still
+      // guards hand-built seeds lying outside their endpoints' presence.
       History clipped = IntersectHistoryPresence(
           IntersectHistoryPresence({item}, src_it->second), dst_it->second);
       if (clipped.empty() ||
-          clipped.front().interval.start != item.interval.start) {
+          clipped.front().interval.start != item.interval.start ||
+          clipped.front().interval.end != item.interval.end) {
         return Status::InvalidArgument(
-            "edge " + std::to_string(eid) + " added at " +
-            std::to_string(item.interval.start) +
-            " while an endpoint is absent");
+            label + " state at " + std::to_string(item.interval.start) +
+            " extends outside its endpoints' presence");
       }
       HistoryItem& piece = clipped.front();
       edges.push_back(

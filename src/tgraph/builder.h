@@ -16,9 +16,12 @@ namespace tgraph {
 ///
 /// Events may be appended in any order; Finish() replays them in timestamp
 /// order (ties resolve add < set < remove) and derives each entity's
-/// states. Removing a vertex implicitly ends its incident edges, and an
-/// edge can only be added while both endpoints are alive, so the result
-/// always satisfies Definition 2.1.
+/// states. Removing a vertex implicitly — and permanently — ends its
+/// incident edges: the edge is dead from that moment even if the vertex
+/// is later re-added, so a subsequent set or remove of the edge is a log
+/// error (a fresh add while both endpoints are alive starts a new
+/// lifetime). An edge can only be added while both endpoints are alive,
+/// so the result always satisfies Definition 2.1.
 ///
 /// Entities may appear and disappear repeatedly; every lifetime segment
 /// starts from the properties given to that segment's Add event.
@@ -67,8 +70,12 @@ class TGraphBuilder {
   /// Replays the log and returns the graph. Entities still alive are
   /// closed at `end_of_time` (which must be after every event). Fails with
   /// InvalidArgument on an inconsistent log: double add, remove/set on a
-  /// dead entity, an edge added while an endpoint is absent, an event at
-  /// or after end_of_time, or an event before a seeded state boundary.
+  /// dead entity (including an edge implicitly killed by an endpoint's
+  /// earlier removal), an edge added while an endpoint is absent, an
+  /// event at or after end_of_time, or an event before a seeded state
+  /// boundary. These judgments depend only on the event log, never on
+  /// when a compaction folded a prefix into seeds — seeded and unseeded
+  /// replays of the same log accept and reject identically.
   Result<VeGraph> Finish(TimePoint end_of_time);
 
  private:

@@ -125,6 +125,53 @@ TEST(BuilderTest, RejectsSetOnDeadEntity) {
   EXPECT_TRUE(builder.Finish(10).status().IsInvalidArgument());
 }
 
+TEST(BuilderTest, RejectsEdgeSetAfterEndpointRemoval) {
+  // A vertex removal ends incident edges *permanently*: even though a
+  // property split leaves history items past the removal's item, a later
+  // set must not resurrect the edge — the same judgment a replay from a
+  // snapshot compacted between the removal and the set produces.
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .AddVertex(2, 0, Properties{{"type", "n"}})
+      .AddEdge(9, 1, 2, 0, Properties{{"type", "e"}, {"w", 1}})
+      .SetEdgeProperty(9, 5, "w", 2)  // splits the lifetime into items
+      .RemoveVertex(2, 10)            // permanently ends the edge
+      .AddVertex(2, 20, Properties{{"type", "n"}})  // endpoint returns
+      .SetEdgeProperty(9, 50, "w", 3);
+  EXPECT_TRUE(builder.Finish(100).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, RejectsEdgeRemoveAfterEndpointRemoval) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .AddVertex(2, 0, Properties{{"type", "n"}})
+      .AddEdge(9, 1, 2, 0, Properties{{"type", "e"}})
+      .RemoveVertex(2, 10)  // the edge already ended here
+      .AddVertex(2, 20, Properties{{"type", "n"}})
+      .RemoveEdge(9, 50);
+  EXPECT_TRUE(builder.Finish(100).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, EdgeReaddedAfterEndpointReturnStartsNewLifetime) {
+  TGraphBuilder builder(Ctx());
+  builder.AddVertex(1, 0, Properties{{"type", "n"}})
+      .AddVertex(2, 0, Properties{{"type", "n"}})
+      .AddEdge(9, 1, 2, 0, Properties{{"type", "e"}, {"era", 1}})
+      .RemoveVertex(2, 10)  // implicitly ends era 1
+      .AddVertex(2, 20, Properties{{"type", "n"}})
+      .AddEdge(9, 1, 2, 30, Properties{{"type", "e"}, {"era", 2}});
+  Result<VeGraph> graph = builder.Finish(100);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  std::map<Interval, int64_t> eras;
+  for (const VeEdge& e : graph->edges().Collect()) {
+    eras[e.interval] = e.properties.Get("era")->AsInt();
+  }
+  ASSERT_EQ(eras.size(), 2u);
+  EXPECT_EQ(eras[Interval(0, 10)], 1);
+  EXPECT_EQ(eras[Interval(30, 100)], 2);
+  TG_CHECK_OK(ValidateVe(*graph));
+}
+
 TEST(BuilderTest, RejectsEdgeAddedWhileEndpointAbsent) {
   TGraphBuilder builder(Ctx());
   builder.AddVertex(1, 0, Properties{{"type", "n"}})
@@ -216,6 +263,26 @@ TEST(BuilderTest, SeededClosedEntityStaysClosed) {
   builder.SeedVertex(
       1, History{HistoryItem{{2, 8}, Properties{{"type", "n"}}}});
   builder.SetVertexProperty(1, 12, "x", 1);
+  EXPECT_TRUE(builder.Finish(kEnd).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, SeededEdgeClosedByVertexRemovalStaysClosed) {
+  const TimePoint kEnd = 100;
+  // The compacted form of RejectsEdgeSetAfterEndpointRemoval's log as of
+  // t=20: edge 9's lifetime already clipped at vertex 2's removal. The
+  // replayed suffix must reject the set exactly as the one-shot build
+  // over the full log does — acceptance cannot depend on when (or
+  // whether) compaction ran.
+  TGraphBuilder builder(Ctx());
+  builder.SeedVertex(
+      1, History{HistoryItem{{0, kEnd}, Properties{{"type", "n"}}}});
+  builder.SeedVertex(
+      2, History{HistoryItem{{0, 10}, Properties{{"type", "n"}}},
+                 HistoryItem{{20, kEnd}, Properties{{"type", "n"}}}});
+  builder.SeedEdge(
+      9, 1, 2,
+      History{HistoryItem{{0, 10}, Properties{{"type", "e"}, {"w", 2}}}});
+  builder.SetEdgeProperty(9, 50, "w", 3);
   EXPECT_TRUE(builder.Finish(kEnd).status().IsInvalidArgument());
 }
 

@@ -7,6 +7,9 @@
 
 #include "ingest/wal.h"
 
+#include <sys/resource.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -249,6 +252,50 @@ TEST_F(WalTest, GarbageAppendedPastValidRecordsIsTornTail) {
   EXPECT_EQ(replay->valid_bytes, bytes.size());
 }
 
+TEST_F(WalTest, FailedAppendRollsBackPartialWrite) {
+  WriteTwoBatches();
+  const uint64_t full = ReadAll(path_).size();
+
+  WalReplay replay;
+  Result<std::unique_ptr<Wal>> wal =
+      Wal::Open(path_, WalHeader{}, /*sync=*/false, &replay);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_EQ(replay.records.size(), 2u);
+
+  // Cap the file size a few bytes past its current length: the next
+  // append writes only part of its frame, then write(2) fails with EFBIG.
+  // (SIGXFSZ must be ignored or it kills the process before write
+  // returns.)
+  auto prev_handler = ::signal(SIGXFSZ, SIG_IGN);
+  struct rlimit old_limit;
+  ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  struct rlimit capped = old_limit;
+  capped.rlim_cur = full + 8;
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &capped), 0);
+
+  Status failed = (*wal)->Append(3, {AddVertex(3, 30)});
+
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  ::signal(SIGXFSZ, prev_handler);
+
+  ASSERT_FALSE(failed.ok());
+  // The torn frame was rolled back: acknowledged bytes end the file, so
+  // nothing is buried behind garbage.
+  EXPECT_EQ(ReadAll(path_).size(), full);
+
+  // A clean rollback leaves the WAL usable; the retry lands where the
+  // torn frame was, and the final log replays to exactly the
+  // acknowledged records.
+  ASSERT_TRUE((*wal)->Append(3, {AddVertex(3, 30)}).ok());
+  ASSERT_TRUE((*wal)->Close().ok());
+  Result<WalReplay> after = ReplayWalFile(path_);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->torn_tail);
+  ASSERT_EQ(after->records.size(), 3u);
+  EXPECT_EQ(after->records[2].seq, 3u);
+  EXPECT_EQ(after->records[2].events[0].id, 3);
+}
+
 TEST(WalEventTest, BinaryRoundTripAllKinds) {
   std::vector<Event> events;
   {
@@ -299,6 +346,18 @@ TEST(WalEventTest, BinaryRoundTripAllKinds) {
     EXPECT_EQ((*decoded)[i].dst, events[i].dst) << i;
     EXPECT_EQ((*decoded)[i].props.ToString(), events[i].props.ToString()) << i;
   }
+}
+
+TEST(WalEventTest, AbsurdEventCountIsRejectedBeforeAllocation) {
+  // A crafted frame can claim any count in its varint prefix; a count the
+  // remaining bytes cannot possibly hold (every event is ≥ 3 bytes) must
+  // fail up front instead of reserving gigabytes of Event storage.
+  std::string encoded("\xC0\x84\x3D", 3);  // varint 1'000'000
+  encoded += std::string(3, '\x00');       // ...backed by three bytes
+  size_t pos = 0;
+  Result<std::vector<Event>> decoded = DecodeEvents(encoded, &pos);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsIoError());
 }
 
 TEST(WalEventTest, SetEventWithoutExactlyOneEntryIsRejected) {
