@@ -11,6 +11,13 @@
 // graph with ~25% writes — read latencies are reported while the delta
 // grows and background compactions rewrite the base generation
 // underneath the readers.
+//
+// The serve/view group measures materialized views over the same live
+// graph: a kView read (incrementally maintained on every ingest epoch)
+// against the identical zoom recomputed uncached per request, and a
+// mixed read/write/view workload whose counters include the view
+// staleness lag (epoch publish -> snapshot republish) drawn from the
+// server's view.staleness_micros histogram.
 
 #include <algorithm>
 #include <atomic>
@@ -22,6 +29,7 @@
 
 #include "bench/bench_util.h"
 #include "ingest/event.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "storage/graph_io.h"
@@ -201,6 +209,139 @@ void MixedBench(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// --- materialized views ----------------------------------------------------
+
+// The view and the recompute script run the SAME zoom over the SAME live
+// graph, so their percentiles are directly comparable: the view pays its
+// maintenance cost on the write path (epoch listener), the recompute pays
+// on every read.
+constexpr char kViewName[] = "bench_live";
+
+std::string RecomputeScript() {
+  return "LOAD '" + LiveDir() +
+         "' AS g;\n"
+         "SET z = AZOOM g BY type AGGREGATE COUNT() AS n;\n"
+         "INFO z;";
+}
+
+void EnsureBenchView(server::Client* client) {
+  static bool registered = [client] {
+    // The source live graph must exist before the view can materialize.
+    std::lock_guard<std::mutex> lock(g_writer_mu);
+    TG_CHECK_OK(client->Ingest(LiveDir(), NextBatch(kIngestBatch)).status());
+    TG_CHECK_OK(client
+                    ->Query("CREATE VIEW " + std::string(kViewName) +
+                            " ON '" + LiveDir() +
+                            "' AS AZOOM BY type AGGREGATE COUNT() AS n;")
+                    .status());
+    return true;
+  }();
+  (void)registered;
+}
+
+void ViewReadBench(benchmark::State& state, bool from_view) {
+  server::Server* server = ServerInstance();
+  server::Client client;
+  TG_CHECK_OK(client.Connect("127.0.0.1", server->port()));
+  EnsureBenchView(&client);
+
+  std::vector<int64_t> latencies_us;
+  {
+    PhaseMetrics phase(from_view ? "serve_view" : "serve_view_recompute",
+                       &state);
+    for (auto _ : state) {
+      int64_t start = NowMicros();
+      if (from_view) {
+        TG_CHECK_OK(client.View(kViewName).status());
+      } else {
+        TG_CHECK_OK(
+            client.Query(RecomputeScript(), /*no_cache=*/true).status());
+      }
+      latencies_us.push_back(NowMicros() - start);
+    }
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto report = [&](const char* name, double p) {
+    state.counters[name] = benchmark::Counter(
+        Percentile(latencies_us, p), benchmark::Counter::kAvgThreads);
+  };
+  report("p50_us", 0.50);
+  report("p95_us", 0.95);
+  report("p99_us", 0.99);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void MixedViewBench(benchmark::State& state) {
+  server::Server* server = ServerInstance();
+  server::Client client;
+  TG_CHECK_OK(client.Connect("127.0.0.1", server->port()));
+  EnsureBenchView(&client);
+
+  obs::MetricsSnapshot before;
+  if (state.thread_index() == 0) {
+    before = obs::MetricsRegistry::Global().Snapshot();
+  }
+
+  std::vector<int64_t> view_us;
+  std::vector<int64_t> recompute_us;
+  {
+    PhaseMetrics phase("serve_mixed_view", &state);
+    size_t iteration = 0;
+    for (auto _ : state) {
+      size_t slot =
+          (iteration++ + static_cast<size_t>(state.thread_index())) % 4;
+      if (slot == 0) {
+        // 25% writes; each ack also covers the synchronous view refresh
+        // the epoch listener runs before publishing.
+        std::lock_guard<std::mutex> lock(g_writer_mu);
+        TG_CHECK_OK(
+            client.Ingest(LiveDir(), NextBatch(kIngestBatch)).status());
+      } else if (slot == 3) {
+        int64_t start = NowMicros();
+        TG_CHECK_OK(
+            client.Query(RecomputeScript(), /*no_cache=*/true).status());
+        recompute_us.push_back(NowMicros() - start);
+      } else {
+        int64_t start = NowMicros();
+        TG_CHECK_OK(client.View(kViewName).status());
+        view_us.push_back(NowMicros() - start);
+      }
+    }
+  }
+
+  std::sort(view_us.begin(), view_us.end());
+  std::sort(recompute_us.begin(), recompute_us.end());
+  auto report = [&](const char* name, std::vector<int64_t>& sorted,
+                    double p) {
+    state.counters[name] = benchmark::Counter(
+        Percentile(sorted, p), benchmark::Counter::kAvgThreads);
+  };
+  report("view_p50_us", view_us, 0.50);
+  report("view_p95_us", view_us, 0.95);
+  report("view_p99_us", view_us, 0.99);
+  report("recompute_p50_us", recompute_us, 0.50);
+  report("recompute_p95_us", recompute_us, 0.95);
+  report("recompute_p99_us", recompute_us, 0.99);
+
+  if (state.thread_index() == 0) {
+    // Staleness lag (epoch publish -> snapshot republish) for refreshes
+    // triggered during this run, from the server's own histogram.
+    obs::HistogramSnapshot staleness =
+        obs::MetricsRegistry::Global()
+            .Snapshot()
+            .DeltaSince(before)
+            .histograms[obs::metric_names::kViewStalenessMicros];
+    state.counters["staleness_p50_us"] = benchmark::Counter(
+        static_cast<double>(staleness.ApproxPercentile(0.50)));
+    state.counters["staleness_p99_us"] = benchmark::Counter(
+        static_cast<double>(staleness.ApproxPercentile(0.99)));
+    state.counters["staleness_max_us"] =
+        benchmark::Counter(static_cast<double>(staleness.max));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,6 +368,22 @@ int main(int argc, char** argv) {
       ->UseRealTime();
   benchmark::RegisterBenchmark("serve/mixed/write_frac:25/clients:4",
                                MixedBench)
+      ->Threads(4)
+      ->UseRealTime();
+
+  benchmark::RegisterBenchmark(
+      "serve/view/read",
+      [](benchmark::State& state) { ViewReadBench(state, true); })
+      ->UseRealTime();
+  benchmark::RegisterBenchmark(
+      "serve/view/recompute",
+      [](benchmark::State& state) { ViewReadBench(state, false); })
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("serve/view/mixed/write_frac:25",
+                               MixedViewBench)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("serve/view/mixed/write_frac:25/clients:4",
+                               MixedViewBench)
       ->Threads(4)
       ->UseRealTime();
 

@@ -208,6 +208,10 @@ uint64_t LiveSnapshot::last_seq() const {
   return delta_->empty() ? base_->last_seq : delta_->last_seq();
 }
 
+TimePoint LiveSnapshot::watermark() const {
+  return std::max(base_->watermark, delta_->max_event_time());
+}
+
 Result<const VeGraph*> LiveSnapshot::Graph() const {
   std::call_once(merge_once_, [this] {
     obs::Span span("ingest.merge", "ingest");

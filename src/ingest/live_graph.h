@@ -97,6 +97,24 @@ class LiveSnapshot {
   uint64_t last_seq() const;
   size_t delta_events() const { return delta_->event_count(); }
 
+  /// Largest event timestamp folded into the base generation
+  /// (TimePoint::min before the first compaction). Events at or before
+  /// this are no longer individually addressable — they live only in the
+  /// compacted seeds — which is what forces a view that missed epochs
+  /// past a compaction onto the full-recompute path.
+  TimePoint base_watermark() const { return base_->watermark; }
+
+  /// Largest event timestamp visible in this snapshot: the base
+  /// watermark, advanced by any delta events (TimePoint::min for an empty
+  /// graph). Append() admits only strictly larger timestamps, so between
+  /// two snapshots the graph can differ only on times in
+  /// (watermark_old, horizon) — the suffix property incremental view
+  /// maintenance splices on.
+  TimePoint watermark() const;
+
+  /// The frozen delta partition (never null; may be empty).
+  const DeltaPartition& delta() const { return *delta_; }
+
   /// The merged base-plus-delta graph, materialized lazily on first use
   /// and cached for the snapshot's lifetime (concurrent callers
   /// synchronize on a once_flag; the result is immutable after that).

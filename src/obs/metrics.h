@@ -250,6 +250,28 @@ inline constexpr char kIngestEpoch[] = "ingest.epoch";  // gauge
 inline constexpr char kIngestCompactions[] = "ingest.compactions";
 inline constexpr char kIngestCompactionMicros[] =
     "ingest.compaction_micros";  // histogram
+
+// Materialized zoom views (src/views).
+/// Registered views right now.
+inline constexpr char kViewCount[] = "view.count";  // gauge
+/// View snapshots published (incremental applies + full rebuilds +
+/// unchanged-value republishes).
+inline constexpr char kViewRefreshes[] = "view.refreshes";
+/// Deltas applied incrementally (cut-and-splice, no recompute).
+inline constexpr char kViewAppliedDeltas[] = "view.applied_deltas";
+/// Full recomputes: first builds plus fallbacks (PlanDelta rejections
+/// and incremental-apply errors).
+inline constexpr char kViewFullRebuilds[] = "view.full_rebuilds";
+/// Wall time of one view refresh (either path).
+inline constexpr char kViewApplyMicros[] = "view.apply_micros";  // histogram
+/// Lag between an ingest epoch publication and the refreshed view
+/// snapshot that reflects it becoming visible to readers.
+inline constexpr char kViewStalenessMicros[] =
+    "view.staleness_micros";  // histogram
+/// VIEW statements and kView requests served.
+inline constexpr char kViewQueries[] = "view.queries";
+/// Per-verb request latency for the kView protocol verb (tgraphd).
+inline constexpr char kVerbViewMicros[] = "server.verb.view_micros";
 }  // namespace metric_names
 
 }  // namespace tgraph::obs

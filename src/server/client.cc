@@ -110,4 +110,11 @@ Result<Response> Client::Ingest(const std::string& dir,
   return RoundTrip(request);
 }
 
+Result<Response> Client::View(const std::string& name) {
+  Request request;
+  request.verb = Verb::kView;
+  request.body = name;
+  return RoundTrip(request);
+}
+
 }  // namespace tgraph::server

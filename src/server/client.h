@@ -67,6 +67,10 @@ class Client {
                           const std::vector<ingest::Event>& events,
                           TimePoint horizon = 0);
 
+  /// Fetches the named materialized view, refreshed through its source's
+  /// current epoch. An empty name lists the view catalog (SHOW VIEWS).
+  Result<Response> View(const std::string& name);
+
  private:
   Result<Response> RoundTrip(const Request& request);
 

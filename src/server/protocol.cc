@@ -70,6 +70,7 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case Verb::kPing:
     case Verb::kMetrics:
     case Verb::kIngest:
+    case Verb::kView:
       request.verb = static_cast<Verb>(verb);
       break;
     default:

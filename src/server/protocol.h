@@ -32,6 +32,10 @@ namespace tgraph::server {
 ///       encoding); the response body reports the acknowledged batch
 ///       ("ingested N events graph=<dir> epoch=E seq=S"). An OK response
 ///       means the batch is WAL-durable on the server.
+///     verb kView: body is a view name; the response body is the
+///       rendered materialized view (header + content fingerprint),
+///       refreshed through its source's current epoch before serving. An
+///       empty body renders the view catalog (as SHOW VIEWS would).
 ///
 /// Response payload:
 ///   [u8 code][varint flags][varint request id][varint-prefixed body]
@@ -57,6 +61,7 @@ enum class Verb : uint8_t {
   kPing = 3,
   kMetrics = 4,
   kIngest = 5,
+  kView = 6,
 };
 
 // Request flags.

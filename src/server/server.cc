@@ -99,6 +99,8 @@ void RecordVerbLatency(Verb verb, const std::string& cache, int64_t wall_us) {
       registry.GetHistogram(obs::metric_names::kVerbMetricsMicros);
   static obs::Histogram* ingest_micros =
       registry.GetHistogram(obs::metric_names::kVerbIngestMicros);
+  static obs::Histogram* view_micros =
+      registry.GetHistogram(obs::metric_names::kVerbViewMicros);
   static obs::Histogram* hit_micros =
       registry.GetHistogram(obs::metric_names::kQueryCacheHitMicros);
   static obs::Histogram* miss_micros =
@@ -125,8 +127,47 @@ void RecordVerbLatency(Verb verb, const std::string& cache, int64_t wall_us) {
     case Verb::kIngest:
       ingest_micros->Record(wall_us);
       break;
+    case Verb::kView:
+      view_micros->Record(wall_us);
+      break;
   }
 }
+
+/// Per-request ViewCatalog adapter: forwards to the server's registry and
+/// records, per view name, the snapshot version VIEW statements actually
+/// served — the analogue of the loader's served-epoch recording, feeding
+/// the result-cache store key.
+class RecordingViews : public tql::ViewCatalog {
+ public:
+  RecordingViews(views::ViewRegistry* registry,
+                 std::map<std::string, uint64_t>* served_versions,
+                 bool* mixed)
+      : registry_(registry), served_versions_(served_versions),
+        mixed_(mixed) {}
+
+  Result<std::string> CreateView(
+      const tql::CreateViewStatement& create) override {
+    return registry_->CreateView(create);
+  }
+  Result<std::string> DropView(const std::string& name) override {
+    return registry_->DropView(name);
+  }
+  Result<std::string> ShowViews() override { return registry_->ShowViews(); }
+  Result<std::string> QueryView(const std::string& name) override {
+    uint64_t version = 0;
+    Result<std::string> rendered = registry_->QueryView(name, &version);
+    if (rendered.ok()) {
+      auto [it, inserted] = served_versions_->emplace(name, version);
+      if (!inserted && it->second != version) *mixed_ = true;
+    }
+    return rendered;
+  }
+
+ private:
+  views::ViewRegistry* registry_;
+  std::map<std::string, uint64_t>* served_versions_;
+  bool* mixed_;
+};
 
 }  // namespace
 
@@ -146,16 +187,28 @@ Server::Server(dataflow::ExecutionContext* ctx, ServerOptions options)
       catalog_(ctx),
       cache_(ResultCacheOptions{options.cache_bytes, options.cache_ttl_ms,
                                 nullptr}),
+      views_(ctx, &live_graphs_,
+             views::ViewRegistry::Options{
+                 options.views_path, options.view_max_suffix_fraction,
+                 // DROP VIEW and fallback recomputes evict exactly this
+                 // view's cached results — the tag other views' entries
+                 // never carry.
+                 [this](const std::string& name) {
+                   cache_.EvictTag("view:" + name);
+                 }}),
       live_graphs_(ctx) {
   ingest::LiveGraph::Options live;
   live.wal_path = options_.ingest_wal_dir;  // directory; see set_options
   live.delta_events_threshold = options_.ingest_delta_events;
   live.compact_interval_ms = options_.ingest_compact_ms;
   // Each publication retires the previous epoch: superseded catalog
-  // materializations are pruned and the graph's cached results evicted.
-  // (Correctness never depends on this — epochs live in the cache keys.)
+  // materializations are pruned, registered views apply the delta (so
+  // view staleness is bounded by one synchronous refresh), and the
+  // graph's cached results are evicted. (Correctness never depends on
+  // this — epochs and view versions live in the cache keys.)
   live.epoch_listener = [this](const std::string& dir, uint64_t epoch) {
     catalog_.PruneLiveEpochs(dir, epoch);
+    views_.OnEpoch(dir, epoch);
     cache_.EvictTag(dir);
   };
   live_graphs_.set_options(std::move(live));
@@ -184,6 +237,15 @@ Status Server::Start() {
 
   if (!options_.slow_query_log.empty()) {
     TG_ASSIGN_OR_RETURN(slow_log_, SlowQueryLog::Open(options_.slow_query_log));
+  }
+
+  // Re-register persisted view definitions before accepting traffic;
+  // unlike a corrupt stats profile, silently dropping views a client
+  // registered would serve wrong answers, so failure blocks startup.
+  TG_RETURN_IF_ERROR(views_.LoadFromDisk());
+  if (views_.size() > 0) {
+    TG_LOG(INFO) << "tgraphd re-registered " << views_.size()
+                 << " view(s) from '" << options_.views_path << "'";
   }
 
   TG_ASSIGN_OR_RETURN(listen_fd_, ListenLoopback(options_.port, &port_));
@@ -382,6 +444,7 @@ void Server::HandleRequest(Session* session, const std::string& payload,
                             : request->verb == Verb::kStats   ? "stats"
                             : request->verb == Verb::kMetrics ? "metrics"
                             : request->verb == Verb::kIngest  ? "ingest"
+                            : request->verb == Verb::kView    ? "view"
                                                               : "ping";
     obs::Span verb_span(std::string("tgraphd.") + verb_name, "server");
     // The request-id span nests under the verb span, so a trace can be
@@ -408,6 +471,9 @@ void Server::HandleRequest(Session* session, const std::string& payload,
         break;
       case Verb::kIngest:
         HandleIngest(*request, &response);
+        break;
+      case Verb::kView:
+        HandleView(*request, &response);
         break;
     }
   }
@@ -457,6 +523,7 @@ void Server::HandleQuery(Session* session, const Request& request,
   std::string cache_key = *canonical;
   std::vector<std::string> cache_tags;
   std::vector<std::string> live_paths;  // live LOAD paths, statement order
+  std::vector<std::string> view_names;  // VIEW statements, statement order
   {
     // Re-derive cacheability from the parsed script (STORE has disk side
     // effects, EXPLAIN ANALYZE must re-execute to measure).
@@ -477,6 +544,18 @@ void Server::HandleQuery(Session* session, const Request& request,
       // computed from — even when an append publishes a new epoch between
       // a query's admission and its loads.
       for (const tql::Statement& statement : *statements) {
+        // VIEW results change only when the view republishes, so the
+        // view's monotone snapshot version plays the role the snapshot
+        // epoch plays for live LOADs: folded into the key at admission,
+        // re-derived from what execution served at store time, and the
+        // "view:<name>" tag scopes DROP/fallback eviction to one view.
+        if (const auto* view = std::get_if<tql::ViewStatement>(&statement)) {
+          cache_tags.push_back("view:" + view->name);
+          view_names.push_back(view->name);
+          cache_key += "|view:" + view->name + "@v" +
+                       std::to_string(views_.CurrentVersion(view->name));
+          continue;
+        }
         const auto* load = std::get_if<tql::LoadStatement>(&statement);
         if (load == nullptr) continue;
         cache_tags.push_back(load->path);
@@ -523,6 +602,13 @@ void Server::HandleQuery(Session* session, const Request& request,
         }
         return graph;
       });
+  // View statements route to the server's registry; the adapter records
+  // the versions actually served for the store key below.
+  std::map<std::string, uint64_t> served_view_versions;
+  bool mixed_view_versions = false;
+  RecordingViews recording_views(&views_, &served_view_versions,
+                                 &mixed_view_versions);
+  interpreter.set_views(&recording_views);
   // Observation-only: the interpreter records per-operator costs but
   // executes exactly as it would without the store, so cached and
   // fresh results stay byte-identical.
@@ -558,7 +644,10 @@ void Server::HandleQuery(Session* session, const Request& request,
     // or a path turned live mid-query): such a result belongs to no
     // single snapshot.
     std::set<std::string> unique_live(live_paths.begin(), live_paths.end());
-    bool storable = !mixed_epochs && served_epochs.size() == unique_live.size();
+    std::set<std::string> unique_views(view_names.begin(), view_names.end());
+    bool storable = !mixed_epochs && !mixed_view_versions &&
+                    served_epochs.size() == unique_live.size() &&
+                    served_view_versions.size() == unique_views.size();
     std::string store_key = *canonical;
     for (const std::string& path : live_paths) {
       auto it = served_epochs.find(path);
@@ -567,6 +656,14 @@ void Server::HandleQuery(Session* session, const Request& request,
         break;
       }
       store_key += "|" + path + "@" + std::to_string(it->second);
+    }
+    for (const std::string& name : view_names) {
+      auto it = served_view_versions.find(name);
+      if (it == served_view_versions.end()) {
+        storable = false;
+        break;
+      }
+      store_key += "|view:" + name + "@v" + std::to_string(it->second);
     }
     if (storable) {
       cache_.Put(store_key, response->body, std::move(cache_tags));
@@ -606,6 +703,20 @@ void Server::HandleIngest(const Request& request, Response* response) {
                    " seq=" + std::to_string(*seq);
 }
 
+void Server::HandleView(const Request& request, Response* response) {
+  static obs::Counter* errors = ServerCounter(obs::metric_names::kServerErrors);
+  Result<std::string> rendered = request.body.empty()
+                                     ? views_.ShowViews()
+                                     : views_.QueryView(request.body);
+  if (!rendered.ok()) {
+    errors->Increment();
+    response->code = static_cast<uint8_t>(rendered.status().code());
+    response->body = rendered.status().ToString();
+    return;
+  }
+  response->body = *rendered;
+}
+
 std::string Server::StatsReport() {
   std::string report = "tgraphd port=" + std::to_string(port_) +
                        " workers=" + std::to_string(options_.workers) +
@@ -615,7 +726,8 @@ std::string Server::StatsReport() {
                        "\n";
   report += "cache entries=" + std::to_string(cache_.entries()) +
             " bytes=" + std::to_string(cache_.bytes()) +
-            " catalog graphs=" + std::to_string(catalog_.size()) + "\n";
+            " catalog graphs=" + std::to_string(catalog_.size()) +
+            " views=" + std::to_string(views_.size()) + "\n";
   report += "opt.stats observations=" +
             std::to_string(stats_.TotalObservations()) + "\n";
   report += stats_.ToString();
@@ -633,6 +745,7 @@ std::string Server::StatsJson() {
   json += ",\"cache\":{\"entries\":" + std::to_string(cache_.entries()) +
           ",\"bytes\":" + std::to_string(cache_.bytes()) + "}";
   json += ",\"catalog\":{\"graphs\":" + std::to_string(catalog_.size()) + "}";
+  json += ",\"views\":{\"count\":" + std::to_string(views_.size()) + "}";
   json += ",\"opt_stats\":{\"observations\":" +
           std::to_string(stats_.TotalObservations()) + ",\"cells\":[";
   bool first = true;

@@ -19,6 +19,7 @@
 #include "server/result_cache.h"
 #include "server/slow_query_log.h"
 #include "tgraph/stats.h"
+#include "views/registry.h"
 
 namespace tgraph::server {
 
@@ -85,6 +86,18 @@ struct ServerOptions {
   /// Time-based compaction cadence in milliseconds (0 = size-triggered
   /// only): every interval, a non-empty delta is compacted.
   int64_t ingest_compact_ms = 0;
+
+  /// Where materialized-view definitions persist (a TQL script of
+  /// canonicalized CREATE VIEW statements, rewritten atomically on every
+  /// DDL). Start() re-registers the definitions found there, so views
+  /// survive restarts; their state rebuilds from the compacted store +
+  /// WAL tail on first use. Empty (default) keeps views in memory only.
+  std::string views_path;
+
+  /// Incremental view maintenance gives up and recomputes fully when the
+  /// recomputed suffix would span more than this fraction of the source
+  /// lifetime (see incremental::PlanDelta).
+  double view_max_suffix_fraction = 0.75;
 };
 
 /// \brief tgraphd — the resident TQL query server. Accepts framed
@@ -131,6 +144,7 @@ class Server {
   ResultCache& cache() { return cache_; }
   GraphCatalog& catalog() { return catalog_; }
   ingest::LiveGraphRegistry& live_graphs() { return live_graphs_; }
+  views::ViewRegistry& views() { return views_; }
 
   /// Per-operator statistics observed across every query this server has
   /// executed (plus the warm-start profile). Recording is
@@ -163,6 +177,7 @@ class Server {
   void HandleQuery(Session* session, const Request& request,
                    Response* response, SlowQueryEntry* slow);
   void HandleIngest(const Request& request, Response* response);
+  void HandleView(const Request& request, Response* response);
   std::string StatsReport();
   std::string StatsJson();
   /// Serves GET /metrics over plain HTTP until drain (its own thread).
@@ -172,6 +187,11 @@ class Server {
   const ServerOptions options_;
   GraphCatalog catalog_;
   ResultCache cache_;
+  // Declared before live_graphs_ on purpose: members destruct in reverse
+  // order, so the live registry (whose compactor threads invoke the epoch
+  // listener, which refreshes views) shuts down while the view registry
+  // is still alive.
+  views::ViewRegistry views_;
   ingest::LiveGraphRegistry live_graphs_;
   opt::Stats stats_;
 

@@ -128,6 +128,31 @@ struct DropStatement {
 
 struct ListStatement {};
 
+/// CREATE VIEW <name> ON '<dir>' AS <stage> (THEN <stage>)*: registers a
+/// materialized zoom view over a live (streaming-ingest) graph
+/// directory. Stages are sourceless expressions (each consumes the
+/// previous stage's output; the first consumes the live graph), limited
+/// to the pipeline steps — AZOOM, WZOOM, SLICE, COALESCE, CONVERT.
+struct CreateViewStatement {
+  std::string name;
+  std::string path;  ///< Live graph directory the view is maintained over.
+  std::vector<Expr> stages;  ///< `source` fields are empty.
+};
+
+/// DROP VIEW <name>: unregisters the view and evicts its cached results.
+struct DropViewStatement {
+  std::string name;
+};
+
+/// SHOW VIEWS: one line per registered view (version, epoch, counters).
+struct ShowViewsStatement {};
+
+/// VIEW <name>: serves the materialized view — refreshing it to the
+/// source's current epoch first — and renders its canonical summary.
+struct ViewStatement {
+  std::string name;
+};
+
 // EXPLAIN ANALYZE wraps any other statement; forward-declared so the
 // Statement variant can contain it (it holds the inner Statement behind a
 // pointer, which also keeps the variant small).
@@ -136,7 +161,9 @@ struct ExplainStatement;
 using Statement =
     std::variant<LoadStatement, GenerateStatement, SetStatement,
                  StoreStatement, InfoStatement, SnapshotStatement,
-                 DropStatement, ListStatement, ExplainStatement>;
+                 DropStatement, ListStatement, CreateViewStatement,
+                 DropViewStatement, ShowViewsStatement, ViewStatement,
+                 ExplainStatement>;
 
 /// EXPLAIN ANALYZE <statement>: execute the inner statement and report
 /// the executed plan with per-stage timings, row counts, shuffle bytes,

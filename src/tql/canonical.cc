@@ -118,12 +118,19 @@ const char* ResolverName(Resolver resolver) {
   return "?";
 }
 
+/// " source" for graph-bound expressions, "" for a view stage (sourceless
+/// — it consumes the previous stage).
+std::string FormatSource(const std::string& source) {
+  return source.empty() ? "" : " " + source;
+}
+
 std::string FormatExpr(const Expr& expr) {
   if (const auto* ref = std::get_if<RefExpr>(&expr)) {
     return ref->source;
   }
   if (const auto* azoom = std::get_if<AZoomExpr>(&expr)) {
-    std::string out = "AZOOM " + azoom->source + " BY " + azoom->group_by;
+    std::string out =
+        "AZOOM" + FormatSource(azoom->source) + " BY " + azoom->group_by;
     for (size_t i = 0; i < azoom->aggregates.size(); ++i) {
       const AggregateClause& agg = azoom->aggregates[i];
       out += i == 0 ? " AGGREGATE " : ", ";
@@ -139,7 +146,7 @@ std::string FormatExpr(const Expr& expr) {
     return out;
   }
   if (const auto* wzoom = std::get_if<WZoomExpr>(&expr)) {
-    std::string out = "WZOOM " + wzoom->source + " WINDOW " +
+    std::string out = "WZOOM" + FormatSource(wzoom->source) + " WINDOW " +
                       std::to_string(wzoom->window) +
                       (wzoom->by_changes ? " CHANGES" : " POINTS");
     out += " NODES " + FormatQuantifier(wzoom->nodes);
@@ -152,8 +159,8 @@ std::string FormatExpr(const Expr& expr) {
     return out;
   }
   if (const auto* slice = std::get_if<SliceExpr>(&expr)) {
-    return "SLICE " + slice->source + " FROM " + std::to_string(slice->from) +
-           " TO " + std::to_string(slice->to);
+    return "SLICE" + FormatSource(slice->source) + " FROM " +
+           std::to_string(slice->from) + " TO " + std::to_string(slice->to);
   }
   if (const auto* subgraph = std::get_if<SubgraphExpr>(&expr)) {
     std::string out = "SUBGRAPH " + subgraph->source;
@@ -166,10 +173,10 @@ std::string FormatExpr(const Expr& expr) {
     return out;
   }
   if (const auto* coalesce = std::get_if<CoalesceExpr>(&expr)) {
-    return "COALESCE " + coalesce->source;
+    return "COALESCE" + FormatSource(coalesce->source);
   }
   if (const auto* convert = std::get_if<ConvertExpr>(&expr)) {
-    return "CONVERT " + convert->source + " TO " +
+    return "CONVERT" + FormatSource(convert->source) + " TO " +
            RepresentationName(convert->target);
   }
   return "";
@@ -218,6 +225,25 @@ std::string Canonicalize(const Statement& statement) {
   if (std::get_if<ListStatement>(&statement) != nullptr) {
     return "LIST";
   }
+  if (const auto* create = std::get_if<CreateViewStatement>(&statement)) {
+    std::string out =
+        "CREATE VIEW " + create->name + " ON " + QuoteString(create->path) +
+        " AS ";
+    for (size_t i = 0; i < create->stages.size(); ++i) {
+      if (i > 0) out += " THEN ";
+      out += FormatExpr(create->stages[i]);
+    }
+    return out;
+  }
+  if (const auto* drop_view = std::get_if<DropViewStatement>(&statement)) {
+    return "DROP VIEW " + drop_view->name;
+  }
+  if (std::get_if<ShowViewsStatement>(&statement) != nullptr) {
+    return "SHOW VIEWS";
+  }
+  if (const auto* view = std::get_if<ViewStatement>(&statement)) {
+    return "VIEW " + view->name;
+  }
   if (const auto* explain = std::get_if<ExplainStatement>(&statement)) {
     return "EXPLAIN ANALYZE " + Canonicalize(*explain->inner);
   }
@@ -237,8 +263,15 @@ Result<std::string> CanonicalizeScript(const std::string& script) {
 bool IsCacheable(const Statement& statement) {
   // STORE has filesystem side effects; EXPLAIN ANALYZE must re-execute to
   // measure, so serving it from the result cache would defeat its purpose.
+  // View DDL mutates the registry, and SHOW VIEWS reports versions and
+  // staleness that advance without any TQL write. VIEW itself *is*
+  // cacheable — the server folds the view's version into the cache key,
+  // exactly as it folds live snapshot epochs in for LOAD.
   return std::get_if<StoreStatement>(&statement) == nullptr &&
-         std::get_if<ExplainStatement>(&statement) == nullptr;
+         std::get_if<ExplainStatement>(&statement) == nullptr &&
+         std::get_if<CreateViewStatement>(&statement) == nullptr &&
+         std::get_if<DropViewStatement>(&statement) == nullptr &&
+         std::get_if<ShowViewsStatement>(&statement) == nullptr;
 }
 
 bool IsCacheableScript(const std::vector<Statement>& statements) {

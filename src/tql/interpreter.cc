@@ -8,6 +8,7 @@
 #include "tgraph/algebra.h"
 #include "tql/canonical.h"
 #include "tql/parser.h"
+#include "tql/pipeline_build.h"
 
 namespace tgraph::tql {
 
@@ -62,6 +63,12 @@ std::string StageDetail(const std::string& source, Representation rep) {
   return source + " [" + RepresentationName(rep) + "]";
 }
 
+Status NoViewCatalog() {
+  return Status::InvalidArgument(
+      "no view catalog: materialized views are maintained by tgraphd "
+      "(connect with --connect)");
+}
+
 }  // namespace
 
 Result<std::string> Interpreter::ExecuteScript(const std::string& script) {
@@ -90,17 +97,7 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
   }
   if (const auto* azoom = std::get_if<AZoomExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(azoom->source));
-    AZoomSpec spec;
-    spec.group_of = GroupByProperty(azoom->group_by);
-    std::vector<AggregateSpec> aggregates;
-    for (const AggregateClause& agg : azoom->aggregates) {
-      aggregates.push_back(AggregateSpec{agg.output, agg.kind, agg.input});
-    }
-    std::string new_type =
-        azoom->new_type.empty() ? azoom->group_by : azoom->new_type;
-    spec.aggregator =
-        MakeAggregator(new_type, azoom->group_by, std::move(aggregates));
-    spec.edge_type = azoom->edge_type;
+    AZoomSpec spec = BuildAZoomSpec(*azoom);
     const Representation rep = graph.representation();
     const bool observe = stats_ != nullptr || explain_ != nullptr;
     const int64_t rows_in = observe ? RecordCount(graph) : 0;
@@ -115,15 +112,7 @@ Result<TGraph> Interpreter::Evaluate(const Expr& expr) {
   }
   if (const auto* wzoom = std::get_if<WZoomExpr>(&expr)) {
     TG_ASSIGN_OR_RETURN(TGraph graph, Lookup(wzoom->source));
-    WZoomSpec spec{wzoom->by_changes ? WindowSpec::Changes(wzoom->window)
-                                     : WindowSpec::TimePoints(wzoom->window),
-                   wzoom->nodes, wzoom->edges, {}, {}};
-    for (const ResolveClause& resolve : wzoom->resolves) {
-      spec.vertex_resolve.overrides.emplace_back(resolve.attribute,
-                                                 resolve.resolver);
-      spec.edge_resolve.overrides.emplace_back(resolve.attribute,
-                                               resolve.resolver);
-    }
+    WZoomSpec spec = BuildWZoomSpec(*wzoom);
     const Representation rep = graph.representation();
     const bool observe = stats_ != nullptr || explain_ != nullptr;
     const int64_t rows_in = observe ? RecordCount(graph) : 0;
@@ -318,6 +307,26 @@ Result<std::string> Interpreter::Execute(const Statement& statement) {
       return Status::NotFound("no graph named '" + drop->name + "'");
     }
     return "dropped " + drop->name + "\n";
+  }
+  if (const auto* create = std::get_if<CreateViewStatement>(&statement)) {
+    if (views_ == nullptr) return NoViewCatalog();
+    ExplainCollector::Scope stage(explain_, "CREATE VIEW", create->name);
+    return views_->CreateView(*create);
+  }
+  if (const auto* drop_view = std::get_if<DropViewStatement>(&statement)) {
+    if (views_ == nullptr) return NoViewCatalog();
+    ExplainCollector::Scope stage(explain_, "DROP VIEW", drop_view->name);
+    return views_->DropView(drop_view->name);
+  }
+  if (std::get_if<ShowViewsStatement>(&statement) != nullptr) {
+    if (views_ == nullptr) return NoViewCatalog();
+    ExplainCollector::Scope stage(explain_, "SHOW VIEWS", "");
+    return views_->ShowViews();
+  }
+  if (const auto* view = std::get_if<ViewStatement>(&statement)) {
+    if (views_ == nullptr) return NoViewCatalog();
+    ExplainCollector::Scope stage(explain_, "VIEW", view->name);
+    return views_->QueryView(view->name);
   }
   if (const auto* explain = std::get_if<ExplainStatement>(&statement)) {
     // Swap in a fresh collector for the inner statement so the report

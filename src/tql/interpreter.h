@@ -12,6 +12,23 @@
 
 namespace tgraph::tql {
 
+/// \brief The view verbs' execution surface: CREATE VIEW / DROP VIEW /
+/// SHOW VIEWS / VIEW delegate here. Implemented by views::ViewRegistry
+/// (declared in tql so the interpreter does not depend on src/views);
+/// each method returns the statement's rendered output. A plain
+/// interpreter has no catalog — views live in tgraphd, where the
+/// registry subscribes to ingest epochs.
+class ViewCatalog {
+ public:
+  virtual ~ViewCatalog() = default;
+  virtual Result<std::string> CreateView(const CreateViewStatement& create) = 0;
+  virtual Result<std::string> DropView(const std::string& name) = 0;
+  virtual Result<std::string> ShowViews() = 0;
+  /// Serves the materialized view, refreshing it to the source's current
+  /// epoch first.
+  virtual Result<std::string> QueryView(const std::string& name) = 0;
+};
+
 /// \brief Executes TQL statements against a named-graph environment — the
 /// query-language front end the paper's conclusion plans ("we will design
 /// a query language with support for the proposed temporal zoom
@@ -65,6 +82,12 @@ class Interpreter {
   /// The collector must outlive the interpreter. Unset by default.
   void set_explain(ExplainCollector* explain) { explain_ = explain; }
 
+  /// Routes the view statements (CREATE VIEW, DROP VIEW, SHOW VIEWS,
+  /// VIEW). tgraphd points this at its view registry; unset (the
+  /// default), view statements fail with FailedPrecondition — views are
+  /// maintained by the resident server, not per-process interpreters.
+  void set_views(ViewCatalog* views) { views_ = views; }
+
  private:
   Result<TGraph> Evaluate(const Expr& expr);
 
@@ -74,6 +97,7 @@ class Interpreter {
   InterruptCheck interrupt_check_;
   opt::Stats* stats_ = nullptr;
   ExplainCollector* explain_ = nullptr;
+  ViewCatalog* views_ = nullptr;
 };
 
 }  // namespace tgraph::tql

@@ -122,10 +122,23 @@ class Parser {
     }
     if (MatchKeyword("SNAPSHOT")) return ParseSnapshot();
     if (MatchKeyword("DROP")) {
+      if (MatchKeyword("VIEW")) {
+        TG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("view name"));
+        return Statement(DropViewStatement{name});
+      }
       TG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("graph name"));
       return Statement(DropStatement{name});
     }
     if (MatchKeyword("LIST")) return Statement(ListStatement{});
+    if (MatchKeyword("CREATE")) return ParseCreateView();
+    if (MatchKeyword("SHOW")) {
+      TG_RETURN_IF_ERROR(ExpectKeyword("VIEWS"));
+      return Statement(ShowViewsStatement{});
+    }
+    if (MatchKeyword("VIEW")) {
+      TG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("view name"));
+      return Statement(ViewStatement{name});
+    }
     if (MatchKeyword("EXPLAIN")) {
       TG_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
       if (PeekKeyword("EXPLAIN")) {
@@ -137,7 +150,39 @@ class Parser {
     }
     return Error(
         "expected LOAD, GENERATE, SET, STORE, INFO, SNAPSHOT, DROP, LIST, "
-        "or EXPLAIN ANALYZE");
+        "CREATE VIEW, SHOW VIEWS, VIEW, or EXPLAIN ANALYZE");
+  }
+
+  Result<Statement> ParseCreateView() {
+    TG_RETURN_IF_ERROR(ExpectKeyword("VIEW"));
+    CreateViewStatement create;
+    TG_ASSIGN_OR_RETURN(create.name, ExpectIdentifier("view name"));
+    TG_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    TG_ASSIGN_OR_RETURN(create.path, ExpectString("graph directory"));
+    TG_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    do {
+      TG_ASSIGN_OR_RETURN(Expr stage, ParseViewStage());
+      create.stages.push_back(std::move(stage));
+    } while (MatchKeyword("THEN"));
+    return Statement(std::move(create));
+  }
+
+  /// A sourceless pipeline stage of a view definition: each stage
+  /// consumes the previous one's output, so only the operator and its
+  /// clauses appear. SUBGRAPH is not a pipeline step and is rejected.
+  Result<Expr> ParseViewStage() {
+    if (MatchKeyword("AZOOM")) return ParseAZoom(/*with_source=*/false);
+    if (MatchKeyword("WZOOM")) return ParseWZoom(/*with_source=*/false);
+    if (MatchKeyword("SLICE")) return ParseSlice(/*with_source=*/false);
+    if (MatchKeyword("COALESCE")) return Expr(CoalesceExpr{});
+    if (MatchKeyword("CONVERT")) {
+      ConvertExpr convert;
+      TG_RETURN_IF_ERROR(ExpectKeyword("TO"));
+      TG_ASSIGN_OR_RETURN(convert.target, ParseRepresentation());
+      return Expr(std::move(convert));
+    }
+    return Error(
+        "expected AZOOM, WZOOM, SLICE, COALESCE, or CONVERT view stage");
   }
 
   Result<Statement> ParseLoad() {
@@ -237,9 +282,11 @@ class Parser {
     return Error("expected VE, OG, OGC, or RG");
   }
 
-  Result<Expr> ParseAZoom() {
+  Result<Expr> ParseAZoom(bool with_source = true) {
     AZoomExpr azoom;
-    TG_ASSIGN_OR_RETURN(azoom.source, ExpectIdentifier("graph name"));
+    if (with_source) {
+      TG_ASSIGN_OR_RETURN(azoom.source, ExpectIdentifier("graph name"));
+    }
     TG_RETURN_IF_ERROR(ExpectKeyword("BY"));
     TG_ASSIGN_OR_RETURN(azoom.group_by, ExpectIdentifier("grouping attribute"));
     if (MatchKeyword("AGGREGATE")) {
@@ -285,9 +332,11 @@ class Parser {
     return agg;
   }
 
-  Result<Expr> ParseWZoom() {
+  Result<Expr> ParseWZoom(bool with_source = true) {
     WZoomExpr wzoom;
-    TG_ASSIGN_OR_RETURN(wzoom.source, ExpectIdentifier("graph name"));
+    if (with_source) {
+      TG_ASSIGN_OR_RETURN(wzoom.source, ExpectIdentifier("graph name"));
+    }
     TG_RETURN_IF_ERROR(ExpectKeyword("WINDOW"));
     TG_ASSIGN_OR_RETURN(wzoom.window, ExpectInteger("window size"));
     if (MatchKeyword("CHANGES")) {
@@ -330,9 +379,11 @@ class Parser {
     return Error("expected ALL, MOST, EXISTS, or ATLEAST");
   }
 
-  Result<Expr> ParseSlice() {
+  Result<Expr> ParseSlice(bool with_source = true) {
     SliceExpr slice;
-    TG_ASSIGN_OR_RETURN(slice.source, ExpectIdentifier("graph name"));
+    if (with_source) {
+      TG_ASSIGN_OR_RETURN(slice.source, ExpectIdentifier("graph name"));
+    }
     TG_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     TG_ASSIGN_OR_RETURN(slice.from, ExpectInteger("after FROM"));
     TG_RETURN_IF_ERROR(ExpectKeyword("TO"));

@@ -20,6 +20,11 @@ namespace tgraph::tql {
 ///               | STORE ident TO string [SORT (TEMPORAL|STRUCTURAL)]
 ///               | INFO ident | SNAPSHOT ident AT int [LIMIT int]
 ///               | DROP ident | LIST
+///               | CREATE VIEW ident ON string AS vstage {THEN vstage}
+///               | DROP VIEW ident | SHOW VIEWS | VIEW ident
+///   vstage     := sourceless zoom stage: AZOOM BY ... | WZOOM WINDOW ...
+///               | SLICE FROM int TO int | COALESCE
+///               | CONVERT TO (VE|OG|OGC|RG)
 ///   expr       := AZOOM ident BY ident [AGGREGATE agg {',' agg}]
 ///                   [TYPE string] [EDGE TYPE string]
 ///               | WZOOM ident WINDOW int [POINTS|CHANGES]

@@ -1,0 +1,30 @@
+#ifndef TGRAPH_TQL_PIPELINE_BUILD_H_
+#define TGRAPH_TQL_PIPELINE_BUILD_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tgraph/pipeline.h"
+#include "tgraph/zoom_spec.h"
+#include "tql/ast.h"
+
+namespace tgraph::tql {
+
+/// Spec construction shared by the interpreter's expression evaluator and
+/// the view registry's pipeline builder, so `SET g = AZOOM ...` and
+/// `CREATE VIEW ... AS AZOOM ...` can never drift apart semantically.
+
+/// The AZoomSpec an AZOOM clause denotes (grouping, aggregates, types).
+AZoomSpec BuildAZoomSpec(const AZoomExpr& expr);
+
+/// The WZoomSpec a WZOOM clause denotes (window, quantifiers, resolves).
+WZoomSpec BuildWZoomSpec(const WZoomExpr& expr);
+
+/// Lowers a view's stage chain to a tgraph::Pipeline. Stages must be
+/// sourceless AZOOM/WZOOM/SLICE/COALESCE/CONVERT expressions (the parser
+/// guarantees this for CREATE VIEW; anything else is InvalidArgument).
+Result<Pipeline> BuildViewPipeline(const std::vector<Expr>& stages);
+
+}  // namespace tgraph::tql
+
+#endif  // TGRAPH_TQL_PIPELINE_BUILD_H_

@@ -1,0 +1,143 @@
+#ifndef TGRAPH_VIEWS_VIEW_H_
+#define TGRAPH_VIEWS_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "ingest/live_graph.h"
+#include "tgraph/pipeline.h"
+#include "tgraph/tgraph.h"
+#include "tql/ast.h"
+
+namespace tgraph::views {
+
+/// What CREATE VIEW registered: the name, the streaming source directory
+/// the view zooms over, the parsed stage expressions (kept so the
+/// pipeline can be rebuilt after a restart), and the canonicalized
+/// CREATE VIEW statement — the form persisted to the views file and the
+/// identity under which the definition survives restarts.
+struct ViewDefinition {
+  std::string name;
+  std::string source;
+  std::vector<tql::Expr> stages;
+  std::string canonical;
+};
+
+/// One immutable published state of a materialized view. Readers grab the
+/// current snapshot with a single atomic load and keep using it while the
+/// maintainer publishes successors; nothing here mutates after publish.
+struct ViewSnapshot {
+  ViewSnapshot(TGraph graph_in, VeGraph internal_in)
+      : graph(std::move(graph_in)), internal(std::move(internal_in)) {}
+
+  /// Monotonically increasing per view (starts at 1, bumps on every
+  /// applied source epoch — including no-op epochs, so cache keys built
+  /// from the version always reflect "refreshed through epoch N").
+  uint64_t version = 0;
+  /// The source epoch this snapshot has applied (views are never ahead of
+  /// their source, never more than one refresh behind).
+  uint64_t source_epoch = 0;
+  /// The source ingest watermark the snapshot reflects: max event time
+  /// folded into `graph`. The next refresh cuts strictly after this.
+  TimePoint watermark = std::numeric_limits<TimePoint>::min();
+  /// The published zoomed graph, in the pipeline's final representation;
+  /// its content is always coalesced (canonical), so a view rebuilt from
+  /// scratch after a restart renders byte-identically.
+  TGraph graph;
+  /// The same content as a coalesced VE relation — the splice input for
+  /// the next incremental apply (VE is the only representation SpliceAtCut
+  /// can cut positionally).
+  VeGraph internal;
+  /// Lifetime counters, carried forward across snapshots.
+  uint64_t applied_deltas = 0;
+  uint64_t full_rebuilds = 0;
+  /// Why the most recent full rebuild happened ("" until the first one).
+  std::string last_fallback;
+  /// Deliberately version-free rendering of `VIEW <name>` (header +
+  /// content hash), so results converge across restarts and across the
+  /// incremental/full-recompute paths.
+  std::string rendered;
+  /// When this snapshot was published (unix micros) — staleness metric
+  /// input and SHOW VIEWS display.
+  int64_t refreshed_unix_us = 0;
+};
+
+/// \brief A registered view plus its maintenance state machine.
+///
+/// Refresh() is the single writer (serialized by a per-view mutex); it
+/// reads the source's current LiveSnapshot, decides between an
+/// incremental cut-and-splice (incremental::PlanDelta) and a full
+/// recompute, and publishes the result as a new immutable ViewSnapshot
+/// via an atomic pointer swap. Readers never block: Current() is one
+/// acquire load.
+class MaterializedView {
+ public:
+  struct Options {
+    /// Forwarded to incremental::PlanDelta: deltas whose recomputed
+    /// suffix spans more than this fraction of the source lifetime fall
+    /// back to a full recompute.
+    double max_suffix_fraction = 0.75;
+    /// Invoked (outside all locks) after a full rebuild that *replaced*
+    /// existing state, i.e. whenever previously served results may have
+    /// been recomputed. tgraphd hooks result-cache eviction here.
+    std::function<void(const std::string& name, const std::string& reason)>
+        on_fallback;
+  };
+
+  MaterializedView(dataflow::ExecutionContext* ctx, ViewDefinition definition,
+                   Pipeline pipeline, Options options);
+
+  const ViewDefinition& definition() const { return definition_; }
+
+  /// The representation the view publishes (last CONVERT target, else VE —
+  /// the source always materializes as VE).
+  Representation representation() const { return final_rep_; }
+
+  /// The latest published snapshot; nullptr until the first successful
+  /// Refresh.
+  std::shared_ptr<const ViewSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Brings the view up to `live`'s current epoch. No-op when already
+  /// there. `published_unix_us` is when the triggering epoch was
+  /// published (drives the staleness histogram); pass the current time
+  /// for query-triggered refreshes.
+  Status Refresh(ingest::LiveGraph* live, int64_t published_unix_us);
+
+ private:
+  /// Builds an unpublished snapshot around coalesced VE content: converts
+  /// to the final representation, materializes, and renders. The caller
+  /// fills counters/version/epoch before publishing.
+  Result<std::shared_ptr<ViewSnapshot>> MakeSnapshot(
+      const VeGraph& internal) const;
+  Result<std::shared_ptr<ViewSnapshot>> FullRebuild(
+      const TGraph& source, const ViewSnapshot* prev,
+      const std::string& reason) const;
+  Result<std::shared_ptr<ViewSnapshot>> ApplyDelta(
+      const TGraph& source, const ViewSnapshot& prev, TimePoint cut) const;
+
+  dataflow::ExecutionContext* ctx_;
+  const ViewDefinition definition_;
+  const Pipeline pipeline_;
+  const Representation final_rep_;
+  const Options options_;
+
+  /// Serializes Refresh (epoch listener threads, compactor, and
+  /// query-triggered refreshes can race); never held by readers.
+  std::mutex apply_mu_;
+  std::atomic<std::shared_ptr<const ViewSnapshot>> current_;
+};
+
+}  // namespace tgraph::views
+
+#endif  // TGRAPH_VIEWS_VIEW_H_

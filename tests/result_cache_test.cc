@@ -136,6 +136,30 @@ TEST(ResultCacheTest, EvictTagMatchesAnyTagOfMultiGraphResults) {
   EXPECT_TRUE(cache.Get("solo").has_value());
 }
 
+TEST(ResultCacheTest, ViewTagsEvictOnlyThatViewsEntries) {
+  // View results are tagged "view:<name>" (alongside the source graph's
+  // directory tag): DROP VIEW a / a fallback rebuild of a must drop a's
+  // entries and nothing else — not view b's, not plain graph results.
+  ResultCache cache(ResultCacheOptions{1024, 0, nullptr});
+  cache.Put("qa", "ra", {"/data/live", "view:a"});
+  cache.Put("qa2", "ra2", {"/data/live", "view:a"});
+  cache.Put("qb", "rb", {"/data/live", "view:b"});
+  cache.Put("qgraph", "rg", {"/data/live"});
+
+  cache.EvictTag("view:a");
+
+  EXPECT_FALSE(cache.Get("qa").has_value());
+  EXPECT_FALSE(cache.Get("qa2").has_value());
+  EXPECT_TRUE(cache.Get("qb").has_value());
+  EXPECT_TRUE(cache.Get("qgraph").has_value());
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // Ingesting into the source still drops everything that read it,
+  // views included (they are tagged with the source directory too).
+  cache.EvictTag("/data/live");
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
 TEST(ResultCacheTest, EvictTagOnAbsentTagIsANoOp) {
   ResultCache cache(ResultCacheOptions{1024, 0, nullptr});
   cache.Put("k", "v", {"/data/a"});

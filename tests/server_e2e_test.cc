@@ -537,6 +537,131 @@ TEST_F(ServerE2eTest, IngestInvalidatesOnlyTheChangedGraphsCachedResults) {
   EXPECT_NE(live->body.find("vertices=2"), std::string::npos) << live->body;
 }
 
+TEST_F(ServerE2eTest, ViewVerbLifecycleOverTheWire) {
+  ServerOptions options;
+  options.views_path = dir_ + "/views.tql";
+  auto server = StartServer(options);
+  Client client = Connect(*server);
+  std::string live_dir = dir_ + "/live";
+  ASSERT_TRUE(client.Ingest(live_dir,
+                            {AddVertexEvent(1, 1), AddVertexEvent(2, 2),
+                             AddEdgeEvent(9, 1, 2, 3)},
+                            /*horizon=*/100)
+                  .ok());
+
+  // Registration travels through the regular query verb (TQL DDL).
+  Result<Response> created = client.Query(
+      "CREATE VIEW people ON '" + live_dir +
+      "' AS AZOOM BY type AGGREGATE COUNT() AS n;");
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_NE(created->body.find("created view people"), std::string::npos)
+      << created->body;
+
+  // The dedicated view verb: empty name lists, a name serves.
+  Result<Response> listed = client.View("");
+  ASSERT_TRUE(listed.ok()) << listed.status();
+  EXPECT_NE(listed->body.find("people ON '" + live_dir + "'"),
+            std::string::npos)
+      << listed->body;
+  Result<Response> first = client.View("people");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->body.rfind("view people [", 0), 0u) << first->body;
+  EXPECT_NE(first->body.find("content "), std::string::npos);
+
+  // New source epoch => refreshed content on the next read.
+  ASSERT_TRUE(client.Ingest(live_dir, {AddVertexEvent(3, 10)}).ok());
+  Result<Response> second = client.View("people");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_NE(second->body, first->body);
+
+  Result<Response> dropped = client.Query("DROP VIEW people;");
+  ASSERT_TRUE(dropped.ok()) << dropped.status();
+  Result<Response> missing = client.View("people");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status();
+  EXPECT_NE(client.View("")->body.find("no views"), std::string::npos);
+}
+
+TEST_F(ServerE2eTest, ViewQueriesCacheByVersionAndInvalidateOnDrop) {
+  auto server = StartServer(ServerOptions{});
+  Client client = Connect(*server);
+  std::string live_dir = dir_ + "/live";
+  ASSERT_TRUE(
+      client.Ingest(live_dir, {AddVertexEvent(1, 1), AddVertexEvent(2, 2)},
+                    /*horizon=*/100)
+          .ok());
+  ASSERT_TRUE(client
+                  .Query("CREATE VIEW people ON '" + live_dir +
+                         "' AS AZOOM BY type AGGREGATE COUNT() AS n;")
+                  .ok());
+
+  // Identical VIEW statements hit the cache; the key carries the served
+  // view version.
+  Result<Response> first = client.Query("VIEW people;");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->cache_hit());
+  Result<Response> again = client.Query("VIEW people;");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(again->cache_hit());
+  EXPECT_EQ(again->body, first->body);
+
+  // A new epoch bumps the view version: same script, fresh execution.
+  ASSERT_TRUE(client.Ingest(live_dir, {AddVertexEvent(3, 10)}).ok());
+  Result<Response> after = client.Query("VIEW people;");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->cache_hit());
+  EXPECT_NE(after->body, first->body);
+
+  // DROP VIEW evicts the view's tagged entries.
+  ASSERT_TRUE(client.Query("VIEW people;")->cache_hit());
+  ASSERT_TRUE(client.Query("DROP VIEW people;").ok());
+  Result<Response> gone = client.Query("VIEW people;");
+  ASSERT_FALSE(gone.ok());
+  EXPECT_TRUE(gone.status().IsNotFound()) << gone.status();
+}
+
+TEST_F(ServerE2eTest, ViewsSurviveRestartAndConvergeByteIdentically) {
+  ServerOptions options;
+  options.views_path = dir_ + "/views.tql";
+  std::string live_dir = dir_ + "/live";
+  std::string body_before;
+
+  {
+    auto server = StartServer(options);
+    Client client = Connect(*server);
+    ASSERT_TRUE(client.Ingest(live_dir,
+                              {AddVertexEvent(1, 1), AddVertexEvent(2, 2),
+                               AddEdgeEvent(9, 1, 2, 3),
+                               AddVertexEvent(3, 4)},
+                              /*horizon=*/100)
+                    .ok());
+    ASSERT_TRUE(client
+                    .Query("CREATE VIEW people ON '" + live_dir +
+                           "' AS AZOOM BY type AGGREGATE COUNT() AS n;")
+                    .ok());
+    Result<Response> served = client.View("people");
+    ASSERT_TRUE(served.ok()) << served.status();
+    body_before = served->body;
+    server->Drain();
+  }
+
+  // A reborn server re-registers the persisted definition and rebuilds
+  // the view's state from the compacted store + WAL tail; the rendering
+  // is version-free, so the result is byte-identical.
+  {
+    auto server = StartServer(options);
+    Client client = Connect(*server);
+    Result<Response> listed = client.View("");
+    ASSERT_TRUE(listed.ok()) << listed.status();
+    EXPECT_NE(listed->body.find("people ON"), std::string::npos)
+        << listed->body;
+    Result<Response> served = client.View("people");
+    ASSERT_TRUE(served.ok()) << served.status();
+    EXPECT_EQ(served->body, body_before);
+    server->Drain();
+  }
+}
+
 TEST_F(ServerE2eTest, MetricsPortServesPrometheusOverHttp) {
   ServerOptions options;
   options.metrics_port = 0;  // ephemeral

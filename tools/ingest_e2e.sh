@@ -33,7 +33,7 @@ start_tgzd() {
       > "$DIR/tgzd.out" 2> "$DIR/tgzd.err" &
   TGZD_PID=$!
   PORT=""
-  for _ in $(seq 1 50); do
+  for _ in $(seq 1 200); do
     PORT=$(sed -n 's/^tgraphd listening on port \([0-9]*\)$/\1/p' "$DIR/tgzd.out")
     [ -n "$PORT" ] && break
     sleep 0.1
@@ -77,13 +77,15 @@ EOF
     --connect "127.0.0.1:$PORT" > "$DIR/ack2.out"
 grep -q "ingested 4 events" "$DIR/ack2.out"
 
+# A later threshold compaction may supersede (and unlink) gen-000001.tgs
+# before we look, so accept any generation; CURRENT is swung after the
+# generation file lands, so poll until it names one.
 GEN=""
 for _ in $(seq 1 100); do
-  [ -f "$LIVE/gen-000001.tgs" ] && GEN=yes && break
+  [ -f "$LIVE/CURRENT" ] && grep -q "gen-" "$LIVE/CURRENT" && GEN=yes && break
   sleep 0.1
 done
-[ -n "$GEN" ] || { echo "background compaction never produced gen-000001.tgs" >&2; exit 1; }
-grep -q "gen-000001.tgs" "$LIVE/CURRENT"
+[ -n "$GEN" ] || { echo "background compaction never published a gen-*.tgs" >&2; exit 1; }
 
 "$TGZ" query --script "$DIR/query.tql" --connect "127.0.0.1:$PORT" \
     > "$DIR/q2.out"

@@ -32,7 +32,7 @@ TGRAPH_TRACE_SAMPLE=1 "$TGZD" --port 0 --workers 2 --metrics-port 0 \
     --slow-query-log "$DIR/slow.jsonl" --slow-query-ms 0 \
     > "$DIR/tgzd.out" 2> "$DIR/tgzd.err" &
 TGZD_PID=$!
-for _ in $(seq 1 50); do
+for _ in $(seq 1 200); do
   PORT=$(sed -n 's/^tgraphd listening on port \([0-9]*\)$/\1/p' "$DIR/tgzd.out")
   MPORT=$(sed -n 's/^tgraphd metrics on port \([0-9]*\)$/\1/p' "$DIR/tgzd.out")
   [ -n "$PORT" ] && [ -n "$MPORT" ] && break
@@ -126,7 +126,7 @@ grep -q '"label":"AZOOM"' "$DIR/slow.jsonl"
 
 # --- SIGTERM drains with sampling on ---------------------------------------
 kill -TERM "$TGZD_PID"
-for _ in $(seq 1 50); do
+for _ in $(seq 1 200); do
   kill -0 "$TGZD_PID" 2>/dev/null || break
   sleep 0.1
 done

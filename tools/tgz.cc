@@ -15,6 +15,10 @@
 //   tgz ingest --graph DIR [--events FILE|-] [--connect host:port]
 //              [--horizon T] [--compact v]  (stream events into a live graph)
 //   tgz stats --connect host:port [--json v]
+//
+//   tgz view --connect host:port [--name NAME] (fetch the named
+//   materialized view, refreshed through the source's current epoch;
+//   without --name, lists the server's view catalog)
 //                                (fetch server metrics / cache stats)
 //   tgz metrics --connect host:port (Prometheus text exposition)
 //   tgz save-store --in DIR --out DIR [--rep ve|og|ogc]
@@ -444,6 +448,16 @@ int Metrics(const Flags& flags) {
   return 0;
 }
 
+// Views live in tgraphd (they track its ingest epochs), so this
+// subcommand is remote-only: --connect is required, like stats/metrics.
+int View(const Flags& flags) {
+  server::Client client = ConnectedClient(flags);
+  Result<server::Response> response = client.View(flags.GetOr("name", ""));
+  DieOnError(response.status());
+  std::fputs(response->body.c_str(), stdout);
+  return 0;
+}
+
 int SaveStore(const Flags& flags) {
   VeGraph graph = LoadInput(flags);
   storage::GraphWriteOptions options;
@@ -522,6 +536,9 @@ int Help(std::FILE* out) {
       "              text grammar in docs/FORMAT.md; default reads stdin.\n"
       "              Without --connect, opens DIR's WAL in-process)\n"
       "  stats       --connect host:port [--json v]\n"
+      "  view        --connect host:port [--name NAME]  (fetch the named\n"
+      "              materialized view; without --name, list the view\n"
+      "              catalog. Register with: tgz query and CREATE VIEW)\n"
       "  metrics     --connect host:port  (Prometheus text exposition)\n"
       "  save-store  --in DIR --out DIR [--rep ve|og|ogc]\n"
       "              [--partition-rows N] [--sort temporal|structural]\n"
@@ -575,6 +592,7 @@ int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "ingest") return Ingest(flags);
   if (command == "stats") return Stats(flags);
   if (command == "metrics") return Metrics(flags);
+  if (command == "view") return View(flags);
   if (command == "save-store") return SaveStore(flags);
   if (command == "repl") return Repl();
   if (command == "help" || command == "--help" || command == "-h") {

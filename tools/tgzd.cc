@@ -6,6 +6,7 @@
 //        [--stats-file FILE] [--trace-out FILE] [--metrics]
 //        [--metrics-port N] [--slow-query-log FILE] [--slow-query-ms N]
 //        [--wal-dir DIR] [--ingest-delta-events N] [--ingest-compact-ms N]
+//        [--views-file FILE] [--view-max-suffix-fraction F]
 //
 // Listens on loopback for framed TQL requests (src/server/protocol.h),
 // executes them on a bounded worker pool over one shared
@@ -61,7 +62,8 @@ int Help(std::FILE* out) {
       "            [--trace-out FILE] [--metrics] [--metrics-port N]\n"
       "            [--slow-query-log FILE] [--slow-query-ms N]\n"
       "            [--wal-dir DIR] [--ingest-delta-events N]\n"
-      "            [--ingest-compact-ms N]\n"
+      "            [--ingest-compact-ms N] [--views-file FILE]\n"
+      "            [--view-max-suffix-fraction F]\n"
       "  --port N            TCP port, loopback only (0 = ephemeral; "
       "default 7464)\n"
       "  --workers N         concurrent request executors (default 4)\n"
@@ -91,6 +93,13 @@ int Help(std::FILE* out) {
       "  --ingest-delta-events N  compact a live graph once its in-memory\n"
       "                      delta holds N events (default 4096)\n"
       "  --ingest-compact-ms N  also compact non-empty deltas every N ms\n"
+      "  --views-file FILE   persist CREATE VIEW definitions here and\n"
+      "                      re-register them on start (default: in-memory\n"
+      "                      views only)\n"
+      "  --view-max-suffix-fraction F  fall back to a full view recompute\n"
+      "                      when the incremental suffix would span more\n"
+      "                      than this fraction of the source lifetime\n"
+      "                      (default 0.75)\n"
       "                      (default 0 = size-triggered only)\n"
       "  --help              print this help and exit\n"
       "Graph dirs named in TQL LOAD statements hold v1 columnar files or a\n"
@@ -155,6 +164,12 @@ int main(int argc, char** argv) {
       "ingest-delta-events", static_cast<int64_t>(options.ingest_delta_events)));
   options.ingest_compact_ms =
       int_flag("ingest-compact-ms", options.ingest_compact_ms);
+  if (auto it = flags.find("views-file"); it != flags.end()) {
+    options.views_path = it->second;
+  }
+  if (auto it = flags.find("view-max-suffix-fraction"); it != flags.end()) {
+    options.view_max_suffix_fraction = std::stod(it->second);
+  }
   std::string trace_out;
   if (auto it = flags.find("trace-out"); it != flags.end()) {
     trace_out = it->second;

@@ -1,0 +1,120 @@
+#!/bin/sh
+# End-to-end test of materialized views over the wire: starts tgzd with a
+# views file, then drives the full view lifecycle through tgz:
+#   - CREATE VIEW through `tgz query` registers and persists the
+#     definition (canonical TQL in the --views-file),
+#   - `tgz view --name` serves the view, refreshed through the source's
+#     current ingest epoch; `tgz view` with no name lists the catalog,
+#   - every appended batch is visible on the next read,
+#   - kill -9 loses nothing: a restarted tgzd re-registers the persisted
+#     definitions, rebuilds the view from the compacted store + WAL tail,
+#     and serves a byte-identical result (renders are version-free),
+#   - DROP VIEW unregisters and survives a restart too.
+#
+# Usage: view_e2e.sh <tgz> <tgzd>
+set -e
+TGZ="$1"
+TGZD="$2"
+[ -x "$TGZ" ] && [ -x "$TGZD" ] || { echo "usage: $0 <tgz> <tgzd>" >&2; exit 2; }
+
+DIR="$(mktemp -d)"
+LIVE="$DIR/live"
+VIEWS="$DIR/views.tql"
+TGZD_PID=""
+cleanup() {
+  [ -n "$TGZD_PID" ] && kill -9 "$TGZD_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+start_tgzd() {
+  : > "$DIR/tgzd.out"
+  "$TGZD" --port 0 --workers 2 --ingest-delta-events 6 \
+      --views-file "$VIEWS" \
+      > "$DIR/tgzd.out" 2> "$DIR/tgzd.err" &
+  TGZD_PID=$!
+  PORT=""
+  for _ in $(seq 1 200); do
+    PORT=$(sed -n 's/^tgraphd listening on port \([0-9]*\)$/\1/p' "$DIR/tgzd.out")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "tgzd never reported its port" >&2; exit 1; }
+}
+
+start_tgzd
+
+# --- register a view over a live ingest directory ---------------------------
+cat > "$DIR/batch1.events" <<EOF
+add-vertex 1 1 type=person team=infra
+add-vertex 2 2 type=person team=search
+add-edge 9 1 2 3 type=knows
+EOF
+"$TGZ" ingest --graph "$LIVE" --events "$DIR/batch1.events" \
+    --connect "127.0.0.1:$PORT" --horizon 1000 > "$DIR/ack1.out"
+grep -q "ingested 3 events" "$DIR/ack1.out"
+
+printf "CREATE VIEW teams ON '%s' AS AZOOM BY team AGGREGATE COUNT() AS members;\n" \
+    "$LIVE" > "$DIR/create.tql"
+"$TGZ" query --script "$DIR/create.tql" --connect "127.0.0.1:$PORT" \
+    > "$DIR/create.out"
+grep -q "created view teams" "$DIR/create.out"
+
+# The definition is on disk, in canonical TQL.
+grep -q "CREATE VIEW teams ON" "$VIEWS"
+
+# --- serve it: list and read ------------------------------------------------
+"$TGZ" view --connect "127.0.0.1:$PORT" > "$DIR/list1.out"
+grep -q "teams ON '$LIVE'" "$DIR/list1.out"
+"$TGZ" view --name teams --connect "127.0.0.1:$PORT" > "$DIR/v1.out"
+grep -q "^view teams \[" "$DIR/v1.out"
+grep -q "^content " "$DIR/v1.out"
+
+# --- a new batch is visible on the next read --------------------------------
+cat > "$DIR/batch2.events" <<EOF
+add-vertex 3 10 type=person team=infra
+add-vertex 4 11 type=person team=infra
+EOF
+"$TGZ" ingest --graph "$LIVE" --events "$DIR/batch2.events" \
+    --connect "127.0.0.1:$PORT" > "$DIR/ack2.out"
+"$TGZ" view --name teams --connect "127.0.0.1:$PORT" > "$DIR/v2.out"
+if diff "$DIR/v1.out" "$DIR/v2.out" > /dev/null; then
+  echo "view did not refresh after ingest" >&2
+  exit 1
+fi
+
+# --- kill -9 mid-flight; restart must converge byte-identically -------------
+# One more batch so the WAL tail (past the background-compacted base) is
+# non-trivial at the moment of death.
+printf 'add-vertex 5 20 type=person team=search\n' | "$TGZ" ingest \
+    --graph "$LIVE" --connect "127.0.0.1:$PORT" > "$DIR/ack3.out"
+"$TGZ" view --name teams --connect "127.0.0.1:$PORT" > "$DIR/v3.out"
+
+kill -9 "$TGZD_PID"
+wait "$TGZD_PID" 2>/dev/null || true
+TGZD_PID=""
+
+start_tgzd
+"$TGZ" view --connect "127.0.0.1:$PORT" > "$DIR/list2.out"
+grep -q "teams ON '$LIVE'" "$DIR/list2.out"
+"$TGZ" view --name teams --connect "127.0.0.1:$PORT" > "$DIR/v4.out"
+diff "$DIR/v3.out" "$DIR/v4.out"
+
+# --- DROP VIEW persists too -------------------------------------------------
+printf 'DROP VIEW teams;\n' > "$DIR/drop.tql"
+"$TGZ" query --script "$DIR/drop.tql" --connect "127.0.0.1:$PORT" \
+    > "$DIR/drop.out"
+grep -q "dropped view teams" "$DIR/drop.out"
+if "$TGZ" view --name teams --connect "127.0.0.1:$PORT" > "$DIR/gone.out" 2>&1; then
+  echo "dropped view still served" >&2
+  exit 1
+fi
+
+kill -9 "$TGZD_PID"
+wait "$TGZD_PID" 2>/dev/null || true
+TGZD_PID=""
+start_tgzd
+"$TGZ" view --connect "127.0.0.1:$PORT" > "$DIR/list3.out"
+grep -q "no views" "$DIR/list3.out"
+
+echo "view e2e OK"
