@@ -1,0 +1,231 @@
+// Ablation (tgraph-store v3): what the per-segment encodings buy and
+// cost. For each benchmark dataset the same graph is written twice —
+// --store-version 2 (raw segments) and 3 (measured per-segment encoding
+// selection with raw fallback) — and both containers are measured on:
+//   bytes      — file size on disk (the compression claim)
+//   cold load  — open + full load, mmap and decode from scratch
+//   selective  — open + narrow ranged load with zone-map pushdown (the
+//                selective-decode claim: pruned partitions are never
+//                decoded, so the decode tax shrinks with selectivity)
+// plus the v3 footer's per-encoding segment histogram and the pruned vs
+// decoded partition counters of the selective leg.
+//
+// Prints one human-readable block per dataset and writes the machine-
+// readable trajectory to BENCH_compression.json (override the path with
+// argv[1]). Acceptance gate tracked in EXPERIMENTS.md: the NGrams-like
+// store must shrink >= 3x with a cold load no slower than the v2
+// baseline.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/metrics.h"
+#include "storage/graph_io.h"
+#include "storage/store_format.h"
+#include "storage/store_reader.h"
+
+namespace {
+
+using namespace tgraph;           // NOLINT
+using namespace tgraph::bench;    // NOLINT
+using namespace tgraph::storage;  // NOLINT
+
+constexpr int kRepeats = 5;
+
+std::string Dir(const std::string& dataset, const std::string& leg) {
+  return (std::filesystem::temp_directory_path() /
+          ("tgz_bench_compression_" + dataset + "_" + leg))
+      .string();
+}
+
+double MinMillis(const std::vector<double>& samples) {
+  double best = samples[0];
+  for (double s : samples) best = std::min(best, s);
+  return best;
+}
+
+/// One open-and-load pass, timed end to end (the cold path: header and
+/// footer parse, mmap, checksum, decode, graph build).
+double TimedLoadMillis(const std::string& dir,
+                       const std::optional<Interval>& range) {
+  LoadOptions options;
+  options.time_range = range;
+  auto start = std::chrono::steady_clock::now();
+  Result<VeGraph> g = LoadVeGraph(Ctx(), dir, options);
+  TG_CHECK_OK(g.status());
+  benchmark::DoNotOptimize(g->NumEdgeRecords());
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+struct LegResult {
+  uintmax_t bytes = 0;
+  double cold_ms = 0;
+  double selective_ms = 0;
+  int64_t partitions_pruned = 0;    // selective leg
+  int64_t partitions_decoded = 0;   // selective leg
+  int64_t segments_decoded = 0;     // selective leg (0 for v2: raw is
+                                    // served zero-copy, never decoded)
+};
+
+struct DatasetResult {
+  std::string name;
+  LegResult v2;
+  LegResult v3;
+  std::map<std::string, int> encodings;  // v3 per-encoding segment counts
+};
+
+LegResult MeasureLeg(const std::string& dir, const Interval& narrow) {
+  LegResult result;
+  result.bytes = std::filesystem::file_size(StorePath(dir));
+  std::vector<double> cold, selective;
+  for (int r = 0; r < kRepeats; ++r) {
+    cold.push_back(TimedLoadMillis(dir, std::nullopt));
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::MetricsSnapshot before = registry.Snapshot();
+  for (int r = 0; r < kRepeats; ++r) {
+    selective.push_back(TimedLoadMillis(dir, narrow));
+  }
+  obs::MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+  auto counter = [&](const char* name) -> int64_t {
+    auto it = delta.counters.find(name);
+    return it == delta.counters.end() ? 0 : it->second / kRepeats;
+  };
+  result.cold_ms = MinMillis(cold);
+  result.selective_ms = MinMillis(selective);
+  result.partitions_pruned = counter(obs::metric_names::kStorePartitionsPruned);
+  result.partitions_decoded =
+      counter(obs::metric_names::kStorePartitionsDecoded);
+  result.segments_decoded = counter(obs::metric_names::kStoreSegmentsDecoded);
+  return result;
+}
+
+std::map<std::string, int> EncodingHistogram(const std::string& dir) {
+  Result<std::unique_ptr<StoreReader>> reader =
+      StoreReader::Open(StorePath(dir));
+  TG_CHECK_OK(reader.status());
+  std::map<std::string, int> histogram;
+  for (const TableMeta& table : (*reader)->footer().tables) {
+    for (const PartitionMeta& partition : table.partitions) {
+      for (const SegmentMeta& segment : partition.segments) {
+        ++histogram[SegmentEncodingName(segment.encoding)];
+      }
+    }
+  }
+  return histogram;
+}
+
+void AppendLegJson(std::string* out, const char* name, const LegResult& leg) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"%s\": {\"bytes\": %llu, \"cold_load_ms\": %.2f, "
+                "\"selective_query_ms\": %.2f, \"partitions_pruned\": %lld, "
+                "\"partitions_decoded\": %lld, \"segments_decoded\": %lld}",
+                name, static_cast<unsigned long long>(leg.bytes), leg.cold_ms,
+                leg.selective_ms,
+                static_cast<long long>(leg.partitions_pruned),
+                static_cast<long long>(leg.partitions_decoded),
+                static_cast<long long>(leg.segments_decoded));
+  *out += buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = argc > 1 ? argv[1] : "BENCH_compression.json";
+  struct DatasetCase {
+    const char* name;
+    VeGraph (*base)();
+  };
+  DatasetCase cases[] = {{"WikiTalk", &WikiTalkBase},
+                         {"SNB", &SnbBase},
+                         {"NGrams", &NGramsBase}};
+
+  std::vector<DatasetResult> results;
+  for (const DatasetCase& c : cases) {
+    VeGraph g = c.base();
+    GraphWriteOptions options;
+    options.row_group_size = 4096;
+    // Structural locality clusters rows by interval start, which is what
+    // gives the zone maps pruning power on the selective leg (temporal
+    // locality would make every partition span the whole lifetime).
+    options.sort_order = SortOrder::kStructuralLocality;
+    options.store_version = 2;
+    TG_CHECK_OK(WriteVeStore(g, Dir(c.name, "v2"), options));
+    options.store_version = 3;
+    TG_CHECK_OK(WriteVeStore(g, Dir(c.name, "v3"), options));
+
+    Interval lifetime = g.lifetime();
+    TimePoint mid = (lifetime.start + lifetime.end) / 2;
+    Interval narrow(mid, mid + 6);
+
+    DatasetResult result;
+    result.name = c.name;
+    result.v2 = MeasureLeg(Dir(c.name, "v2"), narrow);
+    result.v3 = MeasureLeg(Dir(c.name, "v3"), narrow);
+    result.encodings = EncodingHistogram(Dir(c.name, "v3"));
+    results.push_back(result);
+
+    double ratio = static_cast<double>(result.v2.bytes) /
+                   static_cast<double>(result.v3.bytes);
+    std::printf("%s\n", c.name);
+    std::printf("  bytes          v2 %9llu   v3 %9llu   (%.2fx smaller)\n",
+                static_cast<unsigned long long>(result.v2.bytes),
+                static_cast<unsigned long long>(result.v3.bytes), ratio);
+    std::printf("  cold load      v2 %7.2f ms  v3 %7.2f ms\n",
+                result.v2.cold_ms, result.v3.cold_ms);
+    std::printf("  selective      v2 %7.2f ms  v3 %7.2f ms\n",
+                result.v2.selective_ms, result.v3.selective_ms);
+    std::printf(
+        "  selective scan pruned %lld / decoded %lld partitions, "
+        "%lld segments decoded\n",
+        static_cast<long long>(result.v3.partitions_pruned),
+        static_cast<long long>(result.v3.partitions_decoded),
+        static_cast<long long>(result.v3.segments_decoded));
+    std::printf("  v3 encodings   ");
+    for (const auto& [name, count] : result.encodings) {
+      std::printf("%s=%d ", name.c_str(), count);
+    }
+    std::printf("\n");
+    std::filesystem::remove_all(Dir(c.name, "v2"));
+    std::filesystem::remove_all(Dir(c.name, "v3"));
+  }
+
+  std::string json = "{\n  \"benchmark\": \"ablation_compression\",\n"
+                     "  \"datasets\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const DatasetResult& r = results[i];
+    json += "    {\n      \"name\": \"" + r.name + "\",\n";
+    AppendLegJson(&json, "v2_raw", r.v2);
+    json += ",\n";
+    AppendLegJson(&json, "v3_encoded", r.v3);
+    json += ",\n      \"compression_ratio\": ";
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.3f",
+                  static_cast<double>(r.v2.bytes) /
+                      static_cast<double>(r.v3.bytes));
+    json += buffer;
+    json += ",\n      \"v3_segment_encodings\": {";
+    bool first = true;
+    for (const auto& [name, count] : r.encodings) {
+      if (!first) json += ", ";
+      first = false;
+      json += "\"" + name + "\": " + std::to_string(count);
+    }
+    json += "}\n    }";
+    json += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  std::FILE* f = std::fopen(json_path.c_str(), "wb");
+  TG_CHECK(f != nullptr) << json_path;
+  TG_CHECK(std::fwrite(json.data(), 1, json.size(), f) == json.size());
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

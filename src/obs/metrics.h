@@ -25,10 +25,14 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
-/// \brief A last-value-wins instantaneous measurement.
+/// \brief A last-value-wins instantaneous measurement. Add supports
+/// gauges maintained as running deltas by many writers (e.g. bytes held
+/// by every open decoded-segment cache) where no single site knows the
+/// absolute value to Set.
 class Gauge {
  public:
   void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -177,19 +181,33 @@ inline constexpr char kLoadRowGroupsTotal[] = "storage.load.row_groups_total";
 inline constexpr char kLoadRowGroupsScanned[] =
     "storage.load.row_groups_scanned";
 
-// tgraph-store v2 mmap readers: lazy-verification and pushdown surface.
+// tgraph-store v2/v3 mmap readers: lazy-verification, selective decode,
+// and pushdown surface. Exposed to Prometheus as tgraph_store_* (dots
+// become underscores).
 /// Segments checksum-verified on first touch (each counts once per open
 /// reader; re-reads of a verified segment are free).
-inline constexpr char kStoreSegmentVerifies[] =
-    "storage.store.segment_verifies";
-/// Bytes of segment payload covered by those first-touch verifies — a
-/// proxy for distinct mmap bytes actually faulted in by queries.
-inline constexpr char kStoreVerifiedBytes[] = "storage.store.verified_bytes";
-/// Store-table partitions skipped via zone-map pushdown vs decoded.
-inline constexpr char kStorePartitionsPruned[] =
-    "storage.store.partitions_pruned";
-inline constexpr char kStorePartitionsDecoded[] =
-    "storage.store.partitions_decoded";
+inline constexpr char kStoreSegmentVerifies[] = "store.segment_verifies";
+/// Bytes of on-disk segment payload covered by those first-touch
+/// verifies — a proxy for distinct mmap bytes actually faulted in.
+inline constexpr char kStoreVerifiedBytes[] = "store.verified_bytes";
+/// Store-table partitions skipped via zone-map pushdown vs decoded: the
+/// observable form of the selective-decode claim (pruned partitions are
+/// never decoded).
+inline constexpr char kStorePartitionsPruned[] = "store.partitions_pruned";
+inline constexpr char kStorePartitionsDecoded[] = "store.partitions_decoded";
+/// v3 encoded segments decoded on first touch, and the plain bytes those
+/// decodes produced.
+inline constexpr char kStoreSegmentsDecoded[] = "store.segments_decoded";
+inline constexpr char kStoreDecodedBytes[] = "store.decoded_bytes";
+/// Decoded-segment cache: bytes currently pinned across all open readers
+/// (gauge), reads served from an already-decoded buffer, and decodes
+/// that pushed the pinned total past the soft budget (no eviction —
+/// see SetStoreDecodeCacheBudgetBytes).
+inline constexpr char kStoreDecodeCacheBytes[] =
+    "store.decode_cache.bytes";  // gauge
+inline constexpr char kStoreDecodeCacheHits[] = "store.decode_cache.hits";
+inline constexpr char kStoreDecodeCacheOverflows[] =
+    "store.decode_cache.overflows";
 
 // tgraphd serving surface.
 inline constexpr char kServerRequests[] = "server.requests";

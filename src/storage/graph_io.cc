@@ -715,7 +715,7 @@ Result<OgcGraph> LoadOgcGraph(dataflow::ExecutionContext* ctx,
                   Dataset<OgcEdge>::FromVector(ctx, std::move(edges)), clip);
 }
 
-// --- tgraph-store v2 -------------------------------------------------------
+// --- tgraph-store v2/v3 -------------------------------------------------------
 
 namespace {
 
@@ -839,6 +839,7 @@ Status WriteVeStoreFile(
 
   StoreWriterOptions writer_options;
   writer_options.partition_rows = options.row_group_size;
+  writer_options.version = options.store_version;
   writer_options.metadata =
       StoreMetadata(graph.lifetime(), options.sort_order, "ve");
   writer_options.metadata.insert(writer_options.metadata.end(),
@@ -861,6 +862,7 @@ Status WriteOgStore(const OgGraph& graph, const std::string& dir,
 
   StoreWriterOptions writer_options;
   writer_options.partition_rows = options.row_group_size;
+  writer_options.version = options.store_version;
   writer_options.metadata =
       StoreMetadata(graph.lifetime(), options.sort_order, "og");
   TG_ASSIGN_OR_RETURN(std::unique_ptr<StoreWriter> writer,
@@ -877,6 +879,7 @@ Status WriteOgcStore(const OgcGraph& graph, const std::string& dir,
   TG_RETURN_IF_ERROR(EnsureDir(dir));
   StoreWriterOptions writer_options;
   writer_options.partition_rows = options.row_group_size;
+  writer_options.version = options.store_version;
   writer_options.metadata =
       StoreMetadata(graph.lifetime(), options.sort_order, "ogc");
   TG_ASSIGN_OR_RETURN(std::unique_ptr<StoreWriter> writer,

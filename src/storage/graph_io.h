@@ -28,6 +28,11 @@ const char* SortOrderName(SortOrder order);
 struct GraphWriteOptions {
   SortOrder sort_order = SortOrder::kTemporalLocality;
   int64_t row_group_size = 16 * 1024;
+  /// Container version for the Write*Store functions: 3 (default) picks a
+  /// per-segment encoding with raw fallback, 2 writes the raw v2 layout
+  /// byte-identically to older releases (docs/FORMAT.md §5.4). Ignored by
+  /// the v1 .tcol writers.
+  uint32_t store_version = 3;
 };
 
 struct LoadOptions {
@@ -88,13 +93,14 @@ Result<OgcGraph> LoadOgcGraph(dataflow::ExecutionContext* ctx,
                               const LoadOptions& options = {},
                               LoadMetrics* metrics = nullptr);
 
-// --- tgraph-store v2 (mmap'd binary container, docs/FORMAT.md) ------------
+// --- tgraph-store v2/v3 (mmap'd binary container, docs/FORMAT.md) ---------
 //
 // One `<dir>/graph.tgs` file holds every table of one representation.
 // The Load*Graph functions above auto-detect it: when the store file
 // exists and contains the representation's tables it is used (mmap,
-// partition-parallel, zero-copy); otherwise they fall back to the v1
-// .tcol files. Loaded graphs are canonically identical either way.
+// partition-parallel, zero-copy; v3 segments decode lazily and only for
+// partitions surviving zone-map pushdown); otherwise they fall back to
+// the v1 .tcol files. Loaded graphs are canonically identical either way.
 
 class StoreReader;
 

@@ -6,6 +6,38 @@
 
 namespace tgraph::storage {
 
+const char* SegmentEncodingName(SegmentEncoding encoding) {
+  switch (encoding) {
+    case SegmentEncoding::kRaw:
+      return "raw";
+    case SegmentEncoding::kDeltaVarint:
+      return "delta_varint";
+    case SegmentEncoding::kFrameOfReference:
+      return "for";
+    case SegmentEncoding::kDictionary:
+      return "dict";
+    case SegmentEncoding::kRunLength:
+      return "rle";
+  }
+  return "unknown";
+}
+
+bool SegmentEncodingApplies(SegmentEncoding encoding, ColumnType type) {
+  if (encoding == SegmentEncoding::kRaw) return true;
+  switch (type) {
+    case ColumnType::kInt64:
+      return encoding == SegmentEncoding::kDeltaVarint ||
+             encoding == SegmentEncoding::kFrameOfReference;
+    case ColumnType::kDouble:
+      return false;
+    case ColumnType::kBool:
+      return encoding == SegmentEncoding::kRunLength;
+    case ColumnType::kBinary:
+      return encoding == SegmentEncoding::kDictionary;
+  }
+  return false;
+}
+
 std::vector<ColumnStats> PartitionMeta::ColumnStatsView() const {
   std::vector<ColumnStats> stats;
   stats.reserve(segments.size());
@@ -27,7 +59,8 @@ const std::string* StoreFooter::FindMetadata(const std::string& key) const {
   return nullptr;
 }
 
-void EncodeStoreFooter(const StoreFooter& footer, std::string* out) {
+void EncodeStoreFooter(const StoreFooter& footer, uint32_t version,
+                       std::string* out) {
   PutVarint(out, footer.metadata.size());
   for (const auto& [key, value] : footer.metadata) {
     PutBytes(out, key);
@@ -48,6 +81,12 @@ void EncodeStoreFooter(const StoreFooter& footer, std::string* out) {
         PutFixed64(out, segment.offset);
         PutFixed64(out, segment.byte_size);
         PutFixed64(out, segment.checksum);
+        if (version >= kStoreVersionV3) {
+          out->push_back(static_cast<char>(segment.encoding));
+          if (segment.encoding != SegmentEncoding::kRaw) {
+            PutVarint(out, segment.plain_size);
+          }
+        }
         out->push_back(segment.stats.has_int_stats ? 1 : 0);
         if (segment.stats.has_int_stats) {
           PutFixed64(out, static_cast<uint64_t>(segment.stats.min_int));
@@ -58,7 +97,8 @@ void EncodeStoreFooter(const StoreFooter& footer, std::string* out) {
   }
 }
 
-Status DecodeStoreFooter(std::string_view data, StoreFooter* footer) {
+Status DecodeStoreFooter(std::string_view data, uint32_t version,
+                         StoreFooter* footer) {
   size_t pos = 0;
   TG_ASSIGN_OR_RETURN(uint64_t num_meta, GetVarint(data, &pos));
   for (uint64_t i = 0; i < num_meta; ++i) {
@@ -98,6 +138,32 @@ Status DecodeStoreFooter(std::string_view data, StoreFooter* footer) {
         TG_ASSIGN_OR_RETURN(segment.offset, GetFixed64(data, &pos));
         TG_ASSIGN_OR_RETURN(segment.byte_size, GetFixed64(data, &pos));
         TG_ASSIGN_OR_RETURN(segment.checksum, GetFixed64(data, &pos));
+        if (version >= kStoreVersionV3) {
+          if (pos >= data.size()) {
+            return Status::IoError("truncated store footer");
+          }
+          uint8_t tag = static_cast<uint8_t>(data[pos]);
+          ++pos;
+          if (tag > kStoreMaxSegmentEncoding) {
+            return Status::IoError("store footer has unknown encoding " +
+                                   std::to_string(tag));
+          }
+          segment.encoding = static_cast<SegmentEncoding>(tag);
+          if (!SegmentEncodingApplies(segment.encoding,
+                                      table.schema.columns[c].type)) {
+            return Status::IoError(
+                "store footer applies encoding " +
+                std::string(SegmentEncodingName(segment.encoding)) +
+                " to an incompatible column type");
+          }
+          if (segment.encoding != SegmentEncoding::kRaw) {
+            TG_ASSIGN_OR_RETURN(segment.plain_size, GetVarint(data, &pos));
+          } else {
+            segment.plain_size = segment.byte_size;
+          }
+        } else {
+          segment.plain_size = segment.byte_size;
+        }
         if (pos >= data.size()) return Status::IoError("truncated store footer");
         segment.stats.has_int_stats = data[pos] != 0;
         ++pos;
@@ -156,12 +222,27 @@ Status ValidateStoreLayout(const StoreFooter& footer, uint64_t file_size,
           return Status::IoError(which + " segment is out of bounds");
         }
         // Per-type size invariants, so readers can slice without checks.
+        // For raw segments they bound the on-disk bytes directly; for
+        // encoded segments they bound plain_size — the raw v2 layout the
+        // decoder reconstructs — while the on-disk byte_size is only
+        // bounds-checked against the data area above.
+        const bool encoded = segment.encoding != SegmentEncoding::kRaw;
+        if (!SegmentEncodingApplies(segment.encoding,
+                                    table.schema.columns[c].type)) {
+          return Status::IoError(which + " has an inapplicable encoding");
+        }
+        if (encoded && segment.plain_size > kStoreMaxPlainSegmentSize) {
+          return Status::IoError(which + " plain size is implausibly large");
+        }
+        if (!encoded && segment.plain_size != segment.byte_size) {
+          return Status::IoError(which + " raw plain size mismatch");
+        }
         uint64_t expected = 0;
         bool exact = true;
         switch (table.schema.columns[c].type) {
           case ColumnType::kInt64:
           case ColumnType::kDouble:
-            // rows * 8 cannot overflow: byte_size <= data_end bounds rows.
+            // rows * 8 cannot overflow: rows <= data_end / 8 above.
             expected = rows * 8;
             break;
           case ColumnType::kBool:
@@ -172,8 +253,8 @@ Status ValidateStoreLayout(const StoreFooter& footer, uint64_t file_size,
             exact = false;
             break;
         }
-        if (exact ? segment.byte_size != expected
-                  : segment.byte_size < expected) {
+        if (exact ? segment.plain_size != expected
+                  : segment.plain_size < expected) {
           return Status::IoError(which + " segment size does not match " +
                                  std::to_string(rows) + " rows");
         }

@@ -2,33 +2,74 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/hash.h"
 #include "obs/metrics.h"
+#include "storage/encodings.h"
 #include "storage/predicate.h"
 #include "storage/serde.h"
 
 namespace tgraph::storage {
 
+namespace {
+
+std::atomic<uint64_t> g_decode_cache_budget{0};  // 0 = not yet resolved
+std::atomic<uint64_t> g_decode_cache_total{0};
+
+uint64_t ResolveDecodeCacheBudget() {
+  uint64_t budget = g_decode_cache_budget.load(std::memory_order_relaxed);
+  if (budget != 0) return budget;
+  // Soft default: 1 GiB of pinned decoded segments per process, matching
+  // kStoreMaxPlainSegmentSize's worst single segment.
+  uint64_t resolved = 1ull << 30;
+  if (const char* env = std::getenv("TGRAPH_DECODE_CACHE_MB")) {
+    char* end = nullptr;
+    unsigned long long mb = std::strtoull(env, &end, 10);
+    if (end != env && mb > 0) resolved = uint64_t{mb} << 20;
+  }
+  g_decode_cache_budget.store(resolved, std::memory_order_relaxed);
+  return resolved;
+}
+
+}  // namespace
+
+void SetStoreDecodeCacheBudgetBytes(uint64_t bytes) {
+  g_decode_cache_budget.store(bytes, std::memory_order_relaxed);
+}
+
+uint64_t StoreDecodeCacheBudgetBytes() { return ResolveDecodeCacheBudget(); }
+
 Result<std::unique_ptr<StoreReader>> StoreReader::Open(
     const std::string& path) {
   TG_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
   std::string_view data = file.data();
-  if (data.size() < kStoreHeaderSize + kStoreTrailerSize ||
-      data.compare(0, sizeof(kStoreMagic), kStoreMagic,
-                   sizeof(kStoreMagic)) != 0) {
-    return Status::IoError(path + " is not a tgraph-store v2 file");
+  const char* magic = nullptr;
+  uint32_t expected_version = 0;
+  if (data.size() >= kStoreHeaderSize + kStoreTrailerSize) {
+    if (data.compare(0, sizeof(kStoreMagic), kStoreMagic,
+                     sizeof(kStoreMagic)) == 0) {
+      magic = kStoreMagic;
+      expected_version = kStoreVersion;
+    } else if (data.compare(0, sizeof(kStoreMagicV3), kStoreMagicV3,
+                            sizeof(kStoreMagicV3)) == 0) {
+      magic = kStoreMagicV3;
+      expected_version = kStoreVersionV3;
+    }
+  }
+  if (magic == nullptr) {
+    return Status::IoError(path + " is not a tgraph-store file");
   }
   if (data.compare(data.size() - sizeof(kStoreMagic), sizeof(kStoreMagic),
-                   kStoreMagic, sizeof(kStoreMagic)) != 0) {
+                   magic, sizeof(kStoreMagic)) != 0) {
     return Status::IoError(path + " has a corrupt trailer magic");
   }
   size_t pos = sizeof(kStoreMagic);
   TG_ASSIGN_OR_RETURN(uint64_t version_flags, GetFixed64(data, &pos));
   uint32_t version = static_cast<uint32_t>(version_flags & 0xffffffffu);
   uint32_t flags = static_cast<uint32_t>(version_flags >> 32);
-  if (version != kStoreVersion) {
+  if (version != expected_version) {
     return Status::IoError(path + " has unsupported store version " +
                            std::to_string(version));
   }
@@ -54,7 +95,8 @@ Result<std::unique_ptr<StoreReader>> StoreReader::Open(
                            "(corrupt file)");
   }
   std::unique_ptr<StoreReader> reader(new StoreReader());
-  TG_RETURN_IF_ERROR(DecodeStoreFooter(footer_bytes, &reader->footer_));
+  reader->version_ = version;
+  TG_RETURN_IF_ERROR(DecodeStoreFooter(footer_bytes, version, &reader->footer_));
   TG_RETURN_IF_ERROR(
       ValidateStoreLayout(reader->footer_, data.size(), data_end));
   size_t num_segments = 0;
@@ -67,13 +109,34 @@ Result<std::unique_ptr<StoreReader>> StoreReader::Open(
       num_segments += partition.segments.size();
     }
   }
+  reader->num_segments_ = num_segments;
   reader->verified_ =
       std::make_unique<std::atomic<uint8_t>[]>(std::max<size_t>(num_segments, 1));
+  reader->decoded_ = std::make_unique<std::atomic<const std::string*>[]>(
+      std::max<size_t>(num_segments, 1));
   for (size_t i = 0; i < num_segments; ++i) {
     reader->verified_[i].store(0, std::memory_order_relaxed);
+    reader->decoded_[i].store(nullptr, std::memory_order_relaxed);
   }
   reader->file_ = std::move(file);
   return reader;
+}
+
+StoreReader::~StoreReader() {
+  uint64_t released = 0;
+  for (size_t i = 0; i < num_segments_; ++i) {
+    const std::string* buffer = decoded_[i].load(std::memory_order_acquire);
+    if (buffer != nullptr) {
+      released += buffer->size();
+      delete buffer;
+    }
+  }
+  if (released > 0) {
+    g_decode_cache_total.fetch_sub(released, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global()
+        .GetGauge(obs::metric_names::kStoreDecodeCacheBytes)
+        ->Add(-static_cast<int64_t>(released));
+  }
 }
 
 int64_t StoreReader::TableRows(int t) const {
@@ -116,29 +179,62 @@ std::string_view StoreReader::SegmentBytes(const SegmentMeta& segment) const {
   return file_.data().substr(segment.offset, segment.byte_size);
 }
 
+std::string_view StoreReader::PlainBytes(int t, size_t partition,
+                                         int column) const {
+  const SegmentMeta& segment =
+      footer_.tables[t].partitions[partition].segments[column];
+  if (segment.encoding == SegmentEncoding::kRaw) return SegmentBytes(segment);
+  const std::string* buffer =
+      decoded_[FlatIndex(t, partition, column)].load(std::memory_order_acquire);
+  return std::string_view(*buffer);
+}
+
 Status StoreReader::VerifySegment(int t, size_t partition, int column) const {
-  size_t flat = segment_base_[t][partition] + static_cast<size_t>(column);
+  size_t flat = FlatIndex(t, partition, column);
   std::atomic<uint8_t>& flag = verified_[flat];
-  if (flag.load(std::memory_order_acquire) != 0) return Status::OK();
   const TableMeta& table = footer_.tables[t];
   const PartitionMeta& part = table.partitions[partition];
   const SegmentMeta& segment = part.segments[column];
+  if (flag.load(std::memory_order_acquire) != 0) {
+    if (segment.encoding != SegmentEncoding::kRaw) {
+      static obs::Counter* cache_hits =
+          obs::MetricsRegistry::Global().GetCounter(
+              obs::metric_names::kStoreDecodeCacheHits);
+      cache_hits->Increment();
+    }
+    return Status::OK();
+  }
   std::string_view bytes = SegmentBytes(segment);
   std::string which = "store table '" + table.name + "' partition " +
                       std::to_string(partition) + " column '" +
                       table.schema.columns[column].name + "'";
+  // The checksum covers the on-disk (encoded) bytes, so corruption is
+  // detected before the decoder ever parses attacker-controlled input.
   if (HashBytesFast(bytes) != segment.checksum) {
     return Status::IoError(which +
                            " failed checksum verification (corrupt file)");
   }
   size_t rows = static_cast<size_t>(part.num_rows);
+  std::string_view plain = bytes;
+  std::unique_ptr<std::string> decoded_buffer;
+  if (segment.encoding != SegmentEncoding::kRaw) {
+    decoded_buffer = std::make_unique<std::string>();
+    Status status = DecodeSegment(segment.encoding,
+                                  table.schema.columns[column].type, bytes,
+                                  rows, segment.plain_size,
+                                  decoded_buffer.get());
+    if (!status.ok()) {
+      return Status::IoError(which + ": " + status.message());
+    }
+    plain = *decoded_buffer;
+  }
   switch (table.schema.columns[column].type) {
     case ColumnType::kInt64: {
       // Detect zone-map lies: a footer whose min/max disagree with the
       // segment's contents would let pushdown skip (or scan) the wrong
       // partitions silently.
       const int64_t* values =
-          reinterpret_cast<const int64_t*>(bytes.data());
+          reinterpret_cast<const int64_t*>(plain.data());
       if (rows > 0 && segment.stats.has_int_stats) {
         auto [min_it, max_it] = std::minmax_element(values, values + rows);
         if (*min_it != segment.stats.min_int ||
@@ -152,8 +248,8 @@ Status StoreReader::VerifySegment(int t, size_t partition, int column) const {
     }
     case ColumnType::kBinary: {
       const uint64_t* offsets =
-          reinterpret_cast<const uint64_t*>(bytes.data());
-      uint64_t payload_size = segment.byte_size - (rows + 1) * 8;
+          reinterpret_cast<const uint64_t*>(plain.data());
+      uint64_t payload_size = plain.size() - (rows + 1) * 8;
       if (offsets[0] != 0 || offsets[rows] != payload_size) {
         return Status::IoError(which + " has corrupt binary offsets");
       }
@@ -167,6 +263,36 @@ Status StoreReader::VerifySegment(int t, size_t partition, int column) const {
     case ColumnType::kDouble:
     case ColumnType::kBool:
       break;
+  }
+  if (decoded_buffer != nullptr) {
+    static obs::Counter* segments_decoded =
+        obs::MetricsRegistry::Global().GetCounter(
+            obs::metric_names::kStoreSegmentsDecoded);
+    static obs::Counter* decoded_bytes_counter =
+        obs::MetricsRegistry::Global().GetCounter(
+            obs::metric_names::kStoreDecodedBytes);
+    static obs::Gauge* cache_bytes = obs::MetricsRegistry::Global().GetGauge(
+        obs::metric_names::kStoreDecodeCacheBytes);
+    static obs::Counter* overflows =
+        obs::MetricsRegistry::Global().GetCounter(
+            obs::metric_names::kStoreDecodeCacheOverflows);
+    const std::string* expected = nullptr;
+    if (decoded_[flat].compare_exchange_strong(expected,
+                                               decoded_buffer.get(),
+                                               std::memory_order_release,
+                                               std::memory_order_acquire)) {
+      uint64_t size = decoded_buffer->size();
+      decoded_buffer.release();  // now owned by the cache slot
+      decoded_bytes_.fetch_add(size, std::memory_order_relaxed);
+      segments_decoded->Increment();
+      decoded_bytes_counter->Add(static_cast<int64_t>(size));
+      cache_bytes->Add(static_cast<int64_t>(size));
+      uint64_t total =
+          g_decode_cache_total.fetch_add(size, std::memory_order_relaxed) +
+          size;
+      if (total > ResolveDecodeCacheBudget()) overflows->Increment();
+    }
+    // A racing first touch already published its buffer; ours is dropped.
   }
   flag.store(1, std::memory_order_release);
   static obs::Counter* verifies = obs::MetricsRegistry::Global().GetCounter(
@@ -185,7 +311,7 @@ Result<std::span<const int64_t>> StoreReader::Int64Column(int t,
   TG_RETURN_IF_ERROR(CheckIndex(t, partition, column, ColumnType::kInt64));
   TG_RETURN_IF_ERROR(VerifySegment(t, partition, column));
   const PartitionMeta& part = footer_.tables[t].partitions[partition];
-  std::string_view bytes = SegmentBytes(part.segments[column]);
+  std::string_view bytes = PlainBytes(t, partition, column);
   return std::span<const int64_t>(
       reinterpret_cast<const int64_t*>(bytes.data()),
       static_cast<size_t>(part.num_rows));
@@ -197,7 +323,7 @@ Result<std::span<const double>> StoreReader::DoubleColumn(int t,
   TG_RETURN_IF_ERROR(CheckIndex(t, partition, column, ColumnType::kDouble));
   TG_RETURN_IF_ERROR(VerifySegment(t, partition, column));
   const PartitionMeta& part = footer_.tables[t].partitions[partition];
-  std::string_view bytes = SegmentBytes(part.segments[column]);
+  std::string_view bytes = PlainBytes(t, partition, column);
   return std::span<const double>(
       reinterpret_cast<const double*>(bytes.data()),
       static_cast<size_t>(part.num_rows));
@@ -209,7 +335,7 @@ Result<std::span<const uint8_t>> StoreReader::BoolColumn(int t,
   TG_RETURN_IF_ERROR(CheckIndex(t, partition, column, ColumnType::kBool));
   TG_RETURN_IF_ERROR(VerifySegment(t, partition, column));
   const PartitionMeta& part = footer_.tables[t].partitions[partition];
-  std::string_view bytes = SegmentBytes(part.segments[column]);
+  std::string_view bytes = PlainBytes(t, partition, column);
   return std::span<const uint8_t>(
       reinterpret_cast<const uint8_t*>(bytes.data()),
       static_cast<size_t>(part.num_rows));
@@ -220,7 +346,7 @@ Result<StoreReader::BinaryColumnView> StoreReader::BinaryColumn(
   TG_RETURN_IF_ERROR(CheckIndex(t, partition, column, ColumnType::kBinary));
   TG_RETURN_IF_ERROR(VerifySegment(t, partition, column));
   const PartitionMeta& part = footer_.tables[t].partitions[partition];
-  std::string_view bytes = SegmentBytes(part.segments[column]);
+  std::string_view bytes = PlainBytes(t, partition, column);
   size_t rows = static_cast<size_t>(part.num_rows);
   BinaryColumnView view;
   view.offsets = std::span<const uint64_t>(

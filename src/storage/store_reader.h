@@ -16,27 +16,49 @@ namespace tgraph::storage {
 
 class Predicate;
 
-/// \brief Memory-mapped reader for tgraph-store v2 files.
+/// Soft budget for decoded-segment cache memory across every open
+/// StoreReader in the process, settable via `TGRAPH_DECODE_CACHE_MB` or
+/// tgzd's `--decode-cache-mb`. The budget is advisory: decoded segments
+/// are pinned for their reader's lifetime (accessors hand out raw views
+/// into them, so eviction would be a use-after-free), and crossing the
+/// budget increments `store.decode_cache.overflows` instead of evicting —
+/// the operator's signal to shard the catalog or raise the limit.
+void SetStoreDecodeCacheBudgetBytes(uint64_t bytes);
+uint64_t StoreDecodeCacheBudgetBytes();
+
+/// \brief Memory-mapped reader for tgraph-store v2 and v3 files.
 ///
 /// Open maps the file and fully validates its skeleton (header, trailer,
 /// footer checksum, section table bounds/alignment/overlap) without
 /// touching any column segment, so opening is O(footer) regardless of
-/// graph size. Column accessors then return zero-copy views straight into
-/// the mapping: int64/double columns are reinterpreted in place, binary
-/// columns are string_view slices of the payload. Each segment's FNV-1a
-/// checksum (and, for int64 columns, agreement between its zone map and
-/// its actual min/max) is verified the first time the segment is touched;
-/// partitions skipped by pushdown never fault their pages in at all.
+/// graph size. Column accessors then return zero-copy views: raw segments
+/// are reinterpreted straight out of the mapping, while v3 encoded
+/// segments are decoded on first touch into a heap buffer that is cached
+/// for the reader's lifetime (the decoded-segment cache) and served
+/// zero-copy from then on. Zone maps live uncompressed in the footer, so
+/// partitions skipped by pushdown are never decoded — nor even faulted
+/// in.
 ///
-/// A reader is immutable after Open and safe to share across threads; the
-/// per-segment verification flags are atomics, so concurrent first
-/// touches at worst verify twice.
+/// Each segment's checksum — computed over the on-disk (encoded) bytes —
+/// is verified the first time the segment is touched, together with
+/// type-specific invariants evaluated on the decoded bytes (int64
+/// zone-map agreement, binary offset monotonicity), so corruption
+/// surfaces as IoError before any value is served.
+///
+/// A reader is immutable after Open and safe to share across threads
+/// (tgraphd's catalog shares one reader — and therefore one decoded-
+/// segment cache — across all queries of a directory); the per-segment
+/// verification flags and decode slots are atomics, so concurrent first
+/// touches at worst decode twice and keep one result.
 class StoreReader {
  public:
   static Result<std::unique_ptr<StoreReader>> Open(const std::string& path);
+  ~StoreReader();
 
   const std::string& path() const { return file_.path(); }
   size_t file_size() const { return file_.size(); }
+  /// Container version: kStoreVersion (2) or kStoreVersionV3 (3).
+  uint32_t version() const { return version_; }
   const StoreFooter& footer() const { return footer_; }
   int FindTable(const std::string& name) const {
     return footer_.FindTable(name);
@@ -47,12 +69,17 @@ class StoreReader {
   }
   int64_t TableRows(int t) const;
 
+  /// Bytes currently pinned in this reader's decoded-segment cache.
+  uint64_t decoded_cache_bytes() const {
+    return decoded_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Hints the kernel to read ahead the whole file (cold-load helper).
   void Prefetch() const { file_.PrefetchAll(); }
 
   /// Zone-map pushdown: can any row of this partition satisfy the
   /// predicate? Answered from the footer alone — no segment pages are
-  /// touched.
+  /// touched and no segment is decoded.
   bool PartitionMaybeMatches(int t, size_t partition,
                              const Predicate& predicate) const;
 
@@ -85,15 +112,32 @@ class StoreReader {
 
   Status CheckIndex(int t, size_t partition, int column,
                     ColumnType expected) const;
+  size_t FlatIndex(int t, size_t partition, int column) const {
+    return segment_base_[t][partition] + static_cast<size_t>(column);
+  }
+  /// The segment's bytes as written on disk (encoded for v3 segments).
   std::string_view SegmentBytes(const SegmentMeta& segment) const;
-  /// First-touch verification: segment checksum, plus type-specific
-  /// invariants (int64 zone-map agreement, binary offset monotonicity).
+  /// The segment's raw-layout bytes: the mmap slice for raw segments, the
+  /// decoded-cache buffer for encoded ones. Only valid after VerifySegment
+  /// succeeded for this segment.
+  std::string_view PlainBytes(int t, size_t partition, int column) const;
+  /// First-touch verification and (for encoded segments) decode: checksum
+  /// over the on-disk bytes, decode into the pinned cache buffer, then
+  /// type-specific invariants (int64 zone-map agreement, binary offset
+  /// monotonicity) over the plain bytes.
   Status VerifySegment(int t, size_t partition, int column) const;
 
   MmapFile file_;
+  uint32_t version_ = kStoreVersion;
   StoreFooter footer_;
   std::vector<std::vector<size_t>> segment_base_;  // [table][partition]
   std::unique_ptr<std::atomic<uint8_t>[]> verified_;
+  /// Decoded-segment cache: one CAS-published slot per segment, nullptr
+  /// until the segment's first touch decodes it. Buffers are pinned until
+  /// the reader is destroyed.
+  std::unique_ptr<std::atomic<const std::string*>[]> decoded_;
+  size_t num_segments_ = 0;
+  mutable std::atomic<uint64_t> decoded_bytes_{0};
 };
 
 }  // namespace tgraph::storage

@@ -11,23 +11,31 @@
 
 namespace tgraph::storage {
 
-/// \brief Options controlling tgraph-store v2 file layout.
+/// \brief Options controlling tgraph-store file layout.
 struct StoreWriterOptions {
   /// Rows per partition: the unit of both parallel loading and zone-map
   /// skipping on the read side.
   int64_t partition_rows = 16 * 1024;
+  /// Container version to emit: kStoreVersionV3 (the default) selects a
+  /// per-segment encoding by measured statistics with a mandatory raw
+  /// fallback; kStoreVersion writes the raw v2 layout byte-identically to
+  /// the pre-v3 writer (old readers keep working on new output).
+  uint32_t version = kStoreVersionV3;
   /// Free-form footer metadata (lifetime, sort order, representation).
   std::vector<std::pair<std::string, std::string>> metadata;
 };
 
-/// \brief Writes a tgraph-store v2 container: header, 8-byte-aligned raw
+/// \brief Writes a tgraph-store v2/v3 container: header, 8-byte-aligned
 /// column segments (one per table/partition/column), and a sealed footer.
 ///
-/// Unlike the v1 TableWriter, segments are *not* compressed — int64 and
-/// double columns are raw little-endian arrays so the mmap'd reader can
-/// reinterpret them in place with zero decode work. The writer buffers the
-/// whole file in memory and flushes it on Close (graph files are built
-/// once, read many times).
+/// In v2 mode segments are raw — int64 and double columns are raw
+/// little-endian arrays so the mmap'd reader can reinterpret them in
+/// place with zero decode work. In v3 mode each segment independently
+/// picks the cheapest of its applicable encodings (docs/FORMAT.md §5)
+/// using statistics measured over the partition's actual values, keeping
+/// raw whenever encoding does not strictly shrink the segment. The writer
+/// buffers the whole file in memory and flushes it on Close (graph files
+/// are built once, read many times).
 class StoreWriter {
  public:
   static Result<std::unique_ptr<StoreWriter>> Open(

@@ -1,8 +1,9 @@
-// Adversarial tests for tgraph-store v2: every malformed input must come
-// back as a Status error — truncated headers, bad magic, overlapping
-// sections, lying zone maps, flipped bytes — and never a crash or wrong
-// data. These run under ASan/UBSan in CI, so "doesn't crash" is checked
-// with real teeth.
+// Adversarial tests for the tgraph-store container (v2 and v3): every
+// malformed input must come back as a Status error — truncated headers,
+// bad magic, overlapping sections, lying zone maps, flipped bytes — and
+// never a crash or wrong data. These run under ASan/UBSan in CI, so
+// "doesn't crash" is checked with real teeth. (Attacks on the v3 encoded
+// payloads themselves live in store_encodings_test.cc.)
 
 #include <gtest/gtest.h>
 
@@ -50,17 +51,20 @@ void WriteAll(const std::string& path, const std::string& data) {
   std::fclose(f);
 }
 
-// A small but multi-partition store to attack.
-std::string MakeVictim(const std::string& name) {
+// A small but multi-partition store to attack. `version` 0 means the
+// writer default (v3, encoded segments).
+std::string MakeVictim(const std::string& name, uint32_t version = 0) {
   std::string dir = TempDir(name);
   GraphWriteOptions options;
   options.row_group_size = 16;
+  if (version != 0) options.store_version = version;
   TG_CHECK_OK(WriteVeStore(RandomTGraph(3, 40, 80, 25), dir, options));
   return dir;
 }
 
 // Splits a well-formed store file into its regions.
 struct FileParts {
+  uint32_t version = kStoreVersion;  // from the header, drives the grammar
   std::string data;    // header + segments (everything before the footer)
   StoreFooter footer;  // decoded, ready to tamper with
 };
@@ -72,9 +76,11 @@ FileParts Dissect(const std::string& bytes) {
   TG_CHECK_OK(footer_size.status());
   size_t data_end = bytes.size() - kStoreTrailerSize - *footer_size;
   FileParts parts;
+  parts.version = static_cast<uint8_t>(bytes[8]);
   parts.data = bytes.substr(0, data_end);
   TG_CHECK_OK(DecodeStoreFooter(
-      std::string_view(bytes).substr(data_end, *footer_size), &parts.footer));
+      std::string_view(bytes).substr(data_end, *footer_size), parts.version,
+      &parts.footer));
   return parts;
 }
 
@@ -82,12 +88,13 @@ FileParts Dissect(const std::string& bytes) {
 // footer checksum and trailer so only the intended lie is present.
 std::string Reassemble(const FileParts& parts) {
   std::string encoded_footer;
-  EncodeStoreFooter(parts.footer, &encoded_footer);
+  EncodeStoreFooter(parts.footer, parts.version, &encoded_footer);
   std::string bytes = parts.data;
   bytes += encoded_footer;
   PutFixed64(&bytes, HashBytesFast(encoded_footer));
   PutFixed64(&bytes, encoded_footer.size());
-  bytes.append(kStoreMagic, sizeof(kStoreMagic));
+  bytes.append(parts.version >= kStoreVersionV3 ? kStoreMagicV3 : kStoreMagic,
+               sizeof(kStoreMagic));
   return bytes;
 }
 
@@ -150,7 +157,7 @@ TEST(StoreCorruptionTest, AbsurdFooterLengthIsRejected) {
   std::string bytes = ReadAll(StorePath(dir));
   std::string tampered = bytes.substr(0, bytes.size() - 16);
   PutFixed64(&tampered, uint64_t{1} << 60);  // footer_size
-  tampered.append(kStoreMagic, sizeof(kStoreMagic));
+  tampered += bytes.substr(bytes.size() - 8);  // keep the real tail magic
   WriteAll(StorePath(dir), tampered);
   EXPECT_TRUE(LoadStatus(dir).IsIoError());
   std::filesystem::remove_all(dir);
@@ -213,7 +220,9 @@ TEST(StoreCorruptionTest, LyingZoneMapIsDetected) {
 }
 
 TEST(StoreCorruptionTest, NonMonotonicBinaryOffsetsAreRejected) {
-  std::string dir = MakeVictim("corrupt_offsets");
+  // A v2 victim: the attack patches offset words at a fixed position in
+  // the raw segment layout, which only exists on disk for raw segments.
+  std::string dir = MakeVictim("corrupt_offsets", kStoreVersion);
   std::string bytes = ReadAll(StorePath(dir));
   FileParts parts = Dissect(bytes);
   // The VE vertex props column (index 3) is binary: offsets first, payload
@@ -230,6 +239,7 @@ TEST(StoreCorruptionTest, NonMonotonicBinaryOffsetsAreRejected) {
   segment.checksum = HashBytesFast(
       std::string_view(bytes).substr(segment.offset, segment.byte_size));
   WriteAll(StorePath(dir), Reassemble(FileParts{
+                               parts.version,
                                bytes.substr(0, parts.data.size()),
                                parts.footer}));
   ASSERT_TRUE(StoreReader::Open(StorePath(dir)).ok());

@@ -18,6 +18,17 @@ std::string TempFile(const std::string& name) {
   return path;
 }
 
+SegmentMeta RawSegment(uint64_t offset, uint64_t byte_size, uint64_t checksum,
+                       ColumnStats stats = {}) {
+  SegmentMeta segment;
+  segment.offset = offset;
+  segment.byte_size = byte_size;
+  segment.checksum = checksum;
+  segment.plain_size = byte_size;  // kRaw invariant
+  segment.stats = stats;
+  return segment;
+}
+
 StoreFooter SampleFooter() {
   StoreFooter footer;
   footer.metadata = {{"lifetime_start", "0"}, {"lifetime_end", "10"},
@@ -29,20 +40,35 @@ StoreFooter SampleFooter() {
   PartitionMeta partition;
   partition.num_rows = 3;
   partition.segments = {
-      SegmentMeta{16, 24, 111, ColumnStats{true, -5, 9}},
-      SegmentMeta{40, 32 + 7, 222, ColumnStats{}},
+      RawSegment(16, 24, 111, ColumnStats{true, -5, 9}),
+      RawSegment(40, 32 + 7, 222),
   };
   table.partitions.push_back(partition);
   footer.tables.push_back(std::move(table));
   return footer;
 }
 
+/// SampleFooter with v3 encodings: the int64 column delta-encoded, the
+/// binary column dictionary-encoded.
+StoreFooter SampleFooterV3() {
+  StoreFooter footer = SampleFooter();
+  SegmentMeta& ints = footer.tables[0].partitions[0].segments[0];
+  ints.encoding = SegmentEncoding::kDeltaVarint;
+  ints.byte_size = 5;
+  ints.plain_size = 24;
+  SegmentMeta& bins = footer.tables[0].partitions[0].segments[1];
+  bins.encoding = SegmentEncoding::kDictionary;
+  bins.byte_size = 11;
+  bins.plain_size = 39;
+  return footer;
+}
+
 TEST(StoreFormatTest, FooterRoundTrips) {
   StoreFooter footer = SampleFooter();
   std::string encoded;
-  EncodeStoreFooter(footer, &encoded);
+  EncodeStoreFooter(footer, kStoreVersion, &encoded);
   StoreFooter decoded;
-  TG_CHECK_OK(DecodeStoreFooter(encoded, &decoded));
+  TG_CHECK_OK(DecodeStoreFooter(encoded, kStoreVersion, &decoded));
   ASSERT_EQ(decoded.tables.size(), 1u);
   EXPECT_EQ(decoded.tables[0].name, "vertices");
   EXPECT_TRUE(decoded.tables[0].schema == footer.tables[0].schema);
@@ -64,24 +90,103 @@ TEST(StoreFormatTest, FooterRoundTrips) {
   EXPECT_EQ(decoded.FindMetadata("nope"), nullptr);
 }
 
+TEST(StoreFormatTest, V3FooterRoundTripsEncodings) {
+  StoreFooter footer = SampleFooterV3();
+  std::string encoded;
+  EncodeStoreFooter(footer, kStoreVersionV3, &encoded);
+  StoreFooter decoded;
+  TG_CHECK_OK(DecodeStoreFooter(encoded, kStoreVersionV3, &decoded));
+  const PartitionMeta& partition = decoded.tables[0].partitions[0];
+  ASSERT_EQ(partition.segments.size(), 2u);
+  EXPECT_EQ(partition.segments[0].encoding, SegmentEncoding::kDeltaVarint);
+  EXPECT_EQ(partition.segments[0].byte_size, 5u);
+  EXPECT_EQ(partition.segments[0].plain_size, 24u);
+  EXPECT_EQ(partition.segments[1].encoding, SegmentEncoding::kDictionary);
+  EXPECT_EQ(partition.segments[1].plain_size, 39u);
+  // Zone maps stay in the footer regardless of segment encoding.
+  EXPECT_TRUE(partition.segments[0].stats.has_int_stats);
+  EXPECT_EQ(partition.segments[0].stats.min_int, -5);
+}
+
+TEST(StoreFormatTest, V3RawSegmentsGetPlainSizeFromByteSize) {
+  StoreFooter footer = SampleFooter();  // all segments kRaw
+  std::string encoded;
+  EncodeStoreFooter(footer, kStoreVersionV3, &encoded);
+  StoreFooter decoded;
+  TG_CHECK_OK(DecodeStoreFooter(encoded, kStoreVersionV3, &decoded));
+  for (const SegmentMeta& segment :
+       decoded.tables[0].partitions[0].segments) {
+    EXPECT_EQ(segment.encoding, SegmentEncoding::kRaw);
+    EXPECT_EQ(segment.plain_size, segment.byte_size);
+  }
+}
+
+TEST(StoreFormatTest, DecodeRejectsUnknownEncodingTag) {
+  // Serialize a v3 footer, then smash the first descriptor's encoding byte
+  // (fixed position: it directly follows offset/byte_size/checksum).
+  StoreFooter footer = SampleFooterV3();
+  std::string with_tag;
+  EncodeStoreFooter(footer, kStoreVersionV3, &with_tag);
+  // Locate the first descriptor via its checksum fixed64 (111); the
+  // encoding byte directly follows it.
+  std::string checksum_bytes("\x6F\x00\x00\x00\x00\x00\x00\x00", 8);
+  size_t checksum_pos = with_tag.find(checksum_bytes);
+  ASSERT_NE(checksum_pos, std::string::npos);
+  size_t encoding_pos = checksum_pos + 8;
+  ASSERT_EQ(static_cast<uint8_t>(with_tag[encoding_pos]),
+            static_cast<uint8_t>(SegmentEncoding::kDeltaVarint));
+  with_tag[encoding_pos] = static_cast<char>(kStoreMaxSegmentEncoding + 1);
+  StoreFooter decoded;
+  Status status = DecodeStoreFooter(with_tag, kStoreVersionV3, &decoded);
+  ASSERT_TRUE(status.IsIoError());
+  EXPECT_NE(status.message().find("unknown encoding"), std::string::npos);
+}
+
+TEST(StoreFormatTest, DecodeRejectsInapplicableEncoding) {
+  // Run-length on an int64 column: structurally parseable, semantically
+  // illegal.
+  StoreFooter footer = SampleFooterV3();
+  SegmentMeta& ints = footer.tables[0].partitions[0].segments[0];
+  ints.encoding = SegmentEncoding::kRunLength;
+  std::string encoded;
+  EncodeStoreFooter(footer, kStoreVersionV3, &encoded);
+  StoreFooter decoded;
+  Status status = DecodeStoreFooter(encoded, kStoreVersionV3, &decoded);
+  ASSERT_TRUE(status.IsIoError());
+  EXPECT_NE(status.message().find("incompatible column type"),
+            std::string::npos);
+}
+
 TEST(StoreFormatTest, DecodeRejectsTruncationAtEveryPrefix) {
   std::string encoded;
-  EncodeStoreFooter(SampleFooter(), &encoded);
+  EncodeStoreFooter(SampleFooter(), kStoreVersion, &encoded);
   for (size_t len = 0; len < encoded.size(); ++len) {
     StoreFooter decoded;
-    EXPECT_FALSE(
-        DecodeStoreFooter(std::string_view(encoded).substr(0, len), &decoded)
-            .ok())
+    EXPECT_FALSE(DecodeStoreFooter(std::string_view(encoded).substr(0, len),
+                                   kStoreVersion, &decoded)
+                     .ok())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(StoreFormatTest, V3DecodeRejectsTruncationAtEveryPrefix) {
+  std::string encoded;
+  EncodeStoreFooter(SampleFooterV3(), kStoreVersionV3, &encoded);
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    StoreFooter decoded;
+    EXPECT_FALSE(DecodeStoreFooter(std::string_view(encoded).substr(0, len),
+                                   kStoreVersionV3, &decoded)
+                     .ok())
         << "prefix of length " << len << " decoded";
   }
 }
 
 TEST(StoreFormatTest, DecodeRejectsTrailingBytes) {
   std::string encoded;
-  EncodeStoreFooter(SampleFooter(), &encoded);
+  EncodeStoreFooter(SampleFooter(), kStoreVersion, &encoded);
   encoded.push_back('\0');
   StoreFooter decoded;
-  EXPECT_TRUE(DecodeStoreFooter(encoded, &decoded).IsIoError());
+  EXPECT_TRUE(DecodeStoreFooter(encoded, kStoreVersion, &decoded).IsIoError());
 }
 
 TEST(StoreFormatTest, ValidateAcceptsWellFormedLayout) {
@@ -117,6 +222,7 @@ TEST(StoreFormatTest, ValidateRejectsOverlappingSegments) {
 TEST(StoreFormatTest, ValidateRejectsWrongInt64SegmentSize) {
   StoreFooter footer = SampleFooter();
   footer.tables[0].partitions[0].segments[0].byte_size = 23;
+  footer.tables[0].partitions[0].segments[0].plain_size = 23;
   EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
 }
 
@@ -124,6 +230,38 @@ TEST(StoreFormatTest, ValidateRejectsShortBinaryOffsetsArray) {
   StoreFooter footer = SampleFooter();
   // Binary column of 3 rows needs at least (3 + 1) * 8 = 32 offset bytes.
   footer.tables[0].partitions[0].segments[1].byte_size = 31;
+  footer.tables[0].partitions[0].segments[1].plain_size = 31;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsRawPlainSizeMismatch) {
+  StoreFooter footer = SampleFooter();
+  footer.tables[0].partitions[0].segments[0].plain_size = 16;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateCapsEncodedPlainSize) {
+  // An encoded segment whose claimed plain size exceeds the cap must be
+  // rejected before the reader would allocate a decode buffer for it.
+  StoreFooter footer = SampleFooterV3();
+  footer.tables[0].partitions[0].segments[1].plain_size =
+      kStoreMaxPlainSegmentSize + 1;
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateAppliesRowSizeRulesToPlainSize) {
+  // For encoded segments the per-type size rules constrain plain_size, not
+  // the (smaller) on-disk byte_size.
+  StoreFooter footer = SampleFooterV3();
+  TG_CHECK_OK(ValidateStoreLayout(footer, 200, 100));
+  footer.tables[0].partitions[0].segments[0].plain_size = 23;  // not 3 * 8
+  EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
+}
+
+TEST(StoreFormatTest, ValidateRejectsInapplicableEncoding) {
+  StoreFooter footer = SampleFooterV3();
+  footer.tables[0].partitions[0].segments[0].encoding =
+      SegmentEncoding::kDictionary;  // dict on an int64 column
   EXPECT_TRUE(ValidateStoreLayout(footer, 200, 100).IsIoError());
 }
 

@@ -466,6 +466,12 @@ int SaveStore(const Flags& flags) {
   }
   options.row_group_size =
       flags.GetIntOr("partition-rows", options.row_group_size);
+  int64_t store_version = flags.GetIntOr("store-version", 3);
+  if (store_version != 2 && store_version != 3) {
+    Flags::Die("unknown --store-version " + std::to_string(store_version) +
+               " (use 2 for raw segments, 3 for encoded)");
+  }
+  options.store_version = static_cast<uint32_t>(store_version);
   std::string rep = flags.GetOr("rep", "ve");
   std::string out = flags.Get("out");
   if (rep == "ve") {
@@ -477,8 +483,9 @@ int SaveStore(const Flags& flags) {
   } else {
     Flags::Die("unknown representation '" + rep + "' (use ve|og|ogc)");
   }
-  std::printf("wrote %s (tgraph-store v2, %s)\n",
-              storage::StorePath(out).c_str(), rep.c_str());
+  std::printf("wrote %s (tgraph-store v%lld, %s)\n",
+              storage::StorePath(out).c_str(),
+              static_cast<long long>(store_version), rep.c_str());
   return 0;
 }
 
@@ -542,11 +549,13 @@ int Help(std::FILE* out) {
       "  metrics     --connect host:port  (Prometheus text exposition)\n"
       "  save-store  --in DIR --out DIR [--rep ve|og|ogc]\n"
       "              [--partition-rows N] [--sort temporal|structural]\n"
+      "              [--store-version 2|3]  (3 = per-segment encodings\n"
+      "              with raw fallback; 2 = raw v2 layout)\n"
       "  repl        (interactive TQL; statements end with ';')\n"
       "\n"
       "Graph dirs hold v1 columnar files (vertices.tcol) or a tgraph-store\n"
-      "v2 container (graph.tgs); loads auto-detect by magic. See\n"
-      "docs/FORMAT.md for both on-disk formats and README.md for the full\n"
+      "v2/v3 container (graph.tgs); loads auto-detect by magic. See\n"
+      "docs/FORMAT.md for the on-disk formats and README.md for the full\n"
       "flag and environment-variable reference.\n");
   return out == stdout ? 0 : 2;
 }

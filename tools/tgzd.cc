@@ -7,6 +7,7 @@
 //        [--metrics-port N] [--slow-query-log FILE] [--slow-query-ms N]
 //        [--wal-dir DIR] [--ingest-delta-events N] [--ingest-compact-ms N]
 //        [--views-file FILE] [--view-max-suffix-fraction F]
+//        [--decode-cache-mb N]
 //
 // Listens on loopback for framed TQL requests (src/server/protocol.h),
 // executes them on a bounded worker pool over one shared
@@ -32,6 +33,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/server.h"
+#include "storage/store_reader.h"
 
 namespace {
 
@@ -63,7 +65,7 @@ int Help(std::FILE* out) {
       "            [--slow-query-log FILE] [--slow-query-ms N]\n"
       "            [--wal-dir DIR] [--ingest-delta-events N]\n"
       "            [--ingest-compact-ms N] [--views-file FILE]\n"
-      "            [--view-max-suffix-fraction F]\n"
+      "            [--view-max-suffix-fraction F] [--decode-cache-mb N]\n"
       "  --port N            TCP port, loopback only (0 = ephemeral; "
       "default 7464)\n"
       "  --workers N         concurrent request executors (default 4)\n"
@@ -101,10 +103,15 @@ int Help(std::FILE* out) {
       "                      than this fraction of the source lifetime\n"
       "                      (default 0.75)\n"
       "                      (default 0 = size-triggered only)\n"
+      "  --decode-cache-mb N soft budget (MiB) for the decoded-segment\n"
+      "                      cache shared by all open v3 stores; crossing\n"
+      "                      it counts overflows instead of evicting\n"
+      "                      (default 1024; env TGRAPH_DECODE_CACHE_MB)\n"
       "  --help              print this help and exit\n"
       "Graph dirs named in TQL LOAD statements hold v1 columnar files or a\n"
-      "tgraph-store v2 container (graph.tgs, docs/FORMAT.md); the catalog\n"
-      "auto-detects and serves v2 dirs off one shared mmap per directory.\n");
+      "tgraph-store v2/v3 container (graph.tgs, docs/FORMAT.md); the catalog\n"
+      "auto-detects and serves store dirs off one shared mmap — and one\n"
+      "shared decoded-segment cache — per directory.\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -169,6 +176,12 @@ int main(int argc, char** argv) {
   }
   if (auto it = flags.find("view-max-suffix-fraction"); it != flags.end()) {
     options.view_max_suffix_fraction = std::stod(it->second);
+  }
+  if (auto it = flags.find("decode-cache-mb"); it != flags.end()) {
+    int64_t mb = std::stoll(it->second);
+    if (mb < 0) Die("--decode-cache-mb must be >= 0");
+    tgraph::storage::SetStoreDecodeCacheBudgetBytes(
+        static_cast<uint64_t>(mb) << 20);
   }
   std::string trace_out;
   if (auto it = flags.find("trace-out"); it != flags.end()) {
